@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! ticket-lock back-off policy, MCS vs CLH handoff, and cache-line
+//! padding vs false sharing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssync_core::CachePadded;
+use ssync_locks::{ClhLock, McsLock, RawLock, TicketLock, TicketLockNoBackoff};
+
+fn bench_ticket_backoff_ablation(c: &mut Criterion) {
+    // Uncontested: back-off must cost nothing when the lock is free.
+    let mut group = c.benchmark_group("ticket_backoff_ablation");
+    let with = TicketLock::new();
+    group.bench_function("proportional_backoff", |b| {
+        b.iter(|| {
+            let t = with.lock();
+            with.unlock(t);
+        })
+    });
+    let without = TicketLockNoBackoff::new();
+    group.bench_function("no_backoff", |b| {
+        b.iter(|| {
+            let t = without.lock();
+            without.unlock(t);
+        })
+    });
+    group.finish();
+}
+
+fn bench_queue_lock_handoff(c: &mut Criterion) {
+    // Self-handoff (acquire/release chains) isolates node management
+    // overhead: MCS allocates/recycles own-node, CLH adopts predecessor.
+    let mut group = c.benchmark_group("queue_lock_node_management");
+    let mcs = McsLock::new();
+    group.bench_function("mcs_chain", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                let t = mcs.lock();
+                mcs.unlock(t);
+            }
+        })
+    });
+    let clh = ClhLock::new();
+    group.bench_function("clh_chain", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                let t = clh.lock();
+                clh.unlock(t);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_padding_ablation(c: &mut Criterion) {
+    // Two counters on one line vs padded lines, hammered by two threads:
+    // the reason every lock in this workspace pads its fields.
+    let mut group = c.benchmark_group("false_sharing_ablation");
+    group.bench_function("unpadded_pair", |b| {
+        let pair = [AtomicU64::new(0), AtomicU64::new(0)];
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for i in 0..2 {
+                    let pair = &pair;
+                    s.spawn(move || {
+                        for _ in 0..2_000 {
+                            pair[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+        });
+        black_box(&pair);
+    });
+    group.bench_function("padded_pair", |b| {
+        let pair = [
+            CachePadded::new(AtomicU64::new(0)),
+            CachePadded::new(AtomicU64::new(0)),
+        ];
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for i in 0..2 {
+                    let pair = &pair;
+                    s.spawn(move || {
+                        for _ in 0..2_000 {
+                            pair[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+        });
+        black_box(&pair);
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_ticket_backoff_ablation, bench_queue_lock_handoff, bench_padding_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Message-passing costs: send/recv on the cache-line channel, and a
+//! two-thread ping-pong (the native analogue of Figure 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssync_mp::channel::channel;
+
+fn bench_send_recv_same_thread(c: &mut Criterion) {
+    let (tx, rx) = channel();
+    c.bench_function("channel_send_recv_local", |b| {
+        b.iter(|| {
+            tx.send([1, 2, 3, 4, 5, 6, 7]);
+            rx.recv()
+        })
+    });
+}
+
+fn bench_ping_pong_threads(c: &mut Criterion) {
+    c.bench_function("channel_round_trip_threads", |b| {
+        let (tx_req, rx_req) = channel();
+        let (tx_rep, rx_rep) = channel();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let echo = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Some(m) = rx_req.try_recv() {
+                    tx_rep.send(m);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        b.iter(|| {
+            tx_req.send([7; 7]);
+            rx_rep.recv()
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        echo.join().unwrap();
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_send_recv_same_thread, bench_ping_pong_threads
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Uncontested lock paths: acquire+release cost per algorithm (the
+//! native analogue of Figure 6's "single thread" bars).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssync_locks::{AnyLock, LockKind, RawLock};
+
+fn bench_uncontested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontested_acquire_release");
+    for kind in LockKind::ALL {
+        let lock = AnyLock::new(kind, 2);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let token = lock.lock();
+                black_box(&lock);
+                lock.unlock(token);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_try_lock_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("try_lock_free");
+    for kind in LockKind::ALL {
+        let lock = AnyLock::new(kind, 2);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let token = lock.try_lock().expect("free");
+                lock.unlock(token);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_try_lock_held(c: &mut Criterion) {
+    let mut group = c.benchmark_group("try_lock_held");
+    for kind in LockKind::ALL {
+        let lock = AnyLock::new(kind, 2);
+        let held = lock.lock();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                assert!(black_box(lock.try_lock()).is_none());
+            })
+        });
+        lock.unlock(held);
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_uncontested, bench_try_lock_free, bench_try_lock_held
+}
+criterion_main!(benches);

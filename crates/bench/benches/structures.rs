@@ -1,0 +1,86 @@
+//! Concurrent-structure operation costs: the hash table (Figure 11's
+//! subject), the KV store (Figure 12's), and STM transactions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssync_ht::HashTable;
+use ssync_kv::KvStore;
+use ssync_locks::{TasLock, TicketLock};
+use ssync_tm::shared::TmHeap;
+
+fn bench_hash_table(c: &mut Criterion) {
+    let ht: HashTable<TicketLock> = HashTable::new(512);
+    for k in 0..10_000 {
+        ht.put(k, k);
+    }
+    let mut group = c.benchmark_group("ssht");
+    group.bench_function("get_hit", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % 10_000;
+            black_box(ht.get(k))
+        })
+    });
+    group.bench_function("get_miss", |b| {
+        b.iter(|| black_box(ht.get(99_999_999)))
+    });
+    group.bench_function("put_update", |b| {
+        b.iter(|| ht.put(42, 43))
+    });
+    group.bench_function("remove_insert", |b| {
+        b.iter(|| {
+            ht.remove(7);
+            ht.put(7, 7)
+        })
+    });
+    group.finish();
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let kv: KvStore<TicketLock> = KvStore::new(1024, 64);
+    kv.set(b"hot", b"value".as_slice());
+    let mut group = c.benchmark_group("kv");
+    group.bench_function("get_hit", |b| b.iter(|| black_box(kv.get(b"hot"))));
+    group.bench_function("set", |b| {
+        b.iter(|| kv.set(b"hot", b"value2".as_slice()))
+    });
+    group.finish();
+}
+
+fn bench_stm(c: &mut Criterion) {
+    let heap: TmHeap<TasLock> = TmHeap::new(64);
+    let mut group = c.benchmark_group("stm");
+    group.bench_function("read_only_tx", |b| {
+        b.iter(|| heap.run(|tx| tx.read(5)))
+    });
+    group.bench_function("read_write_tx", |b| {
+        b.iter(|| {
+            heap.run(|tx| {
+                let v = tx.read(5)?;
+                tx.write(5, v + 1)?;
+                Ok(())
+            })
+        })
+    });
+    group.bench_function("transfer_tx", |b| {
+        b.iter(|| {
+            heap.run(|tx| {
+                let a = tx.read(8)?;
+                let bv = tx.read(16)?;
+                tx.write(8, a.wrapping_sub(1))?;
+                tx.write(16, bv.wrapping_add(1))?;
+                Ok(())
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_hash_table, bench_kv, bench_stm
+}
+criterion_main!(benches);

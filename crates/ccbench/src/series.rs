@@ -1,0 +1,87 @@
+//! Plain-text series formatting for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// One plotted line: a label plus (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (lock name, operation name, ...).
+    pub label: String,
+    /// The figure's x axis (threads, clients, distance index).
+    pub xs: Vec<f64>,
+    /// The measured values.
+    pub ys: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series from points.
+    pub fn new(label: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let (xs, ys) = points.into_iter().unzip();
+        Self {
+            label: label.into(),
+            xs,
+            ys,
+        }
+    }
+
+    /// The y value at an x (exact match), if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.xs
+            .iter()
+            .position(|&v| v == x)
+            .map(|i| self.ys[i])
+    }
+}
+
+/// Renders series as an aligned text table: one x column, one column per
+/// series — the format every figure binary prints.
+pub fn render_table(title: &str, x_name: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.xs.iter().copied()).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let _ = write!(out, "{x_name:>10}");
+    for s in series {
+        let _ = write!(out, " {:>14}", s.label);
+    }
+    let _ = writeln!(out);
+    for &x in &xs {
+        let _ = write!(out, "{x:>10}");
+        for s in series {
+            match s.at(x) {
+                Some(y) => {
+                    let _ = write!(out, " {y:>14.2}");
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrip() {
+        let s = Series::new("TAS", [(1.0, 5.0), (2.0, 3.0)]);
+        assert_eq!(s.at(1.0), Some(5.0));
+        assert_eq!(s.at(3.0), None);
+    }
+
+    #[test]
+    fn render_aligns_and_fills_gaps() {
+        let a = Series::new("A", [(1.0, 2.0), (2.0, 4.0)]);
+        let b = Series::new("B", [(1.0, 1.0)]);
+        let t = render_table("demo", "threads", &[a, b]);
+        assert!(t.contains("# demo"));
+        assert!(t.contains("threads"));
+        assert!(t.lines().count() >= 4);
+        assert!(t.contains('-'));
+    }
+}

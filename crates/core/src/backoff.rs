@@ -1,0 +1,179 @@
+//! Back-off policies for spinning.
+//!
+//! The paper's `libslock` uses two flavours of back-off:
+//!
+//! * **Exponential** back-off in the test-and-test-and-set lock
+//!   (Anderson \[4\], Herlihy & Shavit \[20\]): each failed attempt doubles
+//!   the pause, bounded by a cap, which un-synchronizes the retries of the
+//!   spinning cores and drains traffic off the contended line.
+//! * **Proportional** back-off in the optimized ticket lock (Section 5.3,
+//!   Figure 3): a ticket holder knows exactly how many threads are queued
+//!   ahead (`ticket - current`), so it sleeps for a pause proportional to
+//!   its queue position instead of re-reading the line continuously.
+
+use core::hint;
+
+/// Default number of spin iterations corresponding to one "slot" of
+/// proportional back-off — roughly the cost of an uncontended
+/// acquire/release pair on the platforms of the paper.
+pub const DEFAULT_SLOT_SPINS: u32 = 128;
+
+/// Upper bound on a single exponential back-off pause, in spin iterations.
+pub const DEFAULT_MAX_SPINS: u32 = 4096;
+
+/// Exponential back-off state for TTAS-style spinning.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_core::Backoff;
+///
+/// let mut b = Backoff::new();
+/// for _ in 0..4 {
+///     b.spin(); // Pause, doubling each time.
+/// }
+/// assert!(b.current() > Backoff::new().current());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    current: u32,
+    max: u32,
+}
+
+impl Backoff {
+    /// Creates a back-off starting at a single-digit pause, capped at
+    /// [`DEFAULT_MAX_SPINS`].
+    pub const fn new() -> Self {
+        Self::with_bounds(4, DEFAULT_MAX_SPINS)
+    }
+
+    /// Creates a back-off with explicit initial and maximum pause lengths
+    /// (in spin-loop iterations).
+    pub const fn with_bounds(initial: u32, max: u32) -> Self {
+        Self {
+            current: if initial == 0 { 1 } else { initial },
+            max,
+        }
+    }
+
+    /// Current pause length in spin iterations.
+    pub fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// Pauses for the current duration and doubles it (up to the cap).
+    pub fn spin(&mut self) {
+        for _ in 0..self.current {
+            hint::spin_loop();
+        }
+        self.current = (self.current.saturating_mul(2)).min(self.max);
+    }
+
+    /// Resets the pause to its initial length.
+    pub fn reset(&mut self) {
+        let initial = 4.min(self.max);
+        self.current = initial;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Proportional back-off for ticket locks.
+///
+/// A waiter that holds ticket `t` while the lock serves ticket `c` has
+/// exactly `t - c` predecessors; pausing for `slot * (t - c)` iterations
+/// lets it wake up approximately when its turn arrives (Mellor-Crummey &
+/// Scott \[29\], and Section 5.3 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ProportionalBackoff {
+    slot_spins: u32,
+    max_spins: u32,
+}
+
+impl ProportionalBackoff {
+    /// Creates a proportional back-off with the default slot length.
+    pub const fn new() -> Self {
+        Self {
+            slot_spins: DEFAULT_SLOT_SPINS,
+            max_spins: DEFAULT_SLOT_SPINS * 64,
+        }
+    }
+
+    /// Creates a proportional back-off with an explicit slot length.
+    pub const fn with_slot(slot_spins: u32) -> Self {
+        Self {
+            slot_spins,
+            max_spins: slot_spins.saturating_mul(64),
+        }
+    }
+
+    /// Number of spin iterations for a waiter `queued` positions from the
+    /// head of the queue.
+    pub fn spins_for(&self, queued: u64) -> u32 {
+        let queued = queued.min(u64::from(u32::MAX)) as u32;
+        queued.saturating_mul(self.slot_spins).min(self.max_spins)
+    }
+
+    /// Pauses proportionally to the queue distance.
+    pub fn wait(&self, queued: u64) {
+        for _ in 0..self.spins_for(queued) {
+            hint::spin_loop();
+        }
+    }
+}
+
+impl Default for ProportionalBackoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_doubles_and_caps() {
+        let mut b = Backoff::with_bounds(2, 16);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(b.current());
+            b.spin();
+        }
+        assert_eq!(seen, vec![2, 4, 8, 16, 16, 16]);
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut b = Backoff::new();
+        b.spin();
+        b.spin();
+        b.reset();
+        assert_eq!(b.current(), 4);
+    }
+
+    #[test]
+    fn zero_initial_is_promoted() {
+        let b = Backoff::with_bounds(0, 8);
+        assert_eq!(b.current(), 1);
+    }
+
+    #[test]
+    fn proportional_scales_with_queue_position() {
+        let p = ProportionalBackoff::with_slot(10);
+        assert_eq!(p.spins_for(0), 0);
+        assert_eq!(p.spins_for(3), 30);
+        // Capped at 64 slots.
+        assert_eq!(p.spins_for(1_000_000), 640);
+    }
+
+    #[test]
+    fn proportional_wait_does_not_hang() {
+        let p = ProportionalBackoff::new();
+        p.wait(2);
+    }
+}

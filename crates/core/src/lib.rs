@@ -1,0 +1,31 @@
+//! # ssync-core
+//!
+//! Shared primitives for the SSYNC-RS workspace, the Rust reproduction of
+//! the SOSP'13 study *"Everything You Always Wanted to Know About
+//! Synchronization but Were Afraid to Ask"* (David, Guerraoui, Trigonakis).
+//!
+//! This crate holds the pieces that every other crate needs:
+//!
+//! * [`CachePadded`] — cache-line sized alignment wrapper, the basic tool
+//!   for avoiding false sharing in every lock and message-passing buffer.
+//! * [`Backoff`] — exponential and proportional back-off, as used by the
+//!   TTAS and ticket locks of the paper's `libslock`.
+//! * [`topology`] — descriptions of the paper's four target platforms
+//!   (Table 1): core counts, socket/die structure, hop distances, memory
+//!   nodes, and the thread-placement policies of Sections 5.4 and 6.
+//! * [`stats`] — small statistics helpers used by the benchmark harnesses.
+
+pub mod backoff;
+pub mod pad;
+pub mod stats;
+pub mod topology;
+
+pub use backoff::{Backoff, ProportionalBackoff};
+pub use pad::CachePadded;
+pub use topology::{DistClass, Platform, Topology};
+
+/// The cache-line size assumed throughout the workspace, in bytes.
+///
+/// All four platforms of the paper use 64-byte coherence granules. Message
+/// buffers and per-thread lock slots are sized in units of this constant.
+pub const CACHE_LINE_SIZE: usize = 64;

@@ -1,0 +1,129 @@
+//! Small statistics helpers for the benchmark harnesses.
+//!
+//! The paper reports averages of repeated runs with a < 3% standard
+//! deviation (Table 2 caption); these helpers compute the same summary
+//! statistics for our measurements.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `samples`.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Self {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Relative standard deviation (stddev / mean), the paper's "< 3%"
+    /// stability criterion. Zero when the mean is zero.
+    pub fn rsd(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of a sample using linear
+/// interpolation, or `None` for an empty sample.
+pub fn quantile(samples: &mut [f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (samples.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(samples[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(samples[lo] * (1.0 - frac) + samples[hi] * frac)
+    }
+}
+
+/// Geometric mean of strictly positive samples; `None` if empty or any
+/// sample is non-positive.
+pub fn geo_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|x| x.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.rsd(), 0.0);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - 1.2909944487358056).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&mut v, 0.0), Some(1.0));
+        assert_eq!(quantile(&mut v, 1.0), Some(4.0));
+        assert_eq!(quantile(&mut v, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        let g = geo_mean(&[1.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+        assert!(geo_mean(&[1.0, 0.0]).is_none());
+        assert!(geo_mean(&[]).is_none());
+    }
+}

@@ -1,0 +1,568 @@
+//! Descriptions of the paper's target platforms (Table 1).
+//!
+//! The study covers four many-cores, each representative of an
+//! architectural class:
+//!
+//! | Name    | Class                          | Cores                    |
+//! |---------|--------------------------------|--------------------------|
+//! | Opteron | multi-socket, directory-based  | 4 MCMs × 2 dies × 6 = 48 |
+//! | Xeon    | multi-socket, broadcast-based  | 8 sockets × 10 = 80      |
+//! | Niagara | single-socket, uniform         | 8 cores × 8 threads = 64 |
+//! | Tilera  | single-socket, non-uniform     | 6×6 mesh = 36            |
+//!
+//! Section 8 of the paper additionally references two small-scale
+//! multi-sockets (a 2-socket Opteron 2384 and a 2-socket Xeon X5660),
+//! which we model as [`Platform::Opteron2`] and [`Platform::Xeon2`].
+//!
+//! A [`Topology`] answers the questions every other layer asks: how many
+//! cores, which die/socket a core belongs to, the *distance class* between
+//! two cores (which indexes the latency tables of `ssync-sim`), which
+//! memory node is local to a core, and where to place the `n`-th thread of
+//! an experiment (the placement policies of Sections 5.4 and 6).
+
+/// The hardware platforms of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// 48-core 4-socket AMD Opteron "Magny-Cours" (directory/probe filter,
+    /// MOESI, two dies per multi-chip module).
+    Opteron,
+    /// 80-core 8-socket Intel Xeon Westmere-EX (broadcast snooping across
+    /// sockets, MESIF, inclusive LLC).
+    Xeon,
+    /// Sun Niagara 2: 8 in-order cores × 8 hardware threads, uniform
+    /// crossbar to a shared LLC, directory with duplicate tags.
+    Niagara,
+    /// Tilera TILE-Gx36: 36 tiles on a 6×6 mesh, distributed LLC with
+    /// per-line home tiles, hardware message passing.
+    Tilera,
+    /// Small-scale 2-socket AMD Opteron 2384 (Section 8).
+    Opteron2,
+    /// Small-scale 2-socket Intel Xeon X5660 (Section 8).
+    Xeon2,
+}
+
+impl Platform {
+    /// All four primary platforms, in the order the paper's figures use.
+    pub const ALL: [Platform; 4] = [
+        Platform::Opteron,
+        Platform::Xeon,
+        Platform::Niagara,
+        Platform::Tilera,
+    ];
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Opteron => "Opteron",
+            Platform::Xeon => "Xeon",
+            Platform::Niagara => "Niagara",
+            Platform::Tilera => "Tilera",
+            Platform::Opteron2 => "Opteron-2s",
+            Platform::Xeon2 => "Xeon-2s",
+        }
+    }
+
+    /// Builds the [`Topology`] for this platform.
+    pub fn topology(self) -> Topology {
+        Topology::new(self)
+    }
+
+    /// True for the multi-socket machines (Opteron, Xeon and their
+    /// 2-socket variants).
+    pub fn is_multi_socket(self) -> bool {
+        !matches!(self, Platform::Niagara | Platform::Tilera)
+    }
+}
+
+/// Distance class between two cores, the key into the latency tables.
+///
+/// The variants mirror the column headers of Table 2. Not every class
+/// occurs on every platform: `SameMcm` is Opteron-only, `SameCore` is
+/// Niagara-only (hardware threads), `MeshHops` is Tilera-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistClass {
+    /// Same hardware context (a core talking to itself).
+    Zero,
+    /// Two hardware threads of the same physical core (Niagara).
+    SameCore,
+    /// Two cores on the same die (or, on Niagara, different cores sharing
+    /// the uniform LLC).
+    SameDie,
+    /// Two dies of the same multi-chip module (Opteron).
+    SameMcm,
+    /// Directly connected dies/sockets.
+    OneHop,
+    /// Dies/sockets two interconnect hops apart.
+    TwoHops,
+    /// Tilera mesh distance in hops (Manhattan distance between tiles).
+    MeshHops(u8),
+}
+
+impl DistClass {
+    /// Short label matching the paper's figure axes.
+    pub fn label(self) -> String {
+        match self {
+            DistClass::Zero => "self".to_string(),
+            DistClass::SameCore => "same core".to_string(),
+            DistClass::SameDie => "same die".to_string(),
+            DistClass::SameMcm => "same mcm".to_string(),
+            DistClass::OneHop => "one hop".to_string(),
+            DistClass::TwoHops => "two hops".to_string(),
+            DistClass::MeshHops(h) => format!("{h} hops"),
+        }
+    }
+}
+
+/// A platform topology: everything the simulator and the benchmark
+/// harnesses need to know about the machine's shape.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_core::topology::{DistClass, Platform};
+///
+/// let t = Platform::Opteron.topology();
+/// assert_eq!(t.num_cores(), 48);
+/// assert_eq!(t.distance(0, 7), DistClass::SameMcm); // die 0 -> die 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    platform: Platform,
+    num_cores: usize,
+    cores_per_die: usize,
+    num_dies: usize,
+    threads_per_core: usize,
+    num_mem_nodes: usize,
+    clock_ghz: f64,
+}
+
+impl Topology {
+    /// Builds the topology for `platform` with the parameters of Table 1.
+    pub fn new(platform: Platform) -> Self {
+        match platform {
+            Platform::Opteron => Self {
+                platform,
+                num_cores: 48,
+                cores_per_die: 6,
+                num_dies: 8,
+                threads_per_core: 1,
+                num_mem_nodes: 8,
+                clock_ghz: 2.1,
+            },
+            Platform::Xeon => Self {
+                platform,
+                num_cores: 80,
+                cores_per_die: 10,
+                num_dies: 8,
+                threads_per_core: 1,
+                num_mem_nodes: 8,
+                clock_ghz: 2.13,
+            },
+            Platform::Niagara => Self {
+                platform,
+                num_cores: 64,
+                cores_per_die: 64,
+                num_dies: 1,
+                threads_per_core: 8,
+                num_mem_nodes: 1,
+                clock_ghz: 1.2,
+            },
+            Platform::Tilera => Self {
+                platform,
+                num_cores: 36,
+                cores_per_die: 36,
+                num_dies: 1,
+                threads_per_core: 1,
+                num_mem_nodes: 2,
+                clock_ghz: 1.2,
+            },
+            Platform::Opteron2 => Self {
+                platform,
+                num_cores: 8,
+                cores_per_die: 4,
+                num_dies: 2,
+                threads_per_core: 1,
+                num_mem_nodes: 2,
+                clock_ghz: 2.7,
+            },
+            Platform::Xeon2 => Self {
+                platform,
+                num_cores: 12,
+                cores_per_die: 6,
+                num_dies: 2,
+                threads_per_core: 1,
+                num_mem_nodes: 2,
+                clock_ghz: 2.8,
+            },
+        }
+    }
+
+    /// The platform this topology describes.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Total number of hardware contexts (cores, or hardware threads on
+    /// Niagara).
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Number of dies (Opteron), sockets (Xeon), or 1 for single-sockets.
+    pub fn num_dies(&self) -> usize {
+        self.num_dies
+    }
+
+    /// Hardware threads per physical core (8 on Niagara, 1 elsewhere).
+    pub fn threads_per_core(&self) -> usize {
+        self.threads_per_core
+    }
+
+    /// Number of memory (NUMA) nodes.
+    pub fn num_mem_nodes(&self) -> usize {
+        self.num_mem_nodes
+    }
+
+    /// Core clock, used to convert simulated cycles to wall-clock time.
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Die (or socket) index of `core`.
+    ///
+    /// Cores are numbered die-major: cores `0..cores_per_die` are die 0,
+    /// and so on. On the single-sockets this is always 0.
+    pub fn die_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.num_cores);
+        core / self.cores_per_die
+    }
+
+    /// Physical core index of a hardware context (Niagara packs 8 threads
+    /// per core; context `c` lives on physical core `c / 8`).
+    pub fn physical_core_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.num_cores);
+        core / self.threads_per_core
+    }
+
+    /// The memory node local to `core`.
+    ///
+    /// Opteron/Xeon: one node per die/socket. Niagara: single node.
+    /// Tilera: two memory controllers, split across the mesh halves.
+    pub fn mem_node_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.num_cores);
+        match self.platform {
+            Platform::Niagara => 0,
+            Platform::Tilera => {
+                // Controllers sit on the north and south edges; tiles in
+                // the top three rows use node 0, the rest node 1.
+                let (_, y) = self.tile_xy(core);
+                usize::from(y >= 3)
+            }
+            _ => self.die_of(core),
+        }
+    }
+
+    /// Tile coordinates on the Tilera's 6×6 mesh (row-major numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a platform other than Tilera.
+    pub fn tile_xy(&self, core: usize) -> (usize, usize) {
+        assert_eq!(self.platform, Platform::Tilera, "tile_xy is Tilera-only");
+        (core % 6, core / 6)
+    }
+
+    /// Manhattan distance between two tiles on the Tilera mesh.
+    pub fn mesh_hops(&self, a: usize, b: usize) -> u8 {
+        let (ax, ay) = self.tile_xy(a);
+        let (bx, by) = self.tile_xy(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u8
+    }
+
+    /// Distance class between two hardware contexts.
+    pub fn distance(&self, a: usize, b: usize) -> DistClass {
+        debug_assert!(a < self.num_cores && b < self.num_cores);
+        if a == b {
+            return DistClass::Zero;
+        }
+        match self.platform {
+            Platform::Niagara => {
+                if self.physical_core_of(a) == self.physical_core_of(b) {
+                    DistClass::SameCore
+                } else {
+                    DistClass::SameDie
+                }
+            }
+            Platform::Tilera => DistClass::MeshHops(self.mesh_hops(a, b).max(1)),
+            _ => {
+                let (da, db) = (self.die_of(a), self.die_of(b));
+                if da == db {
+                    DistClass::SameDie
+                } else {
+                    self.die_distance(da, db)
+                }
+            }
+        }
+    }
+
+    /// Distance class between two *distinct* dies on the multi-sockets.
+    ///
+    /// * Opteron: dies `2k`/`2k+1` form MCM `k`; the four MCMs sit on a
+    ///   square (0–1, 0–2, 1–3, 2–3 directly connected; 0–3 and 1–2 are
+    ///   two hops apart), giving the paper's maximum distance of 2 hops.
+    /// * Xeon: the eight sockets form a twisted hypercube with diameter 2;
+    ///   sockets whose 3-bit ids differ in one bit are directly linked.
+    pub fn die_distance(&self, da: usize, db: usize) -> DistClass {
+        debug_assert_ne!(da, db);
+        match self.platform {
+            Platform::Opteron => {
+                let (ma, mb) = (da / 2, db / 2);
+                if ma == mb {
+                    DistClass::SameMcm
+                } else if (ma ^ mb) == 3 {
+                    // Diagonal of the MCM square.
+                    DistClass::TwoHops
+                } else {
+                    DistClass::OneHop
+                }
+            }
+            Platform::Xeon => {
+                if (da ^ db).count_ones() == 1 {
+                    DistClass::OneHop
+                } else {
+                    DistClass::TwoHops
+                }
+            }
+            Platform::Opteron2 | Platform::Xeon2 => DistClass::OneHop,
+            Platform::Niagara | Platform::Tilera => {
+                unreachable!("single-socket platforms have one die")
+            }
+        }
+    }
+
+    /// Placement policy of the paper's experiments (Section 5.4): the core
+    /// on which the `i`-th of `n` threads runs.
+    ///
+    /// * Multi-sockets: fill a socket completely before moving on.
+    /// * Niagara: divide threads evenly among the 8 physical cores.
+    /// * Tilera: linear tile order.
+    pub fn placement(&self, n_threads: usize) -> Vec<usize> {
+        assert!(
+            n_threads <= self.num_cores,
+            "requested {n_threads} threads on {} contexts",
+            self.num_cores
+        );
+        match self.platform {
+            Platform::Niagara => {
+                // Thread i -> physical core i % 8, hardware thread i / 8.
+                (0..n_threads)
+                    .map(|i| (i % 8) * self.threads_per_core + i / 8)
+                    .collect()
+            }
+            _ => (0..n_threads).collect(),
+        }
+    }
+
+    /// Representative partner cores for core 0 at each distance class, in
+    /// increasing distance order — the x-axis of Figures 6 and 9.
+    pub fn distance_ladder(&self) -> Vec<(DistClass, usize)> {
+        match self.platform {
+            Platform::Opteron => vec![
+                (DistClass::SameDie, 1),
+                (DistClass::SameMcm, self.cores_per_die),     // die 1
+                (DistClass::OneHop, 2 * self.cores_per_die),  // die 2 (MCM 1)
+                (DistClass::TwoHops, 6 * self.cores_per_die), // die 6 (MCM 3)
+            ],
+            Platform::Xeon => vec![
+                (DistClass::SameDie, 1),
+                (DistClass::OneHop, self.cores_per_die),      // socket 1
+                (DistClass::TwoHops, 3 * self.cores_per_die), // socket 3
+            ],
+            Platform::Niagara => vec![
+                (DistClass::SameCore, 1),
+                (DistClass::SameDie, self.threads_per_core), // core 1, thread 0
+            ],
+            Platform::Tilera => vec![
+                (DistClass::MeshHops(1), 1),   // east neighbour
+                (DistClass::MeshHops(10), 35), // opposite mesh corner
+            ],
+            Platform::Opteron2 | Platform::Xeon2 => vec![
+                (DistClass::SameDie, 1),
+                (DistClass::OneHop, self.cores_per_die),
+            ],
+        }
+    }
+
+    /// The thread counts the paper sweeps on this platform (x-axes of
+    /// Figures 4, 5 and 7).
+    pub fn sweep_points(&self) -> Vec<usize> {
+        let step = match self.platform {
+            Platform::Opteron => 6,
+            Platform::Xeon => 10,
+            Platform::Niagara => 8,
+            Platform::Tilera => 6,
+            Platform::Opteron2 | Platform::Xeon2 => 2,
+        };
+        let mut pts = vec![1, 2];
+        let mut t = step;
+        while t <= self.num_cores {
+            pts.push(t);
+            t += step;
+        }
+        pts.dedup();
+        pts
+    }
+
+    /// Converts a simulated cycle count and operation count to the paper's
+    /// throughput unit, millions of operations per second.
+    pub fn mops(&self, ops: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        ops as f64 * self.clock_ghz * 1000.0 / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(Platform::Opteron.topology().num_cores(), 48);
+        assert_eq!(Platform::Xeon.topology().num_cores(), 80);
+        assert_eq!(Platform::Niagara.topology().num_cores(), 64);
+        assert_eq!(Platform::Tilera.topology().num_cores(), 36);
+    }
+
+    #[test]
+    fn opteron_die_structure() {
+        let t = Platform::Opteron.topology();
+        assert_eq!(t.die_of(0), 0);
+        assert_eq!(t.die_of(5), 0);
+        assert_eq!(t.die_of(6), 1);
+        assert_eq!(t.die_of(47), 7);
+        assert_eq!(t.distance(0, 1), DistClass::SameDie);
+        assert_eq!(t.distance(0, 6), DistClass::SameMcm);
+        assert_eq!(t.distance(0, 12), DistClass::OneHop); // die 2, MCM 1
+        assert_eq!(t.distance(0, 36), DistClass::TwoHops); // die 6, MCM 3
+        // Maximum die distance is two hops.
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_ne!(t.die_distance(a, b), DistClass::Zero);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opteron_distance_symmetry() {
+        let t = Platform::Opteron.topology();
+        for a in 0..48 {
+            for b in 0..48 {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn xeon_twisted_hypercube_diameter_two() {
+        let t = Platform::Xeon.topology();
+        let mut one = 0;
+        let mut two = 0;
+        for a in 0..8 {
+            for b in 0..8 {
+                if a == b {
+                    continue;
+                }
+                match t.die_distance(a, b) {
+                    DistClass::OneHop => one += 1,
+                    DistClass::TwoHops => two += 1,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert!(one > 0 && two > 0);
+    }
+
+    #[test]
+    fn niagara_hardware_threads() {
+        let t = Platform::Niagara.topology();
+        assert_eq!(t.physical_core_of(0), 0);
+        assert_eq!(t.physical_core_of(7), 0);
+        assert_eq!(t.physical_core_of(8), 1);
+        assert_eq!(t.distance(0, 1), DistClass::SameCore);
+        assert_eq!(t.distance(0, 8), DistClass::SameDie);
+    }
+
+    #[test]
+    fn niagara_placement_spreads_over_cores() {
+        let t = Platform::Niagara.topology();
+        let p = t.placement(8);
+        // The first 8 threads land on 8 distinct physical cores.
+        let mut cores: Vec<_> = p.iter().map(|&c| t.physical_core_of(c)).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 8);
+    }
+
+    #[test]
+    fn tilera_mesh_distances() {
+        let t = Platform::Tilera.topology();
+        assert_eq!(t.tile_xy(0), (0, 0));
+        assert_eq!(t.tile_xy(35), (5, 5));
+        assert_eq!(t.mesh_hops(0, 35), 10);
+        assert_eq!(t.mesh_hops(0, 1), 1);
+        assert_eq!(t.distance(0, 35), DistClass::MeshHops(10));
+    }
+
+    #[test]
+    fn tilera_two_memory_nodes() {
+        let t = Platform::Tilera.topology();
+        assert_eq!(t.mem_node_of(0), 0);
+        assert_eq!(t.mem_node_of(35), 1);
+    }
+
+    #[test]
+    fn multi_socket_placement_fills_sockets() {
+        let t = Platform::Xeon.topology();
+        let p = t.placement(20);
+        assert!(p[..10].iter().all(|&c| t.die_of(c) == 0));
+        assert!(p[10..].iter().all(|&c| t.die_of(c) == 1));
+    }
+
+    #[test]
+    fn distance_ladder_matches_distance() {
+        for p in Platform::ALL {
+            let t = p.topology();
+            for (class, core) in t.distance_ladder() {
+                assert_eq!(t.distance(0, core), class, "{p:?} core {core}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_points_cover_full_machine() {
+        for p in Platform::ALL {
+            let t = p.topology();
+            let pts = t.sweep_points();
+            assert_eq!(*pts.first().unwrap(), 1);
+            assert_eq!(*pts.last().unwrap(), t.num_cores());
+        }
+    }
+
+    #[test]
+    fn mops_conversion() {
+        let t = Platform::Tilera.topology(); // 1.2 GHz
+        // 1200 ops in 1200 cycles at 1.2 GHz = 1.2e9 ops/s = 1200 Mops/s.
+        let m = t.mops(1200, 1200);
+        assert!((m - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn placement_rejects_oversubscription() {
+        Platform::Tilera.topology().placement(37);
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 3 (ticket-lock variants on the Opteron).
+fn main() {
+    print!("{}", ssync_figures::fig03());
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 4 (atomic-operation throughput).
+fn main() {
+    print!("{}", ssync_figures::fig04());
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 5 (single-lock throughput: extreme contention).
+fn main() {
+    print!("{}", ssync_figures::fig_locks(1, "Figure 5"));
+}

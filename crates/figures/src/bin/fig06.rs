@@ -1,0 +1,4 @@
+//! Prints Figure 6 (uncontested acquisition latency by distance).
+fn main() {
+    print!("{}", ssync_figures::fig06());
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 7 (512-lock throughput: very low contention).
+fn main() {
+    print!("{}", ssync_figures::fig_locks(512, "Figure 7"));
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 8 (best lock + scalability vs lock count).
+fn main() {
+    print!("{}", ssync_figures::fig08());
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 9 (one-to-one message-passing latency).
+fn main() {
+    print!("{}", ssync_figures::fig09());
+}

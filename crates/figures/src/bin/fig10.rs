@@ -1,0 +1,4 @@
+//! Prints Figure 10 (client-server message-passing throughput).
+fn main() {
+    print!("{}", ssync_figures::fig10());
+}

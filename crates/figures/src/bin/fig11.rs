@@ -1,0 +1,4 @@
+//! Prints Figure 11 (hash-table throughput and scalability).
+fn main() {
+    print!("{}", ssync_figures::fig11());
+}

@@ -1,0 +1,12 @@
+//! Prints Figure 12 (KV-store throughput); `--get` for the get-only
+//! control experiment.
+use ssync_simsync::workloads::kv::KvMix;
+
+fn main() {
+    let mix = if std::env::args().any(|a| a == "--get") {
+        KvMix::GetOnly
+    } else {
+        KvMix::SetOnly
+    };
+    print!("{}", ssync_figures::fig12(mix));
+}

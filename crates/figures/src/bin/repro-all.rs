@@ -1,0 +1,33 @@
+//! Regenerates every table and figure into `results/`.
+use std::fs;
+use std::time::Instant;
+
+use ssync_simsync::workloads::kv::KvMix;
+
+fn main() {
+    fs::create_dir_all("results").expect("create results dir");
+    let artifacts: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+        ("table01", Box::new(ssync_figures::table01)),
+        ("table02", Box::new(|| ssync_figures::table02(false))),
+        ("table02_small", Box::new(|| ssync_figures::table02(true))),
+        ("table03", Box::new(ssync_figures::table03)),
+        ("fig03", Box::new(ssync_figures::fig03)),
+        ("fig04", Box::new(ssync_figures::fig04)),
+        ("fig05", Box::new(|| ssync_figures::fig_locks(1, "Figure 5"))),
+        ("fig06", Box::new(ssync_figures::fig06)),
+        ("fig07", Box::new(|| ssync_figures::fig_locks(512, "Figure 7"))),
+        ("fig08", Box::new(ssync_figures::fig08)),
+        ("fig09", Box::new(ssync_figures::fig09)),
+        ("fig10", Box::new(ssync_figures::fig10)),
+        ("fig11", Box::new(ssync_figures::fig11)),
+        ("fig12", Box::new(|| ssync_figures::fig12(KvMix::SetOnly))),
+        ("fig12_get", Box::new(|| ssync_figures::fig12(KvMix::GetOnly))),
+    ];
+    for (name, render) in artifacts {
+        let t = Instant::now();
+        let body = render();
+        let path = format!("results/{name}.txt");
+        fs::write(&path, &body).expect("write result");
+        eprintln!("wrote {path} ({:.1}s)", t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints Table 1 (platform inventory).
+fn main() {
+    print!("{}", ssync_figures::table01());
+}

@@ -1,0 +1,6 @@
+//! Prints Table 2 (remote-access latencies); `--small` for the 2-socket
+//! Section 8 platforms.
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    print!("{}", ssync_figures::table02(small));
+}

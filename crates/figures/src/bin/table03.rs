@@ -1,0 +1,4 @@
+//! Prints Table 3 (local latencies).
+fn main() {
+    print!("{}", ssync_figures::table03());
+}

@@ -1,0 +1,487 @@
+//! Figure/table reproduction: one function per paper artifact.
+//!
+//! Each function renders the artifact as a plain-text report (the same
+//! rows/series the paper plots). The `src/bin/*` binaries print a single
+//! artifact; `repro-all` renders everything into `results/`.
+
+use std::fmt::Write as _;
+
+use ssync_ccbench::drivers::{
+    atomic_mops, best_lock, kv_kops, lock_latency, lock_mops, mp_client_server, mp_one_to_one,
+    single_thread_latency, ssht_mops, uncontested_latency, SshtBackend,
+};
+use ssync_ccbench::series::{render_table, Series};
+use ssync_ccbench::tables;
+use ssync_core::topology::Platform;
+use ssync_simsync::locks::SimLockKind;
+use ssync_simsync::workloads::atomics::AtomicKind;
+use ssync_simsync::workloads::kv::KvMix;
+use ssync_simsync::workloads::ssht::SshtConfig;
+
+/// Thread counts used for the cross-platform comparisons (Figures 8, 11
+/// and 12 cap at 36/18 cores to compare platforms fairly).
+const CROSS_PLATFORM_THREADS: [usize; 4] = [1, 8, 18, 36];
+
+fn locks_for(platform: Platform) -> &'static [SimLockKind] {
+    if platform.is_multi_socket() {
+        &SimLockKind::ALL
+    } else {
+        &SimLockKind::FLAT
+    }
+}
+
+/// Table 1: the platform inventory (static, from `ssync-core`).
+pub fn table01() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 1: target platforms");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "platform", "cores", "dies", "thr/core", "mem nodes", "GHz"
+    );
+    for p in Platform::ALL {
+        let t = p.topology();
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>8} {:>12} {:>10} {:>10.2}",
+            p.name(),
+            t.num_cores(),
+            t.num_dies(),
+            t.threads_per_core(),
+            t.num_mem_nodes(),
+            t.clock_ghz()
+        );
+    }
+    out
+}
+
+/// Table 2: remote-access latencies per state and distance.
+pub fn table02(small_scale: bool) -> String {
+    let mut out = String::new();
+    let platforms: &[Platform] = if small_scale {
+        &[Platform::Opteron2, Platform::Xeon2]
+    } else {
+        &Platform::ALL
+    };
+    for &p in platforms {
+        let _ = writeln!(out, "# Table 2 [{}]: latency (cycles) by state and distance", p.name());
+        let cols = tables::distance_columns(p);
+        let _ = write!(out, "{:>8} {:>6}", "state", "op");
+        for (label, _, _) in &cols {
+            let _ = write!(out, " {label:>10}");
+        }
+        let _ = writeln!(out);
+        let cells = tables::table2(p);
+        for op in ["load", "store", "CAS", "FAI", "TAS", "SWAP"] {
+            for state in ["M", "O", "E", "S", "I"] {
+                let rows: Vec<_> = cells
+                    .iter()
+                    .filter(|c| c.op == op && state_tag(c.state) == state)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let _ = write!(out, "{state:>8} {op:>6}");
+                for (_, _, req) in &cols {
+                    let d = p.topology().distance(0, *req);
+                    match rows.iter().find(|c| c.distance == d) {
+                        Some(c) => {
+                            let _ = write!(out, " {:>10}", c.cycles);
+                        }
+                        None => {
+                            let _ = write!(out, " {:>10}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn state_tag(s: ssync_sim::CohState) -> &'static str {
+    match s {
+        ssync_sim::CohState::Modified => "M",
+        ssync_sim::CohState::Owned => "O",
+        ssync_sim::CohState::Exclusive => "E",
+        ssync_sim::CohState::Shared => "S",
+        ssync_sim::CohState::Invalid => "I",
+    }
+}
+
+/// Table 3: local latencies.
+pub fn table03() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 3: local caches and memory latencies (cycles)");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "level",
+        Platform::Opteron.name(),
+        Platform::Xeon.name(),
+        Platform::Niagara.name(),
+        Platform::Tilera.name()
+    );
+    let per: Vec<[(&str, u64); 4]> = Platform::ALL.iter().map(|&p| tables::table3(p)).collect();
+    for i in 0..4 {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>10} {:>10} {:>10}",
+            per[0][i].0, per[0][i].1, per[1][i].1, per[2][i].1, per[3][i].1
+        );
+    }
+    out
+}
+
+/// Figure 3: ticket-lock implementations on the Opteron.
+pub fn fig03() -> String {
+    let threads = [1usize, 2, 6, 12, 18, 24, 30, 36, 42, 48];
+    let variants = [
+        (SimLockKind::TicketNoBackoff, "non-optimized"),
+        (SimLockKind::Ticket, "back-off"),
+        (SimLockKind::TicketPrefetchw, "back-off+prefetchw"),
+    ];
+    let series: Vec<Series> = variants
+        .iter()
+        .map(|&(kind, label)| {
+            Series::new(
+                label,
+                threads.iter().map(|&t| {
+                    (t as f64, lock_latency(Platform::Opteron, kind, t))
+                }),
+            )
+        })
+        .collect();
+    render_table(
+        "Figure 3: ticket lock acquire+release latency (cycles), Opteron",
+        "threads",
+        &series,
+    )
+}
+
+/// Figure 4: atomic-operation throughput on all four platforms.
+pub fn fig04() -> String {
+    let mut out = String::new();
+    for p in Platform::ALL {
+        let series: Vec<Series> = AtomicKind::ALL
+            .iter()
+            .map(|&k| {
+                Series::new(
+                    k.name(),
+                    p.topology()
+                        .sweep_points()
+                        .into_iter()
+                        .map(|t| (t as f64, atomic_mops(p, k, t))),
+                )
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!("Figure 4 [{}]: atomic op throughput (Mops/s), one line", p.name()),
+            "threads",
+            &series,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figures 5 and 7: lock throughput at extreme (1 lock) and very low
+/// (512 locks) contention.
+pub fn fig_locks(n_locks: usize, figure: &str) -> String {
+    let mut out = String::new();
+    for p in Platform::ALL {
+        let series: Vec<Series> = locks_for(p)
+            .iter()
+            .map(|&k| {
+                Series::new(
+                    k.name(),
+                    p.topology()
+                        .sweep_points()
+                        .into_iter()
+                        .map(|t| (t as f64, lock_mops(p, k, t, n_locks))),
+                )
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!("{figure} [{}]: lock throughput (Mops/s), {n_locks} lock(s)", p.name()),
+            "threads",
+            &series,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6: uncontested acquisition latency by previous-holder distance.
+pub fn fig06() -> String {
+    let mut out = String::new();
+    for p in Platform::ALL {
+        let _ = writeln!(
+            out,
+            "# Figure 6 [{}]: uncontested lock acquisition latency (cycles)",
+            p.name()
+        );
+        let ladder = p.topology().distance_ladder();
+        let _ = write!(out, "{:>10} {:>14}", "lock", "single thread");
+        for (class, _) in &ladder {
+            let _ = write!(out, " {:>12}", class.label());
+        }
+        let _ = writeln!(out);
+        for &kind in locks_for(p) {
+            let _ = write!(out, "{:>10} {:>14.0}", kind.name(), single_thread_latency(p, kind));
+            for &(_, partner) in &ladder {
+                let _ = write!(out, " {:>12.0}", uncontested_latency(p, kind, partner));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 8: best lock and scalability versus lock count, up to 36 cores.
+pub fn fig08() -> String {
+    let mut out = String::new();
+    for n_locks in [4usize, 16, 32, 128] {
+        let _ = writeln!(out, "# Figure 8: {n_locks} locks (best lock : scalability)");
+        let _ = write!(out, "{:>10}", "threads");
+        for p in Platform::ALL {
+            let _ = write!(out, " {:>22}", p.name());
+        }
+        let _ = writeln!(out);
+        // Single-thread baselines per platform.
+        let base: Vec<f64> = Platform::ALL
+            .iter()
+            .map(|&p| best_lock(p, 1, n_locks, locks_for(p)).1)
+            .collect();
+        for &t in &CROSS_PLATFORM_THREADS {
+            let _ = write!(out, "{t:>10}");
+            for (i, &p) in Platform::ALL.iter().enumerate() {
+                let t_eff = t.min(p.topology().num_cores());
+                let (kind, mops) = best_lock(p, t_eff, n_locks, locks_for(p));
+                let scal = mops / base[i];
+                let _ = write!(out, " {:>13.1}x:{:>8}", scal, kind.name());
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 9: one-to-one message-passing latency by distance.
+pub fn fig09() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 9: one-to-one communication latency (cycles)");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>10} {:>12}",
+        "platform", "distance", "one-way", "round-trip"
+    );
+    for p in Platform::ALL {
+        for (class, partner) in p.topology().distance_ladder() {
+            let (ow, rt) = mp_one_to_one(p, partner, false);
+            let _ = writeln!(
+                out,
+                "{:>10} {:>12} {:>10.0} {:>12.0}",
+                p.name(),
+                class.label(),
+                ow,
+                rt
+            );
+        }
+    }
+    // The Tilera's hardware channels (its native message passing).
+    for (class, partner) in Platform::Tilera.topology().distance_ladder() {
+        let (ow, rt) = mp_one_to_one(Platform::Tilera, partner, true);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>10.0} {:>12.0}",
+            "Tilera-hw",
+            class.label(),
+            ow,
+            rt
+        );
+    }
+    out
+}
+
+/// Figure 10: client-server message-passing throughput.
+pub fn fig10() -> String {
+    let clients = [1usize, 2, 4, 8, 12, 18, 24, 30, 35];
+    let mut series = Vec::new();
+    for p in Platform::ALL {
+        let max = p.topology().num_cores() - 1;
+        for round_trip in [false, true] {
+            let label = format!(
+                "{}, {}",
+                p.name(),
+                if round_trip { "round-trip" } else { "one-way" }
+            );
+            series.push(Series::new(
+                label,
+                clients
+                    .iter()
+                    .filter(|&&c| c <= max)
+                    .map(|&c| (c as f64, mp_client_server(p, c, round_trip, false))),
+            ));
+        }
+    }
+    // Tilera hardware messaging.
+    for round_trip in [false, true] {
+        let label = format!(
+            "Tilera-hw, {}",
+            if round_trip { "round-trip" } else { "one-way" }
+        );
+        series.push(Series::new(
+            label,
+            clients
+                .iter()
+                .filter(|&&c| c <= 35)
+                .map(|&c| (c as f64, mp_client_server(Platform::Tilera, c, round_trip, true))),
+        ));
+    }
+    render_table(
+        "Figure 10: client-server throughput (Mops/s), one server",
+        "clients",
+        &series,
+    )
+}
+
+/// Figure 11: hash-table throughput over the four configurations.
+pub fn fig11() -> String {
+    let mut out = String::new();
+    for cfg in SshtConfig::FIGURE11 {
+        let _ = writeln!(
+            out,
+            "# Figure 11: ssht, {} buckets, {} entries/bucket (Mops/s; best lock : scalability)",
+            cfg.buckets, cfg.entries
+        );
+        let _ = write!(out, "{:>10}", "threads");
+        for p in Platform::ALL {
+            let _ = write!(out, " {:>24}", p.name());
+        }
+        let _ = writeln!(out, " {:>10}", "(mp col)");
+        let base: Vec<f64> = Platform::ALL
+            .iter()
+            .map(|&p| {
+                locks_for(p)
+                    .iter()
+                    .map(|&k| ssht_mops(p, SshtBackend::Lock(k), 1, cfg))
+                    .fold(f64::MIN, f64::max)
+            })
+            .collect();
+        for &t in &CROSS_PLATFORM_THREADS {
+            let _ = write!(out, "{t:>10}");
+            for (i, &p) in Platform::ALL.iter().enumerate() {
+                let t_eff = t.min(p.topology().num_cores());
+                let (mut best_k, mut best_m) = (SimLockKind::Ticket, f64::MIN);
+                for &k in locks_for(p) {
+                    let m = ssht_mops(p, SshtBackend::Lock(k), t_eff, cfg);
+                    if m > best_m {
+                        best_m = m;
+                        best_k = k;
+                    }
+                }
+                let mp = ssht_mops(p, SshtBackend::MessagePassing, t_eff, cfg);
+                let _ = write!(
+                    out,
+                    " {:>6.1}x:{:>7}/mp{:>5.1}",
+                    best_m / base[i],
+                    best_k.name(),
+                    mp
+                );
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 12: KV-store set-only throughput under four lock algorithms
+/// (plus the get-only control with `--get`).
+pub fn fig12(mix: KvMix) -> String {
+    let mut out = String::new();
+    let name = match mix {
+        KvMix::SetOnly => "set-only",
+        KvMix::GetOnly => "get-only",
+    };
+    let locks = [
+        SimLockKind::Mutex,
+        SimLockKind::Tas,
+        SimLockKind::Ticket,
+        SimLockKind::Mcs,
+    ];
+    for p in Platform::ALL {
+        let series: Vec<Series> = locks
+            .iter()
+            .map(|&k| {
+                Series::new(
+                    k.name(),
+                    [1usize, 6, 10, 18]
+                        .into_iter()
+                        .map(|t| (t as f64, kv_kops(p, k, t, mix))),
+                )
+            })
+            .collect();
+        out.push_str(&render_table(
+            &format!("Figure 12 [{}]: memcached-model {name} throughput (Kops/s)", p.name()),
+            "threads",
+            &series,
+        ));
+        // The paper annotates max speedup vs single thread.
+        let best1 = series
+            .iter()
+            .map(|s| s.at(1.0).unwrap_or(f64::NAN))
+            .fold(f64::MIN, f64::max);
+        let best18 = series
+            .iter()
+            .flat_map(|s| s.ys.iter().copied())
+            .fold(f64::MIN, f64::max);
+        let _ = writeln!(out, "max speedup vs single thread: {:.1}x\n", best18 / best1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table01_lists_all_platforms() {
+        let t = table01();
+        for p in Platform::ALL {
+            assert!(t.contains(p.name()));
+        }
+    }
+
+    #[test]
+    fn table03_renders() {
+        let t = table03();
+        assert!(t.contains("RAM"));
+        assert!(t.contains("355")); // Xeon RAM latency
+    }
+
+    #[test]
+    fn table02_small_scale_ratios_match_section8() {
+        // Section 8: cross-socket coherence latencies are ~1.6x (2-socket
+        // Opteron) and ~2.7x (2-socket Xeon) the intra-socket ones.
+        let t = table02(true);
+        assert!(t.contains("Opteron-2s") && t.contains("Xeon-2s"));
+        // Pull the load-Modified row values for the Xeon-2s table.
+        let xeon = t.split("Xeon-2s").nth(1).expect("xeon section");
+        let row: Vec<u64> = xeon
+            .lines()
+            .find(|l| l.contains(" M ") && l.contains("load"))
+            .expect("load-M row")
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        let (intra, cross) = (row[0] as f64, row[1] as f64);
+        let ratio = cross / intra;
+        assert!((1.5..4.0).contains(&ratio), "ratio={ratio:.2}");
+    }
+}

@@ -1,0 +1,148 @@
+//! The lock-based hash table.
+//!
+//! Fixed bucket count, separate chaining inside a bucket vector, one
+//! lock per bucket. The lock algorithm is a type parameter, which is how
+//! the Figure 11 experiments swap all of `libslock`'s locks through one
+//! table; `ssht` exposes the same knob via its build configuration.
+
+use ssync_locks::{Lock, RawLock};
+
+use crate::{bucket_of, Key, Value};
+
+/// A concurrent fixed-bucket hash table protected by per-bucket locks.
+pub struct HashTable<R: RawLock + Default> {
+    buckets: Box<[Lock<Vec<(Key, Value)>, R>]>,
+}
+
+impl<R: RawLock + Default> HashTable<R> {
+    /// Creates a table with `buckets` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "hash table needs at least one bucket");
+        Self {
+            buckets: (0..buckets).map(|_| Lock::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Inserts or updates; returns the previous value if any.
+    pub fn put(&self, key: Key, value: Value) -> Option<Value> {
+        let mut bucket = self.buckets[bucket_of(key, self.buckets.len())].lock();
+        for slot in bucket.iter_mut() {
+            if slot.0 == key {
+                return Some(core::mem::replace(&mut slot.1, value));
+            }
+        }
+        bucket.push((key, value));
+        None
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let bucket = self.buckets[bucket_of(key, self.buckets.len())].lock();
+        bucket.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Removes a key; returns its value if present.
+    pub fn remove(&self, key: Key) -> Option<Value> {
+        let mut bucket = self.buckets[bucket_of(key, self.buckets.len())].lock();
+        let pos = bucket.iter().position(|(k, _)| *k == key)?;
+        Some(bucket.swap_remove(pos).1)
+    }
+
+    /// Total number of entries (takes every bucket lock; statistics).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().len()).sum()
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_locks::{ClhLock, McsLock, TasLock, TicketLock};
+
+    #[test]
+    fn put_get_remove_semantics() {
+        let ht: HashTable<TicketLock> = HashTable::new(8);
+        assert_eq!(ht.put(1, 10), None);
+        assert_eq!(ht.put(1, 11), Some(10));
+        assert_eq!(ht.get(1), Some(11));
+        assert_eq!(ht.remove(1), Some(11));
+        assert_eq!(ht.remove(1), None);
+        assert!(ht.is_empty());
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // With one bucket, everything collides.
+        let ht: HashTable<TasLock> = HashTable::new(1);
+        for k in 0..100 {
+            ht.put(k, k * 2);
+        }
+        assert_eq!(ht.len(), 100);
+        for k in 0..100 {
+            assert_eq!(ht.get(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let ht: HashTable<McsLock> = HashTable::new(16);
+        // Each thread owns a disjoint key range; its view must be
+        // perfectly sequential regardless of other threads.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ht = &ht;
+                s.spawn(move || {
+                    let base = t * 10_000;
+                    for i in 0..300 {
+                        let k = base + i;
+                        assert_eq!(ht.put(k, i), None);
+                        assert_eq!(ht.get(k), Some(i));
+                        if i % 3 == 0 {
+                            assert_eq!(ht.remove(k), Some(i));
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(ht.len(), 4 * 200);
+    }
+
+    #[test]
+    fn works_with_queue_locks() {
+        let ht: HashTable<ClhLock> = HashTable::new(4);
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let ht = &ht;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        ht.put(i, t);
+                        ht.get(i);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(ht.len(), 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buckets_rejected() {
+        let _ = HashTable::<TicketLock>::new(0);
+    }
+}

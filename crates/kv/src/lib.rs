@@ -1,0 +1,316 @@
+//! # ssync-kv
+//!
+//! An in-memory key-value store with Memcached's locking structure, the
+//! native counterpart of the paper's Section 6.4 testbed:
+//!
+//! * a fixed-bucket hash table under **fine-grained bucket locks** (one
+//!   lock per `LOCKS_PER_TABLE`-th of the buckets, as Memcached stripes
+//!   item locks);
+//! * a **global maintenance lock** taken periodically by write paths
+//!   (Memcached's hash-table expansion and LRU/slab bookkeeping switch
+//!   to global locks "for short periods of time");
+//! * byte-string values (`bytes::Bytes`) with per-item CAS versions.
+//!
+//! Every lock is a pluggable `ssync-locks` algorithm — the paper's
+//! experiment is literally "replace the Pthread mutexes with the
+//! interface provided by libslock", which here is a type parameter.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssync_kv::KvStore;
+//! use ssync_locks::TicketLock;
+//!
+//! let kv: KvStore<TicketLock> = KvStore::new(1024, 64);
+//! kv.set(b"key", b"value".as_slice());
+//! assert_eq!(kv.get(b"key").unwrap().as_ref(), b"value");
+//! assert!(kv.delete(b"key"));
+//! ```
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use ssync_locks::{Lock, RawLock};
+
+/// Write operations between global maintenance passes (Memcached's
+/// rebalancer wakes periodically; we trigger on write counts to stay
+/// deterministic).
+pub const MAINTENANCE_PERIOD: u64 = 64;
+
+/// One stored item.
+#[derive(Debug, Clone)]
+struct Item {
+    key: Bytes,
+    value: Bytes,
+    /// CAS version (Memcached's `cas` token).
+    version: u64,
+}
+
+/// Statistics counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Successful `get`s.
+    pub hits: AtomicU64,
+    /// `get`s for absent keys.
+    pub misses: AtomicU64,
+    /// `set` operations.
+    pub sets: AtomicU64,
+    /// Global maintenance passes executed.
+    pub maintenance_runs: AtomicU64,
+}
+
+/// The store, generic over the lock algorithm guarding both the stripes
+/// and the global maintenance path.
+pub struct KvStore<R: RawLock + Default> {
+    /// Striped buckets: `stripes[i]` owns buckets `b` with
+    /// `b % stripes.len() == i`.
+    stripes: Box<[Lock<Vec<Vec<Item>>, R>]>,
+    buckets_per_stripe: usize,
+    /// The global "stop-the-world" maintenance lock.
+    global: Lock<(), R>,
+    write_counter: AtomicU64,
+    next_version: AtomicU64,
+    stats: Stats,
+}
+
+impl<R: RawLock + Default> KvStore<R> {
+    /// Creates a store with `buckets` buckets striped over `stripes`
+    /// locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` or `stripes` is zero, or if `stripes` exceeds
+    /// `buckets`.
+    pub fn new(buckets: usize, stripes: usize) -> Self {
+        assert!(buckets > 0 && stripes > 0 && stripes <= buckets);
+        let buckets_per_stripe = buckets.div_ceil(stripes);
+        Self {
+            stripes: (0..stripes)
+                .map(|_| Lock::new(vec![Vec::new(); buckets_per_stripe]))
+                .collect(),
+            buckets_per_stripe,
+            global: Lock::new(()),
+            write_counter: AtomicU64::new(0),
+            next_version: AtomicU64::new(1),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn locate(&self, key: &[u8]) -> (usize, usize) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        let bucket = (h >> 16) as usize % (self.stripes.len() * self.buckets_per_stripe);
+        (bucket % self.stripes.len(), bucket / self.stripes.len())
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let (stripe, bucket) = self.locate(key);
+        let guard = self.stripes[stripe].lock();
+        let hit = guard[bucket]
+            .iter()
+            .find(|item| item.key.as_ref() == key)
+            .map(|item| item.value.clone());
+        drop(guard);
+        match &hit {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// The CAS version of a key, if present.
+    pub fn version(&self, key: &[u8]) -> Option<u64> {
+        let (stripe, bucket) = self.locate(key);
+        let guard = self.stripes[stripe].lock();
+        guard[bucket]
+            .iter()
+            .find(|item| item.key.as_ref() == key)
+            .map(|item| item.version)
+    }
+
+    /// Stores a value (insert or replace); returns its new CAS version.
+    pub fn set(&self, key: &[u8], value: impl Into<Bytes>) -> u64 {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let (stripe, bucket) = self.locate(key);
+        {
+            let mut guard = self.stripes[stripe].lock();
+            let chain = &mut guard[bucket];
+            match chain.iter_mut().find(|item| item.key.as_ref() == key) {
+                Some(item) => {
+                    item.value = value.into();
+                    item.version = version;
+                }
+                None => chain.push(Item {
+                    key: Bytes::copy_from_slice(key),
+                    value: value.into(),
+                    version,
+                }),
+            }
+        }
+        self.stats.sets.fetch_add(1, Ordering::Relaxed);
+        self.after_write();
+        version
+    }
+
+    /// Compare-and-set: stores only if the current version matches.
+    pub fn cas(&self, key: &[u8], value: impl Into<Bytes>, expected: u64) -> Result<u64, u64> {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let (stripe, bucket) = self.locate(key);
+        let result = {
+            let mut guard = self.stripes[stripe].lock();
+            match guard[bucket]
+                .iter_mut()
+                .find(|item| item.key.as_ref() == key)
+            {
+                Some(item) if item.version == expected => {
+                    item.value = value.into();
+                    item.version = version;
+                    Ok(version)
+                }
+                Some(item) => Err(item.version),
+                None => Err(0),
+            }
+        };
+        if result.is_ok() {
+            self.stats.sets.fetch_add(1, Ordering::Relaxed);
+            self.after_write();
+        }
+        result
+    }
+
+    /// Deletes a key; true if it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let (stripe, bucket) = self.locate(key);
+        let removed = {
+            let mut guard = self.stripes[stripe].lock();
+            let chain = &mut guard[bucket];
+            match chain.iter().position(|item| item.key.as_ref() == key) {
+                Some(pos) => {
+                    chain.swap_remove(pos);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            self.after_write();
+        }
+        removed
+    }
+
+    /// Number of stored items (takes every stripe lock).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// True if the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The write path's periodic global-lock maintenance (Memcached's
+    /// LRU crawl / hash expansion stand-in: walks one stripe under the
+    /// global lock).
+    fn after_write(&self) {
+        let n = self.write_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % MAINTENANCE_PERIOD != 0 {
+            return;
+        }
+        let _global = self.global.lock();
+        self.stats.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+        // Touch one stripe while holding the global lock, as the real
+        // rebalancer serializes against every writer.
+        let stripe = (n / MAINTENANCE_PERIOD) as usize % self.stripes.len();
+        let guard = self.stripes[stripe].lock();
+        let _items: usize = guard.iter().map(Vec::len).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_locks::{McsLock, MutexLock, TasLock, TicketLock};
+
+    #[test]
+    fn set_get_delete() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        assert!(kv.get(b"a").is_none());
+        kv.set(b"a", b"1".as_slice());
+        assert_eq!(kv.get(b"a").unwrap().as_ref(), b"1");
+        kv.set(b"a", b"2".as_slice());
+        assert_eq!(kv.get(b"a").unwrap().as_ref(), b"2");
+        assert!(kv.delete(b"a"));
+        assert!(!kv.delete(b"a"));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn cas_respects_versions() {
+        let kv: KvStore<TasLock> = KvStore::new(64, 8);
+        let v1 = kv.set(b"k", b"x".as_slice());
+        assert_eq!(kv.version(b"k"), Some(v1));
+        let v2 = kv.cas(b"k", b"y".as_slice(), v1).unwrap();
+        assert!(v2 > v1);
+        // Stale CAS fails and reports the current version.
+        assert_eq!(kv.cas(b"k", b"z".as_slice(), v1), Err(v2));
+        // CAS on a missing key fails with version 0.
+        assert_eq!(kv.cas(b"nope", b"z".as_slice(), 1), Err(0));
+    }
+
+    #[test]
+    fn maintenance_runs_periodically() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        for i in 0..(MAINTENANCE_PERIOD * 3) {
+            kv.set(format!("k{i}").as_bytes(), b"v".as_slice());
+        }
+        assert!(kv.stats().maintenance_runs.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let kv: KvStore<MutexLock> = KvStore::new(64, 8);
+        kv.set(b"present", b"v".as_slice());
+        kv.get(b"present");
+        kv.get(b"absent");
+        assert_eq!(kv.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(kv.stats().misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_keyspaces() {
+        let kv: KvStore<McsLock> = KvStore::new(128, 16);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let kv = &kv;
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let key = format!("t{t}-{i}");
+                        kv.set(key.as_bytes(), key.clone().into_bytes());
+                        assert_eq!(kv.get(key.as_bytes()).unwrap().as_ref(), key.as_bytes());
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 800);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_stripes_than_buckets_rejected() {
+        let _ = KvStore::<TicketLock>::new(4, 8);
+    }
+}

@@ -1,0 +1,302 @@
+//! Runtime lock-algorithm selection.
+//!
+//! The paper's experiments sweep *all* locks over every workload; the
+//! benchmark harnesses therefore need to pick the algorithm at runtime.
+//! [`AnyLock`] is an enum-dispatch wrapper over every algorithm in the
+//! crate, and [`LockKind`] enumerates them in the order the paper's
+//! figures list them.
+
+use crate::array::ArrayLock;
+use crate::clh::ClhLock;
+use crate::mcs::McsLock;
+use crate::mutex::MutexLock;
+use crate::raw::RawLock;
+use crate::tas::TasLock;
+use crate::ticket::{TicketLock, TicketLockNoBackoff};
+use crate::ttas::TtasLock;
+use crate::{HclhLock, HticketLock};
+
+/// The lock algorithms of the study, in the paper's figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Test-and-set spin lock.
+    Tas,
+    /// Test-and-test-and-set with exponential back-off.
+    Ttas,
+    /// Ticket lock with proportional back-off.
+    Ticket,
+    /// Anderson array lock.
+    Array,
+    /// Blocking mutex (Pthread model).
+    Mutex,
+    /// MCS queue lock.
+    Mcs,
+    /// CLH queue lock.
+    Clh,
+    /// Hierarchical CLH (cohort of CLH locks).
+    Hclh,
+    /// Hierarchical ticket lock (cohort of ticket locks).
+    Hticket,
+    /// Non-optimized ticket lock (Figure 3 baseline; not part of the
+    /// paper's nine).
+    TicketNoBackoff,
+}
+
+impl LockKind {
+    /// The nine locks of the study, in Figure 6's order.
+    pub const ALL: [LockKind; 9] = [
+        LockKind::Tas,
+        LockKind::Ttas,
+        LockKind::Ticket,
+        LockKind::Array,
+        LockKind::Mutex,
+        LockKind::Mcs,
+        LockKind::Clh,
+        LockKind::Hclh,
+        LockKind::Hticket,
+    ];
+
+    /// The non-hierarchical subset, used on the single-socket platforms
+    /// ("given the uniform structure of the platforms, we do not use
+    /// hierarchical locks on the single-socket machines", Section 6.1.2).
+    pub const FLAT: [LockKind; 7] = [
+        LockKind::Tas,
+        LockKind::Ttas,
+        LockKind::Ticket,
+        LockKind::Array,
+        LockKind::Mutex,
+        LockKind::Mcs,
+        LockKind::Clh,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockKind::Tas => TasLock::NAME,
+            LockKind::Ttas => TtasLock::NAME,
+            LockKind::Ticket => TicketLock::NAME,
+            LockKind::Array => ArrayLock::NAME,
+            LockKind::Mutex => MutexLock::NAME,
+            LockKind::Mcs => McsLock::NAME,
+            LockKind::Clh => ClhLock::NAME,
+            LockKind::Hclh => "HCLH",
+            LockKind::Hticket => "HTICKET",
+            LockKind::TicketNoBackoff => TicketLockNoBackoff::NAME,
+        }
+    }
+
+    /// True for the hierarchical (cluster-aware) locks.
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, LockKind::Hclh | LockKind::Hticket)
+    }
+}
+
+/// A lock whose algorithm is chosen at runtime.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{AnyLock, LockKind, RawLock};
+///
+/// for kind in LockKind::ALL {
+///     let lock = AnyLock::new(kind, 2);
+///     let t = lock.lock();
+///     lock.unlock(t);
+/// }
+/// ```
+pub enum AnyLock {
+    /// See [`TasLock`].
+    Tas(TasLock),
+    /// See [`TtasLock`].
+    Ttas(TtasLock),
+    /// See [`TicketLock`].
+    Ticket(TicketLock),
+    /// See [`ArrayLock`].
+    Array(ArrayLock),
+    /// See [`MutexLock`].
+    Mutex(MutexLock),
+    /// See [`McsLock`].
+    Mcs(McsLock),
+    /// See [`ClhLock`].
+    Clh(ClhLock),
+    /// See [`HclhLock`].
+    Hclh(HclhLock),
+    /// See [`HticketLock`].
+    Hticket(HticketLock),
+    /// See [`TicketLockNoBackoff`].
+    TicketNoBackoff(TicketLockNoBackoff),
+}
+
+/// Token for [`AnyLock`]; mirrors the variant that produced it.
+pub enum AnyToken {
+    /// Token of [`TasLock`].
+    Tas(()),
+    /// Token of [`TtasLock`].
+    Ttas(()),
+    /// Token of [`TicketLock`].
+    Ticket(u64),
+    /// Token of [`ArrayLock`].
+    Array(u64),
+    /// Token of [`MutexLock`].
+    Mutex(()),
+    /// Token of [`McsLock`].
+    Mcs(<McsLock as RawLock>::Token),
+    /// Token of [`ClhLock`].
+    Clh(<ClhLock as RawLock>::Token),
+    /// Token of [`HclhLock`].
+    Hclh(<HclhLock as RawLock>::Token),
+    /// Token of [`HticketLock`].
+    Hticket(<HticketLock as RawLock>::Token),
+    /// Token of [`TicketLockNoBackoff`].
+    TicketNoBackoff(u64),
+}
+
+impl AnyLock {
+    /// Creates a lock of the given kind; `clusters` parameterizes the
+    /// hierarchical locks (ignored by the flat ones).
+    pub fn new(kind: LockKind, clusters: usize) -> Self {
+        match kind {
+            LockKind::Tas => AnyLock::Tas(TasLock::new()),
+            LockKind::Ttas => AnyLock::Ttas(TtasLock::new()),
+            LockKind::Ticket => AnyLock::Ticket(TicketLock::new()),
+            LockKind::Array => AnyLock::Array(ArrayLock::default()),
+            LockKind::Mutex => AnyLock::Mutex(MutexLock::new()),
+            LockKind::Mcs => AnyLock::Mcs(McsLock::new()),
+            LockKind::Clh => AnyLock::Clh(ClhLock::new()),
+            LockKind::Hclh => AnyLock::Hclh(HclhLock::new(clusters.max(1))),
+            LockKind::Hticket => AnyLock::Hticket(HticketLock::new(clusters.max(1))),
+            LockKind::TicketNoBackoff => {
+                AnyLock::TicketNoBackoff(TicketLockNoBackoff::new())
+            }
+        }
+    }
+
+    /// The kind this lock was built as.
+    pub fn kind(&self) -> LockKind {
+        match self {
+            AnyLock::Tas(_) => LockKind::Tas,
+            AnyLock::Ttas(_) => LockKind::Ttas,
+            AnyLock::Ticket(_) => LockKind::Ticket,
+            AnyLock::Array(_) => LockKind::Array,
+            AnyLock::Mutex(_) => LockKind::Mutex,
+            AnyLock::Mcs(_) => LockKind::Mcs,
+            AnyLock::Clh(_) => LockKind::Clh,
+            AnyLock::Hclh(_) => LockKind::Hclh,
+            AnyLock::Hticket(_) => LockKind::Hticket,
+            AnyLock::TicketNoBackoff(_) => LockKind::TicketNoBackoff,
+        }
+    }
+}
+
+impl RawLock for AnyLock {
+    type Token = AnyToken;
+
+    const NAME: &'static str = "ANY";
+
+    fn lock(&self) -> AnyToken {
+        match self {
+            AnyLock::Tas(l) => AnyToken::Tas(l.lock()),
+            AnyLock::Ttas(l) => AnyToken::Ttas(l.lock()),
+            AnyLock::Ticket(l) => AnyToken::Ticket(l.lock()),
+            AnyLock::Array(l) => AnyToken::Array(l.lock()),
+            AnyLock::Mutex(l) => AnyToken::Mutex(l.lock()),
+            AnyLock::Mcs(l) => AnyToken::Mcs(l.lock()),
+            AnyLock::Clh(l) => AnyToken::Clh(l.lock()),
+            AnyLock::Hclh(l) => AnyToken::Hclh(l.lock()),
+            AnyLock::Hticket(l) => AnyToken::Hticket(l.lock()),
+            AnyLock::TicketNoBackoff(l) => AnyToken::TicketNoBackoff(l.lock()),
+        }
+    }
+
+    fn try_lock(&self) -> Option<AnyToken> {
+        match self {
+            AnyLock::Tas(l) => l.try_lock().map(AnyToken::Tas),
+            AnyLock::Ttas(l) => l.try_lock().map(AnyToken::Ttas),
+            AnyLock::Ticket(l) => l.try_lock().map(AnyToken::Ticket),
+            AnyLock::Array(l) => l.try_lock().map(AnyToken::Array),
+            AnyLock::Mutex(l) => l.try_lock().map(AnyToken::Mutex),
+            AnyLock::Mcs(l) => l.try_lock().map(AnyToken::Mcs),
+            AnyLock::Clh(l) => l.try_lock().map(AnyToken::Clh),
+            AnyLock::Hclh(l) => l.try_lock().map(AnyToken::Hclh),
+            AnyLock::Hticket(l) => l.try_lock().map(AnyToken::Hticket),
+            AnyLock::TicketNoBackoff(l) => l.try_lock().map(AnyToken::TicketNoBackoff),
+        }
+    }
+
+    fn unlock(&self, token: AnyToken) {
+        match (self, token) {
+            (AnyLock::Tas(l), AnyToken::Tas(t)) => l.unlock(t),
+            (AnyLock::Ttas(l), AnyToken::Ttas(t)) => l.unlock(t),
+            (AnyLock::Ticket(l), AnyToken::Ticket(t)) => l.unlock(t),
+            (AnyLock::Array(l), AnyToken::Array(t)) => l.unlock(t),
+            (AnyLock::Mutex(l), AnyToken::Mutex(t)) => l.unlock(t),
+            (AnyLock::Mcs(l), AnyToken::Mcs(t)) => l.unlock(t),
+            (AnyLock::Clh(l), AnyToken::Clh(t)) => l.unlock(t),
+            (AnyLock::Hclh(l), AnyToken::Hclh(t)) => l.unlock(t),
+            (AnyLock::Hticket(l), AnyToken::Hticket(t)) => l.unlock(t),
+            (AnyLock::TicketNoBackoff(l), AnyToken::TicketNoBackoff(t)) => l.unlock(t),
+            _ => panic!("AnyLock::unlock called with a token from a different lock kind"),
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        match self {
+            AnyLock::Tas(l) => l.is_locked(),
+            AnyLock::Ttas(l) => l.is_locked(),
+            AnyLock::Ticket(l) => l.is_locked(),
+            AnyLock::Array(l) => l.is_locked(),
+            AnyLock::Mutex(l) => l.is_locked(),
+            AnyLock::Mcs(l) => l.is_locked(),
+            AnyLock::Clh(l) => l.is_locked(),
+            AnyLock::Hclh(l) => l.is_locked(),
+            AnyLock::Hticket(l) => l.is_locked(),
+            AnyLock::TicketNoBackoff(l) => l.is_locked(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::test_support;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_kind_passes_protocol_smoke() {
+        for kind in LockKind::ALL {
+            let lock = AnyLock::new(kind, 2);
+            test_support::protocol_smoke(&lock);
+            assert_eq!(lock.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn every_kind_provides_mutual_exclusion() {
+        for kind in LockKind::ALL {
+            test_support::counter_torture(Arc::new(AnyLock::new(kind, 2)), 3, 2_000);
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<_> = LockKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["TAS", "TTAS", "TICKET", "ARRAY", "MUTEX", "MCS", "CLH", "HCLH", "HTICKET"]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_token_panics() {
+        let a = AnyLock::new(LockKind::Tas, 1);
+        let b = AnyLock::new(LockKind::Ticket, 1);
+        let t = b.lock();
+        a.unlock(t);
+    }
+
+    #[test]
+    fn flat_subset_excludes_hierarchical() {
+        assert!(LockKind::FLAT.iter().all(|k| !k.is_hierarchical()));
+    }
+}

@@ -1,0 +1,261 @@
+//! CLH queue lock (Craig; Landin & Hagersten \[43\]).
+//!
+//! Like MCS, CLH builds an implicit FIFO queue, but a waiter spins on its
+//! *predecessor's* node rather than its own: acquire swaps a fresh node
+//! into the tail and spins until the predecessor clears its `locked`
+//! flag; release simply clears the own node's flag. There is no explicit
+//! `next` pointer and release is a single store, which makes CLH slightly
+//! cheaper than MCS on handoff — the paper finds the two equally
+//! "resilient to contention" (Figure 5), with CLH the overall winner on
+//! the single-sockets at high thread counts (Figure 8).
+//!
+//! # Node management
+//!
+//! CLH recycles nodes by design: after release, the releasing thread's
+//! node is still being observed by its successor, but the *predecessor's*
+//! node (the one it spun on) is guaranteed private — so each release
+//! donates the predecessor node back to a thread-local pool.
+//!
+//! Pooled nodes are **never returned to the allocator** (threads leak
+//! their small pools on exit). This is deliberate: `try_lock` must read
+//! the tail node's flag speculatively, and keeping node memory alive
+//! forever makes that read always target valid memory, at the cost of a
+//! bounded leak (a handful of cache lines per thread). `libslock` makes
+//! the same trade by allocating qnodes for the program's lifetime.
+
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::cell::RefCell;
+
+use ssync_core::CachePadded;
+
+use crate::raw::RawLock;
+
+/// A CLH queue node: just the `locked` flag, padded to its own line.
+#[derive(Debug)]
+pub struct ClhNode {
+    locked: AtomicBool,
+}
+
+thread_local! {
+    /// Per-thread free list of CLH nodes (raw pointers: dropping the pool
+    /// at thread exit intentionally leaks the nodes; see module docs).
+    static NODE_POOL: RefCell<Vec<*mut CachePadded<ClhNode>>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn pool_get(locked: bool) -> *mut CachePadded<ClhNode> {
+    let node = NODE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| {
+        Box::into_raw(Box::new(CachePadded::new(ClhNode {
+            locked: AtomicBool::new(false),
+        })))
+    });
+    // SAFETY: the node came from `Box::into_raw` and is never deallocated;
+    // a pooled node is unreachable from any queue, so we own it.
+    unsafe { &*node }.locked.store(locked, Ordering::Relaxed);
+    node
+}
+
+/// Returns a node to the calling thread's pool.
+///
+/// # Safety
+///
+/// `node` must be a [`pool_get`] pointer that no other queue still links
+/// to (speculative readers may still *read* it; that is fine, the memory
+/// stays valid forever).
+unsafe fn pool_put(node: *mut CachePadded<ClhNode>) {
+    NODE_POOL.with(|p| p.borrow_mut().push(node));
+}
+
+/// CLH queue lock.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{ClhLock, RawLock};
+///
+/// let lock = ClhLock::default();
+/// let t = lock.lock();
+/// lock.unlock(t);
+/// assert!(!lock.is_locked());
+/// ```
+#[derive(Debug)]
+pub struct ClhLock {
+    /// Tail of the implicit queue. Never null: initialized with a dummy
+    /// unlocked node.
+    tail: AtomicPtr<CachePadded<ClhNode>>,
+}
+
+impl ClhLock {
+    /// Creates a new, unlocked CLH lock.
+    pub fn new() -> Self {
+        Self {
+            tail: AtomicPtr::new(pool_get(false)),
+        }
+    }
+}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ClhLock {
+    fn drop(&mut self) {
+        let tail = *self.tail.get_mut();
+        // SAFETY: `&mut self` proves no acquisition is in flight, so the
+        // tail node is no longer linked by anyone.
+        unsafe { pool_put(tail) };
+    }
+}
+
+/// Token: this acquisition's own node plus the predecessor node it spun
+/// on (recycled at unlock).
+pub struct ClhToken {
+    node: *mut CachePadded<ClhNode>,
+    pred: *mut CachePadded<ClhNode>,
+}
+
+// SAFETY: the token is a capability whose pointees are atomics owned by
+// the in-flight acquisition; node recycling happens on whichever thread
+// calls `unlock`.
+unsafe impl Send for ClhToken {}
+
+impl RawLock for ClhLock {
+    type Token = ClhToken;
+
+    const NAME: &'static str = "CLH";
+
+    fn lock(&self) -> Self::Token {
+        let node = pool_get(true);
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        // SAFETY: node memory is never deallocated, and `pred` cannot be
+        // recycled by anyone else — only a successor recycles a
+        // predecessor node, and we are the unique successor.
+        while unsafe { &*pred }.locked.load(Ordering::Acquire) {
+            core::hint::spin_loop();
+        }
+        ClhToken { node, pred }
+    }
+
+    /// Attempts to acquire without waiting.
+    ///
+    /// Note: in a pathological ABA race (the observed tail node being
+    /// recycled and re-enqueued as the tail of this very lock between the
+    /// speculative read and the CAS), the method may briefly wait for one
+    /// predecessor. The memory read is always valid because node memory
+    /// is never freed.
+    fn try_lock(&self) -> Option<Self::Token> {
+        let pred = self.tail.load(Ordering::Acquire);
+        // SAFETY: node memory is never deallocated (module invariant), so
+        // this speculative read targets valid memory even if `pred` has
+        // been recycled.
+        if unsafe { &*pred }.locked.load(Ordering::Acquire) {
+            return None;
+        }
+        let node = pool_get(true);
+        match self
+            .tail
+            .compare_exchange(pred, node, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                // SAFETY: as above; `pred` is now our predecessor.
+                while unsafe { &*pred }.locked.load(Ordering::Acquire) {
+                    core::hint::spin_loop();
+                }
+                Some(ClhToken { node, pred })
+            }
+            Err(_) => {
+                // SAFETY: the CAS failed, the node was never published.
+                unsafe { pool_put(node) };
+                None
+            }
+        }
+    }
+
+    fn unlock(&self, token: Self::Token) {
+        // SAFETY: we own this acquisition; `node` is alive and `pred` is
+        // private to us (we were its only observer).
+        unsafe {
+            { &*token.node }.locked.store(false, Ordering::Release);
+            pool_put(token.pred);
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        let tail = self.tail.load(Ordering::Acquire);
+        // SAFETY: node memory is never deallocated.
+        unsafe { &*tail }.locked.load(Ordering::Relaxed)
+    }
+}
+
+impl crate::cohort::CohortLocal for ClhLock {
+    fn has_waiters(&self, token: &Self::Token) -> bool {
+        // If the tail moved past our node, someone enqueued behind us.
+        self.tail.load(Ordering::Relaxed) != token.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::CohortLocal;
+    use crate::raw::test_support;
+    use std::sync::Arc;
+
+    #[test]
+    fn protocol() {
+        test_support::protocol_smoke(&ClhLock::new());
+    }
+
+    #[test]
+    fn has_waiters_reflects_tail_movement() {
+        let lock = ClhLock::new();
+        let t = lock.lock();
+        assert!(!lock.has_waiters(&t));
+        lock.unlock(t);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_threads() {
+        test_support::counter_torture(Arc::new(ClhLock::new()), 4, 3_000);
+    }
+
+    #[test]
+    fn node_count_stays_bounded() {
+        let lock = ClhLock::new();
+        for _ in 0..1_000 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        NODE_POOL.with(|p| assert!(p.borrow().len() <= 4));
+    }
+
+    #[test]
+    fn drop_recycles_tail_node() {
+        let before = NODE_POOL.with(|p| p.borrow().len());
+        {
+            let lock = ClhLock::new();
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        let after = NODE_POOL.with(|p| p.borrow().len());
+        // Creating and dropping a lock must not shrink the pool.
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn handoff_between_two_threads() {
+        let lock = Arc::new(ClhLock::new());
+        let l2 = Arc::clone(&lock);
+        let t = lock.lock();
+        let waiter = std::thread::spawn(move || {
+            let t = l2.lock();
+            l2.unlock(t);
+        });
+        std::thread::yield_now();
+        lock.unlock(t);
+        waiter.join().unwrap();
+        assert!(!lock.is_locked());
+    }
+}

@@ -1,0 +1,66 @@
+//! Thread-to-cluster registry for hierarchical locks.
+//!
+//! Hierarchical locks (HCLH, HTICKET) batch lock handoffs within a
+//! *cluster* — a socket or die — to avoid paying cross-socket coherence
+//! traffic on every handoff (Sections 2 and 6.1 of the paper). The lock
+//! itself cannot know which socket the calling thread runs on, so the
+//! application declares it once per thread, exactly like `libslock`'s
+//! per-thread initialization functions.
+//!
+//! On a real deployment the cluster is the NUMA node of the core the
+//! thread is pinned to; the benchmark harnesses derive it from
+//! [`ssync_core::Topology::die_of`].
+
+use std::cell::Cell;
+
+thread_local! {
+    static CLUSTER: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Declares the calling thread's cluster (socket/die) id.
+///
+/// Hierarchical locks group handoffs by this id. Threads that never call
+/// this default to cluster 0, which makes hierarchical locks behave like
+/// their flat counterparts.
+///
+/// # Examples
+///
+/// ```
+/// ssync_locks::set_thread_cluster(1);
+/// assert_eq!(ssync_locks::cluster::current_cluster(), 1);
+/// ```
+pub fn set_thread_cluster(cluster: usize) {
+    CLUSTER.with(|c| c.set(cluster));
+}
+
+/// The calling thread's cluster id (0 unless set).
+pub fn current_cluster() -> usize {
+    CLUSTER.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_zero() {
+        std::thread::spawn(|| assert_eq!(current_cluster(), 0))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn set_is_thread_local() {
+        set_thread_cluster(3);
+        assert_eq!(current_cluster(), 3);
+        std::thread::spawn(|| {
+            assert_eq!(current_cluster(), 0);
+            set_thread_cluster(5);
+            assert_eq!(current_cluster(), 5);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_cluster(), 3);
+        set_thread_cluster(0);
+    }
+}

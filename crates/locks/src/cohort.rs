@@ -1,0 +1,294 @@
+//! Lock cohorting: the generic hierarchical lock combinator.
+//!
+//! The paper's two hierarchical locks — HCLH (Luchangco et al. \[27\])
+//! and the hierarchical ticket lock (designed by the authors, then found
+//! to match Dice, Marathe & Shavit's *lock cohorting* \[14\]) — share one
+//! structure: a per-cluster *local* lock plus one *global* lock. A thread
+//! first acquires its cluster's local lock, then the global lock. On
+//! release, if another thread of the same cluster is waiting and the
+//! cohort has not exceeded its pass budget, the holder releases only the
+//! local lock and leaves the global lock with the cohort; the next local
+//! owner inherits it without any cross-socket traffic.
+//!
+//! [`CohortLock<G, L>`] implements this generically, following \[14\]:
+//! the global lock must be *thread-oblivious* (acquired by one cohort
+//! member, released by another — true for our ticket and CLH locks, whose
+//! tokens are self-contained) and the local lock must support *cohort
+//! detection* ([`CohortLocal::has_waiters`]).
+
+use core::cell::UnsafeCell;
+
+use ssync_core::CachePadded;
+
+use crate::cluster::current_cluster;
+use crate::raw::RawLock;
+
+/// Maximum consecutive local handoffs before the global lock must be
+/// released, bounding unfairness toward other clusters (\[14\] uses the
+/// same knob; 64 matches common cohort-lock implementations).
+pub const DEFAULT_MAX_PASSES: u32 = 64;
+
+/// A lock that can report whether another thread is currently queued
+/// behind the holder — the *alone?* predicate of lock cohorting.
+pub trait CohortLocal: RawLock {
+    /// True if at least one thread is waiting on this lock right now
+    /// (advisory: may race with new arrivals, which only affects the
+    /// pass/release heuristic, never correctness).
+    fn has_waiters(&self, token: &Self::Token) -> bool;
+}
+
+/// Per-cluster state: the local lock plus the baton the cohort passes
+/// around. The baton fields are protected by the local lock.
+struct LocalUnit<G: RawLock, L: CohortLocal> {
+    lock: L,
+    /// The global token, present while this cohort owns the global lock.
+    global_token: UnsafeCell<Option<G::Token>>,
+    /// True if the releasing cohort member left the global lock acquired
+    /// for the next local owner.
+    top_granted: UnsafeCell<bool>,
+    /// Consecutive local passes since the cohort acquired the global lock.
+    passes: UnsafeCell<u32>,
+}
+
+// SAFETY: the `UnsafeCell` fields are read and written only while holding
+// `lock`, which serializes all access (see every `unsafe` block below).
+// `G::Token: Send` is required because the token may be stored by one
+// thread and taken by another cohort member.
+unsafe impl<G: RawLock, L: CohortLocal> Sync for LocalUnit<G, L> where G::Token: Send {}
+
+/// Generic cohort (hierarchical) lock over a global lock `G` and
+/// per-cluster local locks `L`.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{CohortLock, RawLock, TicketLock};
+///
+/// // A hierarchical ticket lock for a 2-cluster machine.
+/// let lock: CohortLock<TicketLock, TicketLock> = CohortLock::new(2);
+/// let t = lock.lock();
+/// lock.unlock(t);
+/// ```
+pub struct CohortLock<G: RawLock, L: CohortLocal> {
+    global: G,
+    locals: Box<[CachePadded<LocalUnit<G, L>>]>,
+    max_passes: u32,
+}
+
+/// Token for a cohort acquisition.
+pub struct CohortToken<L> {
+    cluster: usize,
+    local: L,
+}
+
+impl<G, L> CohortLock<G, L>
+where
+    G: RawLock + Default,
+    L: CohortLocal + Default,
+    G::Token: Send,
+{
+    /// Creates a cohort lock for `clusters` clusters with the default
+    /// pass budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn new(clusters: usize) -> Self {
+        Self::with_max_passes(clusters, DEFAULT_MAX_PASSES)
+    }
+
+    /// Creates a cohort lock with an explicit local pass budget.
+    pub fn with_max_passes(clusters: usize, max_passes: u32) -> Self {
+        assert!(clusters > 0, "cohort lock needs at least one cluster");
+        let locals = (0..clusters)
+            .map(|_| {
+                CachePadded::new(LocalUnit {
+                    lock: L::default(),
+                    global_token: UnsafeCell::new(None),
+                    top_granted: UnsafeCell::new(false),
+                    passes: UnsafeCell::new(0),
+                })
+            })
+            .collect();
+        Self {
+            global: G::default(),
+            locals,
+            max_passes,
+        }
+    }
+
+    /// Number of clusters this lock was built for.
+    pub fn clusters(&self) -> usize {
+        self.locals.len()
+    }
+
+    fn unit(&self, cluster: usize) -> &LocalUnit<G, L> {
+        &self.locals[cluster % self.locals.len()]
+    }
+}
+
+impl<G, L> Default for CohortLock<G, L>
+where
+    G: RawLock + Default,
+    L: CohortLocal + Default,
+    G::Token: Send,
+{
+    /// A single-cluster cohort lock (degenerates to `L` over `G`); the
+    /// benchmark harnesses construct per-topology instances explicitly.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl<G, L> RawLock for CohortLock<G, L>
+where
+    G: RawLock + Default,
+    L: CohortLocal + Default,
+    G::Token: Send,
+{
+    type Token = CohortToken<L::Token>;
+
+    const NAME: &'static str = "COHORT";
+
+    fn lock(&self) -> Self::Token {
+        let cluster = current_cluster() % self.locals.len();
+        let unit = self.unit(cluster);
+        let local = unit.lock.lock();
+        // SAFETY: baton fields are protected by the local lock, held here.
+        unsafe {
+            if *unit.top_granted.get() {
+                // The previous cohort member left the global lock to us.
+                *unit.top_granted.get() = false;
+            } else {
+                let gtok = self.global.lock();
+                *unit.global_token.get() = Some(gtok);
+                *unit.passes.get() = 0;
+            }
+        }
+        CohortToken { cluster, local }
+    }
+
+    fn try_lock(&self) -> Option<Self::Token> {
+        let cluster = current_cluster() % self.locals.len();
+        let unit = self.unit(cluster);
+        let local = unit.lock.try_lock()?;
+        // SAFETY: baton fields are protected by the local lock, held here.
+        unsafe {
+            if *unit.top_granted.get() {
+                *unit.top_granted.get() = false;
+                return Some(CohortToken { cluster, local });
+            }
+            if let Some(gtok) = self.global.try_lock() {
+                *unit.global_token.get() = Some(gtok);
+                *unit.passes.get() = 0;
+                return Some(CohortToken { cluster, local });
+            }
+        }
+        unit.lock.unlock(local);
+        None
+    }
+
+    fn unlock(&self, token: Self::Token) {
+        let unit = self.unit(token.cluster);
+        // SAFETY: baton fields are protected by the local lock, which we
+        // hold until the `unlock` calls below.
+        unsafe {
+            let passes = &mut *unit.passes.get();
+            if *passes < self.max_passes && unit.lock.has_waiters(&token.local) {
+                // Pass within the cohort: keep the global lock, hand the
+                // local lock (and the baton) to the next local waiter.
+                *passes += 1;
+                *unit.top_granted.get() = true;
+                unit.lock.unlock(token.local);
+            } else {
+                // Release globally: another cluster's turn.
+                let gtok = (*unit.global_token.get())
+                    .take()
+                    .expect("cohort invariant: global token present at global release");
+                *passes = 0;
+                self.global.unlock(gtok);
+                unit.lock.unlock(token.local);
+            }
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        self.global.is_locked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clh::ClhLock;
+    use crate::cluster::set_thread_cluster;
+    use crate::raw::test_support;
+    use crate::ticket::TicketLock;
+    use std::sync::Arc;
+
+    type Hticket = CohortLock<TicketLock, TicketLock>;
+    type Hclh = CohortLock<ClhLock, ClhLock>;
+
+    #[test]
+    fn protocol_hticket() {
+        test_support::protocol_smoke(&Hticket::new(2));
+    }
+
+    #[test]
+    fn protocol_hclh() {
+        test_support::protocol_smoke(&Hclh::new(2));
+    }
+
+    #[test]
+    fn mutual_exclusion_single_cluster() {
+        test_support::counter_torture(Arc::new(Hticket::new(1)), 4, 2_000);
+        test_support::counter_torture(Arc::new(Hclh::new(1)), 4, 2_000);
+    }
+
+    #[test]
+    fn mutual_exclusion_across_clusters() {
+        // Threads map themselves onto two clusters.
+        let lock = Arc::new(Hticket::new(2));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    set_thread_cluster(i % 2);
+                    for _ in 0..5_000 {
+                        let t = lock.lock();
+                        let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                        std::hint::black_box(v);
+                        counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        lock.unlock(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 20_000);
+    }
+
+    #[test]
+    fn pass_budget_bounds_local_handoffs() {
+        // With max_passes = 0 every release is global; the lock must still
+        // be correct.
+        let lock = Arc::new(Hticket::with_max_passes(2, 0));
+        test_support::counter_torture(lock, 4, 5_000);
+    }
+
+    #[test]
+    fn cluster_ids_wrap() {
+        let lock = Hticket::new(2);
+        set_thread_cluster(7); // 7 % 2 == cluster 1
+        let t = lock.lock();
+        lock.unlock(t);
+        set_thread_cluster(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clusters_rejected() {
+        let _ = Hticket::new(0);
+    }
+}

@@ -1,0 +1,209 @@
+//! RAII data-owning lock wrapper.
+//!
+//! [`Lock<T, R>`] pairs a [`RawLock`] algorithm with the data it protects,
+//! giving the familiar `Mutex<T>`-style API with a scoped [`LockGuard`].
+//! This is the interface the higher-level crates (`ssync-ht`, `ssync-kv`,
+//! `ssync-tm`) build on, and the reason `RawLock` exists as a separate
+//! layer: the benchmark harnesses need raw acquire/release, the data
+//! structures need guarded access, and both want to swap algorithms.
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::mem::ManuallyDrop;
+use core::ops::{Deref, DerefMut};
+
+use crate::raw::RawLock;
+
+/// A value protected by a pluggable lock algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{Lock, McsLock};
+///
+/// let v = Lock::<Vec<u32>, McsLock>::new(Vec::new());
+/// v.lock().push(1);
+/// assert_eq!(v.lock().len(), 1);
+/// ```
+pub struct Lock<T, R: RawLock> {
+    raw: R,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `Lock` hands out `&T`/`&mut T` only through the guard, which
+// holds the raw lock; this is the standard `Mutex<T>` argument. `T: Send`
+// is required because the value moves between threads' critical sections.
+unsafe impl<T: Send, R: RawLock> Send for Lock<T, R> {}
+unsafe impl<T: Send, R: RawLock> Sync for Lock<T, R> {}
+
+impl<T, R: RawLock + Default> Lock<T, R> {
+    /// Creates a lock protecting `value` with a default-constructed
+    /// algorithm instance.
+    pub fn new(value: T) -> Self {
+        Self::with_raw(value, R::default())
+    }
+}
+
+impl<T, R: RawLock> Lock<T, R> {
+    /// Creates a lock protecting `value` with an explicit algorithm
+    /// instance (used for locks that need construction parameters, such
+    /// as cohort locks with a cluster count).
+    pub fn with_raw(value: T, raw: R) -> Self {
+        Self {
+            raw,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, returning a guard that releases on drop.
+    pub fn lock(&self) -> LockGuard<'_, T, R> {
+        let token = self.raw.lock();
+        LockGuard {
+            lock: self,
+            token: ManuallyDrop::new(token),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<LockGuard<'_, T, R>> {
+        self.raw.try_lock().map(|token| LockGuard {
+            lock: self,
+            token: ManuallyDrop::new(token),
+        })
+    }
+
+    /// The underlying raw lock (for statistics such as
+    /// [`crate::TicketLock::queue_length`]).
+    pub fn raw(&self) -> &R {
+        &self.raw
+    }
+
+    /// Mutable access without locking (requires `&mut self`, which proves
+    /// exclusivity statically).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: fmt::Debug, R: RawLock> fmt::Debug for Lock<T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f
+                .debug_struct("Lock")
+                .field("algorithm", &R::NAME)
+                .field("data", &*guard)
+                .finish(),
+            None => f
+                .debug_struct("Lock")
+                .field("algorithm", &R::NAME)
+                .field("data", &"<locked>")
+                .finish(),
+        }
+    }
+}
+
+/// RAII guard: the critical section lasts as long as this value lives.
+pub struct LockGuard<'a, T, R: RawLock> {
+    lock: &'a Lock<T, R>,
+    token: ManuallyDrop<R::Token>,
+}
+
+impl<T, R: RawLock> Deref for LockGuard<'_, T, R> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, so shared access is exclusive
+        // with all other critical sections.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T, R: RawLock> DerefMut for LockGuard<'_, T, R> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as for `Deref`, plus `&mut self` prevents aliasing
+        // through this guard.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T, R: RawLock> Drop for LockGuard<'_, T, R> {
+    fn drop(&mut self) {
+        // SAFETY: the token is taken exactly once, here; the guard cannot
+        // be used afterwards.
+        let token = unsafe { ManuallyDrop::take(&mut self.token) };
+        self.lock.raw.unlock(token);
+    }
+}
+
+impl<T: fmt::Debug, R: RawLock> fmt::Debug for LockGuard<'_, T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clh::ClhLock;
+    use crate::mcs::McsLock;
+    use crate::tas::TasLock;
+    use crate::ticket::TicketLock;
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let lock = Lock::<u32, TasLock>::new(1);
+        {
+            let mut g = lock.lock();
+            *g += 1;
+        }
+        assert_eq!(*lock.lock(), 2);
+    }
+
+    #[test]
+    fn try_lock_contends_with_guard() {
+        let lock = Lock::<u32, TicketLock>::new(0);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut lock = Lock::<String, McsLock>::new("a".into());
+        lock.get_mut().push('b');
+        assert_eq!(lock.into_inner(), "ab");
+    }
+
+    #[test]
+    fn threads_share_data_through_guard() {
+        let lock = Lock::<Vec<u64>, ClhLock>::new(Vec::new());
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let lock = &lock;
+                s.spawn(move || {
+                    for j in 0..100 {
+                        lock.lock().push(i * 1000 + j);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.lock().len(), 400);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let lock = Lock::<u32, TasLock>::new(7);
+        let s = format!("{lock:?}");
+        assert!(s.contains("TAS") && s.contains('7'));
+        let g = lock.lock();
+        let s = format!("{lock:?}");
+        assert!(s.contains("<locked>"));
+        drop(g);
+    }
+}

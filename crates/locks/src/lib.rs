@@ -1,0 +1,77 @@
+//! # ssync-locks
+//!
+//! A native Rust port of `libslock`, the lock library of the SOSP'13
+//! study *"Everything You Always Wanted to Know About Synchronization but
+//! Were Afraid to Ask"*. The library abstracts nine widely used lock
+//! algorithms behind a common interface:
+//!
+//! | Name      | Type | Module |
+//! |-----------|------|--------|
+//! | TAS       | spin: test-and-set | [`tas`] |
+//! | TTAS      | spin: test-and-test-and-set + exponential back-off | [`ttas`] |
+//! | TICKET    | spin: ticket lock with proportional back-off | [`ticket`] |
+//! | ARRAY     | spin: Anderson array lock | [`array`] |
+//! | MCS       | queue: Mellor-Crummey & Scott | [`mcs`] |
+//! | CLH       | queue: Craig, Landin & Hagersten | [`clh`] |
+//! | HCLH      | hierarchical: cohort of CLH locks | [`hclh`](HclhLock) |
+//! | HTICKET   | hierarchical: cohort of ticket locks | [`hticket`](HticketLock) |
+//! | MUTEX     | cooperative: spin-then-park (Pthread-mutex model) | [`mutex`] |
+//!
+//! Every algorithm implements [`RawLock`]; [`Lock`] wraps a `RawLock`
+//! around a protected value with an RAII guard, and [`AnyLock`] provides
+//! runtime algorithm selection for benchmarks.
+//!
+//! Hierarchical locks need to know the caller's *cluster* (socket/die);
+//! see [`cluster::set_thread_cluster`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ssync_locks::{Lock, TicketLock};
+//!
+//! let counter = Lock::<u64, TicketLock>::new(0);
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|| {
+//!             for _ in 0..1000 {
+//!                 *counter.lock() += 1;
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(*counter.lock(), 4000);
+//! ```
+
+pub mod any;
+pub mod array;
+pub mod clh;
+pub mod cluster;
+pub mod cohort;
+pub mod guard;
+pub mod mcs;
+pub mod mutex;
+pub mod raw;
+pub mod tas;
+pub mod ticket;
+pub mod ttas;
+
+pub use any::{AnyLock, LockKind};
+pub use array::ArrayLock;
+pub use clh::ClhLock;
+pub use cluster::set_thread_cluster;
+pub use cohort::CohortLock;
+pub use guard::{Lock, LockGuard};
+pub use mcs::McsLock;
+pub use mutex::MutexLock;
+pub use raw::RawLock;
+pub use tas::TasLock;
+pub use ticket::{TicketLock, TicketLockNoBackoff};
+pub use ttas::TtasLock;
+
+/// Hierarchical CLH lock: a cohort of per-cluster CLH locks under a
+/// global CLH lock (Luchangco et al. \[27\] via lock cohorting \[14\]).
+pub type HclhLock = CohortLock<clh::ClhLock, clh::ClhLock>;
+
+/// Hierarchical ticket lock: a cohort of per-cluster ticket locks under a
+/// global ticket lock (Section 4.1, footnote 3 of the paper; \[14\]).
+pub type HticketLock = CohortLock<ticket::TicketLock, ticket::TicketLock>;

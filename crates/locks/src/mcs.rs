@@ -1,0 +1,253 @@
+//! MCS queue lock (Mellor-Crummey & Scott \[29\]).
+//!
+//! Waiters form an explicit linked list: each arrival swaps itself into
+//! the lock's tail pointer, links behind its predecessor, and spins on a
+//! flag in *its own* queue node. Release hands the lock to the successor
+//! by writing that successor's flag. Exactly one thread spins on any
+//! cache line, which is what makes MCS (and CLH) "the most resilient to
+//! contention" in the paper's Figure 5.
+//!
+//! # Node management
+//!
+//! The original algorithm threads a caller-provided `qnode` through
+//! acquire/release. In Rust we allocate nodes from a thread-local free
+//! list and carry the node pointer in the [`RawLock::Token`], so the
+//! public interface stays uniform across algorithms. A node is recycled
+//! once `unlock` has either removed it from the tail or handed the lock
+//! to its successor — after which no other thread can reach it.
+
+use core::ptr;
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::cell::RefCell;
+
+use ssync_core::CachePadded;
+
+use crate::raw::RawLock;
+
+/// A queue node. One cache line: `next` and `locked` are written by
+/// different threads but within one handoff, matching libslock's layout.
+#[derive(Debug)]
+pub struct McsNode {
+    next: AtomicPtr<CachePadded<McsNode>>,
+    locked: AtomicBool,
+}
+
+impl McsNode {
+    fn new() -> Self {
+        Self {
+            next: AtomicPtr::new(ptr::null_mut()),
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread free list of MCS nodes (recycled across acquisitions and
+    /// across distinct locks; a node is exclusively owned between `lock`
+    /// and `unlock`).
+    static NODE_POOL: RefCell<Vec<Box<CachePadded<McsNode>>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn pool_get() -> *mut CachePadded<McsNode> {
+    NODE_POOL.with(|p| {
+        let node = p
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| Box::new(CachePadded::new(McsNode::new())));
+        Box::into_raw(node)
+    })
+}
+
+/// Returns a node to the calling thread's pool.
+///
+/// # Safety
+///
+/// `node` must have come from [`pool_get`] and must not be reachable by
+/// any other thread.
+unsafe fn pool_put(node: *mut CachePadded<McsNode>) {
+    // SAFETY: by the function contract the pointer is a live, exclusively
+    // owned allocation produced by `Box::into_raw` in `pool_get`.
+    let boxed = unsafe { Box::from_raw(node) };
+    boxed.next.store(ptr::null_mut(), Ordering::Relaxed);
+    boxed.locked.store(false, Ordering::Relaxed);
+    NODE_POOL.with(|p| p.borrow_mut().push(boxed));
+}
+
+/// MCS queue lock.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{McsLock, RawLock};
+///
+/// let lock = McsLock::default();
+/// let t = lock.lock();
+/// assert!(lock.is_locked());
+/// lock.unlock(t);
+/// ```
+#[derive(Debug, Default)]
+pub struct McsLock {
+    tail: AtomicPtr<CachePadded<McsNode>>,
+}
+
+impl McsLock {
+    /// Creates a new, unlocked MCS lock.
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+/// Token: the queue node of this acquisition.
+pub struct McsToken {
+    node: *mut CachePadded<McsNode>,
+}
+
+// SAFETY: the token is only a capability to unlock; the node it points to
+// is owned by the holding thread until `unlock`. Sending the token (and
+// thus unlocking from another thread) is sound because the node contents
+// are atomics and the pool recycle happens on the unlocking thread.
+unsafe impl Send for McsToken {}
+
+impl RawLock for McsLock {
+    type Token = McsToken;
+
+    const NAME: &'static str = "MCS";
+
+    fn lock(&self) -> Self::Token {
+        let node = pool_get();
+        // SAFETY: `node` is exclusively ours until it is linked below.
+        let node_ref = unsafe { &*node };
+        node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
+        node_ref.locked.store(true, Ordering::Relaxed);
+
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        if !pred.is_null() {
+            // SAFETY: a non-null predecessor is a node currently queued;
+            // its owner cannot recycle it before it has linked us in and
+            // handed us the lock (see `unlock`).
+            unsafe { &*pred }.next.store(node, Ordering::Release);
+            while node_ref.locked.load(Ordering::Acquire) {
+                core::hint::spin_loop();
+            }
+        }
+        McsToken { node }
+    }
+
+    fn try_lock(&self) -> Option<Self::Token> {
+        let node = pool_get();
+        // SAFETY: `node` is exclusively ours until published via the CAS.
+        let node_ref = unsafe { &*node };
+        node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
+        node_ref.locked.store(true, Ordering::Relaxed);
+
+        match self.tail.compare_exchange(
+            ptr::null_mut(),
+            node,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Some(McsToken { node }),
+            Err(_) => {
+                // SAFETY: the CAS failed, so the node was never published.
+                unsafe { pool_put(node) };
+                None
+            }
+        }
+    }
+
+    fn unlock(&self, token: Self::Token) {
+        let node = token.node;
+        // SAFETY: we hold the lock, so `node` is the queue head and alive.
+        let node_ref = unsafe { &*node };
+        let mut next = node_ref.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No visible successor: try to swing the tail back to null.
+            if self
+                .tail
+                .compare_exchange(node, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: tail no longer references the node and no
+                // successor ever observed it.
+                unsafe { pool_put(node) };
+                return;
+            }
+            // A successor swapped the tail but has not linked yet: wait.
+            loop {
+                next = node_ref.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                core::hint::spin_loop();
+            }
+        }
+        // SAFETY: `next` is a queued node spinning on its `locked` flag;
+        // its owner keeps it alive until it acquires and releases.
+        unsafe { &*next }.locked.store(false, Ordering::Release);
+        // SAFETY: after the handoff nothing references our node: the
+        // successor spins on its own node and the tail points at or past
+        // the successor.
+        unsafe { pool_put(node) };
+    }
+
+    fn is_locked(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::test_support;
+    use std::sync::Arc;
+
+    #[test]
+    fn protocol() {
+        test_support::protocol_smoke(&McsLock::new());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_threads() {
+        test_support::counter_torture(Arc::new(McsLock::new()), 4, 3_000);
+    }
+
+    #[test]
+    fn many_sequential_acquisitions_reuse_nodes() {
+        let lock = McsLock::new();
+        for _ in 0..1_000 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        // The pool should contain at most one node from this pattern.
+        NODE_POOL.with(|p| assert!(p.borrow().len() <= 2));
+    }
+
+    #[test]
+    fn failed_try_lock_leaks_nothing() {
+        let lock = McsLock::new();
+        let t = lock.lock();
+        for _ in 0..100 {
+            assert!(lock.try_lock().is_none());
+        }
+        lock.unlock(t);
+        let t = lock.try_lock().expect("lock is free");
+        lock.unlock(t);
+    }
+
+    #[test]
+    fn handoff_between_two_threads() {
+        let lock = Arc::new(McsLock::new());
+        let l2 = Arc::clone(&lock);
+        let t = lock.lock();
+        let waiter = std::thread::spawn(move || {
+            let t = l2.lock();
+            l2.unlock(t);
+        });
+        std::thread::yield_now();
+        lock.unlock(t);
+        waiter.join().unwrap();
+        assert!(!lock.is_locked());
+    }
+}

@@ -1,0 +1,98 @@
+//! The common lock interface.
+//!
+//! `libslock`'s value proposition is *one interface, nine algorithms*; the
+//! Rust equivalent is the [`RawLock`] trait. A successful acquisition
+//! returns a [`RawLock::Token`], which the caller must pass back to
+//! [`RawLock::unlock`]. Tokens carry whatever per-acquisition state the
+//! algorithm needs (a ticket number, an MCS queue node, a cohort's global
+//! token), which lets queue-based locks avoid any thread-local hidden
+//! state in the interface.
+
+/// A raw (unguarded) mutual-exclusion lock.
+///
+/// # Correctness contract
+///
+/// Implementations must guarantee mutual exclusion: between the return of
+/// `lock`/successful `try_lock` and the matching `unlock`, no other caller
+/// can observe an acquisition. `lock` must provide *acquire* ordering and
+/// `unlock` *release* ordering, so that data protected by the lock is
+/// properly published between critical sections.
+///
+/// Callers must pass each token to `unlock` exactly once, on the same
+/// thread that acquired it unless the implementation documents otherwise
+/// (the cohort locks rely on tokens staying on the acquiring thread).
+pub trait RawLock: Send + Sync {
+    /// Per-acquisition state returned by `lock` and consumed by `unlock`.
+    type Token;
+
+    /// Display name matching the paper's figures (e.g. `"TICKET"`).
+    const NAME: &'static str;
+
+    /// Acquires the lock, blocking (spinning or parking) until available.
+    fn lock(&self) -> Self::Token;
+
+    /// Attempts to acquire the lock without blocking.
+    fn try_lock(&self) -> Option<Self::Token>;
+
+    /// Releases the lock.
+    fn unlock(&self, token: Self::Token);
+
+    /// True if the lock appears held at this instant (advisory, racy;
+    /// used by tests and statistics only).
+    fn is_locked(&self) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared correctness harnesses run against every lock algorithm.
+
+    use super::RawLock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Hammers the lock from `threads` threads, each performing `iters`
+    /// non-atomic increments of a shared counter under the lock. Any
+    /// mutual-exclusion violation shows up as a lost update.
+    ///
+    /// A `yield_now` after each release keeps the test fast on machines
+    /// with fewer cores than threads (a spinning waiter on a single-CPU
+    /// box would otherwise burn a whole scheduling quantum per handoff).
+    pub fn counter_torture<L: RawLock + 'static>(lock: Arc<L>, threads: usize, iters: u64) {
+        // The counter is intentionally *not* atomic-with-rmw: we read and
+        // write it with separate operations so that broken mutual
+        // exclusion loses updates.
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        let token = lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        std::hint::black_box(v);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock(token);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * iters);
+    }
+
+    /// Checks the basic uncontended protocol: lock, observe held, unlock,
+    /// observe free; try_lock succeeds when free and fails when held.
+    pub fn protocol_smoke<L: RawLock>(lock: &L) {
+        assert!(!lock.is_locked());
+        let t = lock.lock();
+        assert!(lock.is_locked());
+        assert!(lock.try_lock().is_none());
+        lock.unlock(t);
+        assert!(!lock.is_locked());
+        let t = lock.try_lock().expect("free lock must be try-lockable");
+        assert!(lock.is_locked());
+        lock.unlock(t);
+        assert!(!lock.is_locked());
+    }
+}

@@ -1,0 +1,224 @@
+//! Ticket lock, with and without proportional back-off.
+//!
+//! A ticket lock is two counters on one line: `next` (tickets handed out)
+//! and `current` (ticket being served). Acquire = fetch-and-increment of
+//! `next`, then wait until `current` equals your ticket; release =
+//! increment `current`. It is FIFO-fair and occupies a single cache line,
+//! and the paper's headline practical finding is that a *well implemented*
+//! ticket lock is the best choice in most low-contention workloads
+//! ("simple locks are powerful").
+//!
+//! "Well implemented" is Section 5.3 / Figure 3 of the paper: a waiter
+//! knows its queue distance (`ticket - current`), so it should back off
+//! *proportionally* instead of hammering the line. [`TicketLock`] applies
+//! proportional back-off; [`TicketLockNoBackoff`] is the non-optimized
+//! baseline kept for the Figure 3 ablation. (The paper's third variant,
+//! `prefetchw`, is an x86 hint with no stable Rust equivalent; it is
+//! modelled in the simulator — see `ssync-simsync`.)
+
+use core::hint;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use ssync_core::ProportionalBackoff;
+
+use crate::raw::RawLock;
+
+/// Ticket lock with proportional back-off (the paper's optimized TICKET).
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{RawLock, TicketLock};
+///
+/// let lock = TicketLock::default();
+/// let a = lock.lock();
+/// lock.unlock(a);
+/// let b = lock.try_lock().unwrap();
+/// lock.unlock(b);
+/// ```
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next: AtomicU64,
+    current: AtomicU64,
+}
+
+impl TicketLock {
+    /// Creates a new, unlocked ticket lock.
+    pub const fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+            current: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of threads queued behind the current holder (advisory).
+    pub fn queue_length(&self) -> u64 {
+        let next = self.next.load(Ordering::Relaxed);
+        let current = self.current.load(Ordering::Relaxed);
+        next.saturating_sub(current).saturating_sub(1)
+    }
+
+    fn wait_for_turn(&self, ticket: u64, backoff: Option<ProportionalBackoff>) {
+        loop {
+            let current = self.current.load(Ordering::Acquire);
+            if current == ticket {
+                return;
+            }
+            match backoff {
+                Some(b) => b.wait(ticket - current),
+                None => hint::spin_loop(),
+            }
+        }
+    }
+}
+
+impl RawLock for TicketLock {
+    /// The ticket number; also used by the cohort locks to detect waiters.
+    type Token = u64;
+
+    const NAME: &'static str = "TICKET";
+
+    fn lock(&self) -> Self::Token {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        self.wait_for_turn(ticket, Some(ProportionalBackoff::new()));
+        ticket
+    }
+
+    fn try_lock(&self) -> Option<Self::Token> {
+        let current = self.current.load(Ordering::Acquire);
+        // Only take a ticket if the lock looks free *and* we win the race
+        // to be the next ticket; otherwise taking a ticket would force us
+        // to wait (tickets cannot be returned).
+        self.next
+            .compare_exchange(current, current + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .filter(|&t| self.current.load(Ordering::Acquire) == t)
+    }
+
+    fn unlock(&self, token: Self::Token) {
+        debug_assert_eq!(self.current.load(Ordering::Relaxed), token);
+        // Sole writer position: only the holder increments `current`.
+        self.current.store(token + 1, Ordering::Release);
+    }
+
+    fn is_locked(&self) -> bool {
+        let next = self.next.load(Ordering::Relaxed);
+        let current = self.current.load(Ordering::Relaxed);
+        next != current
+    }
+}
+
+/// Ticket lock that spins continuously, the "non-optimized" Figure 3
+/// baseline. Identical protocol, no back-off.
+#[derive(Debug, Default)]
+pub struct TicketLockNoBackoff {
+    inner: TicketLock,
+}
+
+impl TicketLockNoBackoff {
+    /// Creates a new, unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            inner: TicketLock::new(),
+        }
+    }
+}
+
+impl RawLock for TicketLockNoBackoff {
+    type Token = u64;
+
+    const NAME: &'static str = "TICKET-NOBO";
+
+    fn lock(&self) -> Self::Token {
+        let ticket = self.inner.next.fetch_add(1, Ordering::Relaxed);
+        self.inner.wait_for_turn(ticket, None);
+        ticket
+    }
+
+    fn try_lock(&self) -> Option<Self::Token> {
+        self.inner.try_lock()
+    }
+
+    fn unlock(&self, token: Self::Token) {
+        self.inner.unlock(token);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.inner.is_locked()
+    }
+}
+
+impl crate::cohort::CohortLocal for TicketLock {
+    fn has_waiters(&self, token: &Self::Token) -> bool {
+        // We hold ticket `token`; anything past `token + 1` is a waiter.
+        self.next.load(Ordering::Relaxed) > token + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::CohortLocal;
+    use crate::raw::test_support;
+    use std::sync::Arc;
+
+    #[test]
+    fn protocol() {
+        test_support::protocol_smoke(&TicketLock::new());
+        test_support::protocol_smoke(&TicketLockNoBackoff::new());
+    }
+
+    #[test]
+    fn has_waiters_tracks_queue() {
+        let lock = TicketLock::new();
+        let t = lock.lock();
+        assert!(!lock.has_waiters(&t));
+        lock.next.fetch_add(1, Ordering::Relaxed); // fake waiter
+        assert!(lock.has_waiters(&t));
+        lock.next.fetch_sub(1, Ordering::Relaxed);
+        lock.unlock(t);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_threads() {
+        test_support::counter_torture(Arc::new(TicketLock::new()), 4, 3_000);
+        test_support::counter_torture(Arc::new(TicketLockNoBackoff::new()), 4, 2_000);
+    }
+
+    #[test]
+    fn tickets_are_fifo() {
+        let lock = TicketLock::new();
+        let a = lock.lock();
+        assert_eq!(a, 0);
+        lock.unlock(a);
+        let b = lock.lock();
+        assert_eq!(b, 1);
+        lock.unlock(b);
+    }
+
+    #[test]
+    fn queue_length_counts_waiters() {
+        let lock = TicketLock::new();
+        let t = lock.lock();
+        assert_eq!(lock.queue_length(), 0);
+        // Simulate a waiter by taking a ticket directly.
+        lock.next.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(lock.queue_length(), 1);
+        // Undo the fake waiter before unlocking so the state stays sane.
+        lock.next.fetch_sub(1, Ordering::Relaxed);
+        lock.unlock(t);
+    }
+
+    #[test]
+    fn try_lock_does_not_block_queue() {
+        let lock = TicketLock::new();
+        let t = lock.lock();
+        for _ in 0..10 {
+            assert!(lock.try_lock().is_none());
+        }
+        lock.unlock(t);
+        // The failed try_locks must not have consumed tickets.
+        let t2 = lock.lock();
+        lock.unlock(t2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Test-and-test-and-set lock with exponential back-off.
+//!
+//! TTAS spins with plain *loads* on a locally cached copy of the flag and
+//! only attempts the atomic swap once it observes the lock free, so the
+//! waiting cores share the line in S state instead of ping-ponging it in
+//! M state. Combined with exponential back-off after failed swaps
+//! (Anderson \[4\], Herlihy & Shavit \[20\]), this removes most of the
+//! coherence storm of plain TAS while keeping its single-word footprint.
+
+use core::hint;
+use core::sync::atomic::{AtomicBool, Ordering};
+
+use ssync_core::Backoff;
+
+use crate::raw::RawLock;
+
+/// Test-and-test-and-set lock with exponential back-off.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_locks::{RawLock, TtasLock};
+///
+/// let lock = TtasLock::default();
+/// let t = lock.lock();
+/// lock.unlock(t);
+/// assert!(!lock.is_locked());
+/// ```
+#[derive(Debug, Default)]
+pub struct TtasLock {
+    flag: AtomicBool,
+}
+
+impl TtasLock {
+    /// Creates a new, unlocked TTAS lock.
+    pub const fn new() -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+        }
+    }
+}
+
+impl RawLock for TtasLock {
+    type Token = ();
+
+    const NAME: &'static str = "TTAS";
+
+    fn lock(&self) -> Self::Token {
+        let mut backoff = Backoff::new();
+        loop {
+            // Read-only spin phase: wait until the line says "free".
+            while self.flag.load(Ordering::Relaxed) {
+                hint::spin_loop();
+            }
+            // Atomic phase: a single swap attempt.
+            if !self.flag.swap(true, Ordering::Acquire) {
+                return;
+            }
+            // Lost the race: back off exponentially before re-reading.
+            backoff.spin();
+        }
+    }
+
+    fn try_lock(&self) -> Option<Self::Token> {
+        if !self.flag.load(Ordering::Relaxed) && !self.flag.swap(true, Ordering::Acquire) {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn unlock(&self, _token: Self::Token) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::test_support;
+    use std::sync::Arc;
+
+    #[test]
+    fn protocol() {
+        test_support::protocol_smoke(&TtasLock::new());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_threads() {
+        test_support::counter_torture(Arc::new(TtasLock::new()), 4, 3_000);
+    }
+
+    #[test]
+    fn try_lock_fails_fast_when_held() {
+        let lock = TtasLock::new();
+        let t = lock.lock();
+        // try_lock must not spin: it observes the held flag and bails.
+        assert!(lock.try_lock().is_none());
+        lock.unlock(t);
+    }
+}

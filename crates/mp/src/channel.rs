@@ -1,0 +1,181 @@
+//! The one-directional cache-line channel.
+//!
+//! Layout follows `libssmp`: one cache line holds a flag word plus the
+//! payload, so a message transfer is (at the coherence level) one line
+//! moving from the sender's cache to the receiver's. The flag encodes
+//! empty (0) / full (1); the sender busy-waits for empty, the receiver
+//! for full — single-producer single-consumer by construction, enforced
+//! in the API by non-cloneable [`Sender`]/[`Receiver`] halves.
+
+use core::cell::UnsafeCell;
+use core::hint;
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ssync_core::CachePadded;
+
+/// Payload words per message: 7 × 8 bytes + the 8-byte flag fill one
+/// 64-byte cache line.
+pub const MSG_WORDS: usize = 7;
+
+/// A message: seven 64-bit words (56 bytes of payload).
+pub type Message = [u64; MSG_WORDS];
+
+struct Buffer {
+    /// 0 = empty, 1 = full. Also the publication point for `data`.
+    flag: AtomicU64,
+    data: UnsafeCell<Message>,
+}
+
+// SAFETY: `data` is written only by the unique `Sender` while `flag == 0`
+// and read only by the unique `Receiver` while `flag == 1`; the flag's
+// release/acquire pair orders the accesses, so no data race is possible.
+unsafe impl Sync for Buffer {}
+
+/// Sending half: exactly one per channel.
+pub struct Sender {
+    buf: Arc<CachePadded<Buffer>>,
+}
+
+/// Receiving half: exactly one per channel.
+pub struct Receiver {
+    buf: Arc<CachePadded<Buffer>>,
+}
+
+/// Creates a one-directional channel.
+pub fn channel() -> (Sender, Receiver) {
+    let buf = Arc::new(CachePadded::new(Buffer {
+        flag: AtomicU64::new(0),
+        data: UnsafeCell::new([0; MSG_WORDS]),
+    }));
+    (
+        Sender {
+            buf: Arc::clone(&buf),
+        },
+        Receiver { buf },
+    )
+}
+
+impl Sender {
+    /// Sends a message, spinning until the buffer drains.
+    pub fn send(&self, msg: Message) {
+        while self.buf.flag.load(Ordering::Acquire) != 0 {
+            hint::spin_loop();
+        }
+        // SAFETY: the buffer is empty (flag 0) and we are the unique
+        // sender, so no one else accesses `data` until we publish.
+        unsafe { *self.buf.data.get() = msg };
+        self.buf.flag.store(1, Ordering::Release);
+    }
+
+    /// Attempts to send without blocking; returns the message back if
+    /// the buffer is still full.
+    pub fn try_send(&self, msg: Message) -> Result<(), Message> {
+        if self.buf.flag.load(Ordering::Acquire) != 0 {
+            return Err(msg);
+        }
+        // SAFETY: as in `send`.
+        unsafe { *self.buf.data.get() = msg };
+        self.buf.flag.store(1, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl Receiver {
+    /// Receives the next message, spinning until one arrives.
+    pub fn recv(&self) -> Message {
+        loop {
+            match self.try_recv() {
+                Some(m) => return m,
+                None => hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Attempts to receive without blocking.
+    pub fn try_recv(&self) -> Option<Message> {
+        if self.buf.flag.load(Ordering::Acquire) != 1 {
+            return None;
+        }
+        // SAFETY: the buffer is full (flag 1) and we are the unique
+        // receiver; the sender will not touch `data` until we drain.
+        let msg = unsafe { *self.buf.data.get() };
+        self.buf.flag.store(0, Ordering::Release);
+        Some(msg)
+    }
+
+    /// True if a message is waiting (advisory).
+    pub fn has_message(&self) -> bool {
+        self.buf.flag.load(Ordering::Relaxed) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel();
+        tx.send([1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(rx.recv(), [1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn try_send_on_full_fails() {
+        let (tx, rx) = channel();
+        tx.send([9; 7]);
+        assert_eq!(tx.try_send([1; 7]), Err([1; 7]));
+        assert_eq!(rx.recv(), [9; 7]);
+        assert_eq!(tx.try_send([1; 7]), Ok(()));
+    }
+
+    #[test]
+    fn try_recv_on_empty_fails() {
+        let (_tx, rx) = channel();
+        assert!(rx.try_recv().is_none());
+        assert!(!rx.has_message());
+    }
+
+    #[test]
+    fn messages_are_fifo_across_threads() {
+        let (tx, rx) = channel();
+        const N: u64 = 600;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.send([i, i + 1, 0, 0, 0, 0, 0]);
+                    if i % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            for i in 0..N {
+                let m = rx.recv();
+                assert_eq!(m[0], i);
+                assert_eq!(m[1], i + 1);
+                if i % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ping_pong_two_channels() {
+        let (tx_req, rx_req) = channel();
+        let (tx_rep, rx_rep) = channel();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let m = rx_req.recv();
+                    tx_rep.send([m[0] + 1, 0, 0, 0, 0, 0, 0]);
+                }
+            });
+            for i in 0..200 {
+                tx_req.send([i, 0, 0, 0, 0, 0, 0]);
+                assert_eq!(rx_rep.recv()[0], i + 1);
+            }
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! Client/server helpers: receive from any client or from a subset.
+//!
+//! `libssmp` provides server-side functions for receiving from any other
+//! thread or from a chosen subset; [`ServerHub`] is the equivalent: it
+//! owns one receive channel per client and scans them round-robin
+//! (starting after the last served client, so no client starves).
+
+use crate::channel::{Message, Receiver};
+
+/// Server-side receive multiplexer.
+pub struct ServerHub {
+    clients: Vec<Receiver>,
+    next: usize,
+}
+
+impl ServerHub {
+    /// Builds a hub over one receiver per client; client ids are the
+    /// indices into this vector.
+    pub fn new(clients: Vec<Receiver>) -> Self {
+        Self { clients, next: 0 }
+    }
+
+    /// Number of connected clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// True if the hub has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Receives the next message from any client, spinning until one
+    /// arrives. Returns `(client_id, message)`.
+    pub fn recv_from_any(&mut self) -> (usize, Message) {
+        loop {
+            if let Some(hit) = self.poll_once(None) {
+                return hit;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Non-blocking variant of [`ServerHub::recv_from_any`].
+    pub fn try_recv_from_any(&mut self) -> Option<(usize, Message)> {
+        self.poll_once(None)
+    }
+
+    /// Receives the next message from a client in `subset` (ids), as
+    /// `libssmp`'s receive-from-subset. Spins until one arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` contains an out-of-range client id.
+    pub fn recv_from_subset(&mut self, subset: &[usize]) -> (usize, Message) {
+        assert!(subset.iter().all(|&c| c < self.clients.len()));
+        loop {
+            if let Some(hit) = self.poll_once(Some(subset)) {
+                return hit;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    fn poll_once(&mut self, subset: Option<&[usize]>) -> Option<(usize, Message)> {
+        let n = self.clients.len();
+        for k in 0..n {
+            let c = (self.next + k) % n;
+            if let Some(filter) = subset {
+                if !filter.contains(&c) {
+                    continue;
+                }
+            }
+            if let Some(msg) = self.clients[c].try_recv() {
+                self.next = (c + 1) % n;
+                return Some((c, msg));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel;
+
+    #[test]
+    fn recv_from_any_round_robins() {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..3 {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut hub = ServerHub::new(receivers);
+        senders[0].send([0; 7]);
+        senders[1].send([1; 7]);
+        senders[2].send([2; 7]);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let (c, m) = hub.recv_from_any();
+            assert_eq!(m[0] as usize, c);
+            seen.push(c);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_recv_empty_returns_none() {
+        let (_tx, rx) = channel();
+        let mut hub = ServerHub::new(vec![rx]);
+        assert!(hub.try_recv_from_any().is_none());
+    }
+
+    #[test]
+    fn subset_filters_clients() {
+        let (tx0, rx0) = channel();
+        let (tx1, rx1) = channel();
+        let mut hub = ServerHub::new(vec![rx0, rx1]);
+        tx0.send([10; 7]);
+        tx1.send([11; 7]);
+        let (c, m) = hub.recv_from_subset(&[1]);
+        assert_eq!(c, 1);
+        assert_eq!(m[0], 11);
+        // Client 0's message is still queued.
+        let (c, m) = hub.recv_from_any();
+        assert_eq!(c, 0);
+        assert_eq!(m[0], 10);
+    }
+
+    #[test]
+    fn threaded_clients_all_served() {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..4 {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut hub = ServerHub::new(receivers);
+        std::thread::scope(|s| {
+            for (i, tx) in senders.into_iter().enumerate() {
+                s.spawn(move || {
+                    for j in 0..200u64 {
+                        tx.send([i as u64, j, 0, 0, 0, 0, 0]);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            let mut counts = [0u64; 4];
+            for _ in 0..800 {
+                let (c, m) = hub.recv_from_any();
+                assert_eq!(m[1], counts[c]);
+                counts[c] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 200));
+        });
+    }
+}

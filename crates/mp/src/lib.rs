@@ -1,0 +1,30 @@
+//! # ssync-mp
+//!
+//! A native Rust port of `libssmp`, the paper's message-passing library
+//! built **over cache coherence**: a channel is a single cache-line-sized
+//! buffer with a flag word, written by exactly one sender and drained by
+//! exactly one receiver, so every message moves between cores with
+//! single-cache-line transfers (Section 4.1).
+//!
+//! * [`channel`] — the one-directional SPSC cache-line channel.
+//! * [`hub`] — client/server helpers: receive from any client or from a
+//!   subset, as `libssmp` provides for server loops.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssync_mp::channel::channel;
+//!
+//! let (tx, rx) = channel();
+//! std::thread::scope(|s| {
+//!     s.spawn(move || tx.send([1, 2, 3, 4, 5, 6, 7]));
+//!     let msg = rx.recv();
+//!     assert_eq!(msg[0], 1);
+//! });
+//! ```
+
+pub mod channel;
+pub mod hub;
+
+pub use channel::{channel, Message, Receiver, Sender, MSG_WORDS};
+pub use hub::ServerHub;

@@ -1,0 +1,732 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns the memory system, the latency model, and a set of
+//! simulated threads. Threads are [`Program`] state machines; the engine
+//! repeatedly pops the earliest-ready thread from an event queue, asks it
+//! for its next [`Action`], charges the action's cost, applies its
+//! semantics (value change + coherence transition for memory operations),
+//! and re-schedules the thread at the completion time.
+//!
+//! Conflicting operations on one cache line serialize through the line's
+//! `busy_until` timestamp — the simulator's stand-in for the directory /
+//! bus arbitration that makes contended synchronization collapse on the
+//! paper's multi-sockets.
+//!
+//! The engine is single-threaded and fully deterministic: ties in the
+//! event queue break by insertion order, and all randomness comes from
+//! per-thread `SmallRng`s seeded from the `Sim` seed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ssync_core::topology::{Platform, Topology};
+
+use crate::latency::LatencyModel;
+use crate::memory::{CohState, LineId, Memory};
+use crate::program::{Action, Env, MemOpKind, Program};
+use crate::protocol;
+use crate::stats::SimStats;
+
+/// Hardware-message inbox capacity per thread: the engine models the
+/// Tilera iMesh's bounded user-level queues, so senders stall when a
+/// receiver falls behind (the backpressure that bounds Figure 10's
+/// one-way throughput at the server's drain rate).
+const HW_INBOX_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    /// Scheduled in the event queue.
+    Ready,
+    /// Waiting for a hardware message.
+    RecvWait,
+    /// Stalled sending a hardware message to a full inbox.
+    SendWait,
+    /// Suspended by [`Action::Park`].
+    Parked,
+    /// Finished ([`Action::Done`]).
+    Done,
+}
+
+struct Thread {
+    program: Box<dyn Program>,
+    core: usize,
+    state: ThreadState,
+    /// Result to hand to the next `step` call.
+    pending: Option<u64>,
+    /// Unpark permit (see [`Action::Park`]).
+    permit: bool,
+    /// Hardware message inbox: (available-at, payload).
+    inbox: VecDeque<(u64, u64)>,
+    /// Senders stalled on this thread's full inbox: (sender tid, payload).
+    send_waiters: VecDeque<(usize, u64)>,
+    /// Application-level operations completed (see [`Env::complete_op`]).
+    ops: u64,
+    /// Latency samples recorded by the program.
+    samples: Vec<u64>,
+    rng: SmallRng,
+}
+
+/// A simulation of one platform.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Sim {
+    topo: Topology,
+    model: LatencyModel,
+    mem: Memory,
+    threads: Vec<Thread>,
+    /// Min-heap of (ready time, sequence, thread id).
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+    now: u64,
+    seed: u64,
+    /// Number of spawned threads per physical core (Niagara hardware
+    /// threads share their core's pipeline; `Pause` scales by this).
+    core_load: Vec<u32>,
+    events: u64,
+    stats: SimStats,
+}
+
+impl Sim {
+    /// Creates a simulation of `platform` with a deterministic seed.
+    pub fn new(platform: Platform, seed: u64) -> Self {
+        let topo = platform.topology();
+        let phys_cores = topo.num_cores();
+        Self {
+            model: LatencyModel::new(platform),
+            mem: Memory::new(),
+            threads: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            seed,
+            core_load: vec![0; phys_cores],
+            events: 0,
+            stats: SimStats::default(),
+            topo,
+        }
+    }
+
+    /// The simulated platform's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The latency model in force.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// The memory system (read access; use [`Sim::memory_mut`] to stage
+    /// experiment-specific line states).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access for experiment setup.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total events processed (diagnostics).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Coherence-traffic counters accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Allocates a line homed at an explicit node/tile.
+    pub fn alloc_line(&mut self, home: usize) -> LineId {
+        self.mem.alloc(home)
+    }
+
+    /// Allocates a line homed local to `core`: on the core's memory node
+    /// (die) on the multi-sockets, node 0 on the Niagara, and the core's
+    /// own tile on the Tilera (whose "home" is an L2 slice, not a memory
+    /// controller).
+    pub fn alloc_line_for_core(&mut self, core: usize) -> LineId {
+        let home = match self.topo.platform() {
+            Platform::Tilera => core,
+            _ => self.topo.mem_node_of(core),
+        };
+        self.mem.alloc(home)
+    }
+
+    /// Spawns a thread on `core`; returns its thread id. The thread's
+    /// first step runs at the current simulated time.
+    pub fn spawn_on_core(&mut self, core: usize, program: Box<dyn Program>) -> usize {
+        assert!(core < self.topo.num_cores(), "core {core} out of range");
+        let tid = self.threads.len();
+        let phys = self.topo.physical_core_of(core);
+        self.core_load[phys] += 1;
+        self.threads.push(Thread {
+            program,
+            core,
+            state: ThreadState::Ready,
+            pending: None,
+            permit: false,
+            inbox: VecDeque::new(),
+            send_waiters: VecDeque::new(),
+            ops: 0,
+            samples: Vec::new(),
+            rng: SmallRng::seed_from_u64(self.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        });
+        self.schedule(self.now, tid);
+        tid
+    }
+
+    /// Operations completed by thread `tid` (see [`Env::complete_op`]).
+    pub fn ops(&self, tid: usize) -> u64 {
+        self.threads[tid].ops
+    }
+
+    /// Sum of completed operations over all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(|t| t.ops).sum()
+    }
+
+    /// Latency samples recorded by thread `tid`.
+    pub fn samples(&self, tid: usize) -> &[u64] {
+        &self.threads[tid].samples
+    }
+
+    /// Runs until the event queue is empty (all threads `Done`, parked
+    /// forever, or waiting for messages that never come).
+    pub fn run_to_completion(&mut self) {
+        self.run_until(u64::MAX);
+    }
+
+    /// Processes all events scheduled at or before `limit`. Threads whose
+    /// next event lies beyond `limit` stay queued; `now` advances to the
+    /// last processed event (at most `limit`).
+    pub fn run_until(&mut self, limit: u64) {
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t > limit {
+                break;
+            }
+            let Reverse((t, _, tid)) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.events += 1;
+            self.step_thread(tid);
+        }
+    }
+
+    fn schedule(&mut self, at: u64, tid: usize) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, tid)));
+    }
+
+    fn step_thread(&mut self, tid: usize) {
+        debug_assert_eq!(self.threads[tid].state, ThreadState::Ready);
+        let now = self.now;
+        // Split-borrow dance: take what the Env needs out of the thread.
+        let thread = &mut self.threads[tid];
+        let result = thread.pending.take();
+        let core = thread.core;
+        let mut env = Env {
+            now,
+            tid,
+            core,
+            rng: &mut thread.rng,
+            ops: &mut thread.ops,
+            samples: &mut thread.samples,
+        };
+        let action = thread.program.step(result, &mut env);
+        match action {
+            Action::Load(line) => self.mem_op(tid, line, MemOpKind::Load, None, None),
+            Action::Store(line, v) => self.mem_op(tid, line, MemOpKind::Store, Some(v), None),
+            Action::Cas(line, expected, new) => {
+                self.mem_op(tid, line, MemOpKind::Cas, Some(new), Some(expected))
+            }
+            Action::Fai(line) => self.mem_op(tid, line, MemOpKind::Fai, None, None),
+            Action::Tas(line) => self.mem_op(tid, line, MemOpKind::Tas, None, None),
+            Action::Swap(line, v) => self.mem_op(tid, line, MemOpKind::Swap, Some(v), None),
+            Action::Prefetchw(line) => self.mem_op(tid, line, MemOpKind::Prefetchw, None, None),
+            Action::Flush(line) => self.mem_op(tid, line, MemOpKind::Flush, None, None),
+            Action::Pause(cycles) => {
+                let factor = u64::from(self.pipeline_factor(core));
+                self.schedule(now + cycles.max(1) * factor, tid);
+            }
+            Action::Park => {
+                let thread = &mut self.threads[tid];
+                if thread.permit {
+                    // A wake arrived before the park: consume it.
+                    thread.permit = false;
+                    self.schedule(now + 1, tid);
+                } else {
+                    thread.state = ThreadState::Parked;
+                    // The suspend cost is paid on the way down; it delays
+                    // the earliest possible wake-up, which we implement by
+                    // treating `now + park_cost` as the park point. A
+                    // wake that arrives in that window is honoured after
+                    // it (handled in `Action::Unpark` via max()).
+                }
+            }
+            Action::Unpark(target) => {
+                let wake_at = now + self.model.unpark_cost() + self.model.wake_latency();
+                if target < self.threads.len()
+                    && self.threads[target].state == ThreadState::Parked
+                {
+                    self.threads[target].state = ThreadState::Ready;
+                    self.threads[target].pending = None;
+                    let park_floor = now + self.model.park_cost();
+                    self.schedule(wake_at.max(park_floor), target);
+                } else if target < self.threads.len() {
+                    self.threads[target].permit = true;
+                }
+                self.schedule(now + self.model.unpark_cost(), tid);
+            }
+            Action::HwSend { to, payload } => {
+                if to < self.threads.len()
+                    && self.threads[to].inbox.len() >= HW_INBOX_CAPACITY
+                {
+                    // Backpressure: stall until the receiver drains.
+                    self.threads[to].send_waiters.push_back((tid, payload));
+                    self.threads[tid].state = ThreadState::SendWait;
+                } else {
+                    let hops = self.hw_hops(core, to);
+                    let avail = now + self.model.hw_send_cost() + self.model.hw_flight(hops);
+                    if to < self.threads.len() {
+                        self.threads[to].inbox.push_back((avail, payload));
+                        if self.threads[to].state == ThreadState::RecvWait {
+                            self.deliver_message(to);
+                        }
+                    }
+                    self.schedule(now + self.model.hw_send_cost(), tid);
+                }
+            }
+            Action::HwRecv => {
+                if self.threads[tid].inbox.is_empty() {
+                    self.threads[tid].state = ThreadState::RecvWait;
+                } else {
+                    self.deliver_message(tid);
+                }
+            }
+            Action::Done => {
+                self.threads[tid].state = ThreadState::Done;
+            }
+        }
+    }
+
+    /// Pops the receiver's next message and schedules it to resume; a
+    /// stalled sender (backpressure) is admitted into the freed slot.
+    fn deliver_message(&mut self, tid: usize) {
+        let now = self.now;
+        let recv_cost = self.model.hw_recv_cost();
+        let thread = &mut self.threads[tid];
+        let (avail, payload) = thread.inbox.pop_front().expect("inbox non-empty");
+        thread.state = ThreadState::Ready;
+        thread.pending = Some(payload);
+        let resume = avail.max(now) + recv_cost;
+        self.schedule(resume, tid);
+        if let Some((sender, queued_payload)) = self.threads[tid].send_waiters.pop_front() {
+            let hops = self.hw_hops(self.threads[sender].core, tid);
+            let at = now + self.model.hw_send_cost() + self.model.hw_flight(hops);
+            self.threads[tid].inbox.push_back((at, queued_payload));
+            self.threads[sender].state = ThreadState::Ready;
+            self.threads[sender].pending = None;
+            self.schedule(now + self.model.hw_send_cost(), sender);
+        }
+    }
+
+    /// Mesh hops for hardware messages between two *threads*' cores
+    /// (Tilera's iMesh; other platforms treat hardware channels as
+    /// distance-free, which only the Tilera experiments use anyway).
+    fn hw_hops(&self, from_core: usize, to_tid: usize) -> u8 {
+        if to_tid >= self.threads.len() {
+            return 0;
+        }
+        let to_core = self.threads[to_tid].core;
+        match self.topo.platform() {
+            Platform::Tilera => self.topo.mesh_hops(from_core, to_core),
+            _ => 0,
+        }
+    }
+
+    /// Pipeline sharing factor: how many threads were spawned on this
+    /// physical core (Niagara's 8 hardware threads share one pipeline,
+    /// so local computation slows proportionally).
+    fn pipeline_factor(&self, core: usize) -> u32 {
+        self.core_load[self.topo.physical_core_of(core)].max(1)
+    }
+
+    fn mem_op(
+        &mut self,
+        tid: usize,
+        line_id: LineId,
+        op: MemOpKind,
+        operand: Option<u64>,
+        expected: Option<u64>,
+    ) {
+        let now = self.now;
+        let core = self.threads[tid].core;
+        let platform = self.topo.platform();
+        let cost = {
+            let line = self.mem.line(line_id);
+            self.model.cost(&self.topo, line, core, op)
+        };
+        // Traffic accounting (before the transition mutates the line).
+        {
+            let line = self.mem.line(line_id);
+            if !cost.uses_line {
+                self.stats.local_hits += 1;
+            } else if let Some(owner) = line.owner.filter(|&o| o != core) {
+                // The line moves out of another core's cache.
+                self.stats.transfers += 1;
+                if self.topo.die_of(owner) != self.topo.die_of(core) {
+                    self.stats.cross_socket_transfers += 1;
+                }
+            } else {
+                self.stats.llc_serves += 1;
+            }
+            if op.is_write_class() && line.state != CohState::Invalid {
+                // Copies destroyed by this write: every sharer plus a
+                // remote owner's copy.
+                let copies = u64::from(line.sharers.count())
+                    + u64::from(line.owner.is_some_and(|o| o != core));
+                if copies > 0 {
+                    self.stats.invalidations += 1;
+                    self.stats.copies_invalidated += copies;
+                }
+            }
+        }
+        // A core performing an atomic on a line it already owns wins the
+        // arbitration against in-flight remote requests: its retry hits
+        // the local cache while remote RFOs are still travelling. This is
+        // what keeps CAS-retry loops (CAS-based FAI) from degrading as
+        // 1/N on the single-sockets (Figure 4) — and why the paper's
+        // stress tests pause after success to prevent "long runs".
+        let local_atomic = matches!(
+            op,
+            MemOpKind::Cas | MemOpKind::Fai | MemOpKind::Tas | MemOpKind::Swap
+        ) && self.mem.line(line_id).owner == Some(core);
+        let line = self.mem.line_mut(line_id);
+        let start = if cost.uses_line && !local_atomic {
+            now.max(line.busy_until)
+        } else {
+            now
+        };
+        if cost.uses_line {
+            line.busy_until = line.busy_until.max(start + cost.occupancy);
+        }
+        // Value semantics: applied at processing time. Per-line order is
+        // consistent because conflicting (write-class) operations
+        // serialize via busy_until, and the engine processes events in
+        // global time order.
+        let old = line.value;
+        let result = match op {
+            MemOpKind::Load => Some(old),
+            MemOpKind::Store => {
+                line.value = operand.expect("store operand");
+                None
+            }
+            MemOpKind::Cas => {
+                if old == expected.expect("cas expected") {
+                    line.value = operand.expect("cas new value");
+                }
+                Some(old)
+            }
+            MemOpKind::Fai => {
+                line.value = old.wrapping_add(1);
+                Some(old)
+            }
+            MemOpKind::Tas => {
+                line.value = 1;
+                Some(old)
+            }
+            MemOpKind::Swap => {
+                line.value = operand.expect("swap operand");
+                Some(old)
+            }
+            MemOpKind::Prefetchw | MemOpKind::Flush => None,
+        };
+        protocol::apply(platform, line, core, op);
+        self.threads[tid].pending = result;
+        self.schedule(start + cost.latency, tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::fn_program;
+
+    /// A program that performs a fixed list of actions, ignoring results.
+    fn scripted(actions: Vec<Action>) -> Box<dyn Program> {
+        let mut iter = actions.into_iter();
+        fn_program(move |_r, _env| iter.next().unwrap_or(Action::Done))
+    }
+
+    #[test]
+    fn fai_counts_atomically() {
+        let mut sim = Sim::new(Platform::Niagara, 1);
+        let line = sim.alloc_line_for_core(0);
+        for i in 0..4 {
+            sim.spawn_on_core(i * 8, scripted(vec![Action::Fai(line); 25]));
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.memory().line(line).value, 100);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut sim = Sim::new(Platform::Xeon, 1);
+        let line = sim.alloc_line(0);
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let r2 = results.clone();
+        let mut step = 0;
+        sim.spawn_on_core(
+            0,
+            fn_program(move |r, _env| {
+                if let Some(v) = r {
+                    r2.borrow_mut().push(v);
+                }
+                step += 1;
+                match step {
+                    1 => Action::Cas(line, 0, 7), // succeeds: 0 -> 7
+                    2 => Action::Cas(line, 0, 9), // fails: value is 7
+                    _ => Action::Done,
+                }
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(*results.borrow(), vec![0, 7]);
+        assert_eq!(sim.memory().line(line).value, 7);
+    }
+
+    #[test]
+    fn contended_writes_serialize() {
+        // Two cores hammering one line: total time must be at least the
+        // sum of occupancies, not the max.
+        let mut sim = Sim::new(Platform::Xeon, 1);
+        let line = sim.alloc_line(0);
+        let n = 50;
+        sim.spawn_on_core(0, scripted(vec![Action::Fai(line); n]));
+        sim.spawn_on_core(1, scripted(vec![Action::Fai(line); n]));
+        sim.run_to_completion();
+        // Each contended atomic costs >= 20 cycles of occupancy.
+        assert!(sim.now() >= (2 * n as u64 - 2) * 20);
+        assert_eq!(sim.memory().line(line).value, 2 * n as u64);
+    }
+
+    #[test]
+    fn local_spinning_does_not_serialize() {
+        // A spinner load-hitting its own cached copy advances only its
+        // own clock; 1000 cheap loads cost 1000 * L1 latency.
+        let mut sim = Sim::new(Platform::Xeon, 1);
+        let line = sim.alloc_line(0);
+        let mut first = true;
+        sim.spawn_on_core(
+            0,
+            fn_program(move |_r, _env| {
+                if first {
+                    first = false;
+                }
+                Action::Load(line)
+            }),
+        );
+        sim.run_until(5_000);
+        // First load is a miss; the rest are L1 hits at 5 cycles each.
+        assert!(sim.events() > 900, "events: {}", sim.events());
+    }
+
+    #[test]
+    fn pause_scales_with_niagara_core_sharing() {
+        let mut sim = Sim::new(Platform::Niagara, 1);
+        // Two hardware threads on physical core 0.
+        let t0 = sim.spawn_on_core(0, scripted(vec![Action::Pause(100), Action::Done]));
+        let _t1 = sim.spawn_on_core(1, scripted(vec![Action::Pause(100), Action::Done]));
+        sim.run_to_completion();
+        let _ = t0;
+        // Each pause takes 200 cycles (factor 2).
+        assert_eq!(sim.now(), 200);
+    }
+
+    #[test]
+    fn park_unpark_roundtrip() {
+        let mut sim = Sim::new(Platform::Opteron, 1);
+        let line = sim.alloc_line(0);
+        // Thread 0 parks; thread 1 stores then unparks it; thread 0 then
+        // stores a flag to prove it resumed.
+        let mut s0 = 0;
+        sim.spawn_on_core(
+            0,
+            fn_program(move |_r, _env| {
+                s0 += 1;
+                match s0 {
+                    1 => Action::Park,
+                    2 => Action::Store(line, 42),
+                    _ => Action::Done,
+                }
+            }),
+        );
+        let mut s1 = 0;
+        sim.spawn_on_core(
+            6,
+            fn_program(move |_r, _env| {
+                s1 += 1;
+                match s1 {
+                    1 => Action::Pause(10_000),
+                    2 => Action::Unpark(0),
+                    _ => Action::Done,
+                }
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.memory().line(line).value, 42);
+        // The parked thread resumed only after the unpark + wake latency.
+        assert!(sim.now() >= 10_000 + 2_500);
+    }
+
+    #[test]
+    fn unpark_before_park_grants_permit() {
+        let mut sim = Sim::new(Platform::Opteron, 1);
+        let line = sim.alloc_line(0);
+        let mut s0 = 0;
+        sim.spawn_on_core(
+            0,
+            fn_program(move |_r, _env| {
+                s0 += 1;
+                match s0 {
+                    1 => Action::Pause(5_000),
+                    2 => Action::Park, // permit already granted: no sleep
+                    3 => Action::Store(line, 7),
+                    _ => Action::Done,
+                }
+            }),
+        );
+        sim.spawn_on_core(6, scripted(vec![Action::Unpark(0), Action::Done]));
+        sim.run_to_completion();
+        assert_eq!(sim.memory().line(line).value, 7);
+        // No 2500-cycle wake latency: the permit made Park immediate.
+        assert!(sim.now() < 8_000, "now: {}", sim.now());
+    }
+
+    #[test]
+    fn hardware_messages_deliver_in_order() {
+        let mut sim = Sim::new(Platform::Tilera, 1);
+        let line = sim.alloc_line(0);
+        let mut s0 = 0;
+        sim.spawn_on_core(
+            0,
+            fn_program(move |_r, _env| {
+                s0 += 1;
+                match s0 {
+                    1 => Action::HwSend { to: 1, payload: 11 },
+                    2 => Action::HwSend { to: 1, payload: 22 },
+                    _ => Action::Done,
+                }
+            }),
+        );
+        let mut got = Vec::new();
+        let mut stored = false;
+        sim.spawn_on_core(
+            35,
+            fn_program(move |r, _env| {
+                if let Some(v) = r {
+                    got.push(v);
+                }
+                match got.len() {
+                    0 | 1 => Action::HwRecv,
+                    _ if !stored => {
+                        stored = true;
+                        Action::Store(line, got[0] * 100 + got[1])
+                    }
+                    _ => Action::Done,
+                }
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.memory().line(line).value, 1122);
+    }
+
+    #[test]
+    fn hw_message_latency_tracks_distance() {
+        // One-way latency corner to corner vs adjacent (Figure 9's axis).
+        for (receiver_core, min_t, max_t) in [(1usize, 50, 75), (35, 55, 85)] {
+            let mut sim = Sim::new(Platform::Tilera, 1);
+            sim.spawn_on_core(
+                0,
+                scripted(vec![Action::HwSend { to: 1, payload: 5 }, Action::Done]),
+            );
+            sim.spawn_on_core(
+                receiver_core,
+                {
+                    let mut done = false;
+                    fn_program(move |r, _env| {
+                        if r.is_some() || done {
+                            return Action::Done;
+                        }
+                        done = true;
+                        Action::HwRecv
+                    })
+                },
+            );
+            sim.run_to_completion();
+            assert!(
+                sim.now() >= min_t && sim.now() <= max_t,
+                "core {receiver_core}: {} not in [{min_t},{max_t}]",
+                sim.now()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = Sim::new(Platform::Opteron, 99);
+            let line = sim.alloc_line(0);
+            for c in 0..8 {
+                sim.spawn_on_core(c * 6, scripted(vec![Action::Fai(line); 20]));
+            }
+            sim.run_to_completion();
+            (sim.now(), sim.memory().line(line).value, sim.events())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = Sim::new(Platform::Xeon, 1);
+        let line = sim.alloc_line(0);
+        sim.spawn_on_core(0, scripted(vec![Action::Fai(line); 1000]));
+        sim.run_until(500);
+        assert!(sim.now() <= 500);
+        let ops_mid = sim.memory().line(line).value;
+        sim.run_to_completion();
+        assert!(sim.memory().line(line).value > ops_mid);
+    }
+
+    #[test]
+    fn complete_op_counts() {
+        let mut sim = Sim::new(Platform::Niagara, 1);
+        let line = sim.alloc_line(0);
+        let tid = sim.spawn_on_core(
+            0,
+            {
+                let mut n = 0;
+                fn_program(move |_r, env| {
+                    n += 1;
+                    if n > 10 {
+                        return Action::Done;
+                    }
+                    env.complete_op();
+                    Action::Fai(line)
+                })
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.ops(tid), 10);
+        assert_eq!(sim.total_ops(), 10);
+    }
+}

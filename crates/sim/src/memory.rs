@@ -1,0 +1,225 @@
+//! The simulated memory system: one record per cache line.
+//!
+//! The simulator tracks, for every allocated line, the *global* picture a
+//! coherence directory would hold: which core owns it (Modified /
+//! Exclusive / Owned), which cores share it, where its home memory node
+//! (or, on the Tilera, home tile) is, plus a 64-bit value — enough for
+//! lock words, flags, tickets and counters — and the `busy_until`
+//! timestamp that serializes conflicting directory transactions.
+
+/// Identifier of a simulated cache line.
+pub type LineId = u64;
+
+/// Global coherence state of a line (MESI, plus MOESI's Owned for the
+/// Opteron). The Xeon's Forward state is a bandwidth optimization of
+/// Shared and is folded into [`CohState::Shared`]; its effect is part of
+/// the "load from shared" latencies the model transcribes from Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CohState {
+    /// No cache holds the line; memory is up to date.
+    Invalid,
+    /// One or more caches hold a clean copy.
+    Shared,
+    /// Exactly one cache holds a clean copy.
+    Exclusive,
+    /// Exactly one cache holds a dirty copy.
+    Modified,
+    /// MOESI: the owner holds a dirty copy *and* other caches hold shared
+    /// copies (Opteron only).
+    Owned,
+}
+
+/// A set of cores (up to 128, enough for the 80-core Xeon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(u128);
+
+impl SharerSet {
+    /// The empty set.
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    /// Adds a core.
+    pub fn add(&mut self, core: usize) {
+        debug_assert!(core < 128);
+        self.0 |= 1 << core;
+    }
+
+    /// Removes a core.
+    pub fn remove(&mut self, core: usize) {
+        self.0 &= !(1 << core);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, core: usize) -> bool {
+        self.0 & (1 << core) != 0
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if no cores are in the set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Removes all cores.
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Iterates over member cores in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..128).filter(move |i| bits & (1 << i) != 0)
+    }
+}
+
+impl FromIterator<usize> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = SharerSet::EMPTY;
+        for c in iter {
+            s.add(c);
+        }
+        s
+    }
+}
+
+/// Directory record of one cache line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Global coherence state.
+    pub state: CohState,
+    /// Core holding the line in M/E/O state (`None` for Invalid/Shared).
+    pub owner: Option<usize>,
+    /// Cores holding a Shared copy (excludes the owner in O state; the
+    /// owner's dirty copy is tracked by `owner`).
+    pub sharers: SharerSet,
+    /// Home memory node (Opteron/Xeon: die; Niagara: 0) or home tile
+    /// (Tilera: the L2 slice that acts as the line's LLC).
+    pub home: usize,
+    /// The 64-bit word the synchronization algorithms operate on.
+    pub value: u64,
+    /// Directory/bus serialization point: a conflicting transaction on
+    /// this line cannot start before this simulated time.
+    pub busy_until: u64,
+}
+
+impl Line {
+    fn new(home: usize) -> Self {
+        Self {
+            state: CohState::Invalid,
+            owner: None,
+            sharers: SharerSet::EMPTY,
+            home,
+            value: 0,
+            busy_until: 0,
+        }
+    }
+
+    /// True if `core` has a valid cached copy (any state).
+    pub fn cached_at(&self, core: usize) -> bool {
+        self.owner == Some(core) || self.sharers.contains(core)
+    }
+}
+
+/// The simulated memory: an arena of cache lines.
+#[derive(Debug, Default)]
+pub struct Memory {
+    lines: Vec<Line>,
+}
+
+impl Memory {
+    /// Creates an empty memory system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh line homed at `home` (a memory node, or a tile on
+    /// the Tilera), starting Invalid with value 0.
+    pub fn alloc(&mut self, home: usize) -> LineId {
+        let id = self.lines.len() as LineId;
+        self.lines.push(Line::new(home));
+        id
+    }
+
+    /// Immutable access to a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Memory::alloc`].
+    pub fn line(&self, id: LineId) -> &Line {
+        &self.lines[id as usize]
+    }
+
+    /// Mutable access to a line (used by the engine and by experiment
+    /// setup code that needs to stage a precise coherence state).
+    pub fn line_mut(&mut self, id: LineId) -> &mut Line {
+        &mut self.lines[id as usize]
+    }
+
+    /// Number of allocated lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if no lines are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::EMPTY;
+        assert!(s.is_empty());
+        s.add(0);
+        s.add(79);
+        assert!(s.contains(0) && s.contains(79) && !s.contains(40));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 79]);
+        s.remove(0);
+        assert_eq!(s.count(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sharer_set_from_iter() {
+        let s: SharerSet = [1, 2, 3].into_iter().collect();
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut m = Memory::new();
+        assert!(m.is_empty());
+        let a = m.alloc(0);
+        let b = m.alloc(3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.line(a).home, 0);
+        assert_eq!(m.line(b).home, 3);
+        assert_eq!(m.line(a).state, CohState::Invalid);
+        m.line_mut(a).value = 7;
+        assert_eq!(m.line(a).value, 7);
+    }
+
+    #[test]
+    fn cached_at_covers_owner_and_sharers() {
+        let mut m = Memory::new();
+        let a = m.alloc(0);
+        {
+            let l = m.line_mut(a);
+            l.state = CohState::Owned;
+            l.owner = Some(3);
+            l.sharers.add(5);
+        }
+        assert!(m.line(a).cached_at(3));
+        assert!(m.line(a).cached_at(5));
+        assert!(!m.line(a).cached_at(4));
+    }
+}

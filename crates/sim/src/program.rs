@@ -1,0 +1,178 @@
+//! The simulated-thread execution interface.
+//!
+//! A simulated thread is a state machine implementing [`Program`]: at
+//! every step it receives the result of its previous action and returns
+//! the next [`Action`]. The engine charges the action's latency, updates
+//! the memory system, and re-schedules the thread at the completion time.
+//! Everything the SSYNC stack does — spinning on a flag, taking a ticket,
+//! enqueuing on an MCS queue, exchanging a message — decomposes into
+//! these actions.
+
+use rand::rngs::SmallRng;
+
+use crate::memory::LineId;
+
+/// The kind of a memory operation, used by the latency model and the
+/// protocol transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOpKind {
+    /// Plain load.
+    Load,
+    /// Plain store.
+    Store,
+    /// Compare-and-swap.
+    Cas,
+    /// Fetch-and-increment.
+    Fai,
+    /// Test-and-set.
+    Tas,
+    /// Atomic swap (exchange).
+    Swap,
+    /// x86 `prefetchw`: acquire the line in Modified state without a
+    /// data operation (the Section 5.3 optimization).
+    Prefetchw,
+    /// Evict the line from all caches, writing back (used to stage the
+    /// "Invalid" rows of Table 2).
+    Flush,
+}
+
+impl MemOpKind {
+    /// True for operations that install the requester as Modified owner.
+    pub fn is_write_class(self) -> bool {
+        !matches!(self, MemOpKind::Load | MemOpKind::Flush)
+    }
+}
+
+/// One step of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Load the line's value; the next step receives it as `result`.
+    Load(LineId),
+    /// Store a value.
+    Store(LineId, u64),
+    /// Compare-and-swap: if the value equals `.1`, replace it with `.2`.
+    /// The next step receives the *old* value (success iff old == `.1`).
+    Cas(LineId, u64, u64),
+    /// Fetch-and-increment; the next step receives the old value.
+    Fai(LineId),
+    /// Test-and-set: set the value to 1; the next step receives the old
+    /// value (0 means the TAS "won").
+    Tas(LineId),
+    /// Swap in a new value; the next step receives the old value.
+    Swap(LineId, u64),
+    /// Prefetch the line in Modified state (no value change).
+    Prefetchw(LineId),
+    /// Evict the line everywhere (write-back); staging only.
+    Flush(LineId),
+    /// Local computation for the given number of cycles (scaled by the
+    /// hardware-thread sharing factor on Niagara).
+    Pause(u64),
+    /// Suspend until another thread issues [`Action::Unpark`] for this
+    /// thread. Like `std::thread::park`, a pending unpark "permit" makes
+    /// `Park` return immediately. Models the futex sleep of a Pthread
+    /// mutex; the engine charges the suspend/wake costs.
+    Park,
+    /// Wake the given thread (by thread id), granting a permit if it is
+    /// not currently parked.
+    Unpark(usize),
+    /// Hardware message passing (Tilera iMesh): enqueue a word for the
+    /// receiving *thread*. Delivery latency depends on mesh distance.
+    HwSend {
+        /// Receiving thread id.
+        to: usize,
+        /// Payload word.
+        payload: u64,
+    },
+    /// Receive the next hardware message; blocks until one is available.
+    /// The next step receives the payload.
+    HwRecv,
+    /// Terminate this thread.
+    Done,
+}
+
+/// Per-step environment handed to [`Program::step`].
+pub struct Env<'a> {
+    /// Current simulated time (cycles).
+    pub now: u64,
+    /// This thread's id (spawn order).
+    pub tid: usize,
+    /// The core this thread runs on.
+    pub core: usize,
+    /// Deterministic per-thread randomness.
+    pub rng: &'a mut SmallRng,
+    pub(crate) ops: &'a mut u64,
+    pub(crate) samples: &'a mut Vec<u64>,
+}
+
+impl Env<'_> {
+    /// Records the completion of one application-level operation (a full
+    /// lock acquire/release, one hash-table lookup, ...). The benchmark
+    /// harnesses compute throughput from these counters.
+    pub fn complete_op(&mut self) {
+        *self.ops += 1;
+    }
+
+    /// Records a latency sample (cycles); used by the latency-oriented
+    /// experiments (Figures 3, 6, 9 and Table 2).
+    pub fn record_sample(&mut self, cycles: u64) {
+        self.samples.push(cycles);
+    }
+}
+
+/// A simulated thread.
+///
+/// `step` is called with the result of the previous action:
+///
+/// * `None` on the first step and after non-value actions
+///   (Store/Prefetchw/Flush/Pause/Park/Unpark/HwSend),
+/// * `Some(value)` after Load/Cas/Fai/Tas/Swap/HwRecv.
+pub trait Program {
+    /// Produces the thread's next action.
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action;
+}
+
+/// A sub-state-machine that runs embedded in a larger program (the sim
+/// lock algorithms expose acquire/release as `SubProgram`s so that
+/// workloads can compose them).
+pub trait SubProgram {
+    /// Produces the next action, or `None` when the sub-program finished.
+    /// `result` carries the previous action's value, as for [`Program`].
+    fn substep(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Option<Action>;
+}
+
+/// Runs a closure-based program: convenient for tests and simple
+/// workloads. The closure is the `step` function.
+pub struct FnProgram<F>(pub F);
+
+impl<F> Program for FnProgram<F>
+where
+    F: FnMut(Option<u64>, &mut Env<'_>) -> Action,
+{
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+        (self.0)(result, env)
+    }
+}
+
+/// Boxes a closure as a [`Program`], pinning down the closure's
+/// higher-ranked signature (plain `Box::new(FnProgram(..))` often fails
+/// inference on the `&mut Env<'_>` lifetime).
+pub fn fn_program<F>(f: F) -> Box<dyn Program>
+where
+    F: FnMut(Option<u64>, &mut Env<'_>) -> Action + 'static,
+{
+    Box::new(FnProgram(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_class_covers_rmw_and_stores() {
+        assert!(MemOpKind::Store.is_write_class());
+        assert!(MemOpKind::Cas.is_write_class());
+        assert!(MemOpKind::Prefetchw.is_write_class());
+        assert!(!MemOpKind::Load.is_write_class());
+        assert!(!MemOpKind::Flush.is_write_class());
+    }
+}

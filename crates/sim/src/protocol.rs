@@ -1,0 +1,221 @@
+//! Coherence state transitions.
+//!
+//! [`apply`] mutates a line's directory record according to the operation
+//! a core performs on it, following the protocol rules of Section 2 and 3
+//! of the paper:
+//!
+//! * All four platforms: loads on Invalid install Exclusive; loads on
+//!   Exclusive/Shared add a sharer; any write-class operation (store,
+//!   atomic, `prefetchw`) invalidates all other copies and installs
+//!   Modified at the writer.
+//! * Opteron (MOESI): a load on a remotely Modified line moves it to
+//!   *Owned* — the owner keeps its dirty copy and the requester receives
+//!   a Shared copy, with no memory write-back.
+//! * Xeon/Niagara/Tilera (MESI-family): a load on a remotely Modified
+//!   line writes back and degrades the line to Shared. (The Xeon's
+//!   Forward state is folded into Shared; see [`crate::memory::CohState`].)
+
+use ssync_core::Platform;
+
+use crate::memory::{CohState, Line, SharerSet};
+use crate::program::MemOpKind;
+
+/// Applies the state transition for `core` performing `op` on `line`.
+///
+/// The 64-bit value semantics (what a CAS/FAI/TAS/SWAP returns and
+/// stores) are handled by the engine; this function only maintains the
+/// coherence metadata.
+pub fn apply(platform: Platform, line: &mut Line, core: usize, op: MemOpKind) {
+    match op {
+        MemOpKind::Load => apply_load(platform, line, core),
+        MemOpKind::Store
+        | MemOpKind::Cas
+        | MemOpKind::Fai
+        | MemOpKind::Tas
+        | MemOpKind::Swap
+        | MemOpKind::Prefetchw => apply_write(line, core),
+        MemOpKind::Flush => {
+            line.state = CohState::Invalid;
+            line.owner = None;
+            line.sharers.clear();
+        }
+    }
+}
+
+fn apply_load(platform: Platform, line: &mut Line, core: usize) {
+    match line.state {
+        CohState::Invalid => {
+            line.state = CohState::Exclusive;
+            line.owner = Some(core);
+            line.sharers = SharerSet::EMPTY;
+        }
+        CohState::Exclusive => {
+            if line.owner != Some(core) {
+                // Second reader: both become sharers.
+                let owner = line.owner.expect("E line has an owner");
+                line.state = CohState::Shared;
+                line.sharers.add(owner);
+                line.sharers.add(core);
+                line.owner = None;
+            }
+        }
+        CohState::Modified => {
+            if line.owner != Some(core) {
+                let owner = line.owner.expect("M line has an owner");
+                if matches!(platform, Platform::Opteron | Platform::Opteron2) {
+                    // MOESI: the dirty copy stays with the owner (now O);
+                    // the requester gets a shared copy.
+                    line.state = CohState::Owned;
+                    line.sharers.add(core);
+                } else {
+                    // MESI: write back, both become sharers.
+                    line.state = CohState::Shared;
+                    line.sharers.add(owner);
+                    line.sharers.add(core);
+                    line.owner = None;
+                }
+            }
+        }
+        CohState::Owned => {
+            if line.owner != Some(core) {
+                line.sharers.add(core);
+            }
+        }
+        CohState::Shared => {
+            line.sharers.add(core);
+        }
+    }
+}
+
+fn apply_write(line: &mut Line, core: usize) {
+    // Any write-class operation ends with the writer holding the only
+    // valid copy in Modified state (request-for-ownership + invalidation
+    // of every other copy).
+    line.state = CohState::Modified;
+    line.owner = Some(core);
+    line.sharers.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Memory;
+
+    fn fresh() -> (Memory, crate::memory::LineId) {
+        let mut m = Memory::new();
+        let id = m.alloc(0);
+        (m, id)
+    }
+
+    #[test]
+    fn load_on_invalid_installs_exclusive() {
+        let (mut m, id) = fresh();
+        apply(Platform::Xeon, m.line_mut(id), 3, MemOpKind::Load);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Exclusive);
+        assert_eq!(l.owner, Some(3));
+    }
+
+    #[test]
+    fn second_load_shares() {
+        let (mut m, id) = fresh();
+        apply(Platform::Xeon, m.line_mut(id), 3, MemOpKind::Load);
+        apply(Platform::Xeon, m.line_mut(id), 5, MemOpKind::Load);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Shared);
+        assert!(l.sharers.contains(3) && l.sharers.contains(5));
+        assert_eq!(l.owner, None);
+    }
+
+    #[test]
+    fn store_installs_modified_and_invalidates() {
+        let (mut m, id) = fresh();
+        apply(Platform::Xeon, m.line_mut(id), 3, MemOpKind::Load);
+        apply(Platform::Xeon, m.line_mut(id), 5, MemOpKind::Load);
+        apply(Platform::Xeon, m.line_mut(id), 7, MemOpKind::Store);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Modified);
+        assert_eq!(l.owner, Some(7));
+        assert!(l.sharers.is_empty());
+    }
+
+    #[test]
+    fn moesi_load_on_modified_keeps_dirty_owner() {
+        let (mut m, id) = fresh();
+        apply(Platform::Opteron, m.line_mut(id), 2, MemOpKind::Store);
+        apply(Platform::Opteron, m.line_mut(id), 9, MemOpKind::Load);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Owned);
+        assert_eq!(l.owner, Some(2));
+        assert!(l.sharers.contains(9));
+    }
+
+    #[test]
+    fn mesi_load_on_modified_degrades_to_shared() {
+        let (mut m, id) = fresh();
+        apply(Platform::Tilera, m.line_mut(id), 2, MemOpKind::Store);
+        apply(Platform::Tilera, m.line_mut(id), 9, MemOpKind::Load);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Shared);
+        assert!(l.sharers.contains(2) && l.sharers.contains(9));
+    }
+
+    #[test]
+    fn owner_reload_is_a_noop() {
+        let (mut m, id) = fresh();
+        apply(Platform::Xeon, m.line_mut(id), 2, MemOpKind::Store);
+        apply(Platform::Xeon, m.line_mut(id), 2, MemOpKind::Load);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Modified);
+        assert_eq!(l.owner, Some(2));
+    }
+
+    #[test]
+    fn atomics_behave_like_stores() {
+        let (mut m, id) = fresh();
+        for op in [MemOpKind::Cas, MemOpKind::Fai, MemOpKind::Tas, MemOpKind::Swap] {
+            apply(Platform::Niagara, m.line_mut(id), 4, MemOpKind::Load);
+            apply(Platform::Niagara, m.line_mut(id), 6, op);
+            let l = m.line(id);
+            assert_eq!(l.state, CohState::Modified);
+            assert_eq!(l.owner, Some(6));
+            assert!(l.sharers.is_empty());
+        }
+    }
+
+    #[test]
+    fn prefetchw_takes_ownership() {
+        let (mut m, id) = fresh();
+        apply(Platform::Opteron, m.line_mut(id), 2, MemOpKind::Store);
+        apply(Platform::Opteron, m.line_mut(id), 9, MemOpKind::Load);
+        apply(Platform::Opteron, m.line_mut(id), 9, MemOpKind::Prefetchw);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Modified);
+        assert_eq!(l.owner, Some(9));
+        assert!(l.sharers.is_empty());
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let (mut m, id) = fresh();
+        apply(Platform::Xeon, m.line_mut(id), 2, MemOpKind::Store);
+        apply(Platform::Xeon, m.line_mut(id), 2, MemOpKind::Flush);
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Invalid);
+        assert_eq!(l.owner, None);
+        assert!(l.sharers.is_empty());
+    }
+
+    #[test]
+    fn owned_line_extra_readers_accumulate() {
+        let (mut m, id) = fresh();
+        apply(Platform::Opteron, m.line_mut(id), 0, MemOpKind::Store);
+        for c in [6, 12, 18] {
+            apply(Platform::Opteron, m.line_mut(id), c, MemOpKind::Load);
+        }
+        let l = m.line(id);
+        assert_eq!(l.state, CohState::Owned);
+        assert_eq!(l.owner, Some(0));
+        assert_eq!(l.sharers.count(), 3);
+    }
+}

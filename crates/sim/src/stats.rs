@@ -1,0 +1,55 @@
+//! Coherence-traffic statistics.
+//!
+//! The paper's method is to *explain* scalability through coherence
+//! traffic; [`SimStats`] gives programs run on the simulator the same
+//! explanatory handle: how many operations hit locally, how many moved a
+//! line between cores, how many crossed a socket, and how many
+//! invalidated sharers. The engine updates these on every memory
+//! operation.
+
+/// Aggregate coherence-traffic counters for one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Memory operations that hit the requester's own cached copy.
+    pub local_hits: u64,
+    /// Operations served by the LLC/directory without a dirty-owner
+    /// probe (Shared/Invalid reads).
+    pub llc_serves: u64,
+    /// Operations that pulled the line out of another core's cache.
+    pub transfers: u64,
+    /// Transfers whose previous holder was on a different die/socket.
+    pub cross_socket_transfers: u64,
+    /// Write-class operations that invalidated at least one sharer copy.
+    pub invalidations: u64,
+    /// Total sharer copies invalidated.
+    pub copies_invalidated: u64,
+}
+
+impl SimStats {
+    /// Fraction of non-local operations that crossed a socket; `None`
+    /// when no transfers happened.
+    pub fn cross_socket_ratio(&self) -> Option<f64> {
+        if self.transfers == 0 {
+            None
+        } else {
+            Some(self.cross_socket_transfers as f64 / self.transfers as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_transfers() {
+        let s = SimStats::default();
+        assert_eq!(s.cross_socket_ratio(), None);
+        let s = SimStats {
+            transfers: 4,
+            cross_socket_transfers: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.cross_socket_ratio(), Some(0.25));
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulated Anderson array lock.
+//!
+//! Each ticket maps to a slot line; a waiter spins (reads) on its own
+//! slot, so the only cross-core traffic per handoff is the releasing
+//! store on the successor's slot line.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+struct Inner {
+    tail: LineId,
+    slots: Vec<LineId>,
+    /// Ticket held by each thread.
+    tickets: RefCell<Vec<u64>>,
+}
+
+/// Simulated array lock: a tail counter line plus one line per slot.
+pub struct SimArray {
+    inner: Rc<Inner>,
+}
+
+impl SimArray {
+    /// Allocates `n_threads + 1` slot lines (so the array never wraps
+    /// onto an active waiter) plus the tail counter.
+    pub fn new(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        let capacity = cfg.n_threads + 1;
+        let tail = sim.alloc_line_for_core(cfg.home_core);
+        let slots: Vec<LineId> = (0..capacity)
+            .map(|_| sim.alloc_line_for_core(cfg.home_core))
+            .collect();
+        // Slot 0 starts runnable.
+        sim.memory_mut().line_mut(slots[0]).value = 1;
+        Self {
+            inner: Rc::new(Inner {
+                tail,
+                slots,
+                tickets: RefCell::new(vec![0; cfg.n_threads]),
+            }),
+        }
+    }
+}
+
+impl SimLock for SimArray {
+    fn kind(&self) -> SimLockKind {
+        SimLockKind::Array
+    }
+
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(ArrayAcquire {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            slot: 0,
+        })
+    }
+
+    fn release(&self, tid: usize) -> Box<dyn SubProgram> {
+        let ticket = self.inner.tickets.borrow()[tid];
+        let next = self.inner.slots[(ticket as usize + 1) % self.inner.slots.len()];
+        Box::new(ArrayRelease {
+            next,
+            done: false,
+        })
+    }
+}
+
+struct ArrayAcquire {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    slot: LineId,
+}
+
+impl SubProgram for ArrayAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        match self.st {
+            // Take a ticket.
+            0 => {
+                self.st = 1;
+                Some(Action::Fai(self.lock.tail))
+            }
+            // Resolve the slot; start polling it.
+            1 => {
+                let ticket = result.expect("fai result");
+                self.lock.tickets.borrow_mut()[self.tid] = ticket;
+                self.slot = self.lock.slots[ticket as usize % self.lock.slots.len()];
+                self.st = 2;
+                Some(Action::Load(self.slot))
+            }
+            // Poll outcome.
+            2 => {
+                if result.expect("load result") == 1 {
+                    // Re-arm the slot for its next ticket.
+                    self.st = 4;
+                    Some(Action::Store(self.slot, 0))
+                } else {
+                    self.st = 3;
+                    Some(Action::Pause(POLL_PAUSE))
+                }
+            }
+            // Pause done: re-poll.
+            3 => {
+                self.st = 2;
+                Some(Action::Load(self.slot))
+            }
+            // Slot re-armed: acquired.
+            4 => None,
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct ArrayRelease {
+    next: LineId,
+    done: bool,
+}
+
+impl SubProgram for ArrayRelease {
+    fn substep(&mut self, _result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        if self.done {
+            None
+        } else {
+            self.done = true;
+            Some(Action::Store(self.next, 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_all_platforms() {
+        for p in Platform::ALL {
+            exclusion_torture(SimLockKind::Array, p, 4, 50);
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Array, Platform::Tilera, 18, 12);
+    }
+}

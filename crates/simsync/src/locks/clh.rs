@@ -1,0 +1,157 @@
+//! Simulated CLH queue lock.
+//!
+//! The queue is implicit: the tail line holds the line-id of the last
+//! waiter's node, and each waiter spins on its *predecessor's* node.
+//! Nodes recycle exactly as in the real algorithm — after release, the
+//! thread adopts its predecessor's node for the next acquisition.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+struct Inner {
+    tail: LineId,
+    /// Each thread's current node line and, while holding the lock, the
+    /// predecessor node it will adopt.
+    node: RefCell<Vec<LineId>>,
+    pred: RefCell<Vec<LineId>>,
+}
+
+/// Simulated CLH lock.
+pub struct SimClh {
+    inner: Rc<Inner>,
+}
+
+impl SimClh {
+    /// Allocates one dummy node plus one node line per thread (node lines
+    /// local to their thread's core).
+    pub fn new(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        let dummy = sim.alloc_line_for_core(cfg.home_core);
+        // Dummy starts unlocked (0).
+        let tail = sim.alloc_line_for_core(cfg.home_core);
+        sim.memory_mut().line_mut(tail).value = dummy;
+        let node: Vec<LineId> = (0..cfg.n_threads)
+            .map(|t| sim.alloc_line_for_core(cfg.thread_cores[t]))
+            .collect();
+        Self {
+            inner: Rc::new(Inner {
+                tail,
+                node: RefCell::new(node),
+                pred: RefCell::new(vec![0; cfg.n_threads]),
+            }),
+        }
+    }
+}
+
+impl SimLock for SimClh {
+    fn kind(&self) -> SimLockKind {
+        SimLockKind::Clh
+    }
+
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(ClhAcquire {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            pred: 0,
+        })
+    }
+
+    fn release(&self, tid: usize) -> Box<dyn SubProgram> {
+        let node = self.inner.node.borrow()[tid];
+        // Adopt the predecessor node for the next acquisition.
+        let pred = self.inner.pred.borrow()[tid];
+        self.inner.node.borrow_mut()[tid] = pred;
+        Box::new(ClhRelease { node, done: false })
+    }
+
+    fn no_waiter_sentinel(&self, tid: usize) -> Option<(LineId, u64)> {
+        // No waiter iff the tail still points at our own node.
+        Some((self.inner.tail, self.inner.node.borrow()[tid]))
+    }
+}
+
+struct ClhAcquire {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    pred: LineId,
+}
+
+impl SubProgram for ClhAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        match self.st {
+            // Mark our node locked.
+            0 => {
+                self.st = 1;
+                let node = self.lock.node.borrow()[self.tid];
+                Some(Action::Store(node, 1))
+            }
+            // Swing the tail to our node.
+            1 => {
+                self.st = 2;
+                let node = self.lock.node.borrow()[self.tid];
+                Some(Action::Swap(self.lock.tail, node))
+            }
+            // Got the predecessor's node: poll it.
+            2 => {
+                self.pred = result.expect("swap result");
+                self.lock.pred.borrow_mut()[self.tid] = self.pred;
+                self.st = 3;
+                Some(Action::Load(self.pred))
+            }
+            3 => {
+                if result.expect("load result") == 0 {
+                    return None;
+                }
+                self.st = 4;
+                Some(Action::Pause(POLL_PAUSE))
+            }
+            4 => {
+                self.st = 3;
+                Some(Action::Load(self.pred))
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct ClhRelease {
+    node: LineId,
+    done: bool,
+}
+
+impl SubProgram for ClhRelease {
+    fn substep(&mut self, _result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        if self.done {
+            None
+        } else {
+            self.done = true;
+            Some(Action::Store(self.node, 0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_all_platforms() {
+        for p in Platform::ALL {
+            exclusion_torture(SimLockKind::Clh, p, 4, 50);
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Clh, Platform::Niagara, 24, 10);
+    }
+}

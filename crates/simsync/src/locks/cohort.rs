@@ -1,0 +1,299 @@
+//! Simulated hierarchical (cohort) locks: HCLH and HTICKET.
+//!
+//! Built by composition, as in `ssync-locks`: one global lock plus one
+//! local lock per cluster (die/socket), with a per-cluster *baton* line.
+//! A releasing holder that detects a same-cluster waiter (via the local
+//! lock's [`SimLock::no_waiter_sentinel`] probe) stores 1 to the baton
+//! and releases only the local lock; the next local owner consumes the
+//! baton instead of touching the global lock. All cross-socket traffic
+//! concentrates on the (rare) global handoffs — the behaviour that makes
+//! hierarchical locks the Figure 5 winners on the Xeon.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::clh::SimClh;
+use super::ticket::{SimTicket, TicketMode};
+use super::{LockConfig, SimLock, SimLockKind};
+
+/// Local handoffs allowed before the global lock must rotate clusters.
+const MAX_PASSES: u32 = 64;
+
+struct Inner {
+    kind: SimLockKind,
+    global: Rc<dyn SimLock>,
+    /// One local lock per cluster.
+    locals: Vec<Rc<dyn SimLock>>,
+    /// One baton line per cluster (1 = global lock left with the cohort).
+    batons: Vec<LineId>,
+    /// Local passes since the cohort took the global lock.
+    passes: RefCell<Vec<u32>>,
+    /// The thread id that acquired the global lock for each cluster
+    /// (queue-lock bookkeeping must be released under the same id).
+    global_holder: RefCell<Vec<usize>>,
+    /// Cluster of each thread.
+    cluster_of: Vec<usize>,
+}
+
+/// Simulated cohort lock (HCLH / HTICKET).
+pub struct SimCohort {
+    inner: Rc<Inner>,
+}
+
+impl SimCohort {
+    /// Builds HTICKET: ticket locks at both levels.
+    pub fn new_ticket(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        Self::build(sim, cfg, SimLockKind::Hticket, |sim, sub_cfg| {
+            Rc::new(SimTicket::new(sim, sub_cfg, TicketMode::Proportional))
+        })
+    }
+
+    /// Builds HCLH: CLH locks at both levels.
+    pub fn new_clh(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        Self::build(sim, cfg, SimLockKind::Hclh, |sim, sub_cfg| {
+            Rc::new(SimClh::new(sim, sub_cfg))
+        })
+    }
+
+    fn build(
+        sim: &mut Sim,
+        cfg: &LockConfig,
+        kind: SimLockKind,
+        mut make: impl FnMut(&mut Sim, &LockConfig) -> Rc<dyn SimLock>,
+    ) -> Self {
+        // Dense cluster ids over the dies the threads actually occupy.
+        let dies: Vec<usize> = cfg
+            .thread_cores
+            .iter()
+            .map(|&c| sim.topology().die_of(c))
+            .collect();
+        let mut uniq: Vec<usize> = dies.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let cluster_of: Vec<usize> = dies
+            .iter()
+            .map(|d| uniq.iter().position(|u| u == d).expect("die present"))
+            .collect();
+
+        let global = make(sim, cfg);
+        let mut locals = Vec::with_capacity(uniq.len());
+        let mut batons = Vec::with_capacity(uniq.len());
+        for &die in &uniq {
+            // Local lock lines live on the cluster's own node.
+            let home_core = cfg
+                .thread_cores
+                .iter()
+                .copied()
+                .find(|&c| sim.topology().die_of(c) == die)
+                .expect("cluster has a thread");
+            let sub_cfg = LockConfig {
+                n_threads: cfg.n_threads,
+                home_core,
+                thread_cores: cfg.thread_cores.clone(),
+            };
+            locals.push(make(sim, &sub_cfg));
+            batons.push(sim.alloc_line_for_core(home_core));
+        }
+        let n_clusters = uniq.len();
+        Self {
+            inner: Rc::new(Inner {
+                kind,
+                global,
+                locals,
+                batons,
+                passes: RefCell::new(vec![0; n_clusters]),
+                global_holder: RefCell::new(vec![usize::MAX; n_clusters]),
+                cluster_of,
+            }),
+        }
+    }
+}
+
+impl SimLock for SimCohort {
+    fn kind(&self) -> SimLockKind {
+        self.inner.kind
+    }
+
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(CohortAcquire {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            sub: None,
+        })
+    }
+
+    fn release(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(CohortRelease {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            sub: None,
+        })
+    }
+}
+
+struct CohortAcquire {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+}
+
+impl SubProgram for CohortAcquire {
+    fn substep(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Option<Action> {
+        let c = self.lock.cluster_of[self.tid];
+        let mut res = result;
+        loop {
+            match self.st {
+                // Acquire the local lock.
+                0 => {
+                    if self.sub.is_none() {
+                        self.sub = Some(self.lock.locals[c].acquire(self.tid));
+                    }
+                    match self.sub.as_mut().unwrap().substep(res.take(), env) {
+                        Some(a) => return Some(a),
+                        None => {
+                            self.sub = None;
+                            self.st = 1;
+                            return Some(Action::Load(self.lock.batons[c]));
+                        }
+                    }
+                }
+                // Inspect the baton.
+                1 => {
+                    if res.take().expect("baton load") == 1 {
+                        // The cohort already owns the global lock.
+                        self.st = 2;
+                        return Some(Action::Store(self.lock.batons[c], 0));
+                    }
+                    self.st = 3;
+                }
+                // Baton consumed: acquired.
+                2 => return None,
+                // Acquire the global lock.
+                3 => {
+                    if self.sub.is_none() {
+                        self.sub = Some(self.lock.global.acquire(self.tid));
+                    }
+                    match self.sub.as_mut().unwrap().substep(res.take(), env) {
+                        Some(a) => return Some(a),
+                        None => {
+                            self.sub = None;
+                            self.lock.global_holder.borrow_mut()[c] = self.tid;
+                            self.lock.passes.borrow_mut()[c] = 0;
+                            return None;
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+struct CohortRelease {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+}
+
+impl SubProgram for CohortRelease {
+    fn substep(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Option<Action> {
+        let c = self.lock.cluster_of[self.tid];
+        let mut res = result;
+        loop {
+            match self.st {
+                // Decide: pass locally or release globally?
+                0 => {
+                    if self.lock.passes.borrow()[c] >= MAX_PASSES {
+                        self.st = 4;
+                        continue;
+                    }
+                    let (line, _sentinel) = self.lock.locals[c]
+                        .no_waiter_sentinel(self.tid)
+                        .expect("cohort-local lock must detect waiters");
+                    self.st = 1;
+                    return Some(Action::Load(line));
+                }
+                // Waiter probe result.
+                1 => {
+                    let v = res.take().expect("probe load");
+                    let (_line, sentinel) = self.lock.locals[c]
+                        .no_waiter_sentinel(self.tid)
+                        .expect("probe");
+                    if v != sentinel {
+                        // Same-cluster waiter: pass the baton.
+                        self.lock.passes.borrow_mut()[c] += 1;
+                        self.st = 2;
+                        return Some(Action::Store(self.lock.batons[c], 1));
+                    }
+                    self.st = 4;
+                }
+                // Baton stored: release the local lock only.
+                2 | 3 => {
+                    if self.sub.is_none() {
+                        self.sub = Some(self.lock.locals[c].release(self.tid));
+                    }
+                    match self.sub.as_mut().unwrap().substep(res.take(), env) {
+                        Some(a) => return Some(a),
+                        None => {
+                            self.sub = None;
+                            return None;
+                        }
+                    }
+                }
+                // Release the global lock (under its acquirer's id) ...
+                4 => {
+                    if self.sub.is_none() {
+                        let holder = self.lock.global_holder.borrow()[c];
+                        debug_assert_ne!(holder, usize::MAX, "global held by this cohort");
+                        self.lock.passes.borrow_mut()[c] = 0;
+                        self.sub = Some(self.lock.global.release(holder));
+                    }
+                    match self.sub.as_mut().unwrap().substep(res.take(), env) {
+                        Some(a) => return Some(a),
+                        None => {
+                            self.sub = None;
+                            self.st = 3; // ... then the local lock.
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_multi_sockets() {
+        for p in [Platform::Opteron, Platform::Xeon] {
+            exclusion_torture(SimLockKind::Hticket, p, 4, 40);
+            exclusion_torture(SimLockKind::Hclh, p, 4, 40);
+        }
+    }
+
+    #[test]
+    fn exclusion_across_sockets() {
+        // 20 Xeon threads span two sockets: local passing and global
+        // rotation both exercise.
+        exclusion_torture(SimLockKind::Hticket, Platform::Xeon, 20, 10);
+        exclusion_torture(SimLockKind::Hclh, Platform::Xeon, 20, 10);
+    }
+
+    #[test]
+    fn exclusion_single_cluster_degenerates() {
+        exclusion_torture(SimLockKind::Hticket, Platform::Niagara, 8, 20);
+    }
+}

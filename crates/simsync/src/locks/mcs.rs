@@ -1,0 +1,200 @@
+//! Simulated MCS queue lock.
+//!
+//! Per-thread queue nodes are two lines each (`locked` flag and `next`
+//! pointer); the queue tail is one line holding `tid + 1` (0 = empty).
+//! A waiter spins on its own `locked` line, so after the first poll it
+//! reads from L1 until the predecessor's handoff store invalidates it —
+//! one line transfer per handoff, the property that makes MCS "the most
+//! resilient to contention" (Figure 5).
+
+use std::rc::Rc;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+struct Inner {
+    tail: LineId,
+    /// Per-thread spin flag line.
+    locked: Vec<LineId>,
+    /// Per-thread successor pointer line (value = successor tid + 1).
+    next: Vec<LineId>,
+}
+
+/// Simulated MCS lock.
+pub struct SimMcs {
+    inner: Rc<Inner>,
+}
+
+impl SimMcs {
+    /// Allocates the tail line plus two lines per thread. Queue node
+    /// lines are allocated local to each thread's core, as `libslock`
+    /// allocates qnodes from thread-local memory.
+    pub fn new(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        let tail = sim.alloc_line_for_core(cfg.home_core);
+        let locked = (0..cfg.n_threads)
+            .map(|t| sim.alloc_line_for_core(cfg.thread_cores[t]))
+            .collect();
+        let next = (0..cfg.n_threads)
+            .map(|t| sim.alloc_line_for_core(cfg.thread_cores[t]))
+            .collect();
+        Self {
+            inner: Rc::new(Inner { tail, locked, next }),
+        }
+    }
+}
+
+impl SimLock for SimMcs {
+    fn kind(&self) -> SimLockKind {
+        SimLockKind::Mcs
+    }
+
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(McsAcquire {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+        })
+    }
+
+    fn release(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(McsRelease {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            successor: 0,
+        })
+    }
+}
+
+struct McsAcquire {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+}
+
+impl SubProgram for McsAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        let me = self.tid;
+        match self.st {
+            // Reset our next pointer.
+            0 => {
+                self.st = 1;
+                Some(Action::Store(self.lock.next[me], 0))
+            }
+            // Arm our spin flag.
+            1 => {
+                self.st = 2;
+                Some(Action::Store(self.lock.locked[me], 1))
+            }
+            // Swap ourselves into the tail.
+            2 => {
+                self.st = 3;
+                Some(Action::Swap(self.lock.tail, me as u64 + 1))
+            }
+            // Inspect the predecessor.
+            3 => {
+                let pred = result.expect("swap result");
+                if pred == 0 {
+                    return None; // Queue was empty: lock acquired.
+                }
+                self.st = 4;
+                Some(Action::Store(self.lock.next[pred as usize - 1], me as u64 + 1))
+            }
+            // Linked in: spin on our own flag.
+            4 | 6 => {
+                self.st = 5;
+                Some(Action::Load(self.lock.locked[me]))
+            }
+            5 => {
+                if result.expect("load result") == 0 {
+                    return None;
+                }
+                self.st = 6;
+                Some(Action::Pause(POLL_PAUSE))
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct McsRelease {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    successor: u64,
+}
+
+impl SubProgram for McsRelease {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        let me = self.tid;
+        match self.st {
+            // Do we have a successor?
+            0 => {
+                self.st = 1;
+                Some(Action::Load(self.lock.next[me]))
+            }
+            1 => {
+                self.successor = result.expect("load result");
+                if self.successor != 0 {
+                    self.st = 5;
+                    return Some(Action::Store(
+                        self.lock.locked[self.successor as usize - 1],
+                        0,
+                    ));
+                }
+                // No visible successor: try to clear the tail.
+                self.st = 2;
+                Some(Action::Cas(self.lock.tail, me as u64 + 1, 0))
+            }
+            2 => {
+                if result.expect("cas result") == me as u64 + 1 {
+                    return None; // Tail cleared: released.
+                }
+                // A successor is linking itself: wait for the pointer.
+                self.st = 3;
+                Some(Action::Load(self.lock.next[me]))
+            }
+            3 => {
+                self.successor = result.expect("load result");
+                if self.successor == 0 {
+                    self.st = 4;
+                    return Some(Action::Pause(POLL_PAUSE));
+                }
+                self.st = 5;
+                Some(Action::Store(
+                    self.lock.locked[self.successor as usize - 1],
+                    0,
+                ))
+            }
+            4 => {
+                self.st = 3;
+                Some(Action::Load(self.lock.next[me]))
+            }
+            // Handoff store completed.
+            5 => None,
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_all_platforms() {
+        for p in Platform::ALL {
+            exclusion_torture(SimLockKind::Mcs, p, 4, 50);
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Mcs, Platform::Xeon, 20, 12);
+    }
+}

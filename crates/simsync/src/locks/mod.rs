@@ -1,0 +1,285 @@
+//! The nine lock algorithms of `libslock` as simulator state machines.
+//!
+//! Each algorithm implements [`SimLock`]: `acquire(tid)` and
+//! `release(tid)` return [`SubProgram`]s that a workload drives to
+//! completion before entering / after leaving its critical section. Locks
+//! keep per-thread bookkeeping (tickets, queue nodes) in `Rc<RefCell<..>>`
+//! state — the engine is single-threaded and deterministic, so interior
+//! mutability is safe and cheap; the *simulated* synchronization happens
+//! entirely through the memory-line [`Action`]s the sub-programs issue.
+//!
+//! Spin loops pace themselves with [`POLL_PAUSE`]-cycle pauses between
+//! polls, modelling loop overhead (and keeping simulated spinning from
+//! flooding the event queue). A waiter whose line is locally cached polls
+//! at L1 cost; the handoff invalidation makes its next poll a real miss,
+//! exactly the coherence traffic the paper analyses.
+
+pub mod array;
+pub mod clh;
+pub mod cohort;
+pub mod mcs;
+pub mod mutex;
+pub mod tas;
+pub mod ticket;
+pub mod ttas;
+
+use std::rc::Rc;
+
+use ssync_sim::program::SubProgram;
+use ssync_sim::Sim;
+
+/// Cycles of local work between successive spin polls.
+pub const POLL_PAUSE: u64 = 4;
+
+/// The sim lock algorithms, including the Figure 3 ticket variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimLockKind {
+    /// Test-and-set.
+    Tas,
+    /// Test-and-test-and-set with exponential back-off.
+    Ttas,
+    /// Ticket lock with proportional back-off (the optimized TICKET).
+    Ticket,
+    /// Ticket lock spinning continuously (Figure 3 baseline).
+    TicketNoBackoff,
+    /// Ticket lock with proportional back-off **and** `prefetchw` on the
+    /// spin loop (Figure 3's best variant; Section 5.3).
+    TicketPrefetchw,
+    /// Anderson array lock.
+    Array,
+    /// Blocking mutex (Pthread model: brief spin, then park).
+    Mutex,
+    /// MCS queue lock.
+    Mcs,
+    /// CLH queue lock.
+    Clh,
+    /// Hierarchical CLH (cohort of CLH locks).
+    Hclh,
+    /// Hierarchical ticket lock (cohort of ticket locks).
+    Hticket,
+}
+
+impl SimLockKind {
+    /// The paper's nine locks, in its figures' order.
+    pub const ALL: [SimLockKind; 9] = [
+        SimLockKind::Tas,
+        SimLockKind::Ttas,
+        SimLockKind::Ticket,
+        SimLockKind::Array,
+        SimLockKind::Mutex,
+        SimLockKind::Mcs,
+        SimLockKind::Clh,
+        SimLockKind::Hclh,
+        SimLockKind::Hticket,
+    ];
+
+    /// The flat locks used on the single-socket platforms (Section 6.1.2
+    /// skips hierarchical locks there).
+    pub const FLAT: [SimLockKind; 7] = [
+        SimLockKind::Tas,
+        SimLockKind::Ttas,
+        SimLockKind::Ticket,
+        SimLockKind::Array,
+        SimLockKind::Mutex,
+        SimLockKind::Mcs,
+        SimLockKind::Clh,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimLockKind::Tas => "TAS",
+            SimLockKind::Ttas => "TTAS",
+            SimLockKind::Ticket => "TICKET",
+            SimLockKind::TicketNoBackoff => "TICKET-NOBO",
+            SimLockKind::TicketPrefetchw => "TICKET-PW",
+            SimLockKind::Array => "ARRAY",
+            SimLockKind::Mutex => "MUTEX",
+            SimLockKind::Mcs => "MCS",
+            SimLockKind::Clh => "CLH",
+            SimLockKind::Hclh => "HCLH",
+            SimLockKind::Hticket => "HTICKET",
+        }
+    }
+
+    /// True for the cluster-aware locks.
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, SimLockKind::Hclh | SimLockKind::Hticket)
+    }
+}
+
+/// Configuration for building a sim lock.
+#[derive(Debug, Clone)]
+pub struct LockConfig {
+    /// Number of participating threads (sizes per-thread queue nodes).
+    pub n_threads: usize,
+    /// Core whose memory node the lock's lines are allocated from ("the
+    /// first participating memory node", Section 6).
+    pub home_core: usize,
+    /// Core of each participating thread, indexed by thread id — the
+    /// hierarchical locks derive each thread's cluster (die) from this.
+    pub thread_cores: Vec<usize>,
+}
+
+impl LockConfig {
+    /// Config for threads placed by the platform's standard placement.
+    pub fn for_placement(sim: &Sim, n_threads: usize) -> Self {
+        let cores = sim.topology().placement(n_threads);
+        Self {
+            n_threads,
+            home_core: cores[0],
+            thread_cores: cores,
+        }
+    }
+
+    /// The cluster (die) of thread `tid` on the given simulation.
+    pub fn cluster_of(&self, sim: &Sim, tid: usize) -> usize {
+        sim.topology().die_of(self.thread_cores[tid])
+    }
+}
+
+/// A lock algorithm running on the simulator.
+pub trait SimLock {
+    /// Which algorithm this is.
+    fn kind(&self) -> SimLockKind;
+
+    /// Begins an acquisition for thread `tid`; drive the returned
+    /// sub-program to completion to hold the lock.
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram>;
+
+    /// Begins a release for thread `tid` (which must hold the lock).
+    fn release(&self, tid: usize) -> Box<dyn SubProgram>;
+
+    /// Cohort-detection probe for hierarchical composition: a line to
+    /// load and the value meaning "no thread is queued behind holder
+    /// `tid`". `None` if the algorithm cannot detect waiters (such locks
+    /// cannot serve as cohort-local locks).
+    fn no_waiter_sentinel(&self, tid: usize) -> Option<(ssync_sim::LineId, u64)> {
+        let _ = tid;
+        None
+    }
+}
+
+/// Builds a sim lock of the given kind, allocating its cache lines.
+pub fn make_lock(kind: SimLockKind, sim: &mut Sim, cfg: &LockConfig) -> Rc<dyn SimLock> {
+    match kind {
+        SimLockKind::Tas => Rc::new(tas::SimTas::new(sim, cfg)),
+        SimLockKind::Ttas => Rc::new(ttas::SimTtas::new(sim, cfg)),
+        SimLockKind::Ticket => {
+            Rc::new(ticket::SimTicket::new(sim, cfg, ticket::TicketMode::Proportional))
+        }
+        SimLockKind::TicketNoBackoff => {
+            Rc::new(ticket::SimTicket::new(sim, cfg, ticket::TicketMode::NoBackoff))
+        }
+        SimLockKind::TicketPrefetchw => {
+            Rc::new(ticket::SimTicket::new(sim, cfg, ticket::TicketMode::Prefetchw))
+        }
+        SimLockKind::Array => Rc::new(array::SimArray::new(sim, cfg)),
+        SimLockKind::Mutex => Rc::new(mutex::SimMutex::new(sim, cfg)),
+        SimLockKind::Mcs => Rc::new(mcs::SimMcs::new(sim, cfg)),
+        SimLockKind::Clh => Rc::new(clh::SimClh::new(sim, cfg)),
+        SimLockKind::Hclh => Rc::new(cohort::SimCohort::new_clh(sim, cfg)),
+        SimLockKind::Hticket => Rc::new(cohort::SimCohort::new_ticket(sim, cfg)),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A mutual-exclusion checker run against every sim lock: threads
+    //! repeatedly acquire, perform a non-atomic read-modify-write on a
+    //! shared data line, and release. Lost updates expose broken locks.
+
+    use super::*;
+    use ssync_sim::program::{Action, Env, Program};
+    use ssync_sim::Sim;
+
+    struct CsWorker {
+        lock: Rc<dyn SimLock>,
+        data: ssync_sim::LineId,
+        iters: u32,
+        tid: usize,
+        st: u8,
+        sub: Option<Box<dyn SubProgram>>,
+        read: u64,
+    }
+
+    impl Program for CsWorker {
+        fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+            // `res` is consumed by the first substep/transition; fresh
+            // sub-programs must start with `None`.
+            let mut res = result;
+            loop {
+                match self.st {
+                    // Acquire.
+                    0 => {
+                        if self.sub.is_none() {
+                            self.sub = Some(self.lock.acquire(self.tid));
+                        }
+                        match self.sub.as_mut().unwrap().substep(res.take(), env) {
+                            Some(a) => return a,
+                            None => {
+                                self.sub = None;
+                                self.st = 1;
+                                return Action::Load(self.data);
+                            }
+                        }
+                    }
+                    // Critical section: read came back, write read+1.
+                    1 => {
+                        self.read = res.take().expect("load result");
+                        self.st = 2;
+                        return Action::Store(self.data, self.read + 1);
+                    }
+                    // Release.
+                    2 => {
+                        if self.sub.is_none() {
+                            self.sub = Some(self.lock.release(self.tid));
+                        }
+                        match self.sub.as_mut().unwrap().substep(res.take(), env) {
+                            Some(a) => return a,
+                            None => {
+                                self.sub = None;
+                                self.iters -= 1;
+                                env.complete_op();
+                                if self.iters == 0 {
+                                    return Action::Done;
+                                }
+                                self.st = 0;
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Runs `threads` workers × `iters` critical sections and asserts no
+    /// updates were lost.
+    pub fn exclusion_torture(kind: SimLockKind, platform: ssync_core::Platform, threads: usize, iters: u32) {
+        let mut sim = Sim::new(platform, 7);
+        let cfg = LockConfig::for_placement(&sim, threads);
+        let lock = make_lock(kind, &mut sim, &cfg);
+        let data = sim.alloc_line_for_core(cfg.home_core);
+        for tid in 0..threads {
+            let w = CsWorker {
+                lock: Rc::clone(&lock),
+                data,
+                iters,
+                tid,
+                st: 0,
+                sub: None,
+                read: 0,
+            };
+            sim.spawn_on_core(cfg.thread_cores[tid], Box::new(w));
+        }
+        sim.run_to_completion();
+        assert_eq!(
+            sim.memory().line(data).value,
+            threads as u64 * u64::from(iters),
+            "{:?} lost updates on {:?}",
+            kind,
+            platform
+        );
+    }
+}

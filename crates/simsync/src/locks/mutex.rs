@@ -1,0 +1,190 @@
+//! Simulated blocking mutex (Pthread-mutex model).
+//!
+//! A short TTAS-style optimistic spin, then enqueue-and-park. The engine
+//! charges the suspend and wake-up costs, which is why MUTEX never wins
+//! when every thread owns a core (the handoff always eats a wake-up
+//! latency) but degrades gracefully when cores are shared.
+//!
+//! The wait queue itself is engine-level (`RefCell<VecDeque>`), standing
+//! in for the kernel's futex queue; the lock word is a real simulated
+//! line, and the enqueue cost is charged as a pause.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+/// Optimistic spin polls before parking (glibc's adaptive mutex spins a
+/// bounded number of times).
+const SPIN_BUDGET: u32 = 2;
+
+/// Cycles charged for manipulating the kernel-side wait queue.
+const QUEUE_COST: u64 = 80;
+
+struct Inner {
+    flag: LineId,
+    waiters: RefCell<VecDeque<usize>>,
+}
+
+/// Simulated Pthread-style mutex.
+pub struct SimMutex {
+    inner: Rc<Inner>,
+}
+
+impl SimMutex {
+    /// Allocates the lock word on the config's home node.
+    pub fn new(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        Self {
+            inner: Rc::new(Inner {
+                flag: sim.alloc_line_for_core(cfg.home_core),
+                waiters: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+}
+
+impl SimLock for SimMutex {
+    fn kind(&self) -> SimLockKind {
+        SimLockKind::Mutex
+    }
+
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(MutexAcquire {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            spins: 0,
+        })
+    }
+
+    fn release(&self, tid: usize) -> Box<dyn SubProgram> {
+        let _ = tid;
+        Box::new(MutexRelease {
+            lock: Rc::clone(&self.inner),
+            st: 0,
+        })
+    }
+}
+
+struct MutexAcquire {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    spins: u32,
+}
+
+impl SubProgram for MutexAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        match self.st {
+            // Optimistic CAS.
+            0 => {
+                self.st = 1;
+                Some(Action::Cas(self.lock.flag, 0, 1))
+            }
+            1 => {
+                if result.expect("cas result") == 0 {
+                    return None; // Acquired.
+                }
+                self.spins += 1;
+                if self.spins < SPIN_BUDGET {
+                    self.st = 2;
+                    return Some(Action::Pause(POLL_PAUSE * u64::from(self.spins)));
+                }
+                // Give up spinning: enqueue and revalidate before parking
+                // (the futex protocol's recheck, which prevents the lost
+                // wakeup when the holder released in the meantime).
+                self.lock.waiters.borrow_mut().push_back(self.tid);
+                self.st = 3;
+                Some(Action::Pause(QUEUE_COST))
+            }
+            // Re-poll after a spin pause.
+            2 => {
+                self.st = 1;
+                Some(Action::Cas(self.lock.flag, 0, 1))
+            }
+            // Queue cost paid: revalidate the flag.
+            3 => {
+                self.st = 4;
+                Some(Action::Load(self.lock.flag))
+            }
+            4 => {
+                if result.expect("load result") == 0 {
+                    // Lock became free: dequeue ourselves and retry (an
+                    // unpark permit, if one raced in, is consumed by the
+                    // next park — the engine's permit semantics).
+                    let mut q = self.lock.waiters.borrow_mut();
+                    if let Some(pos) = q.iter().position(|&t| t == self.tid) {
+                        q.remove(pos);
+                    }
+                    drop(q);
+                    self.st = 0;
+                    self.spins = 0;
+                    return Some(Action::Pause(QUEUE_COST));
+                }
+                self.st = 5;
+                Some(Action::Park)
+            }
+            // Woken: retry from the top.
+            5 => {
+                self.st = 0;
+                self.spins = 0;
+                Some(Action::Pause(POLL_PAUSE))
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct MutexRelease {
+    lock: Rc<Inner>,
+    st: u8,
+}
+
+impl SubProgram for MutexRelease {
+    fn substep(&mut self, _result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        match self.st {
+            // Clear the lock word.
+            0 => {
+                self.st = 1;
+                Some(Action::Store(self.lock.flag, 0))
+            }
+            // Wake one waiter, if any.
+            1 => {
+                let waiter = self.lock.waiters.borrow_mut().pop_front();
+                match waiter {
+                    Some(t) => {
+                        self.st = 2;
+                        Some(Action::Unpark(t))
+                    }
+                    None => None,
+                }
+            }
+            2 => None,
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_all_platforms() {
+        for p in Platform::ALL {
+            exclusion_torture(SimLockKind::Mutex, p, 4, 40);
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Mutex, Platform::Opteron, 16, 10);
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulated test-and-set lock.
+//!
+//! Acquire is a bare atomic TAS retried until it returns 0; every retry
+//! is a write-class operation that rips the line out of the previous
+//! spinner's cache — the coherence storm the paper's Figure 5 shows
+//! collapsing on the multi-sockets.
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+/// Simulated TAS lock: one flag line.
+pub struct SimTas {
+    line: LineId,
+}
+
+impl SimTas {
+    /// Allocates the lock's flag line on the config's home node.
+    pub fn new(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        Self {
+            line: sim.alloc_line_for_core(cfg.home_core),
+        }
+    }
+}
+
+impl SimLock for SimTas {
+    fn kind(&self) -> SimLockKind {
+        SimLockKind::Tas
+    }
+
+    fn acquire(&self, _tid: usize) -> Box<dyn SubProgram> {
+        Box::new(TasAcquire {
+            line: self.line,
+            st: 0,
+        })
+    }
+
+    fn release(&self, _tid: usize) -> Box<dyn SubProgram> {
+        Box::new(OneShot(Some(Action::Store(self.line, 0))))
+    }
+}
+
+struct TasAcquire {
+    line: LineId,
+    st: u8,
+}
+
+impl SubProgram for TasAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        match self.st {
+            // Issue the TAS.
+            0 => {
+                self.st = 1;
+                Some(Action::Tas(self.line))
+            }
+            // Check: 0 means we won.
+            1 => {
+                if result.expect("tas result") == 0 {
+                    None
+                } else {
+                    self.st = 0;
+                    // Brief pause, then retry the TAS (plain TAS has no
+                    // back-off: it hammers the line).
+                    Some(Action::Pause(POLL_PAUSE))
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// A sub-program that issues one action and finishes (shared by several
+/// locks' release paths).
+pub(crate) struct OneShot(pub Option<Action>);
+
+impl SubProgram for OneShot {
+    fn substep(&mut self, _result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        self.0.take()
+    }
+}
+
+/// Convenience shared by simple spin locks whose state machines need the
+/// line id; also used by tests.
+impl SimTas {
+    /// The flag line (tests / staging).
+    pub fn line(&self) -> LineId {
+        self.line
+    }
+}
+
+#[allow(unused_imports)] // Re-exported for sibling modules.
+pub(crate) use OneShot as _OneShot;
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_all_platforms() {
+        for p in Platform::ALL {
+            exclusion_torture(SimLockKind::Tas, p, 4, 50);
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Tas, Platform::Opteron, 12, 20);
+    }
+}

@@ -1,0 +1,235 @@
+//! Simulated ticket lock: the Figure 3 ablation in one module.
+//!
+//! Three spin-policy variants, exactly the three curves of Figure 3:
+//!
+//! * [`TicketMode::NoBackoff`] — waiters re-read `current` continuously.
+//!   Every release (a store on a line shared by all waiters) pays the
+//!   full invalidation, and the flood of re-loads keeps the directory
+//!   busy: latency explodes with the thread count on the Opteron.
+//! * [`TicketMode::Proportional`] — a waiter `k` tickets from the head
+//!   pauses `k * SLOT` cycles between polls (Section 5.3).
+//! * [`TicketMode::Prefetchw`] — additionally issues `prefetchw` before
+//!   each poll, keeping the line Modified at the polling waiter so the
+//!   releasing store avoids the Opteron's owned/shared-state broadcast.
+//!
+//! The two counters live on separate simulated lines (the model tracks
+//! one value per line); the real `libslock` packs them in one line, a
+//! difference noted in DESIGN.md that does not affect the handoff path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+/// Cycles per queue position for proportional back-off, sized to the
+/// platform's contended handoff cost. `libslock` ships platform-specific
+/// back-off tuning for exactly this reason: a multi-socket handoff costs
+/// on the order of a cross-socket line transfer plus queue effects
+/// (~1000 cycles), while the uniform Niagara and the Tilera hand off in
+/// tens of cycles — a waiter sleeping a multi-socket slot there wakes up
+/// long after its turn.
+fn slot_for(platform: ssync_core::Platform) -> u64 {
+    use ssync_core::Platform;
+    match platform {
+        Platform::Opteron | Platform::Opteron2 | Platform::Xeon | Platform::Xeon2 => 1_000,
+        Platform::Niagara => 120,
+        Platform::Tilera => 220,
+    }
+}
+
+/// Spin policy of the simulated ticket lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketMode {
+    /// Continuous polling (Figure 3 "non-optimized").
+    NoBackoff,
+    /// Proportional back-off (Figure 3 "back-off"; the default TICKET).
+    Proportional,
+    /// Proportional back-off + `prefetchw` (Figure 3 best variant).
+    Prefetchw,
+}
+
+struct Inner {
+    next: LineId,
+    current: LineId,
+    mode: TicketMode,
+    /// Per-queue-position back-off pause (see [`slot_for`]).
+    slot: u64,
+    /// Ticket held by each thread (valid between acquire and release).
+    tickets: RefCell<Vec<u64>>,
+}
+
+/// Simulated ticket lock.
+pub struct SimTicket {
+    inner: Rc<Inner>,
+}
+
+impl SimTicket {
+    /// Allocates the two counter lines on the config's home node.
+    pub fn new(sim: &mut Sim, cfg: &LockConfig, mode: TicketMode) -> Self {
+        Self {
+            inner: Rc::new(Inner {
+                slot: slot_for(sim.topology().platform()),
+                next: sim.alloc_line_for_core(cfg.home_core),
+                current: sim.alloc_line_for_core(cfg.home_core),
+                mode,
+                tickets: RefCell::new(vec![0; cfg.n_threads]),
+            }),
+        }
+    }
+}
+
+impl SimLock for SimTicket {
+    fn kind(&self) -> SimLockKind {
+        match self.inner.mode {
+            TicketMode::NoBackoff => SimLockKind::TicketNoBackoff,
+            TicketMode::Proportional => SimLockKind::Ticket,
+            TicketMode::Prefetchw => SimLockKind::TicketPrefetchw,
+        }
+    }
+
+    fn acquire(&self, tid: usize) -> Box<dyn SubProgram> {
+        Box::new(TicketAcquire {
+            lock: Rc::clone(&self.inner),
+            tid,
+            st: 0,
+            ticket: 0,
+        })
+    }
+
+    fn release(&self, tid: usize) -> Box<dyn SubProgram> {
+        let ticket = self.inner.tickets.borrow()[tid];
+        Box::new(TicketRelease {
+            current: self.inner.current,
+            ticket,
+            done: false,
+        })
+    }
+
+    fn no_waiter_sentinel(&self, tid: usize) -> Option<(LineId, u64)> {
+        // No waiter iff `next` has only advanced past our own ticket.
+        let ticket = self.inner.tickets.borrow()[tid];
+        Some((self.inner.next, ticket + 1))
+    }
+}
+
+struct TicketAcquire {
+    lock: Rc<Inner>,
+    tid: usize,
+    st: u8,
+    ticket: u64,
+}
+
+impl SubProgram for TicketAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        match self.st {
+            // Draw a ticket.
+            0 => {
+                self.st = 1;
+                Some(Action::Fai(self.lock.next))
+            }
+            // Got the ticket; start polling `current`.
+            1 => {
+                self.ticket = result.expect("fai result");
+                self.lock.tickets.borrow_mut()[self.tid] = self.ticket;
+                self.st = match self.lock.mode {
+                    TicketMode::Prefetchw => 4,
+                    _ => 2,
+                };
+                match self.lock.mode {
+                    TicketMode::Prefetchw => Some(Action::Prefetchw(self.lock.current)),
+                    _ => Some(Action::Load(self.lock.current)),
+                }
+            }
+            // Poll result.
+            2 => {
+                let current = result.expect("load result");
+                if current == self.ticket {
+                    return None;
+                }
+                let queued = self.ticket.saturating_sub(current);
+                self.st = match self.lock.mode {
+                    TicketMode::Prefetchw => 4,
+                    _ => 3,
+                };
+                let pause = match self.lock.mode {
+                    TicketMode::NoBackoff => POLL_PAUSE,
+                    _ => (queued * self.lock.slot).max(POLL_PAUSE),
+                };
+                Some(Action::Pause(pause))
+            }
+            // Pause done: re-read.
+            3 => {
+                self.st = 2;
+                Some(Action::Load(self.lock.current))
+            }
+            // prefetchw done (or pause done in pw mode): read the now
+            // locally-Modified line.
+            4 => {
+                self.st = 5;
+                Some(Action::Load(self.lock.current))
+            }
+            // pw-mode poll result (like state 2, but re-prefetch).
+            5 => {
+                let current = result.expect("load result");
+                if current == self.ticket {
+                    return None;
+                }
+                let queued = self.ticket.saturating_sub(current);
+                self.st = 6;
+                Some(Action::Pause((queued * self.lock.slot).max(POLL_PAUSE)))
+            }
+            // pw-mode pause done: prefetchw again, then read.
+            6 => {
+                self.st = 4;
+                Some(Action::Prefetchw(self.lock.current))
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct TicketRelease {
+    current: LineId,
+    ticket: u64,
+    done: bool,
+}
+
+impl SubProgram for TicketRelease {
+    fn substep(&mut self, _result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        if self.done {
+            None
+        } else {
+            self.done = true;
+            Some(Action::Store(self.current, self.ticket + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_all_modes_all_platforms() {
+        for kind in [
+            SimLockKind::Ticket,
+            SimLockKind::TicketNoBackoff,
+            SimLockKind::TicketPrefetchw,
+        ] {
+            for p in Platform::ALL {
+                exclusion_torture(kind, p, 4, 40);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Ticket, Platform::Opteron, 24, 10);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulated test-and-test-and-set lock with exponential back-off.
+//!
+//! The read-only spin phase keeps the flag line Shared among waiters (a
+//! cached poll is an L1 hit in the model); only an observed-free flag
+//! triggers the atomic swap, and failed swaps back off exponentially.
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::Sim;
+
+use super::tas::OneShot;
+use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
+
+/// Maximum exponential back-off pause, in cycles.
+const MAX_BACKOFF: u64 = 4_096;
+
+/// Simulated TTAS lock: one flag line.
+pub struct SimTtas {
+    line: LineId,
+}
+
+impl SimTtas {
+    /// Allocates the lock's flag line on the config's home node.
+    pub fn new(sim: &mut Sim, cfg: &LockConfig) -> Self {
+        Self {
+            line: sim.alloc_line_for_core(cfg.home_core),
+        }
+    }
+}
+
+impl SimLock for SimTtas {
+    fn kind(&self) -> SimLockKind {
+        SimLockKind::Ttas
+    }
+
+    fn acquire(&self, _tid: usize) -> Box<dyn SubProgram> {
+        Box::new(TtasAcquire {
+            line: self.line,
+            st: 0,
+            backoff: 32,
+        })
+    }
+
+    fn release(&self, _tid: usize) -> Box<dyn SubProgram> {
+        Box::new(OneShot(Some(Action::Store(self.line, 0))))
+    }
+}
+
+struct TtasAcquire {
+    line: LineId,
+    st: u8,
+    backoff: u64,
+}
+
+impl SubProgram for TtasAcquire {
+    fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
+        loop {
+            match self.st {
+                // Read phase.
+                0 => {
+                    self.st = 1;
+                    return Some(Action::Load(self.line));
+                }
+                // Flag observed: free -> try the swap; held -> poll again.
+                1 => {
+                    if result.expect("load result") == 0 {
+                        self.st = 2;
+                        return Some(Action::Tas(self.line));
+                    }
+                    self.st = 0;
+                    return Some(Action::Pause(POLL_PAUSE));
+                }
+                // Swap outcome.
+                2 => {
+                    if result.expect("tas result") == 0 {
+                        return None;
+                    }
+                    // Lost the race: exponential back-off, then re-read.
+                    let pause = self.backoff;
+                    self.backoff = (self.backoff * 2).min(MAX_BACKOFF);
+                    self.st = 0;
+                    return Some(Action::Pause(pause));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::exclusion_torture;
+    use super::super::SimLockKind;
+    use ssync_core::Platform;
+
+    #[test]
+    fn exclusion_on_all_platforms() {
+        for p in Platform::ALL {
+            exclusion_torture(SimLockKind::Ttas, p, 4, 50);
+        }
+    }
+
+    #[test]
+    fn exclusion_many_threads() {
+        exclusion_torture(SimLockKind::Ttas, Platform::Xeon, 16, 15);
+    }
+}

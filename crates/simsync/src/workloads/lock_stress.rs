@@ -1,0 +1,290 @@
+//! Lock stress workloads: Figures 3, 5, 6, 7 and 8.
+//!
+//! * [`LockStress`] — each thread acquires a (uniformly random) lock out
+//!   of `n` locks, reads and writes the lock's data line, releases, and
+//!   pauses briefly (Section 6.1.2's methodology; `n = 1` is the extreme
+//!   contention of Figure 5, `n = 512` the very low contention of
+//!   Figure 7, and `n ∈ {4, 16, 32, 128}` the Figure 8 sweep). Each
+//!   iteration also records its latency, which is Figure 3's metric.
+//! * [`UncontestedPair`] — two threads strictly alternate acquiring one
+//!   lock via a turn line, so every acquisition finds the lock free but
+//!   *held last by the other core*: Figure 6's distance ladder.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, Program, SubProgram};
+
+use super::drive_sub;
+use crate::locks::SimLock;
+
+/// Base post-release pause in the contended stress (lets the release
+/// become globally visible before the same thread retries;
+/// Section 6.1.2). Each pause adds uniform jitter of the same magnitude:
+/// real runs have timing noise that randomizes FIFO queue order, and
+/// without it the deterministic simulation phase-locks into socket-major
+/// handoff order, which understates cross-socket traffic.
+pub const RELEASE_PAUSE: u64 = 80;
+
+/// One stress worker for the throughput experiments.
+pub struct LockStress {
+    locks: Vec<Rc<dyn SimLock>>,
+    data: Vec<LineId>,
+    tid: usize,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+    idx: usize,
+    started_at: u64,
+}
+
+impl LockStress {
+    /// Creates a worker over `locks` with one data line per lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locks` and `data` differ in length or are empty.
+    pub fn new(locks: Vec<Rc<dyn SimLock>>, data: Vec<LineId>, tid: usize) -> Self {
+        assert_eq!(locks.len(), data.len());
+        assert!(!locks.is_empty());
+        Self {
+            locks,
+            data,
+            tid,
+            st: 0,
+            sub: None,
+            idx: 0,
+            started_at: 0,
+        }
+    }
+}
+
+impl Program for LockStress {
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+        let mut res = result;
+        loop {
+            match self.st {
+                // Pick a lock and start acquiring.
+                0 => {
+                    if self.sub.is_none() {
+                        self.idx = if self.locks.len() == 1 {
+                            0
+                        } else {
+                            env.rng.gen_range(0..self.locks.len())
+                        };
+                        self.started_at = env.now;
+                    }
+                    let (locks, idx, tid) = (&self.locks, self.idx, self.tid);
+                    match drive_sub(&mut self.sub, || locks[idx].acquire(tid), &mut res, env) {
+                        Some(a) => return a,
+                        None => {
+                            self.st = 1;
+                            return Action::Load(self.data[self.idx]);
+                        }
+                    }
+                }
+                // Critical section: read, then write the data line.
+                1 => {
+                    let v = res.take().expect("data load");
+                    self.st = 2;
+                    return Action::Store(self.data[self.idx], v.wrapping_add(1));
+                }
+                // Release.
+                2 => {
+                    let (locks, idx, tid) = (&self.locks, self.idx, self.tid);
+                    match drive_sub(&mut self.sub, || locks[idx].release(tid), &mut res, env) {
+                        Some(a) => return a,
+                        None => {
+                            env.complete_op();
+                            env.record_sample(env.now - self.started_at);
+                            self.st = 3;
+                            let jitter = env.rng.gen_range(0..=RELEASE_PAUSE);
+                            return Action::Pause(RELEASE_PAUSE + jitter);
+                        }
+                    }
+                }
+                // Pause done: next iteration.
+                3 => {
+                    self.st = 0;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Two-thread alternating acquisition for the uncontested-latency ladder.
+pub struct UncontestedPair {
+    lock: Rc<dyn SimLock>,
+    turn: LineId,
+    tid: usize,
+    /// 0 or 1: whose turn value we wait for.
+    my_turn: u64,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+    started_at: u64,
+}
+
+impl UncontestedPair {
+    /// Creates one of the two alternating threads. `my_turn` must be 0
+    /// for the first thread and 1 for the second; `turn` is a shared
+    /// line initialized to 0.
+    pub fn new(lock: Rc<dyn SimLock>, turn: LineId, tid: usize, my_turn: u64) -> Self {
+        Self {
+            lock,
+            turn,
+            tid,
+            my_turn,
+            st: 0,
+            sub: None,
+            started_at: 0,
+        }
+    }
+}
+
+impl Program for UncontestedPair {
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+        let mut res = result;
+        loop {
+            match self.st {
+                // Wait for our turn.
+                0 => {
+                    self.st = 1;
+                    return Action::Load(self.turn);
+                }
+                1 => {
+                    if res.take().expect("turn load") % 2 == self.my_turn {
+                        self.started_at = env.now;
+                        self.st = 3;
+                    } else {
+                        self.st = 2;
+                        return Action::Pause(8);
+                    }
+                }
+                2 => {
+                    self.st = 1;
+                    return Action::Load(self.turn);
+                }
+                // Acquire (always uncontested: the other thread is waiting
+                // on the turn line).
+                3 => {
+                    let (lock, tid) = (&self.lock, self.tid);
+                    match drive_sub(&mut self.sub, || lock.acquire(tid), &mut res, env) {
+                        Some(a) => return a,
+                        None => self.st = 4,
+                    }
+                }
+                // Release immediately.
+                4 => {
+                    let (lock, tid) = (&self.lock, self.tid);
+                    match drive_sub(&mut self.sub, || lock.release(tid), &mut res, env) {
+                        Some(a) => return a,
+                        None => {
+                            env.record_sample(env.now - self.started_at);
+                            env.complete_op();
+                            self.st = 5;
+                            // Hand the turn to the partner.
+                            return Action::Fai(self.turn);
+                        }
+                    }
+                }
+                // Turn handed over.
+                5 => {
+                    self.st = 0;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::{make_lock, LockConfig, SimLockKind};
+    use ssync_core::Platform;
+    use ssync_sim::Sim;
+
+    /// Throughput of `kind` with `threads` threads over `n_locks` locks.
+    pub fn stress_mops(
+        platform: Platform,
+        kind: SimLockKind,
+        threads: usize,
+        n_locks: usize,
+    ) -> f64 {
+        let mut sim = Sim::new(platform, 11);
+        let cfg = LockConfig::for_placement(&sim, threads);
+        let mut locks = Vec::new();
+        let mut data = Vec::new();
+        for _ in 0..n_locks {
+            locks.push(make_lock(kind, &mut sim, &cfg));
+            data.push(sim.alloc_line_for_core(cfg.home_core));
+        }
+        for tid in 0..threads {
+            let w = LockStress::new(locks.clone(), data.clone(), tid);
+            sim.spawn_on_core(cfg.thread_cores[tid], Box::new(w));
+        }
+        let window = 400_000;
+        sim.run_until(window);
+        sim.topology().mops(sim.total_ops(), window)
+    }
+
+    #[test]
+    fn multisocket_single_lock_collapses() {
+        let t1 = stress_mops(Platform::Opteron, SimLockKind::Ticket, 1, 1);
+        let t12 = stress_mops(Platform::Opteron, SimLockKind::Ticket, 12, 1);
+        assert!(t1 > 2.0 * t12, "t1={t1:.2} t12={t12:.2}");
+    }
+
+    #[test]
+    fn single_socket_single_lock_holds_up() {
+        let t1 = stress_mops(Platform::Niagara, SimLockKind::Ticket, 1, 1);
+        let t32 = stress_mops(Platform::Niagara, SimLockKind::Ticket, 32, 1);
+        // No collapse below ~40% of single-thread throughput.
+        assert!(t32 > 0.4 * t1, "t1={t1:.2} t32={t32:.2}");
+    }
+
+    #[test]
+    fn low_contention_scales_on_single_socket() {
+        let t1 = stress_mops(Platform::Tilera, SimLockKind::Tas, 1, 128);
+        let t18 = stress_mops(Platform::Tilera, SimLockKind::Tas, 18, 128);
+        assert!(t18 > 3.0 * t1, "t1={t1:.2} t18={t18:.2}");
+    }
+
+    #[test]
+    fn queue_locks_resilient_under_extreme_contention() {
+        // On the Xeon at high thread counts, CLH should beat plain TAS.
+        let clh = stress_mops(Platform::Xeon, SimLockKind::Clh, 30, 1);
+        let tas = stress_mops(Platform::Xeon, SimLockKind::Tas, 30, 1);
+        assert!(clh > tas, "clh={clh:.2} tas={tas:.2}");
+    }
+
+    #[test]
+    fn uncontested_pair_records_samples() {
+        let mut sim = Sim::new(Platform::Xeon, 3);
+        let cfg = LockConfig {
+            n_threads: 2,
+            home_core: 0,
+            thread_cores: vec![0, 10],
+        };
+        let lock = make_lock(SimLockKind::Ticket, &mut sim, &cfg);
+        let turn = sim.alloc_line_for_core(0);
+        let t0 = sim.spawn_on_core(
+            0,
+            Box::new(UncontestedPair::new(Rc::clone(&lock), turn, 0, 0)),
+        );
+        let t1 = sim.spawn_on_core(
+            10,
+            Box::new(UncontestedPair::new(Rc::clone(&lock), turn, 1, 1)),
+        );
+        sim.run_until(400_000);
+        assert!(sim.samples(t0).len() > 10);
+        assert!(sim.samples(t1).len() > 10);
+        // Cross-socket handoff: each acquire+release costs hundreds of
+        // cycles (remote line transfers), not single digits.
+        let mean: u64 =
+            sim.samples(t1).iter().sum::<u64>() / sim.samples(t1).len() as u64;
+        assert!(mean > 100, "mean={mean}");
+    }
+}

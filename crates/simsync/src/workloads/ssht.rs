@@ -1,0 +1,475 @@
+//! The `ssht` concurrent hash table workload (Figure 11).
+//!
+//! The table is `buckets` buckets, each protected by one lock and laid
+//! out cache-efficiently: entry metadata (key + pointer) packs four
+//! entries per line, payloads are one 64-byte line each. An operation
+//! hashes a random key (local compute), locks the bucket, walks the
+//! metadata lines to a random position, touches the payload (get reads
+//! it; put/remove write metadata, put also writes the payload), and
+//! unlocks. The mix is the paper's 80% get / 10% put / 10% remove.
+//!
+//! The message-passing variant partitions buckets across server threads:
+//! clients send the bucket id and wait for the reply (all operations
+//! block, as in the paper); servers do the same traversal on their own
+//! locally-cached lines — no locks at all.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use ssync_sim::memory::LineId;
+use ssync_sim::program::{Action, Env, Program, SubProgram};
+use ssync_sim::Sim;
+
+use super::drive_sub;
+use crate::locks::SimLock;
+use crate::mp::SsmpChannel;
+
+/// Entries whose metadata shares one cache line.
+const ENTRIES_PER_META_LINE: usize = 4;
+
+/// Cycles to hash a key and set up the operation.
+const HASH_COST: u64 = 40;
+
+/// Shape of the table and the operation mix.
+#[derive(Debug, Clone, Copy)]
+pub struct SshtConfig {
+    /// Number of buckets (12 = high contention, 512 = low; Figure 11).
+    pub buckets: usize,
+    /// Entries per bucket (12 = short critical sections, 48 = long).
+    pub entries: usize,
+    /// Percent of get operations (put and remove split the rest evenly).
+    pub get_pct: u32,
+}
+
+impl SshtConfig {
+    /// The paper's four Figure 11 configurations.
+    pub const FIGURE11: [SshtConfig; 4] = [
+        SshtConfig { buckets: 12, entries: 12, get_pct: 80 },
+        SshtConfig { buckets: 12, entries: 48, get_pct: 80 },
+        SshtConfig { buckets: 512, entries: 12, get_pct: 80 },
+        SshtConfig { buckets: 512, entries: 48, get_pct: 80 },
+    ];
+
+    fn meta_lines(&self) -> usize {
+        self.entries.div_ceil(ENTRIES_PER_META_LINE)
+    }
+}
+
+/// The shared simulated table: per-bucket lock + lines.
+pub struct SshtTable {
+    config: SshtConfig,
+    locks: Vec<Rc<dyn SimLock>>,
+    /// `meta[b]` are bucket b's metadata lines.
+    meta: Vec<Vec<LineId>>,
+    /// `payload[b]` are bucket b's payload lines (one per entry).
+    payload: Vec<Vec<LineId>>,
+}
+
+impl SshtTable {
+    /// Builds the table, spreading bucket storage across the memory
+    /// nodes of the participating cores (`ssht` places data to allow
+    /// prefetching and avoid false sharing).
+    pub fn new(
+        sim: &mut Sim,
+        config: SshtConfig,
+        locks: Vec<Rc<dyn SimLock>>,
+        cores: &[usize],
+    ) -> Self {
+        assert_eq!(locks.len(), config.buckets);
+        let mut meta = Vec::with_capacity(config.buckets);
+        let mut payload = Vec::with_capacity(config.buckets);
+        for b in 0..config.buckets {
+            let home_core = cores[b % cores.len()];
+            meta.push(
+                (0..config.meta_lines())
+                    .map(|_| sim.alloc_line_for_core(home_core))
+                    .collect(),
+            );
+            payload.push(
+                (0..config.entries)
+                    .map(|_| sim.alloc_line_for_core(home_core))
+                    .collect(),
+            );
+        }
+        Self {
+            config,
+            locks,
+            meta,
+            payload,
+        }
+    }
+
+    /// The table shape.
+    pub fn config(&self) -> SshtConfig {
+        self.config
+    }
+}
+
+/// The three hash-table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HtOp {
+    Get,
+    Put,
+    Remove,
+}
+
+fn pick_op(cfg: &SshtConfig, env: &mut Env<'_>) -> HtOp {
+    let r = env.rng.gen_range(0..100u32);
+    if r < cfg.get_pct {
+        HtOp::Get
+    } else if r < cfg.get_pct + (100 - cfg.get_pct) / 2 {
+        HtOp::Put
+    } else {
+        HtOp::Remove
+    }
+}
+
+/// Lock-based worker.
+pub struct SshtWorker {
+    table: Rc<SshtTable>,
+    tid: usize,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+    bucket: usize,
+    op: HtOp,
+    /// Metadata lines left to walk, then payload/stores.
+    walk: Vec<LineId>,
+    write_queue: Vec<(LineId, u64)>,
+}
+
+impl SshtWorker {
+    /// Creates a worker over the shared table.
+    pub fn new(table: Rc<SshtTable>, tid: usize) -> Self {
+        Self {
+            table,
+            tid,
+            st: 0,
+            sub: None,
+            bucket: 0,
+            op: HtOp::Get,
+            walk: Vec::new(),
+            write_queue: Vec::new(),
+        }
+    }
+
+    fn plan_operation(&mut self, env: &mut Env<'_>) {
+        let cfg = self.table.config;
+        self.bucket = env.rng.gen_range(0..cfg.buckets);
+        self.op = pick_op(&cfg, env);
+        // Walk a random prefix of the metadata lines (expected position
+        // of the key), most-recent last so `pop` walks in order.
+        let depth = env.rng.gen_range(1..=cfg.meta_lines());
+        self.walk = self.table.meta[self.bucket][..depth]
+            .iter()
+            .rev()
+            .copied()
+            .collect();
+        let entry = env.rng.gen_range(0..cfg.entries);
+        let payload = self.table.payload[self.bucket][entry];
+        self.write_queue.clear();
+        match self.op {
+            HtOp::Get => {
+                // Read the payload line after the walk.
+                self.walk.insert(0, payload);
+            }
+            HtOp::Put => {
+                self.write_queue.push((payload, env.rng.gen()));
+                self.write_queue
+                    .push((self.table.meta[self.bucket][depth - 1], env.rng.gen()));
+            }
+            HtOp::Remove => {
+                self.write_queue
+                    .push((self.table.meta[self.bucket][depth - 1], env.rng.gen()));
+            }
+        }
+    }
+}
+
+impl Program for SshtWorker {
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+        let mut res = result;
+        loop {
+            match self.st {
+                // Hash + plan.
+                0 => {
+                    self.plan_operation(env);
+                    self.st = 1;
+                    return Action::Pause(HASH_COST);
+                }
+                // Acquire the bucket lock.
+                1 => {
+                    let (table, bucket, tid) = (&self.table, self.bucket, self.tid);
+                    match drive_sub(
+                        &mut self.sub,
+                        || table.locks[bucket].acquire(tid),
+                        &mut res,
+                        env,
+                    ) {
+                        Some(a) => return a,
+                        None => self.st = 2,
+                    }
+                }
+                // Walk the bucket (loads).
+                2 => match self.walk.pop() {
+                    Some(line) => return Action::Load(line),
+                    None => self.st = 3,
+                },
+                // Apply writes (put/remove).
+                3 => match self.write_queue.pop() {
+                    Some((line, v)) => return Action::Store(line, v),
+                    None => self.st = 4,
+                },
+                // Release.
+                4 => {
+                    let (table, bucket, tid) = (&self.table, self.bucket, self.tid);
+                    match drive_sub(
+                        &mut self.sub,
+                        || table.locks[bucket].release(tid),
+                        &mut res,
+                        env,
+                    ) {
+                        Some(a) => return a,
+                        None => {
+                            env.complete_op();
+                            self.st = 0;
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Message-passing client: sends the bucket id, waits for the answer.
+pub struct SshtMpClient {
+    request: SsmpChannel,
+    reply: SsmpChannel,
+    buckets: usize,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+}
+
+impl SshtMpClient {
+    /// Creates a client with its two channels to/from its server.
+    pub fn new(request: SsmpChannel, reply: SsmpChannel, buckets: usize) -> Self {
+        Self {
+            request,
+            reply,
+            buckets,
+            st: 0,
+            sub: None,
+        }
+    }
+}
+
+impl Program for SshtMpClient {
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+        let mut res = result;
+        loop {
+            match self.st {
+                0 => {
+                    self.st = 1;
+                    return Action::Pause(HASH_COST);
+                }
+                1 => {
+                    let bucket = env.rng.gen_range(0..self.buckets) as u64;
+                    let request = self.request.clone();
+                    match drive_sub(&mut self.sub, || request.send(bucket + 1), &mut res, env) {
+                        Some(a) => return a,
+                        None => self.st = 2,
+                    }
+                }
+                2 => {
+                    let reply = self.reply.clone();
+                    match drive_sub(&mut self.sub, || reply.recv(), &mut res, env) {
+                        Some(a) => return a,
+                        None => {
+                            env.complete_op();
+                            self.st = 0;
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Message-passing server: owns a bucket partition; serves traversals
+/// from its own cache and replies.
+pub struct SshtMpServer {
+    table: Rc<SshtTable>,
+    /// (request, reply) channel per client of this server.
+    channels: Vec<(SsmpChannel, SsmpChannel)>,
+    next: usize,
+    st: u8,
+    sub: Option<Box<dyn SubProgram>>,
+    current: usize,
+    walk: Vec<LineId>,
+    write_queue: Vec<(LineId, u64)>,
+}
+
+impl SshtMpServer {
+    /// Creates a server polling the given client channel pairs.
+    pub fn new(table: Rc<SshtTable>, channels: Vec<(SsmpChannel, SsmpChannel)>) -> Self {
+        Self {
+            table,
+            channels,
+            next: 0,
+            st: 0,
+            sub: None,
+            current: 0,
+            walk: Vec::new(),
+            write_queue: Vec::new(),
+        }
+    }
+}
+
+impl Program for SshtMpServer {
+    fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action {
+        let mut res = result;
+        loop {
+            match self.st {
+                // Poll the next client.
+                0 => {
+                    let ch = self.channels[self.next].0.clone();
+                    match drive_sub(&mut self.sub, || ch.try_recv(), &mut res, env) {
+                        Some(a) => return a,
+                        None => {
+                            let got = self.channels[self.next].0.last_received();
+                            self.current = self.next;
+                            self.next = (self.next + 1) % self.channels.len();
+                            if got == 0 {
+                                self.st = 1;
+                                return Action::Pause(2);
+                            }
+                            // Plan the traversal for the requested bucket.
+                            let cfg = self.table.config;
+                            let bucket = (got as usize - 1) % cfg.buckets;
+                            let depth = env.rng.gen_range(1..=cfg.meta_lines());
+                            self.walk = self.table.meta[bucket][..depth]
+                                .iter()
+                                .rev()
+                                .copied()
+                                .collect();
+                            let op = pick_op(&cfg, env);
+                            let entry = env.rng.gen_range(0..cfg.entries);
+                            let payload = self.table.payload[bucket][entry];
+                            self.write_queue.clear();
+                            match op {
+                                HtOp::Get => self.walk.insert(0, payload),
+                                HtOp::Put => {
+                                    self.write_queue.push((payload, env.rng.gen()));
+                                    self.write_queue
+                                        .push((self.table.meta[bucket][depth - 1], env.rng.gen()));
+                                }
+                                HtOp::Remove => {
+                                    self.write_queue
+                                        .push((self.table.meta[bucket][depth - 1], env.rng.gen()));
+                                }
+                            }
+                            self.st = 2;
+                        }
+                    }
+                }
+                1 => {
+                    self.st = 0;
+                }
+                // Traverse.
+                2 => match self.walk.pop() {
+                    Some(line) => return Action::Load(line),
+                    None => self.st = 3,
+                },
+                3 => match self.write_queue.pop() {
+                    Some((line, v)) => return Action::Store(line, v),
+                    None => self.st = 4,
+                },
+                // Reply.
+                4 => {
+                    let reply = self.channels[self.current].1.clone();
+                    match drive_sub(&mut self.sub, || reply.send(1), &mut res, env) {
+                        Some(a) => return a,
+                        None => self.st = 0,
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::{make_lock, LockConfig, SimLockKind};
+    use ssync_core::Platform;
+
+    /// Lock-based throughput helper (shared with ccbench via re-export).
+    pub fn lock_based_mops(
+        platform: Platform,
+        kind: SimLockKind,
+        threads: usize,
+        config: SshtConfig,
+    ) -> f64 {
+        let mut sim = Sim::new(platform, 21);
+        let cfg = LockConfig::for_placement(&sim, threads);
+        let locks: Vec<_> = (0..config.buckets)
+            .map(|_| make_lock(kind, &mut sim, &cfg))
+            .collect();
+        let table = Rc::new(SshtTable::new(&mut sim, config, locks, &cfg.thread_cores));
+        for tid in 0..threads {
+            sim.spawn_on_core(
+                cfg.thread_cores[tid],
+                Box::new(SshtWorker::new(Rc::clone(&table), tid)),
+            );
+        }
+        let window = 500_000;
+        sim.run_until(window);
+        sim.topology().mops(sim.total_ops(), window)
+    }
+
+    #[test]
+    fn low_contention_scales() {
+        let cfg = SshtConfig { buckets: 512, entries: 12, get_pct: 80 };
+        let t1 = lock_based_mops(Platform::Niagara, SimLockKind::Ticket, 1, cfg);
+        let t32 = lock_based_mops(Platform::Niagara, SimLockKind::Ticket, 32, cfg);
+        assert!(t32 > 5.0 * t1, "t1={t1:.2} t32={t32:.2}");
+    }
+
+    #[test]
+    fn high_contention_limits_multisocket_scaling() {
+        let cfg = SshtConfig { buckets: 12, entries: 12, get_pct: 80 };
+        let t1 = lock_based_mops(Platform::Xeon, SimLockKind::Tas, 1, cfg);
+        let t36 = lock_based_mops(Platform::Xeon, SimLockKind::Tas, 36, cfg);
+        // Scalability well below the 36x ideal (paper: < 1x..2x range).
+        assert!(t36 < 8.0 * t1, "t1={t1:.2} t36={t36:.2}");
+    }
+
+    #[test]
+    fn mp_version_processes_operations() {
+        let mut sim = Sim::new(Platform::Opteron, 33);
+        let config = SshtConfig { buckets: 12, entries: 12, get_pct: 80 };
+        // 1 server (core 0) + 3 clients. The table belongs to the server.
+        let cfg = LockConfig::for_placement(&sim, 4);
+        let locks: Vec<_> = (0..config.buckets)
+            .map(|_| make_lock(SimLockKind::Ticket, &mut sim, &cfg))
+            .collect();
+        let table = Rc::new(SshtTable::new(&mut sim, config, locks, &[0]));
+        let mut pairs = Vec::new();
+        let mut client_chans = Vec::new();
+        for i in 1..4 {
+            let req = SsmpChannel::new(&mut sim, 0);
+            let rep = SsmpChannel::new(&mut sim, i);
+            pairs.push((req.clone(), rep.clone()));
+            client_chans.push((req, rep));
+        }
+        sim.spawn_on_core(0, Box::new(SshtMpServer::new(Rc::clone(&table), pairs)));
+        for (i, (req, rep)) in client_chans.into_iter().enumerate() {
+            sim.spawn_on_core(i + 1, Box::new(SshtMpClient::new(req, rep, config.buckets)));
+        }
+        sim.run_until(600_000);
+        assert!(sim.total_ops() > 20, "ops={}", sim.total_ops());
+    }
+}

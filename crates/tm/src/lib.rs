@@ -1,0 +1,44 @@
+//! # ssync-tm
+//!
+//! A software transactional memory in the mould of TM2C (Section 4.3 of
+//! the paper; Gramoli, Guerraoui & Trigonakis, EuroSys'12): word-based
+//! transactions over a shared heap, with **eager (encounter-time)
+//! conflict detection**, in two builds:
+//!
+//! * [`shared`] — the shared-memory version "built with the spin locks
+//!   of libslock": per-stripe ownership records guarded by `ssync-locks`
+//!   try-locks, in-place writes with an undo log.
+//! * [`mp`] — the message-passing version: a distributed lock service
+//!   where server threads own address ranges and grant/deny access over
+//!   `ssync-mp` channels, as TM2C's DTM servers do.
+//!
+//! Both expose the same closure-based interface: [`shared::TmHeap::run`]
+//! retries the transaction until it commits.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssync_tm::shared::TmHeap;
+//! use ssync_locks::TtasLock;
+//!
+//! let heap: TmHeap<TtasLock> = TmHeap::new(16);
+//! heap.run(|tx| {
+//!     let v = tx.read(0)?;
+//!     tx.write(0, v + 1)?;
+//!     Ok(())
+//! });
+//! assert_eq!(heap.peek(0), 1);
+//! ```
+
+pub mod mp;
+pub mod shared;
+
+/// Why a transaction attempt failed (it will be retried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// Another transaction holds a needed word.
+    Conflict,
+}
+
+/// Result alias for transactional closures.
+pub type TxResult<T> = Result<T, TxError>;

@@ -1,0 +1,34 @@
+//! # ssync
+//!
+//! Umbrella crate for SSYNC-RS, a Rust reproduction of the SOSP'13 study
+//! *"Everything You Always Wanted to Know About Synchronization but Were
+//! Afraid to Ask"* (David, Guerraoui, Trigonakis).
+//!
+//! The workspace mirrors the paper's SSYNC suite:
+//!
+//! * [`locks`] (`ssync-locks`) — the `libslock` lock library: nine lock
+//!   algorithms behind one interface.
+//! * [`mp`] (`ssync-mp`) — the `libssmp` message-passing library built on
+//!   cache-line-sized one-directional buffers.
+//! * [`ht`] (`ssync-ht`) — the `ssht` concurrent hash table.
+//! * [`kv`] (`ssync-kv`) — a Memcached-model in-memory key-value store.
+//! * [`tm`] (`ssync-tm`) — a TM2C-model software transactional memory.
+//! * [`sim`] (`ssync-sim`) — a discrete-event cache-coherence simulator of
+//!   the paper's four platforms, calibrated to its Tables 2 and 3.
+//! * [`simsync`] (`ssync-simsync`) — the SSYNC software stack expressed as
+//!   simulator programs, used to regenerate the paper's figures.
+//! * [`ccbench`] (`ssync-ccbench`) — the experiment drivers for every
+//!   table and figure of the evaluation.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! paper-versus-measured results.
+
+pub use ssync_ccbench as ccbench;
+pub use ssync_core as core;
+pub use ssync_ht as ht;
+pub use ssync_kv as kv;
+pub use ssync_locks as locks;
+pub use ssync_mp as mp;
+pub use ssync_sim as sim;
+pub use ssync_simsync as simsync;
+pub use ssync_tm as tm;

@@ -1,0 +1,171 @@
+//! Property-based tests on core invariants (proptest).
+
+use proptest::prelude::*;
+
+use ssync::core::topology::{DistClass, Platform};
+use ssync::ht::HashTable;
+use ssync::locks::TicketLock;
+use ssync::sim::memory::SharerSet;
+use ssync::sim::program::{Action, MemOpKind};
+use ssync::sim::Sim;
+use ssync::tm::shared::TmHeap;
+
+proptest! {
+    /// SharerSet behaves like a set of small integers.
+    #[test]
+    fn sharer_set_models_hashset(ops in proptest::collection::vec((0usize..127, any::<bool>()), 0..64)) {
+        let mut set = SharerSet::EMPTY;
+        let mut model = std::collections::HashSet::new();
+        for (core, add) in ops {
+            if add {
+                set.add(core);
+                model.insert(core);
+            } else {
+                set.remove(core);
+                model.remove(&core);
+            }
+            prop_assert_eq!(set.count() as usize, model.len());
+            prop_assert_eq!(set.contains(core), model.contains(&core));
+        }
+        let from_iter: Vec<usize> = set.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_iter, from_model);
+    }
+
+    /// Topology distances are symmetric and zero only on the diagonal,
+    /// on every platform.
+    #[test]
+    fn topology_distance_symmetry(pi in 0usize..4, a in 0usize..80, b in 0usize..80) {
+        let p = Platform::ALL[pi];
+        let t = p.topology();
+        let (a, b) = (a % t.num_cores(), b % t.num_cores());
+        let d_ab = t.distance(a, b);
+        let d_ba = t.distance(b, a);
+        prop_assert_eq!(d_ab, d_ba);
+        prop_assert_eq!(d_ab == DistClass::Zero, a == b);
+    }
+
+    /// The hash table agrees with a HashMap model under any op sequence.
+    #[test]
+    fn hash_table_models_hashmap(ops in proptest::collection::vec((0u64..32, 0u8..3, any::<u64>()), 0..200)) {
+        let ht: HashTable<TicketLock> = HashTable::new(4);
+        let mut model = std::collections::HashMap::new();
+        for (key, op, value) in ops {
+            match op {
+                0 => prop_assert_eq!(ht.put(key, value), model.insert(key, value)),
+                1 => prop_assert_eq!(ht.get(key), model.get(&key).copied()),
+                _ => prop_assert_eq!(ht.remove(key), model.remove(&key)),
+            }
+        }
+        prop_assert_eq!(ht.len(), model.len());
+    }
+
+    /// Simulated FAI never loses counts, for any platform, thread count
+    /// and per-thread op count.
+    #[test]
+    fn sim_fai_is_atomic(pi in 0usize..4, threads in 1usize..12, per in 1u32..40) {
+        let p = Platform::ALL[pi];
+        let mut sim = Sim::new(p, 99);
+        let cores = sim.topology().placement(threads);
+        let line = sim.alloc_line_for_core(cores[0]);
+        for &c in &cores {
+            let mut left = per;
+            sim.spawn_on_core(c, ssync::sim::program::fn_program(move |_r, _e| {
+                if left == 0 {
+                    return Action::Done;
+                }
+                left -= 1;
+                Action::Fai(line)
+            }));
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(sim.memory().line(line).value, threads as u64 * u64::from(per));
+    }
+
+    /// Protocol invariant: after any op sequence, a Modified/Exclusive
+    /// line has an owner and no sharers; Shared has sharers and no owner.
+    #[test]
+    fn protocol_state_invariants(ops in proptest::collection::vec((0usize..6, 0usize..8), 1..80)) {
+        use ssync::sim::protocol;
+        let p = Platform::Opteron;
+        let mut sim = Sim::new(p, 5);
+        let line_id = sim.alloc_line(0);
+        for (op, core) in ops {
+            let core = core * 6; // Spread over dies.
+            let kind = [
+                MemOpKind::Load,
+                MemOpKind::Store,
+                MemOpKind::Cas,
+                MemOpKind::Fai,
+                MemOpKind::Flush,
+                MemOpKind::Prefetchw,
+            ][op];
+            protocol::apply(p, sim.memory_mut().line_mut(line_id), core, kind);
+            let line = sim.memory().line(line_id);
+            match line.state {
+                ssync::sim::CohState::Modified | ssync::sim::CohState::Exclusive => {
+                    prop_assert!(line.owner.is_some());
+                    prop_assert!(line.sharers.is_empty());
+                }
+                ssync::sim::CohState::Shared => {
+                    prop_assert!(line.owner.is_none());
+                    prop_assert!(!line.sharers.is_empty());
+                }
+                ssync::sim::CohState::Owned => {
+                    prop_assert!(line.owner.is_some());
+                }
+                ssync::sim::CohState::Invalid => {
+                    prop_assert!(line.owner.is_none());
+                    prop_assert!(line.sharers.is_empty());
+                }
+            }
+        }
+    }
+
+    /// STM transfers preserve the total for arbitrary transfer lists.
+    #[test]
+    fn stm_transfers_preserve_total(transfers in proptest::collection::vec((0usize..8, 0usize..8), 0..50)) {
+        let heap: TmHeap<TicketLock> = TmHeap::new(8);
+        for a in 0..8 {
+            heap.poke(a, 1000);
+        }
+        for (from, to) in transfers {
+            if from == to {
+                continue;
+            }
+            heap.run(|tx| {
+                let a = tx.read(from)?;
+                let b = tx.read(to)?;
+                tx.write(from, a.wrapping_sub(5))?;
+                tx.write(to, b.wrapping_add(5))?;
+                Ok(())
+            });
+        }
+        let total: u64 = (0..8).map(|a| heap.peek(a)).sum();
+        prop_assert_eq!(total, 8000);
+    }
+
+    /// The simulator is deterministic: same seed, same final state.
+    #[test]
+    fn sim_is_deterministic(seed in any::<u64>(), threads in 1usize..8) {
+        let run = || {
+            let mut sim = Sim::new(Platform::Tilera, seed);
+            let cores = sim.topology().placement(threads);
+            let line = sim.alloc_line_for_core(cores[0]);
+            for &c in &cores {
+                let mut left = 10;
+                sim.spawn_on_core(c, ssync::sim::program::fn_program(move |_r, _e| {
+                    if left == 0 {
+                        return Action::Done;
+                    }
+                    left -= 1;
+                    Action::Fai(line)
+                }));
+            }
+            sim.run_to_completion();
+            (sim.now(), sim.events())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
