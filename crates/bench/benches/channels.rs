@@ -38,7 +38,7 @@ fn bench_ping_pong_threads(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

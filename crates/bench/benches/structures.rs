@@ -20,12 +20,8 @@ fn bench_hash_table(c: &mut Criterion) {
             black_box(ht.get(k))
         })
     });
-    group.bench_function("get_miss", |b| {
-        b.iter(|| black_box(ht.get(99_999_999)))
-    });
-    group.bench_function("put_update", |b| {
-        b.iter(|| ht.put(42, 43))
-    });
+    group.bench_function("get_miss", |b| b.iter(|| black_box(ht.get(99_999_999))));
+    group.bench_function("put_update", |b| b.iter(|| ht.put(42, 43)));
     group.bench_function("remove_insert", |b| {
         b.iter(|| {
             ht.remove(7);
@@ -40,18 +36,14 @@ fn bench_kv(c: &mut Criterion) {
     kv.set(b"hot", b"value".as_slice());
     let mut group = c.benchmark_group("kv");
     group.bench_function("get_hit", |b| b.iter(|| black_box(kv.get(b"hot"))));
-    group.bench_function("set", |b| {
-        b.iter(|| kv.set(b"hot", b"value2".as_slice()))
-    });
+    group.bench_function("set", |b| b.iter(|| kv.set(b"hot", b"value2".as_slice())));
     group.finish();
 }
 
 fn bench_stm(c: &mut Criterion) {
     let heap: TmHeap<TasLock> = TmHeap::new(64);
     let mut group = c.benchmark_group("stm");
-    group.bench_function("read_only_tx", |b| {
-        b.iter(|| heap.run(|tx| tx.read(5)))
-    });
+    group.bench_function("read_only_tx", |b| b.iter(|| heap.run(|tx| tx.read(5))));
     group.bench_function("read_write_tx", |b| {
         b.iter(|| {
             heap.run(|tx| {
@@ -75,7 +67,7 @@ fn bench_stm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

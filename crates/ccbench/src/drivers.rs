@@ -15,7 +15,9 @@ use ssync_simsync::workloads::atomics::{stress_pause, AtomicKind, AtomicStress};
 use ssync_simsync::workloads::kv::{KvMix, KvWorker};
 use ssync_simsync::workloads::lock_stress::{LockStress, UncontestedPair};
 use ssync_simsync::workloads::mp_bench::{Chan, MpClient, MpServer, PingReceiver, PingSender};
-use ssync_simsync::workloads::ssht::{SshtConfig, SshtMpClient, SshtMpServer, SshtTable, SshtWorker};
+use ssync_simsync::workloads::ssht::{
+    SshtConfig, SshtMpClient, SshtMpServer, SshtTable, SshtWorker,
+};
 
 /// Default measurement window for throughput runs, in simulated cycles.
 pub const WINDOW: u64 = 600_000;
@@ -48,7 +50,7 @@ pub fn lock_mops(platform: Platform, kind: SimLockKind, threads: usize, n_locks:
 /// Figure 3: average latency (cycles) of one acquire+release when
 /// `threads` threads contend for a single lock.
 pub fn lock_latency(platform: Platform, kind: SimLockKind, threads: usize) -> f64 {
-    let mut sim = Sim::new(platform, 0xF16_3);
+    let mut sim = Sim::new(platform, 0xF163);
     let cfg = LockConfig::for_placement(&sim, threads);
     let lock = make_lock(kind, &mut sim, &cfg);
     let data = sim.alloc_line_for_core(cfg.home_core);
@@ -125,7 +127,10 @@ pub fn uncontested_latency(platform: Platform, kind: SimLockKind, partner_core: 
     };
     let lock = make_lock(kind, &mut sim, &cfg);
     let turn = sim.alloc_line_for_core(0);
-    let t0 = sim.spawn_on_core(0, Box::new(UncontestedPair::new(Rc::clone(&lock), turn, 0, 0)));
+    let t0 = sim.spawn_on_core(
+        0,
+        Box::new(UncontestedPair::new(Rc::clone(&lock), turn, 0, 0)),
+    );
     let t1 = sim.spawn_on_core(
         partner_core,
         Box::new(UncontestedPair::new(Rc::clone(&lock), turn, 1, 1)),
@@ -317,7 +322,12 @@ pub fn ssht_mops(
                     .map(|_| make_lock(SimLockKind::Tas, &mut sim, &lock_cfg))
                     .collect();
                 let server_core = lock_cfg.thread_cores[s];
-                tables.push(Rc::new(SshtTable::new(&mut sim, shard, locks, &[server_core])));
+                tables.push(Rc::new(SshtTable::new(
+                    &mut sim,
+                    shard,
+                    locks,
+                    &[server_core],
+                )));
             }
             // Channels: client i talks to server i % n_servers.
             let mut server_pairs: Vec<Vec<(SsmpChannel, SsmpChannel)>> =
@@ -424,8 +434,17 @@ mod tests {
 
     #[test]
     fn ssht_driver_runs_both_backends() {
-        let cfg = SshtConfig { buckets: 12, entries: 12, get_pct: 80 };
-        let lk = ssht_mops(Platform::Niagara, SshtBackend::Lock(SimLockKind::Tas), 8, cfg);
+        let cfg = SshtConfig {
+            buckets: 12,
+            entries: 12,
+            get_pct: 80,
+        };
+        let lk = ssht_mops(
+            Platform::Niagara,
+            SshtBackend::Lock(SimLockKind::Tas),
+            8,
+            cfg,
+        );
         let mp = ssht_mops(Platform::Niagara, SshtBackend::MessagePassing, 8, cfg);
         assert!(lk > 0.0 && mp > 0.0);
     }

@@ -26,10 +26,7 @@ impl Series {
 
     /// The y value at an x (exact match), if present.
     pub fn at(&self, x: f64) -> Option<f64> {
-        self.xs
-            .iter()
-            .position(|&v| v == x)
-            .map(|i| self.ys[i])
+        self.xs.iter().position(|&v| v == x).map(|i| self.ys[i])
     }
 }
 

@@ -16,6 +16,9 @@ use ssync_sim::memory::{CohState, SharerSet};
 use ssync_sim::program::{fn_program, Action};
 use ssync_sim::Sim;
 
+/// Constructor for the single measured action of a Table 2 cell.
+type OpCtor = fn(u64) -> Action;
+
 /// One measured cell of Table 2.
 #[derive(Debug, Clone)]
 pub struct Table2Cell {
@@ -56,12 +59,7 @@ fn measure(
 /// Stages a line homed at core 0's node with the given state, a holder
 /// at `holder_core`, and (for Shared/Owned) one extra sharer next to the
 /// holder. Returns (line, requester).
-fn stage(
-    sim: &mut Sim,
-    state: CohState,
-    holder_core: usize,
-    requester: usize,
-) -> (u64, usize) {
+fn stage(sim: &mut Sim, state: CohState, holder_core: usize, requester: usize) -> (u64, usize) {
     let line = sim.alloc_line_for_core(0);
     {
         let l = sim.memory_mut().line_mut(line);
@@ -122,7 +120,7 @@ pub fn table2(platform: Platform) -> Vec<Table2Cell> {
     for &(ref label, holder, requester) in &distance_columns(platform) {
         let _ = label;
         for &state in states {
-            let ops: [(&'static str, fn(u64) -> Action); 6] = [
+            let ops: [(&'static str, OpCtor); 6] = [
                 ("load", Action::Load),
                 ("store", |l| Action::Store(l, 7)),
                 ("CAS", |l| Action::Cas(l, 0, 1)),
@@ -133,11 +131,7 @@ pub fn table2(platform: Platform) -> Vec<Table2Cell> {
             for (name, make) in ops {
                 // Stores/atomics on Invalid are not Table 2 rows, but we
                 // generate them anyway for completeness.
-                let cycles = measure(
-                    platform,
-                    |sim| stage(sim, state, holder, requester),
-                    make,
-                );
+                let cycles = measure(platform, |sim| stage(sim, state, holder, requester), make);
                 cells.push(Table2Cell {
                     state,
                     distance: platform.topology().distance(0, requester),

@@ -13,6 +13,54 @@
 
 use core::hint;
 
+/// Bounded busy-wait for blocking poll loops: pure spinning for a
+/// while (the fast path — a polled flag line is a local cache hit
+/// until the peer writes it), then one OS yield per failed poll so
+/// the loop stays live when threads outnumber cores. Without the
+/// yield, a waiter on an oversubscribed host burns a full scheduling
+/// quantum per handoff — on a single-core box that turns a
+/// message-passing ping-pong from milliseconds into minutes.
+///
+/// Used by every blocking receive/send path in `ssync-mp` and the
+/// server loops in `ssync-tm`/`ssync-ht`.
+///
+/// # Examples
+///
+/// ```
+/// use ssync_core::SpinWait;
+///
+/// let mut ready = false; // stand-in for a polled flag
+/// let mut wait = SpinWait::new();
+/// while !ready {
+///     ready = true; // poll the real condition here
+///     wait.snooze();
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinWait {
+    polls: u32,
+}
+
+impl SpinWait {
+    const SPIN_LIMIT: u32 = 128;
+
+    /// Starts a fresh wait (full spin budget).
+    pub fn new() -> Self {
+        Self { polls: 0 }
+    }
+
+    /// Call once per failed poll: spins while the budget lasts, then
+    /// yields to the OS scheduler.
+    pub fn snooze(&mut self) {
+        if self.polls < Self::SPIN_LIMIT {
+            self.polls += 1;
+            hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Default number of spin iterations corresponding to one "slot" of
 /// proportional back-off — roughly the cost of an uncontended
 /// acquire/release pair on the platforms of the paper.

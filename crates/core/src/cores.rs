@@ -1,0 +1,77 @@
+//! Host core-count probes for tests and benchmarks.
+//!
+//! The paper's experiments pin one thread per hardware context; this
+//! workspace's *native* tests (lock torture, channel ping-pong,
+//! cross-crate stress) inherit that assumption but must still pass on
+//! small CI boxes and laptops. These helpers let a test scale its
+//! thread count to the host — or skip an assertion that is only
+//! meaningful with real parallelism — instead of failing or livelocking
+//! on a machine with one or two cores.
+
+use std::num::NonZeroUsize;
+
+/// Number of hardware threads the OS will schedule us on.
+///
+/// Falls back to 1 when the platform cannot report it, which is the
+/// conservative choice for gating purposes.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// True when the host has at least `n` schedulable hardware threads.
+///
+/// Tests that *require* real parallelism (for example, asserting that
+/// concurrent progress happens without preemption) should early-return
+/// when this is false rather than flake:
+///
+/// ```
+/// if !ssync_core::cores::has_cores(3) {
+///     eprintln!("skipping: needs >2 physical cores");
+///     return;
+/// }
+/// ```
+pub fn has_cores(n: usize) -> bool {
+    available_cores() >= n
+}
+
+/// Scales a test's requested thread count to the host:
+/// `min(requested, available cores)`, then clamped up to 2 so that
+/// concurrency is still exercised everywhere — meaning a `requested`
+/// of 0 or 1 still yields 2. For a strictly serial run, don't call
+/// this; spawn the one thread directly.
+///
+/// Oversubscription tests (more threads than cores *on purpose*)
+/// should not use this either — they encode their thread count
+/// directly.
+pub fn test_threads(requested: usize) -> usize {
+    requested.min(available_cores()).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn test_threads_bounds() {
+        assert_eq!(test_threads(1), 2);
+        assert!(test_threads(64) >= 2);
+        assert!(test_threads(64) <= 64.max(available_cores()));
+        let cores = available_cores();
+        assert_eq!(test_threads(usize::MAX), cores.max(2));
+    }
+
+    #[test]
+    fn has_cores_is_monotone() {
+        assert!(has_cores(1));
+        if has_cores(8) {
+            assert!(has_cores(4));
+        }
+    }
+}

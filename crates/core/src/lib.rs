@@ -14,13 +14,16 @@
 //!   (Table 1): core counts, socket/die structure, hop distances, memory
 //!   nodes, and the thread-placement policies of Sections 5.4 and 6.
 //! * [`stats`] — small statistics helpers used by the benchmark harnesses.
+//! * [`cores`] — host core-count probes, so native stress tests scale to
+//!   the machine instead of failing on small ones.
 
 pub mod backoff;
+pub mod cores;
 pub mod pad;
 pub mod stats;
 pub mod topology;
 
-pub use backoff::{Backoff, ProportionalBackoff};
+pub use backoff::{Backoff, ProportionalBackoff, SpinWait};
 pub use pad::CachePadded;
 pub use topology::{DistClass, Platform, Topology};
 

@@ -369,13 +369,13 @@ impl Topology {
         match self.platform {
             Platform::Opteron => vec![
                 (DistClass::SameDie, 1),
-                (DistClass::SameMcm, self.cores_per_die),     // die 1
-                (DistClass::OneHop, 2 * self.cores_per_die),  // die 2 (MCM 1)
+                (DistClass::SameMcm, self.cores_per_die), // die 1
+                (DistClass::OneHop, 2 * self.cores_per_die), // die 2 (MCM 1)
                 (DistClass::TwoHops, 6 * self.cores_per_die), // die 6 (MCM 3)
             ],
             Platform::Xeon => vec![
                 (DistClass::SameDie, 1),
-                (DistClass::OneHop, self.cores_per_die),      // socket 1
+                (DistClass::OneHop, self.cores_per_die), // socket 1
                 (DistClass::TwoHops, 3 * self.cores_per_die), // socket 3
             ],
             Platform::Niagara => vec![
@@ -446,7 +446,7 @@ mod tests {
         assert_eq!(t.distance(0, 6), DistClass::SameMcm);
         assert_eq!(t.distance(0, 12), DistClass::OneHop); // die 2, MCM 1
         assert_eq!(t.distance(0, 36), DistClass::TwoHops); // die 6, MCM 3
-        // Maximum die distance is two hops.
+                                                           // Maximum die distance is two hops.
         for a in 0..8 {
             for b in 0..8 {
                 if a != b {
@@ -555,7 +555,7 @@ mod tests {
     #[test]
     fn mops_conversion() {
         let t = Platform::Tilera.topology(); // 1.2 GHz
-        // 1200 ops in 1200 cycles at 1.2 GHz = 1.2e9 ops/s = 1200 Mops/s.
+                                             // 1200 ops in 1200 cycles at 1.2 GHz = 1.2e9 ops/s = 1200 Mops/s.
         let m = t.mops(1200, 1200);
         assert!((m - 1200.0).abs() < 1e-9);
     }

@@ -64,7 +64,11 @@ pub fn table02(small_scale: bool) -> String {
         &Platform::ALL
     };
     for &p in platforms {
-        let _ = writeln!(out, "# Table 2 [{}]: latency (cycles) by state and distance", p.name());
+        let _ = writeln!(
+            out,
+            "# Table 2 [{}]: latency (cycles) by state and distance",
+            p.name()
+        );
         let cols = tables::distance_columns(p);
         let _ = write!(out, "{:>8} {:>6}", "state", "op");
         for (label, _, _) in &cols {
@@ -125,11 +129,11 @@ pub fn table03() -> String {
         Platform::Tilera.name()
     );
     let per: Vec<[(&str, u64); 4]> = Platform::ALL.iter().map(|&p| tables::table3(p)).collect();
-    for i in 0..4 {
+    for (i, &(level, opteron)) in per[0].iter().enumerate() {
         let _ = writeln!(
             out,
             "{:>8} {:>10} {:>10} {:>10} {:>10}",
-            per[0][i].0, per[0][i].1, per[1][i].1, per[2][i].1, per[3][i].1
+            level, opteron, per[1][i].1, per[2][i].1, per[3][i].1
         );
     }
     out
@@ -148,9 +152,9 @@ pub fn fig03() -> String {
         .map(|&(kind, label)| {
             Series::new(
                 label,
-                threads.iter().map(|&t| {
-                    (t as f64, lock_latency(Platform::Opteron, kind, t))
-                }),
+                threads
+                    .iter()
+                    .map(|&t| (t as f64, lock_latency(Platform::Opteron, kind, t))),
             )
         })
         .collect();
@@ -178,7 +182,10 @@ pub fn fig04() -> String {
             })
             .collect();
         out.push_str(&render_table(
-            &format!("Figure 4 [{}]: atomic op throughput (Mops/s), one line", p.name()),
+            &format!(
+                "Figure 4 [{}]: atomic op throughput (Mops/s), one line",
+                p.name()
+            ),
             "threads",
             &series,
         ));
@@ -205,7 +212,10 @@ pub fn fig_locks(n_locks: usize, figure: &str) -> String {
             })
             .collect();
         out.push_str(&render_table(
-            &format!("{figure} [{}]: lock throughput (Mops/s), {n_locks} lock(s)", p.name()),
+            &format!(
+                "{figure} [{}]: lock throughput (Mops/s), {n_locks} lock(s)",
+                p.name()
+            ),
             "threads",
             &series,
         ));
@@ -230,7 +240,12 @@ pub fn fig06() -> String {
         }
         let _ = writeln!(out);
         for &kind in locks_for(p) {
-            let _ = write!(out, "{:>10} {:>14.0}", kind.name(), single_thread_latency(p, kind));
+            let _ = write!(
+                out,
+                "{:>10} {:>14.0}",
+                kind.name(),
+                single_thread_latency(p, kind)
+            );
             for &(_, partner) in &ladder {
                 let _ = write!(out, " {:>12.0}", uncontested_latency(p, kind, partner));
             }
@@ -337,10 +352,12 @@ pub fn fig10() -> String {
         );
         series.push(Series::new(
             label,
-            clients
-                .iter()
-                .filter(|&&c| c <= 35)
-                .map(|&c| (c as f64, mp_client_server(Platform::Tilera, c, round_trip, true))),
+            clients.iter().filter(|&&c| c <= 35).map(|&c| {
+                (
+                    c as f64,
+                    mp_client_server(Platform::Tilera, c, round_trip, true),
+                )
+            }),
         ));
     }
     render_table(
@@ -428,7 +445,10 @@ pub fn fig12(mix: KvMix) -> String {
             })
             .collect();
         out.push_str(&render_table(
-            &format!("Figure 12 [{}]: memcached-model {name} throughput (Kops/s)", p.name()),
+            &format!(
+                "Figure 12 [{}]: memcached-model {name} throughput (Kops/s)",
+                p.name()
+            ),
             "threads",
             &series,
         ));
@@ -441,9 +461,53 @@ pub fn fig12(mix: KvMix) -> String {
             .iter()
             .flat_map(|s| s.ys.iter().copied())
             .fold(f64::MIN, f64::max);
-        let _ = writeln!(out, "max speedup vs single thread: {:.1}x\n", best18 / best1);
+        let _ = writeln!(
+            out,
+            "max speedup vs single thread: {:.1}x\n",
+            best18 / best1
+        );
     }
     out
+}
+
+/// One paper artifact: its name and a renderer producing the report.
+pub type Artifact = (&'static str, Box<dyn Fn() -> String>);
+
+/// The full artifact inventory: `(name, render)` for every table and
+/// figure `repro-all` regenerates.
+pub fn artifacts() -> Vec<Artifact> {
+    vec![
+        ("table01", Box::new(table01) as Box<dyn Fn() -> String>),
+        ("table02", Box::new(|| table02(false))),
+        ("table02_small", Box::new(|| table02(true))),
+        ("table03", Box::new(table03)),
+        ("fig03", Box::new(fig03)),
+        ("fig04", Box::new(fig04)),
+        ("fig05", Box::new(|| fig_locks(1, "Figure 5"))),
+        ("fig06", Box::new(fig06)),
+        ("fig07", Box::new(|| fig_locks(512, "Figure 7"))),
+        ("fig08", Box::new(fig08)),
+        ("fig09", Box::new(fig09)),
+        ("fig10", Box::new(fig10)),
+        ("fig11", Box::new(fig11)),
+        ("fig12", Box::new(|| fig12(KvMix::SetOnly))),
+        ("fig12_get", Box::new(|| fig12(KvMix::GetOnly))),
+    ]
+}
+
+/// Regenerates every table and figure into `results/`, logging progress
+/// to stderr. This is the body of the `repro-all` binary (also exposed
+/// from the umbrella crate so `cargo run --bin repro-all` works from
+/// the workspace root).
+pub fn repro_all() {
+    std::fs::create_dir_all("results").expect("create results dir");
+    for (name, render) in artifacts() {
+        let t = std::time::Instant::now();
+        let body = render();
+        let path = format!("results/{name}.txt");
+        std::fs::write(&path, &body).expect("write result");
+        eprintln!("wrote {path} ({:.1}s)", t.elapsed().as_secs_f64());
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
+use ssync_core::SpinWait;
 use ssync_mp::channel::{channel, Receiver, Sender};
 use ssync_mp::hub::ServerHub;
 
@@ -130,14 +131,16 @@ fn server_loop(
     // the open-chaining details (the native table covers those).
     let mut data: HashMap<usize, HashMap<Key, Value>> = HashMap::new();
     let mut hub = ServerHub::new(requests);
+    let mut wait = SpinWait::new();
     loop {
         if shutdown.try_recv().is_some() {
             return;
         }
         let Some((client, msg)) = hub.try_recv_from_any() else {
-            core::hint::spin_loop();
+            wait.snooze();
             continue;
         };
+        wait = SpinWait::new();
         let [op, key, value, bucket, ..] = msg;
         let bucket = bucket as usize;
         let entry = data.entry(bucket).or_default();

@@ -9,9 +9,12 @@ use ssync_locks::{Lock, RawLock};
 
 use crate::{bucket_of, Key, Value};
 
+/// One bucket: a chained entry list behind its own lock.
+type Bucket<R> = Lock<Vec<(Key, Value)>, R>;
+
 /// A concurrent fixed-bucket hash table protected by per-bucket locks.
 pub struct HashTable<R: RawLock + Default> {
-    buckets: Box<[Lock<Vec<(Key, Value)>, R>]>,
+    buckets: Box<[Bucket<R>]>,
 }
 
 impl<R: RawLock + Default> HashTable<R> {

@@ -165,9 +165,7 @@ impl AnyLock {
             LockKind::Clh => AnyLock::Clh(ClhLock::new()),
             LockKind::Hclh => AnyLock::Hclh(HclhLock::new(clusters.max(1))),
             LockKind::Hticket => AnyLock::Hticket(HticketLock::new(clusters.max(1))),
-            LockKind::TicketNoBackoff => {
-                AnyLock::TicketNoBackoff(TicketLockNoBackoff::new())
-            }
+            LockKind::TicketNoBackoff => AnyLock::TicketNoBackoff(TicketLockNoBackoff::new()),
         }
     }
 
@@ -195,11 +193,21 @@ impl RawLock for AnyLock {
 
     fn lock(&self) -> AnyToken {
         match self {
-            AnyLock::Tas(l) => AnyToken::Tas(l.lock()),
-            AnyLock::Ttas(l) => AnyToken::Ttas(l.lock()),
+            // TAS/TTAS/MUTEX tokens are unit: acquire, then wrap.
+            AnyLock::Tas(l) => {
+                l.lock();
+                AnyToken::Tas(())
+            }
+            AnyLock::Ttas(l) => {
+                l.lock();
+                AnyToken::Ttas(())
+            }
             AnyLock::Ticket(l) => AnyToken::Ticket(l.lock()),
             AnyLock::Array(l) => AnyToken::Array(l.lock()),
-            AnyLock::Mutex(l) => AnyToken::Mutex(l.lock()),
+            AnyLock::Mutex(l) => {
+                l.lock();
+                AnyToken::Mutex(())
+            }
             AnyLock::Mcs(l) => AnyToken::Mcs(l.lock()),
             AnyLock::Clh(l) => AnyToken::Clh(l.lock()),
             AnyLock::Hclh(l) => AnyToken::Hclh(l.lock()),

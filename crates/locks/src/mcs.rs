@@ -45,6 +45,10 @@ thread_local! {
     /// Per-thread free list of MCS nodes (recycled across acquisitions and
     /// across distinct locks; a node is exclusively owned between `lock`
     /// and `unlock`).
+    // The Box is load-bearing (not `clippy::vec_box` noise): queue links
+    // are raw pointers to the nodes, so nodes must not move when the
+    // pool Vec reallocates.
+    #[allow(clippy::vec_box)]
     static NODE_POOL: RefCell<Vec<Box<CachePadded<McsNode>>>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -142,12 +146,10 @@ impl RawLock for McsLock {
         node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
         node_ref.locked.store(true, Ordering::Relaxed);
 
-        match self.tail.compare_exchange(
-            ptr::null_mut(),
-            node,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => Some(McsToken { node }),
             Err(_) => {
                 // SAFETY: the CAS failed, so the node was never published.

@@ -91,8 +91,8 @@ mod tests {
     fn reacquire_after_unlock() {
         let lock = TasLock::new();
         for _ in 0..100 {
-            let t = lock.lock();
-            lock.unlock(t);
+            lock.lock();
+            lock.unlock(());
         }
         assert!(!lock.is_locked());
     }

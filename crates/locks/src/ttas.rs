@@ -97,9 +97,9 @@ mod tests {
     #[test]
     fn try_lock_fails_fast_when_held() {
         let lock = TtasLock::new();
-        let t = lock.lock();
+        lock.lock();
         // try_lock must not spin: it observes the held flag and bails.
         assert!(lock.try_lock().is_none());
-        lock.unlock(t);
+        lock.unlock(());
     }
 }

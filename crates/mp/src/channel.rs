@@ -8,11 +8,10 @@
 //! in the API by non-cloneable [`Sender`]/[`Receiver`] halves.
 
 use core::cell::UnsafeCell;
-use core::hint;
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ssync_core::CachePadded;
+use ssync_core::{CachePadded, SpinWait};
 
 /// Payload words per message: 7 × 8 bytes + the 8-byte flag fill one
 /// 64-byte cache line.
@@ -57,10 +56,11 @@ pub fn channel() -> (Sender, Receiver) {
 }
 
 impl Sender {
-    /// Sends a message, spinning until the buffer drains.
+    /// Sends a message, spinning (then yielding) until the buffer drains.
     pub fn send(&self, msg: Message) {
+        let mut wait = SpinWait::new();
         while self.buf.flag.load(Ordering::Acquire) != 0 {
-            hint::spin_loop();
+            wait.snooze();
         }
         // SAFETY: the buffer is empty (flag 0) and we are the unique
         // sender, so no one else accesses `data` until we publish.
@@ -82,12 +82,14 @@ impl Sender {
 }
 
 impl Receiver {
-    /// Receives the next message, spinning until one arrives.
+    /// Receives the next message, spinning (then yielding) until one
+    /// arrives.
     pub fn recv(&self) -> Message {
+        let mut wait = SpinWait::new();
         loop {
             match self.try_recv() {
                 Some(m) => return m,
-                None => hint::spin_loop(),
+                None => wait.snooze(),
             }
         }
     }

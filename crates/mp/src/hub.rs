@@ -5,6 +5,8 @@
 //! owns one receive channel per client and scans them round-robin
 //! (starting after the last served client, so no client starves).
 
+use ssync_core::SpinWait;
+
 use crate::channel::{Message, Receiver};
 
 /// Server-side receive multiplexer.
@@ -33,11 +35,12 @@ impl ServerHub {
     /// Receives the next message from any client, spinning until one
     /// arrives. Returns `(client_id, message)`.
     pub fn recv_from_any(&mut self) -> (usize, Message) {
+        let mut wait = SpinWait::new();
         loop {
             if let Some(hit) = self.poll_once(None) {
                 return hit;
             }
-            core::hint::spin_loop();
+            wait.snooze();
         }
     }
 
@@ -54,11 +57,12 @@ impl ServerHub {
     /// Panics if `subset` contains an out-of-range client id.
     pub fn recv_from_subset(&mut self, subset: &[usize]) -> (usize, Message) {
         assert!(subset.iter().all(|&c| c < self.clients.len()));
+        let mut wait = SpinWait::new();
         loop {
             if let Some(hit) = self.poll_once(Some(subset)) {
                 return hit;
             }
-            core::hint::spin_loop();
+            wait.snooze();
         }
     }
 

@@ -179,7 +179,9 @@ impl Sim {
             send_waiters: VecDeque::new(),
             ops: 0,
             samples: Vec::new(),
-            rng: SmallRng::seed_from_u64(self.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SmallRng::seed_from_u64(
+                self.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
         });
         self.schedule(self.now, tid);
         tid
@@ -274,8 +276,7 @@ impl Sim {
             }
             Action::Unpark(target) => {
                 let wake_at = now + self.model.unpark_cost() + self.model.wake_latency();
-                if target < self.threads.len()
-                    && self.threads[target].state == ThreadState::Parked
+                if target < self.threads.len() && self.threads[target].state == ThreadState::Parked
                 {
                     self.threads[target].state = ThreadState::Ready;
                     self.threads[target].pending = None;
@@ -287,9 +288,7 @@ impl Sim {
                 self.schedule(now + self.model.unpark_cost(), tid);
             }
             Action::HwSend { to, payload } => {
-                if to < self.threads.len()
-                    && self.threads[to].inbox.len() >= HW_INBOX_CAPACITY
-                {
+                if to < self.threads.len() && self.threads[to].inbox.len() >= HW_INBOX_CAPACITY {
                     // Backpressure: stall until the receiver drains.
                     self.threads[to].send_waiters.push_back((tid, payload));
                     self.threads[tid].state = ThreadState::SendWait;
@@ -659,19 +658,16 @@ mod tests {
                 0,
                 scripted(vec![Action::HwSend { to: 1, payload: 5 }, Action::Done]),
             );
-            sim.spawn_on_core(
-                receiver_core,
-                {
-                    let mut done = false;
-                    fn_program(move |r, _env| {
-                        if r.is_some() || done {
-                            return Action::Done;
-                        }
-                        done = true;
-                        Action::HwRecv
-                    })
-                },
-            );
+            sim.spawn_on_core(receiver_core, {
+                let mut done = false;
+                fn_program(move |r, _env| {
+                    if r.is_some() || done {
+                        return Action::Done;
+                    }
+                    done = true;
+                    Action::HwRecv
+                })
+            });
             sim.run_to_completion();
             assert!(
                 sim.now() >= min_t && sim.now() <= max_t,
@@ -711,20 +707,17 @@ mod tests {
     fn complete_op_counts() {
         let mut sim = Sim::new(Platform::Niagara, 1);
         let line = sim.alloc_line(0);
-        let tid = sim.spawn_on_core(
-            0,
-            {
-                let mut n = 0;
-                fn_program(move |_r, env| {
-                    n += 1;
-                    if n > 10 {
-                        return Action::Done;
-                    }
-                    env.complete_op();
-                    Action::Fai(line)
-                })
-            },
-        );
+        let tid = sim.spawn_on_core(0, {
+            let mut n = 0;
+            fn_program(move |_r, env| {
+                n += 1;
+                if n > 10 {
+                    return Action::Done;
+                }
+                env.complete_op();
+                Action::Fai(line)
+            })
+        });
         sim.run_to_completion();
         assert_eq!(sim.ops(tid), 10);
         assert_eq!(sim.total_ops(), 10);

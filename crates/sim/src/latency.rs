@@ -216,8 +216,12 @@ impl LatencyModel {
                     return Cost::local(3);
                 }
                 match line.state {
-                    CohState::Modified => Cost::probe_read(idx4(idx, [81, 161, 172, 252]) + owner_penalty),
-                    CohState::Owned => Cost::probe_read(idx4(idx, [83, 163, 175, 254]) + owner_penalty),
+                    CohState::Modified => {
+                        Cost::probe_read(idx4(idx, [81, 161, 172, 252]) + owner_penalty)
+                    }
+                    CohState::Owned => {
+                        Cost::probe_read(idx4(idx, [83, 163, 175, 254]) + owner_penalty)
+                    }
                     CohState::Exclusive => {
                         Cost::probe_read(idx4(idx, [83, 163, 175, 253]) + owner_penalty)
                     }
@@ -393,9 +397,7 @@ impl LatencyModel {
                 let sharer_cost = 3 * u64::from(line.sharers.count());
                 match line.state {
                     CohState::Invalid => Cost::write(113 + 5 * hops + 10),
-                    CohState::Shared | CohState::Owned => {
-                        Cost::write(84 + 2 * hops + sharer_cost)
-                    }
+                    CohState::Shared | CohState::Owned => Cost::write(84 + 2 * hops + sharer_cost),
                     CohState::Modified | CohState::Exclusive => {
                         if line.owner == Some(core) {
                             // Still a home-tile write, but no remote probe.
@@ -493,7 +495,9 @@ fn holder_on_same_physical_core(topo: &Topology, line: &Line, core: usize) -> bo
             return true;
         }
     }
-    line.sharers.iter().any(|s| topo.physical_core_of(s) == phys)
+    line.sharers
+        .iter()
+        .any(|s| topo.physical_core_of(s) == phys)
 }
 
 /// A sharer whose socket is nearest to `core` (the socket LLC that will
@@ -503,19 +507,17 @@ fn nearest_sharer(topo: &Topology, line: &Line, core: usize) -> Option<usize> {
         return None;
     }
     let my_die = topo.die_of(core);
-    line.sharers
-        .iter()
-        .min_by_key(|&s| {
-            let d = topo.die_of(s);
-            if d == my_die {
-                0
-            } else {
-                match topo.die_distance(my_die, d) {
-                    DistClass::OneHop => 1,
-                    _ => 2,
-                }
+    line.sharers.iter().min_by_key(|&s| {
+        let d = topo.die_of(s);
+        if d == my_die {
+            0
+        } else {
+            match topo.die_distance(my_die, d) {
+                DistClass::OneHop => 1,
+                _ => 2,
             }
-        })
+        }
+    })
 }
 
 /// Number of distinct sockets holding sharer copies.
@@ -615,7 +617,7 @@ mod tests {
         // From the farthest socket the cost approaches the paper's 445.
         let line2 = staged_line(0, CohState::Shared, None, &(0..10).collect::<Vec<_>>());
         let c2 = model.cost(&topo, &line2, 79, MemOpKind::Store);
-        assert_eq!(c2.latency, 428 + 0); // one socket of sharers, two hops
+        assert_eq!(c2.latency, 428); // one socket of sharers, two hops
     }
 
     #[test]
@@ -695,9 +697,15 @@ mod tests {
 
     #[test]
     fn table3_anchors() {
-        assert_eq!(LatencyModel::new(Platform::Opteron).local_levels()[3].1, 136);
+        assert_eq!(
+            LatencyModel::new(Platform::Opteron).local_levels()[3].1,
+            136
+        );
         assert_eq!(LatencyModel::new(Platform::Xeon).local_levels()[3].1, 355);
-        assert_eq!(LatencyModel::new(Platform::Niagara).local_levels()[3].1, 176);
+        assert_eq!(
+            LatencyModel::new(Platform::Niagara).local_levels()[3].1,
+            176
+        );
         assert_eq!(LatencyModel::new(Platform::Tilera).local_levels()[3].1, 118);
     }
 }

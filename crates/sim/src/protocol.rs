@@ -173,7 +173,12 @@ mod tests {
     #[test]
     fn atomics_behave_like_stores() {
         let (mut m, id) = fresh();
-        for op in [MemOpKind::Cas, MemOpKind::Fai, MemOpKind::Tas, MemOpKind::Swap] {
+        for op in [
+            MemOpKind::Cas,
+            MemOpKind::Fai,
+            MemOpKind::Tas,
+            MemOpKind::Swap,
+        ] {
             apply(Platform::Niagara, m.line_mut(id), 4, MemOpKind::Load);
             apply(Platform::Niagara, m.line_mut(id), 6, op);
             let l = m.line(id);

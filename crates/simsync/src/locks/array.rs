@@ -63,10 +63,7 @@ impl SimLock for SimArray {
     fn release(&self, tid: usize) -> Box<dyn SubProgram> {
         let ticket = self.inner.tickets.borrow()[tid];
         let next = self.inner.slots[(ticket as usize + 1) % self.inner.slots.len()];
-        Box::new(ArrayRelease {
-            next,
-            done: false,
-        })
+        Box::new(ArrayRelease { next, done: false })
     }
 }
 

@@ -101,7 +101,10 @@ impl SubProgram for McsAcquire {
                     return None; // Queue was empty: lock acquired.
                 }
                 self.st = 4;
-                Some(Action::Store(self.lock.next[pred as usize - 1], me as u64 + 1))
+                Some(Action::Store(
+                    self.lock.next[pred as usize - 1],
+                    me as u64 + 1,
+                ))
             }
             // Linked in: spin on our own flag.
             4 | 6 => {

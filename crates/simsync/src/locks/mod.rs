@@ -165,15 +165,21 @@ pub fn make_lock(kind: SimLockKind, sim: &mut Sim, cfg: &LockConfig) -> Rc<dyn S
     match kind {
         SimLockKind::Tas => Rc::new(tas::SimTas::new(sim, cfg)),
         SimLockKind::Ttas => Rc::new(ttas::SimTtas::new(sim, cfg)),
-        SimLockKind::Ticket => {
-            Rc::new(ticket::SimTicket::new(sim, cfg, ticket::TicketMode::Proportional))
-        }
-        SimLockKind::TicketNoBackoff => {
-            Rc::new(ticket::SimTicket::new(sim, cfg, ticket::TicketMode::NoBackoff))
-        }
-        SimLockKind::TicketPrefetchw => {
-            Rc::new(ticket::SimTicket::new(sim, cfg, ticket::TicketMode::Prefetchw))
-        }
+        SimLockKind::Ticket => Rc::new(ticket::SimTicket::new(
+            sim,
+            cfg,
+            ticket::TicketMode::Proportional,
+        )),
+        SimLockKind::TicketNoBackoff => Rc::new(ticket::SimTicket::new(
+            sim,
+            cfg,
+            ticket::TicketMode::NoBackoff,
+        )),
+        SimLockKind::TicketPrefetchw => Rc::new(ticket::SimTicket::new(
+            sim,
+            cfg,
+            ticket::TicketMode::Prefetchw,
+        )),
         SimLockKind::Array => Rc::new(array::SimArray::new(sim, cfg)),
         SimLockKind::Mutex => Rc::new(mutex::SimMutex::new(sim, cfg)),
         SimLockKind::Mcs => Rc::new(mcs::SimMcs::new(sim, cfg)),
@@ -256,7 +262,12 @@ pub(crate) mod test_support {
 
     /// Runs `threads` workers × `iters` critical sections and asserts no
     /// updates were lost.
-    pub fn exclusion_torture(kind: SimLockKind, platform: ssync_core::Platform, threads: usize, iters: u32) {
+    pub fn exclusion_torture(
+        kind: SimLockKind,
+        platform: ssync_core::Platform,
+        threads: usize,
+        iters: u32,
+    ) {
         let mut sim = Sim::new(platform, 7);
         let cfg = LockConfig::for_placement(&sim, threads);
         let lock = make_lock(kind, &mut sim, &cfg);

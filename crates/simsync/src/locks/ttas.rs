@@ -54,35 +54,33 @@ struct TtasAcquire {
 
 impl SubProgram for TtasAcquire {
     fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
-        loop {
-            match self.st {
-                // Read phase.
-                0 => {
-                    self.st = 1;
-                    return Some(Action::Load(self.line));
-                }
-                // Flag observed: free -> try the swap; held -> poll again.
-                1 => {
-                    if result.expect("load result") == 0 {
-                        self.st = 2;
-                        return Some(Action::Tas(self.line));
-                    }
-                    self.st = 0;
-                    return Some(Action::Pause(POLL_PAUSE));
-                }
-                // Swap outcome.
-                2 => {
-                    if result.expect("tas result") == 0 {
-                        return None;
-                    }
-                    // Lost the race: exponential back-off, then re-read.
-                    let pause = self.backoff;
-                    self.backoff = (self.backoff * 2).min(MAX_BACKOFF);
-                    self.st = 0;
-                    return Some(Action::Pause(pause));
-                }
-                _ => unreachable!(),
+        match self.st {
+            // Read phase.
+            0 => {
+                self.st = 1;
+                Some(Action::Load(self.line))
             }
+            // Flag observed: free -> try the swap; held -> poll again.
+            1 => {
+                if result.expect("load result") == 0 {
+                    self.st = 2;
+                    return Some(Action::Tas(self.line));
+                }
+                self.st = 0;
+                Some(Action::Pause(POLL_PAUSE))
+            }
+            // Swap outcome.
+            2 => {
+                if result.expect("tas result") == 0 {
+                    return None;
+                }
+                // Lost the race: exponential back-off, then re-read.
+                let pause = self.backoff;
+                self.backoff = (self.backoff * 2).min(MAX_BACKOFF);
+                self.st = 0;
+                Some(Action::Pause(pause))
+            }
+            _ => unreachable!(),
         }
     }
 }

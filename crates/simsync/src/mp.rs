@@ -118,7 +118,11 @@ impl SubProgram for SsmpSend {
             1 => {
                 if result.expect("load result") == 0 {
                     self.st = 3;
-                    let payload = if self.stamped { _env.now + 1 } else { self.payload };
+                    let payload = if self.stamped {
+                        _env.now + 1
+                    } else {
+                        self.payload
+                    };
                     Some(Action::Store(self.line, payload))
                 } else {
                     self.st = 2;

@@ -167,12 +167,7 @@ mod tests {
     use ssync_sim::Sim;
 
     /// Kops/s for a given platform / lock / thread count / mix.
-    pub fn kv_kops(
-        platform: Platform,
-        kind: SimLockKind,
-        threads: usize,
-        mix: KvMix,
-    ) -> f64 {
+    pub fn kv_kops(platform: Platform, kind: SimLockKind, threads: usize, mix: KvMix) -> f64 {
         let mut sim = Sim::new(platform, 17);
         let cfg = LockConfig::for_placement(&sim, threads);
         let n_buckets = 256;

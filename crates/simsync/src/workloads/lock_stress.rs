@@ -283,8 +283,7 @@ mod tests {
         assert!(sim.samples(t1).len() > 10);
         // Cross-socket handoff: each acquire+release costs hundreds of
         // cycles (remote line transfers), not single digits.
-        let mean: u64 =
-            sim.samples(t1).iter().sum::<u64>() / sim.samples(t1).len() as u64;
+        let mean: u64 = sim.samples(t1).iter().sum::<u64>() / sim.samples(t1).len() as u64;
         assert!(mean > 100, "mean={mean}");
     }
 }

@@ -284,8 +284,7 @@ impl Program for MpServer {
                         match drive_sub(&mut self.sub, || hw.recv(), &mut res, env) {
                             Some(a) => return a,
                             None => {
-                                self.current =
-                                    (hw.last_received() as usize).saturating_sub(1);
+                                self.current = (hw.last_received() as usize).saturating_sub(1);
                                 env.complete_op();
                                 self.st = 2;
                             }
@@ -314,20 +313,17 @@ impl Program for MpServer {
                     self.st = 0;
                 }
                 // Respond if in round-trip mode.
-                2 => {
-                    match &self.replies {
-                        Some(replies) => {
-                            let reply = replies[self.current % replies.len()].clone();
-                            let now = env.now;
-                            match drive_sub(&mut self.sub, || reply.send(now + 1), &mut res, env)
-                            {
-                                Some(a) => return a,
-                                None => self.st = 0,
-                            }
+                2 => match &self.replies {
+                    Some(replies) => {
+                        let reply = replies[self.current % replies.len()].clone();
+                        let now = env.now;
+                        match drive_sub(&mut self.sub, || reply.send(now + 1), &mut res, env) {
+                            Some(a) => return a,
+                            None => self.st = 0,
                         }
-                        None => self.st = 0,
                     }
-                }
+                    None => self.st = 0,
+                },
                 _ => unreachable!(),
             }
         }

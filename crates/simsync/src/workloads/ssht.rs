@@ -45,10 +45,26 @@ pub struct SshtConfig {
 impl SshtConfig {
     /// The paper's four Figure 11 configurations.
     pub const FIGURE11: [SshtConfig; 4] = [
-        SshtConfig { buckets: 12, entries: 12, get_pct: 80 },
-        SshtConfig { buckets: 12, entries: 48, get_pct: 80 },
-        SshtConfig { buckets: 512, entries: 12, get_pct: 80 },
-        SshtConfig { buckets: 512, entries: 48, get_pct: 80 },
+        SshtConfig {
+            buckets: 12,
+            entries: 12,
+            get_pct: 80,
+        },
+        SshtConfig {
+            buckets: 12,
+            entries: 48,
+            get_pct: 80,
+        },
+        SshtConfig {
+            buckets: 512,
+            entries: 12,
+            get_pct: 80,
+        },
+        SshtConfig {
+            buckets: 512,
+            entries: 48,
+            get_pct: 80,
+        },
     ];
 
     fn meta_lines(&self) -> usize {
@@ -432,7 +448,11 @@ mod tests {
 
     #[test]
     fn low_contention_scales() {
-        let cfg = SshtConfig { buckets: 512, entries: 12, get_pct: 80 };
+        let cfg = SshtConfig {
+            buckets: 512,
+            entries: 12,
+            get_pct: 80,
+        };
         let t1 = lock_based_mops(Platform::Niagara, SimLockKind::Ticket, 1, cfg);
         let t32 = lock_based_mops(Platform::Niagara, SimLockKind::Ticket, 32, cfg);
         assert!(t32 > 5.0 * t1, "t1={t1:.2} t32={t32:.2}");
@@ -440,7 +460,11 @@ mod tests {
 
     #[test]
     fn high_contention_limits_multisocket_scaling() {
-        let cfg = SshtConfig { buckets: 12, entries: 12, get_pct: 80 };
+        let cfg = SshtConfig {
+            buckets: 12,
+            entries: 12,
+            get_pct: 80,
+        };
         let t1 = lock_based_mops(Platform::Xeon, SimLockKind::Tas, 1, cfg);
         let t36 = lock_based_mops(Platform::Xeon, SimLockKind::Tas, 36, cfg);
         // Scalability well below the 36x ideal (paper: < 1x..2x range).
@@ -450,7 +474,11 @@ mod tests {
     #[test]
     fn mp_version_processes_operations() {
         let mut sim = Sim::new(Platform::Opteron, 33);
-        let config = SshtConfig { buckets: 12, entries: 12, get_pct: 80 };
+        let config = SshtConfig {
+            buckets: 12,
+            entries: 12,
+            get_pct: 80,
+        };
         // 1 server (core 0) + 3 clients. The table belongs to the server.
         let cfg = LockConfig::for_placement(&sim, 4);
         let locks: Vec<_> = (0..config.buckets)

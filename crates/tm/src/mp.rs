@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
-use ssync_core::Backoff;
+use ssync_core::{Backoff, SpinWait};
 use ssync_mp::channel::{channel, Receiver, Sender};
 use ssync_mp::hub::ServerHub;
 
@@ -99,12 +99,7 @@ struct ServerState {
     grants: HashMap<u64, Vec<usize>>,
 }
 
-fn server_loop(
-    heap_len: usize,
-    requests: Vec<Receiver>,
-    replies: Vec<Sender>,
-    shutdown: Receiver,
-) {
+fn server_loop(heap_len: usize, requests: Vec<Receiver>, replies: Vec<Sender>, shutdown: Receiver) {
     let mut st = ServerState {
         words: vec![0; heap_len],
         owner: vec![0; heap_len],
@@ -112,14 +107,16 @@ fn server_loop(
         grants: HashMap::new(),
     };
     let mut hub = ServerHub::new(requests);
+    let mut wait = SpinWait::new();
     loop {
         if shutdown.try_recv().is_some() {
             return;
         }
         let Some((client, msg)) = hub.try_recv_from_any() else {
-            core::hint::spin_loop();
+            wait.snooze();
             continue;
         };
+        wait = SpinWait::new();
         let me = client as u64 + 1;
         let [op, addr, value, ..] = msg;
         let addr = addr as usize;
@@ -207,9 +204,7 @@ pub struct MpTx<'c> {
 impl MpTx<'_> {
     /// Transactionally reads a word (acquires it at the server).
     pub fn read(&mut self, addr: usize) -> TxResult<u64> {
-        let rep = self
-            .client
-            .call([REQ_ACQUIRE, addr as u64, 0, 0, 0, 0, 0]);
+        let rep = self.client.call([REQ_ACQUIRE, addr as u64, 0, 0, 0, 0, 0]);
         if rep[0] == REP_GRANTED {
             Ok(rep[1])
         } else {

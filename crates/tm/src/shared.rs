@@ -194,7 +194,9 @@ mod tests {
                     let mut x = t;
                     for _ in 0..200 {
                         // Cheap deterministic "random" account pair.
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         let from = (x >> 33) as usize % 16;
                         let to = (x >> 13) as usize % 16;
                         if from == to {

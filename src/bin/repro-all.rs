@@ -1,0 +1,6 @@
+//! Workspace-root alias for `ssync-figures`'s `repro-all`: regenerates
+//! every table and figure into `results/`, so `cargo run --release
+//! --bin repro-all` works from a clean checkout without `-p`.
+fn main() {
+    ssync::figures::repro_all();
+}

@@ -19,12 +19,15 @@
 //!   simulator programs, used to regenerate the paper's figures.
 //! * [`ccbench`] (`ssync-ccbench`) — the experiment drivers for every
 //!   table and figure of the evaluation.
+//! * [`figures`] (`ssync-figures`) — renderers for the paper's tables
+//!   and figures, plus the `repro-all` binary that regenerates them.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-versus-measured results.
 
 pub use ssync_ccbench as ccbench;
 pub use ssync_core as core;
+pub use ssync_figures as figures;
 pub use ssync_ht as ht;
 pub use ssync_kv as kv;
 pub use ssync_locks as locks;

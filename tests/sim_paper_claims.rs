@@ -52,8 +52,16 @@ fn message_passing_wins_under_extreme_contention_only() {
     // slower at 512 buckets. The paper likewise has one platform where
     // mp does not win (the Niagara); in our model that platform is the
     // Xeon (see EXPERIMENTS.md).
-    let high = SshtConfig { buckets: 12, entries: 12, get_pct: 80 };
-    let low = SshtConfig { buckets: 512, entries: 12, get_pct: 80 };
+    let high = SshtConfig {
+        buckets: 12,
+        entries: 12,
+        get_pct: 80,
+    };
+    let low = SshtConfig {
+        buckets: 512,
+        entries: 12,
+        get_pct: 80,
+    };
     let best_lock = |p: Platform, cfg: SshtConfig, threads: usize| {
         SimLockKind::ALL
             .iter()
@@ -95,10 +103,10 @@ fn simple_locks_win_low_contention_everywhere() {
     // queue locks on every platform.
     for p in Platform::ALL {
         let t = p.topology().num_cores().min(36);
-        let simple = lock_mops(p, SimLockKind::Ticket, t, 128)
-            .max(lock_mops(p, SimLockKind::Tas, t, 128));
-        let complex = lock_mops(p, SimLockKind::Mcs, t, 128)
-            .max(lock_mops(p, SimLockKind::Clh, t, 128));
+        let simple =
+            lock_mops(p, SimLockKind::Ticket, t, 128).max(lock_mops(p, SimLockKind::Tas, t, 128));
+        let complex =
+            lock_mops(p, SimLockKind::Mcs, t, 128).max(lock_mops(p, SimLockKind::Clh, t, 128));
         assert!(
             simple > 0.85 * complex,
             "{p:?}: simple={simple:.2} complex={complex:.2}"

@@ -1,0 +1,173 @@
+//! Minimal, dependency-free shim for the subset of `parking_lot` that
+//! the ssync workspace uses: a `RawMutex` with the adaptive
+//! spin-then-park structure of glibc's adaptive `pthread_mutex`.
+//!
+//! The build container has no crates.io access, so this crate stands in
+//! for the real `parking_lot`. The fast path is a compare-and-swap; on
+//! contention the thread spins briefly and then blocks on a
+//! condition-variable queue, so oversubscribed workloads (more threads
+//! than cores) make progress without burning the holder's cycles —
+//! exactly the behavioral contrast the paper draws between Pthread
+//! mutexes and spinlocks.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Raw-mutex trait, mirroring `parking_lot::lock_api::RawMutex`.
+pub mod lock_api {
+    /// A raw (guardless) mutual-exclusion primitive.
+    pub trait RawMutex {
+        /// An unlocked mutex, usable in `const` contexts.
+        const INIT: Self;
+
+        /// Acquires the mutex, blocking until it is available.
+        fn lock(&self);
+
+        /// Attempts to acquire the mutex without blocking.
+        fn try_lock(&self) -> bool;
+
+        /// Releases the mutex.
+        ///
+        /// # Safety
+        ///
+        /// The mutex must be held by the current context.
+        unsafe fn unlock(&self);
+
+        /// Whether the mutex is currently held by anyone.
+        fn is_locked(&self) -> bool;
+    }
+}
+
+const UNLOCKED: u8 = 0;
+const LOCKED: u8 = 1;
+/// Locked, with at least one thread parked in the slow path.
+const CONTENDED: u8 = 2;
+
+/// How many pause iterations to spin before parking.
+const SPIN_LIMIT: u32 = 64;
+
+/// Adaptive spin-then-park mutex (the `pthread_mutex` model).
+pub struct RawMutex {
+    state: AtomicU8,
+    // Parking lot for the slow path. `std` Mutex/Condvar are
+    // const-constructible, which keeps `INIT` a true constant.
+    queue: Mutex<()>,
+    wake: Condvar,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: Self = Self {
+        state: AtomicU8::new(UNLOCKED),
+        queue: Mutex::new(()),
+        wake: Condvar::new(),
+    };
+
+    fn lock(&self) {
+        if self
+            .state
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        self.lock_slow();
+    }
+
+    fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    unsafe fn unlock(&self) {
+        if self.state.swap(UNLOCKED, Ordering::Release) == CONTENDED {
+            // Someone is (or is about to be) parked: take the queue lock
+            // so the wake cannot slip between a waiter's state check and
+            // its wait, then signal one waiter.
+            drop(self.queue.lock().unwrap_or_else(|e| e.into_inner()));
+            self.wake.notify_one();
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != UNLOCKED
+    }
+}
+
+impl RawMutex {
+    #[cold]
+    fn lock_slow(&self) {
+        // Phase 1: optimistic bounded spin, like glibc's adaptive mutex.
+        for _ in 0..SPIN_LIMIT {
+            if self.state.load(Ordering::Relaxed) == UNLOCKED
+                && self
+                    .state
+                    .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        // Phase 2: park. Mark the lock contended so the holder knows to
+        // wake us; re-check under the queue lock to avoid a lost wakeup.
+        let mut guard = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Try to go UNLOCKED -> CONTENDED (acquired, with waiters
+            // possibly behind us) or LOCKED -> CONTENDED (still held,
+            // but the holder will now wake someone on unlock).
+            match self.state.swap(CONTENDED, Ordering::Acquire) {
+                UNLOCKED => return,
+                _ => {
+                    guard = self.wake.wait(guard).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::RawMutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_try_lock() {
+        let m = RawMutex::INIT;
+        assert!(!m.is_locked());
+        m.lock();
+        assert!(m.is_locked());
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+        unsafe { m.unlock() };
+    }
+
+    #[test]
+    fn oversubscribed_counter() {
+        let m = Arc::new(RawMutex::INIT);
+        let counter = Arc::new(AtomicU64::new(0));
+        let threads = 16;
+        let per = 1_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = m.clone();
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        m.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        unsafe { m.unlock() };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), threads * per);
+    }
+}
