@@ -500,14 +500,45 @@ pub fn artifacts() -> Vec<Artifact> {
 /// from the umbrella crate so `cargo run --bin repro-all` works from
 /// the workspace root).
 pub fn repro_all() {
+    repro_filtered(None).expect("unfiltered run renders every artifact");
+}
+
+/// [`repro_all`] restricted to artifacts whose name contains `filter`
+/// (`repro-all fig05` regenerates just Figure 5); `None` regenerates
+/// everything. Prints a total-time summary line, so perf work on one
+/// figure doesn't need the full 15-artifact run to get a number.
+/// Returns the number of artifacts written, or an error message when
+/// the filter matches nothing (the caller decides how to exit).
+pub fn repro_filtered(filter: Option<&str>) -> Result<usize, String> {
     std::fs::create_dir_all("results").expect("create results dir");
+    let total = std::time::Instant::now();
+    let mut written = 0usize;
     for (name, render) in artifacts() {
+        if let Some(f) = filter {
+            if !name.contains(f) {
+                continue;
+            }
+        }
         let t = std::time::Instant::now();
         let body = render();
         let path = format!("results/{name}.txt");
         std::fs::write(&path, &body).expect("write result");
         eprintln!("wrote {path} ({:.1}s)", t.elapsed().as_secs_f64());
+        written += 1;
     }
+    if written == 0 {
+        let names: Vec<_> = artifacts().iter().map(|(n, _)| *n).collect();
+        return Err(format!(
+            "no artifact matches {:?}; known: {}",
+            filter.unwrap_or(""),
+            names.join(", ")
+        ));
+    }
+    eprintln!(
+        "total: {written} artifact(s) in {:.1}s",
+        total.elapsed().as_secs_f64()
+    );
+    Ok(written)
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use ssync_core::topology::{Platform, Topology};
 
 use crate::latency::LatencyModel;
 use crate::memory::{CohState, LineId, Memory};
-use crate::program::{Action, Env, MemOpKind, Program};
+use crate::program::{Action, Env, MemOpKind, Program, WaitCond};
 use crate::protocol;
 use crate::stats::SimStats;
 
@@ -46,8 +46,35 @@ enum ThreadState {
     SendWait,
     /// Suspended by [`Action::Park`].
     Parked,
+    /// Registered on a line's wait-list ([`Action::SpinWait`]); no event
+    /// is queued until a write to the line wakes the thread.
+    SpinBlocked,
+    /// Woken from a wait-list: the queued event is a spin re-poll (a
+    /// real load of the spun-on line), not a program step.
+    SpinPoll,
     /// Finished ([`Action::Done`]).
     Done,
+}
+
+/// Bookkeeping for a thread parked in [`Action::SpinWait`].
+#[derive(Debug, Clone, Copy)]
+struct SpinState {
+    /// The line being polled.
+    line: LineId,
+    /// Resume condition on the line's value.
+    cond: WaitCond,
+    /// Between-poll pause, already scaled by the pipeline factor.
+    pause: u64,
+    /// Poll period: `pause` plus the cached-load latency (what one
+    /// iteration of the equivalent explicit load/check/pause loop takes
+    /// while the line stays locally cached).
+    period: u64,
+    /// Completion time of the unsatisfied poll that blocked the thread;
+    /// poll boundaries are `anchor + pause + k * period`.
+    anchor: u64,
+    /// Elided poll boundaries already credited to the local-hit
+    /// statistic (by a window boundary; see `credit_parked_polls`).
+    credited: u64,
 }
 
 struct Thread {
@@ -58,6 +85,8 @@ struct Thread {
     pending: Option<u64>,
     /// Unpark permit (see [`Action::Park`]).
     permit: bool,
+    /// Spin-wait bookkeeping while in `SpinBlocked` / `SpinPoll`.
+    spin: Option<SpinState>,
     /// Hardware message inbox: (available-at, payload).
     inbox: VecDeque<(u64, u64)>,
     /// Senders stalled on this thread's full inbox: (sender tid, payload).
@@ -85,6 +114,11 @@ pub struct Sim {
     /// Number of spawned threads per physical core (Niagara hardware
     /// threads share their core's pipeline; `Pause` scales by this).
     core_load: Vec<u32>,
+    /// Per-line wait-lists (indexed by line id, grown on demand): the
+    /// threads parked in [`Action::SpinWait`] on that line. A write-class
+    /// operation (or flush) on the line wakes every entry at its next
+    /// poll boundary.
+    wait_lists: Vec<Vec<usize>>,
     events: u64,
     stats: SimStats,
 }
@@ -103,6 +137,7 @@ impl Sim {
             now: 0,
             seed,
             core_load: vec![0; phys_cores],
+            wait_lists: Vec::new(),
             events: 0,
             stats: SimStats::default(),
             topo,
@@ -175,6 +210,7 @@ impl Sim {
             state: ThreadState::Ready,
             pending: None,
             permit: false,
+            spin: None,
             inbox: VecDeque::new(),
             send_waiters: VecDeque::new(),
             ops: 0,
@@ -221,6 +257,36 @@ impl Sim {
             self.events += 1;
             self.step_thread(tid);
         }
+        if limit != u64::MAX {
+            self.credit_parked_polls(limit);
+        }
+    }
+
+    /// Credits the elided polls of still-parked spin-waiters up to a
+    /// window boundary, so the local-hit statistic of a `run_until`
+    /// measurement matches the explicit-polling engine (which would
+    /// have processed those L1-hit poll events inside the window). The
+    /// credit is remembered per waiter and subtracted again on wake-up,
+    /// so resuming the simulation never double-counts. Skipped for
+    /// `run_to_completion` (no boundary; a never-woken waiter has
+    /// unbounded phantom polls, where the explicit engine would simply
+    /// never terminate).
+    fn credit_parked_polls(&mut self, limit: u64) {
+        for thread in &mut self.threads {
+            if thread.state != ThreadState::SpinBlocked {
+                continue;
+            }
+            let spin = thread.spin.as_mut().expect("blocked thread spins");
+            let first = spin.anchor + spin.pause;
+            if limit < first {
+                continue;
+            }
+            let in_window = (limit - first) / spin.period + 1;
+            if in_window > spin.credited {
+                self.stats.local_hits += in_window - spin.credited;
+                spin.credited = in_window;
+            }
+        }
     }
 
     fn schedule(&mut self, at: u64, tid: usize) {
@@ -229,6 +295,12 @@ impl Sim {
     }
 
     fn step_thread(&mut self, tid: usize) {
+        if self.threads[tid].state == ThreadState::SpinPoll {
+            // Woken from a wait-list: this event is the poll that may
+            // observe the write, not a program step.
+            self.spin_poll(tid);
+            return;
+        }
         debug_assert_eq!(self.threads[tid].state, ThreadState::Ready);
         let now = self.now;
         // Split-borrow dance: take what the Env needs out of the thread.
@@ -244,17 +316,29 @@ impl Sim {
             samples: &mut thread.samples,
         };
         let action = thread.program.step(result, &mut env);
+        // Fast path: the Load/Store/atomic dispatch the contended
+        // experiments spend nearly all their events in.
+        if let Some((op, line, operand, expected)) = action.mem_op_parts() {
+            let (done, result) = self.mem_op(tid, line, op, operand, expected);
+            self.threads[tid].pending = result;
+            self.schedule(done, tid);
+            return;
+        }
         match action {
-            Action::Load(line) => self.mem_op(tid, line, MemOpKind::Load, None, None),
-            Action::Store(line, v) => self.mem_op(tid, line, MemOpKind::Store, Some(v), None),
-            Action::Cas(line, expected, new) => {
-                self.mem_op(tid, line, MemOpKind::Cas, Some(new), Some(expected))
+            Action::SpinWait { line, cond, pause } => {
+                let factor = u64::from(self.pipeline_factor(core));
+                let pause = pause.max(1) * factor;
+                let period = pause + self.model.cached_load_latency();
+                self.threads[tid].spin = Some(SpinState {
+                    line,
+                    cond,
+                    pause,
+                    period,
+                    anchor: 0,
+                    credited: 0,
+                });
+                self.spin_poll(tid);
             }
-            Action::Fai(line) => self.mem_op(tid, line, MemOpKind::Fai, None, None),
-            Action::Tas(line) => self.mem_op(tid, line, MemOpKind::Tas, None, None),
-            Action::Swap(line, v) => self.mem_op(tid, line, MemOpKind::Swap, Some(v), None),
-            Action::Prefetchw(line) => self.mem_op(tid, line, MemOpKind::Prefetchw, None, None),
-            Action::Flush(line) => self.mem_op(tid, line, MemOpKind::Flush, None, None),
             Action::Pause(cycles) => {
                 let factor = u64::from(self.pipeline_factor(core));
                 self.schedule(now + cycles.max(1) * factor, tid);
@@ -314,6 +398,99 @@ impl Sim {
             Action::Done => {
                 self.threads[tid].state = ThreadState::Done;
             }
+            Action::Load(..)
+            | Action::Store(..)
+            | Action::Cas(..)
+            | Action::Fai(..)
+            | Action::Tas(..)
+            | Action::Swap(..)
+            | Action::Prefetchw(..)
+            | Action::Flush(..) => {
+                unreachable!("memory operations are dispatched via mem_op_parts above")
+            }
+        }
+    }
+
+    /// Issues the (initial or wake-up) poll load of a [`Action::SpinWait`].
+    ///
+    /// The load is a full memory operation — it pays the real coherence
+    /// cost and re-registers the thread as a sharer, so writers keep
+    /// seeing spinning waiters in the sharer set. The condition is
+    /// checked against the value the load observes (at processing time,
+    /// like any load): satisfied, the thread resumes with the value at
+    /// the load's completion; unsatisfied, the thread parks on the
+    /// line's wait-list with poll boundaries anchored at that completion
+    /// time. Registering at processing time (not completion) closes the
+    /// window in which a write could slip past an in-flight poll and be
+    /// lost.
+    fn spin_poll(&mut self, tid: usize) {
+        let spec = self.threads[tid].spin.expect("spin state set");
+        let (done, result) = self.mem_op(tid, spec.line, MemOpKind::Load, None, None);
+        let value = result.expect("loads produce a value");
+        if spec.cond.satisfied(value) {
+            let thread = &mut self.threads[tid];
+            thread.spin = None;
+            thread.state = ThreadState::Ready;
+            thread.pending = Some(value);
+            self.schedule(done, tid);
+        } else {
+            let thread = &mut self.threads[tid];
+            thread.state = ThreadState::SpinBlocked;
+            let spin = thread.spin.as_mut().expect("spin state set");
+            spin.anchor = done;
+            spin.credited = 0;
+            let idx = spec.line as usize;
+            if self.wait_lists.len() <= idx {
+                self.wait_lists.resize_with(idx + 1, Vec::new);
+            }
+            self.wait_lists[idx].push(tid);
+        }
+    }
+
+    /// Wakes every thread wait-listed on `line` after a write at `now`:
+    /// each is scheduled for a real poll load at its first poll boundary
+    /// at or after the write, and the elided polls before it (loads of
+    /// the unchanged, locally cached line) are credited to the local-hit
+    /// counter so traffic ratios match the explicit-polling engine.
+    ///
+    /// Exact-tie semantics: when the write's processing time lands
+    /// precisely on a poll boundary, the wake poll (scheduled here,
+    /// with a fresh seq) runs after the write and observes it, whereas
+    /// an explicit loop's poll event at that timestamp could carry an
+    /// older seq and read the pre-write value, re-polling one period
+    /// later. The wait-list engine resolves the ambiguous tie as
+    /// write-first; this is the one knowingly inexact case of the
+    /// explicit-polling equivalence.
+    fn wake_waiters(&mut self, line: LineId) {
+        let now = self.now;
+        let Some(list) = self.wait_lists.get_mut(line as usize) else {
+            return;
+        };
+        if list.is_empty() {
+            return;
+        }
+        let mut wakes: Vec<(u64, Reverse<u64>, usize)> = Vec::new();
+        for tid in std::mem::take(list) {
+            let spin = self.threads[tid].spin.expect("blocked thread spins");
+            let first = spin.anchor + spin.pause;
+            let (wake_at, elided) = if now <= first {
+                (first, 0)
+            } else {
+                let k = (now - first).div_ceil(spin.period);
+                (first + k * spin.period, k)
+            };
+            self.stats.local_hits += elided.saturating_sub(spin.credited);
+            self.threads[tid].state = ThreadState::SpinPoll;
+            wakes.push((wake_at, Reverse(spin.anchor), tid));
+        }
+        // Waiters whose wake boundaries coincide poll in reverse anchor
+        // order: in the explicit-polling engine, a chain that joins an
+        // aligned poll group later was scheduled by an older (lower-seq)
+        // event, so it drains first at every shared boundary. The stable
+        // sort keeps registration order for fully identical chains.
+        wakes.sort_by_key(|&(at, anchor, _)| (at, anchor));
+        for (wake_at, _, tid) in wakes {
+            self.schedule(wake_at, tid);
         }
     }
 
@@ -347,7 +524,7 @@ impl Sim {
         }
         let to_core = self.threads[to_tid].core;
         match self.topo.platform() {
-            Platform::Tilera => self.topo.mesh_hops(from_core, to_core),
+            Platform::Tilera => self.model.mesh_hops(from_core, to_core),
             _ => 0,
         }
     }
@@ -356,9 +533,14 @@ impl Sim {
     /// physical core (Niagara's 8 hardware threads share one pipeline,
     /// so local computation slows proportionally).
     fn pipeline_factor(&self, core: usize) -> u32 {
-        self.core_load[self.topo.physical_core_of(core)].max(1)
+        self.core_load[self.model.phys_of(core)].max(1)
     }
 
+    /// Performs one memory operation for `tid`: charges the cost,
+    /// serializes through the line's `busy_until`, applies the value and
+    /// coherence-state semantics, and wakes any spin-waiters on a write.
+    /// Returns the completion time and the operation's result value; the
+    /// caller decides how to resume the thread.
     fn mem_op(
         &mut self,
         tid: usize,
@@ -366,13 +548,13 @@ impl Sim {
         op: MemOpKind,
         operand: Option<u64>,
         expected: Option<u64>,
-    ) {
+    ) -> (u64, Option<u64>) {
         let now = self.now;
         let core = self.threads[tid].core;
         let platform = self.topo.platform();
         let cost = {
             let line = self.mem.line(line_id);
-            self.model.cost(&self.topo, line, core, op)
+            self.model.cost(line, core, op)
         };
         // Traffic accounting (before the transition mutates the line).
         {
@@ -382,7 +564,7 @@ impl Sim {
             } else if let Some(owner) = line.owner.filter(|&o| o != core) {
                 // The line moves out of another core's cache.
                 self.stats.transfers += 1;
-                if self.topo.die_of(owner) != self.topo.die_of(core) {
+                if self.model.die_of(owner) != self.model.die_of(core) {
                     self.stats.cross_socket_transfers += 1;
                 }
             } else {
@@ -450,8 +632,12 @@ impl Sim {
             MemOpKind::Prefetchw | MemOpKind::Flush => None,
         };
         protocol::apply(platform, line, core, op);
-        self.threads[tid].pending = result;
-        self.schedule(start + cost.latency, tid);
+        if op != MemOpKind::Load {
+            // Any non-load invalidates remote copies: wake spin-waiters
+            // so their next poll (a real miss) observes the change.
+            self.wake_waiters(line_id);
+        }
+        (start + cost.latency, result)
     }
 }
 
@@ -675,6 +861,211 @@ mod tests {
                 sim.now()
             );
         }
+    }
+
+    /// An explicit load / check / pause poll loop, the pattern
+    /// [`Action::SpinWait`] replaces: spin until `line == target`, then
+    /// store 1 to `flag` and finish.
+    fn explicit_spinner(line: LineId, target: u64, pause: u64, flag: LineId) -> Box<dyn Program> {
+        let mut st = 0u8;
+        fn_program(move |r, _env| match st {
+            0 => {
+                st = 1;
+                Action::Load(line)
+            }
+            1 => {
+                if r.expect("load result") == target {
+                    st = 3;
+                    Action::Store(flag, 1)
+                } else {
+                    st = 2;
+                    Action::Pause(pause)
+                }
+            }
+            2 => {
+                st = 1;
+                Action::Load(line)
+            }
+            _ => Action::Done,
+        })
+    }
+
+    /// The same spinner expressed with one `SpinWait` action.
+    fn waitlist_spinner(line: LineId, target: u64, pause: u64, flag: LineId) -> Box<dyn Program> {
+        let mut st = 0u8;
+        fn_program(move |_r, _env| match st {
+            0 => {
+                st = 1;
+                Action::SpinWait {
+                    line,
+                    cond: WaitCond::Eq(target),
+                    pause,
+                }
+            }
+            1 => {
+                st = 2;
+                Action::Store(flag, 1)
+            }
+            _ => Action::Done,
+        })
+    }
+
+    /// A writer that pauses, then stores `value` to `line`.
+    fn delayed_writer(delay: u64, line: LineId, value: u64) -> Box<dyn Program> {
+        scripted(vec![Action::Pause(delay), Action::Store(line, value)])
+    }
+
+    #[test]
+    fn spin_wait_matches_explicit_polling_exactly() {
+        // The wait-list path must reproduce the explicit poll loop's
+        // timing and traffic cycle-for-cycle: same completion time, same
+        // stats (elided local-hit polls are credited on wake). Only the
+        // event count may differ — that is the optimization.
+        for platform in Platform::ALL {
+            let run = |explicit: bool| {
+                let mut sim = Sim::new(platform, 42);
+                let line = sim.alloc_line(0);
+                let flag = sim.alloc_line(0);
+                let spinner = if explicit {
+                    explicit_spinner(line, 1, 4, flag)
+                } else {
+                    waitlist_spinner(line, 1, 4, flag)
+                };
+                sim.spawn_on_core(0, spinner);
+                let writer_core = sim.topology().num_cores() - 1;
+                sim.spawn_on_core(writer_core, delayed_writer(10_000, line, 1));
+                sim.run_to_completion();
+                (sim.now(), *sim.stats(), sim.events())
+            };
+            let (t_exp, stats_exp, events_exp) = run(true);
+            let (t_wl, stats_wl, events_wl) = run(false);
+            assert_eq!(t_wl, t_exp, "{platform:?}: completion time");
+            assert_eq!(stats_wl, stats_exp, "{platform:?}: traffic stats");
+            assert!(
+                events_wl * 10 < events_exp,
+                "{platform:?}: wait-list should collapse events ({events_wl} vs {events_exp})"
+            );
+        }
+    }
+
+    #[test]
+    fn spin_wait_windowed_stats_match_explicit_polling() {
+        // run_until must credit the elided polls of threads still
+        // parked at the window boundary, so windowed traffic stats
+        // match the explicit engine; resuming afterwards must not
+        // double-count them.
+        let run = |explicit: bool| {
+            let mut sim = Sim::new(Platform::Opteron, 7);
+            let line = sim.alloc_line(0);
+            let flag = sim.alloc_line(0);
+            let spinner = if explicit {
+                explicit_spinner(line, 1, 4, flag)
+            } else {
+                waitlist_spinner(line, 1, 4, flag)
+            };
+            sim.spawn_on_core(0, spinner);
+            sim.spawn_on_core(36, delayed_writer(20_000, line, 1));
+            // Window ends mid-spin: the waiter is still parked.
+            sim.run_until(5_000);
+            let mid = *sim.stats();
+            sim.run_until(8_000); // second boundary: no double credit
+            let mid2 = *sim.stats();
+            sim.run_to_completion();
+            (mid, mid2, *sim.stats(), sim.now())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn spin_wait_satisfied_immediately_acts_like_load() {
+        let mut sim = Sim::new(Platform::Xeon, 1);
+        let line = sim.alloc_line(0);
+        sim.memory_mut().line_mut(line).value = 7;
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let got2 = got.clone();
+        let mut st = 0;
+        sim.spawn_on_core(0, {
+            fn_program(move |r, _env| match st {
+                0 => {
+                    st = 1;
+                    Action::SpinWait {
+                        line,
+                        cond: WaitCond::Ne(0),
+                        pause: 4,
+                    }
+                }
+                _ => {
+                    got2.set(r.expect("spin result"));
+                    Action::Done
+                }
+            })
+        });
+        sim.run_to_completion();
+        assert_eq!(got.get(), 7);
+        // One Invalid-state load: 355 cycles on the Xeon.
+        assert_eq!(sim.now(), 355);
+    }
+
+    #[test]
+    fn spin_wait_ne_wakes_on_any_change() {
+        let mut sim = Sim::new(Platform::Opteron, 3);
+        let line = sim.alloc_line(0);
+        let flag = sim.alloc_line(0);
+        sim.spawn_on_core(0, waitlist_spinner(line, 5, 4, flag));
+        // Two writes: the first (to 3) wakes the waiter but fails the
+        // Eq(5) condition, re-registering it; the second satisfies it.
+        sim.spawn_on_core(
+            12,
+            scripted(vec![
+                Action::Pause(5_000),
+                Action::Store(line, 3),
+                Action::Pause(5_000),
+                Action::Store(line, 5),
+            ]),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.memory().line(flag).value, 1);
+        assert!(sim.now() >= 10_000);
+    }
+
+    #[test]
+    fn spin_wait_thundering_herd_serializes_like_polling() {
+        // Many waiters on one line: all wake on the release and their
+        // poll misses serialize through busy_until, as explicit polls do.
+        let run = |explicit: bool| {
+            let mut sim = Sim::new(Platform::Opteron, 9);
+            let line = sim.alloc_line(0);
+            let mut flags = Vec::new();
+            for w in 0..8usize {
+                let flag = sim.alloc_line(0);
+                flags.push(flag);
+                let spinner = if explicit {
+                    explicit_spinner(line, 1, 4, flag)
+                } else {
+                    waitlist_spinner(line, 1, 4, flag)
+                };
+                sim.spawn_on_core(w * 6, spinner);
+            }
+            sim.spawn_on_core(1, delayed_writer(2_000, line, 1));
+            sim.run_to_completion();
+            (sim.now(), *sim.stats())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn spin_wait_write_racing_in_flight_poll_is_not_lost() {
+        // The writer's store lands while the waiter's first poll (a slow
+        // Invalid-state miss) is still in flight. Registration happens at
+        // poll *processing* time, so the wake is still delivered.
+        let mut sim = Sim::new(Platform::Xeon, 1);
+        let line = sim.alloc_line(0);
+        let flag = sim.alloc_line(0);
+        sim.spawn_on_core(0, waitlist_spinner(line, 1, 4, flag));
+        // First poll processed at t=0 (completes ~355); write at t=50.
+        sim.spawn_on_core(79, delayed_writer(50, line, 1));
+        sim.run_to_completion();
+        assert_eq!(sim.memory().line(flag).value, 1);
     }
 
     #[test]

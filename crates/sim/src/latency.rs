@@ -105,6 +105,115 @@ const UNPARK_COST: u64 = 300;
 /// (wake-up IPI plus scheduler latency).
 const WAKE_LATENCY: u64 = 2_500;
 
+/// Flat lookup tables precomputed from the platform topology, so that
+/// the per-operation cost path is pure indexing — no die arithmetic, no
+/// hypercube/XOR distance logic, no Manhattan-distance computation per
+/// memory access (the `mem_op` hot path runs millions of times per
+/// simulated window).
+#[derive(Debug, Clone)]
+struct DistMap {
+    n_dies: usize,
+    n_cores: usize,
+    /// Die (socket) of each core.
+    die_of: Vec<u8>,
+    /// Physical core of each hardware context (Niagara: `core / 8`).
+    phys_of: Vec<u16>,
+    /// `[die_a * n_dies + die_b]` → Table 2 column index (Opteron
+    /// 0..=3, Xeon 0..=2; unused on the single-sockets).
+    die_class: Vec<u8>,
+    /// `[die_a * n_dies + die_b]` → interconnect hops (the Opteron
+    /// remote-directory penalty).
+    die_hops: Vec<u8>,
+    /// Tilera only: `[core * n_cores + tile]` → mesh hops (empty on the
+    /// other platforms).
+    mesh: Vec<u8>,
+}
+
+impl DistMap {
+    fn new(topo: &Topology) -> Self {
+        let n_cores = topo.num_cores();
+        let n_dies = topo.num_dies();
+        let die_of: Vec<u8> = (0..n_cores).map(|c| topo.die_of(c) as u8).collect();
+        let phys_of: Vec<u16> = (0..n_cores)
+            .map(|c| topo.physical_core_of(c) as u16)
+            .collect();
+        let mut die_class = vec![0u8; n_dies * n_dies];
+        let mut die_hops = vec![0u8; n_dies * n_dies];
+        for a in 0..n_dies {
+            for b in 0..n_dies {
+                if a == b {
+                    continue;
+                }
+                die_class[a * n_dies + b] = match topo.platform() {
+                    Platform::Opteron | Platform::Opteron2 => match topo.die_distance(a, b) {
+                        DistClass::SameMcm => 1,
+                        DistClass::OneHop => 2,
+                        DistClass::TwoHops => 3,
+                        _ => 0,
+                    },
+                    Platform::Xeon | Platform::Xeon2 => match topo.die_distance(a, b) {
+                        DistClass::OneHop => 1,
+                        _ => 2,
+                    },
+                    Platform::Niagara | Platform::Tilera => 0,
+                };
+                die_hops[a * n_dies + b] = match topo.platform() {
+                    Platform::Niagara | Platform::Tilera => 0,
+                    _ => match topo.die_distance(a, b) {
+                        DistClass::TwoHops => 2,
+                        _ => 1,
+                    },
+                };
+            }
+        }
+        let mesh = if topo.platform() == Platform::Tilera {
+            let mut m = vec![0u8; n_cores * n_cores];
+            for a in 0..n_cores {
+                for b in 0..n_cores {
+                    m[a * n_cores + b] = topo.mesh_hops(a, b);
+                }
+            }
+            m
+        } else {
+            Vec::new()
+        };
+        Self {
+            n_dies,
+            n_cores,
+            die_of,
+            phys_of,
+            die_class,
+            die_hops,
+            mesh,
+        }
+    }
+
+    #[inline]
+    fn die_of(&self, core: usize) -> usize {
+        self.die_of[core] as usize
+    }
+
+    #[inline]
+    fn phys_of(&self, core: usize) -> usize {
+        self.phys_of[core] as usize
+    }
+
+    #[inline]
+    fn die_class(&self, da: usize, db: usize) -> usize {
+        self.die_class[da * self.n_dies + db] as usize
+    }
+
+    #[inline]
+    fn die_hops(&self, da: usize, db: usize) -> u64 {
+        u64::from(self.die_hops[da * self.n_dies + db])
+    }
+
+    #[inline]
+    fn mesh_hops(&self, a: usize, b: usize) -> u64 {
+        u64::from(self.mesh[a * self.n_cores + b])
+    }
+}
+
 /// Per-platform latency model.
 ///
 /// # Examples
@@ -119,12 +228,36 @@ const WAKE_LATENCY: u64 = 2_500;
 #[derive(Debug, Clone)]
 pub struct LatencyModel {
     platform: Platform,
+    map: DistMap,
+    /// Latency of a load hitting the requester's own cached copy,
+    /// derived from [`LatencyModel::cost`] at construction so it can
+    /// never drift from the per-platform `Cost::local` values.
+    cached_load: u64,
 }
 
 impl LatencyModel {
-    /// Creates the model for `platform`.
+    /// Creates the model for `platform`, precomputing its distance
+    /// tables from the platform topology.
     pub fn new(platform: Platform) -> Self {
-        Self { platform }
+        let topo = platform.topology();
+        let mut model = Self {
+            platform,
+            map: DistMap::new(&topo),
+            cached_load: 0,
+        };
+        // Probe the model itself with a line core 0 holds Exclusive.
+        let probe = Line {
+            state: CohState::Exclusive,
+            owner: Some(0),
+            sharers: crate::memory::SharerSet::EMPTY,
+            home: 0,
+            value: 0,
+            busy_until: 0,
+        };
+        let cost = model.cost(&probe, 0, MemOpKind::Load);
+        debug_assert!(!cost.uses_line, "a cached load must be a local hit");
+        model.cached_load = cost.latency;
+        model
     }
 
     /// The platform this model describes.
@@ -175,14 +308,35 @@ impl LatencyModel {
         }
     }
 
+    /// Latency of a load that hits the requester's own cached copy (the
+    /// poll cost of a spinning waiter between invalidations).
+    pub fn cached_load_latency(&self) -> u64 {
+        self.cached_load
+    }
+
+    /// Die (socket) of `core`, from the precomputed tables.
+    pub(crate) fn die_of(&self, core: usize) -> usize {
+        self.map.die_of(core)
+    }
+
+    /// Physical core of hardware context `core`.
+    pub(crate) fn phys_of(&self, core: usize) -> usize {
+        self.map.phys_of(core)
+    }
+
+    /// Mesh hops between two Tilera tiles.
+    pub(crate) fn mesh_hops(&self, a: usize, b: usize) -> u8 {
+        self.map.mesh_hops(a, b) as u8
+    }
+
     /// The cost for `core` to perform `op` on `line` (before the protocol
     /// transition is applied).
-    pub fn cost(&self, topo: &Topology, line: &Line, core: usize, op: MemOpKind) -> Cost {
+    pub fn cost(&self, line: &Line, core: usize, op: MemOpKind) -> Cost {
         let mut cost = match self.platform {
-            Platform::Opteron | Platform::Opteron2 => self.cost_opteron(topo, line, core, op),
-            Platform::Xeon | Platform::Xeon2 => self.cost_xeon(topo, line, core, op),
-            Platform::Niagara => self.cost_niagara(topo, line, core, op),
-            Platform::Tilera => self.cost_tilera(topo, line, core, op),
+            Platform::Opteron | Platform::Opteron2 => self.cost_opteron(line, core, op),
+            Platform::Xeon | Platform::Xeon2 => self.cost_xeon(line, core, op),
+            Platform::Niagara => self.cost_niagara(line, core, op),
+            Platform::Tilera => self.cost_tilera(line, core, op),
         };
         if op == MemOpKind::Prefetchw {
             // `prefetchw` is a non-binding ownership hint with no data
@@ -197,16 +351,16 @@ impl LatencyModel {
 
     // ----- Opteron (directory at the home die; MOESI) -----
 
-    fn cost_opteron(&self, topo: &Topology, line: &Line, core: usize, op: MemOpKind) -> Cost {
+    fn cost_opteron(&self, line: &Line, core: usize, op: MemOpKind) -> Cost {
         // Index into the Table 2 Opteron columns by the requester's
         // distance to the home (directory) die.
-        let idx = die_class_index(topo, core, line.home);
+        let idx = self.map.die_class(self.map.die_of(core), line.home);
         // Penalty when the dirty owner is remote from the directory
         // ("one extra hop adds an additional overhead of 80 cycles"; we
         // use 60/hop, which reproduces the paper's 312-cycle worst case).
         let owner_penalty = match line.owner {
             Some(o) if !matches!(op, MemOpKind::Flush) => {
-                60 * die_hops(topo, topo.die_of(o), line.home)
+                60 * self.map.die_hops(self.map.die_of(o), line.home)
             }
             _ => 0,
         };
@@ -264,18 +418,18 @@ impl LatencyModel {
 
     // ----- Xeon (inclusive LLC per socket; snoop broadcast across) -----
 
-    fn cost_xeon(&self, topo: &Topology, line: &Line, core: usize, op: MemOpKind) -> Cost {
+    fn cost_xeon(&self, line: &Line, core: usize, op: MemOpKind) -> Cost {
         // Distance to the socket currently holding the data: the owner's
         // socket for M/E, the nearest sharer's for S (the inclusive LLC of
         // any holder's socket can serve), the home socket for Invalid.
         let holder = line
             .owner
-            .or_else(|| nearest_sharer(topo, line, core))
-            .map(|c| topo.die_of(c));
+            .or_else(|| self.nearest_sharer(line, core))
+            .map(|c| self.map.die_of(c));
         let data_die = holder.unwrap_or(line.home);
-        let idx = die_class_index3(topo, core, data_die);
+        let idx = self.map.die_class(self.map.die_of(core), data_die);
         // Broadcast invalidation term: extra sockets holding sharers.
-        let inval = 3 * sharer_sockets(topo, line).saturating_sub(1) as u64;
+        let inval = 3 * self.sharer_sockets(line).saturating_sub(1) as u64;
         match op {
             MemOpKind::Load => {
                 if line.cached_at(core) {
@@ -327,8 +481,8 @@ impl LatencyModel {
 
     // ----- Niagara (uniform crossbar LLC; per-op atomic costs) -----
 
-    fn cost_niagara(&self, topo: &Topology, line: &Line, core: usize, op: MemOpKind) -> Cost {
-        let same_core = holder_on_same_physical_core(topo, line, core);
+    fn cost_niagara(&self, line: &Line, core: usize, op: MemOpKind) -> Cost {
+        let same_core = self.holder_on_same_physical_core(line, core);
         match op {
             MemOpKind::Load => {
                 if line.cached_at(core) || same_core {
@@ -376,8 +530,8 @@ impl LatencyModel {
 
     // ----- Tilera (distributed LLC at home tiles; per-hop costs) -----
 
-    fn cost_tilera(&self, topo: &Topology, line: &Line, core: usize, op: MemOpKind) -> Cost {
-        let hops = topo.mesh_hops(core, line.home) as u64;
+    fn cost_tilera(&self, line: &Line, core: usize, op: MemOpKind) -> Cost {
+        let hops = self.map.mesh_hops(core, line.home);
         match op {
             MemOpKind::Load => {
                 if line.cached_at(core) {
@@ -426,6 +580,44 @@ impl LatencyModel {
             MemOpKind::Flush => Cost::write(113 + 5 * hops),
         }
     }
+
+    /// True if the line's owner or any sharer sits on the same physical
+    /// core as `core` (Niagara: the 8 hardware threads of a core share
+    /// its L1).
+    fn holder_on_same_physical_core(&self, line: &Line, core: usize) -> bool {
+        let phys = self.map.phys_of(core);
+        if let Some(o) = line.owner {
+            if self.map.phys_of(o) == phys {
+                return true;
+            }
+        }
+        line.sharers.iter().any(|s| self.map.phys_of(s) == phys)
+    }
+
+    /// A sharer whose socket is nearest to `core` (the socket LLC that
+    /// will serve a Shared load on the Xeon), preferring the requester's
+    /// socket.
+    fn nearest_sharer(&self, line: &Line, core: usize) -> Option<usize> {
+        if line.sharers.is_empty() {
+            return None;
+        }
+        let my_die = self.map.die_of(core);
+        line.sharers
+            .iter()
+            .min_by_key(|&s| self.map.die_class(my_die, self.map.die_of(s)))
+    }
+
+    /// Number of distinct sockets holding sharer copies.
+    fn sharer_sockets(&self, line: &Line) -> u32 {
+        let mut mask: u64 = 0;
+        for s in line.sharers.iter() {
+            mask |= 1 << self.map.die_of(s);
+        }
+        if let Some(o) = line.owner {
+            mask |= 1 << self.map.die_of(o);
+        }
+        mask.count_ones()
+    }
 }
 
 /// Picks the per-operation latency from a `[CAS, FAI, TAS, SWAP]` row.
@@ -447,91 +639,6 @@ fn idx3(idx: usize, row: [u64; 3]) -> u64 {
     row[idx]
 }
 
-/// Opteron column index for a requester core and a target die:
-/// 0 = same die, 1 = same MCM, 2 = one hop, 3 = two hops.
-fn die_class_index(topo: &Topology, core: usize, die: usize) -> usize {
-    let cd = topo.die_of(core);
-    if cd == die {
-        return 0;
-    }
-    match topo.die_distance(cd, die) {
-        DistClass::SameMcm => 1,
-        DistClass::OneHop => 2,
-        DistClass::TwoHops => 3,
-        _ => 0,
-    }
-}
-
-/// Xeon column index: 0 = same socket, 1 = one hop, 2 = two hops.
-fn die_class_index3(topo: &Topology, core: usize, die: usize) -> usize {
-    let cd = topo.die_of(core);
-    if cd == die {
-        return 0;
-    }
-    match topo.die_distance(cd, die) {
-        DistClass::OneHop => 1,
-        _ => 2,
-    }
-}
-
-/// Interconnect hops between two dies (0 on the same die; MCM-internal
-/// links count as one hop for the directory-penalty computation).
-fn die_hops(topo: &Topology, da: usize, db: usize) -> u64 {
-    if da == db {
-        return 0;
-    }
-    match topo.die_distance(da, db) {
-        DistClass::TwoHops => 2,
-        _ => 1,
-    }
-}
-
-/// True if the line's owner or any sharer sits on the same physical core
-/// as `core` (Niagara: the 8 hardware threads of a core share its L1).
-fn holder_on_same_physical_core(topo: &Topology, line: &Line, core: usize) -> bool {
-    let phys = topo.physical_core_of(core);
-    if let Some(o) = line.owner {
-        if topo.physical_core_of(o) == phys {
-            return true;
-        }
-    }
-    line.sharers
-        .iter()
-        .any(|s| topo.physical_core_of(s) == phys)
-}
-
-/// A sharer whose socket is nearest to `core` (the socket LLC that will
-/// serve a Shared load on the Xeon), preferring the requester's socket.
-fn nearest_sharer(topo: &Topology, line: &Line, core: usize) -> Option<usize> {
-    if line.sharers.is_empty() {
-        return None;
-    }
-    let my_die = topo.die_of(core);
-    line.sharers.iter().min_by_key(|&s| {
-        let d = topo.die_of(s);
-        if d == my_die {
-            0
-        } else {
-            match topo.die_distance(my_die, d) {
-                DistClass::OneHop => 1,
-                _ => 2,
-            }
-        }
-    })
-}
-
-/// Number of distinct sockets holding sharer copies.
-fn sharer_sockets(topo: &Topology, line: &Line) -> u32 {
-    let mut mask: u64 = 0;
-    for s in line.sharers.iter() {
-        mask |= 1 << topo.die_of(s);
-    }
-    if let Some(o) = line.owner {
-        mask |= 1 << topo.die_of(o);
-    }
-    mask.count_ones()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,64 +658,59 @@ mod tests {
 
     #[test]
     fn opteron_load_modified_matches_table2() {
-        let topo = Platform::Opteron.topology();
         let model = LatencyModel::new(Platform::Opteron);
         // Owner on die 0 (home), requester at increasing distances.
         let line = staged_line(0, CohState::Modified, Some(0), &[]);
         let cases = [(1usize, 81), (6, 161), (12, 172), (36, 252)];
         for (core, want) in cases {
-            let c = model.cost(&topo, &line, core, MemOpKind::Load);
+            let c = model.cost(&line, core, MemOpKind::Load);
             assert_eq!(c.latency, want, "requester {core}");
         }
     }
 
     #[test]
     fn opteron_store_on_shared_broadcasts() {
-        let topo = Platform::Opteron.topology();
         let model = LatencyModel::new(Platform::Opteron);
         // Two sharers on the same die as the writer: still ~246 cycles.
         let line = staged_line(0, CohState::Shared, None, &[1, 2]);
-        let c = model.cost(&topo, &line, 3, MemOpKind::Store);
+        let c = model.cost(&line, 3, MemOpKind::Store);
         assert_eq!(c.latency, 246);
         // Versus 83 on an exclusively-held line.
         let line = staged_line(0, CohState::Exclusive, Some(1), &[]);
-        let c = model.cost(&topo, &line, 3, MemOpKind::Store);
+        let c = model.cost(&line, 3, MemOpKind::Store);
         assert_eq!(c.latency, 83);
     }
 
     #[test]
     fn opteron_remote_directory_penalty() {
-        let topo = Platform::Opteron.topology();
         let model = LatencyModel::new(Platform::Opteron);
         // Requester two hops from home, owner two hops from home: the
         // paper's 312-cycle worst case for loads.
         let line = staged_line(0, CohState::Shared, None, &[37]);
-        let c = model.cost(&topo, &line, 38, MemOpKind::Load);
+        let c = model.cost(&line, 38, MemOpKind::Load);
         assert_eq!(c.latency, 254); // shared: served by directory
         let line = staged_line(0, CohState::Modified, Some(37), &[]);
-        let c = model.cost(&topo, &line, 38, MemOpKind::Load);
+        let c = model.cost(&line, 38, MemOpKind::Load);
         assert_eq!(c.latency, 252 + 120); // dirty: probe remote owner
     }
 
     #[test]
     fn xeon_intra_socket_locality() {
-        let topo = Platform::Xeon.topology();
         let model = LatencyModel::new(Platform::Xeon);
         let line = staged_line(0, CohState::Shared, None, &[1]);
-        assert_eq!(model.cost(&topo, &line, 2, MemOpKind::Load).latency, 44);
+        assert_eq!(model.cost(&line, 2, MemOpKind::Load).latency, 44);
         // Crossing two hops: 7.5x dearer (334 vs 44).
         let line = staged_line(0, CohState::Shared, None, &[31]);
-        let c = model.cost(&topo, &line, 2, MemOpKind::Load);
+        let c = model.cost(&line, 2, MemOpKind::Load);
         assert_eq!(c.latency, 334);
     }
 
     #[test]
     fn xeon_store_shared_by_everyone_costs_445ish() {
-        let topo = Platform::Xeon.topology();
         let model = LatencyModel::new(Platform::Xeon);
         let all: Vec<usize> = (0..80).collect();
         let line = staged_line(0, CohState::Shared, None, &all);
-        let c = model.cost(&topo, &line, 0, MemOpKind::Store);
+        let c = model.cost(&line, 0, MemOpKind::Store);
         // Base 116 (a sharer is in-socket) + 3 * 7 extra sockets = 137?
         // No: the nearest sharer is local, so idx 0: 116 + 21 = 137. The
         // paper's 445 measures all-socket invalidation *from a remote
@@ -616,81 +718,75 @@ mod tests {
         assert!(c.latency >= 137, "got {}", c.latency);
         // From the farthest socket the cost approaches the paper's 445.
         let line2 = staged_line(0, CohState::Shared, None, &(0..10).collect::<Vec<_>>());
-        let c2 = model.cost(&topo, &line2, 79, MemOpKind::Store);
+        let c2 = model.cost(&line2, 79, MemOpKind::Store);
         assert_eq!(c2.latency, 428); // one socket of sharers, two hops
     }
 
     #[test]
     fn niagara_uniformity() {
-        let topo = Platform::Niagara.topology();
         let model = LatencyModel::new(Platform::Niagara);
         let line = staged_line(0, CohState::Modified, Some(0), &[]);
         // Same physical core (hw thread 1 of core 0): L1.
-        assert_eq!(model.cost(&topo, &line, 1, MemOpKind::Load).latency, 3);
+        assert_eq!(model.cost(&line, 1, MemOpKind::Load).latency, 3);
         // Any other core: L2, regardless of which.
-        assert_eq!(model.cost(&topo, &line, 8, MemOpKind::Load).latency, 24);
-        assert_eq!(model.cost(&topo, &line, 63, MemOpKind::Load).latency, 24);
+        assert_eq!(model.cost(&line, 8, MemOpKind::Load).latency, 24);
+        assert_eq!(model.cost(&line, 63, MemOpKind::Load).latency, 24);
         // Stores are L2 writes no matter the sharers.
         let line = staged_line(0, CohState::Shared, None, &(0..64).collect::<Vec<_>>());
-        assert_eq!(model.cost(&topo, &line, 5, MemOpKind::Store).latency, 24);
+        assert_eq!(model.cost(&line, 5, MemOpKind::Store).latency, 24);
     }
 
     #[test]
     fn niagara_tas_is_cheapest_atomic() {
-        let topo = Platform::Niagara.topology();
         let model = LatencyModel::new(Platform::Niagara);
         let line = staged_line(0, CohState::Modified, Some(8), &[]);
-        let tas = model.cost(&topo, &line, 16, MemOpKind::Tas).latency;
-        let cas = model.cost(&topo, &line, 16, MemOpKind::Cas).latency;
-        let fai = model.cost(&topo, &line, 16, MemOpKind::Fai).latency;
+        let tas = model.cost(&line, 16, MemOpKind::Tas).latency;
+        let cas = model.cost(&line, 16, MemOpKind::Cas).latency;
+        let fai = model.cost(&line, 16, MemOpKind::Fai).latency;
         assert!(tas < cas && cas < fai, "tas={tas} cas={cas} fai={fai}");
     }
 
     #[test]
     fn tilera_cost_grows_with_distance_and_sharers() {
-        let topo = Platform::Tilera.topology();
         let model = LatencyModel::new(Platform::Tilera);
         // Home at tile 0; requester adjacent vs far corner.
         let line = staged_line(0, CohState::Exclusive, Some(2), &[]);
-        let near = model.cost(&topo, &line, 1, MemOpKind::Load).latency;
-        let far = model.cost(&topo, &line, 35, MemOpKind::Load).latency;
+        let near = model.cost(&line, 1, MemOpKind::Load).latency;
+        let far = model.cost(&line, 35, MemOpKind::Load).latency;
         assert_eq!(near, 45);
         assert_eq!(far, 63);
         // Store on a widely-shared line approaches 200 cycles.
         let line = staged_line(0, CohState::Shared, None, &(0..36).collect::<Vec<_>>());
-        let c = model.cost(&topo, &line, 0, MemOpKind::Store);
+        let c = model.cost(&line, 0, MemOpKind::Store);
         assert!(c.latency >= 190, "got {}", c.latency);
     }
 
     #[test]
     fn tilera_fai_is_fastest() {
-        let topo = Platform::Tilera.topology();
         let model = LatencyModel::new(Platform::Tilera);
         let line = staged_line(0, CohState::Modified, Some(3), &[]);
-        let fai = model.cost(&topo, &line, 7, MemOpKind::Fai).latency;
+        let fai = model.cost(&line, 7, MemOpKind::Fai).latency;
         for op in [MemOpKind::Cas, MemOpKind::Tas, MemOpKind::Swap] {
-            assert!(model.cost(&topo, &line, 7, op).latency > fai);
+            assert!(model.cost(&line, 7, op).latency > fai);
         }
     }
 
     #[test]
     fn local_hits_bypass_serialization() {
-        let topo = Platform::Xeon.topology();
         let model = LatencyModel::new(Platform::Xeon);
         let line = staged_line(0, CohState::Modified, Some(4), &[]);
-        let c = model.cost(&topo, &line, 4, MemOpKind::Load);
+        let c = model.cost(&line, 4, MemOpKind::Load);
         assert!(!c.uses_line);
         assert_eq!(c.latency, 5);
-        let c = model.cost(&topo, &line, 4, MemOpKind::Store);
+        let c = model.cost(&line, 4, MemOpKind::Store);
         assert!(!c.uses_line);
     }
 
     #[test]
     fn local_atomics_still_serialize() {
-        let topo = Platform::Opteron.topology();
         let model = LatencyModel::new(Platform::Opteron);
         let line = staged_line(0, CohState::Modified, Some(4), &[]);
-        let c = model.cost(&topo, &line, 4, MemOpKind::Cas);
+        let c = model.cost(&line, 4, MemOpKind::Cas);
         assert!(c.uses_line);
         assert_eq!(c.latency, X86_LOCAL_ATOMIC);
     }

@@ -71,5 +71,5 @@ pub mod stats;
 pub use engine::Sim;
 pub use latency::LatencyModel;
 pub use memory::{CohState, Line, LineId, Memory, SharerSet};
-pub use program::{Action, Env, Program};
+pub use program::{Action, Env, Program, WaitCond};
 pub use stats::SimStats;

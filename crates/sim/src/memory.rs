@@ -68,10 +68,20 @@ impl SharerSet {
         self.0 = 0;
     }
 
-    /// Iterates over member cores in increasing order.
+    /// Iterates over member cores in increasing order. Runs in O(set
+    /// size) by peeling the lowest set bit each step, not O(128) — this
+    /// sits on the latency model's per-operation path (sharer-socket
+    /// counts, nearest-sharer searches).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        let bits = self.0;
-        (0..128).filter(move |i| bits & (1 << i) != 0)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(i)
+        })
     }
 }
 
@@ -192,6 +202,18 @@ mod tests {
     fn sharer_set_from_iter() {
         let s: SharerSet = [1, 2, 3].into_iter().collect();
         assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn sharer_set_iter_sparse_and_high_bits() {
+        let s: SharerSet = [0, 1, 63, 64, 101, 127].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 63, 64, 101, 127]);
+        assert_eq!(SharerSet::EMPTY.iter().count(), 0);
+        let lone: SharerSet = [127].into_iter().collect();
+        assert_eq!(lone.iter().collect::<Vec<_>>(), vec![127]);
+        // Dense set round-trips in order.
+        let dense: SharerSet = (0..128).collect();
+        assert!(dense.iter().eq(0..128));
     }
 
     #[test]

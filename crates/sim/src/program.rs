@@ -43,6 +43,25 @@ impl MemOpKind {
     }
 }
 
+/// The predicate a [`Action::SpinWait`] waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitCond {
+    /// Wait until the line's value equals the operand.
+    Eq(u64),
+    /// Wait until the line's value differs from the operand.
+    Ne(u64),
+}
+
+impl WaitCond {
+    /// True if `value` satisfies the condition.
+    pub fn satisfied(self, value: u64) -> bool {
+        match self {
+            WaitCond::Eq(x) => value == x,
+            WaitCond::Ne(x) => value != x,
+        }
+    }
+}
+
 /// One step of a simulated thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
@@ -67,6 +86,25 @@ pub enum Action {
     /// Local computation for the given number of cycles (scaled by the
     /// hardware-thread sharing factor on Niagara).
     Pause(u64),
+    /// Spin on a line until its value satisfies the condition, polling
+    /// every `pause` cycles of local work between re-reads. Semantically
+    /// identical to the explicit `Load` / check / `Pause(pause)` loop —
+    /// the first load is issued immediately, polls of an unchanged
+    /// cached line cost local-hit latency, and the poll that observes a
+    /// writer's invalidation pays the full coherence miss — but the
+    /// engine parks the thread on the line's wait-list instead of
+    /// scheduling one event per poll, and a write wakes it at the first
+    /// poll boundary at or after the write. The next step receives the
+    /// first polled value that satisfied the condition.
+    SpinWait {
+        /// The line to poll.
+        line: LineId,
+        /// Resume when the line's value satisfies this.
+        cond: WaitCond,
+        /// Local-work cycles between polls (as `Pause`, scaled by the
+        /// hardware-thread sharing factor).
+        pause: u64,
+    },
     /// Suspend until another thread issues [`Action::Unpark`] for this
     /// thread. Like `std::thread::park`, a pending unpark "permit" makes
     /// `Park` return immediately. Models the futex sleep of a Pthread
@@ -88,6 +126,25 @@ pub enum Action {
     HwRecv,
     /// Terminate this thread.
     Done,
+}
+
+impl Action {
+    /// Decomposes a memory-operation action into `(op, line, operand,
+    /// expected)` for the engine's single dispatch path; `None` for
+    /// non-memory actions.
+    pub fn mem_op_parts(&self) -> Option<(MemOpKind, LineId, Option<u64>, Option<u64>)> {
+        Some(match *self {
+            Action::Load(line) => (MemOpKind::Load, line, None, None),
+            Action::Store(line, v) => (MemOpKind::Store, line, Some(v), None),
+            Action::Cas(line, expected, new) => (MemOpKind::Cas, line, Some(new), Some(expected)),
+            Action::Fai(line) => (MemOpKind::Fai, line, None, None),
+            Action::Tas(line) => (MemOpKind::Tas, line, None, None),
+            Action::Swap(line, v) => (MemOpKind::Swap, line, Some(v), None),
+            Action::Prefetchw(line) => (MemOpKind::Prefetchw, line, None, None),
+            Action::Flush(line) => (MemOpKind::Flush, line, None, None),
+            _ => return None,
+        })
+    }
 }
 
 /// Per-step environment handed to [`Program::step`].
@@ -125,7 +182,7 @@ impl Env<'_> {
 ///
 /// * `None` on the first step and after non-value actions
 ///   (Store/Prefetchw/Flush/Pause/Park/Unpark/HwSend),
-/// * `Some(value)` after Load/Cas/Fai/Tas/Swap/HwRecv.
+/// * `Some(value)` after Load/Cas/Fai/Tas/Swap/SpinWait/HwRecv.
 pub trait Program {
     /// Produces the thread's next action.
     fn step(&mut self, result: Option<u64>, env: &mut Env<'_>) -> Action;

@@ -8,7 +8,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::program::{Action, Env, SubProgram, WaitCond};
 use ssync_sim::Sim;
 
 use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
@@ -82,29 +82,23 @@ impl SubProgram for ArrayAcquire {
                 self.st = 1;
                 Some(Action::Fai(self.lock.tail))
             }
-            // Resolve the slot; start polling it.
+            // Resolve the slot; park on it until it turns runnable.
             1 => {
                 let ticket = result.expect("fai result");
                 self.lock.tickets.borrow_mut()[self.tid] = ticket;
                 self.slot = self.lock.slots[ticket as usize % self.lock.slots.len()];
                 self.st = 2;
-                Some(Action::Load(self.slot))
+                Some(Action::SpinWait {
+                    line: self.slot,
+                    cond: WaitCond::Eq(1),
+                    pause: POLL_PAUSE,
+                })
             }
-            // Poll outcome.
+            // Runnable: re-arm the slot for its next ticket.
             2 => {
-                if result.expect("load result") == 1 {
-                    // Re-arm the slot for its next ticket.
-                    self.st = 4;
-                    Some(Action::Store(self.slot, 0))
-                } else {
-                    self.st = 3;
-                    Some(Action::Pause(POLL_PAUSE))
-                }
-            }
-            // Pause done: re-poll.
-            3 => {
-                self.st = 2;
-                Some(Action::Load(self.slot))
+                debug_assert_eq!(result, Some(1));
+                self.st = 4;
+                Some(Action::Store(self.slot, 0))
             }
             // Slot re-armed: acquired.
             4 => None,

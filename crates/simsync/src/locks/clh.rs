@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::program::{Action, Env, SubProgram, WaitCond};
 use ssync_sim::Sim;
 
 use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
@@ -98,23 +98,20 @@ impl SubProgram for ClhAcquire {
                 let node = self.lock.node.borrow()[self.tid];
                 Some(Action::Swap(self.lock.tail, node))
             }
-            // Got the predecessor's node: poll it.
+            // Got the predecessor's node: park on it until its release.
             2 => {
                 self.pred = result.expect("swap result");
                 self.lock.pred.borrow_mut()[self.tid] = self.pred;
                 self.st = 3;
-                Some(Action::Load(self.pred))
+                Some(Action::SpinWait {
+                    line: self.pred,
+                    cond: WaitCond::Eq(0),
+                    pause: POLL_PAUSE,
+                })
             }
             3 => {
-                if result.expect("load result") == 0 {
-                    return None;
-                }
-                self.st = 4;
-                Some(Action::Pause(POLL_PAUSE))
-            }
-            4 => {
-                self.st = 3;
-                Some(Action::Load(self.pred))
+                debug_assert_eq!(result, Some(0));
+                None
             }
             _ => unreachable!(),
         }

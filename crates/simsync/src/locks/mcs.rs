@@ -10,7 +10,7 @@
 use std::rc::Rc;
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::program::{Action, Env, SubProgram, WaitCond};
 use ssync_sim::Sim;
 
 use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
@@ -106,17 +106,19 @@ impl SubProgram for McsAcquire {
                     me as u64 + 1,
                 ))
             }
-            // Linked in: spin on our own flag.
-            4 | 6 => {
+            // Linked in: park on our own flag until the predecessor's
+            // handoff store clears it.
+            4 => {
                 self.st = 5;
-                Some(Action::Load(self.lock.locked[me]))
+                Some(Action::SpinWait {
+                    line: self.lock.locked[me],
+                    cond: WaitCond::Eq(0),
+                    pause: POLL_PAUSE,
+                })
             }
             5 => {
-                if result.expect("load result") == 0 {
-                    return None;
-                }
-                self.st = 6;
-                Some(Action::Pause(POLL_PAUSE))
+                debug_assert_eq!(result, Some(0));
+                None
             }
             _ => unreachable!(),
         }
@@ -158,23 +160,20 @@ impl SubProgram for McsRelease {
                 }
                 // A successor is linking itself: wait for the pointer.
                 self.st = 3;
-                Some(Action::Load(self.lock.next[me]))
+                Some(Action::SpinWait {
+                    line: self.lock.next[me],
+                    cond: WaitCond::Ne(0),
+                    pause: POLL_PAUSE,
+                })
             }
             3 => {
-                self.successor = result.expect("load result");
-                if self.successor == 0 {
-                    self.st = 4;
-                    return Some(Action::Pause(POLL_PAUSE));
-                }
+                self.successor = result.expect("spin result");
+                debug_assert_ne!(self.successor, 0);
                 self.st = 5;
                 Some(Action::Store(
                     self.lock.locked[self.successor as usize - 1],
                     0,
                 ))
-            }
-            4 => {
-                self.st = 3;
-                Some(Action::Load(self.lock.next[me]))
             }
             // Handoff store completed.
             5 => None,

@@ -20,7 +20,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::program::{Action, Env, SubProgram, WaitCond};
 use ssync_sim::Sim;
 
 use super::{LockConfig, SimLock, SimLockKind, POLL_PAUSE};
@@ -135,36 +135,48 @@ impl SubProgram for TicketAcquire {
             1 => {
                 self.ticket = result.expect("fai result");
                 self.lock.tickets.borrow_mut()[self.tid] = self.ticket;
-                self.st = match self.lock.mode {
-                    TicketMode::Prefetchw => 4,
-                    _ => 2,
-                };
                 match self.lock.mode {
-                    TicketMode::Prefetchw => Some(Action::Prefetchw(self.lock.current)),
-                    _ => Some(Action::Load(self.lock.current)),
+                    TicketMode::Prefetchw => {
+                        self.st = 4;
+                        Some(Action::Prefetchw(self.lock.current))
+                    }
+                    // Continuous polling: a fixed-pause wait the engine
+                    // re-arms internally until our ticket comes up.
+                    TicketMode::NoBackoff => {
+                        self.st = 2;
+                        Some(Action::SpinWait {
+                            line: self.lock.current,
+                            cond: WaitCond::Eq(self.ticket),
+                            pause: POLL_PAUSE,
+                        })
+                    }
+                    // Proportional back-off: read once to learn the queue
+                    // distance, then wait with the matching pause.
+                    TicketMode::Proportional => {
+                        self.st = 3;
+                        Some(Action::Load(self.lock.current))
+                    }
                 }
             }
-            // Poll result.
+            // NoBackoff wait satisfied: our ticket is up.
             2 => {
+                debug_assert_eq!(result, Some(self.ticket));
+                None
+            }
+            // Proportional poll result: acquired, or sleep proportionally
+            // to the queue distance until `current` changes, then
+            // re-evaluate (the pause shrinks as the queue drains).
+            3 => {
                 let current = result.expect("load result");
                 if current == self.ticket {
                     return None;
                 }
                 let queued = self.ticket.saturating_sub(current);
-                self.st = match self.lock.mode {
-                    TicketMode::Prefetchw => 4,
-                    _ => 3,
-                };
-                let pause = match self.lock.mode {
-                    TicketMode::NoBackoff => POLL_PAUSE,
-                    _ => (queued * self.lock.slot).max(POLL_PAUSE),
-                };
-                Some(Action::Pause(pause))
-            }
-            // Pause done: re-read.
-            3 => {
-                self.st = 2;
-                Some(Action::Load(self.lock.current))
+                Some(Action::SpinWait {
+                    line: self.lock.current,
+                    cond: WaitCond::Ne(current),
+                    pause: (queued * self.lock.slot).max(POLL_PAUSE),
+                })
             }
             // prefetchw done (or pause done in pw mode): read the now
             // locally-Modified line.
@@ -172,7 +184,9 @@ impl SubProgram for TicketAcquire {
                 self.st = 5;
                 Some(Action::Load(self.lock.current))
             }
-            // pw-mode poll result (like state 2, but re-prefetch).
+            // pw-mode poll result (like state 3, but re-prefetch; the
+            // prefetchw is a write-class action every poll, so this mode
+            // keeps its explicit loop).
             5 => {
                 let current = result.expect("load result");
                 if current == self.ticket {

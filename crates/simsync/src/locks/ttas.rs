@@ -3,9 +3,12 @@
 //! The read-only spin phase keeps the flag line Shared among waiters (a
 //! cached poll is an L1 hit in the model); only an observed-free flag
 //! triggers the atomic swap, and failed swaps back off exponentially.
+//! The spin phase is a single [`Action::SpinWait`]: the engine parks the
+//! waiter on the flag line's wait-list and wakes it at the poll boundary
+//! that observes the release, instead of simulating every poll.
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::program::{Action, Env, SubProgram, WaitCond};
 use ssync_sim::Sim;
 
 use super::tas::OneShot;
@@ -55,19 +58,20 @@ struct TtasAcquire {
 impl SubProgram for TtasAcquire {
     fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
         match self.st {
-            // Read phase.
+            // Read phase: park on the flag until a release stores 0.
             0 => {
                 self.st = 1;
-                Some(Action::Load(self.line))
+                Some(Action::SpinWait {
+                    line: self.line,
+                    cond: WaitCond::Eq(0),
+                    pause: POLL_PAUSE,
+                })
             }
-            // Flag observed: free -> try the swap; held -> poll again.
+            // Flag observed free: try the swap.
             1 => {
-                if result.expect("load result") == 0 {
-                    self.st = 2;
-                    return Some(Action::Tas(self.line));
-                }
-                self.st = 0;
-                Some(Action::Pause(POLL_PAUSE))
+                debug_assert_eq!(result, Some(0));
+                self.st = 2;
+                Some(Action::Tas(self.line))
             }
             // Swap outcome.
             2 => {

@@ -14,12 +14,17 @@
 //!
 //! On the Tilera, [`HwChannel`] instead uses the engine's hardware
 //! message actions (iMesh user-level network).
+//!
+//! Blocking waits (send on a full buffer, receive on an empty one) use
+//! [`Action::SpinWait`], so a polling endpoint parks on the buffer
+//! line's wait-list and the partner's store wakes it — one event per
+//! transfer instead of one per poll.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, SubProgram};
+use ssync_sim::program::{Action, Env, SubProgram, WaitCond};
 use ssync_sim::Sim;
 
 /// Cycles between polls of a not-yet-ready buffer.
@@ -110,31 +115,28 @@ struct SsmpSend {
 impl SubProgram for SsmpSend {
     fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
         match self.st {
-            // Check the buffer is empty.
+            // Wait for the buffer to drain.
             0 => {
                 self.st = 1;
-                Some(Action::Load(self.line))
+                Some(Action::SpinWait {
+                    line: self.line,
+                    cond: WaitCond::Eq(0),
+                    pause: MP_POLL_PAUSE,
+                })
             }
+            // Empty: store the message.
             1 => {
-                if result.expect("load result") == 0 {
-                    self.st = 3;
-                    let payload = if self.stamped {
-                        _env.now + 1
-                    } else {
-                        self.payload
-                    };
-                    Some(Action::Store(self.line, payload))
+                debug_assert_eq!(result, Some(0));
+                self.st = 2;
+                let payload = if self.stamped {
+                    _env.now + 1
                 } else {
-                    self.st = 2;
-                    Some(Action::Pause(MP_POLL_PAUSE))
-                }
-            }
-            2 => {
-                self.st = 1;
-                Some(Action::Load(self.line))
+                    self.payload
+                };
+                Some(Action::Store(self.line, payload))
             }
             // Message stored: sent.
-            3 => None,
+            2 => None,
             _ => unreachable!(),
         }
     }
@@ -149,27 +151,24 @@ struct SsmpRecv {
 impl SubProgram for SsmpRecv {
     fn substep(&mut self, result: Option<u64>, _env: &mut Env<'_>) -> Option<Action> {
         match self.st {
+            // Wait for a message to land.
             0 => {
                 self.st = 1;
-                Some(Action::Load(self.line))
+                Some(Action::SpinWait {
+                    line: self.line,
+                    cond: WaitCond::Ne(0),
+                    pause: MP_POLL_PAUSE,
+                })
             }
             1 => {
-                let v = result.expect("load result");
-                if v != 0 {
-                    self.last.set(v);
-                    self.st = 3;
-                    // Drain the buffer for the next message.
-                    Some(Action::Store(self.line, 0))
-                } else {
-                    self.st = 2;
-                    Some(Action::Pause(MP_POLL_PAUSE))
-                }
+                let v = result.expect("spin result");
+                debug_assert_ne!(v, 0);
+                self.last.set(v);
+                self.st = 2;
+                // Drain the buffer for the next message.
+                Some(Action::Store(self.line, 0))
             }
-            2 => {
-                self.st = 1;
-                Some(Action::Load(self.line))
-            }
-            3 => None,
+            2 => None,
             _ => unreachable!(),
         }
     }

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use rand::Rng;
 
 use ssync_sim::memory::LineId;
-use ssync_sim::program::{Action, Env, Program, SubProgram};
+use ssync_sim::program::{Action, Env, Program, SubProgram, WaitCond};
 
 use super::drive_sub;
 use crate::locks::SimLock;
@@ -154,17 +154,19 @@ impl Program for UncontestedPair {
                     return Action::Load(self.turn);
                 }
                 1 => {
-                    if res.take().expect("turn load") % 2 == self.my_turn {
+                    let turn = res.take().expect("turn load");
+                    if turn % 2 == self.my_turn {
                         self.started_at = env.now;
                         self.st = 3;
                     } else {
-                        self.st = 2;
-                        return Action::Pause(8);
+                        // Park until the partner's FAI flips the parity,
+                        // then re-check (state 1 again).
+                        return Action::SpinWait {
+                            line: self.turn,
+                            cond: WaitCond::Ne(turn),
+                            pause: 8,
+                        };
                     }
-                }
-                2 => {
-                    self.st = 1;
-                    return Action::Load(self.turn);
                 }
                 // Acquire (always uncontested: the other thread is waiting
                 // on the turn line).

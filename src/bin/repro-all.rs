@@ -1,6 +1,11 @@
 //! Workspace-root alias for `ssync-figures`'s `repro-all`: regenerates
 //! every table and figure into `results/`, so `cargo run --release
-//! --bin repro-all` works from a clean checkout without `-p`.
+//! --bin repro-all` works from a clean checkout without `-p`. An
+//! optional argument filters by artifact name (`repro-all fig05`).
 fn main() {
-    ssync::figures::repro_all();
+    let filter = std::env::args().nth(1);
+    if let Err(msg) = ssync::figures::repro_filtered(filter.as_deref()) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
 }
