@@ -1,0 +1,58 @@
+//! `kv-perf`: the sharded KV service's performance harness.
+//!
+//! Sweeps the native serving stack over {lock algorithm × shard count
+//! × key skew × rw mix} (plus batched multi-get and churn cases),
+//! prints a per-case table, and writes `BENCH_kv.json` unless
+//! `--no-write` is given.
+//!
+//! ```text
+//! kv-perf [--smoke] [--out PATH] [--no-write]
+//! ```
+//!
+//! `--smoke` shrinks the per-case op count ~15x so CI can keep the
+//! harness alive in seconds; smoke runs never overwrite the default
+//! `BENCH_kv.json` unless an explicit `--out` is given. Issued op
+//! counts are deterministic per seed in both modes.
+
+use ssync_ccbench::kv_perf::{render_json, render_table, run_sweep, SweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: kv-perf [--smoke] [--out PATH] [--no-write]");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(p.clone()),
+            _ => {
+                eprintln!("kv-perf: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
+    let config = SweepConfig::for_host(smoke);
+    eprintln!(
+        "kv-perf: {} workers x {} key-ops, {} keys{}",
+        config.workers,
+        config.ops_per_worker,
+        config.keys,
+        if smoke { " (smoke mode)" } else { "" }
+    );
+    let results = run_sweep(config);
+    print!("{}", render_table(&results));
+
+    // Smoke runs are startup-dominated; only a full run refreshes the
+    // committed artifact by default (same discipline as sim-perf).
+    let write_default = !smoke;
+    if !no_write && (write_default || out_path.is_some()) {
+        let path = out_path.unwrap_or_else(|| "BENCH_kv.json".to_string());
+        let json = render_json(&results, config);
+        std::fs::write(&path, json).expect("write BENCH_kv.json");
+        eprintln!("wrote {path}");
+    }
+}

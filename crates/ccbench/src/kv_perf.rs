@@ -1,0 +1,373 @@
+//! The sharded KV service's performance harness (`kv-perf`).
+//!
+//! Where `sim-perf` watches the simulator engine, this suite watches
+//! the *native* serving stack end to end: `ssync-srv` client threads
+//! talking to per-shard server threads over `ssync-mp` channels, each
+//! shard an `ssync-kv` store under a pluggable `ssync-locks` algorithm.
+//! The sweep crosses {lock algorithm × shard count × key skew × rw
+//! mix} — the axes the paper's Section 6.4 Memcached experiment varies
+//! (lock algorithm) plus the ones a production deployment adds
+//! (sharding, skew, mix, batching).
+//!
+//! Per case it reports key-ops/sec, hit rate, CAS outcomes, and
+//! maintenance stalls (the store's periodic global-lock passes). The
+//! `kv-perf` binary renders the suite as a table and as
+//! `BENCH_kv.json`. Issued op counts are deterministic per seed — the
+//! regression tests and the committed artifact rely on that — while
+//! wall times are whatever the host gives.
+
+use ssync_core::cores;
+use ssync_locks::{McsLock, MutexLock, RawLock, TicketLock, TtasLock};
+use ssync_srv::router::ShardRouter;
+use ssync_srv::workload::{run_closed_loop, KeyDist, Mix, OpCounts, ValueSize, WorkloadSpec};
+
+/// Key-operations each client worker issues in a full run.
+pub const PERF_OPS_PER_WORKER: u64 = 6_000;
+
+/// Key-operations per worker in `--smoke` mode (CI keep-alive).
+pub const SMOKE_OPS_PER_WORKER: u64 = 400;
+
+/// Keyspace size of a full run.
+pub const PERF_KEYS: u64 = 4_096;
+
+/// Keyspace size in `--smoke` mode.
+pub const SMOKE_KEYS: u64 = 512;
+
+/// Master seed for every case (the workload derives per-worker
+/// streams from it).
+pub const SEED: u64 = 0xCAFE_F00D;
+
+/// The native lock algorithms the sweep crosses. A subset of the nine:
+/// one spin (TTAS), one fair spin (TICKET), one queue (MCS), one
+/// blocking (MUTEX) — the four scaling classes of the paper's Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrvLockKind {
+    /// Test-and-test-and-set with back-off.
+    Ttas,
+    /// Ticket lock with proportional back-off.
+    Ticket,
+    /// MCS queue lock.
+    Mcs,
+    /// Spin-then-park mutex (Pthread model).
+    Mutex,
+}
+
+impl SrvLockKind {
+    /// Every algorithm in the sweep.
+    pub const ALL: [SrvLockKind; 4] = [
+        SrvLockKind::Ttas,
+        SrvLockKind::Ticket,
+        SrvLockKind::Mcs,
+        SrvLockKind::Mutex,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SrvLockKind::Ttas => TtasLock::NAME,
+            SrvLockKind::Ticket => TicketLock::NAME,
+            SrvLockKind::Mcs => McsLock::NAME,
+            SrvLockKind::Mutex => MutexLock::NAME,
+        }
+    }
+}
+
+/// The sweep's configuration, fixed per invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Client worker threads per case.
+    pub workers: usize,
+    /// Key-operations per worker per case.
+    pub ops_per_worker: u64,
+    /// Keyspace size.
+    pub keys: u64,
+}
+
+impl SweepConfig {
+    /// Scales the config to the host: two client workers minimum, more
+    /// when the box has cores to spare.
+    pub fn for_host(smoke: bool) -> SweepConfig {
+        SweepConfig {
+            workers: cores::available_cores().clamp(2, 4),
+            ops_per_worker: if smoke {
+                SMOKE_OPS_PER_WORKER
+            } else {
+                PERF_OPS_PER_WORKER
+            },
+            keys: if smoke { SMOKE_KEYS } else { PERF_KEYS },
+        }
+    }
+}
+
+/// One case of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Case {
+    /// Lock algorithm under every shard's stripes and global lock.
+    pub lock: SrvLockKind,
+    /// Shard count (server threads).
+    pub shards: usize,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Reads per multi-get batch (1 = unbatched).
+    pub batch: usize,
+}
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case that ran.
+    pub case: Case,
+    /// Client workers that drove it.
+    pub workers: usize,
+    /// Issued key-ops by type (deterministic per seed).
+    pub issued: OpCounts,
+    /// Client-observed read hits.
+    pub hits: u64,
+    /// Client-observed read misses.
+    pub misses: u64,
+    /// CAS attempts that stored / lost.
+    pub cas_ok: u64,
+    /// CAS attempts that lost.
+    pub cas_fail: u64,
+    /// Maintenance passes the stores ran during the measure phase.
+    pub maintenance_runs: u64,
+    /// Wall time of the measure phase, milliseconds.
+    pub wall_ms: f64,
+    /// Key-operations per wall-second.
+    pub ops_per_sec: f64,
+    /// Fraction of reads that hit.
+    pub hit_rate: f64,
+}
+
+/// The full sweep: every lock × {1, 4} shards × {uniform, zipf 0.99} ×
+/// {YCSB-A, YCSB-B, YCSB-C}, plus one batched multi-get case per lock
+/// (YCSB-C, zipfian, 4 shards, batch 4) and one churn case per lock
+/// (CAS + delete traffic through the maintenance path).
+pub fn sweep_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    for lock in SrvLockKind::ALL {
+        for shards in [1usize, 4] {
+            for dist in [KeyDist::Uniform, KeyDist::Zipfian { theta: 0.99 }] {
+                for mix in [Mix::YCSB_A, Mix::YCSB_B, Mix::YCSB_C] {
+                    cases.push(Case {
+                        lock,
+                        shards,
+                        dist,
+                        mix,
+                        batch: 1,
+                    });
+                }
+            }
+        }
+        cases.push(Case {
+            lock,
+            shards: 4,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_C,
+            batch: 4,
+        });
+        cases.push(Case {
+            lock,
+            shards: 2,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::CHURN,
+            batch: 1,
+        });
+    }
+    cases
+}
+
+fn run_case_typed<R: RawLock + Default>(case: Case, config: SweepConfig) -> CaseResult {
+    // Shards stay small so per-case setup doesn't dominate: enough
+    // buckets to keep chains short at the sweep's keyspace sizes.
+    let buckets_per_shard = (config.keys as usize / case.shards).clamp(64, 4096);
+    let router: ShardRouter<R> = ShardRouter::new(case.shards, buckets_per_shard, 16);
+    let spec = WorkloadSpec {
+        keys: config.keys,
+        dist: case.dist,
+        mix: case.mix,
+        vsize: ValueSize::Uniform { min: 16, max: 96 },
+        batch: case.batch,
+        seed: SEED,
+    };
+    let report = run_closed_loop(&router, &spec, config.workers, config.ops_per_worker);
+    let wall_ms = report.wall.as_secs_f64() * 1000.0;
+    CaseResult {
+        case,
+        workers: config.workers,
+        issued: report.issued,
+        hits: report.hits,
+        misses: report.misses,
+        cas_ok: report.cas_ok,
+        cas_fail: report.cas_fail,
+        maintenance_runs: report.store.maintenance_runs,
+        wall_ms,
+        ops_per_sec: report.issued.total() as f64 / (report.wall.as_secs_f64().max(1e-9)),
+        hit_rate: report.hit_rate(),
+    }
+}
+
+/// Runs one case, dispatching on the lock algorithm.
+pub fn run_case(case: Case, config: SweepConfig) -> CaseResult {
+    match case.lock {
+        SrvLockKind::Ttas => run_case_typed::<TtasLock>(case, config),
+        SrvLockKind::Ticket => run_case_typed::<TicketLock>(case, config),
+        SrvLockKind::Mcs => run_case_typed::<McsLock>(case, config),
+        SrvLockKind::Mutex => run_case_typed::<MutexLock>(case, config),
+    }
+}
+
+/// Runs the full sweep.
+pub fn run_sweep(config: SweepConfig) -> Vec<CaseResult> {
+    sweep_cases()
+        .into_iter()
+        .map(|case| run_case(case, config))
+        .collect()
+}
+
+/// Renders the sweep as a plain-text table.
+pub fn render_table(results: &[CaseResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>10}",
+        "lock",
+        "shards",
+        "dist",
+        "mix",
+        "batch",
+        "ops",
+        "wall ms",
+        "ops/sec",
+        "hit%",
+        "casf",
+        "maint"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>9} {:>7} {:>6} {:>9} {:>9.1} {:>9.0} {:>6.1}% {:>7} {:>10}",
+            r.case.lock.name(),
+            r.case.shards,
+            r.case.dist.label(),
+            r.case.mix.name,
+            r.case.batch,
+            r.issued.total(),
+            r.wall_ms,
+            r.ops_per_sec,
+            r.hit_rate * 100.0,
+            r.cas_fail,
+            r.maintenance_runs
+        );
+    }
+    out
+}
+
+/// Renders the sweep as the `BENCH_kv.json` document. Hand-rolled JSON
+/// like `BENCH_sim.json`: the workspace is offline and serde is not
+/// among the vendored shims.
+pub fn render_json(results: &[CaseResult], config: SweepConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ssync-kv-perf-v1\",\n");
+    out.push_str("  \"unit_note\": \"ops are key-operations (a multi-get counts per key); wall times are host milliseconds on the build machine; issued counts are deterministic per seed, wall/ops_per_sec are not\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}}},\n",
+        config.workers, config.ops_per_worker, config.keys, SEED
+    ));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"lock\": \"{}\", \"shards\": {}, \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"cas_ok\": {}, \"cas_fail\": {}, \"maintenance_runs\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}\n",
+            r.case.lock.name(),
+            r.case.shards,
+            r.case.dist.label(),
+            r.case.mix.name,
+            r.case.batch,
+            r.issued.gets,
+            r.issued.sets,
+            r.issued.cas,
+            r.issued.deletes,
+            r.hits,
+            r.misses,
+            r.cas_ok,
+            r.cas_fail,
+            r.maintenance_runs,
+            r.hit_rate,
+            r.wall_ms,
+            r.ops_per_sec
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            workers: 2,
+            ops_per_worker: 120,
+            keys: 128,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_required_axes() {
+        let cases = sweep_cases();
+        let locks: std::collections::HashSet<_> = cases.iter().map(|c| c.lock.name()).collect();
+        let shards: std::collections::HashSet<_> = cases.iter().map(|c| c.shards).collect();
+        let dists: std::collections::HashSet<_> = cases.iter().map(|c| c.dist.label()).collect();
+        let mixes: std::collections::HashSet<_> = cases.iter().map(|c| c.mix.name).collect();
+        assert!(locks.len() >= 3, "need >= 3 lock algorithms: {locks:?}");
+        assert!(shards.len() >= 2, "need >= 2 shard counts: {shards:?}");
+        assert!(dists.len() >= 2, "need >= 2 skew settings: {dists:?}");
+        assert!(mixes.len() >= 3);
+        assert!(cases.iter().any(|c| c.batch > 1), "batched case missing");
+    }
+
+    #[test]
+    fn one_case_runs_and_renders() {
+        let config = tiny_config();
+        let case = Case {
+            lock: SrvLockKind::Ticket,
+            shards: 2,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_B,
+            batch: 1,
+        };
+        let r = run_case(case, config);
+        assert_eq!(r.issued.total(), 240);
+        assert!(r.hit_rate > 0.99); // Preloaded keyspace, no deletes.
+        let table = render_table(std::slice::from_ref(&r));
+        assert!(table.contains("TICKET"));
+        let json = render_json(std::slice::from_ref(&r), config);
+        assert!(json.contains("\"ssync-kv-perf-v1\""));
+        assert!(json.contains("\"mix\": \"ycsb-b\""));
+    }
+
+    #[test]
+    fn issued_counts_are_deterministic() {
+        let config = tiny_config();
+        let case = Case {
+            lock: SrvLockKind::Mcs,
+            shards: 4,
+            dist: KeyDist::Uniform,
+            mix: Mix::CHURN,
+            batch: 1,
+        };
+        let a = run_case(case, config);
+        let b = run_case(case, config);
+        assert_eq!(a.issued, b.issued);
+        // Churn deletes make hits load-dependent in principle, but the
+        // op *stream* is fixed; the deterministic claim is on issued.
+        assert!(a.issued.deletes > 0);
+        assert!(a.issued.cas > 0);
+    }
+}

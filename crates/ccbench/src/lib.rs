@@ -20,6 +20,7 @@
 //! | Figure 12 (key-value store)       | [`drivers::kv_kops`] |
 
 pub mod drivers;
+pub mod kv_perf;
 pub mod perf;
 pub mod series;
 pub mod tables;

@@ -56,8 +56,60 @@ pub struct Stats {
     pub misses: AtomicU64,
     /// `set` operations.
     pub sets: AtomicU64,
+    /// Successful `delete`s (deletes of absent keys are not counted).
+    pub deletes: AtomicU64,
+    /// `cas` attempts rejected for a stale version or absent key.
+    pub cas_failures: AtomicU64,
     /// Global maintenance passes executed.
     pub maintenance_runs: AtomicU64,
+}
+
+impl Stats {
+    /// A plain-value copy of every counter, for reporting. Each counter
+    /// is read independently (`Relaxed`), so a snapshot taken while
+    /// writers are active is a consistent *per-counter* view, not a
+    /// cross-counter atomic one.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            maintenance_runs: self.maintenance_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-struct copy of [`Stats`], as returned by [`Stats::snapshot`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Successful `get`s.
+    pub hits: u64,
+    /// `get`s for absent keys.
+    pub misses: u64,
+    /// `set` operations.
+    pub sets: u64,
+    /// Successful `delete`s.
+    pub deletes: u64,
+    /// Rejected `cas` attempts.
+    pub cas_failures: u64,
+    /// Global maintenance passes executed.
+    pub maintenance_runs: u64,
+}
+
+impl StatsSnapshot {
+    /// Field-wise sum, for aggregating shards.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            sets: self.sets + other.sets,
+            deletes: self.deletes + other.deletes,
+            cas_failures: self.cas_failures + other.cas_failures,
+            maintenance_runs: self.maintenance_runs + other.maintenance_runs,
+        }
+    }
 }
 
 /// The store, generic over the lock algorithm guarding both the stripes
@@ -138,6 +190,24 @@ impl<R: RawLock + Default> KvStore<R> {
             .map(|item| item.version)
     }
 
+    /// Looks a key up, returning `(version, value)` — Memcached's
+    /// `gets` command, which the service layer needs to answer a read
+    /// and arm a follow-up CAS with one lock acquisition.
+    pub fn get_with_version(&self, key: &[u8]) -> Option<(u64, Bytes)> {
+        let (stripe, bucket) = self.locate(key);
+        let guard = self.stripes[stripe].lock();
+        let hit = guard[bucket]
+            .iter()
+            .find(|item| item.key.as_ref() == key)
+            .map(|item| (item.version, item.value.clone()));
+        drop(guard);
+        match &hit {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
     /// Stores a value (insert or replace); returns its new CAS version.
     pub fn set(&self, key: &[u8], value: impl Into<Bytes>) -> u64 {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
@@ -184,6 +254,8 @@ impl<R: RawLock + Default> KvStore<R> {
         if result.is_ok() {
             self.stats.sets.fetch_add(1, Ordering::Relaxed);
             self.after_write();
+        } else {
+            self.stats.cas_failures.fetch_add(1, Ordering::Relaxed);
         }
         result
     }
@@ -203,6 +275,7 @@ impl<R: RawLock + Default> KvStore<R> {
             }
         };
         if removed {
+            self.stats.deletes.fetch_add(1, Ordering::Relaxed);
             self.after_write();
         }
         removed
@@ -287,6 +360,57 @@ mod tests {
         kv.get(b"absent");
         assert_eq!(kv.stats().hits.load(Ordering::Relaxed), 1);
         assert_eq!(kv.stats().misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_track_deletes_and_cas_failures() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        let v = kv.set(b"k", b"x".as_slice());
+        assert!(kv.delete(b"k"));
+        assert!(!kv.delete(b"k")); // Absent: not counted.
+        assert!(kv.cas(b"k", b"y".as_slice(), v).is_err()); // Absent key.
+        let v = kv.set(b"k", b"x".as_slice());
+        assert!(kv.cas(b"k", b"y".as_slice(), v + 1).is_err()); // Stale.
+        assert!(kv.cas(b"k", b"y".as_slice(), v).is_ok());
+        let snap = kv.stats().snapshot();
+        assert_eq!(snap.deletes, 1);
+        assert_eq!(snap.cas_failures, 2);
+        assert_eq!(snap.sets, 3); // Two plain sets + the successful CAS.
+    }
+
+    #[test]
+    fn snapshot_copies_and_merges() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        kv.set(b"a", b"1".as_slice());
+        kv.get(b"a");
+        kv.get(b"b");
+        let snap = kv.stats().snapshot();
+        assert_eq!(
+            snap,
+            StatsSnapshot {
+                hits: 1,
+                misses: 1,
+                sets: 1,
+                ..StatsSnapshot::default()
+            }
+        );
+        let doubled = snap.merge(&snap);
+        assert_eq!(doubled.hits, 2);
+        assert_eq!(doubled.sets, 2);
+    }
+
+    #[test]
+    fn get_with_version_matches_get_and_version() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        assert!(kv.get_with_version(b"k").is_none());
+        let v = kv.set(b"k", b"val".as_slice());
+        let (got_v, got) = kv.get_with_version(b"k").unwrap();
+        assert_eq!(got_v, v);
+        assert_eq!(got.as_ref(), b"val");
+        assert_eq!(kv.version(b"k"), Some(v));
+        // It counts toward hit/miss stats like `get`.
+        let snap = kv.stats().snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
     }
 
     #[test]

@@ -135,6 +135,63 @@ mod tests {
         assert_eq!(m[0], 10);
     }
 
+    /// Regression test for the round-robin start-after-last-served
+    /// scan: a client that always has a message ready must not starve
+    /// the others. If `poll_once` restarted from index 0 instead of
+    /// after the last served client, the flooder (client 0) would win
+    /// every poll and take all 400 receives.
+    #[test]
+    fn flooding_client_cannot_starve_others() {
+        const CLIENTS: usize = 4;
+        const ROUNDS: u64 = 400;
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..CLIENTS {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut hub = ServerHub::new(receivers);
+        let mut counts = [0u64; CLIENTS];
+        for _ in 0..ROUNDS {
+            // Every client (the flooder included) tops its channel up
+            // before each poll, so the hub always faces a full house;
+            // only the rotation decides who is served.
+            for tx in &senders {
+                let _ = tx.try_send([7; 7]);
+            }
+            let (c, _) = hub.recv_from_any();
+            counts[c] += 1;
+        }
+        assert_eq!(
+            counts,
+            [ROUNDS / CLIENTS as u64; CLIENTS],
+            "round-robin must serve saturated clients exactly evenly"
+        );
+    }
+
+    /// The rotation also resumes after the last served client when
+    /// traffic is sparse: serving client 1 must put client 2 (not 0)
+    /// first in line for the next poll.
+    #[test]
+    fn rotation_resumes_after_last_served() {
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..3 {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut hub = ServerHub::new(receivers);
+        senders[1].send([1; 7]);
+        assert_eq!(hub.recv_from_any().0, 1);
+        // Both 0 and 2 now have traffic; 2 is next in rotation order.
+        senders[0].send([0; 7]);
+        senders[2].send([2; 7]);
+        assert_eq!(hub.recv_from_any().0, 2);
+        assert_eq!(hub.recv_from_any().0, 0);
+    }
+
     #[test]
     fn threaded_clients_all_served() {
         let mut senders = Vec::new();

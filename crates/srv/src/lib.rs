@@ -1,0 +1,55 @@
+//! # ssync-srv
+//!
+//! The serving layer over the SSYNC stack: a sharded key-value
+//! *service* in the spirit of the paper's Section 6.4 capstone ("real
+//! software under real traffic" — Memcached with pluggable locks), but
+//! scaled out the way production caches are deployed:
+//!
+//! * [`router`] — keyspace partitioning over N [`ssync_kv::KvStore`]
+//!   shards, generic over the lock algorithm `R` like everything else
+//!   in the tree;
+//! * [`wire`] — the request/response format packed into `ssync-mp`
+//!   cache-line messages, with multi-get batching and continuation
+//!   frames for long values;
+//! * [`service`] — per-shard server threads multiplexing clients over
+//!   [`ssync_mp::ServerHub`], plus the [`service::ServiceClient`]
+//!   round-trip API;
+//! * [`workload`] — a deterministic workload engine: seeded zipfian and
+//!   uniform key distributions, YCSB-style read/write mixes, value-size
+//!   distributions, and a closed-loop driver.
+//!
+//! The `kv-perf` binary in `ssync-ccbench` sweeps this subsystem over
+//! {lock algorithm × shard count × skew × mix} and writes
+//! `BENCH_kv.json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssync_srv::router::ShardRouter;
+//! use ssync_srv::service::{serve, wire_mesh};
+//! use ssync_locks::TicketLock;
+//!
+//! let router: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+//! let (endpoints, mut clients) = wire_mesh(router.num_shards(), 1);
+//! std::thread::scope(|s| {
+//!     for (shard, endpoint) in endpoints.into_iter().enumerate() {
+//!         let store = router.shard(shard);
+//!         s.spawn(move || serve(store, endpoint));
+//!     }
+//!     let client = clients.pop().unwrap();
+//!     let version = client.set(7, b"value".to_vec());
+//!     let (v, value) = client.get(7).unwrap();
+//!     assert_eq!((v, value.as_slice()), (version, b"value".as_slice()));
+//!     client.close();
+//! });
+//! ```
+
+pub mod router;
+pub mod service;
+pub mod wire;
+pub mod workload;
+
+pub use router::{shard_of, ShardRouter};
+pub use service::{serve, wire_mesh, ServiceClient};
+pub use wire::{Request, Response};
+pub use workload::{KeyDist, Mix, Op, OpStream, ValueSize, WorkloadReport, WorkloadSpec};

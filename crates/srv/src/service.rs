@@ -1,0 +1,387 @@
+//! The message-passing request/response service.
+//!
+//! One server thread per shard, one [`ServiceClient`] per client
+//! thread. Every (client, shard) pair gets a dedicated SPSC channel
+//! pair (request + reply), so all traffic keeps `ssync-mp`'s
+//! single-cache-line transfer property; a server multiplexes its
+//! clients with [`ServerHub`] (round-robin, no starvation) and pulls a
+//! request's continuation frames with `recv_from_subset` so interleaved
+//! clients cannot corrupt a value mid-transfer.
+//!
+//! Flow control is the channels' one-line depth itself: a client has at
+//! most one request outstanding per shard ([`ServiceClient::get_many`]
+//! exploits exactly that — one multi-get per shard in flight, replies
+//! drained shard by shard), and a server finishes every reply frame of
+//! a request before polling for the next, so the system cannot
+//! deadlock on full buffers.
+
+use ssync_kv::KvStore;
+use ssync_locks::RawLock;
+use ssync_mp::{channel, Receiver, Sender, ServerHub};
+
+use crate::router::{key_bytes, shard_of};
+use crate::wire::{Request, Response, MGET_MAX};
+
+/// A shard server's side of the channel mesh: one request receiver and
+/// one reply sender per client, index-aligned.
+pub struct ServerEndpoint {
+    requests: Vec<Receiver>,
+    replies: Vec<Sender>,
+}
+
+/// A client's side of the channel mesh: one `(request sender, reply
+/// receiver)` pair per shard.
+pub struct ServiceClient {
+    shards: Vec<(Sender, Receiver)>,
+}
+
+/// Builds the full channel mesh for `shards` servers × `clients`
+/// clients: element `s` of the first vector serves shard `s`, element
+/// `c` of the second belongs to client `c`.
+///
+/// # Panics
+///
+/// Panics if `shards` or `clients` is zero.
+pub fn wire_mesh(shards: usize, clients: usize) -> (Vec<ServerEndpoint>, Vec<ServiceClient>) {
+    assert!(shards > 0 && clients > 0);
+    let mut endpoints: Vec<ServerEndpoint> = (0..shards)
+        .map(|_| ServerEndpoint {
+            requests: Vec::with_capacity(clients),
+            replies: Vec::with_capacity(clients),
+        })
+        .collect();
+    let mut service_clients = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let mut per_shard = Vec::with_capacity(shards);
+        for endpoint in endpoints.iter_mut() {
+            let (req_tx, req_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            endpoint.requests.push(req_rx);
+            endpoint.replies.push(rep_tx);
+            per_shard.push((req_tx, rep_rx));
+        }
+        service_clients.push(ServiceClient { shards: per_shard });
+    }
+    (endpoints, service_clients)
+}
+
+/// What one shard server did before all its clients stopped.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Request messages served (a multi-get head counts once).
+    pub requests: u64,
+    /// Key-operations executed (a multi-get counts per key).
+    pub key_ops: u64,
+}
+
+/// Runs one shard's server loop: serve requests from every client
+/// until each has sent [`Request::Stop`]. Meant to run on its own
+/// thread; returns once the last client stops.
+pub fn serve<R: RawLock + Default>(shard: &KvStore<R>, endpoint: ServerEndpoint) -> ServeReport {
+    let ServerEndpoint { requests, replies } = endpoint;
+    let mut live = requests.len();
+    let mut hub = ServerHub::new(requests);
+    let mut report = ServeReport::default();
+    while live > 0 {
+        let (client, head) = hub.recv_from_any();
+        let request = Request::decode(head, || hub.recv_from_subset(&[client]).1);
+        if matches!(request, Request::Stop) {
+            live -= 1;
+            continue;
+        }
+        report.requests += 1;
+        for response in execute(shard, request, &mut report.key_ops) {
+            for frame in response.encode() {
+                replies[client].send(frame);
+            }
+        }
+    }
+    report
+}
+
+/// Executes one request against the shard, returning the responses to
+/// send (one per key for a multi-get, in key order).
+fn execute<R: RawLock + Default>(
+    shard: &KvStore<R>,
+    request: Request,
+    key_ops: &mut u64,
+) -> Vec<Response> {
+    let lookup = |key: u64| match shard.get_with_version(&key_bytes(key)) {
+        Some((version, value)) => Response::Value {
+            version,
+            value: value.as_ref().to_vec(),
+        },
+        None => Response::Miss,
+    };
+    match request {
+        Request::Get { key } => {
+            *key_ops += 1;
+            vec![lookup(key)]
+        }
+        Request::MultiGet { keys } => {
+            *key_ops += keys.len() as u64;
+            keys.into_iter().map(lookup).collect()
+        }
+        Request::Set { key, value } => {
+            *key_ops += 1;
+            vec![Response::Stored {
+                version: shard.set(&key_bytes(key), value),
+            }]
+        }
+        Request::Cas {
+            key,
+            expected,
+            value,
+        } => {
+            *key_ops += 1;
+            vec![match shard.cas(&key_bytes(key), value, expected) {
+                Ok(version) => Response::Stored { version },
+                Err(current) => Response::CasFail { current },
+            }]
+        }
+        Request::Delete { key } => {
+            *key_ops += 1;
+            vec![if shard.delete(&key_bytes(key)) {
+                Response::Deleted
+            } else {
+                Response::NotFound
+            }]
+        }
+        Request::Stop => unreachable!("Stop is handled by the serve loop"),
+    }
+}
+
+impl ServiceClient {
+    /// Number of shards this client can reach.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One blocking round-trip to a shard: send every request frame,
+    /// then read one response.
+    fn call(&self, shard: usize, request: &Request) -> Response {
+        let (tx, _) = &self.shards[shard];
+        for frame in request.encode() {
+            tx.send(frame);
+        }
+        self.read_response(shard)
+    }
+
+    fn read_response(&self, shard: usize) -> Response {
+        let (_, rx) = &self.shards[shard];
+        let head = rx.recv();
+        Response::decode(head, || rx.recv())
+    }
+
+    /// Looks a key up; `Some((version, value))` on a hit.
+    pub fn get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
+        let shard = shard_of(key, self.shards.len());
+        match self.call(shard, &Request::Get { key }) {
+            Response::Value { version, value } => Some((version, value)),
+            Response::Miss => None,
+            other => panic!("protocol violation: {other:?} in reply to Get"),
+        }
+    }
+
+    /// Batched lookup: coalesces the keys into at most one in-flight
+    /// multi-get per shard per round (the batching the service exists
+    /// for), returning results in input order. Keys beyond
+    /// [`MGET_MAX`] per shard take additional rounds.
+    pub fn get_many(&self, keys: &[u64]) -> Vec<Option<(u64, Vec<u8>)>> {
+        let shards = self.shards.len();
+        // Input positions grouped by shard, then chunked into rounds.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (pos, &key) in keys.iter().enumerate() {
+            by_shard[shard_of(key, shards)].push(pos);
+        }
+        let mut results: Vec<Option<(u64, Vec<u8>)>> = (0..keys.len()).map(|_| None).collect();
+        let rounds = by_shard
+            .iter()
+            .map(|p| p.len().div_ceil(MGET_MAX))
+            .max()
+            .unwrap_or(0);
+        for round in 0..rounds {
+            // Phase 1: one head frame per shard — never blocks past the
+            // servers' current request, so no send/recv cycle forms.
+            let mut sent: Vec<&[usize]> = Vec::with_capacity(shards);
+            for (shard, positions) in by_shard.iter().enumerate() {
+                let chunk = positions.chunks(MGET_MAX).nth(round).unwrap_or(&[]);
+                if !chunk.is_empty() {
+                    let batch: Vec<u64> = chunk.iter().map(|&p| keys[p]).collect();
+                    let (tx, _) = &self.shards[shard];
+                    for frame in (Request::MultiGet { keys: batch }).encode() {
+                        tx.send(frame);
+                    }
+                }
+                sent.push(chunk);
+            }
+            // Phase 2: drain every shard's replies, in key order.
+            for (shard, chunk) in sent.into_iter().enumerate() {
+                for &pos in chunk {
+                    results[pos] = match self.read_response(shard) {
+                        Response::Value { version, value } => Some((version, value)),
+                        Response::Miss => None,
+                        other => panic!("protocol violation: {other:?} in reply to MultiGet"),
+                    };
+                }
+            }
+        }
+        results
+    }
+
+    /// Stores a value; returns its new CAS version.
+    pub fn set(&self, key: u64, value: Vec<u8>) -> u64 {
+        let shard = shard_of(key, self.shards.len());
+        match self.call(shard, &Request::Set { key, value }) {
+            Response::Stored { version } => version,
+            other => panic!("protocol violation: {other:?} in reply to Set"),
+        }
+    }
+
+    /// Compare-and-set; `Err(current_version)` on a lost race.
+    pub fn cas(&self, key: u64, value: Vec<u8>, expected: u64) -> Result<u64, u64> {
+        let shard = shard_of(key, self.shards.len());
+        match self.call(
+            shard,
+            &Request::Cas {
+                key,
+                expected,
+                value,
+            },
+        ) {
+            Response::Stored { version } => Ok(version),
+            Response::CasFail { current } => Err(current),
+            other => panic!("protocol violation: {other:?} in reply to Cas"),
+        }
+    }
+
+    /// Deletes a key; true if it existed.
+    pub fn delete(&self, key: u64) -> bool {
+        let shard = shard_of(key, self.shards.len());
+        match self.call(shard, &Request::Delete { key }) {
+            Response::Deleted => true,
+            Response::NotFound => false,
+            other => panic!("protocol violation: {other:?} in reply to Delete"),
+        }
+    }
+
+    /// Tells every shard server this client is done, consuming the
+    /// client. Servers exit after the last client closes.
+    pub fn close(self) {
+        for (tx, _) in &self.shards {
+            for frame in Request::Stop.encode() {
+                tx.send(frame);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShardRouter;
+    use ssync_locks::TicketLock;
+
+    /// Runs `body` with `clients` live clients against a served router.
+    fn with_service<F>(shards: usize, clients: usize, body: F) -> ShardRouter<TicketLock>
+    where
+        F: FnOnce(Vec<ServiceClient>) + Send,
+    {
+        let router: ShardRouter<TicketLock> = ShardRouter::new(shards, 64, 8);
+        let (endpoints, service_clients) = wire_mesh(shards, clients);
+        std::thread::scope(|s| {
+            for (shard, endpoint) in endpoints.into_iter().enumerate() {
+                let store = router.shard(shard);
+                s.spawn(move || serve(store, endpoint));
+            }
+            body(service_clients);
+        });
+        router
+    }
+
+    #[test]
+    fn end_to_end_single_client() {
+        let router = with_service(2, 1, |mut clients| {
+            let client = clients.pop().unwrap();
+            assert!(client.get(1).is_none());
+            let v1 = client.set(1, b"one".to_vec());
+            let (v, value) = client.get(1).unwrap();
+            assert_eq!((v, value.as_slice()), (v1, b"one".as_slice()));
+            let v2 = client.cas(1, b"two".to_vec(), v1).unwrap();
+            assert_eq!(client.cas(1, b"three".to_vec(), v1), Err(v2));
+            assert!(client.delete(1));
+            assert!(!client.delete(1));
+            client.close();
+        });
+        assert!(router.is_empty());
+        let snap = router.stats_snapshot();
+        assert_eq!(snap.cas_failures, 1);
+        assert_eq!(snap.deletes, 1);
+    }
+
+    #[test]
+    fn long_values_cross_the_wire_intact() {
+        with_service(2, 1, |mut clients| {
+            let client = clients.pop().unwrap();
+            let value: Vec<u8> = (0..700).map(|i| (i % 256) as u8).collect();
+            client.set(9, value.clone());
+            let (_, got) = client.get(9).unwrap();
+            assert_eq!(got, value);
+            client.close();
+        });
+    }
+
+    #[test]
+    fn multi_get_spans_shards_and_batches() {
+        with_service(3, 1, |mut clients| {
+            let client = clients.pop().unwrap();
+            for key in 0..40u64 {
+                client.set(key, key.to_be_bytes().to_vec());
+            }
+            // 40 keys over 3 shards forces several rounds of MGET_MAX
+            // chunks per shard; 100.. are misses.
+            let keys: Vec<u64> = (0..50).map(|i| if i < 40 { i } else { i + 100 }).collect();
+            let results = client.get_many(&keys);
+            for (i, res) in results.iter().enumerate() {
+                if i < 40 {
+                    let (_, value) = res.as_ref().expect("present key");
+                    assert_eq!(value.as_slice(), &(i as u64).to_be_bytes());
+                } else {
+                    assert!(res.is_none(), "key {i} should miss");
+                }
+            }
+            client.close();
+        });
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_service() {
+        let router = with_service(2, 3, |service_clients| {
+            std::thread::scope(|s| {
+                for (c, client) in service_clients.into_iter().enumerate() {
+                    s.spawn(move || {
+                        let base = c as u64 * 1000;
+                        for i in 0..100 {
+                            client.set(base + i, vec![c as u8; 16]);
+                        }
+                        for i in 0..100 {
+                            let (_, value) = client.get(base + i).unwrap();
+                            assert_eq!(value, vec![c as u8; 16]);
+                        }
+                        client.close();
+                    });
+                }
+            });
+        });
+        assert_eq!(router.len(), 300);
+    }
+
+    #[test]
+    fn empty_multi_get_is_a_no_op() {
+        with_service(1, 1, |mut clients| {
+            let client = clients.pop().unwrap();
+            assert!(client.get_many(&[]).is_empty());
+            client.close();
+        });
+    }
+}

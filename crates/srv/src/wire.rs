@@ -1,0 +1,438 @@
+//! The request/response wire format over `ssync-mp` messages.
+//!
+//! A channel message is one cache line: seven 64-bit words
+//! ([`MSG_WORDS`]). Every operation is packed into a *head frame* whose
+//! word 0 carries the opcode/status, an inline value length, and a
+//! multi-get count; words 1 and 2 carry the key and (for CAS) the
+//! expected version; words 3..7 carry the first [`HEAD_VALUE_BYTES`]
+//! value bytes. Values longer than that stream in *continuation frames*
+//! that use the full line ([`CONT_VALUE_BYTES`] bytes each) — the
+//! channels are SPSC and FIFO, so continuations need no header; the
+//! receiver knows exactly how many bytes remain.
+//!
+//! Batching: [`Request::MultiGet`] coalesces up to [`MGET_MAX`] keys
+//! into a single head frame (Memcached's `get k1 k2 …` multi-get), and
+//! the server answers with one [`Response`] per key, in key order.
+//!
+//! The format is symmetric by design: both sides encode with
+//! [`Request::encode`] / [`Response::encode`] (a `Vec` of frames sent
+//! back-to-back) and decode with `decode(head, more)`, where `more`
+//! pulls the next frame *from the same peer* — the server uses
+//! `ServerHub::recv_from_subset` for this, a client its reply channel.
+
+use ssync_mp::{Message, MSG_WORDS};
+
+/// Value bytes carried inline by a head frame (words 3..7).
+pub const HEAD_VALUE_BYTES: usize = 4 * 8;
+
+/// Value bytes carried by one continuation frame (the full line).
+pub const CONT_VALUE_BYTES: usize = MSG_WORDS * 8;
+
+/// Maximum value length the format carries (fits the 16-bit length
+/// field with room to spare; caps continuation streaming).
+pub const MAX_VALUE_LEN: usize = 1024;
+
+/// Maximum keys per [`Request::MultiGet`] head frame (words 1..7).
+pub const MGET_MAX: usize = MSG_WORDS - 1;
+
+const OP_GET: u64 = 1;
+const OP_MGET: u64 = 2;
+const OP_SET: u64 = 3;
+const OP_CAS: u64 = 4;
+const OP_DELETE: u64 = 5;
+const OP_STOP: u64 = 6;
+
+const ST_VALUE: u64 = 1;
+const ST_MISS: u64 = 2;
+const ST_STORED: u64 = 3;
+const ST_CAS_FAIL: u64 = 4;
+const ST_DELETED: u64 = 5;
+const ST_NOT_FOUND: u64 = 6;
+
+/// A client-to-server operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look one key up.
+    Get {
+        /// The key.
+        key: u64,
+    },
+    /// Look up to [`MGET_MAX`] keys up in one round-trip; the server
+    /// replies with one [`Response`] per key, in order.
+    MultiGet {
+        /// The keys (1..=[`MGET_MAX`]).
+        keys: Vec<u64>,
+    },
+    /// Store a value.
+    Set {
+        /// The key.
+        key: u64,
+        /// The value (≤ [`MAX_VALUE_LEN`] bytes).
+        value: Vec<u8>,
+    },
+    /// Store only if the key's version still matches `expected`.
+    Cas {
+        /// The key.
+        key: u64,
+        /// The version the client last observed.
+        expected: u64,
+        /// The replacement value (≤ [`MAX_VALUE_LEN`] bytes).
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+    /// Client is done; the server exits once every client said so.
+    Stop,
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Hit: the stored version and value.
+    Value {
+        /// CAS version of the returned value.
+        version: u64,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Miss on a `Get`/`MultiGet`.
+    Miss,
+    /// A `Set` or successful `Cas` stored the value at this version.
+    Stored {
+        /// The newly assigned version.
+        version: u64,
+    },
+    /// A `Cas` lost: the key's current version (0 if the key vanished).
+    CasFail {
+        /// The version currently stored.
+        current: u64,
+    },
+    /// A `Delete` removed the key.
+    Deleted,
+    /// A `Delete` found nothing.
+    NotFound,
+}
+
+/// Packs opcode/status (bits 0..8), multi-get count (bits 8..16) and
+/// value length (bits 16..32) into word 0.
+fn head_word(op: u64, count: usize, vlen: usize) -> u64 {
+    debug_assert!(count < 256 && vlen < 65_536);
+    op | (count as u64) << 8 | (vlen as u64) << 16
+}
+
+fn split_head_word(w: u64) -> (u64, usize, usize) {
+    (
+        w & 0xFF,
+        (w >> 8 & 0xFF) as usize,
+        (w >> 16 & 0xFFFF) as usize,
+    )
+}
+
+/// Serializes `value` into the tail of `head` plus however many
+/// continuation frames it needs, appending all frames to `out`.
+fn push_value_frames(mut head: Message, value: &[u8], out: &mut Vec<Message>) {
+    assert!(value.len() <= MAX_VALUE_LEN, "value exceeds MAX_VALUE_LEN");
+    let inline = value.len().min(HEAD_VALUE_BYTES);
+    write_bytes(&mut head[3..], &value[..inline]);
+    out.push(head);
+    for chunk in value[inline..].chunks(CONT_VALUE_BYTES) {
+        let mut frame: Message = [0; MSG_WORDS];
+        write_bytes(&mut frame, chunk);
+        out.push(frame);
+    }
+}
+
+/// Reads a `vlen`-byte value from the head frame's tail plus
+/// continuation frames pulled via `more`.
+fn read_value_frames(head: &Message, vlen: usize, mut more: impl FnMut() -> Message) -> Vec<u8> {
+    let mut value = vec![0u8; vlen];
+    let inline = vlen.min(HEAD_VALUE_BYTES);
+    read_bytes(&head[3..], &mut value[..inline]);
+    let mut done = inline;
+    while done < vlen {
+        let frame = more();
+        let n = (vlen - done).min(CONT_VALUE_BYTES);
+        read_bytes(&frame, &mut value[done..done + n]);
+        done += n;
+    }
+    value
+}
+
+fn write_bytes(words: &mut [u64], bytes: &[u8]) {
+    for (i, chunk) in bytes.chunks(8).enumerate() {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words[i] = u64::from_le_bytes(w);
+    }
+}
+
+fn read_bytes(words: &[u64], bytes: &mut [u8]) {
+    for (i, chunk) in bytes.chunks_mut(8).enumerate() {
+        let w = words[i].to_le_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+}
+
+impl Request {
+    /// Encodes the request as one head frame plus continuation frames,
+    /// to be sent back-to-back on one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an over-long value, an empty multi-get, or one with
+    /// more than [`MGET_MAX`] keys.
+    pub fn encode(&self) -> Vec<Message> {
+        let mut out = Vec::with_capacity(1);
+        match self {
+            Request::Get { key } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_GET, 0, 0);
+                m[1] = *key;
+                out.push(m);
+            }
+            Request::MultiGet { keys } => {
+                assert!(
+                    !keys.is_empty() && keys.len() <= MGET_MAX,
+                    "multi-get takes 1..={MGET_MAX} keys"
+                );
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_MGET, keys.len(), 0);
+                m[1..=keys.len()].copy_from_slice(keys);
+                out.push(m);
+            }
+            Request::Set { key, value } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_SET, 0, value.len());
+                m[1] = *key;
+                push_value_frames(m, value, &mut out);
+            }
+            Request::Cas {
+                key,
+                expected,
+                value,
+            } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_CAS, 0, value.len());
+                m[1] = *key;
+                m[2] = *expected;
+                push_value_frames(m, value, &mut out);
+            }
+            Request::Delete { key } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_DELETE, 0, 0);
+                m[1] = *key;
+                out.push(m);
+            }
+            Request::Stop => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_STOP, 0, 0);
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Decodes a request from its head frame, pulling continuation
+    /// frames from `more` (which must read from the same sender).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown opcode — the channels are typed and
+    /// point-to-point, so a malformed head frame is a program bug.
+    pub fn decode(head: Message, more: impl FnMut() -> Message) -> Request {
+        let (op, count, vlen) = split_head_word(head[0]);
+        match op {
+            OP_GET => Request::Get { key: head[1] },
+            OP_MGET => Request::MultiGet {
+                keys: head[1..=count].to_vec(),
+            },
+            OP_SET => Request::Set {
+                key: head[1],
+                value: read_value_frames(&head, vlen, more),
+            },
+            OP_CAS => Request::Cas {
+                key: head[1],
+                expected: head[2],
+                value: read_value_frames(&head, vlen, more),
+            },
+            OP_DELETE => Request::Delete { key: head[1] },
+            OP_STOP => Request::Stop,
+            _ => panic!("unknown request opcode {op}"),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one head frame plus continuation frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an over-long value.
+    pub fn encode(&self) -> Vec<Message> {
+        let mut out = Vec::with_capacity(1);
+        let mut m: Message = [0; MSG_WORDS];
+        match self {
+            Response::Value { version, value } => {
+                m[0] = head_word(ST_VALUE, 0, value.len());
+                m[1] = *version;
+                push_value_frames(m, value, &mut out);
+            }
+            Response::Miss => {
+                m[0] = head_word(ST_MISS, 0, 0);
+                out.push(m);
+            }
+            Response::Stored { version } => {
+                m[0] = head_word(ST_STORED, 0, 0);
+                m[1] = *version;
+                out.push(m);
+            }
+            Response::CasFail { current } => {
+                m[0] = head_word(ST_CAS_FAIL, 0, 0);
+                m[1] = *current;
+                out.push(m);
+            }
+            Response::Deleted => {
+                m[0] = head_word(ST_DELETED, 0, 0);
+                out.push(m);
+            }
+            Response::NotFound => {
+                m[0] = head_word(ST_NOT_FOUND, 0, 0);
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Decodes a response from its head frame, pulling continuation
+    /// frames from `more`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown status word (a protocol bug, as with
+    /// [`Request::decode`]).
+    pub fn decode(head: Message, more: impl FnMut() -> Message) -> Response {
+        let (st, _, vlen) = split_head_word(head[0]);
+        match st {
+            ST_VALUE => Response::Value {
+                version: head[1],
+                value: read_value_frames(&head, vlen, more),
+            },
+            ST_MISS => Response::Miss,
+            ST_STORED => Response::Stored { version: head[1] },
+            ST_CAS_FAIL => Response::CasFail { current: head[1] },
+            ST_DELETED => Response::Deleted,
+            ST_NOT_FOUND => Response::NotFound,
+            _ => panic!("unknown response status {st}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trips a request through encode/decode over a frame queue.
+    fn roundtrip_request(req: Request) -> Request {
+        let frames = req.encode();
+        let mut rest = frames[1..].iter().copied();
+        Request::decode(frames[0], move || rest.next().expect("frame underrun"))
+    }
+
+    fn roundtrip_response(resp: Response) -> Response {
+        let frames = resp.encode();
+        let mut rest = frames[1..].iter().copied();
+        Response::decode(frames[0], move || rest.next().expect("frame underrun"))
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let samples = vec![
+            Request::Get { key: 42 },
+            Request::MultiGet {
+                keys: vec![1, u64::MAX, 3],
+            },
+            Request::Set {
+                key: 7,
+                value: b"short".to_vec(),
+            },
+            Request::Cas {
+                key: 9,
+                expected: 1234,
+                value: vec![0xAB; HEAD_VALUE_BYTES], // Exactly inline-full.
+            },
+            Request::Delete { key: 0 },
+            Request::Stop,
+        ];
+        for req in samples {
+            assert_eq!(roundtrip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let samples = vec![
+            Response::Value {
+                version: 99,
+                value: b"v".to_vec(),
+            },
+            Response::Value {
+                version: 1,
+                value: vec![],
+            },
+            Response::Miss,
+            Response::Stored { version: 5 },
+            Response::CasFail { current: 17 },
+            Response::Deleted,
+            Response::NotFound,
+        ];
+        for resp in samples {
+            assert_eq!(roundtrip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn long_values_use_continuation_frames() {
+        // Every interesting boundary: empty, inline-exact, one byte
+        // over, continuation-exact, max.
+        for len in [
+            0,
+            1,
+            HEAD_VALUE_BYTES,
+            HEAD_VALUE_BYTES + 1,
+            HEAD_VALUE_BYTES + CONT_VALUE_BYTES,
+            HEAD_VALUE_BYTES + CONT_VALUE_BYTES + 1,
+            MAX_VALUE_LEN,
+        ] {
+            let value: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let req = Request::Set { key: 1, value };
+            let frames = req.encode();
+            let expected_frames = 1 + len
+                .saturating_sub(HEAD_VALUE_BYTES)
+                .div_ceil(CONT_VALUE_BYTES);
+            assert_eq!(frames.len(), expected_frames, "len {len}");
+            assert_eq!(roundtrip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_value_rejected() {
+        let _ = Request::Set {
+            key: 1,
+            value: vec![0; MAX_VALUE_LEN + 1],
+        }
+        .encode();
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_multiget_rejected() {
+        let _ = Request::MultiGet {
+            keys: vec![0; MGET_MAX + 1],
+        }
+        .encode();
+    }
+}

@@ -1,0 +1,639 @@
+//! Deterministic workload engine: seeded key distributions (uniform and
+//! YCSB-style zipfian), read/write mix presets, value-size
+//! distributions, and a closed-loop driver over the service.
+//!
+//! Everything is a pure function of `(spec.seed, worker index)`: the
+//! same spec issues exactly the same operation sequence per worker on
+//! every run, so benchmark op counts are replayable even though wall
+//! times are not. The zipfian sampler is the standard Gray et al.
+//! generator YCSB uses, with ranks scrambled through a SplitMix64
+//! finalizer so the hot set spreads over the keyspace (and therefore
+//! over the shards) instead of clustering at key 0.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ssync_kv::StatsSnapshot;
+use ssync_locks::RawLock;
+
+use crate::router::ShardRouter;
+use crate::service::{serve, wire_mesh, ServiceClient};
+use crate::wire::{MAX_VALUE_LEN, MGET_MAX};
+
+/// How keys are drawn from the keyspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with parameter `theta` in (0, 1); YCSB's default skew is
+    /// `theta = 0.99`.
+    Zipfian {
+        /// Skew parameter; larger is more skewed.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Short display name for benchmark labels.
+    pub fn label(&self) -> String {
+        match self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipfian { theta } => format!("zipf{theta:.2}"),
+        }
+    }
+}
+
+/// An operation mix, in percent (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Plain lookups.
+    pub read_pct: u8,
+    /// Blind writes (`set`).
+    pub update_pct: u8,
+    /// Read-modify-write via CAS.
+    pub cas_pct: u8,
+    /// Deletes.
+    pub delete_pct: u8,
+    /// Display name for benchmark labels.
+    pub name: &'static str,
+}
+
+impl Mix {
+    /// YCSB workload A: 50% reads, 50% updates.
+    pub const YCSB_A: Mix = Mix::new("ycsb-a", 50, 50, 0, 0);
+    /// YCSB workload B: 95% reads, 5% updates.
+    pub const YCSB_B: Mix = Mix::new("ycsb-b", 95, 5, 0, 0);
+    /// YCSB workload C: read-only.
+    pub const YCSB_C: Mix = Mix::new("ycsb-c", 100, 0, 0, 0);
+    /// A contended mixed workload: reads plus CAS read-modify-writes
+    /// and delete churn (every delete is eventually refilled by an
+    /// update landing on the same key).
+    pub const CHURN: Mix = Mix::new("churn", 60, 25, 10, 5);
+
+    /// Builds a mix, checking the percentages sum to 100.
+    pub const fn new(
+        name: &'static str,
+        read_pct: u8,
+        update_pct: u8,
+        cas_pct: u8,
+        delete_pct: u8,
+    ) -> Mix {
+        assert!(
+            read_pct as u16 + update_pct as u16 + cas_pct as u16 + delete_pct as u16 == 100,
+            "mix percentages must sum to 100"
+        );
+        Mix {
+            read_pct,
+            update_pct,
+            cas_pct,
+            delete_pct,
+            name,
+        }
+    }
+}
+
+/// How value sizes are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueSize {
+    /// Every value exactly this long.
+    Fixed(usize),
+    /// Uniform in `min..=max`.
+    Uniform {
+        /// Smallest value length.
+        min: usize,
+        /// Largest value length (≤ [`MAX_VALUE_LEN`]).
+        max: usize,
+    },
+}
+
+impl ValueSize {
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let len = match *self {
+            ValueSize::Fixed(n) => n,
+            ValueSize::Uniform { min, max } => rng.gen_range(min..=max),
+        };
+        assert!(len <= MAX_VALUE_LEN, "value size exceeds MAX_VALUE_LEN");
+        len
+    }
+}
+
+/// A full workload description. `Copy` on purpose: benchmark sweeps
+/// stamp out variations from a base spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Keyspace size (keys are `0..keys`).
+    pub keys: u64,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Value-size distribution.
+    pub vsize: ValueSize,
+    /// Reads per multi-get batch (1 disables batching; ≤ [`MGET_MAX`]).
+    pub batch: usize,
+    /// Master seed; workers derive their streams from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small default spec tests and examples start from.
+    pub fn example() -> WorkloadSpec {
+        WorkloadSpec {
+            keys: 1024,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_B,
+            vsize: ValueSize::Fixed(32),
+            batch: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One operation the engine asks a client to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Look one key up.
+    Get(u64),
+    /// Batched lookup.
+    MultiGet(Vec<u64>),
+    /// Blind write.
+    Set(u64, Vec<u8>),
+    /// Read-modify-write: fetch the version, then CAS.
+    Cas(u64, Vec<u8>),
+    /// Remove the key.
+    Delete(u64),
+}
+
+impl Op {
+    /// Key-operations this op counts for (a batch counts per key).
+    pub fn weight(&self) -> u64 {
+        match self {
+            Op::MultiGet(keys) => keys.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// Counts of issued operations, in key-ops.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Lookups (batched ones counted per key).
+    pub gets: u64,
+    /// Blind writes.
+    pub sets: u64,
+    /// CAS read-modify-writes.
+    pub cas: u64,
+    /// Deletes.
+    pub deletes: u64,
+}
+
+impl OpCounts {
+    /// Total key-operations.
+    pub fn total(&self) -> u64 {
+        self.gets + self.sets + self.cas + self.deletes
+    }
+
+    /// Field-wise sum, for aggregating workers.
+    pub fn merge(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            gets: self.gets + other.gets,
+            sets: self.sets + other.sets,
+            cas: self.cas + other.cas,
+            deletes: self.deletes + other.deletes,
+        }
+    }
+}
+
+/// The Gray et al. zipfian rank sampler (what YCSB uses), returning
+/// ranks in `0..n` with rank 0 hottest.
+#[derive(Debug, Clone)]
+struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty keyspace");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipfian theta must be in (0, 1)"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// The generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    fn next_rank(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Scrambles a zipfian rank over the keyspace (YCSB's "scrambled
+/// zipfian"), so the hot set is spread across shards. Collisions are
+/// fine — they only perturb the tail. Uses the same [`ssync_core::mix64`]
+/// finalizer as `shard_of` but with a different additive offset, so the
+/// two hash families stay decorrelated.
+fn scramble(rank: u64, n: u64) -> u64 {
+    ssync_core::mix64(rank.wrapping_add(0x2545_F491_4F6C_DD1D)) % n
+}
+
+/// A worker's deterministic operation stream.
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    zipf: Option<Zipfian>,
+}
+
+impl OpStream {
+    /// The stream for worker `worker` of `spec`. Distinct workers get
+    /// decorrelated but reproducible streams.
+    pub fn new(spec: &WorkloadSpec, worker: u64) -> OpStream {
+        assert!(spec.keys > 0, "empty keyspace");
+        assert!(
+            spec.batch >= 1 && spec.batch <= MGET_MAX,
+            "batch must be in 1..={MGET_MAX}"
+        );
+        let zipf = match spec.dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian { theta } => Some(Zipfian::new(spec.keys, theta)),
+        };
+        OpStream {
+            spec: *spec,
+            rng: SmallRng::seed_from_u64(spec.seed ^ scramble(worker, u64::MAX)),
+            zipf,
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        match &self.zipf {
+            None => self.rng.gen_range(0..self.spec.keys),
+            Some(z) => scramble(z.next_rank(&mut self.rng), self.spec.keys),
+        }
+    }
+
+    fn next_value(&mut self) -> Vec<u8> {
+        let len = self.spec.vsize.sample(&mut self.rng);
+        (0..len).map(|_| self.rng.gen::<u8>()).collect()
+    }
+
+    /// The next operation. Reads coalesce into batches of
+    /// `spec.batch` keys when batching is on.
+    pub fn next_op(&mut self) -> Op {
+        let m = self.spec.mix;
+        let roll = self.rng.gen_range(0u8..100);
+        if roll < m.read_pct {
+            if self.spec.batch > 1 {
+                let keys = (0..self.spec.batch).map(|_| self.next_key()).collect();
+                Op::MultiGet(keys)
+            } else {
+                Op::Get(self.next_key())
+            }
+        } else if roll < m.read_pct + m.update_pct {
+            let key = self.next_key();
+            let value = self.next_value();
+            Op::Set(key, value)
+        } else if roll < m.read_pct + m.update_pct + m.cas_pct {
+            let key = self.next_key();
+            let value = self.next_value();
+            Op::Cas(key, value)
+        } else {
+            Op::Delete(self.next_key())
+        }
+    }
+}
+
+/// What a workload run measured.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    /// Operations issued, by type — deterministic per `(spec, workers,
+    /// ops_per_worker)`.
+    pub issued: OpCounts,
+    /// Client-observed read hits (including the read half of a CAS).
+    pub hits: u64,
+    /// Client-observed read misses.
+    pub misses: u64,
+    /// CAS attempts that stored.
+    pub cas_ok: u64,
+    /// CAS attempts that lost (stale version or missing key).
+    pub cas_fail: u64,
+    /// Deletes that removed a key.
+    pub deleted: u64,
+    /// Wall time of the measure phase.
+    pub wall: Duration,
+    /// Store-side counter deltas over the measure phase (maintenance
+    /// stalls live here).
+    pub store: StatsSnapshot,
+}
+
+impl WorkloadReport {
+    /// Key-operations per wall-second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.issued.total() as f64 / s
+    }
+
+    /// Fraction of reads that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let reads = self.hits + self.misses;
+        if reads == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / reads as f64
+    }
+}
+
+/// Per-worker tally, merged into the report after the run.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    issued: OpCounts,
+    hits: u64,
+    misses: u64,
+    cas_ok: u64,
+    cas_fail: u64,
+    deleted: u64,
+}
+
+/// Runs one client worker's closed loop for `ops` key-operations.
+fn run_worker(client: ServiceClient, mut stream: OpStream, ops: u64) -> Tally {
+    let mut tally = Tally::default();
+    while tally.issued.total() < ops {
+        match stream.next_op() {
+            Op::Get(key) => {
+                tally.issued.gets += 1;
+                match client.get(key) {
+                    Some(_) => tally.hits += 1,
+                    None => tally.misses += 1,
+                }
+            }
+            Op::MultiGet(keys) => {
+                tally.issued.gets += keys.len() as u64;
+                for res in client.get_many(&keys) {
+                    match res {
+                        Some(_) => tally.hits += 1,
+                        None => tally.misses += 1,
+                    }
+                }
+            }
+            Op::Set(key, value) => {
+                tally.issued.sets += 1;
+                client.set(key, value);
+            }
+            Op::Cas(key, value) => {
+                tally.issued.cas += 1;
+                match client.get(key) {
+                    Some((version, _)) => {
+                        tally.hits += 1;
+                        match client.cas(key, value, version) {
+                            Ok(_) => tally.cas_ok += 1,
+                            Err(_) => tally.cas_fail += 1,
+                        }
+                    }
+                    None => {
+                        tally.misses += 1;
+                        tally.cas_fail += 1;
+                    }
+                }
+            }
+            Op::Delete(key) => {
+                tally.issued.deletes += 1;
+                if client.delete(key) {
+                    tally.deleted += 1;
+                }
+            }
+        }
+    }
+    client.close();
+    tally
+}
+
+/// Runs the full closed-loop experiment: preload the keyspace, spawn
+/// one server thread per shard and `workers` client threads, drive
+/// `ops_per_worker` key-operations per client, and report.
+///
+/// Issued op counts are deterministic in `(spec, workers,
+/// ops_per_worker)`; wall time and the hit/miss split of mixes with
+/// deletes are load-dependent.
+pub fn run_closed_loop<R: RawLock + Default>(
+    router: &ShardRouter<R>,
+    spec: &WorkloadSpec,
+    workers: usize,
+    ops_per_worker: u64,
+) -> WorkloadReport {
+    assert!(workers > 0);
+    // Preload directly through the router: every key present.
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    for key in 0..spec.keys {
+        let len = spec.vsize.sample(&mut rng);
+        let value: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        router.set(key, value);
+    }
+    let before = router.stats_snapshot();
+
+    let (endpoints, service_clients) = wire_mesh(router.num_shards(), workers);
+    let start = Instant::now();
+    let mut tallies: Vec<Tally> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        for (shard, endpoint) in endpoints.into_iter().enumerate() {
+            let store = router.shard(shard);
+            s.spawn(move || serve(store, endpoint));
+        }
+        let handles: Vec<_> = service_clients
+            .into_iter()
+            .enumerate()
+            .map(|(worker, client)| {
+                let stream = OpStream::new(spec, worker as u64);
+                s.spawn(move || run_worker(client, stream, ops_per_worker))
+            })
+            .collect();
+        tallies.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+    });
+    let wall = start.elapsed();
+    let after = router.stats_snapshot();
+
+    let mut report = WorkloadReport {
+        wall,
+        store: StatsSnapshot {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            sets: after.sets - before.sets,
+            deletes: after.deletes - before.deletes,
+            cas_failures: after.cas_failures - before.cas_failures,
+            maintenance_runs: after.maintenance_runs - before.maintenance_runs,
+        },
+        ..WorkloadReport::default()
+    };
+    for t in tallies {
+        report.issued = report.issued.merge(&t.issued);
+        report.hits += t.hits;
+        report.misses += t.misses;
+        report.cas_ok += t.cas_ok;
+        report.cas_fail += t.cas_fail;
+        report.deleted += t.deleted;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_locks::TicketLock;
+
+    #[test]
+    fn streams_are_deterministic_per_worker() {
+        let spec = WorkloadSpec::example();
+        let ops_a: Vec<Op> = {
+            let mut s = OpStream::new(&spec, 3);
+            (0..200).map(|_| s.next_op()).collect()
+        };
+        let ops_b: Vec<Op> = {
+            let mut s = OpStream::new(&spec, 3);
+            (0..200).map(|_| s.next_op()).collect()
+        };
+        assert_eq!(ops_a, ops_b);
+        // A different worker gets a different stream.
+        let ops_c: Vec<Op> = {
+            let mut s = OpStream::new(&spec, 4);
+            (0..200).map(|_| s.next_op()).collect()
+        };
+        assert_ne!(ops_a, ops_c);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let spec = WorkloadSpec {
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_C,
+            ..WorkloadSpec::example()
+        };
+        let mut stream = OpStream::new(&spec, 0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            if let Op::Get(key) = stream.next_op() {
+                assert!(key < spec.keys);
+                *counts.entry(key).or_insert(0u64) += 1;
+            }
+        }
+        // Zipf 0.99 concentrates mass: the hottest key should take a
+        // few percent of draws; uniform would give ~0.1%.
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 100, "hottest key only drew {max}/4000");
+        // And the tail still gets touched.
+        assert!(counts.len() > 200, "only {} distinct keys", counts.len());
+    }
+
+    #[test]
+    fn uniform_covers_the_keyspace_evenly() {
+        let spec = WorkloadSpec {
+            keys: 64,
+            dist: KeyDist::Uniform,
+            mix: Mix::YCSB_C,
+            ..WorkloadSpec::example()
+        };
+        let mut stream = OpStream::new(&spec, 0);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..6400 {
+            if let Op::Get(key) = stream.next_op() {
+                counts[key as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c > 30), "uneven: {counts:?}");
+    }
+
+    #[test]
+    fn mix_percentages_are_respected() {
+        let spec = WorkloadSpec {
+            mix: Mix::CHURN,
+            ..WorkloadSpec::example()
+        };
+        let mut stream = OpStream::new(&spec, 1);
+        let mut counts = OpCounts::default();
+        for _ in 0..10_000 {
+            match stream.next_op() {
+                Op::Get(_) | Op::MultiGet(_) => counts.gets += 1,
+                Op::Set(..) => counts.sets += 1,
+                Op::Cas(..) => counts.cas += 1,
+                Op::Delete(_) => counts.deletes += 1,
+            }
+        }
+        // 60/25/10/5 within a few percent.
+        assert!((5200..6800).contains(&counts.gets), "{counts:?}");
+        assert!((1900..3100).contains(&counts.sets), "{counts:?}");
+        assert!((600..1400).contains(&counts.cas), "{counts:?}");
+        assert!((250..750).contains(&counts.deletes), "{counts:?}");
+    }
+
+    #[test]
+    fn batched_reads_emit_multigets() {
+        let spec = WorkloadSpec {
+            batch: 4,
+            mix: Mix::YCSB_C,
+            ..WorkloadSpec::example()
+        };
+        let mut stream = OpStream::new(&spec, 0);
+        for _ in 0..50 {
+            match stream.next_op() {
+                Op::MultiGet(keys) => assert_eq!(keys.len(), 4),
+                other => panic!("read-only batched mix emitted {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_reports_consistently() {
+        let router: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let spec = WorkloadSpec {
+            keys: 256,
+            mix: Mix::YCSB_A,
+            ..WorkloadSpec::example()
+        };
+        let report = run_closed_loop(&router, &spec, 2, 500);
+        assert!(report.issued.total() >= 1000);
+        // YCSB-A over a preloaded keyspace with no deletes: every read
+        // hits.
+        assert_eq!(report.misses, 0);
+        assert!((report.hit_rate() - 1.0).abs() < f64::EPSILON);
+        // Store-side counters saw the workload's writes.
+        assert_eq!(report.store.sets, report.issued.sets);
+        assert!(report.ops_per_sec() > 0.0);
+
+        // Op counts replay exactly on a fresh router.
+        let router2: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let report2 = run_closed_loop(&router2, &spec, 2, 500);
+        assert_eq!(report.issued, report2.issued);
+        assert_eq!(report.hits, report2.hits);
+    }
+}

@@ -12,6 +12,10 @@
 //!   cache-line-sized one-directional buffers.
 //! * [`ht`] (`ssync-ht`) — the `ssht` concurrent hash table.
 //! * [`kv`] (`ssync-kv`) — a Memcached-model in-memory key-value store.
+//! * [`srv`] (`ssync-srv`) — the sharded KV *service*: shard routing over
+//!   `ssync-kv` stores, a request/response protocol over `ssync-mp`
+//!   channels, and a deterministic workload engine (zipfian skew, YCSB
+//!   mixes) for driving it under load.
 //! * [`tm`] (`ssync-tm`) — a TM2C-model software transactional memory.
 //! * [`sim`] (`ssync-sim`) — a discrete-event cache-coherence simulator of
 //!   the paper's four platforms, calibrated to its Tables 2 and 3.
@@ -34,4 +38,5 @@ pub use ssync_locks as locks;
 pub use ssync_mp as mp;
 pub use ssync_sim as sim;
 pub use ssync_simsync as simsync;
+pub use ssync_srv as srv;
 pub use ssync_tm as tm;

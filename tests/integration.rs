@@ -10,8 +10,11 @@ use std::sync::atomic::Ordering;
 use ssync::core::cores::{has_cores, test_threads};
 use ssync::ht::HashTable;
 use ssync::kv::KvStore;
-use ssync::locks::{AnyLock, HticketLock, Lock, LockKind, RawLock, TicketLock};
+use ssync::locks::{AnyLock, HticketLock, Lock, LockKind, McsLock, RawLock, TicketLock};
 use ssync::mp::channel::channel;
+use ssync::srv::router::ShardRouter;
+use ssync::srv::service::{serve, wire_mesh};
+use ssync::srv::workload::{run_closed_loop, KeyDist, Mix, ValueSize, WorkloadSpec};
 use ssync::tm::shared::TmHeap;
 
 #[test]
@@ -144,6 +147,62 @@ fn busy_spin_ping_pong_makes_wall_clock_progress() {
         "busy-spin round trips took {:?}",
         start.elapsed()
     );
+}
+
+#[test]
+fn sharded_service_composes_locks_mp_and_kv() {
+    // The full serving stack: client threads -> ssync-mp channels ->
+    // per-shard server threads -> KvStore shards under MCS locks. The
+    // first place locks, message passing, and the store meet under one
+    // load; thread counts scale to the host.
+    let clients = test_threads(3);
+    let shards = 2;
+    let router: ShardRouter<McsLock> = ShardRouter::new(shards, 64, 8);
+    let (endpoints, service_clients) = wire_mesh(shards, clients);
+    std::thread::scope(|s| {
+        for (shard, endpoint) in endpoints.into_iter().enumerate() {
+            let store = router.shard(shard);
+            s.spawn(move || serve(store, endpoint));
+        }
+        for (c, client) in service_clients.into_iter().enumerate() {
+            s.spawn(move || {
+                let base = c as u64 * 10_000;
+                for i in 0..150 {
+                    let version = client.set(base + i, vec![c as u8; 24]);
+                    let (v, value) = client.get(base + i).unwrap();
+                    assert_eq!((v, value.len()), (version, 24));
+                }
+                // Batched reads across shards come back in order.
+                let keys: Vec<u64> = (0..150).map(|i| base + i).collect();
+                assert!(client.get_many(&keys).iter().all(|r| r.is_some()));
+                client.close();
+            });
+        }
+    });
+    assert_eq!(router.len(), clients * 150);
+    let snap = router.stats_snapshot();
+    assert_eq!(snap.sets, clients as u64 * 150);
+    assert_eq!(snap.misses, 0);
+}
+
+#[test]
+fn closed_loop_workload_is_deterministic_in_op_counts() {
+    // The workload engine's determinism contract, end to end: two runs
+    // of the same spec against fresh routers issue identical op
+    // streams, whatever the scheduler does.
+    let spec = WorkloadSpec {
+        keys: 128,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        mix: Mix::YCSB_A,
+        vsize: ValueSize::Uniform { min: 8, max: 64 },
+        batch: 1,
+        seed: 42,
+    };
+    let run = || {
+        let router: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        run_closed_loop(&router, &spec, 2, 300).issued
+    };
+    assert_eq!(run(), run());
 }
 
 #[test]

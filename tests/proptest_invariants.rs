@@ -4,10 +4,12 @@ use proptest::prelude::*;
 
 use ssync::core::topology::{DistClass, Platform};
 use ssync::ht::HashTable;
+use ssync::kv::KvStore;
 use ssync::locks::TicketLock;
 use ssync::sim::memory::SharerSet;
 use ssync::sim::program::{Action, MemOpKind};
 use ssync::sim::Sim;
+use ssync::srv::shard_of;
 use ssync::tm::shared::TmHeap;
 
 proptest! {
@@ -59,6 +61,100 @@ proptest! {
             }
         }
         prop_assert_eq!(ht.len(), model.len());
+    }
+
+    /// The KV store agrees with a BTreeMap model under any op sequence
+    /// (get/set/cas/delete), versions grow strictly monotonically, and
+    /// the stats counters match model-derived counts.
+    #[test]
+    fn kv_store_models_btreemap(ops in proptest::collection::vec((0u64..24, 0u8..4, any::<u8>()), 0..200)) {
+        let kv: KvStore<TicketLock> = KvStore::new(32, 4);
+        // Model: key -> (value byte, version).
+        let mut model: std::collections::BTreeMap<u64, (u8, u64)> = std::collections::BTreeMap::new();
+        let mut last_version = 0u64;
+        let (mut hits, mut misses, mut sets, mut deletes, mut cas_failures) = (0u64, 0, 0, 0, 0);
+        for (key, op, val) in ops {
+            let kb = key.to_be_bytes();
+            match op {
+                0 => {
+                    // Set: always stores, version strictly grows.
+                    let v = kv.set(&kb, vec![val]);
+                    prop_assert!(v > last_version, "version {v} not past {last_version}");
+                    last_version = v;
+                    model.insert(key, (val, v));
+                    sets += 1;
+                }
+                1 => {
+                    // Get: value and version must match the model.
+                    let got = kv.get_with_version(&kb);
+                    match model.get(&key) {
+                        Some(&(mv, mver)) => {
+                            let (ver, value) = got.expect("model says present");
+                            prop_assert_eq!(value.as_ref(), &[mv][..]);
+                            prop_assert_eq!(ver, mver);
+                            hits += 1;
+                        }
+                        None => {
+                            prop_assert!(got.is_none());
+                            misses += 1;
+                        }
+                    }
+                }
+                2 => {
+                    // CAS: correct expected version on even vals, stale
+                    // (version 0 is never assigned) on odd.
+                    match (model.get(&key).copied(), val % 2 == 0) {
+                        (Some((_, mver)), true) => {
+                            let v = kv.cas(&kb, vec![val], mver).expect("fresh cas must win");
+                            prop_assert!(v > last_version);
+                            last_version = v;
+                            model.insert(key, (val, v));
+                            sets += 1;
+                        }
+                        (Some((_, mver)), false) => {
+                            prop_assert_eq!(kv.cas(&kb, vec![val], 0), Err(mver));
+                            cas_failures += 1;
+                        }
+                        (None, _) => {
+                            prop_assert_eq!(kv.cas(&kb, vec![val], 0), Err(0));
+                            cas_failures += 1;
+                        }
+                    }
+                }
+                _ => {
+                    let expected = model.remove(&key).is_some();
+                    prop_assert_eq!(kv.delete(&kb), expected);
+                    if expected {
+                        deletes += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(kv.len(), model.len());
+        for (key, (mv, mver)) in &model {
+            let kb = key.to_be_bytes();
+            let (ver, value) = kv.get_with_version(&kb).expect("model key present");
+            prop_assert_eq!(value.as_ref(), &[*mv][..]);
+            prop_assert_eq!(ver, *mver);
+            hits += 1;
+        }
+        let snap = kv.stats().snapshot();
+        prop_assert_eq!(snap.hits, hits);
+        prop_assert_eq!(snap.misses, misses);
+        prop_assert_eq!(snap.sets, sets);
+        prop_assert_eq!(snap.cas_failures, cas_failures);
+        prop_assert_eq!(snap.deletes, deletes);
+    }
+
+    /// Shard routing is a pure function onto `0..shards`, and dense
+    /// keyspaces spread over every shard.
+    #[test]
+    fn shard_routing_total_and_stable(keys in proptest::collection::vec(any::<u64>(), 1..64), shards in 1usize..9) {
+        for &key in &keys {
+            let s = shard_of(key, shards);
+            prop_assert!(s < shards);
+            prop_assert_eq!(s, shard_of(key, shards));
+        }
     }
 
     /// Simulated FAI never loses counts, for any platform, thread count
