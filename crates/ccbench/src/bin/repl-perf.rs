@@ -1,0 +1,80 @@
+//! `repl-perf`: the replication layer's performance harness.
+//!
+//! Sweeps `ssync-repl` primary/backup groups over {replica count ×
+//! mode × skew × mix × batch} plus a deterministic fault-injection
+//! case, prints a per-case table and the replica-scaling headline, and
+//! writes `BENCH_repl.json` unless `--no-write` is given.
+//!
+//! ```text
+//! repl-perf [--smoke] [--out PATH] [--no-write]
+//! ```
+//!
+//! `--smoke` shrinks per-case op counts so CI can keep the harness
+//! alive in seconds; smoke runs never overwrite the default
+//! `BENCH_repl.json` unless an explicit `--out` is given. Issued op
+//! counts and fault window counts are deterministic per seed in both
+//! modes; every case asserts its backups converged.
+
+use ssync_ccbench::repl_perf::{render_json, render_table, run_sweep, ReplSweepConfig};
+use ssync_srv::workload::KeyDist;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repl-perf [--smoke] [--out PATH] [--no-write]");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(p.clone()),
+            _ => {
+                eprintln!("repl-perf: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
+    let config = ReplSweepConfig::for_host(smoke);
+    eprintln!(
+        "repl-perf: {} workers x {} key-ops, {} keys{}",
+        config.workers,
+        config.ops_per_worker,
+        config.keys,
+        if smoke { " (smoke mode)" } else { "" }
+    );
+    let results = run_sweep(config);
+    print!("{}", render_table(&results));
+
+    // The replica-scaling headline: batched zipfian YCSB-C, async,
+    // 0 vs 2 backups.
+    let pick = |replicas: usize| {
+        results.iter().find(|r| {
+            r.case.replicas == replicas
+                && r.case.batch > 1
+                && matches!(r.case.dist, KeyDist::Zipfian { .. })
+                && r.case.mix.name == "ycsb-c"
+        })
+    };
+    if let (Some(r0), Some(r2)) = (pick(0), pick(2)) {
+        eprintln!(
+            "replica scaling (ycsb-c zipf batch {}): 0 replicas {:.0} ops/s -> 2 replicas {:.0} ops/s ({:+.1}%)",
+            r2.case.batch,
+            r0.ops_per_sec,
+            r2.ops_per_sec,
+            (r2.ops_per_sec / r0.ops_per_sec - 1.0) * 100.0
+        );
+    }
+
+    // Smoke runs are startup-dominated; only a full run refreshes the
+    // committed artifact by default (same discipline as kv-perf).
+    let write_default = !smoke;
+    if !no_write && (write_default || out_path.is_some()) {
+        let path = out_path.unwrap_or_else(|| "BENCH_repl.json".to_string());
+        let json = render_json(&results, config);
+        std::fs::write(&path, json).expect("write BENCH_repl.json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -22,6 +22,7 @@
 pub mod drivers;
 pub mod kv_perf;
 pub mod perf;
+pub mod repl_perf;
 pub mod series;
 pub mod tables;
 

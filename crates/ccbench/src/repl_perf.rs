@@ -1,0 +1,405 @@
+//! The replication layer's performance harness (`repl-perf`).
+//!
+//! Where `kv-perf` watches the unreplicated serving stack, this suite
+//! watches the `ssync-repl` primary/backup groups: the axes are
+//! {replica count × acknowledgement mode × key skew × mix × batch},
+//! plus one deterministic fault-injection case (seeded crash and stall
+//! windows with op-log catch-up) that doubles as a convergence
+//! regression — every case asserts its backups converged before
+//! reporting.
+//!
+//! The headline comparison is read scaling: YCSB-B/C read traffic
+//! spread round-robin over backups, with batched reads fanned out
+//! across a shard's endpoints concurrently. On a single-core host the
+//! win comes from round-trip aggregation (fewer client⇄server
+//! scheduling epochs per key), not CPU parallelism — the batched
+//! YCSB-C cases are the ones that show it.
+//!
+//! Issued op counts (and the fault schedule's window counts) are
+//! deterministic per seed; wall times, fallback counts, and log
+//! replays are load-timing-dependent.
+
+use ssync_core::cores;
+use ssync_locks::TicketLock;
+use ssync_repl::fault::FaultSpec;
+use ssync_repl::service::{ReplCluster, ReplMode, ReplSpec};
+use ssync_repl::workload::{run_replicated_closed_loop, ReplReport};
+use ssync_srv::workload::{KeyDist, Mix, OpCounts, ValueSize, WorkloadSpec};
+
+/// Key-operations each client worker issues in a full run.
+pub const PERF_OPS_PER_WORKER: u64 = 5_000;
+
+/// Key-operations per worker in `--smoke` mode (CI keep-alive).
+pub const SMOKE_OPS_PER_WORKER: u64 = 350;
+
+/// Keyspace size of a full run.
+pub const PERF_KEYS: u64 = 4_096;
+
+/// Keyspace size in `--smoke` mode.
+pub const SMOKE_KEYS: u64 = 512;
+
+/// Master seed for every case.
+pub const SEED: u64 = 0x0DD_B10B;
+
+/// The async lag bound every async case uses.
+pub const MAX_LAG: u64 = 64;
+
+/// The seeded fault schedule of the fault-injection case.
+pub const FAULTS: FaultSpec = FaultSpec {
+    seed: 0xFA_015,
+    faults_per_replica: 4,
+    max_window: 12,
+    spacing: 96,
+};
+
+/// The sweep's configuration, fixed per invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplSweepConfig {
+    /// Client worker threads per case.
+    pub workers: usize,
+    /// Key-operations per worker per case.
+    pub ops_per_worker: u64,
+    /// Keyspace size.
+    pub keys: u64,
+}
+
+impl ReplSweepConfig {
+    /// Scales the config to the host, like `kv-perf`.
+    pub fn for_host(smoke: bool) -> ReplSweepConfig {
+        ReplSweepConfig {
+            workers: cores::available_cores().clamp(2, 4),
+            ops_per_worker: if smoke {
+                SMOKE_OPS_PER_WORKER
+            } else {
+                PERF_OPS_PER_WORKER
+            },
+            keys: if smoke { SMOKE_KEYS } else { PERF_KEYS },
+        }
+    }
+}
+
+/// One case of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplCase {
+    /// Backups per shard.
+    pub replicas: usize,
+    /// Acknowledgement mode.
+    pub mode: ReplMode,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Reads per batch (1 = unbatched; wide batches fan out across a
+    /// shard's endpoints).
+    pub batch: usize,
+    /// Run the seeded fault schedule ([`FAULTS`]).
+    pub faulty: bool,
+}
+
+impl ReplCase {
+    /// Display name of the mode column.
+    pub fn mode_label(&self) -> &'static str {
+        match self.mode {
+            ReplMode::Sync => "sync",
+            ReplMode::Async { .. } => "async",
+        }
+    }
+}
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct ReplCaseResult {
+    /// The case that ran.
+    pub case: ReplCase,
+    /// Client workers that drove it.
+    pub workers: usize,
+    /// Issued key-ops by type (deterministic per seed).
+    pub issued: OpCounts,
+    /// The full driver report.
+    pub report: ReplReport,
+    /// Wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Key-operations per wall-second.
+    pub ops_per_sec: f64,
+}
+
+/// The sweep: replica scaling {0, 1, 2} across read-heavy mixes and
+/// skews in async mode (batched and unbatched), the sync/async write
+/// cost contrast, and the deterministic fault case.
+pub fn sweep_cases() -> Vec<ReplCase> {
+    let zipf = KeyDist::Zipfian { theta: 0.99 };
+    let asynchronous = ReplMode::Async { max_lag: MAX_LAG };
+    let mut cases = Vec::new();
+    for replicas in [0usize, 1, 2] {
+        // Unbatched read-heavy mixes, both skews.
+        for dist in [KeyDist::Uniform, zipf] {
+            for mix in [Mix::YCSB_B, Mix::YCSB_C] {
+                cases.push(ReplCase {
+                    replicas,
+                    mode: asynchronous,
+                    dist,
+                    mix,
+                    batch: 1,
+                    faulty: false,
+                });
+            }
+        }
+        // Batched YCSB-C: the endpoint fan-out cases.
+        for dist in [KeyDist::Uniform, zipf] {
+            cases.push(ReplCase {
+                replicas,
+                mode: asynchronous,
+                dist,
+                mix: Mix::YCSB_C,
+                batch: 24,
+                faulty: false,
+            });
+        }
+    }
+    // Sync vs async write cost (the async counterparts are above).
+    for replicas in [1usize, 2] {
+        cases.push(ReplCase {
+            replicas,
+            mode: ReplMode::Sync,
+            dist: zipf,
+            mix: Mix::YCSB_B,
+            batch: 1,
+            faulty: false,
+        });
+    }
+    // Deterministic fault injection: crashes, stalls, log catch-up.
+    cases.push(ReplCase {
+        replicas: 2,
+        mode: asynchronous,
+        dist: zipf,
+        mix: Mix::YCSB_A,
+        batch: 1,
+        faulty: true,
+    });
+    cases
+}
+
+/// Runs one case (TICKET locks, 2 shards — the replication axes are
+/// the sweep's subject, the lock algorithm is `kv-perf`'s).
+///
+/// # Panics
+///
+/// Panics if the case's backups fail to converge — that is a
+/// correctness regression, not a measurement.
+pub fn run_case(case: ReplCase, config: ReplSweepConfig) -> ReplCaseResult {
+    let shards = 2;
+    let buckets_per_shard = (config.keys as usize / shards).clamp(64, 4096);
+    let spec = ReplSpec {
+        replicas: case.replicas,
+        mode: case.mode,
+        log_capacity: 4096,
+    };
+    let mut cluster: ReplCluster<TicketLock> =
+        ReplCluster::new(shards, buckets_per_shard, 16, spec);
+    let workload = WorkloadSpec {
+        keys: config.keys,
+        dist: case.dist,
+        mix: case.mix,
+        vsize: ValueSize::Uniform { min: 16, max: 96 },
+        batch: case.batch,
+        seed: SEED,
+    };
+    let faults = if case.faulty {
+        FAULTS
+    } else {
+        FaultSpec::none()
+    };
+    let report = run_replicated_closed_loop(
+        &mut cluster,
+        &workload,
+        config.workers,
+        config.ops_per_worker,
+        &faults,
+    );
+    assert!(report.converged, "convergence regression in case {case:?}");
+    let wall_ms = report.wall.as_secs_f64() * 1000.0;
+    let ops_per_sec = report.issued.total() as f64 / report.wall.as_secs_f64().max(1e-9);
+    ReplCaseResult {
+        case,
+        workers: config.workers,
+        issued: report.issued,
+        wall_ms,
+        ops_per_sec,
+        report,
+    }
+}
+
+/// Runs the full sweep.
+pub fn run_sweep(config: ReplSweepConfig) -> Vec<ReplCaseResult> {
+    sweep_cases()
+        .into_iter()
+        .map(|case| run_case(case, config))
+        .collect()
+}
+
+/// Renders the sweep as a plain-text table.
+pub fn render_table(results: &[ReplCaseResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>9} {:>7} {:>6} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>6} {:>7}",
+        "repl",
+        "mode",
+        "dist",
+        "mix",
+        "batch",
+        "faults",
+        "ops",
+        "wall ms",
+        "ops/sec",
+        "rserves",
+        "fback",
+        "crash",
+        "fromlog"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>9} {:>7} {:>6} {:>7} {:>9} {:>9.1} {:>9.0} {:>8} {:>6} {:>6} {:>7}",
+            r.case.replicas,
+            r.case.mode_label(),
+            r.case.dist.label(),
+            r.case.mix.name,
+            r.case.batch,
+            if r.case.faulty { "yes" } else { "no" },
+            r.issued.total(),
+            r.wall_ms,
+            r.ops_per_sec,
+            r.report.replica_serves,
+            r.report.fallbacks,
+            r.report.crashes + r.report.stalls,
+            r.report.from_log
+        );
+    }
+    out
+}
+
+/// Renders the sweep as the `BENCH_repl.json` document (hand-rolled
+/// JSON, like the other BENCH artifacts — the workspace is offline).
+pub fn render_json(results: &[ReplCaseResult], config: ReplSweepConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ssync-repl-perf-v1\",\n");
+    out.push_str("  \"unit_note\": \"ops are key-operations; issued counts, entries, and fault window counts are deterministic per seed; wall_ms/ops_per_sec/fallbacks/stale_drops/from_log are load- and timing-dependent; converged is asserted true for every case\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}, \"shards\": 2, \"lock\": \"TICKET\", \"max_lag\": {}}},\n",
+        config.workers, config.ops_per_worker, config.keys, SEED, MAX_LAG
+    ));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let rep = &r.report;
+        out.push_str(&format!(
+            "    {{\"replicas\": {}, \"mode\": \"{}\", \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"faulty\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"replica_serves\": {}, \"fallbacks\": {}, \"entries\": {}, \"repl_applied\": {}, \"stale_drops\": {}, \"crashes\": {}, \"stalls\": {}, \"from_log\": {}, \"converged\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}\n",
+            r.case.replicas,
+            r.case.mode_label(),
+            r.case.dist.label(),
+            r.case.mix.name,
+            r.case.batch,
+            r.case.faulty,
+            r.issued.gets,
+            r.issued.sets,
+            r.issued.cas,
+            r.issued.deletes,
+            rep.hits,
+            rep.misses,
+            rep.replica_serves,
+            rep.fallbacks,
+            rep.entries,
+            rep.replica_store.repl_applied,
+            rep.replica_store.repl_stale_drops,
+            rep.crashes,
+            rep.stalls,
+            rep.from_log,
+            rep.converged,
+            rep.hit_rate(),
+            r.wall_ms,
+            r.ops_per_sec
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ReplSweepConfig {
+        ReplSweepConfig {
+            workers: 2,
+            ops_per_worker: 120,
+            keys: 128,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_replication_axes() {
+        let cases = sweep_cases();
+        let replicas: std::collections::HashSet<_> = cases.iter().map(|c| c.replicas).collect();
+        assert!(replicas.contains(&0) && replicas.contains(&2));
+        assert!(cases.iter().any(|c| matches!(c.mode, ReplMode::Sync)));
+        assert!(cases.iter().any(|c| c.faulty), "fault case missing");
+        assert!(cases.iter().any(|c| c.batch > 1), "fan-out case missing");
+        // The acceptance pair: batched zipfian YCSB-C at 0 and 2
+        // replicas, async.
+        for want in [0usize, 2] {
+            assert!(cases.iter().any(|c| c.replicas == want
+                && c.batch > 1
+                && matches!(c.mode, ReplMode::Async { .. })
+                && matches!(c.dist, KeyDist::Zipfian { .. })
+                && c.mix.name == "ycsb-c"));
+        }
+    }
+
+    #[test]
+    fn one_case_runs_renders_and_converges() {
+        let config = tiny_config();
+        let case = ReplCase {
+            replicas: 2,
+            mode: ReplMode::Async { max_lag: MAX_LAG },
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_B,
+            batch: 1,
+            faulty: false,
+        };
+        let r = run_case(case, config);
+        assert_eq!(r.issued.total(), 240);
+        assert!(r.report.converged);
+        let table = render_table(std::slice::from_ref(&r));
+        assert!(table.contains("async"));
+        let json = render_json(std::slice::from_ref(&r), config);
+        assert!(json.contains("\"ssync-repl-perf-v1\""));
+        assert!(json.contains("\"replicas\": 2"));
+    }
+
+    #[test]
+    fn issued_counts_replay_exactly_even_with_faults() {
+        let config = ReplSweepConfig {
+            workers: 1,
+            ops_per_worker: 600,
+            keys: 128,
+        };
+        let case = ReplCase {
+            replicas: 2,
+            mode: ReplMode::Async { max_lag: MAX_LAG },
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_A,
+            batch: 1,
+            faulty: true,
+        };
+        let a = run_case(case, config);
+        let b = run_case(case, config);
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.report.entries, b.report.entries);
+        assert_eq!(a.report.crashes, b.report.crashes);
+        assert_eq!(a.report.stalls, b.report.stalls);
+        assert!(a.report.crashes + a.report.stalls > 0);
+    }
+}

@@ -61,6 +61,73 @@ impl SpinWait {
     }
 }
 
+/// Escalating wait for *server* poll loops that can sit idle for long
+/// stretches: spin like [`SpinWait`], then yield a bounded number of
+/// times, then park in short, doubling sleeps (capped at
+/// [`ParkingWait::MAX_SLEEP_US`]).
+///
+/// The distinction from [`SpinWait`] matters on boxes where runnable
+/// threads outnumber cores: a yield-looping idle thread re-enters the
+/// run queue every scheduling cycle, taxing every busy thread with an
+/// extra context switch *forever*. One idle server is noise; a
+/// replication deployment's worth of them (R backups per shard plus
+/// idle primaries on read-only phases) is a measurable per-op cost.
+/// Parking removes them from the run queue entirely; the price is up
+/// to one capped sleep of added latency on the first message after an
+/// idle period, which `reset()` (call it after every successful poll)
+/// keeps off the busy path.
+#[derive(Debug, Default)]
+pub struct ParkingWait {
+    polls: u32,
+    sleep_us: u64,
+}
+
+impl ParkingWait {
+    const SPIN_LIMIT: u32 = 128;
+    /// Yields before the first park. Deliberately long (milliseconds
+    /// of idling on a loaded host): a server that is merely *between*
+    /// requests must never sleep — only one idle on the scale of a
+    /// workload phase should leave the run queue.
+    const YIELD_LIMIT: u32 = 2048;
+    const FIRST_SLEEP_US: u64 = 50;
+
+    /// Longest single park, in microseconds — the worst-case latency a
+    /// freshly arriving message pays after a long idle stretch.
+    pub const MAX_SLEEP_US: u64 = 500;
+
+    /// Starts fresh (full spin budget, no sleeping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Call once per failed poll: spins, then yields, then parks in
+    /// doubling sleeps.
+    pub fn snooze(&mut self) {
+        if self.polls < Self::SPIN_LIMIT {
+            self.polls += 1;
+            hint::spin_loop();
+        } else if self.polls < Self::SPIN_LIMIT + Self::YIELD_LIMIT {
+            self.polls += 1;
+            std::thread::yield_now();
+        } else {
+            let us = if self.sleep_us == 0 {
+                Self::FIRST_SLEEP_US
+            } else {
+                (self.sleep_us * 2).min(Self::MAX_SLEEP_US)
+            };
+            self.sleep_us = us;
+            std::thread::sleep(core::time::Duration::from_micros(us));
+        }
+    }
+
+    /// Call after every successful poll: restores the full spin budget
+    /// so a busy loop never sleeps.
+    pub fn reset(&mut self) {
+        self.polls = 0;
+        self.sleep_us = 0;
+    }
+}
+
 /// Default number of spin iterations corresponding to one "slot" of
 /// proportional back-off — roughly the cost of an uncontended
 /// acquire/release pair on the platforms of the paper.

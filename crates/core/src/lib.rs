@@ -23,7 +23,7 @@ pub mod pad;
 pub mod stats;
 pub mod topology;
 
-pub use backoff::{Backoff, ProportionalBackoff, SpinWait};
+pub use backoff::{Backoff, ParkingWait, ProportionalBackoff, SpinWait};
 pub use pad::CachePadded;
 pub use topology::{DistClass, Platform, Topology};
 

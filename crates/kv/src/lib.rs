@@ -62,6 +62,17 @@ pub struct Stats {
     pub cas_failures: AtomicU64,
     /// Global maintenance passes executed.
     pub maintenance_runs: AtomicU64,
+    /// Replicated operations applied ([`KvStore::apply_replicated`]
+    /// calls that changed the store — streamed or replayed from a log).
+    pub repl_applied: AtomicU64,
+    /// Replicated operations dropped by the version gate (duplicate or
+    /// out-of-date deliveries; the idempotency the replication layer
+    /// counts on).
+    pub repl_stale_drops: AtomicU64,
+    /// Replica reads bounced back to the primary (the replica was
+    /// behind the client's read floor, or down). Incremented by the
+    /// replica server, not the store itself.
+    pub replica_read_fallbacks: AtomicU64,
 }
 
 impl Stats {
@@ -77,6 +88,9 @@ impl Stats {
             deletes: self.deletes.load(Ordering::Relaxed),
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
             maintenance_runs: self.maintenance_runs.load(Ordering::Relaxed),
+            repl_applied: self.repl_applied.load(Ordering::Relaxed),
+            repl_stale_drops: self.repl_stale_drops.load(Ordering::Relaxed),
+            replica_read_fallbacks: self.replica_read_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,6 +110,12 @@ pub struct StatsSnapshot {
     pub cas_failures: u64,
     /// Global maintenance passes executed.
     pub maintenance_runs: u64,
+    /// Replicated operations applied.
+    pub repl_applied: u64,
+    /// Replicated operations dropped by the version gate.
+    pub repl_stale_drops: u64,
+    /// Replica reads bounced back to the primary.
+    pub replica_read_fallbacks: u64,
 }
 
 impl StatsSnapshot {
@@ -108,6 +128,25 @@ impl StatsSnapshot {
             deletes: self.deletes + other.deletes,
             cas_failures: self.cas_failures + other.cas_failures,
             maintenance_runs: self.maintenance_runs + other.maintenance_runs,
+            repl_applied: self.repl_applied + other.repl_applied,
+            repl_stale_drops: self.repl_stale_drops + other.repl_stale_drops,
+            replica_read_fallbacks: self.replica_read_fallbacks + other.replica_read_fallbacks,
+        }
+    }
+
+    /// Field-wise difference against an `earlier` snapshot of the same
+    /// (monotonic) counters — the per-phase delta reports are built on.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            sets: self.sets - earlier.sets,
+            deletes: self.deletes - earlier.deletes,
+            cas_failures: self.cas_failures - earlier.cas_failures,
+            maintenance_runs: self.maintenance_runs - earlier.maintenance_runs,
+            repl_applied: self.repl_applied - earlier.repl_applied,
+            repl_stale_drops: self.repl_stale_drops - earlier.repl_stale_drops,
+            replica_read_fallbacks: self.replica_read_fallbacks - earlier.replica_read_fallbacks,
         }
     }
 }
@@ -258,6 +297,118 @@ impl<R: RawLock + Default> KvStore<R> {
             self.stats.cas_failures.fetch_add(1, Ordering::Relaxed);
         }
         result
+    }
+
+    /// Deletes a key, assigning the removal a fresh version — the
+    /// tombstone version a replicated delete streams to backups so the
+    /// remove orders against concurrent stores. `Some(version)` if the
+    /// key existed.
+    pub fn delete_versioned(&self, key: &[u8]) -> Option<u64> {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let (stripe, bucket) = self.locate(key);
+        let removed = {
+            let mut guard = self.stripes[stripe].lock();
+            let chain = &mut guard[bucket];
+            match chain.iter().position(|item| item.key.as_ref() == key) {
+                Some(pos) => {
+                    chain.swap_remove(pos);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+            self.after_write();
+            Some(version)
+        } else {
+            None
+        }
+    }
+
+    /// Applies one replicated operation idempotently: a put
+    /// (`value: Some`) or a delete tombstone (`value: None`) tagged with
+    /// the version the *primary* assigned. The write lands only if the
+    /// key's current version is older than `version`; duplicate or
+    /// out-of-date deliveries are dropped (and counted as
+    /// `repl_stale_drops`), so a replica can replay a log over a live
+    /// stream without corruption. Returns true if the store changed.
+    ///
+    /// The per-key gate alone cannot block a *resurrection* (an old put
+    /// arriving after the key's tombstone was applied — the tombstone
+    /// leaves nothing behind to compare against), so the replication
+    /// layer must also gate on its stream high-water mark; this method
+    /// is the second, per-key line of defense.
+    ///
+    /// The version counter is bumped past `version`, so a replica
+    /// promoted to primary keeps assigning monotone versions.
+    pub fn apply_replicated(&self, key: &[u8], version: u64, value: Option<&[u8]>) -> bool {
+        self.next_version.fetch_max(version + 1, Ordering::Relaxed);
+        let (stripe, bucket) = self.locate(key);
+        let applied = {
+            let mut guard = self.stripes[stripe].lock();
+            let chain = &mut guard[bucket];
+            let pos = chain.iter().position(|item| item.key.as_ref() == key);
+            match (pos, value) {
+                (Some(i), _) if chain[i].version >= version => false,
+                (Some(i), Some(v)) => {
+                    chain[i].value = Bytes::copy_from_slice(v);
+                    chain[i].version = version;
+                    true
+                }
+                (Some(i), None) => {
+                    chain.swap_remove(i);
+                    true
+                }
+                (None, Some(v)) => {
+                    chain.push(Item {
+                        key: Bytes::copy_from_slice(key),
+                        value: Bytes::copy_from_slice(v),
+                        version,
+                    });
+                    true
+                }
+                // Delete of an absent key: already gone, nothing to do.
+                (None, None) => false,
+            }
+        };
+        if applied {
+            self.stats.repl_applied.fetch_add(1, Ordering::Relaxed);
+            self.after_write();
+        } else {
+            self.stats.repl_stale_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        applied
+    }
+
+    /// Visits every stored item as `(key, version, value)`, one stripe
+    /// lock at a time, in unspecified order.
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], u64, &[u8])) {
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock();
+            for chain in guard.iter() {
+                for item in chain {
+                    f(item.key.as_ref(), item.version, item.value.as_ref());
+                }
+            }
+        }
+    }
+
+    /// The full contents as `(key, version, value)` triples sorted by
+    /// key — the comparison form replication tests and the `repl-perf`
+    /// convergence check use.
+    pub fn dump(&self) -> Vec<(Bytes, u64, Bytes)> {
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock();
+            for chain in guard.iter() {
+                for item in chain {
+                    out.push((item.key.clone(), item.version, item.value.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+        out
     }
 
     /// Deletes a key; true if it existed.
@@ -436,5 +587,94 @@ mod tests {
     #[should_panic]
     fn more_stripes_than_buckets_rejected() {
         let _ = KvStore::<TicketLock>::new(4, 8);
+    }
+
+    #[test]
+    fn delete_versioned_assigns_tombstone_versions() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        let v = kv.set(b"k", b"x".as_slice());
+        let t = kv.delete_versioned(b"k").expect("key existed");
+        assert!(t > v, "tombstone {t} must order after the store {v}");
+        assert_eq!(kv.delete_versioned(b"k"), None);
+        assert_eq!(kv.stats().snapshot().deletes, 1);
+        // A later set still gets a version past the tombstone.
+        assert!(kv.set(b"k", b"y".as_slice()) > t);
+    }
+
+    #[test]
+    fn apply_replicated_is_version_gated_and_idempotent() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        // Fresh put applies.
+        assert!(kv.apply_replicated(b"k", 5, Some(b"five")));
+        assert_eq!(kv.get_with_version(b"k").unwrap().0, 5);
+        // Duplicate delivery and older versions drop.
+        assert!(!kv.apply_replicated(b"k", 5, Some(b"five")));
+        assert!(!kv.apply_replicated(b"k", 3, Some(b"three")));
+        assert_eq!(kv.get_with_version(b"k").unwrap().1.as_ref(), b"five");
+        // Newer version replaces.
+        assert!(kv.apply_replicated(b"k", 9, Some(b"nine")));
+        // Tombstone with a newer version removes; older tombstone drops.
+        assert!(!kv.apply_replicated(b"k", 7, None));
+        assert!(kv.get(b"k").is_some());
+        assert!(kv.apply_replicated(b"k", 12, None));
+        assert!(kv.get(b"k").is_none());
+        // Tombstone for an absent key is a no-op.
+        assert!(!kv.apply_replicated(b"gone", 20, None));
+        let snap = kv.stats().snapshot();
+        assert_eq!(snap.repl_applied, 3);
+        assert_eq!(snap.repl_stale_drops, 4);
+        // Local versioning continues past the highest replicated version.
+        assert!(kv.set(b"new", b"v".as_slice()) > 20);
+    }
+
+    #[test]
+    fn dump_reflects_contents_sorted() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        let vb = kv.set(b"b", b"2".as_slice());
+        let va = kv.set(b"a", b"1".as_slice());
+        let dump = kv.dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].0.as_ref(), b"a");
+        assert_eq!(dump[0].1, va);
+        assert_eq!(dump[1].0.as_ref(), b"b");
+        assert_eq!((dump[1].1, dump[1].2.as_ref()), (vb, b"2".as_slice()));
+        let mut visited = 0;
+        kv.for_each(|_, _, _| visited += 1);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn replicated_stream_converges_with_primary() {
+        // A primary and a replica fed only via apply_replicated end up
+        // byte-identical, including after a mid-stream replay.
+        let primary: KvStore<TicketLock> = KvStore::new(64, 8);
+        let replica: KvStore<TicketLock> = KvStore::new(64, 8);
+        let mut stream: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> = Vec::new();
+        for i in 0u64..40 {
+            let key = format!("k{}", i % 7).into_bytes();
+            if i % 5 == 4 {
+                if let Some(v) = primary.delete_versioned(&key) {
+                    stream.push((key, v, None));
+                }
+            } else {
+                let value = i.to_be_bytes().to_vec();
+                let v = primary.set(&key, value.clone());
+                stream.push((key, v, Some(value)));
+            }
+        }
+        for (key, v, value) in &stream {
+            replica.apply_replicated(key, *v, value.as_deref());
+        }
+        // Replay the stream for keys still present: every entry drops
+        // as stale. (Keys whose tombstone applied are skipped — with
+        // nothing left to version-gate against, an old put would
+        // resurrect them; blocking that is the stream-order gate's job
+        // in the replication layer, not the store's.)
+        for (key, v, value) in &stream {
+            if replica.get(key).is_some() {
+                assert!(!replica.apply_replicated(key, *v, value.as_deref()));
+            }
+        }
+        assert_eq!(primary.dump(), replica.dump());
     }
 }

@@ -3,22 +3,44 @@
 //! `libssmp` provides server-side functions for receiving from any other
 //! thread or from a chosen subset; [`ServerHub`] is the equivalent: it
 //! owns one receive channel per client and scans them round-robin
-//! (starting after the last served client, so no client starves).
+//! (starting after the last served client, so no client starves). The
+//! hub is generic over the channel flavour — the one-line
+//! [`Receiver`] or the ring's [`crate::ring::RingReceiver`].
 
 use ssync_core::SpinWait;
 
 use crate::channel::{Message, Receiver};
+use crate::ring::RingReceiver;
+
+/// The receive side a [`ServerHub`] can multiplex: anything with a
+/// non-blocking poll.
+pub trait MsgReceiver {
+    /// Attempts to receive without blocking.
+    fn try_recv(&self) -> Option<Message>;
+}
+
+impl MsgReceiver for Receiver {
+    fn try_recv(&self) -> Option<Message> {
+        Receiver::try_recv(self)
+    }
+}
+
+impl MsgReceiver for RingReceiver {
+    fn try_recv(&self) -> Option<Message> {
+        RingReceiver::try_recv(self)
+    }
+}
 
 /// Server-side receive multiplexer.
-pub struct ServerHub {
-    clients: Vec<Receiver>,
+pub struct ServerHub<C: MsgReceiver = Receiver> {
+    clients: Vec<C>,
     next: usize,
 }
 
-impl ServerHub {
+impl<C: MsgReceiver> ServerHub<C> {
     /// Builds a hub over one receiver per client; client ids are the
     /// indices into this vector.
-    pub fn new(clients: Vec<Receiver>) -> Self {
+    pub fn new(clients: Vec<C>) -> Self {
         Self { clients, next: 0 }
     }
 

@@ -7,8 +7,12 @@
 //! single-cache-line transfers (Section 4.1).
 //!
 //! * [`channel`] — the one-directional SPSC cache-line channel.
+//! * [`ring`] — the same protocol with queue depth (a bounded SPSC
+//!   ring), for oversubscribed hosts where a one-deep buffer turns
+//!   every multi-frame transfer into a context-switch pair per frame.
 //! * [`hub`] — client/server helpers: receive from any client or from a
-//!   subset, as `libssmp` provides for server loops.
+//!   subset, as `libssmp` provides for server loops; generic over both
+//!   channel flavours.
 //!
 //! # Examples
 //!
@@ -25,6 +29,8 @@
 
 pub mod channel;
 pub mod hub;
+pub mod ring;
 
 pub use channel::{channel, Message, Receiver, Sender, MSG_WORDS};
-pub use hub::ServerHub;
+pub use hub::{MsgReceiver, ServerHub};
+pub use ring::{ring_channel, RingReceiver, RingSender};

@@ -1,0 +1,198 @@
+//! A bounded SPSC *ring* channel: the one-line channel's protocol with
+//! queue depth.
+//!
+//! The single-buffer channel ([`crate::channel`]) is the paper's
+//! `libssmp` model: one cache line, one message in flight, the
+//! transfer itself the unit of cost. That is the right model when
+//! sender and receiver run on their own cores — the receiver drains
+//! concurrently and the buffer never holds the sender long. On an
+//! oversubscribed host it serializes differently: every frame of a
+//! multi-frame message (a long value's continuation frames, a
+//! replication stream's back-to-back entries) blocks the sender until
+//! the *scheduler* runs the receiver, so an N-frame transfer costs N
+//! context-switch pairs.
+//!
+//! The ring keeps the wire format (cache-line [`Message`] frames, SPSC
+//! by construction, FIFO) but gives the channel `depth` slots — a
+//! classic Lamport queue with padded head/tail counters. A server can
+//! write an entire multi-frame reply and move on; a primary can stream
+//! a burst of replication entries without handing the core over per
+//! entry. The replication layer (`ssync-repl`) wires its mesh with
+//! rings; the figure-facing benches keep the single-line channel, whose
+//! cost model is the one the paper calibrates.
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ssync_core::{CachePadded, SpinWait};
+
+use crate::channel::Message;
+use crate::MSG_WORDS;
+
+struct Ring {
+    slots: Box<[UnsafeCell<Message>]>,
+    /// Next slot the consumer reads; only the consumer advances it.
+    head: CachePadded<AtomicU64>,
+    /// Next slot the producer writes; only the producer advances it.
+    tail: CachePadded<AtomicU64>,
+}
+
+// SAFETY: slot `i` is written only by the unique producer while
+// `i - head < depth` (checked against an Acquire load of `head`) and
+// published by the Release store of `tail`; the unique consumer reads
+// it only after an Acquire load of `tail` covers it. Head and tail are
+// each written by exactly one side, so no slot is ever accessed
+// concurrently.
+unsafe impl Sync for Ring {}
+
+/// Sending half: exactly one per ring.
+pub struct RingSender {
+    ring: Arc<Ring>,
+}
+
+/// Receiving half: exactly one per ring.
+pub struct RingReceiver {
+    ring: Arc<Ring>,
+}
+
+/// Creates a bounded SPSC ring channel with `depth` message slots.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero (use [`crate::channel`] for the
+/// single-line model) or not a power of two.
+pub fn ring_channel(depth: usize) -> (RingSender, RingReceiver) {
+    assert!(depth > 0, "ring depth must be positive");
+    assert!(depth.is_power_of_two(), "ring depth must be a power of two");
+    let ring = Arc::new(Ring {
+        slots: (0..depth)
+            .map(|_| UnsafeCell::new([0; MSG_WORDS]))
+            .collect(),
+        head: CachePadded::new(AtomicU64::new(0)),
+        tail: CachePadded::new(AtomicU64::new(0)),
+    });
+    (
+        RingSender {
+            ring: Arc::clone(&ring),
+        },
+        RingReceiver { ring },
+    )
+}
+
+impl RingSender {
+    /// Sends a message, spinning (then yielding) while the ring is
+    /// full.
+    pub fn send(&self, msg: Message) {
+        let mut wait = SpinWait::new();
+        while self.try_send(msg).is_err() {
+            wait.snooze();
+        }
+    }
+
+    /// Attempts to send without blocking; returns the message back if
+    /// the ring is full.
+    pub fn try_send(&self, msg: Message) -> Result<(), Message> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        if tail - head == self.ring.slots.len() as u64 {
+            return Err(msg);
+        }
+        let idx = (tail as usize) & (self.ring.slots.len() - 1);
+        // SAFETY: the slot is past `head` (consumer done with it) and
+        // before the published `tail` (consumer cannot read it yet);
+        // we are the unique producer.
+        unsafe { *self.ring.slots[idx].get() = msg };
+        self.ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl RingReceiver {
+    /// Receives the next message, spinning (then yielding) until one
+    /// arrives.
+    pub fn recv(&self) -> Message {
+        let mut wait = SpinWait::new();
+        loop {
+            match self.try_recv() {
+                Some(m) => return m,
+                None => wait.snooze(),
+            }
+        }
+    }
+
+    /// Attempts to receive without blocking.
+    pub fn try_recv(&self) -> Option<Message> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let idx = (head as usize) & (self.ring.slots.len() - 1);
+        // SAFETY: the slot is covered by the Acquire-loaded `tail`
+        // (producer published it) and we are the unique consumer.
+        let msg = unsafe { *self.ring.slots[idx].get() };
+        self.ring.head.store(head + 1, Ordering::Release);
+        Some(msg)
+    }
+
+    /// True if a message is waiting (advisory).
+    pub fn has_message(&self) -> bool {
+        self.ring.head.load(Ordering::Relaxed) != self.ring.tail.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = ring_channel(8);
+        for i in 0..8u64 {
+            tx.try_send([i; MSG_WORDS]).unwrap();
+        }
+        assert!(tx.try_send([99; MSG_WORDS]).is_err(), "ring must bound");
+        for i in 0..8u64 {
+            assert_eq!(rx.recv(), [i; MSG_WORDS]);
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (tx, rx) = ring_channel(4);
+        for i in 0..1000u64 {
+            tx.send([i, i + 1, 0, 0, 0, 0, 0]);
+            if i % 3 == 0 {
+                // Drain lazily so the ring wraps at varying fill.
+                while let Some(m) = rx.try_recv() {
+                    assert_eq!(m[1], m[0] + 1);
+                }
+            }
+        }
+        while rx.try_recv().is_some() {}
+    }
+
+    #[test]
+    fn threaded_burst_transfer_is_fifo() {
+        let (tx, rx) = ring_channel(16);
+        const N: u64 = 5_000;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.send([i, 0, 0, 0, 0, 0, 0]);
+                }
+            });
+            for i in 0..N {
+                assert_eq!(rx.recv()[0], i);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = ring_channel(6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic replica fault injection.
+//!
+//! Faults are keyed to the replication *entry index* — "when the Nth
+//! entry arrives, stall (or crash) for the next W entries" — never to
+//! wall time, so a seeded scenario replays exactly: the same workload
+//! seed produces the same op-log, the same entry indices, and therefore
+//! the same stalls, crashes, and catch-ups on every run (the
+//! model-checking-replication papers' requirement, done in-process).
+//!
+//! * A **stall** models a slow backup: it keeps draining the stream (so
+//!   the primary never blocks on a full channel) but buffers `window`
+//!   entries without applying or acknowledging, then applies them all.
+//! * A **crash** models a lost backup: `window` entries are received
+//!   and discarded, then the backup "reboots" and catches up from the
+//!   primary's op-log before resuming the live stream — any in-flight
+//!   duplicates it then receives are dropped by the version gate.
+//!
+//! Fault windows must stay below the async mode's lag bound: a primary
+//! that has stopped producing (blocked on the bound) cannot deliver the
+//! entries that would end an entry-indexed window. [`FaultSpec`]
+//! enforces that at plan-generation time.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What kind of outage a fault window is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drain but neither apply nor acknowledge; apply everything when
+    /// the window closes.
+    Stall,
+    /// Discard `window` entries, then catch up from the op-log.
+    Crash,
+}
+
+/// One fault window in a replica's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The 1-based replication entry index whose arrival opens the
+    /// window (that entry is the window's first).
+    pub at_entry: u64,
+    /// The outage kind.
+    pub kind: FaultKind,
+    /// Window length in entries (≥ 1).
+    pub window: u64,
+}
+
+/// A replica's full, deterministic fault schedule: non-overlapping
+/// windows sorted by `at_entry`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are unsorted, overlapping, zero-windowed, or
+    /// start before entry 1.
+    pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
+        let mut clear_from = 1;
+        for ev in &events {
+            assert!(ev.window >= 1, "fault window must be at least 1 entry");
+            assert!(
+                ev.at_entry >= clear_from,
+                "fault events must be sorted and non-overlapping"
+            );
+            clear_from = ev.at_entry + ev.window;
+        }
+        FaultPlan { events }
+    }
+
+    /// The scheduled events, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Largest window in the plan (0 if none).
+    pub fn max_window(&self) -> u64 {
+        self.events.iter().map(|e| e.window).max().unwrap_or(0)
+    }
+}
+
+/// Seeded generator of per-replica fault schedules, shared by the
+/// proptest harness and the `repl-perf` fault case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Master seed; each `(shard, replica)` derives its own schedule.
+    pub seed: u64,
+    /// Fault windows per replica schedule.
+    pub faults_per_replica: usize,
+    /// Largest window the generator may draw (≥ 1 when faults > 0).
+    pub max_window: u64,
+    /// Mean healthy gap between windows, in entries.
+    pub spacing: u64,
+}
+
+impl FaultSpec {
+    /// No faults anywhere.
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            seed: 0,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+        }
+    }
+
+    /// True if this spec schedules no faults.
+    pub fn is_none(&self) -> bool {
+        self.faults_per_replica == 0
+    }
+
+    /// The deterministic schedule for one `(shard, replica)` slot.
+    /// Windows are drawn in `1..=max_window`, alternating between
+    /// stalls and crashes pseudo-randomly; gaps between windows are at
+    /// least one entry and average `spacing`.
+    pub fn plan_for(&self, shard: usize, replica: usize) -> FaultPlan {
+        if self.is_none() {
+            return FaultPlan::none();
+        }
+        assert!(self.max_window >= 1 && self.spacing >= 1);
+        let stream = (shard as u64) << 32 | replica as u64;
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ ssync_core::mix64(stream));
+        let mut events = Vec::with_capacity(self.faults_per_replica);
+        let mut at = 1 + rng.gen_range(0..=self.spacing);
+        for _ in 0..self.faults_per_replica {
+            let window = rng.gen_range(1..=self.max_window);
+            let kind = if rng.gen_range(0..2u8) == 0 {
+                FaultKind::Stall
+            } else {
+                FaultKind::Crash
+            };
+            events.push(FaultEvent {
+                at_entry: at,
+                kind,
+                window,
+            });
+            at += window + 1 + rng.gen_range(0..=2 * self.spacing);
+        }
+        FaultPlan::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_replay_exactly_and_differ_per_slot() {
+        let spec = FaultSpec {
+            seed: 0xFA_07,
+            faults_per_replica: 4,
+            max_window: 8,
+            spacing: 16,
+        };
+        let a = spec.plan_for(0, 1);
+        let b = spec.plan_for(0, 1);
+        assert_eq!(a, b, "same slot must replay the same schedule");
+        assert_eq!(a.events().len(), 4);
+        assert!(a.max_window() <= 8);
+        let c = spec.plan_for(1, 1);
+        assert_ne!(a, c, "different shards draw different schedules");
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultSpec::none().plan_for(0, 0).is_empty());
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().max_window(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_events_rejected() {
+        let _ = FaultPlan::from_events(vec![
+            FaultEvent {
+                at_entry: 5,
+                kind: FaultKind::Stall,
+                window: 4,
+            },
+            FaultEvent {
+                at_entry: 8,
+                kind: FaultKind::Crash,
+                window: 2,
+            },
+        ]);
+    }
+}

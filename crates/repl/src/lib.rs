@@ -1,0 +1,79 @@
+//! # ssync-repl
+//!
+//! Per-shard primary/backup replication for the `ssync-srv` sharded KV
+//! service — the layer where availability, consistency, and throughput
+//! first trade off in this tree.
+//!
+//! Every shard becomes a replication group: a primary server plus R
+//! backups, wired with the same one-cache-line `ssync-mp` SPSC
+//! channels as the rest of the stack. The primary tags each write with
+//! the version its `ssync-kv` store assigned (the CAS counter doubles
+//! as the per-shard replication sequence), appends it to a bounded
+//! in-memory [`log::OpLog`], and streams `Replicate` frames to the
+//! backups, which apply them idempotently through a version gate.
+//! Cumulative acks flow back; writes acknowledge **sync**
+//! (ack-before-reply — read-your-writes from any replica) or **async**
+//! (bounded lag, with stale replica reads bounced to the primary by a
+//! per-shard freshness floor the client carries).
+//!
+//! Faults are first-class and *deterministic*: seeded stall and crash
+//! windows keyed to replication entry indices replay exactly, and a
+//! crashed backup catches up from the op-log before rejoining the live
+//! stream — the convergence property the proptest harness checks
+//! against a model on every run.
+//!
+//! * [`log`] — the bounded, version-ordered op-log;
+//! * [`fault`] — deterministic stall/crash schedules;
+//! * [`service`] — the replication mesh, primary/backup server loops,
+//!   and the replica-reading [`service::ReplClient`];
+//! * [`workload`] — the replicated closed-loop driver over the
+//!   `ssync-srv` workload engine.
+//!
+//! The `repl-perf` binary in `ssync-ccbench` sweeps this subsystem
+//! over {replica count × mode × skew × mix} and writes
+//! `BENCH_repl.json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssync_repl::service::{repl_mesh, serve_primary, serve_replica, ReplCluster, ReplSpec};
+//! use ssync_repl::fault::FaultPlan;
+//! use ssync_locks::TicketLock;
+//!
+//! // One shard, two backups, sync mode: read-your-writes everywhere.
+//! let mut cluster: ReplCluster<TicketLock> = ReplCluster::new(1, 64, 8, ReplSpec::sync(2));
+//! cluster.preload(7, b"seed");
+//! let (mut primaries, mut backups, mut clients) = repl_mesh(1, 2, 1);
+//! std::thread::scope(|s| {
+//!     let spec = *cluster.spec();
+//!     let primary = primaries.pop().unwrap();
+//!     let log = cluster.log(0).clone();
+//!     let store = cluster.primary().shard(0);
+//!     let hwm = cluster.preload_hwm(0);
+//!     s.spawn(move || serve_primary(store, &log, primary, spec.mode, hwm));
+//!     for (r, endpoint) in backups.pop().unwrap().into_iter().enumerate() {
+//!         let store = cluster.replica_set(r).shard(0);
+//!         let log = cluster.log(0).clone();
+//!         s.spawn(move || serve_replica(store, &log, endpoint, &FaultPlan::none(), hwm));
+//!     }
+//!     let client = clients.pop().unwrap();
+//!     let v = client.set(7, b"fresh".to_vec()).expect("wire error");
+//!     // Sync mode: this read is served by a *backup*, yet sees the write.
+//!     let (version, value) = client.get(7).expect("wire error").unwrap();
+//!     assert_eq!((version, value.as_slice()), (v, b"fresh".as_slice()));
+//!     client.close();
+//! });
+//! assert!(cluster.converged());
+//! ```
+
+pub mod fault;
+pub mod log;
+pub mod service;
+pub mod workload;
+
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use log::{LogEntry, LogOp, OpLog};
+pub use service::{
+    repl_mesh, serve_primary, serve_replica, ReplClient, ReplCluster, ReplMode, ReplSpec,
+};
+pub use workload::{run_replicated_closed_loop, ReplReport};

@@ -1,0 +1,1483 @@
+//! Primary/backup replication over the `ssync-srv` service.
+//!
+//! Each shard becomes a *replication group*: one primary server thread
+//! owning the authoritative `KvStore` plus R backup threads, each with
+//! its own store. All traffic — client requests, the replication
+//! stream, acks, replica reads — rides `ssync-mp` cache-line frames,
+//! but over the *ring* flavour ([`ssync_mp::ring_channel`]): a
+//! replication stream is bursty and replica reads return wide
+//! multi-frame replies, and on an oversubscribed host a one-deep
+//! buffer would cost a context-switch pair per frame. The ring depth
+//! lets a primary stream a burst of entries, and a backup write a
+//! whole bulk-read reply, without handing the core over per cache
+//! line.
+//!
+//! **Write path.** The primary applies a write under its store's lock,
+//! takes the CAS version the store assigned (the per-shard replication
+//! sequence — writes are serialized by the server thread, so versions
+//! are strictly increasing), appends the entry to the shard's bounded
+//! [`OpLog`], and streams a `Replicate` frame to every backup. Backups
+//! apply idempotently through the version gate
+//! (`KvStore::apply_replicated`) and return *cumulative* acks. In
+//! [`ReplMode::Sync`] the primary waits for every backup's ack before
+//! replying (read-your-writes from any replica); in
+//! [`ReplMode::Async`] it replies immediately and only blocks when a
+//! backup falls more than `max_lag` log entries behind.
+//!
+//! **Read path.** Clients route reads round-robin across a shard's
+//! backups, attaching a *freshness floor* — the highest version this
+//! client has observed on that shard. A backup behind the floor (or
+//! down) answers `Stale` and the client falls back to the primary, so
+//! reads are never stale *to the reader* even in async mode.
+//!
+//! **Deadlock discipline** (rings are deeper than one frame but still
+//! bounded, so the same rules apply):
+//! * the primary's blocking sends to a backup are safe because a
+//!   backup never blocks *on the primary or on acks*: it runs a
+//!   polling loop (even a "crashed" backup keeps draining,
+//!   discarding), and its only blocking sends are reply frames to a
+//!   client that, having an outstanding request on that very ring, is
+//!   by construction draining it;
+//! * a backup acks with `try_send`, coalescing into the latest
+//!   cumulative version when the ack channel is full (acks are
+//!   cumulative, so dropped intermediates are harmless) and retrying
+//!   every loop iteration;
+//! * clients keep at most one request in flight per shard endpoint and
+//!   drain shards in index order — one global order shared by every
+//!   client, so the waits-for graph over bounded reply channels cannot
+//!   close a cycle.
+//!
+//! Fault windows (stall/crash) are entry-indexed and deterministic —
+//! see [`crate::fault`] — and only legal in async mode with windows
+//! below the lag bound (a primary blocked on the bound can never
+//! deliver the entries that would close a window).
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use ssync_core::ParkingWait;
+use ssync_kv::{KvStore, StatsSnapshot};
+use ssync_locks::RawLock;
+use ssync_mp::{ring_channel, Message, RingReceiver, RingSender, ServerHub};
+use ssync_srv::router::{key_bytes, shard_of, ShardRouter};
+use ssync_srv::service::{KvClient, ReadHit};
+use ssync_srv::wire::{Request, Response, WireError, MGET_MAX, REPL_MGET_MAX};
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::log::{LogEntry, LogOp, OpLog};
+
+/// When the primary replies to a replicated write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplMode {
+    /// Ack-before-reply: every backup has applied the write before the
+    /// client hears `Stored`. Read-your-writes from any replica, at
+    /// write latency cost.
+    Sync,
+    /// Reply immediately; backups trail by at most `max_lag` op-log
+    /// entries (the primary stalls draining acks past that). Stale
+    /// replica reads fall back to the primary via the floor guard.
+    Async {
+        /// Maximum op-log entries a backup may trail by.
+        max_lag: u64,
+    },
+}
+
+/// A replication group shape: how many backups per shard, the reply
+/// mode, and the op-log bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplSpec {
+    /// Backups per shard (0 = plain unreplicated service).
+    pub replicas: usize,
+    /// Write acknowledgement mode.
+    pub mode: ReplMode,
+    /// Op-log capacity per shard, in entries.
+    pub log_capacity: usize,
+}
+
+impl ReplSpec {
+    /// A sync-mode spec with `replicas` backups.
+    pub fn sync(replicas: usize) -> ReplSpec {
+        ReplSpec {
+            replicas,
+            mode: ReplMode::Sync,
+            log_capacity: 4096,
+        }
+    }
+
+    /// An async-mode spec with `replicas` backups and the default lag
+    /// bound of 64 entries.
+    pub fn async_bounded(replicas: usize) -> ReplSpec {
+        ReplSpec {
+            replicas,
+            mode: ReplMode::Async { max_lag: 64 },
+            log_capacity: 4096,
+        }
+    }
+
+    /// Checks internal consistency (positive capacity, lag bound below
+    /// capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent spec.
+    pub fn validate(&self) {
+        assert!(self.log_capacity > 0, "log capacity must be positive");
+        if let ReplMode::Async { max_lag } = self.mode {
+            assert!(max_lag >= 1, "async lag bound must be at least 1");
+            assert!(
+                (max_lag as usize) < self.log_capacity,
+                "lag bound {max_lag} must stay below log capacity {}",
+                self.log_capacity
+            );
+        }
+    }
+}
+
+/// The stores of a replication deployment: the primary shard router,
+/// one full router per backup replica set, and one op-log per shard.
+pub struct ReplCluster<R: RawLock + Default> {
+    primary: ShardRouter<R>,
+    replica_sets: Vec<ShardRouter<R>>,
+    logs: Vec<Arc<OpLog>>,
+    preload_hwm: Vec<u64>,
+    spec: ReplSpec,
+}
+
+impl<R: RawLock + Default> ReplCluster<R> {
+    /// Builds the stores for `shards` shards of `buckets`×`stripes`
+    /// each, replicated per `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count, invalid store geometry, or an
+    /// inconsistent `spec`.
+    pub fn new(shards: usize, buckets: usize, stripes: usize, spec: ReplSpec) -> Self {
+        spec.validate();
+        ReplCluster {
+            primary: ShardRouter::new(shards, buckets, stripes),
+            replica_sets: (0..spec.replicas)
+                .map(|_| ShardRouter::new(shards, buckets, stripes))
+                .collect(),
+            logs: (0..shards)
+                .map(|_| Arc::new(OpLog::new(spec.log_capacity)))
+                .collect(),
+            preload_hwm: vec![0; shards],
+            spec,
+        }
+    }
+
+    /// The replication shape.
+    pub fn spec(&self) -> &ReplSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.primary.num_shards()
+    }
+
+    /// The primary router.
+    pub fn primary(&self) -> &ShardRouter<R> {
+        &self.primary
+    }
+
+    /// Backup replica set `r` (a full router: its shard `s` backs the
+    /// primary's shard `s`).
+    pub fn replica_set(&self, r: usize) -> &ShardRouter<R> {
+        &self.replica_sets[r]
+    }
+
+    /// Shard `s`'s op-log.
+    pub fn log(&self, s: usize) -> &Arc<OpLog> {
+        &self.logs[s]
+    }
+
+    /// Seeds one key everywhere before serving starts: the primary
+    /// assigns the version, every backup applies it, and the shard's
+    /// preload high-water mark advances — so backups start caught-up
+    /// and the op-log starts empty.
+    pub fn preload(&mut self, key: u64, value: &[u8]) -> u64 {
+        let shard = shard_of(key, self.num_shards());
+        let version = self.primary.shard(shard).set(&key_bytes(key), value);
+        for set in &self.replica_sets {
+            set.shard(shard)
+                .apply_replicated(&key_bytes(key), version, Some(value));
+        }
+        self.preload_hwm[shard] = self.preload_hwm[shard].max(version);
+        version
+    }
+
+    /// The post-preload high-water mark of shard `s` (backups and the
+    /// primary's ack baseline start here).
+    pub fn preload_hwm(&self, s: usize) -> u64 {
+        self.preload_hwm[s]
+    }
+
+    /// True if every backup's every shard holds exactly the primary's
+    /// contents (keys, values, and versions). Only meaningful once the
+    /// servers have shut down (the final ack handshake guarantees
+    /// backups are caught up by then).
+    pub fn converged(&self) -> bool {
+        (0..self.num_shards()).all(|s| {
+            let want = self.primary.shard(s).dump();
+            self.replica_sets
+                .iter()
+                .all(|set| set.shard(s).dump() == want)
+        })
+    }
+
+    /// Aggregated statistics over every backup store.
+    pub fn replica_stats_snapshot(&self) -> StatsSnapshot {
+        self.replica_sets
+            .iter()
+            .map(ShardRouter::stats_snapshot)
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
+    }
+}
+
+/// Ring depth of client request/reply connections. A bulk reply at
+/// typical value sizes (≤ ~3 frames per key × [`REPL_MGET_MAX`] keys)
+/// fits without blocking the server; a worst-case reply (64 keys of
+/// [`crate::log`]-limit values ≈ 1.2k frames) does *not* — the server
+/// then blocks mid-reply, which is still cycle-free (the one client
+/// with an outstanding request on this ring is by construction
+/// draining it), but a backup blocked this way pauses stream applies
+/// and acks until the client catches up. Deeper buys memory for an
+/// edge case; this depth covers every workload the harnesses run.
+const CONN_DEPTH: usize = 256;
+
+/// Ring depth of the primary→backup replication stream: an async
+/// primary can burst a lag bound's worth of entries (≈2 frames each)
+/// without a scheduler handoff per entry.
+const STREAM_DEPTH: usize = 256;
+
+/// Ring depth of the backup→primary ack channel (acks coalesce, so
+/// shallow is fine).
+const ACK_DEPTH: usize = 8;
+
+/// A primary server's side of the mesh: the client channels plus one
+/// (stream, ack) channel pair per backup.
+pub struct PrimaryEndpoint {
+    client_requests: Vec<RingReceiver>,
+    client_replies: Vec<RingSender>,
+    streams: Vec<RingSender>,
+    acks: Vec<RingReceiver>,
+}
+
+/// A backup server's side of the mesh: the primary's stream, the ack
+/// channel back, and its own per-client channels for replica reads.
+pub struct ReplicaEndpoint {
+    stream: RingReceiver,
+    ack: RingSender,
+    client_requests: Vec<RingReceiver>,
+    client_replies: Vec<RingSender>,
+}
+
+type Conn = (RingSender, RingReceiver);
+
+/// One client's connections to one replication group.
+struct ShardConn {
+    primary: Conn,
+    replicas: Vec<Conn>,
+    /// Round-robin cursor over the backups.
+    rr: Cell<usize>,
+    /// Freshness floor: the highest version this client has observed
+    /// on this shard (writes *and* reads raise it, giving
+    /// read-your-writes and monotonic reads across replicas).
+    floor: Cell<u64>,
+}
+
+/// A client of the replicated service: writes go to primaries, reads
+/// round-robin across backups with the freshness floor as the
+/// staleness guard, falling back to the primary on a `Stale` answer.
+pub struct ReplClient {
+    shards: Vec<ShardConn>,
+    /// Replica reads that bounced to the primary (client-side view).
+    fallbacks: Cell<u64>,
+    /// Reads answered by a backup.
+    replica_serves: Cell<u64>,
+}
+
+/// Builds the full channel mesh for a replicated deployment: per shard
+/// one [`PrimaryEndpoint`] and `replicas` [`ReplicaEndpoint`]s, plus
+/// one [`ReplClient`] per client. Returned replica endpoints are
+/// indexed `[shard][replica]`.
+///
+/// # Panics
+///
+/// Panics if `shards` or `clients` is zero.
+pub fn repl_mesh(
+    shards: usize,
+    replicas: usize,
+    clients: usize,
+) -> (
+    Vec<PrimaryEndpoint>,
+    Vec<Vec<ReplicaEndpoint>>,
+    Vec<ReplClient>,
+) {
+    assert!(shards > 0 && clients > 0);
+    let mut primaries = Vec::with_capacity(shards);
+    let mut replica_endpoints: Vec<Vec<ReplicaEndpoint>> = Vec::with_capacity(shards);
+    let mut client_conns: Vec<Vec<ShardConn>> = (0..clients).map(|_| Vec::new()).collect();
+    for _ in 0..shards {
+        let mut primary = PrimaryEndpoint {
+            client_requests: Vec::with_capacity(clients),
+            client_replies: Vec::with_capacity(clients),
+            streams: Vec::with_capacity(replicas),
+            acks: Vec::with_capacity(replicas),
+        };
+        let mut backups: Vec<ReplicaEndpoint> = (0..replicas)
+            .map(|_| {
+                let (stream_tx, stream_rx) = ring_channel(STREAM_DEPTH);
+                let (ack_tx, ack_rx) = ring_channel(ACK_DEPTH);
+                primary.streams.push(stream_tx);
+                primary.acks.push(ack_rx);
+                ReplicaEndpoint {
+                    stream: stream_rx,
+                    ack: ack_tx,
+                    client_requests: Vec::with_capacity(clients),
+                    client_replies: Vec::with_capacity(clients),
+                }
+            })
+            .collect();
+        for conns in client_conns.iter_mut() {
+            let (req_tx, req_rx) = ring_channel(CONN_DEPTH);
+            let (rep_tx, rep_rx) = ring_channel(CONN_DEPTH);
+            primary.client_requests.push(req_rx);
+            primary.client_replies.push(rep_tx);
+            let mut replica_conns = Vec::with_capacity(replicas);
+            for backup in backups.iter_mut() {
+                let (req_tx, req_rx) = ring_channel(CONN_DEPTH);
+                let (rep_tx, rep_rx) = ring_channel(CONN_DEPTH);
+                backup.client_requests.push(req_rx);
+                backup.client_replies.push(rep_tx);
+                replica_conns.push((req_tx, rep_rx));
+            }
+            conns.push(ShardConn {
+                primary: (req_tx, rep_rx),
+                replicas: replica_conns,
+                rr: Cell::new(0),
+                floor: Cell::new(0),
+            });
+        }
+        primaries.push(primary);
+        replica_endpoints.push(backups);
+    }
+    let clients = client_conns
+        .into_iter()
+        .map(|shards| ReplClient {
+            shards,
+            fallbacks: Cell::new(0),
+            replica_serves: Cell::new(0),
+        })
+        .collect();
+    (primaries, replica_endpoints, clients)
+}
+
+/// What one primary server did before shutdown.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PrimaryReport {
+    /// Client request messages served.
+    pub requests: u64,
+    /// Key-operations executed.
+    pub key_ops: u64,
+    /// Undecodable head frames answered with `Malformed`.
+    pub malformed: u64,
+    /// Replication entries appended and streamed.
+    pub entries: u64,
+    /// The last version logged (backups acked through this at exit).
+    pub last_version: u64,
+}
+
+/// What one backup server did before shutdown.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaReport {
+    /// Entries applied from the live stream.
+    pub applied: u64,
+    /// Entries applied from the op-log during crash catch-ups.
+    pub from_log: u64,
+    /// Stream entries dropped by the high-water-mark gate (in-flight
+    /// duplicates of entries already replayed from the log).
+    pub stale_drops: u64,
+    /// Reads refused with `Stale` (client fell back to the primary).
+    pub refused_reads: u64,
+    /// Crash windows taken.
+    pub crashes: u64,
+    /// Stall windows taken.
+    pub stalls: u64,
+    /// Final applied high-water version.
+    pub hwm: u64,
+}
+
+fn send_all(tx: &RingSender, frames: &[Message]) {
+    for &frame in frames {
+        tx.send(frame);
+    }
+}
+
+fn lookup<R: RawLock + Default>(store: &KvStore<R>, key: u64) -> Response {
+    match store.get_with_version(&key_bytes(key)) {
+        Some((version, value)) => Response::Value {
+            version,
+            value: value.as_ref().to_vec(),
+        },
+        None => Response::Miss,
+    }
+}
+
+/// Decodes a cumulative ack. The ack channel is internal to the group,
+/// so anything but a `ReplAck` is a program bug, not input.
+fn ack_version(head: Message) -> u64 {
+    match Response::decode(head, || unreachable!("acks have no continuation frames")) {
+        Ok(Response::ReplAck { version }) => version,
+        other => unreachable!("backup sent {other:?} on its ack channel"),
+    }
+}
+
+/// Runs one shard's primary loop: serve clients, stream every write to
+/// the backups per `mode`, and shut the group down once all clients
+/// stopped (streaming `Stop` to the backups and waiting for their
+/// final cumulative acks, so the group is converged on exit).
+///
+/// `initial_hwm` is the shard's post-preload high-water mark
+/// ([`ReplCluster::preload_hwm`]).
+pub fn serve_primary<R: RawLock + Default>(
+    store: &KvStore<R>,
+    log: &OpLog,
+    endpoint: PrimaryEndpoint,
+    mode: ReplMode,
+    initial_hwm: u64,
+) -> PrimaryReport {
+    let PrimaryEndpoint {
+        client_requests,
+        client_replies,
+        streams,
+        acks,
+    } = endpoint;
+    let mut live = client_requests.len();
+    let mut hub = ServerHub::new(client_requests);
+    let mut acked = vec![initial_hwm; streams.len()];
+    let mut report = PrimaryReport {
+        last_version: initial_hwm,
+        ..PrimaryReport::default()
+    };
+
+    // Streams one logged write to every backup and settles acks per
+    // the mode's contract.
+    let replicate = |entry: LogEntry, acked: &mut [u64], report: &mut PrimaryReport| {
+        if streams.is_empty() {
+            // Unreplicated shard: nothing to log (no backup will ever
+            // ack, so nothing could ever be truncated) or stream.
+            report.last_version = entry.version;
+            return;
+        }
+        let request = match &entry.op {
+            LogOp::Put(value) => Request::Replicate {
+                key: entry.key,
+                version: entry.version,
+                value: value.as_ref().to_vec(),
+            },
+            LogOp::Delete => Request::ReplicateDelete {
+                key: entry.key,
+                version: entry.version,
+            },
+        };
+        let version = entry.version;
+        log.append(entry);
+        report.entries += 1;
+        report.last_version = version;
+        let frames = request.encode();
+        for tx in &streams {
+            send_all(tx, &frames);
+        }
+        match mode {
+            ReplMode::Sync => {
+                for (r, rx) in acks.iter().enumerate() {
+                    while acked[r] < version {
+                        acked[r] = ack_version(rx.recv());
+                    }
+                }
+            }
+            ReplMode::Async { max_lag } => {
+                for (r, rx) in acks.iter().enumerate() {
+                    while let Some(head) = rx.try_recv() {
+                        acked[r] = ack_version(head);
+                    }
+                    while log.outstanding_after(acked[r]) as u64 > max_lag {
+                        acked[r] = ack_version(rx.recv());
+                    }
+                }
+            }
+        }
+        if let Some(&min_acked) = acked.iter().min() {
+            log.truncate_through(min_acked);
+        }
+    };
+
+    // Parking poll loop rather than the hub's spin-yield receive: a
+    // primary can sit fully idle on replica-read-heavy phases, and an
+    // idle thread that yield-loops taxes every busy thread on an
+    // oversubscribed host with a context switch per scheduling cycle.
+    let mut wait = ParkingWait::new();
+    while live > 0 {
+        let (client, head) = loop {
+            match hub.try_recv_from_any() {
+                Some(hit) => {
+                    wait.reset();
+                    break hit;
+                }
+                None => wait.snooze(),
+            }
+        };
+        let request = match Request::decode(head, || hub.recv_from_subset(&[client]).1) {
+            Ok(request) => request,
+            Err(_) => {
+                report.malformed += 1;
+                send_all(&client_replies[client], &Response::Malformed.encode());
+                continue;
+            }
+        };
+        if matches!(request, Request::Stop) {
+            live -= 1;
+            continue;
+        }
+        report.requests += 1;
+        let responses: Vec<Response> = match request {
+            Request::Get { key } => {
+                report.key_ops += 1;
+                vec![lookup(store, key)]
+            }
+            Request::MultiGet { keys } => {
+                report.key_ops += keys.len() as u64;
+                keys.into_iter().map(|key| lookup(store, key)).collect()
+            }
+            Request::Set { key, value } => {
+                report.key_ops += 1;
+                let value = Bytes::from(value);
+                let version = store.set(&key_bytes(key), value.clone());
+                replicate(
+                    LogEntry {
+                        key,
+                        version,
+                        op: LogOp::Put(value),
+                    },
+                    &mut acked,
+                    &mut report,
+                );
+                vec![Response::Stored { version }]
+            }
+            Request::Cas {
+                key,
+                expected,
+                value,
+            } => {
+                report.key_ops += 1;
+                let value = Bytes::from(value);
+                match store.cas(&key_bytes(key), value.clone(), expected) {
+                    Ok(version) => {
+                        replicate(
+                            LogEntry {
+                                key,
+                                version,
+                                op: LogOp::Put(value),
+                            },
+                            &mut acked,
+                            &mut report,
+                        );
+                        vec![Response::Stored { version }]
+                    }
+                    Err(current) => vec![Response::CasFail { current }],
+                }
+            }
+            Request::Delete { key } => {
+                report.key_ops += 1;
+                match store.delete_versioned(&key_bytes(key)) {
+                    Some(version) => {
+                        replicate(
+                            LogEntry {
+                                key,
+                                version,
+                                op: LogOp::Delete,
+                            },
+                            &mut acked,
+                            &mut report,
+                        );
+                        vec![Response::Deleted { version }]
+                    }
+                    None => vec![Response::NotFound],
+                }
+            }
+            // Replication traffic addressed *to* a primary is a
+            // protocol violation; refuse it without executing.
+            Request::Replicate { .. }
+            | Request::ReplicateDelete { .. }
+            | Request::ReplGet { .. }
+            | Request::ReplMultiGet { .. } => {
+                report.malformed += 1;
+                vec![Response::Malformed]
+            }
+            Request::Stop => unreachable!("Stop is handled above"),
+        };
+        for response in responses {
+            send_all(&client_replies[client], &response.encode());
+        }
+    }
+
+    // Shutdown handshake: stream Stop, then wait until every backup's
+    // cumulative ack reaches the last logged version — the group is
+    // converged when this returns.
+    let stop = Request::Stop.encode();
+    for tx in &streams {
+        send_all(tx, &stop);
+    }
+    for (r, rx) in acks.iter().enumerate() {
+        while acked[r] < report.last_version {
+            acked[r] = ack_version(rx.recv());
+        }
+    }
+    report
+}
+
+/// A backup's replication state machine (entry-indexed fault windows).
+enum BackupState {
+    Healthy,
+    Stalled { left: u64, buffered: Vec<LogEntry> },
+    Crashed { left: u64 },
+}
+
+/// Runs one backup's loop: apply the primary's stream through the
+/// version gates, serve floor-guarded replica reads, inject the
+/// schedule's faults, and exit after the primary's `Stop` and every
+/// client's `Stop` (flushing the final cumulative ack first).
+///
+/// The loop never blocks — it polls and `try_send`s acks — which is
+/// what lets the primary use blocking sends safely.
+pub fn serve_replica<R: RawLock + Default>(
+    store: &KvStore<R>,
+    log: &OpLog,
+    endpoint: ReplicaEndpoint,
+    plan: &FaultPlan,
+    initial_hwm: u64,
+) -> ReplicaReport {
+    let ReplicaEndpoint {
+        stream,
+        ack,
+        client_requests,
+        client_replies,
+    } = endpoint;
+    // Hub receiver 0 is the primary's stream; client c is receiver
+    // c + 1.
+    let mut receivers = Vec::with_capacity(client_requests.len() + 1);
+    receivers.push(stream);
+    receivers.extend(client_requests);
+    let mut hub = ServerHub::new(receivers);
+
+    let mut report = ReplicaReport {
+        hwm: initial_hwm,
+        ..ReplicaReport::default()
+    };
+    let mut live_clients = client_replies.len();
+    let mut primary_done = false;
+    let mut pending_ack: Option<u64> = None;
+    let mut entries_seen: u64 = 0;
+    let mut next_fault = 0usize;
+    let mut state = BackupState::Healthy;
+    let mut wait = ParkingWait::new();
+
+    /// Applies one entry through the stream-order gate (the layer that
+    /// blocks delete-resurrection) and the store's per-key gate.
+    fn apply<R: RawLock + Default>(
+        store: &KvStore<R>,
+        entry: &LogEntry,
+        report: &mut ReplicaReport,
+        from_log: bool,
+    ) {
+        if entry.version <= report.hwm {
+            report.stale_drops += 1;
+            store
+                .stats()
+                .repl_stale_drops
+                .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+            return;
+        }
+        let value = match &entry.op {
+            LogOp::Put(value) => Some(value.as_ref()),
+            LogOp::Delete => None,
+        };
+        store.apply_replicated(&key_bytes(entry.key), entry.version, value);
+        report.hwm = entry.version;
+        if from_log {
+            report.from_log += 1;
+        } else {
+            report.applied += 1;
+        }
+    }
+
+    loop {
+        // Flush the coalesced cumulative ack whenever the channel has
+        // room; a fuller channel just means the primary reads a fresher
+        // ack later.
+        if let Some(version) = pending_ack {
+            let frames = Response::ReplAck { version }.encode();
+            debug_assert_eq!(frames.len(), 1);
+            if ack.try_send(frames[0]).is_ok() {
+                pending_ack = None;
+            }
+        }
+        let (source, head) = match hub.try_recv_from_any() {
+            Some(hit) => {
+                wait.reset();
+                hit
+            }
+            None => {
+                if primary_done && live_clients == 0 && pending_ack.is_none() {
+                    return report;
+                }
+                wait.snooze();
+                continue;
+            }
+        };
+        let decoded = Request::decode(head, || hub.recv_from_subset(&[source]).1);
+        if source == 0 {
+            // The primary's replication stream.
+            let entry = match decoded {
+                Ok(Request::Replicate {
+                    key,
+                    version,
+                    value,
+                }) => LogEntry {
+                    key,
+                    version,
+                    op: LogOp::Put(Bytes::from(value)),
+                },
+                Ok(Request::ReplicateDelete { key, version }) => LogEntry {
+                    key,
+                    version,
+                    op: LogOp::Delete,
+                },
+                Ok(Request::Stop) => {
+                    // Close any open fault window before shutdown.
+                    match std::mem::replace(&mut state, BackupState::Healthy) {
+                        BackupState::Stalled { buffered, .. } => {
+                            for entry in &buffered {
+                                apply(store, entry, &mut report, false);
+                            }
+                        }
+                        BackupState::Crashed { .. } => {
+                            for entry in &log.entries_after(report.hwm) {
+                                apply(store, entry, &mut report, true);
+                            }
+                        }
+                        BackupState::Healthy => {}
+                    }
+                    pending_ack = Some(report.hwm);
+                    primary_done = true;
+                    continue;
+                }
+                // The stream is internal to the group; anything else on
+                // it is a bug upstream, and ignoring it beats dying.
+                Ok(_) | Err(_) => continue,
+            };
+            entries_seen += 1;
+            if matches!(state, BackupState::Healthy)
+                && plan
+                    .events()
+                    .get(next_fault)
+                    .is_some_and(|ev| ev.at_entry <= entries_seen)
+            {
+                let event = plan.events()[next_fault];
+                next_fault += 1;
+                state = match event.kind {
+                    FaultKind::Stall => {
+                        report.stalls += 1;
+                        BackupState::Stalled {
+                            left: event.window,
+                            buffered: Vec::with_capacity(event.window as usize),
+                        }
+                    }
+                    FaultKind::Crash => {
+                        report.crashes += 1;
+                        BackupState::Crashed { left: event.window }
+                    }
+                };
+            }
+            match &mut state {
+                BackupState::Healthy => {
+                    apply(store, &entry, &mut report, false);
+                    pending_ack = Some(report.hwm);
+                }
+                BackupState::Stalled { left, buffered } => {
+                    buffered.push(entry);
+                    *left -= 1;
+                    if *left == 0 {
+                        let buffered = std::mem::take(buffered);
+                        for entry in &buffered {
+                            apply(store, entry, &mut report, false);
+                        }
+                        pending_ack = Some(report.hwm);
+                        state = BackupState::Healthy;
+                    }
+                }
+                BackupState::Crashed { left } => {
+                    // The entry hit the wire while we were "down":
+                    // received and lost.
+                    *left -= 1;
+                    if *left == 0 {
+                        // Reboot: replay everything missed from the
+                        // op-log, then rejoin the live stream (whose
+                        // in-flight duplicates the hwm gate drops).
+                        for entry in &log.entries_after(report.hwm) {
+                            apply(store, entry, &mut report, true);
+                        }
+                        pending_ack = Some(report.hwm);
+                        state = BackupState::Healthy;
+                    }
+                }
+            }
+        } else {
+            // A client's replica-read connection.
+            let client = source - 1;
+            let down = matches!(state, BackupState::Crashed { .. });
+            let refuse = |report: &mut ReplicaReport| {
+                report.refused_reads += 1;
+                store
+                    .stats()
+                    .replica_read_fallbacks
+                    .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+                send_all(
+                    &client_replies[client],
+                    &Response::Stale { hwm: report.hwm }.encode(),
+                );
+            };
+            match decoded {
+                Ok(Request::ReplGet { key, floor }) => {
+                    if down || report.hwm < floor {
+                        refuse(&mut report);
+                    } else {
+                        send_all(&client_replies[client], &lookup(store, key).encode());
+                    }
+                }
+                Ok(Request::ReplMultiGet { keys, floor }) => {
+                    if down || report.hwm < floor {
+                        // One Stale answers the whole batch.
+                        refuse(&mut report);
+                    } else {
+                        for key in keys {
+                            send_all(&client_replies[client], &lookup(store, key).encode());
+                        }
+                    }
+                }
+                Ok(Request::Stop) => live_clients -= 1,
+                // Backups serve only floor-guarded reads; anything
+                // else (including a corrupt frame) is refused.
+                Ok(_) | Err(_) => {
+                    send_all(&client_replies[client], &Response::Malformed.encode());
+                }
+            }
+        }
+    }
+}
+
+impl ReplClient {
+    /// Number of shards (replication groups) this client reaches.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Reads answered by a backup so far.
+    pub fn replica_serves(&self) -> u64 {
+        self.replica_serves.get()
+    }
+
+    /// Replica reads that bounced to the primary so far.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.get()
+    }
+
+    fn observe(&self, shard: usize, version: u64) {
+        let floor = &self.shards[shard].floor;
+        floor.set(floor.get().max(version));
+    }
+
+    fn roundtrip(conn: &Conn, request: &Request) -> Result<Response, WireError> {
+        send_all(&conn.0, &request.encode());
+        Self::read_response(conn)
+    }
+
+    fn read_response(conn: &Conn) -> Result<Response, WireError> {
+        let head = conn.1.recv();
+        Response::decode(head, || conn.1.recv())
+    }
+
+    /// Looks a key up, preferring a backup: round-robin over the
+    /// shard's replicas with the freshness floor attached, falling back
+    /// to the primary if the chosen backup is behind or down.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+        let shard = shard_of(key, self.shards.len());
+        let conn = &self.shards[shard];
+        if !conn.replicas.is_empty() {
+            let r = conn.rr.get() % conn.replicas.len();
+            conn.rr.set(conn.rr.get().wrapping_add(1));
+            let request = Request::ReplGet {
+                key,
+                floor: conn.floor.get(),
+            };
+            match Self::roundtrip(&conn.replicas[r], &request)? {
+                Response::Value { version, value } => {
+                    self.replica_serves.set(self.replica_serves.get() + 1);
+                    self.observe(shard, version);
+                    return Ok(Some((version, value)));
+                }
+                Response::Miss => {
+                    self.replica_serves.set(self.replica_serves.get() + 1);
+                    return Ok(None);
+                }
+                Response::Stale { .. } => {
+                    self.fallbacks.set(self.fallbacks.get() + 1);
+                }
+                Response::Malformed => return Err(WireError::Rejected),
+                _ => return Err(WireError::UnexpectedResponse("ReplGet")),
+            }
+        }
+        match Self::roundtrip(&conn.primary, &Request::Get { key })? {
+            Response::Value { version, value } => {
+                self.observe(shard, version);
+                Ok(Some((version, value)))
+            }
+            Response::Miss => Ok(None),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Get")),
+        }
+    }
+
+    /// Batched lookup. With backups, each shard's keys go out as *one*
+    /// wide, floor-guarded [`Request::ReplMultiGet`] per round (up to
+    /// [`REPL_MGET_MAX`] keys spill into continuation frames) to a
+    /// round-robin-chosen backup — one server visit bulk-reads the
+    /// whole shard's share, the round-trip economics replica reads
+    /// exist for. Shards proceed concurrently (one in-flight request
+    /// per shard); stale chunks retry at the primary in
+    /// [`MGET_MAX`]-sized slices. Without backups this degrades to the
+    /// plain per-shard multi-get rounds. Results come back in input
+    /// order.
+    ///
+    /// Deadlock discipline: every client holds at most one in-flight
+    /// request per shard and drains shards in index order — a shared
+    /// global order, so the waits-for graph over the 1-deep reply
+    /// channels cannot form a cycle (the lowest-indexed blocked shard
+    /// endpoint always has a drain-ready customer).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on the first undecodable or out-of-protocol reply.
+    pub fn get_many(&self, keys: &[u64]) -> Result<Vec<ReadHit>, WireError> {
+        let nshards = self.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        for (pos, &key) in keys.iter().enumerate() {
+            by_shard[shard_of(key, nshards)].push(pos);
+        }
+        let has_replicas = self.shards.iter().any(|c| !c.replicas.is_empty());
+        let chunk_size = if has_replicas {
+            REPL_MGET_MAX
+        } else {
+            MGET_MAX
+        };
+        let mut results: Vec<Option<(u64, Vec<u8>)>> = (0..keys.len()).map(|_| None).collect();
+        let rounds = by_shard
+            .iter()
+            .map(|positions| positions.len().div_ceil(chunk_size))
+            .max()
+            .unwrap_or(0);
+        for round in 0..rounds {
+            // Send phase: one chunk per shard, to a backup when one
+            // exists (rotated per call — safe, since each client has a
+            // single outstanding request per shard), else the primary.
+            let mut inflight: Vec<(usize, Option<usize>, &[usize])> = Vec::new();
+            for (shard, positions) in by_shard.iter().enumerate() {
+                let conn = &self.shards[shard];
+                let chunk = positions.chunks(chunk_size).nth(round).unwrap_or(&[]);
+                if chunk.is_empty() {
+                    continue;
+                }
+                let batch: Vec<u64> = chunk.iter().map(|&p| keys[p]).collect();
+                let target = if conn.replicas.is_empty() {
+                    None
+                } else {
+                    Some(conn.rr.get() % conn.replicas.len())
+                };
+                match target {
+                    Some(r) => {
+                        conn.rr.set(conn.rr.get().wrapping_add(1));
+                        send_all(
+                            &conn.replicas[r].0,
+                            &Request::ReplMultiGet {
+                                keys: batch,
+                                floor: conn.floor.get(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    None => send_all(&conn.primary.0, &Request::MultiGet { keys: batch }.encode()),
+                }
+                inflight.push((shard, target, chunk));
+            }
+            // Drain phase, in shard order; stale backup chunks collect
+            // for the primary retry pass.
+            let mut retries: Vec<(usize, &[usize])> = Vec::new();
+            for (shard, target, chunk) in inflight {
+                let conn = &self.shards[shard];
+                match target {
+                    None => {
+                        for &pos in chunk {
+                            results[pos] = self.take_read(shard, &conn.primary, "MultiGet")?;
+                        }
+                    }
+                    Some(r) => {
+                        let pair = &conn.replicas[r];
+                        // Peek the first response: `Stale` answers the
+                        // whole chunk with a single frame.
+                        let head = pair.1.recv();
+                        match Response::decode(head, || pair.1.recv())? {
+                            Response::Stale { .. } => {
+                                self.fallbacks.set(self.fallbacks.get() + 1);
+                                retries.push((shard, chunk));
+                            }
+                            Response::Value { version, value } => {
+                                self.replica_serves
+                                    .set(self.replica_serves.get() + chunk.len() as u64);
+                                self.observe(shard, version);
+                                results[chunk[0]] = Some((version, value));
+                                for &pos in &chunk[1..] {
+                                    results[pos] = self.take_read(shard, pair, "ReplMultiGet")?;
+                                }
+                            }
+                            Response::Miss => {
+                                self.replica_serves
+                                    .set(self.replica_serves.get() + chunk.len() as u64);
+                                results[chunk[0]] = None;
+                                for &pos in &chunk[1..] {
+                                    results[pos] = self.take_read(shard, pair, "ReplMultiGet")?;
+                                }
+                            }
+                            Response::Malformed => return Err(WireError::Rejected),
+                            _ => return Err(WireError::UnexpectedResponse("ReplMultiGet")),
+                        }
+                    }
+                }
+            }
+            // Retry pass: stale chunks re-fetch authoritatively from
+            // the primary, in one-line multi-get slices.
+            for (shard, chunk) in retries {
+                let conn = &self.shards[shard];
+                for slice in chunk.chunks(MGET_MAX) {
+                    let batch: Vec<u64> = slice.iter().map(|&p| keys[p]).collect();
+                    send_all(&conn.primary.0, &Request::MultiGet { keys: batch }.encode());
+                    for &pos in slice {
+                        results[pos] = self.take_read(shard, &conn.primary, "MultiGet")?;
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Reads one `Value`/`Miss` response off `conn`, updating the floor.
+    fn take_read(
+        &self,
+        shard: usize,
+        conn: &Conn,
+        context: &'static str,
+    ) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+        match Self::read_response(conn)? {
+            Response::Value { version, value } => {
+                self.observe(shard, version);
+                Ok(Some((version, value)))
+            }
+            Response::Miss => Ok(None),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse(context)),
+        }
+    }
+
+    /// Stores a value at the shard's primary; returns its new version.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn set(&self, key: u64, value: Vec<u8>) -> Result<u64, WireError> {
+        let shard = shard_of(key, self.shards.len());
+        match Self::roundtrip(&self.shards[shard].primary, &Request::Set { key, value })? {
+            Response::Stored { version } => {
+                self.observe(shard, version);
+                Ok(version)
+            }
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Set")),
+        }
+    }
+
+    /// Compare-and-set at the shard's primary; the inner result is the
+    /// CAS outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn cas(
+        &self,
+        key: u64,
+        value: Vec<u8>,
+        expected: u64,
+    ) -> Result<Result<u64, u64>, WireError> {
+        let shard = shard_of(key, self.shards.len());
+        let request = Request::Cas {
+            key,
+            expected,
+            value,
+        };
+        match Self::roundtrip(&self.shards[shard].primary, &request)? {
+            Response::Stored { version } => {
+                self.observe(shard, version);
+                Ok(Ok(version))
+            }
+            Response::CasFail { current } => Ok(Err(current)),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Cas")),
+        }
+    }
+
+    /// Deletes a key at the shard's primary; `Some(tombstone_version)`
+    /// if it existed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn delete(&self, key: u64) -> Result<Option<u64>, WireError> {
+        let shard = shard_of(key, self.shards.len());
+        match Self::roundtrip(&self.shards[shard].primary, &Request::Delete { key })? {
+            Response::Deleted { version } => {
+                self.observe(shard, version);
+                Ok(Some(version))
+            }
+            Response::NotFound => Ok(None),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Delete")),
+        }
+    }
+
+    /// Tells every primary and backup this client is done, consuming
+    /// the client.
+    pub fn close(self) {
+        let stop = Request::Stop.encode();
+        for conn in &self.shards {
+            send_all(&conn.primary.0, &stop);
+            for replica in &conn.replicas {
+                send_all(&replica.0, &stop);
+            }
+        }
+    }
+}
+
+impl KvClient for ReplClient {
+    fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+        ReplClient::get(self, key)
+    }
+
+    fn get_many(&self, keys: &[u64]) -> Result<Vec<ReadHit>, WireError> {
+        ReplClient::get_many(self, keys)
+    }
+
+    fn set(&self, key: u64, value: Vec<u8>) -> Result<u64, WireError> {
+        ReplClient::set(self, key, value)
+    }
+
+    fn cas(&self, key: u64, value: Vec<u8>, expected: u64) -> Result<Result<u64, u64>, WireError> {
+        ReplClient::cas(self, key, value, expected)
+    }
+
+    fn delete(&self, key: u64) -> Result<Option<u64>, WireError> {
+        ReplClient::delete(self, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultEvent, FaultKind};
+    use ssync_locks::TicketLock;
+
+    /// Spins up a full replication deployment, runs `body` with the
+    /// clients, and returns the cluster for post-mortem checks.
+    fn with_replicated<F>(
+        mut cluster: ReplCluster<TicketLock>,
+        clients: usize,
+        plans: &[FaultPlan],
+        preload: u64,
+        body: F,
+    ) -> ReplCluster<TicketLock>
+    where
+        F: FnOnce(Vec<ReplClient>) + Send,
+    {
+        for key in 0..preload {
+            cluster.preload(key, &key.to_be_bytes());
+        }
+        let shards = cluster.num_shards();
+        let replicas = cluster.spec().replicas;
+        let mode = cluster.spec().mode;
+        let (primaries, backups, repl_clients) = repl_mesh(shards, replicas, clients);
+        std::thread::scope(|s| {
+            for (shard, endpoint) in primaries.into_iter().enumerate() {
+                let store = cluster.primary().shard(shard);
+                let log = cluster.log(shard).clone();
+                let hwm = cluster.preload_hwm(shard);
+                s.spawn(move || serve_primary(store, &log, endpoint, mode, hwm));
+            }
+            for (shard, shard_backups) in backups.into_iter().enumerate() {
+                for (r, endpoint) in shard_backups.into_iter().enumerate() {
+                    let store = cluster.replica_set(r).shard(shard);
+                    let log = cluster.log(shard).clone();
+                    let hwm = cluster.preload_hwm(shard);
+                    let plan = plans.get(shard * replicas + r).cloned().unwrap_or_default();
+                    s.spawn(move || serve_replica(store, &log, endpoint, &plan, hwm));
+                }
+            }
+            body(repl_clients);
+        });
+        cluster
+    }
+
+    #[test]
+    fn sync_mode_reads_own_writes_from_replicas() {
+        let cluster = ReplCluster::new(2, 64, 8, ReplSpec::sync(2));
+        let cluster = with_replicated(cluster, 1, &[], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            for key in 0..40u64 {
+                let v = client.set(key, format!("v{key}").into_bytes()).unwrap();
+                // Round-robin guarantees this read lands on a backup;
+                // sync mode guarantees it sees the write anyway.
+                let (version, value) = client.get(key).unwrap().unwrap();
+                assert_eq!(version, v);
+                assert_eq!(value, format!("v{key}").into_bytes());
+            }
+            // Every read was served by a backup: sync mode never
+            // bounces.
+            assert_eq!(client.fallbacks(), 0);
+            assert_eq!(client.replica_serves(), 40);
+            client.close();
+        });
+        assert!(cluster.converged());
+        // Each backup applied each write exactly once: 40 writes × 2
+        // backup sets.
+        assert_eq!(cluster.replica_stats_snapshot().repl_applied, 80);
+    }
+
+    #[test]
+    fn async_mode_floor_guard_bounces_stale_reads_to_primary() {
+        let spec = ReplSpec {
+            replicas: 1,
+            mode: ReplMode::Async { max_lag: 32 },
+            log_capacity: 256,
+        };
+        // A stall window makes the single backup provably behind while
+        // the client keeps writing and reading.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at_entry: 1,
+            kind: FaultKind::Stall,
+            window: 20,
+        }]);
+        let cluster = ReplCluster::new(1, 64, 8, spec);
+        let cluster = with_replicated(cluster, 1, &[plan], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            let mut fallbacks_seen = 0;
+            for key in 0..30u64 {
+                let v = client.set(key, vec![key as u8; 8]).unwrap();
+                let before = client.fallbacks();
+                let (version, value) = client.get(key).unwrap().unwrap();
+                // Correctness despite the stalled backup: the floor
+                // guard rejects stale data, the primary answers.
+                assert_eq!(version, v);
+                assert_eq!(value, vec![key as u8; 8]);
+                fallbacks_seen += client.fallbacks() - before;
+            }
+            // The stall window covers the first 20 entries, so early
+            // reads must have bounced.
+            assert!(fallbacks_seen > 0, "stalled backup never bounced a read");
+            client.close();
+        });
+        assert!(cluster.converged());
+    }
+
+    #[test]
+    fn crashed_backup_catches_up_from_the_log() {
+        let spec = ReplSpec {
+            replicas: 1,
+            mode: ReplMode::Async { max_lag: 16 },
+            log_capacity: 256,
+        };
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at_entry: 3,
+            kind: FaultKind::Crash,
+            window: 4,
+        }]);
+        let cluster = ReplCluster::new(1, 64, 8, spec);
+        let cluster = with_replicated(cluster, 1, &[plan], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            for key in 0..10u64 {
+                client.set(key, key.to_be_bytes().to_vec()).unwrap();
+            }
+            client.close();
+        });
+        // Entries 3..=6 were lost on the wire and replayed from the
+        // op-log; the backup ends byte-identical regardless.
+        assert!(cluster.converged());
+        let snap = cluster.replica_stats_snapshot();
+        assert_eq!(snap.repl_applied, 10, "all 10 writes applied exactly once");
+    }
+
+    #[test]
+    fn crash_over_delete_does_not_resurrect_the_key() {
+        // The scenario the stream-order gate exists for: a put and its
+        // key's later tombstone both fall inside a crash window; the
+        // log replay applies both in order, and the in-flight
+        // duplicates that follow must not bring the key back.
+        let spec = ReplSpec {
+            replicas: 1,
+            mode: ReplMode::Async { max_lag: 16 },
+            log_capacity: 256,
+        };
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at_entry: 2,
+            kind: FaultKind::Crash,
+            window: 2,
+        }]);
+        let cluster = ReplCluster::new(1, 64, 8, spec);
+        let cluster = with_replicated(cluster, 1, &[plan], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            client.set(1, b"a".to_vec()).unwrap(); // entry 1
+            client.set(2, b"b".to_vec()).unwrap(); // entry 2: crash opens
+            client.delete(2).unwrap(); // entry 3: tombstone, in-window
+            client.set(3, b"c".to_vec()).unwrap(); // entry 4: post-reboot
+            client.close();
+        });
+        assert!(cluster.converged());
+        assert!(cluster.replica_set(0).shard(0).get(&key_bytes(2)).is_none());
+    }
+
+    #[test]
+    fn fanned_out_multi_get_returns_input_order() {
+        let cluster = ReplCluster::new(2, 64, 8, ReplSpec::sync(2));
+        let cluster = with_replicated(cluster, 1, &[], 64, |mut clients| {
+            let client = clients.pop().unwrap();
+            // 40 present keys + 10 misses, shuffled across shards;
+            // chunks fan out over 3 endpoints per shard.
+            let keys: Vec<u64> = (0..50).map(|i| if i < 40 { i } else { i + 100 }).collect();
+            let results = client.get_many(&keys).unwrap();
+            for (i, res) in results.iter().enumerate() {
+                if i < 40 {
+                    let (_, value) = res.as_ref().expect("present key");
+                    assert_eq!(value.as_slice(), &(i as u64).to_be_bytes());
+                } else {
+                    assert!(res.is_none(), "key {} should miss", keys[i]);
+                }
+            }
+            // With fresh sync replicas, most chunks are served by
+            // backups.
+            assert!(client.replica_serves() > 0);
+            client.close();
+        });
+        assert!(cluster.converged());
+    }
+
+    /// Regression test for a cross-client deadlock: two clients
+    /// fanning batched reads over the same two backups used to assign
+    /// chunks round-robin *per client*, so they could drain the
+    /// backups in opposite orders — with 1-deep reply channels and
+    /// multi-frame replies, replica A blocked sending to client 1
+    /// (draining replica B first) while replica B blocked sending to
+    /// client 2 (draining replica A first). The fixed global endpoint
+    /// order makes the waits-for graph acyclic; this test hammers the
+    /// exact shape that used to wedge (skewed batches, long values,
+    /// concurrent clients).
+    #[test]
+    fn concurrent_batched_fanout_cannot_deadlock() {
+        let cluster = ReplCluster::new(2, 256, 16, ReplSpec::sync(2));
+        let cluster = with_replicated(cluster, 2, &[], 512, |clients| {
+            std::thread::scope(|s| {
+                for (c, client) in clients.into_iter().enumerate() {
+                    s.spawn(move || {
+                        // Zipf-like repetition: hot keys recur within
+                        // a batch, skewing chunks onto one shard.
+                        for i in 0..60u64 {
+                            let keys: Vec<u64> =
+                                (0..24).map(|j| (i * 7 + j * j + c as u64) % 512).collect();
+                            let results = client.get_many(&keys).unwrap();
+                            for (j, res) in results.iter().enumerate() {
+                                let (_, value) = res.as_ref().expect("preloaded key");
+                                assert_eq!(value.as_slice(), &keys[j].to_be_bytes());
+                            }
+                        }
+                        client.close();
+                    });
+                }
+            });
+        });
+        assert!(cluster.converged());
+    }
+
+    #[test]
+    fn zero_replicas_degenerates_to_the_plain_service() {
+        let cluster = ReplCluster::new(2, 64, 8, ReplSpec::async_bounded(0));
+        let cluster = with_replicated(cluster, 2, &[], 0, |clients| {
+            std::thread::scope(|s| {
+                for (c, client) in clients.into_iter().enumerate() {
+                    s.spawn(move || {
+                        let base = c as u64 * 1000;
+                        for i in 0..50 {
+                            client.set(base + i, vec![c as u8; 16]).unwrap();
+                            let (_, value) = client.get(base + i).unwrap().unwrap();
+                            assert_eq!(value, vec![c as u8; 16]);
+                        }
+                        assert_eq!(client.replica_serves(), 0);
+                        client.close();
+                    });
+                }
+            });
+        });
+        assert!(cluster.converged(), "no replicas is trivially converged");
+        assert_eq!(cluster.primary().len(), 100);
+        // Nothing was ever logged: no backup could consume it.
+        assert!(cluster.log(0).is_empty() && cluster.log(1).is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_at_primary_and_backup_get_refused() {
+        let cluster = ReplCluster::new(1, 64, 8, ReplSpec::sync(1));
+        with_replicated(cluster, 1, &[], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            client.set(1, b"x".to_vec()).unwrap();
+            // Garbage straight at the primary.
+            let conn = &client.shards[0];
+            conn.primary.0.send([0xEE; ssync_mp::MSG_WORDS]);
+            let head = conn.primary.1.recv();
+            assert_eq!(
+                Response::decode(head, || unreachable!()).unwrap(),
+                Response::Malformed
+            );
+            // A plain Get at a backup is out of protocol there.
+            send_all(&conn.replicas[0].0, &Request::Get { key: 1 }.encode());
+            let head = conn.replicas[0].1.recv();
+            assert_eq!(
+                Response::decode(head, || unreachable!()).unwrap(),
+                Response::Malformed
+            );
+            // Both servers still alive.
+            assert!(client.get(1).unwrap().is_some());
+            client.close();
+        });
+    }
+}

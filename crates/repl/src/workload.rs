@@ -1,0 +1,335 @@
+//! The replicated closed-loop driver: the `ssync-srv` workload engine
+//! (seeded key distributions, YCSB mixes, deterministic op streams)
+//! pointed at a replication group, plus deterministic fault injection.
+//!
+//! Issued op counts are a pure function of `(spec, workers,
+//! ops_per_worker)` exactly as in the unreplicated driver, and fault
+//! schedules are a pure function of the fault seed and entry indices —
+//! so a faulty run *replays*: same stalls, same crashes, same
+//! catch-ups, same final convergence.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ssync_kv::StatsSnapshot;
+use ssync_locks::RawLock;
+use ssync_srv::workload::{drive_worker, OpCounts, OpStream, Tally, WorkloadSpec};
+
+use crate::fault::FaultSpec;
+use crate::service::{
+    repl_mesh, serve_primary, serve_replica, PrimaryReport, ReplCluster, ReplMode, ReplicaReport,
+};
+
+/// What a replicated workload run measured.
+#[derive(Debug, Clone, Default)]
+pub struct ReplReport {
+    /// Operations issued, by type — deterministic per `(spec, workers,
+    /// ops_per_worker)`.
+    pub issued: OpCounts,
+    /// Client-observed read hits.
+    pub hits: u64,
+    /// Client-observed read misses.
+    pub misses: u64,
+    /// CAS attempts that stored.
+    pub cas_ok: u64,
+    /// CAS attempts that lost.
+    pub cas_fail: u64,
+    /// Deletes that removed a key.
+    pub deleted: u64,
+    /// Reads answered by a backup (client-side count).
+    pub replica_serves: u64,
+    /// Replica reads that bounced to the primary (client-side count;
+    /// load-dependent in async mode, 0 in sync mode without faults).
+    pub fallbacks: u64,
+    /// Wall time of the measure phase.
+    pub wall: Duration,
+    /// Primary-store counter deltas over the measure phase.
+    pub primary_store: StatsSnapshot,
+    /// Backup-store counter deltas, merged over every backup.
+    pub replica_store: StatsSnapshot,
+    /// Per-shard primary server reports.
+    pub primaries: Vec<PrimaryReport>,
+    /// Per-`(shard, replica)` backup reports.
+    pub replicas: Vec<ReplicaReport>,
+    /// Replication entries logged and streamed, summed over shards.
+    pub entries: u64,
+    /// Crash windows taken across all backups.
+    pub crashes: u64,
+    /// Stall windows taken across all backups.
+    pub stalls: u64,
+    /// Entries replayed from op-logs during crash catch-ups.
+    pub from_log: u64,
+    /// Did every backup converge to its primary's exact contents?
+    pub converged: bool,
+}
+
+impl ReplReport {
+    /// Key-operations per wall-second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.issued.total() as f64 / s
+    }
+
+    /// Fraction of reads that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let reads = self.hits + self.misses;
+        if reads == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / reads as f64
+    }
+}
+
+/// Runs the full replicated closed-loop experiment: preload every key
+/// on the primary *and* every backup, spawn one primary thread per
+/// shard, `replicas` backup threads per shard, and `workers` client
+/// threads, drive `ops_per_worker` key-operations per client, shut the
+/// groups down (final-ack handshake), and report — including whether
+/// every backup converged.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, or if `faults` schedules anything in
+/// sync mode or with windows at/above the async lag bound (both are
+/// deadlocks by construction: a primary blocked waiting for an ack
+/// cannot deliver the entries that would close an entry-indexed fault
+/// window).
+pub fn run_replicated_closed_loop<R: RawLock + Default>(
+    cluster: &mut ReplCluster<R>,
+    spec: &WorkloadSpec,
+    workers: usize,
+    ops_per_worker: u64,
+    faults: &FaultSpec,
+) -> ReplReport {
+    assert!(workers > 0);
+    let shards = cluster.num_shards();
+    let nreplicas = cluster.spec().replicas;
+    let mode = cluster.spec().mode;
+    if !faults.is_none() {
+        match mode {
+            ReplMode::Sync => panic!(
+                "fault injection requires async mode: a sync primary blocks on the ack a \
+                 faulted backup is deliberately withholding"
+            ),
+            ReplMode::Async { max_lag } => assert!(
+                faults.max_window < max_lag,
+                "fault windows ({}) must stay below the lag bound ({max_lag}); a primary \
+                 stalled on the bound cannot deliver the entries that close a window",
+                faults.max_window
+            ),
+        }
+    }
+
+    // Preload: every key present everywhere, logs empty, backups at
+    // the preload high-water mark.
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    for key in 0..spec.keys {
+        let len = spec.vsize.sample(&mut rng);
+        let value: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        cluster.preload(key, &value);
+    }
+    let primary_before = cluster.primary().stats_snapshot();
+    let replica_before = cluster.replica_stats_snapshot();
+
+    let (primary_endpoints, replica_endpoints, clients) = repl_mesh(shards, nreplicas, workers);
+    let plans: Vec<Vec<crate::fault::FaultPlan>> = (0..shards)
+        .map(|s| (0..nreplicas).map(|r| faults.plan_for(s, r)).collect())
+        .collect();
+
+    let start = Instant::now();
+    let mut primaries: Vec<PrimaryReport> = Vec::with_capacity(shards);
+    let mut replicas: Vec<ReplicaReport> = Vec::with_capacity(shards * nreplicas);
+    let mut tallies: Vec<(Tally, u64, u64)> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut primary_handles = Vec::with_capacity(shards);
+        let mut replica_handles = Vec::with_capacity(shards * nreplicas);
+        for (shard, endpoint) in primary_endpoints.into_iter().enumerate() {
+            let store = cluster.primary().shard(shard);
+            let log = cluster.log(shard).clone();
+            let hwm = cluster.preload_hwm(shard);
+            primary_handles.push(s.spawn(move || serve_primary(store, &log, endpoint, mode, hwm)));
+        }
+        for (shard, backups) in replica_endpoints.into_iter().enumerate() {
+            for (r, endpoint) in backups.into_iter().enumerate() {
+                let store = cluster.replica_set(r).shard(shard);
+                let log = cluster.log(shard).clone();
+                let hwm = cluster.preload_hwm(shard);
+                let plan = plans[shard][r].clone();
+                replica_handles
+                    .push(s.spawn(move || serve_replica(store, &log, endpoint, &plan, hwm)));
+            }
+        }
+        let worker_handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(worker, client)| {
+                let stream = OpStream::new(spec, worker as u64);
+                s.spawn(move || {
+                    let tally = drive_worker(&client, stream, ops_per_worker);
+                    let serves = client.replica_serves();
+                    let fallbacks = client.fallbacks();
+                    client.close();
+                    (tally, serves, fallbacks)
+                })
+            })
+            .collect();
+        tallies.extend(
+            worker_handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+        primaries.extend(
+            primary_handles
+                .into_iter()
+                .map(|h| h.join().expect("primary panicked")),
+        );
+        replicas.extend(
+            replica_handles
+                .into_iter()
+                .map(|h| h.join().expect("backup panicked")),
+        );
+    });
+    let wall = start.elapsed();
+
+    let mut report = ReplReport {
+        wall,
+        primary_store: cluster.primary().stats_snapshot().delta(&primary_before),
+        replica_store: cluster.replica_stats_snapshot().delta(&replica_before),
+        converged: cluster.converged(),
+        ..ReplReport::default()
+    };
+    for (tally, serves, fallbacks) in tallies {
+        report.issued = report.issued.merge(&tally.issued);
+        report.hits += tally.hits;
+        report.misses += tally.misses;
+        report.cas_ok += tally.cas_ok;
+        report.cas_fail += tally.cas_fail;
+        report.deleted += tally.deleted;
+        report.replica_serves += serves;
+        report.fallbacks += fallbacks;
+    }
+    for p in &primaries {
+        report.entries += p.entries;
+    }
+    for r in &replicas {
+        report.crashes += r.crashes;
+        report.stalls += r.stalls;
+        report.from_log += r.from_log;
+    }
+    report.primaries = primaries;
+    report.replicas = replicas;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ReplSpec;
+    use ssync_locks::TicketLock;
+    use ssync_srv::workload::{KeyDist, Mix, ValueSize};
+
+    fn small_spec(mix: Mix) -> WorkloadSpec {
+        WorkloadSpec {
+            keys: 128,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix,
+            vsize: ValueSize::Fixed(24),
+            batch: 1,
+            seed: 0xD00F,
+        }
+    }
+
+    #[test]
+    fn replicated_runs_replay_exactly_including_faults() {
+        let faults = FaultSpec {
+            seed: 77,
+            faults_per_replica: 2,
+            max_window: 6,
+            spacing: 10,
+        };
+        let run = || {
+            let mut cluster: ReplCluster<TicketLock> =
+                ReplCluster::new(2, 64, 8, ReplSpec::async_bounded(2));
+            // One worker: the op-log contents are then deterministic,
+            // so entry-indexed faults replay exactly.
+            run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 400, &faults)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.entries, b.entries);
+        assert_eq!((a.crashes, a.stalls), (b.crashes, b.stalls));
+        assert_eq!(a.from_log, b.from_log);
+        assert!(a.converged && b.converged);
+        assert!(a.crashes + a.stalls > 0, "the schedule must actually fire");
+    }
+
+    #[test]
+    fn churn_with_faults_still_converges() {
+        let faults = FaultSpec {
+            seed: 3,
+            faults_per_replica: 3,
+            max_window: 8,
+            spacing: 12,
+        };
+        let mut cluster: ReplCluster<TicketLock> =
+            ReplCluster::new(2, 64, 8, ReplSpec::async_bounded(2));
+        let report =
+            run_replicated_closed_loop(&mut cluster, &small_spec(Mix::CHURN), 1, 500, &faults);
+        assert!(report.converged, "deletes + crashes must still converge");
+        assert!(report.issued.deletes > 0 && report.issued.cas > 0);
+    }
+
+    #[test]
+    fn sync_mode_never_bounces_a_single_clients_reads() {
+        // One worker on purpose: with concurrent clients a read can
+        // legitimately bounce (another client's write visible at one
+        // backup before the other acked); for a single client, zero
+        // fallbacks is a real sync-mode invariant.
+        let mut cluster: ReplCluster<TicketLock> = ReplCluster::new(2, 64, 8, ReplSpec::sync(2));
+        let report = run_replicated_closed_loop(
+            &mut cluster,
+            &small_spec(Mix::YCSB_B),
+            1,
+            600,
+            &FaultSpec::none(),
+        );
+        assert_eq!(report.fallbacks, 0);
+        assert!(report.replica_serves > 0);
+        assert!(report.converged);
+        // Preloaded keyspace, no deletes: every read hits.
+        assert_eq!(report.misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection requires async mode")]
+    fn faults_in_sync_mode_are_rejected() {
+        let faults = FaultSpec {
+            seed: 1,
+            faults_per_replica: 1,
+            max_window: 4,
+            spacing: 8,
+        };
+        let mut cluster: ReplCluster<TicketLock> = ReplCluster::new(1, 64, 8, ReplSpec::sync(1));
+        let _ = run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 10, &faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "must stay below the lag bound")]
+    fn oversized_fault_windows_are_rejected() {
+        let faults = FaultSpec {
+            seed: 1,
+            faults_per_replica: 1,
+            max_window: 64,
+            spacing: 8,
+        };
+        let mut cluster: ReplCluster<TicketLock> =
+            ReplCluster::new(1, 64, 8, ReplSpec::async_bounded(1));
+        let _ = run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 10, &faults);
+    }
+}

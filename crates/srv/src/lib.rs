@@ -37,8 +37,8 @@
 //!         s.spawn(move || serve(store, endpoint));
 //!     }
 //!     let client = clients.pop().unwrap();
-//!     let version = client.set(7, b"value".to_vec());
-//!     let (v, value) = client.get(7).unwrap();
+//!     let version = client.set(7, b"value".to_vec()).expect("wire error");
+//!     let (v, value) = client.get(7).expect("wire error").unwrap();
 //!     assert_eq!((v, value.as_slice()), (version, b"value".as_slice()));
 //!     client.close();
 //! });
@@ -50,6 +50,6 @@ pub mod wire;
 pub mod workload;
 
 pub use router::{shard_of, ShardRouter};
-pub use service::{serve, wire_mesh, ServiceClient};
-pub use wire::{Request, Response};
+pub use service::{serve, wire_mesh, KvClient, ServiceClient};
+pub use wire::{Request, Response, WireError};
 pub use workload::{KeyDist, Mix, Op, OpStream, ValueSize, WorkloadReport, WorkloadSpec};

@@ -20,7 +20,7 @@ use ssync_locks::RawLock;
 use ssync_mp::{channel, Receiver, Sender, ServerHub};
 
 use crate::router::{key_bytes, shard_of};
-use crate::wire::{Request, Response, MGET_MAX};
+use crate::wire::{Request, Response, WireError, MGET_MAX};
 
 /// A shard server's side of the channel mesh: one request receiver and
 /// one reply sender per client, index-aligned.
@@ -33,6 +33,50 @@ pub struct ServerEndpoint {
 /// receiver)` pair per shard.
 pub struct ServiceClient {
     shards: Vec<(Sender, Receiver)>,
+}
+
+/// One read's outcome: `Some((version, value))` on a hit.
+pub type ReadHit = Option<(u64, Vec<u8>)>;
+
+/// The operations any service client exposes — implemented by
+/// [`ServiceClient`] and by the replication layer's replica-reading
+/// client, so the workload engine can drive either through one
+/// interface.
+pub trait KvClient {
+    /// Looks a key up; `Some((version, value))` on a hit.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError>;
+
+    /// Batched lookup, results in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    fn get_many(&self, keys: &[u64]) -> Result<Vec<ReadHit>, WireError>;
+
+    /// Stores a value; returns its new CAS version.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    fn set(&self, key: u64, value: Vec<u8>) -> Result<u64, WireError>;
+
+    /// Compare-and-set; the inner result is the CAS outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    fn cas(&self, key: u64, value: Vec<u8>, expected: u64) -> Result<Result<u64, u64>, WireError>;
+
+    /// Deletes a key; `Some(tombstone_version)` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    fn delete(&self, key: u64) -> Result<Option<u64>, WireError>;
 }
 
 /// Builds the full channel mesh for `shards` servers × `clients`
@@ -72,11 +116,18 @@ pub struct ServeReport {
     pub requests: u64,
     /// Key-operations executed (a multi-get counts per key).
     pub key_ops: u64,
+    /// Head frames that failed to decode and were answered with
+    /// [`Response::Malformed`] instead of executing.
+    pub malformed: u64,
 }
 
 /// Runs one shard's server loop: serve requests from every client
 /// until each has sent [`Request::Stop`]. Meant to run on its own
 /// thread; returns once the last client stops.
+///
+/// A head frame that fails to decode is answered with
+/// [`Response::Malformed`] and the loop keeps serving — a corrupt
+/// frame degrades one connection, it does not take the shard down.
 pub fn serve<R: RawLock + Default>(shard: &KvStore<R>, endpoint: ServerEndpoint) -> ServeReport {
     let ServerEndpoint { requests, replies } = endpoint;
     let mut live = requests.len();
@@ -84,7 +135,16 @@ pub fn serve<R: RawLock + Default>(shard: &KvStore<R>, endpoint: ServerEndpoint)
     let mut report = ServeReport::default();
     while live > 0 {
         let (client, head) = hub.recv_from_any();
-        let request = Request::decode(head, || hub.recv_from_subset(&[client]).1);
+        let request = match Request::decode(head, || hub.recv_from_subset(&[client]).1) {
+            Ok(request) => request,
+            Err(_) => {
+                report.malformed += 1;
+                for frame in Response::Malformed.encode() {
+                    replies[client].send(frame);
+                }
+                continue;
+            }
+        };
         if matches!(request, Request::Stop) {
             live -= 1;
             continue;
@@ -141,12 +201,18 @@ fn execute<R: RawLock + Default>(
         }
         Request::Delete { key } => {
             *key_ops += 1;
-            vec![if shard.delete(&key_bytes(key)) {
-                Response::Deleted
-            } else {
-                Response::NotFound
+            vec![match shard.delete_versioned(&key_bytes(key)) {
+                Some(version) => Response::Deleted { version },
+                None => Response::NotFound,
             }]
         }
+        // Replication traffic belongs to the `ssync-repl` primary and
+        // replica loops; at a plain shard server it is a protocol
+        // violation, refused without executing anything.
+        Request::Replicate { .. }
+        | Request::ReplicateDelete { .. }
+        | Request::ReplGet { .. }
+        | Request::ReplMultiGet { .. } => vec![Response::Malformed],
         Request::Stop => unreachable!("Stop is handled by the serve loop"),
     }
 }
@@ -159,7 +225,7 @@ impl ServiceClient {
 
     /// One blocking round-trip to a shard: send every request frame,
     /// then read one response.
-    fn call(&self, shard: usize, request: &Request) -> Response {
+    fn call(&self, shard: usize, request: &Request) -> Result<Response, WireError> {
         let (tx, _) = &self.shards[shard];
         for frame in request.encode() {
             tx.send(frame);
@@ -167,19 +233,25 @@ impl ServiceClient {
         self.read_response(shard)
     }
 
-    fn read_response(&self, shard: usize) -> Response {
+    fn read_response(&self, shard: usize) -> Result<Response, WireError> {
         let (_, rx) = &self.shards[shard];
         let head = rx.recv();
         Response::decode(head, || rx.recv())
     }
 
     /// Looks a key up; `Some((version, value))` on a hit.
-    pub fn get(&self, key: u64) -> Option<(u64, Vec<u8>)> {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the reply fails to decode, answers a different
+    /// request, or the server rejected the request as malformed.
+    pub fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
         let shard = shard_of(key, self.shards.len());
-        match self.call(shard, &Request::Get { key }) {
-            Response::Value { version, value } => Some((version, value)),
-            Response::Miss => None,
-            other => panic!("protocol violation: {other:?} in reply to Get"),
+        match self.call(shard, &Request::Get { key })? {
+            Response::Value { version, value } => Ok(Some((version, value))),
+            Response::Miss => Ok(None),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Get")),
         }
     }
 
@@ -187,7 +259,11 @@ impl ServiceClient {
     /// multi-get per shard per round (the batching the service exists
     /// for), returning results in input order. Keys beyond
     /// [`MGET_MAX`] per shard take additional rounds.
-    pub fn get_many(&self, keys: &[u64]) -> Vec<Option<(u64, Vec<u8>)>> {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on the first undecodable or out-of-protocol reply.
+    pub fn get_many(&self, keys: &[u64]) -> Result<Vec<ReadHit>, WireError> {
         let shards = self.shards.len();
         // Input positions grouped by shard, then chunked into rounds.
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
@@ -218,28 +294,45 @@ impl ServiceClient {
             // Phase 2: drain every shard's replies, in key order.
             for (shard, chunk) in sent.into_iter().enumerate() {
                 for &pos in chunk {
-                    results[pos] = match self.read_response(shard) {
+                    results[pos] = match self.read_response(shard)? {
                         Response::Value { version, value } => Some((version, value)),
                         Response::Miss => None,
-                        other => panic!("protocol violation: {other:?} in reply to MultiGet"),
+                        Response::Malformed => return Err(WireError::Rejected),
+                        _ => return Err(WireError::UnexpectedResponse("MultiGet")),
                     };
                 }
             }
         }
-        results
+        Ok(results)
     }
 
     /// Stores a value; returns its new CAS version.
-    pub fn set(&self, key: u64, value: Vec<u8>) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn set(&self, key: u64, value: Vec<u8>) -> Result<u64, WireError> {
         let shard = shard_of(key, self.shards.len());
-        match self.call(shard, &Request::Set { key, value }) {
-            Response::Stored { version } => version,
-            other => panic!("protocol violation: {other:?} in reply to Set"),
+        match self.call(shard, &Request::Set { key, value })? {
+            Response::Stored { version } => Ok(version),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Set")),
         }
     }
 
-    /// Compare-and-set; `Err(current_version)` on a lost race.
-    pub fn cas(&self, key: u64, value: Vec<u8>, expected: u64) -> Result<u64, u64> {
+    /// Compare-and-set. The outer `Result` is transport health; the
+    /// inner one is the CAS outcome, `Err(current_version)` on a lost
+    /// race.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn cas(
+        &self,
+        key: u64,
+        value: Vec<u8>,
+        expected: u64,
+    ) -> Result<Result<u64, u64>, WireError> {
         let shard = shard_of(key, self.shards.len());
         match self.call(
             shard,
@@ -248,20 +341,26 @@ impl ServiceClient {
                 expected,
                 value,
             },
-        ) {
-            Response::Stored { version } => Ok(version),
-            Response::CasFail { current } => Err(current),
-            other => panic!("protocol violation: {other:?} in reply to Cas"),
+        )? {
+            Response::Stored { version } => Ok(Ok(version)),
+            Response::CasFail { current } => Ok(Err(current)),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Cas")),
         }
     }
 
-    /// Deletes a key; true if it existed.
-    pub fn delete(&self, key: u64) -> bool {
+    /// Deletes a key; `Some(tombstone_version)` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    pub fn delete(&self, key: u64) -> Result<Option<u64>, WireError> {
         let shard = shard_of(key, self.shards.len());
-        match self.call(shard, &Request::Delete { key }) {
-            Response::Deleted => true,
-            Response::NotFound => false,
-            other => panic!("protocol violation: {other:?} in reply to Delete"),
+        match self.call(shard, &Request::Delete { key })? {
+            Response::Deleted { version } => Ok(Some(version)),
+            Response::NotFound => Ok(None),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Delete")),
         }
     }
 
@@ -273,6 +372,28 @@ impl ServiceClient {
                 tx.send(frame);
             }
         }
+    }
+}
+
+impl KvClient for ServiceClient {
+    fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+        ServiceClient::get(self, key)
+    }
+
+    fn get_many(&self, keys: &[u64]) -> Result<Vec<ReadHit>, WireError> {
+        ServiceClient::get_many(self, keys)
+    }
+
+    fn set(&self, key: u64, value: Vec<u8>) -> Result<u64, WireError> {
+        ServiceClient::set(self, key, value)
+    }
+
+    fn cas(&self, key: u64, value: Vec<u8>, expected: u64) -> Result<Result<u64, u64>, WireError> {
+        ServiceClient::cas(self, key, value, expected)
+    }
+
+    fn delete(&self, key: u64) -> Result<Option<u64>, WireError> {
+        ServiceClient::delete(self, key)
     }
 }
 
@@ -303,14 +424,15 @@ mod tests {
     fn end_to_end_single_client() {
         let router = with_service(2, 1, |mut clients| {
             let client = clients.pop().unwrap();
-            assert!(client.get(1).is_none());
-            let v1 = client.set(1, b"one".to_vec());
-            let (v, value) = client.get(1).unwrap();
+            assert!(client.get(1).unwrap().is_none());
+            let v1 = client.set(1, b"one".to_vec()).unwrap();
+            let (v, value) = client.get(1).unwrap().unwrap();
             assert_eq!((v, value.as_slice()), (v1, b"one".as_slice()));
-            let v2 = client.cas(1, b"two".to_vec(), v1).unwrap();
-            assert_eq!(client.cas(1, b"three".to_vec(), v1), Err(v2));
-            assert!(client.delete(1));
-            assert!(!client.delete(1));
+            let v2 = client.cas(1, b"two".to_vec(), v1).unwrap().unwrap();
+            assert_eq!(client.cas(1, b"three".to_vec(), v1).unwrap(), Err(v2));
+            let tombstone = client.delete(1).unwrap().expect("key existed");
+            assert!(tombstone > v2, "tombstone must order after the store");
+            assert!(client.delete(1).unwrap().is_none());
             client.close();
         });
         assert!(router.is_empty());
@@ -324,8 +446,8 @@ mod tests {
         with_service(2, 1, |mut clients| {
             let client = clients.pop().unwrap();
             let value: Vec<u8> = (0..700).map(|i| (i % 256) as u8).collect();
-            client.set(9, value.clone());
-            let (_, got) = client.get(9).unwrap();
+            client.set(9, value.clone()).unwrap();
+            let (_, got) = client.get(9).unwrap().unwrap();
             assert_eq!(got, value);
             client.close();
         });
@@ -336,12 +458,12 @@ mod tests {
         with_service(3, 1, |mut clients| {
             let client = clients.pop().unwrap();
             for key in 0..40u64 {
-                client.set(key, key.to_be_bytes().to_vec());
+                client.set(key, key.to_be_bytes().to_vec()).unwrap();
             }
             // 40 keys over 3 shards forces several rounds of MGET_MAX
             // chunks per shard; 100.. are misses.
             let keys: Vec<u64> = (0..50).map(|i| if i < 40 { i } else { i + 100 }).collect();
-            let results = client.get_many(&keys);
+            let results = client.get_many(&keys).unwrap();
             for (i, res) in results.iter().enumerate() {
                 if i < 40 {
                     let (_, value) = res.as_ref().expect("present key");
@@ -362,10 +484,10 @@ mod tests {
                     s.spawn(move || {
                         let base = c as u64 * 1000;
                         for i in 0..100 {
-                            client.set(base + i, vec![c as u8; 16]);
+                            client.set(base + i, vec![c as u8; 16]).unwrap();
                         }
                         for i in 0..100 {
-                            let (_, value) = client.get(base + i).unwrap();
+                            let (_, value) = client.get(base + i).unwrap().unwrap();
                             assert_eq!(value, vec![c as u8; 16]);
                         }
                         client.close();
@@ -380,7 +502,36 @@ mod tests {
     fn empty_multi_get_is_a_no_op() {
         with_service(1, 1, |mut clients| {
             let client = clients.pop().unwrap();
-            assert!(client.get_many(&[]).is_empty());
+            assert!(client.get_many(&[]).unwrap().is_empty());
+            client.close();
+        });
+    }
+
+    #[test]
+    fn corrupt_frame_gets_malformed_reply_and_server_survives() {
+        with_service(1, 1, |mut clients| {
+            let client = clients.pop().unwrap();
+            // Inject a garbage head frame straight onto the request
+            // channel, bypassing the typed encoder.
+            let (tx, rx) = &client.shards[0];
+            tx.send([0xFF; ssync_mp::MSG_WORDS]);
+            let head = rx.recv();
+            let reply = Response::decode(head, || unreachable!("malformed reply has no frames"))
+                .expect("reply must decode");
+            assert_eq!(reply, Response::Malformed);
+            // Replication traffic at a plain server is refused the same
+            // way, through the typed client path.
+            for frame in (Request::ReplGet { key: 1, floor: 0 }).encode() {
+                tx.send(frame);
+            }
+            let head = rx.recv();
+            assert_eq!(
+                Response::decode(head, || unreachable!()).unwrap(),
+                Response::Malformed
+            );
+            // The server is still alive and serving normal traffic.
+            let v = client.set(3, b"alive".to_vec()).unwrap();
+            assert_eq!(client.get(3).unwrap().unwrap().0, v);
             client.close();
         });
     }

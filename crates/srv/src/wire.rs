@@ -19,6 +19,25 @@
 //! back-to-back) and decode with `decode(head, more)`, where `more`
 //! pulls the next frame *from the same peer* — the server uses
 //! `ServerHub::recv_from_subset` for this, a client its reply channel.
+//!
+//! Replication rides the same format: a primary streams
+//! [`Request::Replicate`] / [`Request::ReplicateDelete`] entries (the
+//! value reusing the continuation-frame protocol) to its backups, which
+//! answer with cumulative [`Response::ReplAck`]s; clients read from
+//! backups with [`Request::ReplGet`] / [`Request::ReplMultiGet`], whose
+//! `floor` word lets the backup answer [`Response::Stale`] instead of
+//! serving data older than what the client has already observed.
+//!
+//! Decoding is total: an unknown opcode or status, an over-long value
+//! length, or a bad multi-get count comes back as a [`WireError`]
+//! instead of a panic, so one corrupt head frame cannot take down a
+//! server thread (it answers [`Response::Malformed`] and keeps
+//! serving). What decoding *cannot* recover is framing: a corrupt head
+//! that mis-states its continuation count desynchronizes the SPSC
+//! stream, which has no resynchronization point by design — the typed
+//! error caps the damage to the connection, not the server.
+
+use core::fmt;
 
 use ssync_mp::{Message, MSG_WORDS};
 
@@ -35,12 +54,30 @@ pub const MAX_VALUE_LEN: usize = 1024;
 /// Maximum keys per [`Request::MultiGet`] head frame (words 1..7).
 pub const MGET_MAX: usize = MSG_WORDS - 1;
 
+/// Keys carried inline by a [`Request::ReplMultiGet`] head frame
+/// (words 2..7 — word 1 carries the read floor).
+pub const REPL_MGET_HEAD_KEYS: usize = MSG_WORDS - 2;
+
+/// Keys per [`Request::ReplMultiGet`] continuation frame.
+pub const REPL_MGET_CONT_KEYS: usize = MSG_WORDS;
+
+/// Maximum keys per [`Request::ReplMultiGet`] — unlike the primary's
+/// one-line [`Request::MultiGet`], the replica read path spills keys
+/// into continuation frames (the same streaming the value protocol
+/// uses), so one floor-guarded round-trip can bulk-read a whole
+/// batch's worth of keys from a backup.
+pub const REPL_MGET_MAX: usize = 64;
+
 const OP_GET: u64 = 1;
 const OP_MGET: u64 = 2;
 const OP_SET: u64 = 3;
 const OP_CAS: u64 = 4;
 const OP_DELETE: u64 = 5;
 const OP_STOP: u64 = 6;
+const OP_REPLICATE: u64 = 7;
+const OP_REPL_DELETE: u64 = 8;
+const OP_REPL_GET: u64 = 9;
+const OP_REPL_MGET: u64 = 10;
 
 const ST_VALUE: u64 = 1;
 const ST_MISS: u64 = 2;
@@ -48,6 +85,55 @@ const ST_STORED: u64 = 3;
 const ST_CAS_FAIL: u64 = 4;
 const ST_DELETED: u64 = 5;
 const ST_NOT_FOUND: u64 = 6;
+const ST_REPL_ACK: u64 = 7;
+const ST_STALE: u64 = 8;
+const ST_MALFORMED: u64 = 9;
+
+/// A protocol violation caught while decoding or interpreting frames.
+///
+/// Decode errors (`UnknownOpcode`, `UnknownStatus`, `ValueTooLong`,
+/// `BadMultiGetCount`) mean the head frame itself is corrupt; a server
+/// answers them with [`Response::Malformed`]. `UnexpectedResponse`
+/// means a well-formed reply arrived that makes no sense for the
+/// request a client sent; `Rejected` is the client-side view of a
+/// [`Response::Malformed`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// A request head frame carried an opcode outside the protocol.
+    UnknownOpcode(u64),
+    /// A response head frame carried a status outside the protocol.
+    UnknownStatus(u64),
+    /// A head frame claimed a value longer than [`MAX_VALUE_LEN`].
+    ValueTooLong(usize),
+    /// A multi-get head frame claimed zero keys or more than the
+    /// variant's maximum.
+    BadMultiGetCount(usize),
+    /// A well-formed response that does not answer the request sent
+    /// (e.g. `Stored` in reply to a `Get`); the payload names the
+    /// request context.
+    UnexpectedResponse(&'static str),
+    /// The server rejected the request as malformed.
+    Rejected,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownOpcode(op) => write!(f, "unknown request opcode {op}"),
+            WireError::UnknownStatus(st) => write!(f, "unknown response status {st}"),
+            WireError::ValueTooLong(len) => {
+                write!(f, "value length {len} exceeds {MAX_VALUE_LEN}")
+            }
+            WireError::BadMultiGetCount(n) => write!(f, "bad multi-get key count {n}"),
+            WireError::UnexpectedResponse(ctx) => {
+                write!(f, "unexpected response in reply to {ctx}")
+            }
+            WireError::Rejected => write!(f, "server rejected the request as malformed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// A client-to-server operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +170,44 @@ pub enum Request {
         /// The key.
         key: u64,
     },
+    /// Primary-to-backup: apply this store at the primary-assigned
+    /// version (idempotent at the replica; see
+    /// `ssync_kv::KvStore::apply_replicated`).
+    Replicate {
+        /// The key.
+        key: u64,
+        /// The version the primary assigned the write.
+        version: u64,
+        /// The value (≤ [`MAX_VALUE_LEN`] bytes).
+        value: Vec<u8>,
+    },
+    /// Primary-to-backup: apply this delete tombstone.
+    ReplicateDelete {
+        /// The key.
+        key: u64,
+        /// The tombstone version the primary assigned.
+        version: u64,
+    },
+    /// Client-to-backup read with a freshness floor: the backup serves
+    /// the key only if it has applied at least version `floor`,
+    /// otherwise it answers [`Response::Stale`] and the client falls
+    /// back to the primary.
+    ReplGet {
+        /// The key.
+        key: u64,
+        /// The lowest applied version the client will accept.
+        floor: u64,
+    },
+    /// Batched [`Request::ReplGet`]: up to [`REPL_MGET_MAX`] keys under
+    /// one freshness floor, spilling past [`REPL_MGET_HEAD_KEYS`] into
+    /// continuation frames. A stale backup answers with a single
+    /// [`Response::Stale`] for the whole batch.
+    ReplMultiGet {
+        /// The keys (1..=[`REPL_MGET_MAX`]).
+        keys: Vec<u64>,
+        /// The lowest applied version the client will accept.
+        floor: u64,
+    },
     /// Client is done; the server exits once every client said so.
     Stop,
 }
@@ -110,10 +234,30 @@ pub enum Response {
         /// The version currently stored.
         current: u64,
     },
-    /// A `Delete` removed the key.
-    Deleted,
+    /// A `Delete` removed the key at this tombstone version.
+    Deleted {
+        /// The tombstone version assigned to the removal (0 when the
+        /// server does not version deletes).
+        version: u64,
+    },
     /// A `Delete` found nothing.
     NotFound,
+    /// Backup-to-primary: every replicated entry with a version ≤ this
+    /// has been applied (acks are cumulative, so coalescing or dropping
+    /// intermediate acks is harmless).
+    ReplAck {
+        /// Highest contiguously applied version.
+        version: u64,
+    },
+    /// The backup cannot serve the read: it has applied only up to
+    /// `hwm`, below the client's floor (or it is down and refusing
+    /// reads). The client retries at the primary.
+    Stale {
+        /// The backup's applied high-water version.
+        hwm: u64,
+    },
+    /// The request head frame did not decode; nothing was executed.
+    Malformed,
 }
 
 /// Packs opcode/status (bits 0..8), multi-get count (bits 8..16) and
@@ -226,6 +370,48 @@ impl Request {
                 m[1] = *key;
                 out.push(m);
             }
+            Request::Replicate {
+                key,
+                version,
+                value,
+            } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_REPLICATE, 0, value.len());
+                m[1] = *key;
+                m[2] = *version;
+                push_value_frames(m, value, &mut out);
+            }
+            Request::ReplicateDelete { key, version } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_REPL_DELETE, 0, 0);
+                m[1] = *key;
+                m[2] = *version;
+                out.push(m);
+            }
+            Request::ReplGet { key, floor } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_REPL_GET, 0, 0);
+                m[1] = *key;
+                m[2] = *floor;
+                out.push(m);
+            }
+            Request::ReplMultiGet { keys, floor } => {
+                assert!(
+                    !keys.is_empty() && keys.len() <= REPL_MGET_MAX,
+                    "replica multi-get takes 1..={REPL_MGET_MAX} keys"
+                );
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_REPL_MGET, keys.len(), 0);
+                m[1] = *floor;
+                let inline = keys.len().min(REPL_MGET_HEAD_KEYS);
+                m[2..2 + inline].copy_from_slice(&keys[..inline]);
+                out.push(m);
+                for chunk in keys[inline..].chunks(REPL_MGET_CONT_KEYS) {
+                    let mut frame: Message = [0; MSG_WORDS];
+                    frame[..chunk.len()].copy_from_slice(chunk);
+                    out.push(frame);
+                }
+            }
             Request::Stop => {
                 let mut m: Message = [0; MSG_WORDS];
                 m[0] = head_word(OP_STOP, 0, 0);
@@ -238,17 +424,27 @@ impl Request {
     /// Decodes a request from its head frame, pulling continuation
     /// frames from `more` (which must read from the same sender).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown opcode — the channels are typed and
-    /// point-to-point, so a malformed head frame is a program bug.
-    pub fn decode(head: Message, more: impl FnMut() -> Message) -> Request {
+    /// Returns a [`WireError`] on an unknown opcode, an over-long value
+    /// length, or a bad multi-get count — all checked *before* any
+    /// continuation frame is pulled, so an erroring decode never blocks
+    /// on frames that will not come.
+    pub fn decode(head: Message, more: impl FnMut() -> Message) -> Result<Request, WireError> {
         let (op, count, vlen) = split_head_word(head[0]);
-        match op {
+        if matches!(op, OP_SET | OP_CAS | OP_REPLICATE) && vlen > MAX_VALUE_LEN {
+            return Err(WireError::ValueTooLong(vlen));
+        }
+        Ok(match op {
             OP_GET => Request::Get { key: head[1] },
-            OP_MGET => Request::MultiGet {
-                keys: head[1..=count].to_vec(),
-            },
+            OP_MGET => {
+                if count == 0 || count > MGET_MAX {
+                    return Err(WireError::BadMultiGetCount(count));
+                }
+                Request::MultiGet {
+                    keys: head[1..=count].to_vec(),
+                }
+            }
             OP_SET => Request::Set {
                 key: head[1],
                 value: read_value_frames(&head, vlen, more),
@@ -259,9 +455,39 @@ impl Request {
                 value: read_value_frames(&head, vlen, more),
             },
             OP_DELETE => Request::Delete { key: head[1] },
+            OP_REPLICATE => Request::Replicate {
+                key: head[1],
+                version: head[2],
+                value: read_value_frames(&head, vlen, more),
+            },
+            OP_REPL_DELETE => Request::ReplicateDelete {
+                key: head[1],
+                version: head[2],
+            },
+            OP_REPL_GET => Request::ReplGet {
+                key: head[1],
+                floor: head[2],
+            },
+            OP_REPL_MGET => {
+                if count == 0 || count > REPL_MGET_MAX {
+                    return Err(WireError::BadMultiGetCount(count));
+                }
+                let mut more = more;
+                let inline = count.min(REPL_MGET_HEAD_KEYS);
+                let mut keys = head[2..2 + inline].to_vec();
+                while keys.len() < count {
+                    let frame = more();
+                    let take = (count - keys.len()).min(REPL_MGET_CONT_KEYS);
+                    keys.extend_from_slice(&frame[..take]);
+                }
+                Request::ReplMultiGet {
+                    keys,
+                    floor: head[1],
+                }
+            }
             OP_STOP => Request::Stop,
-            _ => panic!("unknown request opcode {op}"),
-        }
+            _ => return Err(WireError::UnknownOpcode(op)),
+        })
     }
 }
 
@@ -294,12 +520,27 @@ impl Response {
                 m[1] = *current;
                 out.push(m);
             }
-            Response::Deleted => {
+            Response::Deleted { version } => {
                 m[0] = head_word(ST_DELETED, 0, 0);
+                m[1] = *version;
                 out.push(m);
             }
             Response::NotFound => {
                 m[0] = head_word(ST_NOT_FOUND, 0, 0);
+                out.push(m);
+            }
+            Response::ReplAck { version } => {
+                m[0] = head_word(ST_REPL_ACK, 0, 0);
+                m[1] = *version;
+                out.push(m);
+            }
+            Response::Stale { hwm } => {
+                m[0] = head_word(ST_STALE, 0, 0);
+                m[1] = *hwm;
+                out.push(m);
+            }
+            Response::Malformed => {
+                m[0] = head_word(ST_MALFORMED, 0, 0);
                 out.push(m);
             }
         }
@@ -309,24 +550,33 @@ impl Response {
     /// Decodes a response from its head frame, pulling continuation
     /// frames from `more`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown status word (a protocol bug, as with
-    /// [`Request::decode`]).
-    pub fn decode(head: Message, more: impl FnMut() -> Message) -> Response {
+    /// Returns a [`WireError`] on an unknown status word or an
+    /// over-long value length, checked before any continuation frame is
+    /// pulled.
+    pub fn decode(head: Message, more: impl FnMut() -> Message) -> Result<Response, WireError> {
         let (st, _, vlen) = split_head_word(head[0]);
-        match st {
-            ST_VALUE => Response::Value {
-                version: head[1],
-                value: read_value_frames(&head, vlen, more),
-            },
+        Ok(match st {
+            ST_VALUE => {
+                if vlen > MAX_VALUE_LEN {
+                    return Err(WireError::ValueTooLong(vlen));
+                }
+                Response::Value {
+                    version: head[1],
+                    value: read_value_frames(&head, vlen, more),
+                }
+            }
             ST_MISS => Response::Miss,
             ST_STORED => Response::Stored { version: head[1] },
             ST_CAS_FAIL => Response::CasFail { current: head[1] },
-            ST_DELETED => Response::Deleted,
+            ST_DELETED => Response::Deleted { version: head[1] },
             ST_NOT_FOUND => Response::NotFound,
-            _ => panic!("unknown response status {st}"),
-        }
+            ST_REPL_ACK => Response::ReplAck { version: head[1] },
+            ST_STALE => Response::Stale { hwm: head[1] },
+            ST_MALFORMED => Response::Malformed,
+            _ => return Err(WireError::UnknownStatus(st)),
+        })
     }
 }
 
@@ -339,12 +589,14 @@ mod tests {
         let frames = req.encode();
         let mut rest = frames[1..].iter().copied();
         Request::decode(frames[0], move || rest.next().expect("frame underrun"))
+            .expect("well-formed request must decode")
     }
 
     fn roundtrip_response(resp: Response) -> Response {
         let frames = resp.encode();
         let mut rest = frames[1..].iter().copied();
         Response::decode(frames[0], move || rest.next().expect("frame underrun"))
+            .expect("well-formed response must decode")
     }
 
     #[test]
@@ -364,6 +616,30 @@ mod tests {
                 value: vec![0xAB; HEAD_VALUE_BYTES], // Exactly inline-full.
             },
             Request::Delete { key: 0 },
+            Request::Replicate {
+                key: 11,
+                version: 88,
+                value: vec![0xCD; HEAD_VALUE_BYTES + 9], // Spills a continuation.
+            },
+            Request::ReplicateDelete {
+                key: 12,
+                version: 89,
+            },
+            Request::ReplGet { key: 13, floor: 90 },
+            Request::ReplMultiGet {
+                keys: vec![5, 6, 7, 8, 9],
+                floor: u64::MAX,
+            },
+            Request::ReplMultiGet {
+                // Wide batch: spills into continuation frames (5 inline
+                // + 7 per frame; 24 keys = head + 3 frames).
+                keys: (100..124).collect(),
+                floor: 77,
+            },
+            Request::ReplMultiGet {
+                keys: (0..REPL_MGET_MAX as u64).collect(),
+                floor: 1,
+            },
             Request::Stop,
         ];
         for req in samples {
@@ -385,11 +661,59 @@ mod tests {
             Response::Miss,
             Response::Stored { version: 5 },
             Response::CasFail { current: 17 },
-            Response::Deleted,
+            Response::Deleted { version: 41 },
             Response::NotFound,
+            Response::ReplAck { version: 1000 },
+            Response::Stale { hwm: 7 },
+            Response::Malformed,
         ];
         for resp in samples {
             assert_eq!(roundtrip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_decode_to_typed_errors() {
+        let no_more = || panic!("decode must not pull continuations for a corrupt head");
+        // Unknown opcode / status.
+        let mut m: Message = [0; MSG_WORDS];
+        m[0] = head_word(0xEE, 0, 0);
+        assert_eq!(
+            Request::decode(m, no_more),
+            Err(WireError::UnknownOpcode(0xEE))
+        );
+        assert_eq!(
+            Response::decode(m, no_more),
+            Err(WireError::UnknownStatus(0xEE))
+        );
+        // Over-long value length on every valued frame kind.
+        for op in [OP_SET, OP_CAS, OP_REPLICATE] {
+            let mut m: Message = [0; MSG_WORDS];
+            m[0] = head_word(op, 0, MAX_VALUE_LEN + 1);
+            assert_eq!(
+                Request::decode(m, no_more),
+                Err(WireError::ValueTooLong(MAX_VALUE_LEN + 1))
+            );
+        }
+        let mut m: Message = [0; MSG_WORDS];
+        m[0] = head_word(ST_VALUE, 0, MAX_VALUE_LEN + 1);
+        assert_eq!(
+            Response::decode(m, no_more),
+            Err(WireError::ValueTooLong(MAX_VALUE_LEN + 1))
+        );
+        // Zero- and over-count multi-gets.
+        for (op, bad) in [
+            (OP_MGET, 0),
+            (OP_MGET, MGET_MAX + 1),
+            (OP_REPL_MGET, 0),
+            (OP_REPL_MGET, REPL_MGET_MAX + 1),
+        ] {
+            let mut m: Message = [0; MSG_WORDS];
+            m[0] = head_word(op, bad, 0);
+            assert_eq!(
+                Request::decode(m, no_more),
+                Err(WireError::BadMultiGetCount(bad))
+            );
         }
     }
 
@@ -434,5 +758,26 @@ mod tests {
             keys: vec![0; MGET_MAX + 1],
         }
         .encode();
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_repl_multiget_rejected() {
+        let _ = Request::ReplMultiGet {
+            keys: vec![0; REPL_MGET_MAX + 1],
+            floor: 0,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn wide_repl_multiget_frame_counts() {
+        for (n, frames) in [(1, 1), (5, 1), (6, 2), (12, 2), (13, 3), (64, 10)] {
+            let req = Request::ReplMultiGet {
+                keys: (0..n as u64).collect(),
+                floor: 0,
+            };
+            assert_eq!(req.encode().len(), frames, "{n} keys");
+        }
     }
 }

@@ -19,8 +19,15 @@ use ssync_kv::StatsSnapshot;
 use ssync_locks::RawLock;
 
 use crate::router::ShardRouter;
-use crate::service::{serve, wire_mesh, ServiceClient};
-use crate::wire::{MAX_VALUE_LEN, MGET_MAX};
+use crate::service::{serve, wire_mesh, KvClient};
+use crate::wire::MAX_VALUE_LEN;
+
+/// Largest read batch the engine will emit. Batches wider than one
+/// multi-get frame are split into frame-sized chunks by the clients —
+/// and, when replicas exist, fanned out across a shard's endpoints
+/// concurrently, which is where replica reads buy round-trip
+/// parallelism.
+pub const MAX_BATCH: usize = 32;
 
 /// How keys are drawn from the keyspace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,7 +116,12 @@ pub enum ValueSize {
 }
 
 impl ValueSize {
-    fn sample(&self, rng: &mut SmallRng) -> usize {
+    /// Draws one value length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drawn length exceeds [`MAX_VALUE_LEN`].
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
         let len = match *self {
             ValueSize::Fixed(n) => n,
             ValueSize::Uniform { min, max } => rng.gen_range(min..=max),
@@ -131,7 +143,7 @@ pub struct WorkloadSpec {
     pub mix: Mix,
     /// Value-size distribution.
     pub vsize: ValueSize,
-    /// Reads per multi-get batch (1 disables batching; ≤ [`MGET_MAX`]).
+    /// Reads per multi-get batch (1 disables batching; ≤ [`MAX_BATCH`]).
     pub batch: usize,
     /// Master seed; workers derive their streams from it.
     pub seed: u64,
@@ -277,8 +289,8 @@ impl OpStream {
     pub fn new(spec: &WorkloadSpec, worker: u64) -> OpStream {
         assert!(spec.keys > 0, "empty keyspace");
         assert!(
-            spec.batch >= 1 && spec.batch <= MGET_MAX,
-            "batch must be in 1..={MGET_MAX}"
+            spec.batch >= 1 && spec.batch <= MAX_BATCH,
+            "batch must be in 1..={MAX_BATCH}"
         );
         let zipf = match spec.dist {
             KeyDist::Uniform => None,
@@ -372,32 +384,44 @@ impl WorkloadReport {
     }
 }
 
-/// Per-worker tally, merged into the report after the run.
+/// One worker's closed-loop tally, merged into the report after a run.
 #[derive(Debug, Default, Clone, Copy)]
-struct Tally {
-    issued: OpCounts,
-    hits: u64,
-    misses: u64,
-    cas_ok: u64,
-    cas_fail: u64,
-    deleted: u64,
+pub struct Tally {
+    /// Operations issued, by type.
+    pub issued: OpCounts,
+    /// Read hits observed.
+    pub hits: u64,
+    /// Read misses observed.
+    pub misses: u64,
+    /// CAS attempts that stored.
+    pub cas_ok: u64,
+    /// CAS attempts that lost.
+    pub cas_fail: u64,
+    /// Deletes that removed a key.
+    pub deleted: u64,
 }
 
-/// Runs one client worker's closed loop for `ops` key-operations.
-fn run_worker(client: ServiceClient, mut stream: OpStream, ops: u64) -> Tally {
+/// Runs one client worker's closed loop for `ops` key-operations over
+/// any [`KvClient`] — the plain service client or the replication
+/// layer's replica-reading one. The caller closes the client
+/// afterwards (it may want to read client-side counters first).
+pub fn drive_worker<C: KvClient>(client: &C, mut stream: OpStream, ops: u64) -> Tally {
+    // The driver owns the connection; a wire error here is a harness
+    // bug, not load, so it unwraps — the *server* is the side that must
+    // never die on a bad frame.
     let mut tally = Tally::default();
     while tally.issued.total() < ops {
         match stream.next_op() {
             Op::Get(key) => {
                 tally.issued.gets += 1;
-                match client.get(key) {
+                match client.get(key).expect("wire error") {
                     Some(_) => tally.hits += 1,
                     None => tally.misses += 1,
                 }
             }
             Op::MultiGet(keys) => {
                 tally.issued.gets += keys.len() as u64;
-                for res in client.get_many(&keys) {
+                for res in client.get_many(&keys).expect("wire error") {
                     match res {
                         Some(_) => tally.hits += 1,
                         None => tally.misses += 1,
@@ -406,14 +430,14 @@ fn run_worker(client: ServiceClient, mut stream: OpStream, ops: u64) -> Tally {
             }
             Op::Set(key, value) => {
                 tally.issued.sets += 1;
-                client.set(key, value);
+                client.set(key, value).expect("wire error");
             }
             Op::Cas(key, value) => {
                 tally.issued.cas += 1;
-                match client.get(key) {
+                match client.get(key).expect("wire error") {
                     Some((version, _)) => {
                         tally.hits += 1;
-                        match client.cas(key, value, version) {
+                        match client.cas(key, value, version).expect("wire error") {
                             Ok(_) => tally.cas_ok += 1,
                             Err(_) => tally.cas_fail += 1,
                         }
@@ -426,13 +450,12 @@ fn run_worker(client: ServiceClient, mut stream: OpStream, ops: u64) -> Tally {
             }
             Op::Delete(key) => {
                 tally.issued.deletes += 1;
-                if client.delete(key) {
+                if client.delete(key).expect("wire error").is_some() {
                     tally.deleted += 1;
                 }
             }
         }
     }
-    client.close();
     tally
 }
 
@@ -472,7 +495,11 @@ pub fn run_closed_loop<R: RawLock + Default>(
             .enumerate()
             .map(|(worker, client)| {
                 let stream = OpStream::new(spec, worker as u64);
-                s.spawn(move || run_worker(client, stream, ops_per_worker))
+                s.spawn(move || {
+                    let tally = drive_worker(&client, stream, ops_per_worker);
+                    client.close();
+                    tally
+                })
             })
             .collect();
         tallies.extend(
@@ -486,14 +513,7 @@ pub fn run_closed_loop<R: RawLock + Default>(
 
     let mut report = WorkloadReport {
         wall,
-        store: StatsSnapshot {
-            hits: after.hits - before.hits,
-            misses: after.misses - before.misses,
-            sets: after.sets - before.sets,
-            deletes: after.deletes - before.deletes,
-            cas_failures: after.cas_failures - before.cas_failures,
-            maintenance_runs: after.maintenance_runs - before.maintenance_runs,
-        },
+        store: after.delta(&before),
         ..WorkloadReport::default()
     };
     for t in tallies {

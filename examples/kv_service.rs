@@ -41,15 +41,20 @@ fn main() {
             s.spawn(move || serve(store, endpoint));
         }
         let client = clients.pop().unwrap();
-        let v1 = client.set(1, b"profile:alice".to_vec());
+        let v1 = client
+            .set(1, b"profile:alice".to_vec())
+            .expect("wire error");
         println!("set key 1 at version {v1}");
-        let (_, value) = client.get(1).unwrap();
+        let (_, value) = client.get(1).expect("wire error").unwrap();
         println!("get key 1 -> {:?}", String::from_utf8_lossy(&value));
-        match client.cas(1, b"profile:alice-v2".to_vec(), v1) {
+        match client
+            .cas(1, b"profile:alice-v2".to_vec(), v1)
+            .expect("wire error")
+        {
             Ok(v2) => println!("cas won: version {v1} -> {v2}"),
             Err(v) => println!("cas lost to version {v}"),
         }
-        let results = client.get_many(&[1, 2, 3]);
+        let results = client.get_many(&[1, 2, 3]).expect("wire error");
         println!(
             "multi-get [1,2,3] -> {} hit(s), {} miss(es)",
             results.iter().filter(|r| r.is_some()).count(),

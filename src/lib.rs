@@ -16,6 +16,9 @@
 //!   `ssync-kv` stores, a request/response protocol over `ssync-mp`
 //!   channels, and a deterministic workload engine (zipfian skew, YCSB
 //!   mixes) for driving it under load.
+//! * [`repl`] (`ssync-repl`) — per-shard primary/backup replication over
+//!   the service: op-log streaming, sync/async acknowledgement, replica
+//!   reads with freshness floors, and deterministic fault injection.
 //! * [`tm`] (`ssync-tm`) — a TM2C-model software transactional memory.
 //! * [`sim`] (`ssync-sim`) — a discrete-event cache-coherence simulator of
 //!   the paper's four platforms, calibrated to its Tables 2 and 3.
@@ -36,6 +39,7 @@ pub use ssync_ht as ht;
 pub use ssync_kv as kv;
 pub use ssync_locks as locks;
 pub use ssync_mp as mp;
+pub use ssync_repl as repl;
 pub use ssync_sim as sim;
 pub use ssync_simsync as simsync;
 pub use ssync_srv as srv;

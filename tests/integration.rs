@@ -168,13 +168,13 @@ fn sharded_service_composes_locks_mp_and_kv() {
             s.spawn(move || {
                 let base = c as u64 * 10_000;
                 for i in 0..150 {
-                    let version = client.set(base + i, vec![c as u8; 24]);
-                    let (v, value) = client.get(base + i).unwrap();
+                    let version = client.set(base + i, vec![c as u8; 24]).unwrap();
+                    let (v, value) = client.get(base + i).unwrap().unwrap();
                     assert_eq!((v, value.len()), (version, 24));
                 }
                 // Batched reads across shards come back in order.
                 let keys: Vec<u64> = (0..150).map(|i| base + i).collect();
-                assert!(client.get_many(&keys).iter().all(|r| r.is_some()));
+                assert!(client.get_many(&keys).unwrap().iter().all(|r| r.is_some()));
                 client.close();
             });
         }
