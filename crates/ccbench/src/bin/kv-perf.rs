@@ -1,29 +1,35 @@
 //! `kv-perf`: the sharded KV service's performance harness.
 //!
 //! Sweeps the native serving stack over {lock algorithm × shard count
-//! × key skew × rw mix} (plus batched multi-get and churn cases),
-//! prints a per-case table, and writes `BENCH_kv.json` unless
-//! `--no-write` is given.
+//! × key skew × rw mix} plus the {read_path × transport} fast-path
+//! grid (and batched multi-get and churn cases), prints a per-case
+//! table, and writes `BENCH_kv.json` unless `--no-write` is given.
 //!
 //! ```text
-//! kv-perf [--smoke] [--out PATH] [--no-write]
+//! kv-perf [--smoke] [--out PATH] [--no-write] [--check-determinism]
 //! ```
 //!
 //! `--smoke` shrinks the per-case op count ~15x so CI can keep the
 //! harness alive in seconds; smoke runs never overwrite the default
 //! `BENCH_kv.json` unless an explicit `--out` is given. Issued op
-//! counts are deterministic per seed in both modes.
+//! counts are deterministic per seed in both modes;
+//! `--check-determinism` proves it by running the whole sweep twice
+//! (both transports, both read paths) and diffing the issued op counts
+//! — CI runs this in smoke mode.
 
-use ssync_ccbench::kv_perf::{render_json, render_table, run_sweep, SweepConfig};
+use ssync_ccbench::kv_perf::{
+    check_determinism, render_json, render_table, run_sweep, SweepConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: kv-perf [--smoke] [--out PATH] [--no-write]");
+        eprintln!("usage: kv-perf [--smoke] [--out PATH] [--no-write] [--check-determinism]");
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
     let no_write = args.iter().any(|a| a == "--no-write");
+    let check = args.iter().any(|a| a == "--check-determinism");
     let out_path = match args.iter().position(|a| a == "--out") {
         Some(i) => match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => Some(p.clone()),
@@ -43,7 +49,25 @@ fn main() {
         config.keys,
         if smoke { " (smoke mode)" } else { "" }
     );
-    let results = run_sweep(config);
+    // The determinism gate runs the sweep twice and hands back the
+    // first run's results, so checking costs one extra sweep, not two.
+    let results = if check {
+        match check_determinism(config) {
+            Ok(results) => {
+                eprintln!(
+                    "kv-perf: issued op counts deterministic over {} cases x 2 runs",
+                    results.len()
+                );
+                results
+            }
+            Err(msg) => {
+                eprintln!("kv-perf: DETERMINISM FAILURE: {msg}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run_sweep(config)
+    };
     print!("{}", render_table(&results));
 
     // Smoke runs are startup-dominated; only a full run refreshes the

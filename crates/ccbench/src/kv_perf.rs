@@ -17,9 +17,12 @@
 //! wall times are whatever the host gives.
 
 use ssync_core::cores;
+use ssync_kv::ReadPath;
 use ssync_locks::{McsLock, MutexLock, RawLock, TicketLock, TtasLock};
 use ssync_srv::router::ShardRouter;
-use ssync_srv::workload::{run_closed_loop, KeyDist, Mix, OpCounts, ValueSize, WorkloadSpec};
+use ssync_srv::workload::{
+    run_closed_loop_on, KeyDist, Mix, OpCounts, Transport, ValueSize, WorkloadSpec,
+};
 
 /// Key-operations each client worker issues in a full run.
 pub const PERF_OPS_PER_WORKER: u64 = 6_000;
@@ -36,6 +39,15 @@ pub const SMOKE_KEYS: u64 = 512;
 /// Master seed for every case (the workload derives per-worker
 /// streams from it).
 pub const SEED: u64 = 0xCAFE_F00D;
+
+/// Ring depth of the `transport=ring` cases (slots per direction per
+/// client-shard pair).
+pub const RING_DEPTH: usize = 64;
+
+/// Reads a pipelining client keeps in flight across its shards on the
+/// ring cases. At most `RING_WINDOW` one-frame requests can be queued
+/// per shard, so sends never block (the pipelined-client discipline).
+pub const RING_WINDOW: usize = 16;
 
 /// The native lock algorithms the sweep crosses. A subset of the nine:
 /// one spin (TTAS), one fair spin (TICKET), one queue (MCS), one
@@ -99,6 +111,36 @@ impl SweepConfig {
     }
 }
 
+/// Which channel flavour a case runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The paper-calibrated one-line channels, strict request/reply.
+    OneLine,
+    /// Bounded rings ([`RING_DEPTH`]) with pipelined reads
+    /// ([`RING_WINDOW`] in flight per client).
+    Ring,
+}
+
+impl TransportKind {
+    /// Display name matching the JSON field.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::OneLine => "oneline",
+            TransportKind::Ring => "ring",
+        }
+    }
+
+    fn transport(self) -> Transport {
+        match self {
+            TransportKind::OneLine => Transport::OneLine,
+            TransportKind::Ring => Transport::Ring {
+                depth: RING_DEPTH,
+                window: RING_WINDOW,
+            },
+        }
+    }
+}
+
 /// One case of the sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct Case {
@@ -112,6 +154,10 @@ pub struct Case {
     pub mix: Mix,
     /// Reads per multi-get batch (1 = unbatched).
     pub batch: usize,
+    /// Store read protocol (locked baseline vs. optimistic fast path).
+    pub read_path: ReadPath,
+    /// Channel flavour carrying the traffic.
+    pub transport: TransportKind,
 }
 
 /// One measured case.
@@ -141,39 +187,81 @@ pub struct CaseResult {
     pub hit_rate: f64,
 }
 
-/// The full sweep: every lock × {1, 4} shards × {uniform, zipf 0.99} ×
-/// {YCSB-A, YCSB-B, YCSB-C}, plus one batched multi-get case per lock
-/// (YCSB-C, zipfian, 4 shards, batch 4) and one churn case per lock
-/// (CAS + delete traffic through the maintenance path).
+/// The full sweep, two groups:
+///
+/// 1. The **baseline grid** (every read locked, one-line channels —
+///    the paper-calibrated serving model): every lock × {1, 4} shards
+///    × {uniform, zipf 0.99} × {YCSB-A, YCSB-B, YCSB-C}, plus one
+///    batched multi-get case per lock (YCSB-C, zipfian, 4 shards,
+///    batch 4) and one churn case per lock (CAS + delete traffic
+///    through the maintenance path). These cases' deterministic fields
+///    are stable across harness versions.
+/// 2. The **fast-path grid**: the `read_path` × `transport` axes on
+///    the read-dominated headline workload (unbatched YCSB-C, zipf
+///    0.99, {1, 4} shards) for every lock — the three combinations
+///    beyond the baseline — plus one churn case per lock on
+///    `{optimistic, ring}`, which keeps write pressure (and the locked
+///    read fallback) in the measured set.
 pub fn sweep_cases() -> Vec<Case> {
+    let baseline = |lock, shards, dist, mix, batch| Case {
+        lock,
+        shards,
+        dist,
+        mix,
+        batch,
+        read_path: ReadPath::Locked,
+        transport: TransportKind::OneLine,
+    };
     let mut cases = Vec::new();
     for lock in SrvLockKind::ALL {
         for shards in [1usize, 4] {
             for dist in [KeyDist::Uniform, KeyDist::Zipfian { theta: 0.99 }] {
                 for mix in [Mix::YCSB_A, Mix::YCSB_B, Mix::YCSB_C] {
-                    cases.push(Case {
-                        lock,
-                        shards,
-                        dist,
-                        mix,
-                        batch: 1,
-                    });
+                    cases.push(baseline(lock, shards, dist, mix, 1));
                 }
             }
         }
-        cases.push(Case {
+        cases.push(baseline(
             lock,
-            shards: 4,
-            dist: KeyDist::Zipfian { theta: 0.99 },
-            mix: Mix::YCSB_C,
-            batch: 4,
-        });
+            4,
+            KeyDist::Zipfian { theta: 0.99 },
+            Mix::YCSB_C,
+            4,
+        ));
+        cases.push(baseline(
+            lock,
+            2,
+            KeyDist::Zipfian { theta: 0.99 },
+            Mix::CHURN,
+            1,
+        ));
+    }
+    for lock in SrvLockKind::ALL {
+        for shards in [1usize, 4] {
+            for (read_path, transport) in [
+                (ReadPath::Locked, TransportKind::Ring),
+                (ReadPath::Optimistic, TransportKind::OneLine),
+                (ReadPath::Optimistic, TransportKind::Ring),
+            ] {
+                cases.push(Case {
+                    lock,
+                    shards,
+                    dist: KeyDist::Zipfian { theta: 0.99 },
+                    mix: Mix::YCSB_C,
+                    batch: 1,
+                    read_path,
+                    transport,
+                });
+            }
+        }
         cases.push(Case {
             lock,
             shards: 2,
             dist: KeyDist::Zipfian { theta: 0.99 },
             mix: Mix::CHURN,
             batch: 1,
+            read_path: ReadPath::Optimistic,
+            transport: TransportKind::Ring,
         });
     }
     cases
@@ -183,7 +271,8 @@ fn run_case_typed<R: RawLock + Default>(case: Case, config: SweepConfig) -> Case
     // Shards stay small so per-case setup doesn't dominate: enough
     // buckets to keep chains short at the sweep's keyspace sizes.
     let buckets_per_shard = (config.keys as usize / case.shards).clamp(64, 4096);
-    let router: ShardRouter<R> = ShardRouter::new(case.shards, buckets_per_shard, 16);
+    let router: ShardRouter<R> =
+        ShardRouter::with_read_path(case.shards, buckets_per_shard, 16, case.read_path);
     let spec = WorkloadSpec {
         keys: config.keys,
         dist: case.dist,
@@ -192,7 +281,13 @@ fn run_case_typed<R: RawLock + Default>(case: Case, config: SweepConfig) -> Case
         batch: case.batch,
         seed: SEED,
     };
-    let report = run_closed_loop(&router, &spec, config.workers, config.ops_per_worker);
+    let report = run_closed_loop_on(
+        &router,
+        &spec,
+        config.workers,
+        config.ops_per_worker,
+        case.transport.transport(),
+    );
     let wall_ms = report.wall.as_secs_f64() * 1000.0;
     CaseResult {
         case,
@@ -233,12 +328,14 @@ pub fn render_table(results: &[CaseResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<8} {:>6} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>10}",
+        "{:<8} {:>6} {:>9} {:>7} {:>6} {:>11} {:>8} {:>9} {:>9} {:>9} {:>7} {:>7} {:>10}",
         "lock",
         "shards",
         "dist",
         "mix",
         "batch",
+        "read_path",
+        "trans",
         "ops",
         "wall ms",
         "ops/sec",
@@ -249,12 +346,14 @@ pub fn render_table(results: &[CaseResult]) -> String {
     for r in results {
         let _ = writeln!(
             out,
-            "{:<8} {:>6} {:>9} {:>7} {:>6} {:>9} {:>9.1} {:>9.0} {:>6.1}% {:>7} {:>10}",
+            "{:<8} {:>6} {:>9} {:>7} {:>6} {:>11} {:>8} {:>9} {:>9.1} {:>9.0} {:>6.1}% {:>7} {:>10}",
             r.case.lock.name(),
             r.case.shards,
             r.case.dist.label(),
             r.case.mix.name,
             r.case.batch,
+            r.case.read_path.label(),
+            r.case.transport.label(),
             r.issued.total(),
             r.wall_ms,
             r.ops_per_sec,
@@ -272,22 +371,24 @@ pub fn render_table(results: &[CaseResult]) -> String {
 pub fn render_json(results: &[CaseResult], config: SweepConfig) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ssync-kv-perf-v1\",\n");
+    out.push_str("  \"schema\": \"ssync-kv-perf-v2\",\n");
     out.push_str("  \"unit_note\": \"ops are key-operations (a multi-get counts per key); wall times are host milliseconds on the build machine; issued counts are deterministic per seed, wall/ops_per_sec are not\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}}},\n",
-        config.workers, config.ops_per_worker, config.keys, SEED
+        "  \"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}, \"ring_depth\": {}, \"ring_window\": {}}},\n",
+        config.workers, config.ops_per_worker, config.keys, SEED, RING_DEPTH, RING_WINDOW
     ));
     out.push_str("  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"lock\": \"{}\", \"shards\": {}, \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"cas_ok\": {}, \"cas_fail\": {}, \"maintenance_runs\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}\n",
+            "    {{\"lock\": \"{}\", \"shards\": {}, \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"read_path\": \"{}\", \"transport\": \"{}\", \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"cas_ok\": {}, \"cas_fail\": {}, \"maintenance_runs\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}\n",
             r.case.lock.name(),
             r.case.shards,
             r.case.dist.label(),
             r.case.mix.name,
             r.case.batch,
+            r.case.read_path.label(),
+            r.case.transport.label(),
             r.issued.gets,
             r.issued.sets,
             r.issued.cas,
@@ -304,6 +405,28 @@ pub fn render_json(results: &[CaseResult], config: SweepConfig) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Runs the sweep twice and reports the first case whose issued op
+/// counts differ — the determinism gate CI runs in smoke mode. On
+/// success returns the first run's results, so the caller can render
+/// them without paying for a third sweep.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatching case.
+pub fn check_determinism(config: SweepConfig) -> Result<Vec<CaseResult>, String> {
+    let first = run_sweep(config);
+    let second = run_sweep(config);
+    for (a, b) in first.iter().zip(second.iter()) {
+        if a.issued != b.issued {
+            return Err(format!(
+                "issued op counts differ for {:?}: {:?} vs {:?}",
+                a.case, a.issued, b.issued
+            ));
+        }
+    }
+    Ok(first)
 }
 
 #[cfg(test)]
@@ -330,6 +453,34 @@ mod tests {
         assert!(dists.len() >= 2, "need >= 2 skew settings: {dists:?}");
         assert!(mixes.len() >= 3);
         assert!(cases.iter().any(|c| c.batch > 1), "batched case missing");
+        // The read_path × transport grid: all four combinations appear,
+        // and the headline {optimistic, ring} YCSB-C contrast exists at
+        // the same shape as a {locked, oneline} baseline case.
+        let combos: std::collections::HashSet<_> = cases
+            .iter()
+            .map(|c| (c.read_path.label(), c.transport.label()))
+            .collect();
+        assert_eq!(combos.len(), 4, "need all 4 combos: {combos:?}");
+        for (rp, tr) in [
+            (ReadPath::Locked, TransportKind::OneLine),
+            (ReadPath::Optimistic, TransportKind::Ring),
+        ] {
+            assert!(
+                cases.iter().any(|c| c.read_path == rp
+                    && c.transport == tr
+                    && c.mix.name == "ycsb-c"
+                    && c.batch == 1
+                    && c.shards == 1
+                    && c.dist == KeyDist::Zipfian { theta: 0.99 }),
+                "headline shape missing for ({}, {})",
+                rp.label(),
+                tr.label()
+            );
+        }
+        // Write pressure reaches the fast path too.
+        assert!(cases
+            .iter()
+            .any(|c| c.read_path == ReadPath::Optimistic && c.mix.name == "churn"));
     }
 
     #[test]
@@ -341,6 +492,8 @@ mod tests {
             dist: KeyDist::Zipfian { theta: 0.99 },
             mix: Mix::YCSB_B,
             batch: 1,
+            read_path: ReadPath::Locked,
+            transport: TransportKind::OneLine,
         };
         let r = run_case(case, config);
         assert_eq!(r.issued.total(), 240);
@@ -348,8 +501,10 @@ mod tests {
         let table = render_table(std::slice::from_ref(&r));
         assert!(table.contains("TICKET"));
         let json = render_json(std::slice::from_ref(&r), config);
-        assert!(json.contains("\"ssync-kv-perf-v1\""));
+        assert!(json.contains("\"ssync-kv-perf-v2\""));
         assert!(json.contains("\"mix\": \"ycsb-b\""));
+        assert!(json.contains("\"read_path\": \"locked\""));
+        assert!(json.contains("\"transport\": \"oneline\""));
     }
 
     #[test]
@@ -361,6 +516,8 @@ mod tests {
             dist: KeyDist::Uniform,
             mix: Mix::CHURN,
             batch: 1,
+            read_path: ReadPath::Locked,
+            transport: TransportKind::OneLine,
         };
         let a = run_case(case, config);
         let b = run_case(case, config);
@@ -369,5 +526,45 @@ mod tests {
         // op *stream* is fixed; the deterministic claim is on issued.
         assert!(a.issued.deletes > 0);
         assert!(a.issued.cas > 0);
+    }
+
+    #[test]
+    fn fast_path_cases_issue_the_same_stream_as_the_baseline() {
+        // The new axes must not perturb the deterministic fields: the
+        // same (lock, shards, dist, mix, batch) case issues identical
+        // op counts on every read_path × transport combination, and on
+        // a delete-free mix the hit counts match too.
+        let config = tiny_config();
+        let shape = |read_path, transport| Case {
+            lock: SrvLockKind::Ticket,
+            shards: 2,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_C,
+            batch: 1,
+            read_path,
+            transport,
+        };
+        let baseline = run_case(shape(ReadPath::Locked, TransportKind::OneLine), config);
+        for (rp, tr) in [
+            (ReadPath::Locked, TransportKind::Ring),
+            (ReadPath::Optimistic, TransportKind::OneLine),
+            (ReadPath::Optimistic, TransportKind::Ring),
+        ] {
+            let r = run_case(shape(rp, tr), config);
+            assert_eq!(
+                r.issued,
+                baseline.issued,
+                "({}, {})",
+                rp.label(),
+                tr.label()
+            );
+            assert_eq!(
+                (r.hits, r.misses),
+                (baseline.hits, baseline.misses),
+                "({}, {})",
+                rp.label(),
+                tr.label()
+            );
+        }
     }
 }

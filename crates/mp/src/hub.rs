@@ -9,14 +9,29 @@
 
 use ssync_core::SpinWait;
 
-use crate::channel::{Message, Receiver};
-use crate::ring::RingReceiver;
+use crate::channel::{Message, Receiver, Sender};
+use crate::ring::{RingReceiver, RingSender};
 
 /// The receive side a [`ServerHub`] can multiplex: anything with a
 /// non-blocking poll.
 pub trait MsgReceiver {
     /// Attempts to receive without blocking.
     fn try_recv(&self) -> Option<Message>;
+
+    /// Receives the next message, spinning (then yielding) until one
+    /// arrives. The concrete channel types provide the same blocking
+    /// loop inherently; this provided method lets transport-generic
+    /// code (`ssync-srv`'s service clients) block without naming the
+    /// flavour.
+    fn recv(&self) -> Message {
+        let mut wait = SpinWait::new();
+        loop {
+            match self.try_recv() {
+                Some(m) => return m,
+                None => wait.snooze(),
+            }
+        }
+    }
 }
 
 impl MsgReceiver for Receiver {
@@ -28,6 +43,39 @@ impl MsgReceiver for Receiver {
 impl MsgReceiver for RingReceiver {
     fn try_recv(&self) -> Option<Message> {
         RingReceiver::try_recv(self)
+    }
+}
+
+/// The send side of either channel flavour — the mirror of
+/// [`MsgReceiver`], so meshes (`ssync-srv`'s `wire_mesh_with`) can be
+/// built generically over the transport.
+pub trait MsgSender {
+    /// Sends a message, blocking (spin then yield) while the channel
+    /// is full.
+    fn send(&self, msg: Message);
+
+    /// Attempts to send without blocking; returns the message back if
+    /// the channel is full.
+    fn try_send(&self, msg: Message) -> Result<(), Message>;
+}
+
+impl MsgSender for Sender {
+    fn send(&self, msg: Message) {
+        Sender::send(self, msg)
+    }
+
+    fn try_send(&self, msg: Message) -> Result<(), Message> {
+        Sender::try_send(self, msg)
+    }
+}
+
+impl MsgSender for RingSender {
+    fn send(&self, msg: Message) {
+        RingSender::send(self, msg)
+    }
+
+    fn try_send(&self, msg: Message) -> Result<(), Message> {
+        RingSender::try_send(self, msg)
     }
 }
 

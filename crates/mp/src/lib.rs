@@ -32,5 +32,5 @@ pub mod hub;
 pub mod ring;
 
 pub use channel::{channel, Message, Receiver, Sender, MSG_WORDS};
-pub use hub::{MsgReceiver, ServerHub};
+pub use hub::{MsgReceiver, MsgSender, ServerHub};
 pub use ring::{ring_channel, RingReceiver, RingSender};

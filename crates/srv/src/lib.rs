@@ -13,7 +13,8 @@
 //!   frames for long values;
 //! * [`service`] — per-shard server threads multiplexing clients over
 //!   [`ssync_mp::ServerHub`], plus the [`service::ServiceClient`]
-//!   round-trip API;
+//!   round-trip API — both generic over the transport (one-line
+//!   channels or bounded rings, with pipelined reads on the latter);
 //! * [`workload`] — a deterministic workload engine: seeded zipfian and
 //!   uniform key distributions, YCSB-style read/write mixes, value-size
 //!   distributions, and a closed-loop driver.
@@ -50,6 +51,8 @@ pub mod wire;
 pub mod workload;
 
 pub use router::{shard_of, ShardRouter};
-pub use service::{serve, wire_mesh, KvClient, ServiceClient};
+pub use service::{ring_mesh, serve, wire_mesh, wire_mesh_with, KvClient, ServiceClient};
 pub use wire::{Request, Response, WireError};
-pub use workload::{KeyDist, Mix, Op, OpStream, ValueSize, WorkloadReport, WorkloadSpec};
+pub use workload::{
+    KeyDist, Mix, Op, OpStream, Transport, ValueSize, WorkloadReport, WorkloadSpec,
+};

@@ -2,37 +2,64 @@
 //!
 //! One server thread per shard, one [`ServiceClient`] per client
 //! thread. Every (client, shard) pair gets a dedicated SPSC channel
-//! pair (request + reply), so all traffic keeps `ssync-mp`'s
-//! single-cache-line transfer property; a server multiplexes its
-//! clients with [`ServerHub`] (round-robin, no starvation) and pulls a
-//! request's continuation frames with `recv_from_subset` so interleaved
-//! clients cannot corrupt a value mid-transfer.
+//! pair (request + reply); a server multiplexes its clients with
+//! [`ServerHub`] (round-robin, no starvation) and pulls a request's
+//! continuation frames with `recv_from_subset` so interleaved clients
+//! cannot corrupt a value mid-transfer.
 //!
-//! Flow control is the channels' one-line depth itself: a client has at
-//! most one request outstanding per shard ([`ServiceClient::get_many`]
-//! exploits exactly that — one multi-get per shard in flight, replies
-//! drained shard by shard), and a server finishes every reply frame of
-//! a request before polling for the next, so the system cannot
-//! deadlock on full buffers.
+//! The service is **generic over the transport** (mirroring
+//! `ServerHub`'s [`MsgReceiver`] generality): [`wire_mesh`] builds it
+//! on the paper-calibrated one-line channels, [`ring_mesh`] on bounded
+//! SPSC rings ([`ssync_mp::ring_channel`]). The one-line flavour keeps
+//! the documented single-cache-line cost model — but on an
+//! oversubscribed host it costs a context-switch pair per *frame*,
+//! which is why the ring flavour exists: a server writes a whole
+//! multi-frame reply and moves on, and a client can **pipeline** reads
+//! ([`ServiceClient::send_get`] / [`ServiceClient::read_get_reply`]),
+//! keeping a window of requests in flight per shard and draining
+//! replies in arrival order.
+//!
+//! Flow control per flavour:
+//!
+//! * One-line: a client has at most one request outstanding per shard
+//!   ([`ServiceClient::get_many`] exploits exactly that — one multi-get
+//!   per shard in flight, replies drained shard by shard), and a
+//!   server finishes every reply frame of a request before polling for
+//!   the next, so the system cannot deadlock on full buffers.
+//! * Ring: a pipelining client keeps at most `window` one-frame read
+//!   requests outstanding per shard, with `window` at most the ring
+//!   depth — its request sends therefore never block, so the only
+//!   blocking edges run server→client (reply rings), and the one
+//!   client of a full reply ring is by construction draining it.
 
+use core::cell::RefCell;
+
+use ssync_core::ParkingWait;
 use ssync_kv::KvStore;
 use ssync_locks::RawLock;
-use ssync_mp::{channel, Receiver, Sender, ServerHub};
+use ssync_mp::{
+    channel, ring_channel, Message, MsgReceiver, MsgSender, Receiver, RingReceiver, RingSender,
+    Sender, ServerHub,
+};
 
 use crate::router::{key_bytes, shard_of};
 use crate::wire::{Request, Response, WireError, MGET_MAX};
 
 /// A shard server's side of the channel mesh: one request receiver and
-/// one reply sender per client, index-aligned.
-pub struct ServerEndpoint {
-    requests: Vec<Receiver>,
-    replies: Vec<Sender>,
+/// one reply sender per client, index-aligned. Generic over the
+/// transport; defaults name the one-line flavour.
+pub struct ServerEndpoint<C: MsgReceiver = Receiver, S: MsgSender = Sender> {
+    requests: Vec<C>,
+    replies: Vec<S>,
 }
 
 /// A client's side of the channel mesh: one `(request sender, reply
-/// receiver)` pair per shard.
-pub struct ServiceClient {
-    shards: Vec<(Sender, Receiver)>,
+/// receiver)` pair per shard, plus a scratch frame buffer so encoding
+/// a request (head + continuation frames) allocates nothing per
+/// operation.
+pub struct ServiceClient<S: MsgSender = Sender, C: MsgReceiver = Receiver> {
+    shards: Vec<(S, C)>,
+    frames: RefCell<Vec<Message>>,
 }
 
 /// One read's outcome: `Some((version, value))` on a hit.
@@ -79,16 +106,24 @@ pub trait KvClient {
     fn delete(&self, key: u64) -> Result<Option<u64>, WireError>;
 }
 
+/// What a mesh constructor returns: element `s` of the first vector
+/// serves shard `s`, element `c` of the second belongs to client `c`.
+pub type Mesh<S, C> = (Vec<ServerEndpoint<C, S>>, Vec<ServiceClient<S, C>>);
+
 /// Builds the full channel mesh for `shards` servers × `clients`
-/// clients: element `s` of the first vector serves shard `s`, element
-/// `c` of the second belongs to client `c`.
+/// clients over any transport: `make` constructs one directed channel
+/// per call (two per client-shard pair — request and reply).
 ///
 /// # Panics
 ///
 /// Panics if `shards` or `clients` is zero.
-pub fn wire_mesh(shards: usize, clients: usize) -> (Vec<ServerEndpoint>, Vec<ServiceClient>) {
+pub fn wire_mesh_with<S: MsgSender, C: MsgReceiver>(
+    shards: usize,
+    clients: usize,
+    mut make: impl FnMut() -> (S, C),
+) -> Mesh<S, C> {
     assert!(shards > 0 && clients > 0);
-    let mut endpoints: Vec<ServerEndpoint> = (0..shards)
+    let mut endpoints: Vec<ServerEndpoint<C, S>> = (0..shards)
         .map(|_| ServerEndpoint {
             requests: Vec::with_capacity(clients),
             replies: Vec::with_capacity(clients),
@@ -98,15 +133,38 @@ pub fn wire_mesh(shards: usize, clients: usize) -> (Vec<ServerEndpoint>, Vec<Ser
     for _ in 0..clients {
         let mut per_shard = Vec::with_capacity(shards);
         for endpoint in endpoints.iter_mut() {
-            let (req_tx, req_rx) = channel();
-            let (rep_tx, rep_rx) = channel();
+            let (req_tx, req_rx) = make();
+            let (rep_tx, rep_rx) = make();
             endpoint.requests.push(req_rx);
             endpoint.replies.push(rep_tx);
             per_shard.push((req_tx, rep_rx));
         }
-        service_clients.push(ServiceClient { shards: per_shard });
+        service_clients.push(ServiceClient {
+            shards: per_shard,
+            frames: RefCell::new(Vec::new()),
+        });
     }
     (endpoints, service_clients)
+}
+
+/// [`wire_mesh_with`] on the paper-calibrated one-line channels — the
+/// default transport, whose cost model (one cache-line transfer per
+/// frame) is the one the figures calibrate.
+pub fn wire_mesh(shards: usize, clients: usize) -> Mesh<Sender, Receiver> {
+    wire_mesh_with(shards, clients, channel)
+}
+
+/// [`wire_mesh_with`] on bounded SPSC rings of `depth` slots: the
+/// transport for oversubscribed hosts, where queue depth amortizes
+/// scheduler handoffs across a whole burst of frames and enables the
+/// pipelined read path.
+///
+/// # Panics
+///
+/// Panics if `shards` or `clients` is zero, or if `depth` is not a
+/// positive power of two.
+pub fn ring_mesh(shards: usize, clients: usize, depth: usize) -> Mesh<RingSender, RingReceiver> {
+    wire_mesh_with(shards, clients, || ring_channel(depth))
 }
 
 /// What one shard server did before all its clients stopped.
@@ -125,21 +183,41 @@ pub struct ServeReport {
 /// until each has sent [`Request::Stop`]. Meant to run on its own
 /// thread; returns once the last client stops.
 ///
+/// The poll loop waits with [`ParkingWait`] (parity with the
+/// replication servers): a shard that sits idle — skewed routing can
+/// starve a shard for whole phases — leaves the run queue instead of
+/// yield-looping, which on an oversubscribed host taxes every busy
+/// thread with a context switch per scheduling cycle.
+///
 /// A head frame that fails to decode is answered with
 /// [`Response::Malformed`] and the loop keeps serving — a corrupt
 /// frame degrades one connection, it does not take the shard down.
-pub fn serve<R: RawLock + Default>(shard: &KvStore<R>, endpoint: ServerEndpoint) -> ServeReport {
+pub fn serve<R: RawLock + Default, C: MsgReceiver, S: MsgSender>(
+    shard: &KvStore<R>,
+    endpoint: ServerEndpoint<C, S>,
+) -> ServeReport {
     let ServerEndpoint { requests, replies } = endpoint;
     let mut live = requests.len();
     let mut hub = ServerHub::new(requests);
     let mut report = ServeReport::default();
+    let mut frames: Vec<Message> = Vec::new();
+    let mut wait = ParkingWait::new();
     while live > 0 {
-        let (client, head) = hub.recv_from_any();
+        let (client, head) = loop {
+            match hub.try_recv_from_any() {
+                Some(hit) => {
+                    wait.reset();
+                    break hit;
+                }
+                None => wait.snooze(),
+            }
+        };
         let request = match Request::decode(head, || hub.recv_from_subset(&[client]).1) {
             Ok(request) => request,
             Err(_) => {
                 report.malformed += 1;
-                for frame in Response::Malformed.encode() {
+                Response::Malformed.encode_into(&mut frames);
+                for &frame in &frames {
                     replies[client].send(frame);
                 }
                 continue;
@@ -151,7 +229,8 @@ pub fn serve<R: RawLock + Default>(shard: &KvStore<R>, endpoint: ServerEndpoint)
         }
         report.requests += 1;
         for response in execute(shard, request, &mut report.key_ops) {
-            for frame in response.encode() {
+            response.encode_into(&mut frames);
+            for &frame in &frames {
                 replies[client].send(frame);
             }
         }
@@ -180,7 +259,21 @@ fn execute<R: RawLock + Default>(
         }
         Request::MultiGet { keys } => {
             *key_ops += keys.len() as u64;
-            keys.into_iter().map(lookup).collect()
+            // One store-level batch: each key reads through the
+            // store's configured read path (optimistic by default).
+            let key_bufs: Vec<[u8; 8]> = keys.iter().map(|&key| key_bytes(key)).collect();
+            let key_refs: Vec<&[u8]> = key_bufs.iter().map(|buf| buf.as_slice()).collect();
+            shard
+                .multi_get(&key_refs)
+                .into_iter()
+                .map(|hit| match hit {
+                    Some((version, value)) => Response::Value {
+                        version,
+                        value: value.as_ref().to_vec(),
+                    },
+                    None => Response::Miss,
+                })
+                .collect()
         }
         Request::Set { key, value } => {
             *key_ops += 1;
@@ -217,19 +310,27 @@ fn execute<R: RawLock + Default>(
     }
 }
 
-impl ServiceClient {
+impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
     /// Number of shards this client can reach.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
 
+    /// Encodes `request` into the scratch buffer and sends every frame
+    /// to `shard`.
+    fn send_request(&self, shard: usize, request: &Request) {
+        let (tx, _) = &self.shards[shard];
+        let mut frames = self.frames.borrow_mut();
+        request.encode_into(&mut frames);
+        for &frame in frames.iter() {
+            tx.send(frame);
+        }
+    }
+
     /// One blocking round-trip to a shard: send every request frame,
     /// then read one response.
     fn call(&self, shard: usize, request: &Request) -> Result<Response, WireError> {
-        let (tx, _) = &self.shards[shard];
-        for frame in request.encode() {
-            tx.send(frame);
-        }
+        self.send_request(shard, request);
         self.read_response(shard)
     }
 
@@ -248,6 +349,38 @@ impl ServiceClient {
     pub fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
         let shard = shard_of(key, self.shards.len());
         match self.call(shard, &Request::Get { key })? {
+            Response::Value { version, value } => Ok(Some((version, value))),
+            Response::Miss => Ok(None),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Get")),
+        }
+    }
+
+    /// Fires one read without waiting for the reply, returning the
+    /// shard it went to — the send half of the pipelined read path.
+    /// The caller owes that shard exactly one
+    /// [`ServiceClient::read_get_reply`], in issue order per shard
+    /// (the channels are FIFO).
+    ///
+    /// Pipelining discipline: keep the number of unread replies per
+    /// shard at or below the transport's queue depth, so these sends
+    /// can never block on a full request channel while replies wait —
+    /// the workload driver's window enforces this.
+    pub fn send_get(&self, key: u64) -> usize {
+        let shard = shard_of(key, self.shards.len());
+        self.send_request(shard, &Request::Get { key });
+        shard
+    }
+
+    /// Blocks for the next outstanding read reply from `shard` — the
+    /// drain half of the pipelined read path.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the reply fails to decode, is out of protocol,
+    /// or the server rejected the request as malformed.
+    pub fn read_get_reply(&self, shard: usize) -> Result<ReadHit, WireError> {
+        match self.read_response(shard)? {
             Response::Value { version, value } => Ok(Some((version, value))),
             Response::Miss => Ok(None),
             Response::Malformed => Err(WireError::Rejected),
@@ -284,10 +417,7 @@ impl ServiceClient {
                 let chunk = positions.chunks(MGET_MAX).nth(round).unwrap_or(&[]);
                 if !chunk.is_empty() {
                     let batch: Vec<u64> = chunk.iter().map(|&p| keys[p]).collect();
-                    let (tx, _) = &self.shards[shard];
-                    for frame in (Request::MultiGet { keys: batch }).encode() {
-                        tx.send(frame);
-                    }
+                    self.send_request(shard, &Request::MultiGet { keys: batch });
                 }
                 sent.push(chunk);
             }
@@ -367,15 +497,13 @@ impl ServiceClient {
     /// Tells every shard server this client is done, consuming the
     /// client. Servers exit after the last client closes.
     pub fn close(self) {
-        for (tx, _) in &self.shards {
-            for frame in Request::Stop.encode() {
-                tx.send(frame);
-            }
+        for shard in 0..self.shards.len() {
+            self.send_request(shard, &Request::Stop);
         }
     }
 }
 
-impl KvClient for ServiceClient {
+impl<S: MsgSender, C: MsgReceiver> KvClient for ServiceClient<S, C> {
     fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
         ServiceClient::get(self, key)
     }
@@ -403,13 +531,36 @@ mod tests {
     use crate::router::ShardRouter;
     use ssync_locks::TicketLock;
 
-    /// Runs `body` with `clients` live clients against a served router.
+    /// Runs `body` with `clients` live clients against a served router
+    /// on the one-line transport.
     fn with_service<F>(shards: usize, clients: usize, body: F) -> ShardRouter<TicketLock>
     where
         F: FnOnce(Vec<ServiceClient>) + Send,
     {
         let router: ShardRouter<TicketLock> = ShardRouter::new(shards, 64, 8);
         let (endpoints, service_clients) = wire_mesh(shards, clients);
+        std::thread::scope(|s| {
+            for (shard, endpoint) in endpoints.into_iter().enumerate() {
+                let store = router.shard(shard);
+                s.spawn(move || serve(store, endpoint));
+            }
+            body(service_clients);
+        });
+        router
+    }
+
+    /// As [`with_service`], over the ring transport.
+    fn with_ring_service<F>(
+        shards: usize,
+        clients: usize,
+        depth: usize,
+        body: F,
+    ) -> ShardRouter<TicketLock>
+    where
+        F: FnOnce(Vec<ServiceClient<RingSender, RingReceiver>>) + Send,
+    {
+        let router: ShardRouter<TicketLock> = ShardRouter::new(shards, 64, 8);
+        let (endpoints, service_clients) = ring_mesh(shards, clients, depth);
         std::thread::scope(|s| {
             for (shard, endpoint) in endpoints.into_iter().enumerate() {
                 let store = router.shard(shard);
@@ -442,10 +593,75 @@ mod tests {
     }
 
     #[test]
+    fn end_to_end_on_rings() {
+        let router = with_ring_service(2, 2, 16, |clients| {
+            std::thread::scope(|s| {
+                for (c, client) in clients.into_iter().enumerate() {
+                    s.spawn(move || {
+                        let base = c as u64 * 1000;
+                        for i in 0..60 {
+                            client.set(base + i, vec![c as u8; 48]).unwrap();
+                        }
+                        for i in 0..60 {
+                            let (_, value) = client.get(base + i).unwrap().unwrap();
+                            assert_eq!(value, vec![c as u8; 48]);
+                        }
+                        client.close();
+                    });
+                }
+            });
+        });
+        assert_eq!(router.len(), 120);
+    }
+
+    #[test]
+    fn pipelined_reads_drain_in_order() {
+        with_ring_service(3, 1, 32, |mut clients| {
+            let client = clients.pop().unwrap();
+            for key in 0..64u64 {
+                client.set(key, key.to_be_bytes().to_vec()).unwrap();
+            }
+            // Issue a full window of reads before draining any reply;
+            // replies come back FIFO per shard.
+            let mut pending: Vec<Vec<u64>> = vec![Vec::new(); 3];
+            for key in 0..64u64 {
+                let shard = client.send_get(key);
+                pending[shard].push(key);
+                // Keep per-shard outstanding below the ring depth.
+                if pending[shard].len() == 16 {
+                    for expect in pending[shard].drain(..) {
+                        let (_, value) = client.read_get_reply(shard).unwrap().unwrap();
+                        assert_eq!(value, expect.to_be_bytes().to_vec());
+                    }
+                }
+            }
+            for (shard, keys) in pending.into_iter().enumerate() {
+                for expect in keys {
+                    let (_, value) = client.read_get_reply(shard).unwrap().unwrap();
+                    assert_eq!(value, expect.to_be_bytes().to_vec());
+                }
+            }
+            client.close();
+        });
+    }
+
+    #[test]
     fn long_values_cross_the_wire_intact() {
         with_service(2, 1, |mut clients| {
             let client = clients.pop().unwrap();
             let value: Vec<u8> = (0..700).map(|i| (i % 256) as u8).collect();
+            client.set(9, value.clone()).unwrap();
+            let (_, got) = client.get(9).unwrap().unwrap();
+            assert_eq!(got, value);
+            client.close();
+        });
+    }
+
+    #[test]
+    fn long_values_cross_the_rings_intact() {
+        with_ring_service(2, 1, 8, |mut clients| {
+            let client = clients.pop().unwrap();
+            let value: Vec<u8> = (0..700).map(|i| (i % 251) as u8).collect();
             client.set(9, value.clone()).unwrap();
             let (_, got) = client.get(9).unwrap().unwrap();
             assert_eq!(got, value);

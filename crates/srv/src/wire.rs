@@ -330,6 +330,21 @@ impl Request {
     /// more than [`MGET_MAX`] keys.
     pub fn encode(&self) -> Vec<Message> {
         let mut out = Vec::with_capacity(1);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`Request::encode`] into a reused buffer: clears `out` and fills
+    /// it with the frames. Hot request paths (the service clients, the
+    /// replication stream) call this with a per-connection scratch
+    /// buffer so a long value's continuation-frame assembly costs no
+    /// allocation per operation.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Request::encode`].
+    pub fn encode_into(&self, out: &mut Vec<Message>) {
+        out.clear();
         match self {
             Request::Get { key } => {
                 let mut m: Message = [0; MSG_WORDS];
@@ -351,7 +366,7 @@ impl Request {
                 let mut m: Message = [0; MSG_WORDS];
                 m[0] = head_word(OP_SET, 0, value.len());
                 m[1] = *key;
-                push_value_frames(m, value, &mut out);
+                push_value_frames(m, value, out);
             }
             Request::Cas {
                 key,
@@ -362,7 +377,7 @@ impl Request {
                 m[0] = head_word(OP_CAS, 0, value.len());
                 m[1] = *key;
                 m[2] = *expected;
-                push_value_frames(m, value, &mut out);
+                push_value_frames(m, value, out);
             }
             Request::Delete { key } => {
                 let mut m: Message = [0; MSG_WORDS];
@@ -379,7 +394,7 @@ impl Request {
                 m[0] = head_word(OP_REPLICATE, 0, value.len());
                 m[1] = *key;
                 m[2] = *version;
-                push_value_frames(m, value, &mut out);
+                push_value_frames(m, value, out);
             }
             Request::ReplicateDelete { key, version } => {
                 let mut m: Message = [0; MSG_WORDS];
@@ -418,7 +433,6 @@ impl Request {
                 out.push(m);
             }
         }
-        out
     }
 
     /// Decodes a request from its head frame, pulling continuation
@@ -499,12 +513,25 @@ impl Response {
     /// Panics on an over-long value.
     pub fn encode(&self) -> Vec<Message> {
         let mut out = Vec::with_capacity(1);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`Response::encode`] into a reused buffer: clears `out` and
+    /// fills it with the frames — the server loops' per-connection
+    /// scratch, so replying costs no allocation per operation.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Response::encode`].
+    pub fn encode_into(&self, out: &mut Vec<Message>) {
+        out.clear();
         let mut m: Message = [0; MSG_WORDS];
         match self {
             Response::Value { version, value } => {
                 m[0] = head_word(ST_VALUE, 0, value.len());
                 m[1] = *version;
-                push_value_frames(m, value, &mut out);
+                push_value_frames(m, value, out);
             }
             Response::Miss => {
                 m[0] = head_word(ST_MISS, 0, 0);
@@ -544,7 +571,6 @@ impl Response {
                 out.push(m);
             }
         }
-        out
     }
 
     /// Decodes a response from its head frame, pulling continuation

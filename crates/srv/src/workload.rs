@@ -17,10 +17,39 @@ use rand::{Rng, SeedableRng};
 
 use ssync_kv::StatsSnapshot;
 use ssync_locks::RawLock;
+use ssync_mp::{MsgReceiver, MsgSender};
 
 use crate::router::ShardRouter;
-use crate::service::{serve, wire_mesh, KvClient};
+use crate::service::{ring_mesh, serve, wire_mesh, KvClient, Mesh, ServiceClient};
 use crate::wire::MAX_VALUE_LEN;
+
+/// Which channel flavour carries a closed-loop run's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// The paper-calibrated one-line channels: one message in flight
+    /// per direction, the strictly request/reply client.
+    OneLine,
+    /// Bounded SPSC rings of `depth` slots, with clients pipelining up
+    /// to `window` reads in flight across their shards
+    /// ([`drive_worker_pipelined`]). `window` must not exceed `depth`
+    /// (the no-blocking-sends discipline of the pipelined client).
+    Ring {
+        /// Ring depth in message slots (positive power of two).
+        depth: usize,
+        /// Maximum reads in flight per client across all shards.
+        window: usize,
+    },
+}
+
+impl Transport {
+    /// Short display name for benchmark labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transport::OneLine => "oneline",
+            Transport::Ring { .. } => "ring",
+        }
+    }
+}
 
 /// Largest read batch the engine will emit. Batches wider than one
 /// multi-get frame are split into frame-sized chunks by the clients —
@@ -401,102 +430,176 @@ pub struct Tally {
     pub deleted: u64,
 }
 
+/// Issues one op through the blocking round-trip API, recording it in
+/// the tally — the shared leg of the sequential and pipelined drivers.
+///
+/// The driver owns the connection; a wire error here is a harness bug,
+/// not load, so it unwraps — the *server* is the side that must never
+/// die on a bad frame.
+fn apply_op<C: KvClient>(client: &C, op: Op, tally: &mut Tally) {
+    match op {
+        Op::Get(key) => {
+            tally.issued.gets += 1;
+            match client.get(key).expect("wire error") {
+                Some(_) => tally.hits += 1,
+                None => tally.misses += 1,
+            }
+        }
+        Op::MultiGet(keys) => {
+            tally.issued.gets += keys.len() as u64;
+            for res in client.get_many(&keys).expect("wire error") {
+                match res {
+                    Some(_) => tally.hits += 1,
+                    None => tally.misses += 1,
+                }
+            }
+        }
+        Op::Set(key, value) => {
+            tally.issued.sets += 1;
+            client.set(key, value).expect("wire error");
+        }
+        Op::Cas(key, value) => {
+            tally.issued.cas += 1;
+            match client.get(key).expect("wire error") {
+                Some((version, _)) => {
+                    tally.hits += 1;
+                    match client.cas(key, value, version).expect("wire error") {
+                        Ok(_) => tally.cas_ok += 1,
+                        Err(_) => tally.cas_fail += 1,
+                    }
+                }
+                None => {
+                    tally.misses += 1;
+                    tally.cas_fail += 1;
+                }
+            }
+        }
+        Op::Delete(key) => {
+            tally.issued.deletes += 1;
+            if client.delete(key).expect("wire error").is_some() {
+                tally.deleted += 1;
+            }
+        }
+    }
+}
+
 /// Runs one client worker's closed loop for `ops` key-operations over
 /// any [`KvClient`] — the plain service client or the replication
 /// layer's replica-reading one. The caller closes the client
 /// afterwards (it may want to read client-side counters first).
 pub fn drive_worker<C: KvClient>(client: &C, mut stream: OpStream, ops: u64) -> Tally {
-    // The driver owns the connection; a wire error here is a harness
-    // bug, not load, so it unwraps — the *server* is the side that must
-    // never die on a bad frame.
     let mut tally = Tally::default();
     while tally.issued.total() < ops {
-        match stream.next_op() {
-            Op::Get(key) => {
-                tally.issued.gets += 1;
-                match client.get(key).expect("wire error") {
-                    Some(_) => tally.hits += 1,
-                    None => tally.misses += 1,
-                }
-            }
-            Op::MultiGet(keys) => {
-                tally.issued.gets += keys.len() as u64;
-                for res in client.get_many(&keys).expect("wire error") {
-                    match res {
-                        Some(_) => tally.hits += 1,
-                        None => tally.misses += 1,
-                    }
-                }
-            }
-            Op::Set(key, value) => {
-                tally.issued.sets += 1;
-                client.set(key, value).expect("wire error");
-            }
-            Op::Cas(key, value) => {
-                tally.issued.cas += 1;
-                match client.get(key).expect("wire error") {
-                    Some((version, _)) => {
-                        tally.hits += 1;
-                        match client.cas(key, value, version).expect("wire error") {
-                            Ok(_) => tally.cas_ok += 1,
-                            Err(_) => tally.cas_fail += 1,
-                        }
-                    }
-                    None => {
-                        tally.misses += 1;
-                        tally.cas_fail += 1;
-                    }
-                }
-            }
-            Op::Delete(key) => {
-                tally.issued.deletes += 1;
-                if client.delete(key).expect("wire error").is_some() {
-                    tally.deleted += 1;
-                }
-            }
-        }
+        let op = stream.next_op();
+        apply_op(client, op, &mut tally);
     }
     tally
 }
 
-/// Runs the full closed-loop experiment: preload the keyspace, spawn
-/// one server thread per shard and `workers` client threads, drive
-/// `ops_per_worker` key-operations per client, and report.
+/// The pipelined closed loop for ring transports: plain reads are
+/// fired without waiting ([`ServiceClient::send_get`]) and their
+/// replies drained in arrival order once `window` are in flight, so a
+/// read-heavy worker hands the core over once per *window* instead of
+/// once per operation. Writes (and batched reads) are ordering
+/// barriers: all outstanding reads drain first, then the op runs the
+/// blocking path — per-worker semantics therefore match
+/// [`drive_worker`] exactly, and the issued op stream is identical.
 ///
-/// Issued op counts are deterministic in `(spec, workers,
-/// ops_per_worker)`; wall time and the hit/miss split of mixes with
-/// deletes are load-dependent.
-pub fn run_closed_loop<R: RawLock + Default>(
+/// `window` must not exceed the ring depth: with at most `window`
+/// one-frame read requests outstanding per shard, the client's sends
+/// can never block on a full request ring, which is what keeps the
+/// waits-for graph acyclic (servers only ever wait on reply rings
+/// their one client is guaranteed to drain).
+pub fn drive_worker_pipelined<S: MsgSender, C: MsgReceiver>(
+    client: &ServiceClient<S, C>,
+    mut stream: OpStream,
+    ops: u64,
+    window: usize,
+) -> Tally {
+    assert!(window >= 1, "window must be positive");
+    let shards = client.num_shards();
+    let mut tally = Tally::default();
+    // Outstanding read replies per shard; drained oldest-shard-first
+    // from a rotating cursor (any shard with pending replies works —
+    // its server owes us exactly that many).
+    let mut pending: Vec<u64> = vec![0; shards];
+    let mut in_flight: u64 = 0;
+    let mut cursor = 0usize;
+
+    let drain_one = |pending: &mut [u64], cursor: &mut usize, tally: &mut Tally| {
+        while pending[*cursor] == 0 {
+            *cursor = (*cursor + 1) % shards;
+        }
+        match client.read_get_reply(*cursor).expect("wire error") {
+            Some(_) => tally.hits += 1,
+            None => tally.misses += 1,
+        }
+        pending[*cursor] -= 1;
+    };
+
+    while tally.issued.total() < ops {
+        match stream.next_op() {
+            Op::Get(key) => {
+                tally.issued.gets += 1;
+                let shard = client.send_get(key);
+                pending[shard] += 1;
+                in_flight += 1;
+                if in_flight as usize >= window {
+                    drain_one(&mut pending, &mut cursor, &mut tally);
+                    in_flight -= 1;
+                }
+            }
+            op => {
+                // Writes and batched reads act as barriers: flush every
+                // outstanding read so per-worker ordering matches the
+                // sequential driver.
+                while in_flight > 0 {
+                    drain_one(&mut pending, &mut cursor, &mut tally);
+                    in_flight -= 1;
+                }
+                apply_op(client, op, &mut tally);
+            }
+        }
+    }
+    while in_flight > 0 {
+        drain_one(&mut pending, &mut cursor, &mut tally);
+        in_flight -= 1;
+    }
+    tally
+}
+
+/// The spawn/serve/join choreography shared by both transports: one
+/// server thread per shard, one client thread per worker (each driven
+/// by `driver`, which closes over transport specifics like the
+/// pipeline window), tallies joined in worker order.
+fn drive_mesh<R, S, C, F>(
     router: &ShardRouter<R>,
     spec: &WorkloadSpec,
-    workers: usize,
     ops_per_worker: u64,
-) -> WorkloadReport {
-    assert!(workers > 0);
-    // Preload directly through the router: every key present.
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
-    for key in 0..spec.keys {
-        let len = spec.vsize.sample(&mut rng);
-        let value: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
-        router.set(key, value);
-    }
-    let before = router.stats_snapshot();
-
-    let (endpoints, service_clients) = wire_mesh(router.num_shards(), workers);
-    let start = Instant::now();
-    let mut tallies: Vec<Tally> = Vec::with_capacity(workers);
+    mesh: Mesh<S, C>,
+    driver: F,
+) -> Vec<Tally>
+where
+    R: RawLock + Default,
+    S: MsgSender + Send,
+    C: MsgReceiver + Send,
+    F: Fn(&ServiceClient<S, C>, OpStream, u64) -> Tally + Sync,
+{
+    let (endpoints, service_clients) = mesh;
+    let mut tallies = Vec::with_capacity(service_clients.len());
     std::thread::scope(|s| {
         for (shard, endpoint) in endpoints.into_iter().enumerate() {
             let store = router.shard(shard);
             s.spawn(move || serve(store, endpoint));
         }
+        let driver = &driver;
         let handles: Vec<_> = service_clients
             .into_iter()
             .enumerate()
             .map(|(worker, client)| {
                 let stream = OpStream::new(spec, worker as u64);
                 s.spawn(move || {
-                    let tally = drive_worker(&client, stream, ops_per_worker);
+                    let tally = driver(&client, stream, ops_per_worker);
                     client.close();
                     tally
                 })
@@ -508,6 +611,75 @@ pub fn run_closed_loop<R: RawLock + Default>(
                 .map(|h| h.join().expect("worker panicked")),
         );
     });
+    tallies
+}
+
+/// Runs the full closed-loop experiment on the one-line transport:
+/// preload the keyspace, spawn one server thread per shard and
+/// `workers` client threads, drive `ops_per_worker` key-operations per
+/// client, and report.
+///
+/// Issued op counts are deterministic in `(spec, workers,
+/// ops_per_worker)`; wall time and the hit/miss split of mixes with
+/// deletes are load-dependent.
+pub fn run_closed_loop<R: RawLock + Default>(
+    router: &ShardRouter<R>,
+    spec: &WorkloadSpec,
+    workers: usize,
+    ops_per_worker: u64,
+) -> WorkloadReport {
+    run_closed_loop_on(router, spec, workers, ops_per_worker, Transport::OneLine)
+}
+
+/// [`run_closed_loop`] with an explicit [`Transport`]. The op streams
+/// (and therefore the issued counts) are identical across transports;
+/// rings additionally pipeline plain reads through
+/// [`drive_worker_pipelined`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, or on a [`Transport::Ring`] whose
+/// `window` is zero or exceeds its `depth`.
+pub fn run_closed_loop_on<R: RawLock + Default>(
+    router: &ShardRouter<R>,
+    spec: &WorkloadSpec,
+    workers: usize,
+    ops_per_worker: u64,
+    transport: Transport,
+) -> WorkloadReport {
+    assert!(workers > 0);
+    if let Transport::Ring { depth, window } = transport {
+        assert!(
+            window >= 1 && window <= depth,
+            "ring window {window} must be in 1..=depth ({depth})"
+        );
+    }
+    // Preload directly through the router: every key present.
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    for key in 0..spec.keys {
+        let len = spec.vsize.sample(&mut rng);
+        let value: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        router.set(key, value);
+    }
+    let before = router.stats_snapshot();
+
+    let start = Instant::now();
+    let tallies = match transport {
+        Transport::OneLine => drive_mesh(
+            router,
+            spec,
+            ops_per_worker,
+            wire_mesh(router.num_shards(), workers),
+            drive_worker,
+        ),
+        Transport::Ring { depth, window } => drive_mesh(
+            router,
+            spec,
+            ops_per_worker,
+            ring_mesh(router.num_shards(), workers, depth),
+            move |client, stream, ops| drive_worker_pipelined(client, stream, ops, window),
+        ),
+    };
     let wall = start.elapsed();
     let after = router.stats_snapshot();
 
@@ -655,5 +827,93 @@ mod tests {
         let report2 = run_closed_loop(&router2, &spec, 2, 500);
         assert_eq!(report.issued, report2.issued);
         assert_eq!(report.hits, report2.hits);
+    }
+
+    #[test]
+    fn ring_transport_matches_oneline_results() {
+        // Same spec, both transports: the issued streams are identical
+        // by construction, and on a delete-free mix the observed
+        // hit/miss and CAS tallies must match too — pipelining
+        // reorders nothing a single worker can see.
+        let spec = WorkloadSpec {
+            keys: 256,
+            mix: Mix::YCSB_B,
+            ..WorkloadSpec::example()
+        };
+        let oneline: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let base = run_closed_loop(&oneline, &spec, 2, 400);
+        let ring: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let piped = run_closed_loop_on(
+            &ring,
+            &spec,
+            2,
+            400,
+            Transport::Ring {
+                depth: 32,
+                window: 8,
+            },
+        );
+        assert_eq!(base.issued, piped.issued);
+        assert_eq!(base.hits, piped.hits);
+        assert_eq!(base.misses, piped.misses);
+        assert_eq!(base.store.sets, piped.store.sets);
+        // Both stores converge to identical contents (same versions:
+        // single-writer-per-key is not guaranteed here, but set counts
+        // per key are, and YCSB-B only sets).
+        assert_eq!(oneline.len(), ring.len());
+    }
+
+    #[test]
+    fn pipelined_driver_handles_mixed_and_churn_ops() {
+        // Churn exercises the write barrier (flush before set/cas/
+        // delete) and delete/refill cycles under pipelining.
+        let spec = WorkloadSpec {
+            keys: 128,
+            mix: Mix::CHURN,
+            ..WorkloadSpec::example()
+        };
+        let router: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let report = run_closed_loop_on(
+            &router,
+            &spec,
+            2,
+            300,
+            Transport::Ring {
+                depth: 16,
+                window: 16,
+            },
+        );
+        assert_eq!(report.issued.total(), 600);
+        assert!(report.issued.deletes > 0 && report.issued.cas > 0);
+        // Replays exactly.
+        let router2: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let report2 = run_closed_loop_on(
+            &router2,
+            &spec,
+            2,
+            300,
+            Transport::Ring {
+                depth: 16,
+                window: 16,
+            },
+        );
+        assert_eq!(report.issued, report2.issued);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn ring_window_beyond_depth_rejected() {
+        let router: ShardRouter<TicketLock> = ShardRouter::new(1, 64, 8);
+        let spec = WorkloadSpec::example();
+        let _ = run_closed_loop_on(
+            &router,
+            &spec,
+            1,
+            10,
+            Transport::Ring {
+                depth: 8,
+                window: 9,
+            },
+        );
     }
 }

@@ -8,9 +8,9 @@
 use ssync::locks::{McsLock, TicketLock};
 use ssync::srv::router::ShardRouter;
 use ssync::srv::service::{serve, wire_mesh};
-use ssync::srv::workload::{run_closed_loop, KeyDist, Mix, ValueSize, WorkloadSpec};
+use ssync::srv::workload::{run_closed_loop_on, KeyDist, Mix, Transport, ValueSize, WorkloadSpec};
 
-fn bench<R: ssync::locks::RawLock + Default>(name: &str, mix: Mix) {
+fn bench<R: ssync::locks::RawLock + Default>(name: &str, mix: Mix, transport: Transport) {
     let router: ShardRouter<R> = ShardRouter::new(4, 256, 16);
     let spec = WorkloadSpec {
         keys: 1024,
@@ -21,10 +21,11 @@ fn bench<R: ssync::locks::RawLock + Default>(name: &str, mix: Mix) {
         seed: 7,
     };
     let workers = ssync::core::cores::test_threads(4);
-    let report = run_closed_loop(&router, &spec, workers, 2_000);
+    let report = run_closed_loop_on(&router, &spec, workers, 2_000, transport);
     println!(
-        "{name:>8} {:>7}: {:>7.0} ops/s, hit rate {:>5.1}%, {} maintenance passes",
+        "{name:>8} {:>7} {:>7}: {:>8.0} ops/s, hit rate {:>5.1}%, {} maintenance passes",
         mix.name,
+        transport.label(),
         report.ops_per_sec(),
         report.hit_rate() * 100.0,
         report.store.maintenance_runs
@@ -63,10 +64,19 @@ fn main() {
         client.close();
     });
 
-    // Then the workload engine over two lock algorithms.
+    // Then the workload engine over two lock algorithms and both
+    // transports: the one-line channels are the paper's calibrated
+    // model, the rings pipeline reads and amortize scheduler handoffs
+    // (the stores read through the optimistic fast path either way).
+    let ring = Transport::Ring {
+        depth: 64,
+        window: 16,
+    };
     println!("\nclosed-loop YCSB over 4 shards, zipf 0.99:");
-    bench::<TicketLock>("TICKET", Mix::YCSB_B);
-    bench::<TicketLock>("TICKET", Mix::YCSB_A);
-    bench::<McsLock>("MCS", Mix::YCSB_B);
-    bench::<McsLock>("MCS", Mix::YCSB_A);
+    bench::<TicketLock>("TICKET", Mix::YCSB_B, Transport::OneLine);
+    bench::<TicketLock>("TICKET", Mix::YCSB_B, ring);
+    bench::<TicketLock>("TICKET", Mix::YCSB_A, Transport::OneLine);
+    bench::<TicketLock>("TICKET", Mix::YCSB_A, ring);
+    bench::<McsLock>("MCS", Mix::YCSB_B, Transport::OneLine);
+    bench::<McsLock>("MCS", Mix::YCSB_B, ring);
 }

@@ -13,8 +13,10 @@ use ssync::kv::KvStore;
 use ssync::locks::{AnyLock, HticketLock, Lock, LockKind, McsLock, RawLock, TicketLock};
 use ssync::mp::channel::channel;
 use ssync::srv::router::ShardRouter;
-use ssync::srv::service::{serve, wire_mesh};
-use ssync::srv::workload::{run_closed_loop, KeyDist, Mix, ValueSize, WorkloadSpec};
+use ssync::srv::service::{ring_mesh, serve, wire_mesh};
+use ssync::srv::workload::{
+    run_closed_loop, run_closed_loop_on, KeyDist, Mix, Transport, ValueSize, WorkloadSpec,
+};
 use ssync::tm::shared::TmHeap;
 
 #[test]
@@ -183,6 +185,89 @@ fn sharded_service_composes_locks_mp_and_kv() {
     let snap = router.stats_snapshot();
     assert_eq!(snap.sets, clients as u64 * 150);
     assert_eq!(snap.misses, 0);
+}
+
+#[test]
+fn sharded_service_runs_on_rings_with_pipelined_reads() {
+    // The same full-stack composition over the ring transport: the
+    // pipelined client keeps a window of reads in flight per shard and
+    // drains them FIFO, and the optimistic read path (the stores'
+    // default) answers without stripe-lock round-trips.
+    let clients = test_threads(3);
+    let shards = 2;
+    let router: ShardRouter<McsLock> = ShardRouter::new(shards, 64, 8);
+    let (endpoints, service_clients) = ring_mesh(shards, clients, 32);
+    std::thread::scope(|s| {
+        for (shard, endpoint) in endpoints.into_iter().enumerate() {
+            let store = router.shard(shard);
+            s.spawn(move || serve(store, endpoint));
+        }
+        for (c, client) in service_clients.into_iter().enumerate() {
+            s.spawn(move || {
+                let base = c as u64 * 10_000;
+                for i in 0..120 {
+                    client.set(base + i, vec![c as u8; 24]).unwrap();
+                }
+                // Pipelined: fire a window of reads before draining.
+                let mut pending: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                let mut in_flight = 0;
+                for i in 0..120 {
+                    let shard = client.send_get(base + i);
+                    pending[shard].push(base + i);
+                    in_flight += 1;
+                    if in_flight == 16 {
+                        for (shard, keys) in pending.iter_mut().enumerate() {
+                            for key in keys.drain(..) {
+                                let (_, value) = client.read_get_reply(shard).unwrap().unwrap();
+                                assert_eq!(value, vec![c as u8; 24], "key {key}");
+                            }
+                        }
+                        in_flight = 0;
+                    }
+                }
+                for (shard, keys) in pending.into_iter().enumerate() {
+                    for _ in keys {
+                        assert!(client.read_get_reply(shard).unwrap().is_some());
+                    }
+                }
+                client.close();
+            });
+        }
+    });
+    assert_eq!(router.len(), clients * 120);
+    assert_eq!(router.stats_snapshot().misses, 0);
+}
+
+#[test]
+fn ring_and_oneline_closed_loops_agree_on_ycsb() {
+    // Transport is a performance knob, not a semantics knob: on a
+    // delete-free mix both transports observe identical hit tallies
+    // and store-side set counts, for the same deterministic op stream.
+    let spec = WorkloadSpec {
+        keys: 96,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        mix: Mix::YCSB_B,
+        vsize: ValueSize::Uniform { min: 8, max: 96 },
+        batch: 1,
+        seed: 7,
+    };
+    let workers = test_threads(2);
+    let a: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+    let base = run_closed_loop(&a, &spec, workers, 250);
+    let b: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+    let ring = run_closed_loop_on(
+        &b,
+        &spec,
+        workers,
+        250,
+        Transport::Ring {
+            depth: 32,
+            window: 8,
+        },
+    );
+    assert_eq!(base.issued, ring.issued);
+    assert_eq!((base.hits, base.misses), (ring.hits, ring.misses));
+    assert_eq!(base.store.sets, ring.store.sets);
 }
 
 #[test]

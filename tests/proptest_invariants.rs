@@ -146,6 +146,96 @@ proptest! {
         prop_assert_eq!(snap.deletes, deletes);
     }
 
+    /// Optimistic lock-free reads under a *live* writer thread: every
+    /// value a reader observes is fully formed (never a torn mix of
+    /// two writes) and is one the writer actually committed for that
+    /// key — checked against the writer's own (version, value) history
+    /// — and once the writer is done, the store agrees with a
+    /// sequential BTreeMap model. The locked fallback path is part of
+    /// the same protocol, so whichever path each read took, the
+    /// observation must be in the history.
+    #[test]
+    fn optimistic_reads_agree_with_writer_history(
+        ops in proptest::collection::vec((0u64..6, 0u8..3, any::<u8>()), 20..120),
+    ) {
+        const KEYS: u64 = 6;
+        let kv: KvStore<TicketLock> = KvStore::new(16, 2);
+        // Preload so early reads hit; preloads are history too.
+        let mut history: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); KEYS as usize];
+        let mut model: std::collections::BTreeMap<u64, (Vec<u8>, u64)> =
+            std::collections::BTreeMap::new();
+        for key in 0..KEYS {
+            let value = vec![key as u8; 9];
+            let v = kv.set(&key.to_be_bytes(), value.clone());
+            history[key as usize].push((v, value.clone()));
+            model.insert(key, (value, v));
+        }
+        let observations = std::thread::scope(|s| {
+            let kv = &kv;
+            let reader = s.spawn(move || {
+                // Hammer reads round-robin while the writer below runs;
+                // record every hit for post-hoc history validation.
+                let mut seen: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+                for i in 0..400u64 {
+                    let key = i % KEYS;
+                    if let Some((version, value)) = kv.get_with_version(&key.to_be_bytes()) {
+                        seen.push((key, version, value.as_ref().to_vec()));
+                    }
+                    if i % 16 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                seen
+            });
+            // The writer runs on this thread, so `model`/`history`
+            // stay plain locals.
+            for &(key, op, val) in &ops {
+                let kb = key.to_be_bytes();
+                match op {
+                    0 => {
+                        let value = vec![val, key as u8, val, val, val, val, val, val];
+                        let v = kv.set(&kb, value.clone());
+                        history[key as usize].push((v, value.clone()));
+                        model.insert(key, (value, v));
+                    }
+                    1 => {
+                        if let Some(mver) = model.get(&key).map(|(_, v)| *v) {
+                            let value = vec![val ^ 0xA5; 17];
+                            let v = kv.cas(&kb, value.clone(), mver).expect("armed cas wins");
+                            history[key as usize].push((v, value.clone()));
+                            model.insert(key, (value, v));
+                        }
+                    }
+                    _ => {
+                        let expected = model.remove(&key).is_some();
+                        assert_eq!(kv.delete(&kb), expected);
+                    }
+                }
+                std::thread::yield_now();
+            }
+            reader.join().expect("reader panicked")
+        });
+        for (key, version, value) in observations {
+            let written = &history[key as usize];
+            prop_assert!(
+                written.iter().any(|(v, bytes)| *v == version && *bytes == value),
+                "reader saw ({version}, {value:?}) for key {key}, not in writer history {written:?}"
+            );
+        }
+        // Quiesced: the store equals the sequential model.
+        for key in 0..KEYS {
+            let got = kv.get_with_version(&key.to_be_bytes());
+            match model.get(&key) {
+                Some((value, version)) => {
+                    let (v, bytes) = got.expect("model says present");
+                    prop_assert_eq!(v, *version);
+                    prop_assert_eq!(bytes.as_ref(), value.as_slice());
+                }
+                None => prop_assert!(got.is_none()),
+            }
+        }
+    }
+
     /// Shard routing is a pure function onto `0..shards`, and dense
     /// keyspaces spread over every shard.
     #[test]
