@@ -1,0 +1,240 @@
+//! `ssync-chk` — an exhaustive small-scope interleaving checker for the
+//! workspace's lock-free paths, plus the `ssync-lint` ordering-discipline
+//! pass (see [`lint`] and the `ssync-lint` binary).
+//!
+//! This is a vendored, loom-style stateless model checker: model code
+//! uses [`sync::atomic`] shadow atomics, [`thread::spawn`], and
+//! [`sync::ModelMutex`]; [`model`] (or a configured [`Builder`]) runs the
+//! closure under every schedule a DPOR-lite DFS considers relevant, with
+//! bounded preemptions and an optional store-buffer weak-memory mode.
+//! Any panic inside the model (an `assert!` on an invariant) is reported
+//! as a [`Violation`] carrying the exact schedule; deadlocks — including
+//! the all-threads-yielding shape of a lost wakeup — are violations too.
+//!
+//! ```
+//! use ssync_chk::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // Two increments never lose an update (fetch_add is atomic).
+//! let report = ssync_chk::model(|| {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&c);
+//!     let t = ssync_chk::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     c.fetch_add(1, Ordering::Relaxed);
+//!     t.join();
+//!     assert_eq!(c.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(!report.truncated);
+//! ```
+//!
+//! The production crates (`ssync-core`, `ssync-mp`, `ssync-kv`,
+//! `ssync-locks`, `ssync-repl`) compile against these shadow atomics only
+//! under `RUSTFLAGS='--cfg ssync_chk'`, through their `sync` facade
+//! modules; production builds re-export `core::sync::atomic` and are
+//! byte-identical. DESIGN.md ("Concurrency checking") documents the
+//! architecture, the pruning rule, and how to write a new model.
+
+mod sched;
+
+pub mod lint;
+pub mod sync;
+pub mod thread;
+
+use std::sync::{Arc, Mutex, Once};
+
+/// Configuration for one model run. Fields are public for one-off
+/// tweaking; the `with_*` methods chain.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Cap on explored executions (schedules). Hitting it sets
+    /// [`Report::truncated`] instead of failing, so CI smoke runs can
+    /// bound time while full runs prove the scope. Default 10 000.
+    pub max_executions: usize,
+    /// Cap on scheduler steps within one execution; exceeding it is a
+    /// violation (an unbounded loop not going through `yield_now`).
+    /// Default 2 000.
+    pub max_steps: usize,
+    /// Preemption bound: involuntary context switches allowed per
+    /// schedule (voluntary blocking — yields, lock waits, joins — is
+    /// free). Most real bugs need ≤ 2. Default 3.
+    pub preemption_bound: usize,
+    /// Model store buffering: non-SeqCst stores commit asynchronously
+    /// (Relaxed stores may commit out of order; Release stores keep
+    /// everything before them). Default off (sequential consistency).
+    pub weak_memory: bool,
+    /// Seed rotating DFS candidate order; same seed ⇒ identical run.
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_executions: 10_000,
+            max_steps: 2_000,
+            preemption_bound: 3,
+            weak_memory: false,
+            seed: 0x5379_6e63, // "Sync"
+        }
+    }
+}
+
+/// What a completed (violation-free) model run explored — the numbers
+/// EXPERIMENTS.md records per model.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Executions run, including sleep-set-pruned partial ones.
+    pub executions: u64,
+    /// Executions cut short because every enabled step was asleep (the
+    /// DPOR-lite reduction at work).
+    pub pruned: u64,
+    /// True if `max_executions` stopped exploration before the schedule
+    /// tree was exhausted.
+    pub truncated: bool,
+    /// Deepest decision stack reached (scheduler steps in the longest
+    /// schedule).
+    pub max_depth: usize,
+}
+
+/// A failed schedule: the model's panic message (or deadlock report) plus
+/// the exact step trace that produced it. Re-running the same builder
+/// reproduces it — everything is deterministic.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Panic/deadlock message from the failing execution.
+    pub message: String,
+    /// 1-based index of the failing execution.
+    pub execution: u64,
+    /// The schedule: one human-readable line per scheduler step.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model violation (execution {}): {}",
+            self.execution, self.message
+        )?;
+        writeln!(f, "schedule ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:4}  {step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Model runs are serialized process-wide: `cargo test` may run many
+/// `#[test]` models concurrently, but the shadow atomics dispatch on
+/// thread-local execution handles, so only the bookkeeping (panic hook)
+/// is global — the lock keeps reports deterministic and memory bounded.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Installs (once, forever) a panic hook that silences the internal
+/// `ChkAbort` unwind used to tear down aborted executions; everything
+/// else forwards to the previously installed hook.
+fn install_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<sched::ChkAbort>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    pub fn with_max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    pub fn with_preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = n;
+        self
+    }
+
+    pub fn with_weak_memory(mut self, on: bool) -> Self {
+        self.weak_memory = on;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explores `f` under every relevant schedule. `Ok` carries the
+    /// exploration [`Report`]; `Err` carries the first failing schedule.
+    pub fn try_check(&self, f: impl Fn() + Send + Sync + 'static) -> Result<Report, Violation> {
+        let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install_abort_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut explorer = sched::Explorer::new(self.seed);
+        let mut report = Report::default();
+        loop {
+            let res = sched::run_execution(&f, &mut explorer, self);
+            report.executions += 1;
+            if res.pruned {
+                report.pruned += 1;
+            }
+            report.max_depth = explorer.max_depth;
+            if let Some((message, trace)) = res.violation {
+                return Err(Violation {
+                    message,
+                    execution: report.executions,
+                    trace,
+                });
+            }
+            if !explorer.backtrack() {
+                return Ok(report);
+            }
+            if report.executions >= self.max_executions as u64 {
+                report.truncated = true;
+                return Ok(report);
+            }
+        }
+    }
+
+    /// Like [`Builder::try_check`], but panics with the formatted
+    /// [`Violation`] — the form model `#[test]`s use.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) -> Report {
+        match self.try_check(f) {
+            Ok(report) => report,
+            Err(v) => panic!("{v}"),
+        }
+    }
+
+    /// Asserts the model *does* fail — the checker's own false-negative
+    /// regression form ("this seeded bug must be caught"). Panics if
+    /// exploration completes (or truncates) without a violation.
+    pub fn expect_violation(&self, f: impl Fn() + Send + Sync + 'static) -> Violation {
+        match self.try_check(f) {
+            Err(v) => v,
+            Ok(report) => panic!(
+                "expected a violation, but {} executions passed ({}truncated)",
+                report.executions,
+                if report.truncated { "" } else { "not " }
+            ),
+        }
+    }
+}
+
+/// Checks `f` with default settings; panics on the first violation.
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> Report {
+    Builder::new().check(f)
+}

@@ -1,0 +1,127 @@
+//! Model-aware `thread::{spawn, yield_now}` shims.
+//!
+//! Inside a model execution, `spawn` registers a new model thread with
+//! the scheduler (a `Spawn` step — a release edge into the child) and
+//! `JoinHandle::join` announces a `Join` step that becomes enabled only
+//! once the target finishes, so joins block without spinning. Outside a
+//! model both fall through to `std::thread`.
+//!
+//! `yield_now` inside a model has loom-style semantics: the yielding
+//! thread is not schedulable again until *some other* step executes, and
+//! "every live thread is parked in a yield" counts as a deadlock
+//! violation. That is precisely the shape of a lost wakeup — a polling
+//! loop that yields forever because the notification it waits for was
+//! dropped — so models write their spin loops as
+//! `while !ready { yield_now() }` and the checker does the rest.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, Req, ReqKind};
+
+/// Handle to a spawned model (or plain std) thread.
+pub struct JoinHandle<T> {
+    inner: Option<std::thread::JoinHandle<()>>,
+    /// Model thread id when spawned inside an execution.
+    target: Option<usize>,
+    /// The closure's return value, parked until `join`.
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a thread. At most a handful of threads per model (2–3 plus the
+/// model's root thread) keeps exploration tractable.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let body = move || {
+        let value = f();
+        *slot.lock().unwrap() = Some(value);
+    };
+    let handle = sched::with_current(|sh, tid| (Arc::clone(sh), tid));
+    match handle {
+        Some((sh, my_tid)) => {
+            let new_tid = sh.perform(
+                my_tid,
+                Req {
+                    addr: 0,
+                    init: 0,
+                    kind: ReqKind::Spawn,
+                },
+            ) as usize;
+            let inner = sched::spawn_model_thread(sh, new_tid, Box::new(body));
+            JoinHandle {
+                inner: Some(inner),
+                target: Some(new_tid),
+                result,
+            }
+        }
+        None => JoinHandle {
+            inner: Some(std::thread::spawn(body)),
+            target: None,
+            result,
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. Inside a
+    /// model this is a scheduler step (enabled once the target finished
+    /// *and*, under weak memory, its store buffer drained — a join is an
+    /// acquire of the whole thread); the underlying OS join then returns
+    /// immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joined thread panicked (matching
+    /// `std::thread::JoinHandle::join().unwrap()`).
+    pub fn join(mut self) -> T {
+        if let Some(target) = self.target {
+            let handle = sched::with_current(|sh, tid| (Arc::clone(sh), tid));
+            if let Some((sh, my_tid)) = handle {
+                sh.perform(
+                    my_tid,
+                    Req {
+                        addr: 0,
+                        init: 0,
+                        kind: ReqKind::Join { target },
+                    },
+                );
+            }
+        }
+        if let Some(inner) = self.inner.take() {
+            // Model threads never propagate panics through the OS handle
+            // (the wrapper catches them and reports to the scheduler);
+            // for plain std threads, propagate like `std::thread::join`
+            // + unwrap would.
+            if inner.join().is_err() {
+                panic!("joined thread panicked");
+            }
+        }
+        // A model thread that panicked was already reported as a
+        // violation, and our own `Join` step above would have torn this
+        // thread down with it — a missing value here is a plain bug.
+        let value = self.result.lock().unwrap().take();
+        value.expect("joined thread produced no value")
+    }
+}
+
+/// Cooperative yield; see the module docs for model semantics.
+pub fn yield_now() {
+    let handle = sched::with_current(|sh, tid| (Arc::clone(sh), tid));
+    match handle {
+        Some((sh, tid)) => {
+            sh.perform(
+                tid,
+                Req {
+                    addr: 0,
+                    init: 0,
+                    kind: ReqKind::Yield,
+                },
+            );
+        }
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,297 @@
+//! Litmus tests for the checker itself: classic shapes that must pass,
+//! classic bugs that must be caught, and determinism of both.
+
+use std::sync::Arc;
+
+use ssync_chk::sync::atomic::{AtomicU64, Ordering};
+use ssync_chk::sync::ModelMutex;
+use ssync_chk::{thread, Builder};
+
+#[test]
+fn atomic_increments_never_lose_updates() {
+    let report = ssync_chk::model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    assert!(!report.truncated);
+    assert!(
+        report.executions > 1,
+        "expected >1 interleaving, got {report:?}"
+    );
+}
+
+#[test]
+fn load_then_store_increment_race_is_found() {
+    // The textbook lost update: read-modify-write split into a load and a
+    // store. Some interleaving must end with 1 instead of 2.
+    let v = Builder::new().expect_violation(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let x = c2.load(Ordering::SeqCst);
+            c2.store(x + 1, Ordering::SeqCst);
+        });
+        let x = c.load(Ordering::SeqCst);
+        c.store(x + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(v.message.contains("lost update"), "{v}");
+}
+
+#[test]
+fn store_buffering_litmus_is_sc_under_strong_memory() {
+    // SB: with sequentially consistent interleavings, at least one thread
+    // must observe the other's store.
+    let report = ssync_chk::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let r1 = Arc::new(AtomicU64::new(9));
+        let r1c = Arc::clone(&r1);
+        let t = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            r1c.store(x2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        x.store(1, Ordering::Relaxed);
+        let r0 = y.load(Ordering::Relaxed);
+        t.join();
+        assert!(
+            r0 == 1 || r1.load(Ordering::Relaxed) == 1,
+            "both threads read 0: impossible under SC"
+        );
+    });
+    assert!(!report.truncated);
+}
+
+#[test]
+fn store_buffering_litmus_observed_under_weak_memory() {
+    // The same SB shape must FAIL in weak-memory mode: both Relaxed
+    // stores may sit in their store buffers past both loads.
+    let v = Builder::new().with_weak_memory(true).expect_violation(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let r1 = Arc::new(AtomicU64::new(9));
+        let r1c = Arc::clone(&r1);
+        let t = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            r1c.store(x2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        x.store(1, Ordering::Relaxed);
+        let r0 = y.load(Ordering::Relaxed);
+        t.join();
+        assert!(
+            r0 == 1 || r1.load(Ordering::Relaxed) == 1,
+            "SB relaxation observed"
+        );
+    });
+    assert!(v.message.contains("SB relaxation"), "{v}");
+}
+
+#[test]
+fn release_publish_is_sound_under_weak_memory() {
+    // Message passing: a Release flag store cannot pass the data store
+    // that precedes it, so an Acquire reader that sees the flag sees the
+    // data. This is the exact shape of the kv seqlock close and the ring
+    // tail publish.
+    let report = Builder::new().with_weak_memory(true).check(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale read after publish");
+        }
+        t.join();
+    });
+    assert!(!report.truncated);
+}
+
+#[test]
+fn relaxed_publish_is_caught_under_weak_memory() {
+    // Downgrading the flag store to Relaxed lets it overtake the data
+    // store — the checker must find the stale read.
+    let v = Builder::new().with_weak_memory(true).expect_violation(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale read after publish");
+        }
+        t.join();
+    });
+    assert!(v.message.contains("stale read"), "{v}");
+}
+
+#[test]
+fn model_mutex_provides_exclusion() {
+    // A split load/store increment is safe when both sides hold the lock.
+    let report = ssync_chk::model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let m = Arc::new(ModelMutex::new());
+        let (c2, m2) = (Arc::clone(&c), Arc::clone(&m));
+        let t = thread::spawn(move || {
+            let _g = m2.lock();
+            let x = c2.load(Ordering::Relaxed);
+            c2.store(x + 1, Ordering::Relaxed);
+        });
+        {
+            let _g = m.lock();
+            let x = c.load(Ordering::Relaxed);
+            c.store(x + 1, Ordering::Relaxed);
+        }
+        t.join();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+    assert!(!report.truncated);
+}
+
+#[test]
+fn ab_ba_lock_order_deadlock_is_caught() {
+    let v = Builder::new().expect_violation(|| {
+        let a = Arc::new(ModelMutex::new());
+        let b = Arc::new(ModelMutex::new());
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        t.join();
+    });
+    assert!(v.message.contains("deadlock"), "{v}");
+}
+
+#[test]
+fn lost_wakeup_shows_up_as_livelock() {
+    // A polling loop whose flag is never set: once everyone else is
+    // done the poller spins forever — exactly how a dropped
+    // notification manifests. The checker reports it via the step
+    // limit.
+    let v = Builder::new().expect_violation(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            while f2.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+        });
+        // Forgot to store the flag.
+        t.join();
+    });
+    assert!(v.message.contains("livelock"), "{v}");
+}
+
+#[test]
+fn delivered_wakeup_terminates() {
+    let report = ssync_chk::model(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            while f2.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+        });
+        flag.store(1, Ordering::Release);
+        t.join();
+    });
+    assert!(!report.truncated);
+}
+
+#[test]
+fn same_seed_same_report_and_trace() {
+    fn racy() -> (
+        Result<ssync_chk::Report, ssync_chk::Violation>,
+        Result<ssync_chk::Report, ssync_chk::Violation>,
+    ) {
+        let run = || {
+            Builder::new().with_seed(7).try_check(|| {
+                let c = Arc::new(AtomicU64::new(0));
+                let c2 = Arc::clone(&c);
+                let t = thread::spawn(move || {
+                    let x = c2.load(Ordering::SeqCst);
+                    c2.store(x + 1, Ordering::SeqCst);
+                });
+                let x = c.load(Ordering::SeqCst);
+                c.store(x + 1, Ordering::SeqCst);
+                t.join();
+                assert_eq!(c.load(Ordering::SeqCst), 2);
+            })
+        };
+        (run(), run())
+    }
+    let (a, b) = racy();
+    let (a, b) = (a.unwrap_err(), b.unwrap_err());
+    assert_eq!(a.execution, b.execution);
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn execution_cap_reports_truncation() {
+    let report = Builder::new().with_max_executions(1).check(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join();
+    });
+    assert!(report.truncated);
+    assert_eq!(report.executions, 1);
+}
+
+#[test]
+fn three_threads_explore_and_pass() {
+    let report = ssync_chk::model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let ts: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        c.fetch_add(1, Ordering::AcqRel);
+        for t in ts {
+            t.join();
+        }
+        assert_eq!(c.load(Ordering::Acquire), 3);
+    });
+    assert!(!report.truncated);
+    assert!(
+        report.executions >= 6,
+        "3 RMWs should have ≥ 3! orders, got {report:?}"
+    );
+}
+
+#[test]
+fn shadow_atomics_pass_through_outside_models() {
+    let a = AtomicU64::new(5);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 5);
+    assert_eq!(a.load(Ordering::SeqCst), 7);
+    assert_eq!(
+        a.compare_exchange(7, 9, Ordering::SeqCst, Ordering::Relaxed),
+        Ok(7)
+    );
+    let m = ModelMutex::new();
+    drop(m.lock());
+    drop(m.lock());
+}

@@ -11,7 +11,20 @@
 //!   ahead (`ticket - current`), so it sleeps for a pause proportional to
 //!   its queue position instead of re-reading the line continuously.
 
+#[cfg(not(ssync_chk))]
 use core::hint;
+
+/// Under `--cfg ssync_chk`, every wait flavor degenerates to one model
+/// scheduler yield: spinning is invisible to the checker (it is not a
+/// shadow-atomic step), sleeping stalls the single-threaded exploration,
+/// and the yield's loom-style semantics — not schedulable again until
+/// another thread steps — are exactly what bounds a polling loop to one
+/// retry per peer step. A loop that yields forever with no live peer is
+/// reported as a livelock (lost wakeup).
+#[cfg(ssync_chk)]
+fn model_yield() {
+    ssync_chk::thread::yield_now();
+}
 
 /// Bounded busy-wait for blocking poll loops: pure spinning for a
 /// while (the fast path — a polled flag line is a local cache hit
@@ -38,10 +51,12 @@ use core::hint;
 /// ```
 #[derive(Debug, Default)]
 pub struct SpinWait {
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     polls: u32,
 }
 
 impl SpinWait {
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     const SPIN_LIMIT: u32 = 128;
 
     /// Starts a fresh wait (full spin budget).
@@ -52,6 +67,9 @@ impl SpinWait {
     /// Call once per failed poll: spins while the budget lasts, then
     /// yields to the OS scheduler.
     pub fn snooze(&mut self) {
+        #[cfg(ssync_chk)]
+        model_yield();
+        #[cfg(not(ssync_chk))]
         if self.polls < Self::SPIN_LIMIT {
             self.polls += 1;
             hint::spin_loop();
@@ -78,17 +96,22 @@ impl SpinWait {
 /// keeps off the busy path.
 #[derive(Debug, Default)]
 pub struct ParkingWait {
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     polls: u32,
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     sleep_us: u64,
 }
 
 impl ParkingWait {
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     const SPIN_LIMIT: u32 = 128;
     /// Yields before the first park. Deliberately long (milliseconds
     /// of idling on a loaded host): a server that is merely *between*
     /// requests must never sleep — only one idle on the scale of a
     /// workload phase should leave the run queue.
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     const YIELD_LIMIT: u32 = 2048;
+    #[cfg_attr(ssync_chk, allow(dead_code))]
     const FIRST_SLEEP_US: u64 = 50;
 
     /// Longest single park, in microseconds — the worst-case latency a
@@ -103,6 +126,9 @@ impl ParkingWait {
     /// Call once per failed poll: spins, then yields, then parks in
     /// doubling sleeps.
     pub fn snooze(&mut self) {
+        #[cfg(ssync_chk)]
+        model_yield();
+        #[cfg(not(ssync_chk))]
         if self.polls < Self::SPIN_LIMIT {
             self.polls += 1;
             hint::spin_loop();
@@ -178,6 +204,9 @@ impl Backoff {
 
     /// Pauses for the current duration and doubles it (up to the cap).
     pub fn spin(&mut self) {
+        #[cfg(ssync_chk)]
+        model_yield();
+        #[cfg(not(ssync_chk))]
         for _ in 0..self.current {
             hint::spin_loop();
         }
@@ -235,6 +264,12 @@ impl ProportionalBackoff {
 
     /// Pauses proportionally to the queue distance.
     pub fn wait(&self, queued: u64) {
+        #[cfg(ssync_chk)]
+        {
+            let _ = queued;
+            model_yield();
+        }
+        #[cfg(not(ssync_chk))]
         for _ in 0..self.spins_for(queued) {
             hint::spin_loop();
         }

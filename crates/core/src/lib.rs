@@ -21,6 +21,7 @@ pub mod backoff;
 pub mod cores;
 pub mod pad;
 pub mod stats;
+pub mod sync;
 pub mod topology;
 
 pub use backoff::{Backoff, ParkingWait, ProportionalBackoff, SpinWait};

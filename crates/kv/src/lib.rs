@@ -64,7 +64,15 @@
 //! ```
 
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// Crate-local alias for the workspace atomic facade: real
+/// `core::sync::atomic` types in production builds, `ssync-chk` shadow
+/// atomics under `RUSTFLAGS='--cfg ssync_chk'`.
+pub(crate) mod sync {
+    pub(crate) use ssync_core::sync::{atomic, cpu_relax};
+}
+
+use crate::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use bytes::Bytes;
 
@@ -115,6 +123,9 @@ struct Node {
     value: Bytes,
     /// CAS version (Memcached's `cas` token).
     version: u64,
+    // chk: per-item chain link, deliberately unpadded — padding every
+    // node would grow each item by a cache line, and the link is
+    // written only by the lock-serialized writer.
     next: AtomicPtr<Node>,
 }
 
@@ -257,6 +268,9 @@ struct Stripe<R: RawLock> {
     seq: CachePadded<AtomicU64>,
     /// Bucket-chain heads. The slice itself is immutable after
     /// construction; each head is mutated only under the stripe lock.
+    // chk: a dense array by design (padding B buckets would multiply
+    // the table's footprint by 8); heads are read-mostly, and writer
+    // traffic is already serialized per stripe.
     heads: Box<[AtomicPtr<Node>]>,
     /// The stripe's writer lock (the pluggable algorithm under test)
     /// and retirement list.
@@ -279,6 +293,8 @@ unsafe impl<R: RawLock> Send for Stripe<R> {}
 /// holding the stripe lock (single writer), and must enclose every
 /// chain-pointer store of the mutation.
 struct WriteSection<'a> {
+    // chk: a borrow of the stripe's already-CachePadded seqlock word,
+    // not storage of its own.
     seq: &'a AtomicU64,
 }
 
@@ -314,8 +330,11 @@ pub struct KvStore<R: RawLock + Default> {
     buckets_per_stripe: usize,
     /// The global "stop-the-world" maintenance lock.
     global: Lock<(), R>,
-    write_counter: AtomicU64,
-    next_version: AtomicU64,
+    /// Bumped by every write from every client of the shard; padded so
+    /// the two global counters don't false-share with each other or the
+    /// neighboring fields.
+    write_counter: CachePadded<AtomicU64>,
+    next_version: CachePadded<AtomicU64>,
     read_path: ReadPath,
     stats: Stats,
 }
@@ -358,8 +377,8 @@ impl<R: RawLock + Default> KvStore<R> {
                 .collect(),
             buckets_per_stripe,
             global: Lock::new(()),
-            write_counter: AtomicU64::new(0),
-            next_version: AtomicU64::new(1),
+            write_counter: CachePadded::new(AtomicU64::new(0)),
+            next_version: CachePadded::new(AtomicU64::new(1)),
             read_path,
             stats: Stats::default(),
         }
@@ -427,7 +446,7 @@ impl<R: RawLock + Default> KvStore<R> {
                 let s1 = stripe.seq.load(Ordering::Acquire);
                 if s1 & 1 == 1 {
                     // A writer is inside; re-snapshot.
-                    core::hint::spin_loop();
+                    crate::sync::cpu_relax();
                     continue;
                 }
                 let hit = Self::chain_find(&stripe.heads[bucket], key);
@@ -494,18 +513,16 @@ impl<R: RawLock + Default> KvStore<R> {
     fn find_link<'a>(head: &'a AtomicPtr<Node>, key: &[u8]) -> (&'a AtomicPtr<Node>, *mut Node) {
         let mut link = head;
         loop {
-            // Relaxed: the stripe lock's acquire synchronized us with
+            // chk: the stripe lock's acquire synchronized us with
             // every previous writer's stores.
             let p = link.load(Ordering::Relaxed);
             if p.is_null() {
                 return (link, p);
             }
-            // SAFETY: `p` is a live node of this stripe (we hold the
-            // stripe lock, so no one unlinks or retires concurrently).
-            // The returned `&node.next` borrows the node allocation,
-            // which outlives the lock guard; tying it to `'a` (the
-            // head's stripe borrow) is sound because nodes are freed
-            // only with `&mut KvStore`.
+            // SAFETY: `p` is live (the held stripe lock excludes
+            // unlink/retire). The returned `&node.next` borrows the
+            // node allocation and stays valid for `'a`: nodes are
+            // freed only through `&mut KvStore`.
             let node = unsafe { &*p };
             if node.key.as_ref() == key {
                 return (link, p);
@@ -544,6 +561,7 @@ impl<R: RawLock + Default> KvStore<R> {
             old_node.key.clone(),
             value,
             version,
+            // chk: lock-serialized — no writer mutates `next` under us.
             old_node.next.load(Ordering::Relaxed),
         );
         {
@@ -555,12 +573,18 @@ impl<R: RawLock + Default> KvStore<R> {
 
     /// Stores a value (insert or replace); returns its new CAS version.
     pub fn set(&self, key: &[u8], value: impl Into<Bytes>) -> u64 {
-        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let value = value.into();
         let (stripe, bucket) = self.locate(key);
         let stripe = &self.stripes[stripe];
+        let version;
         {
             let mut inner = stripe.inner.lock();
+            // Assigned *under* the stripe lock: a key's versions must be
+            // monotone in replacement order (two racing writers must not
+            // leave the chain holding the smaller version), or the
+            // replication log's per-key version gate would drop the
+            // surviving value on replay.
+            version = self.next_version.fetch_add(1, Ordering::Relaxed);
             let (link, found) = Self::find_link(&stripe.heads[bucket], key);
             if found.is_null() {
                 let node = Self::new_node(Bytes::copy_from_slice(key), value, version, found);
@@ -577,12 +601,14 @@ impl<R: RawLock + Default> KvStore<R> {
 
     /// Compare-and-set: stores only if the current version matches.
     pub fn cas(&self, key: &[u8], value: impl Into<Bytes>, expected: u64) -> Result<u64, u64> {
-        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let value = value.into();
         let (stripe, bucket) = self.locate(key);
         let stripe = &self.stripes[stripe];
         let result = {
             let mut inner = stripe.inner.lock();
+            // Under the stripe lock, as in `set`: replacement order and
+            // version order must agree per key.
+            let version = self.next_version.fetch_add(1, Ordering::Relaxed);
             let (link, found) = Self::find_link(&stripe.heads[bucket], key);
             if found.is_null() {
                 Err(0)
@@ -607,43 +633,57 @@ impl<R: RawLock + Default> KvStore<R> {
     }
 
     /// Unlinks `key`'s node if present (under the stripe lock),
-    /// retiring it. Returns whether a node was removed.
-    fn unlink(&self, stripe: &Stripe<R>, bucket: usize, key: &[u8]) -> bool {
+    /// retiring it. With `versioned`, the removal is assigned a fresh
+    /// version inside the same critical section — so a tombstone orders
+    /// after every earlier replacement of the key, exactly as `set`'s
+    /// versions do. `Some(version)` (0 when unversioned) if a node was
+    /// removed.
+    fn unlink(
+        &self,
+        stripe: &Stripe<R>,
+        bucket: usize,
+        key: &[u8],
+        versioned: bool,
+    ) -> Option<u64> {
         let mut inner = stripe.inner.lock();
         let (link, found) = Self::find_link(&stripe.heads[bucket], key);
         if found.is_null() {
-            return false;
+            return None;
         }
+        let version = if versioned {
+            self.next_version.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
         // SAFETY: `found` is live under the stripe lock.
+        // chk: lock-serialized load, as in `find_link`.
         let next = unsafe { &*found }.next.load(Ordering::Relaxed);
         {
             let _section = WriteSection::enter(&stripe.seq);
             link.store(next, Ordering::Release);
         }
         inner.retired.push(found);
-        true
+        Some(version)
     }
 
     /// Deletes a key, assigning the removal a fresh version — the
     /// tombstone version a replicated delete streams to backups so the
     /// remove orders against concurrent stores. `Some(version)` if the
-    /// key existed.
+    /// key existed (a delete of an absent key consumes no version).
     pub fn delete_versioned(&self, key: &[u8]) -> Option<u64> {
-        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let (stripe, bucket) = self.locate(key);
-        if self.unlink(&self.stripes[stripe], bucket, key) {
-            self.stats.deletes.fetch_add(1, Ordering::Relaxed);
-            self.after_write();
-            Some(version)
-        } else {
-            None
-        }
+        let version = self.unlink(&self.stripes[stripe], bucket, key, true)?;
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.after_write();
+        Some(version)
     }
 
     /// Deletes a key; true if it existed.
     pub fn delete(&self, key: &[u8]) -> bool {
         let (stripe, bucket) = self.locate(key);
-        let removed = self.unlink(&self.stripes[stripe], bucket, key);
+        let removed = self
+            .unlink(&self.stripes[stripe], bucket, key, false)
+            .is_some();
         if removed {
             self.stats.deletes.fetch_add(1, Ordering::Relaxed);
             self.after_write();
@@ -691,6 +731,7 @@ impl<R: RawLock + Default> KvStore<R> {
                     true
                 }
                 (Some(node), None) => {
+                    // chk: lock-serialized load, as in `find_link`.
                     let next = node.next.load(Ordering::Relaxed);
                     {
                         let _section = WriteSection::enter(&stripe.seq);
@@ -781,6 +822,30 @@ impl<R: RawLock + Default> KvStore<R> {
     pub fn purge_retired(&mut self) -> usize {
         let mut freed = 0;
         for stripe in self.stripes.iter_mut() {
+            // The graveyard invariant, checked before anything is
+            // freed: a retired node must no longer be reachable from
+            // any live chain of its stripe, or the free below would
+            // leave a dangling link for the next reader.
+            #[cfg(debug_assertions)]
+            {
+                let mut live = Vec::new();
+                for head in stripe.heads.iter() {
+                    // chk: `&mut self` — exclusive, unordered loads.
+                    let mut p = head.load(Ordering::Relaxed);
+                    while !p.is_null() {
+                        live.push(p);
+                        // chk: unordered, as above — exclusive access.
+                        // SAFETY: live node under exclusive access.
+                        p = unsafe { &*p }.next.load(Ordering::Relaxed);
+                    }
+                }
+                for p in stripe.inner.get_mut().retired.iter() {
+                    assert!(
+                        !live.contains(p),
+                        "retired node still reachable from a live chain"
+                    );
+                }
+            }
             for p in stripe.inner.get_mut().retired.drain(..) {
                 // SAFETY: retired nodes were unlinked from every chain
                 // and pushed exactly once; with `&mut self` nothing can
@@ -833,12 +898,15 @@ impl<R: RawLock + Default> Drop for KvStore<R> {
         self.purge_retired();
         for stripe in self.stripes.iter_mut() {
             for head in stripe.heads.iter() {
+                // chk: `&mut self` — drop is single-threaded by
+                // definition, so both loads here are unordered.
                 let mut p = head.load(Ordering::Relaxed);
                 while !p.is_null() {
                     // SAFETY: exclusive access; live chains and the
                     // (already purged) retirement list are disjoint, so
                     // each node is freed exactly once.
                     let node = unsafe { Box::from_raw(p) };
+                    // chk: unordered, as above — exclusive access.
                     p = node.next.load(Ordering::Relaxed);
                 }
             }

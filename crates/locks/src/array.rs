@@ -7,8 +7,7 @@
 //! classifies ARRAY with the simple locks: queue behaviour, but a static,
 //! per-lock memory footprint of `capacity` cache lines.
 
-use core::hint;
-use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use ssync_core::CachePadded;
 
@@ -84,7 +83,7 @@ impl RawLock for ArrayLock {
         let ticket = self.tail.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[self.slot_of(ticket)];
         while !slot.load(Ordering::Acquire) {
-            hint::spin_loop();
+            ssync_core::sync::cpu_relax();
         }
         // Re-arm the slot for its next use (capacity tickets later).
         slot.store(false, Ordering::Relaxed);

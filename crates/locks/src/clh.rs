@@ -23,7 +23,7 @@
 //! bounded leak (a handful of cache lines per thread). `libslock` makes
 //! the same trade by allocating qnodes for the program's lifetime.
 
-use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::RefCell;
 
 use ssync_core::CachePadded;
@@ -133,7 +133,7 @@ impl RawLock for ClhLock {
         // recycled by anyone else — only a successor recycles a
         // predecessor node, and we are the unique successor.
         while unsafe { &*pred }.locked.load(Ordering::Acquire) {
-            core::hint::spin_loop();
+            ssync_core::sync::cpu_relax();
         }
         ClhToken { node, pred }
     }
@@ -161,7 +161,7 @@ impl RawLock for ClhLock {
             Ok(_) => {
                 // SAFETY: as above; `pred` is now our predecessor.
                 while unsafe { &*pred }.locked.load(Ordering::Acquire) {
-                    core::hint::spin_loop();
+                    ssync_core::sync::cpu_relax();
                 }
                 Some(ClhToken { node, pred })
             }
@@ -191,6 +191,8 @@ impl RawLock for ClhLock {
 
 impl crate::cohort::CohortLocal for ClhLock {
     fn has_waiters(&self, token: &Self::Token) -> bool {
+        // chk: advisory heuristic for the cohort hand-off — a stale
+        // answer only costs one suboptimal local/global decision.
         // If the tail moved past our node, someone enqueued behind us.
         self.tail.load(Ordering::Relaxed) != token.node
     }

@@ -51,6 +51,7 @@ pub mod guard;
 pub mod mcs;
 pub mod mutex;
 pub mod raw;
+pub(crate) mod sync;
 pub mod tas;
 pub mod ticket;
 pub mod ttas;

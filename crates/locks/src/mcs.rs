@@ -16,8 +16,8 @@
 //! once `unlock` has either removed it from the tail or handed the lock
 //! to its successor — after which no other thread can reach it.
 
+use crate::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use core::ptr;
-use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::cell::RefCell;
 
 use ssync_core::CachePadded;
@@ -72,6 +72,8 @@ unsafe fn pool_put(node: *mut CachePadded<McsNode>) {
     // SAFETY: by the function contract the pointer is a live, exclusively
     // owned allocation produced by `Box::into_raw` in `pool_get`.
     let boxed = unsafe { Box::from_raw(node) };
+    // chk: the node is exclusively owned here (function contract) —
+    // these are plain resets, not publications.
     boxed.next.store(ptr::null_mut(), Ordering::Relaxed);
     boxed.locked.store(false, Ordering::Relaxed);
     NODE_POOL.with(|p| p.borrow_mut().push(boxed));
@@ -123,6 +125,7 @@ impl RawLock for McsLock {
         let node = pool_get();
         // SAFETY: `node` is exclusively ours until it is linked below.
         let node_ref = unsafe { &*node };
+        // chk: pre-publication init; the AcqRel swap below publishes.
         node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
         node_ref.locked.store(true, Ordering::Relaxed);
 
@@ -133,7 +136,7 @@ impl RawLock for McsLock {
             // handed us the lock (see `unlock`).
             unsafe { &*pred }.next.store(node, Ordering::Release);
             while node_ref.locked.load(Ordering::Acquire) {
-                core::hint::spin_loop();
+                ssync_core::sync::cpu_relax();
             }
         }
         McsToken { node }
@@ -143,6 +146,7 @@ impl RawLock for McsLock {
         let node = pool_get();
         // SAFETY: `node` is exclusively ours until published via the CAS.
         let node_ref = unsafe { &*node };
+        // chk: pre-publication init, as in `lock`.
         node_ref.next.store(ptr::null_mut(), Ordering::Relaxed);
         node_ref.locked.store(true, Ordering::Relaxed);
 
@@ -182,7 +186,7 @@ impl RawLock for McsLock {
                 if !next.is_null() {
                     break;
                 }
-                core::hint::spin_loop();
+                ssync_core::sync::cpu_relax();
             }
         }
         // SAFETY: `next` is a queued node spinning on its `locked` flag;
@@ -195,6 +199,7 @@ impl RawLock for McsLock {
     }
 
     fn is_locked(&self) -> bool {
+        // chk: advisory observation (statistics and asserts only).
         !self.tail.load(Ordering::Relaxed).is_null()
     }
 }

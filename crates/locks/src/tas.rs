@@ -10,8 +10,7 @@
 //! and on platforms with a cheap hardware TAS (Niagara), where it is the
 //! best lock for several hash-table workloads (Figure 11).
 
-use core::hint;
-use core::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
 
 use crate::raw::RawLock;
 
@@ -50,7 +49,7 @@ impl RawLock for TasLock {
         // Spin directly on the atomic swap: every retry is a store, which
         // is exactly the behaviour the paper measures for TAS.
         while self.flag.swap(true, Ordering::Acquire) {
-            hint::spin_loop();
+            ssync_core::sync::cpu_relax();
         }
     }
 

@@ -16,8 +16,7 @@
 //! `prefetchw`, is an x86 hint with no stable Rust equivalent; it is
 //! modelled in the simulator — see `ssync-simsync`.)
 
-use core::hint;
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use ssync_core::ProportionalBackoff;
 
@@ -66,7 +65,7 @@ impl TicketLock {
             }
             match backoff {
                 Some(b) => b.wait(ticket - current),
-                None => hint::spin_loop(),
+                None => ssync_core::sync::cpu_relax(),
             }
         }
     }

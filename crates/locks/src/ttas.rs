@@ -7,8 +7,7 @@
 //! (Anderson \[4\], Herlihy & Shavit \[20\]), this removes most of the
 //! coherence storm of plain TAS while keeping its single-word footprint.
 
-use core::hint;
-use core::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
 
 use ssync_core::Backoff;
 
@@ -50,7 +49,7 @@ impl RawLock for TtasLock {
         loop {
             // Read-only spin phase: wait until the line says "free".
             while self.flag.load(Ordering::Relaxed) {
-                hint::spin_loop();
+                ssync_core::sync::cpu_relax();
             }
             // Atomic phase: a single swap attempt.
             if !self.flag.swap(true, Ordering::Acquire) {

@@ -7,8 +7,8 @@
 //! for full — single-producer single-consumer by construction, enforced
 //! in the API by non-cloneable [`Sender`]/[`Receiver`] halves.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use core::cell::UnsafeCell;
-use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ssync_core::{CachePadded, SpinWait};
@@ -22,6 +22,9 @@ pub type Message = [u64; MSG_WORDS];
 
 struct Buffer {
     /// 0 = empty, 1 = full. Also the publication point for `data`.
+    // chk: deliberately unpadded — flag and payload *sharing* one cache
+    // line is the libssmp cost model (the whole buffer is wrapped in
+    // one `CachePadded` at the channel).
     flag: AtomicU64,
     data: UnsafeCell<Message>,
 }

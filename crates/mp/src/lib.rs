@@ -30,6 +30,7 @@
 pub mod channel;
 pub mod hub;
 pub mod ring;
+pub(crate) mod sync;
 
 pub use channel::{channel, Message, Receiver, Sender, MSG_WORDS};
 pub use hub::{MsgReceiver, MsgSender, ServerHub};

@@ -21,8 +21,8 @@
 //! rings; the figure-facing benches keep the single-line channel, whose
 //! cost model is the one the paper calibrates.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use core::cell::UnsafeCell;
-use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ssync_core::{CachePadded, SpinWait};
@@ -39,10 +39,9 @@ struct Ring {
 }
 
 // SAFETY: slot `i` is written only by the unique producer while
-// `i - head < depth` (checked against an Acquire load of `head`) and
-// published by the Release store of `tail`; the unique consumer reads
-// it only after an Acquire load of `tail` covers it. Head and tail are
-// each written by exactly one side, so no slot is ever accessed
+// `i - head < depth` (vs an Acquire load of `head`), published by the
+// Release store of `tail`, and read by the unique consumer only once
+// an Acquire load of `tail` covers it — no slot is ever accessed
 // concurrently.
 unsafe impl Sync for Ring {}
 
@@ -95,6 +94,12 @@ impl RingSender {
     pub fn try_send(&self, msg: Message) -> Result<(), Message> {
         let tail = self.ring.tail.load(Ordering::Relaxed);
         let head = self.ring.head.load(Ordering::Acquire);
+        // Coherence keeps both counters monotone from this side's view,
+        // so even a lagging `head` satisfies the ring invariant.
+        debug_assert!(
+            head <= tail && tail - head <= self.ring.slots.len() as u64,
+            "ring counters out of range: head {head}, tail {tail}"
+        );
         if tail - head == self.ring.slots.len() as u64 {
             return Err(msg);
         }
@@ -125,6 +130,12 @@ impl RingReceiver {
     pub fn try_recv(&self) -> Option<Message> {
         let head = self.ring.head.load(Ordering::Relaxed);
         let tail = self.ring.tail.load(Ordering::Acquire);
+        // Mirror of the producer-side invariant; a violation here means
+        // a torn publication, not mere staleness.
+        debug_assert!(
+            head <= tail && tail - head <= self.ring.slots.len() as u64,
+            "ring counters out of range: head {head}, tail {tail}"
+        );
         if head == tail {
             return None;
         }

@@ -69,6 +69,7 @@
 pub mod fault;
 pub mod log;
 pub mod service;
+pub(crate) mod sync;
 pub mod workload;
 
 pub use fault::{FaultKind, FaultPlan, FaultSpec};

@@ -699,7 +699,7 @@ pub fn serve_replica<R: RawLock + Default>(
             store
                 .stats()
                 .repl_stale_drops
-                .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
             return;
         }
         let value = match &entry.op {
@@ -845,7 +845,7 @@ pub fn serve_replica<R: RawLock + Default>(
                 store
                     .stats()
                     .replica_read_fallbacks
-                    .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
                 send_all(
                     &client_replies[client],
                     &Response::Stale { hwm: report.hwm }.encode(),

@@ -1,0 +1,116 @@
+//! Model-checked interleavings of the replication apply path.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg ssync_chk'`. These models
+//! drive the real `KvStore::apply_replicated` (the per-key version
+//! gate) from concurrent appliers — the shape of a replica receiving
+//! the same shard's entries through two paths at once, e.g. a log
+//! replay racing a live stream — plus the service's stream
+//! high-water-mark gate, modelled with a shadow atomic exactly as
+//! `service.rs` keeps it per replica.
+//!
+//! The third test is the *absence* proof: with the hwm gate removed,
+//! the checker must find the delete-resurrection interleaving that the
+//! per-key gate alone cannot block (a tombstone leaves nothing behind
+//! to compare against).
+//!
+//! Run with:
+//! `RUSTFLAGS='--cfg ssync_chk' cargo test -p ssync-repl --test chk_models`
+#![cfg(ssync_chk)]
+
+use std::sync::Arc;
+
+use ssync_chk::sync::atomic::{AtomicU64, Ordering};
+use ssync_chk::{thread, Builder};
+use ssync_kv::KvStore;
+use ssync_locks::TtasLock;
+
+fn tiny_store() -> KvStore<TtasLock> {
+    KvStore::new(1, 1)
+}
+
+/// Duplicate out-of-order delivery of two puts for one key: whatever
+/// the interleaving, the per-key gate must leave the *newer* version's
+/// value in the store, and the applied/dropped accounting must add up.
+#[test]
+fn per_key_gate_converges_under_out_of_order_duplicates() {
+    let report = Builder::new().check(|| {
+        let store = Arc::new(tiny_store());
+        let replay = {
+            let store = Arc::clone(&store);
+            // The replay path delivers version 1 — possibly after the
+            // live stream already applied version 2, and twice.
+            thread::spawn(move || {
+                store.apply_replicated(b"k", 1, Some(b"stale"));
+                store.apply_replicated(b"k", 1, Some(b"stale"));
+            })
+        };
+        store.apply_replicated(b"k", 2, Some(b"fresh"));
+        replay.join();
+        assert_eq!(
+            store
+                .get_with_version(b"k")
+                .map(|(v, val)| (v, val.to_vec())),
+            Some((2, b"fresh".to_vec())),
+            "older or duplicate delivery overwrote the newer version"
+        );
+        let stats = store.stats().snapshot();
+        assert_eq!(stats.repl_applied + stats.repl_stale_drops, 3);
+    });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    eprintln!("per-key gate model: {} executions", report.executions);
+}
+
+/// The two-gate protocol of `service.rs`: every delivery first passes
+/// the stream high-water mark (monotone via `fetch_max` — apply only
+/// if this entry advanced it), then the store's per-key gate. A
+/// duplicate put redelivered after the key's tombstone must be dropped
+/// by the hwm gate in *every* interleaving: the key stays deleted.
+#[test]
+fn hwm_gate_blocks_delete_resurrection() {
+    let report = Builder::new().check(|| {
+        let store = Arc::new(tiny_store());
+        let hwm = Arc::new(AtomicU64::new(0));
+        let deliver =
+            |store: &KvStore<TtasLock>, hwm: &AtomicU64, version: u64, value: Option<&[u8]>| {
+                if hwm.fetch_max(version, Ordering::AcqRel) >= version {
+                    return; // Stale or duplicate: already streamed past it.
+                }
+                store.apply_replicated(b"k", version, value);
+            };
+        deliver(&store, &hwm, 1, Some(b"v"));
+        let redelivery = {
+            let (store, hwm) = (Arc::clone(&store), Arc::clone(&hwm));
+            // The duplicate of version 1, racing the tombstone below.
+            thread::spawn(move || deliver(&store, &hwm, 1, Some(b"v")))
+        };
+        deliver(&store, &hwm, 2, None);
+        redelivery.join();
+        assert_eq!(store.get(b"k"), None, "deleted key resurrected");
+    });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    eprintln!("hwm gate model: {} executions", report.executions);
+}
+
+/// Remove the hwm gate and the resurrection is real: after the
+/// tombstone erased the key, the per-key gate has nothing to compare
+/// the stale put against, and some interleaving re-inserts it. The
+/// checker must find that interleaving — this is the false-negative
+/// guard for the model above.
+#[test]
+fn missing_hwm_gate_resurrection_is_found() {
+    let v = Builder::new().expect_violation(|| {
+        let store = Arc::new(tiny_store());
+        store.apply_replicated(b"k", 1, Some(b"v"));
+        let redelivery = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                store.apply_replicated(b"k", 1, Some(b"v"));
+            })
+        };
+        store.apply_replicated(b"k", 2, None);
+        redelivery.join();
+        assert_eq!(store.get(b"k"), None, "deleted key resurrected");
+    });
+    assert!(v.message.contains("resurrected"), "{v}");
+    eprintln!("resurrection found in execution {}", v.execution);
+}

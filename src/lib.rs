@@ -28,11 +28,15 @@
 //!   table and figure of the evaluation.
 //! * [`figures`] (`ssync-figures`) — renderers for the paper's tables
 //!   and figures, plus the `repro-all` binary that regenerates them.
+//! * [`chk`] (`ssync-chk`) — the exhaustive interleaving checker (shadow
+//!   atomics + DPOR-lite scheduler) behind the `--cfg ssync_chk` model
+//!   suite, plus the `ssync-lint` ordering-discipline pass.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-versus-measured results.
 
 pub use ssync_ccbench as ccbench;
+pub use ssync_chk as chk;
 pub use ssync_core as core;
 pub use ssync_figures as figures;
 pub use ssync_ht as ht;
