@@ -50,6 +50,19 @@ pub const FAULTS: FaultSpec = FaultSpec {
     faults_per_replica: 4,
     max_window: 12,
     spacing: 96,
+    primary_crashes: 0,
+};
+
+/// The seeded leader-crash schedule of the failover case: two
+/// successive leaders per shard die mid-workload, so the case walks
+/// each shard's full succession line and measures the promotion
+/// windows.
+pub const FAILOVER_FAULTS: FaultSpec = FaultSpec {
+    seed: 0xFA_110,
+    faults_per_replica: 0,
+    max_window: 0,
+    spacing: 0,
+    primary_crashes: 2,
 };
 
 /// The sweep's configuration, fixed per invocation.
@@ -94,6 +107,9 @@ pub struct ReplCase {
     pub batch: usize,
     /// Run the seeded fault schedule ([`FAULTS`]).
     pub faulty: bool,
+    /// Run the seeded leader-crash schedule ([`FAILOVER_FAULTS`]):
+    /// measures time-to-promote and client ops lost to retry.
+    pub failover: bool,
 }
 
 impl ReplCase {
@@ -141,6 +157,7 @@ pub fn sweep_cases() -> Vec<ReplCase> {
                     mix,
                     batch: 1,
                     faulty: false,
+                    failover: false,
                 });
             }
         }
@@ -153,6 +170,7 @@ pub fn sweep_cases() -> Vec<ReplCase> {
                 mix: Mix::YCSB_C,
                 batch: 24,
                 faulty: false,
+                failover: false,
             });
         }
     }
@@ -165,6 +183,7 @@ pub fn sweep_cases() -> Vec<ReplCase> {
             mix: Mix::YCSB_B,
             batch: 1,
             faulty: false,
+            failover: false,
         });
     }
     // Deterministic fault injection: crashes, stalls, log catch-up.
@@ -175,6 +194,19 @@ pub fn sweep_cases() -> Vec<ReplCase> {
         mix: Mix::YCSB_A,
         batch: 1,
         faulty: true,
+        failover: false,
+    });
+    // Deterministic failover: a chain of leader crashes under a
+    // write-heavy mix, in sync mode so even the succession order
+    // replays. Emits time-to-promote and ops-lost-to-retry.
+    cases.push(ReplCase {
+        replicas: 2,
+        mode: ReplMode::Sync,
+        dist: zipf,
+        mix: Mix::YCSB_A,
+        batch: 1,
+        faulty: false,
+        failover: true,
     });
     cases
 }
@@ -204,7 +236,9 @@ pub fn run_case(case: ReplCase, config: ReplSweepConfig) -> ReplCaseResult {
         batch: case.batch,
         seed: SEED,
     };
-    let faults = if case.faulty {
+    let faults = if case.failover {
+        FAILOVER_FAULTS
+    } else if case.faulty {
         FAULTS
     } else {
         FaultSpec::none()
@@ -267,7 +301,13 @@ pub fn render_table(results: &[ReplCaseResult]) -> String {
             r.case.dist.label(),
             r.case.mix.name,
             r.case.batch,
-            if r.case.faulty { "yes" } else { "no" },
+            if r.case.failover {
+                "fovr"
+            } else if r.case.faulty {
+                "yes"
+            } else {
+                "no"
+            },
             r.issued.total(),
             r.wall_ms,
             r.ops_per_sec,
@@ -295,8 +335,23 @@ pub fn render_json(results: &[ReplCaseResult], config: ReplSweepConfig) -> Strin
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         let rep = &r.report;
+        // Failover-only keys ride on that case's line alone, so every
+        // other line stays byte-identical to the pre-failover schema.
+        let failover_fields = if r.case.failover {
+            let promote = ssync_core::stats::Summary::of_durations_ms(&rep.unavailability);
+            format!(
+                ", \"failovers\": {}, \"time_to_promote_ms_mean\": {:.3}, \"time_to_promote_ms_max\": {:.3}, \"lost_to_retry\": {}, \"redirects\": {}",
+                rep.failovers,
+                promote.as_ref().map_or(0.0, |s| s.mean),
+                promote.as_ref().map_or(0.0, |s| s.max),
+                rep.lost_to_retry,
+                rep.redirects,
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "    {{\"replicas\": {}, \"mode\": \"{}\", \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"faulty\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"replica_serves\": {}, \"fallbacks\": {}, \"entries\": {}, \"repl_applied\": {}, \"stale_drops\": {}, \"crashes\": {}, \"stalls\": {}, \"from_log\": {}, \"converged\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}\n",
+            "    {{\"replicas\": {}, \"mode\": \"{}\", \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"faulty\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"replica_serves\": {}, \"fallbacks\": {}, \"entries\": {}, \"repl_applied\": {}, \"stale_drops\": {}, \"crashes\": {}, \"stalls\": {}, \"from_log\": {}, \"converged\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}{failover_fields}}}{comma}\n",
             r.case.replicas,
             r.case.mode_label(),
             r.case.dist.label(),
@@ -346,6 +401,7 @@ mod tests {
         assert!(replicas.contains(&0) && replicas.contains(&2));
         assert!(cases.iter().any(|c| matches!(c.mode, ReplMode::Sync)));
         assert!(cases.iter().any(|c| c.faulty), "fault case missing");
+        assert!(cases.iter().any(|c| c.failover), "failover case missing");
         assert!(cases.iter().any(|c| c.batch > 1), "fan-out case missing");
         // The acceptance pair: batched zipfian YCSB-C at 0 and 2
         // replicas, async.
@@ -368,6 +424,7 @@ mod tests {
             mix: Mix::YCSB_B,
             batch: 1,
             faulty: false,
+            failover: false,
         };
         let r = run_case(case, config);
         assert_eq!(r.issued.total(), 240);
@@ -393,6 +450,7 @@ mod tests {
             mix: Mix::YCSB_A,
             batch: 1,
             faulty: true,
+            failover: false,
         };
         let a = run_case(case, config);
         let b = run_case(case, config);
@@ -401,5 +459,28 @@ mod tests {
         assert_eq!(a.report.crashes, b.report.crashes);
         assert_eq!(a.report.stalls, b.report.stalls);
         assert!(a.report.crashes + a.report.stalls > 0);
+    }
+
+    #[test]
+    fn the_failover_case_promotes_deterministically() {
+        let config = ReplSweepConfig {
+            workers: 2,
+            ops_per_worker: 400,
+            keys: 128,
+        };
+        let case = *sweep_cases().iter().find(|c| c.failover).unwrap();
+        let a = run_case(case, config);
+        let b = run_case(case, config);
+        // Two crashes per shard, two shards: the whole succession line.
+        assert_eq!(a.report.failovers, 4);
+        assert_eq!(a.report.unavailability.len(), 4);
+        assert!(a.report.converged);
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.report.entries, b.report.entries);
+        assert_eq!(a.report.failovers, b.report.failovers);
+        let json = render_json(std::slice::from_ref(&a), config);
+        assert!(json.contains("\"failovers\": 4"));
+        assert!(json.contains("\"time_to_promote_ms_mean\""));
+        assert!(json.contains("\"lost_to_retry\""));
     }
 }

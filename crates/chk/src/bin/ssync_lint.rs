@@ -30,7 +30,8 @@ fn main() -> ExitCode {
                     "usage: ssync-lint [--root <workspace>] [--fix-safety-stubs]\n\
                      \n\
                      Checks the workspace ordering discipline (see DESIGN.md):\n\
-                     relaxed-ptr, atomic-padding, safety-comment, decode-panic.\n\
+                     relaxed-ptr, atomic-padding, safety-comment, decode-panic,\n\
+                     term-fence.\n\
                      --fix-safety-stubs lists missing-annotation sites without failing."
                 );
                 return ExitCode::SUCCESS;

@@ -10,6 +10,7 @@
 //! | `atomic-padding` | kv, mp, repl | `Atomic*` struct fields must be `CachePadded` or `// chk:`-annotated |
 //! | `safety-comment` | kv, mp, repl | `unsafe` blocks/impls/fns must have a `// SAFETY:` comment within 5 lines above |
 //! | `decode-panic` | `wire*.rs` | functions named `*decode*` must not `panic!`/`unwrap()`/`expect(`/`unreachable!`/`todo!` |
+//! | `term-fence` | repl | identifiers with a `term` name segment only meet raw-u64 comparisons — no `+`/`-`/`*`/`/`/`%` or `wrapping_*`/`saturating_*`/`overflowing_*`/`checked_*` without a `// chk:` justification |
 //!
 //! `#[cfg(test)]` regions are exempt from every rule (models and tests
 //! construct bare atomics and panic on purpose). `vendor/` and `target/`
@@ -96,6 +97,7 @@ struct Scope {
     relaxed_ptr: bool,
     padding_and_safety: bool,
     decode_panic: bool,
+    term_fence: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -107,6 +109,7 @@ fn scope_of(path: &str) -> Scope {
         relaxed_ptr: true,
         padding_and_safety: hot_crate,
         decode_panic: file_name.contains("wire"),
+        term_fence: path.starts_with("crates/repl/"),
     }
 }
 
@@ -129,6 +132,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<LintViolation> {
     }
     if scope.decode_panic {
         rule_decode_panic(path, &stripped, &in_test, &mut out);
+    }
+    if scope.term_fence {
+        rule_term_fence(path, &raw, &stripped, &in_test, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -583,6 +589,80 @@ fn rule_decode_panic(
     }
 }
 
+/// True if `ident` carries `term` as a whole snake-case segment
+/// (`term`, `my_term`, `frame_term`, `term_word` — but not
+/// `determine` or `intermediate`).
+fn is_term_ident(ident: &str) -> bool {
+    ident.split('_').any(|seg| seg == "term")
+}
+
+/// Terms are fenced by *raw-u64 comparison* (`>` / `>=` on the term or
+/// the packed map word) — DESIGN.md's "Failover & term fencing"
+/// argument rests on terms never wrapping, so any arithmetic on a
+/// term-named identifier is either the one justified `term + 1` of
+/// promotion or a bug. Flags binary `+ - * / %` touching such an
+/// identifier and `wrapping_*`/`saturating_*`/`overflowing_*`/
+/// `checked_*` calls on one, unless a `// chk:` justification sits
+/// within 3 lines.
+fn rule_term_fence(
+    path: &str,
+    raw: &[&str],
+    stripped: &[String],
+    in_test: &[bool],
+    out: &mut Vec<LintViolation>,
+) {
+    const METHODS: [&str; 4] = [".wrapping_", ".saturating_", ".overflowing_", ".checked_"];
+    for (i, line) in stripped.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut reported = false;
+        let mut pos = 0;
+        while pos < bytes.len() && !reported {
+            if !is_ident_char(bytes[pos] as char) {
+                pos += 1;
+                continue;
+            }
+            let start = pos;
+            while pos < bytes.len() && is_ident_char(bytes[pos] as char) {
+                pos += 1;
+            }
+            if !is_term_ident(&line[start..pos]) {
+                continue;
+            }
+            let after = line[pos..].trim_start();
+            // `->` is a return-type arrow, not a subtraction.
+            let arith_after = ["+", "-", "*", "/", "%"]
+                .iter()
+                .any(|op| after.starts_with(op) && !after.starts_with("->"));
+            let method_after = METHODS.iter().any(|m| after.starts_with(m));
+            // Before the identifier: a binary operator only counts if
+            // an operand precedes it (otherwise `*term` / `-term` would
+            // be a deref or unary, not term arithmetic).
+            let before = line[..start].trim_end();
+            let arith_before = before
+                .strip_suffix(['+', '-', '*', '/', '%'])
+                .map(str::trim_end)
+                .and_then(|operand| operand.chars().next_back())
+                .is_some_and(|c| is_ident_char(c) || c == ')' || c == ']');
+            if (arith_after || method_after || arith_before) && !justified(raw, i, "// chk:", 3) {
+                out.push(LintViolation {
+                    file: path.to_string(),
+                    line: i + 1,
+                    rule: "term-fence",
+                    msg: format!(
+                        "arithmetic on term-carrying identifier `{}` — terms only meet raw-u64 comparisons; justify with `// chk:` if this is the promotion bump",
+                        &line[start..pos]
+                    ),
+                    annotation_fix: true,
+                });
+                reported = true; // one report per line is enough
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,6 +776,53 @@ mod tests {
                        fn g(p: *mut u8) { unsafe { p.read() }; }\n\
                    }\n";
         assert!(lint_source("crates/kv/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn term_arithmetic_flagged_in_repl_only() {
+        let src = "fn f(term: u64) -> u64 {\n    term + 1\n}\n";
+        let hot = lint_source("crates/repl/src/x.rs", src);
+        assert!(
+            hot.iter().any(|v| v.rule == "term-fence" && v.line == 2),
+            "{hot:?}"
+        );
+        let cold = lint_source("crates/kv/src/x.rs", src);
+        assert!(!cold.iter().any(|v| v.rule == "term-fence"), "{cold:?}");
+    }
+
+    #[test]
+    fn term_wrapping_and_segmented_names_flagged() {
+        let src = "fn f(my_term: u64, x: u64) -> u64 {\n    my_term.wrapping_add(x)\n}\n";
+        let v = lint_source("crates/repl/src/x.rs", src);
+        assert!(
+            v.iter().any(|v| v.rule == "term-fence" && v.line == 2),
+            "{v:?}"
+        );
+        let rhs = "fn f(frame_term: u64, x: u64) -> u64 {\n    x - frame_term\n}\n";
+        let v = lint_source("crates/repl/src/x.rs", rhs);
+        assert!(v.iter().any(|v| v.rule == "term-fence"), "{v:?}");
+    }
+
+    #[test]
+    fn term_comparisons_and_lookalikes_pass() {
+        let src = "fn f(term: u64, other: u64, determine: u64, intermediate: u64) -> bool {\n\
+                       let _ = determine + intermediate;\n\
+                       let _ = term << 16;\n\
+                       term >= other && term > 1\n\
+                   }\n\
+                   fn g(term: &u64) -> u64 { *term }\n";
+        let v = lint_source("crates/repl/src/x.rs", src);
+        assert!(!v.iter().any(|v| v.rule == "term-fence"), "{v:?}");
+    }
+
+    #[test]
+    fn justified_term_bump_passes() {
+        let src = "fn f(term: u64) -> u64 {\n\
+                       // chk: the one legal term mutation (promotion bump)\n\
+                       term + 1\n\
+                   }\n";
+        let v = lint_source("crates/repl/src/x.rs", src);
+        assert!(!v.iter().any(|v| v.rule == "term-fence"), "{v:?}");
     }
 
     #[test]

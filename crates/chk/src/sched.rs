@@ -77,6 +77,7 @@ pub(crate) enum RmwKind {
     Add(Val),
     Sub(Val),
     Max(Val),
+    Or(Val),
     Swap(Val),
     Cas { expected: Val, new: Val },
 }
@@ -87,6 +88,7 @@ impl RmwKind {
             RmwKind::Add(v) => old.wrapping_add(v),
             RmwKind::Sub(v) => old.wrapping_sub(v),
             RmwKind::Max(v) => old.max(v),
+            RmwKind::Or(v) => old | v,
             RmwKind::Swap(v) => v,
             RmwKind::Cas { expected, new } => {
                 if old == expected {

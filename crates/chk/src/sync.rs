@@ -147,6 +147,19 @@ pub mod atomic {
                     }
                 }
 
+                pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                    match route(
+                        self.addr(),
+                        self.seed(),
+                        ReqKind::Rmw {
+                            rmw: RmwKind::Or(val as u64),
+                        },
+                    ) {
+                        Some(old) => old as $ty,
+                        None => self.inner.fetch_or(val, order),
+                    }
+                }
+
                 pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
                     match route(
                         self.addr(),

@@ -282,6 +282,101 @@ impl Default for ProportionalBackoff {
     }
 }
 
+/// Deadline-bounded retry pacing with jittered exponential sleeps, for
+/// *request* retry loops (client redirects, leaderless shards) rather
+/// than cache-line spinning.
+///
+/// The jitter matters for the same reason exponential back-off does in
+/// `libslock`'s TTAS lock, one layer up: when a primary dies, every
+/// client of that shard notices at once, and un-jittered retries would
+/// re-arrive in the same convoy each round. The jitter is drawn from a
+/// private xorshift stream seeded by the caller, so retry *timing* is
+/// randomized while the op sequence stays deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use core::time::Duration;
+/// use ssync_core::RetryPacer;
+///
+/// let mut pacer = RetryPacer::new(Duration::from_millis(50), 7);
+/// let mut attempts = 0;
+/// loop {
+///     attempts += 1; // try the request here
+///     if attempts >= 3 || !pacer.pause() {
+///         break; // success path or budget exhausted
+///     }
+/// }
+/// assert!(attempts >= 1);
+/// ```
+#[derive(Debug)]
+pub struct RetryPacer {
+    deadline: std::time::Instant,
+    #[cfg_attr(ssync_chk, allow(dead_code))]
+    sleep_us: u64,
+    #[cfg_attr(ssync_chk, allow(dead_code))]
+    rng: u64,
+}
+
+impl RetryPacer {
+    #[cfg_attr(ssync_chk, allow(dead_code))]
+    const FIRST_SLEEP_US: u64 = 20;
+    #[cfg_attr(ssync_chk, allow(dead_code))]
+    const MAX_SLEEP_US: u64 = 2_000;
+
+    /// Starts a retry budget of `budget` from now. `seed` feeds the
+    /// jitter stream (any value; zero is remapped internally).
+    pub fn new(budget: core::time::Duration, seed: u64) -> Self {
+        Self {
+            deadline: std::time::Instant::now() + budget,
+            sleep_us: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// True once the budget is spent: the caller should give up and
+    /// surface a deadline error.
+    pub fn expired(&self) -> bool {
+        std::time::Instant::now() >= self.deadline
+    }
+
+    /// Call between attempts: sleeps for the next jittered pause and
+    /// returns `true`, or returns `false` (without sleeping) once the
+    /// deadline has passed. Pauses double from ~20µs to a 2ms cap,
+    /// each scaled by a uniform ±50% jitter.
+    pub fn pause(&mut self) -> bool {
+        #[cfg(ssync_chk)]
+        {
+            // Under the checker a "sleep" is one model yield, and the
+            // deadline check keeps its real-time meaning (the checker
+            // never stalls a clock), so retry loops stay bounded.
+            model_yield();
+            !self.expired()
+        }
+        #[cfg(not(ssync_chk))]
+        {
+            if self.expired() {
+                return false;
+            }
+            let us = if self.sleep_us == 0 {
+                Self::FIRST_SLEEP_US
+            } else {
+                (self.sleep_us * 2).min(Self::MAX_SLEEP_US)
+            };
+            self.sleep_us = us;
+            // xorshift64 step; jitter scales the pause into [us/2, 3us/2].
+            let mut x = self.rng;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.rng = x;
+            let jittered = us / 2 + x % us.max(1);
+            std::thread::sleep(core::time::Duration::from_micros(jittered));
+            true
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +420,26 @@ mod tests {
     fn proportional_wait_does_not_hang() {
         let p = ProportionalBackoff::new();
         p.wait(2);
+    }
+
+    #[test]
+    fn retry_pacer_respects_its_deadline() {
+        let mut pacer = RetryPacer::new(core::time::Duration::from_millis(10), 42);
+        let mut pauses = 0u32;
+        while pacer.pause() {
+            pauses += 1;
+            assert!(pauses < 10_000, "pacer must eventually report expiry");
+        }
+        assert!(pacer.expired());
+        // Sleeps double from 20µs toward the cap, so a 10ms budget
+        // admits only a bounded number of pauses.
+        assert!(pauses >= 1);
+    }
+
+    #[test]
+    fn retry_pacer_with_spent_budget_never_sleeps() {
+        let mut pacer = RetryPacer::new(core::time::Duration::ZERO, 0);
+        assert!(pacer.expired());
+        assert!(!pacer.pause());
     }
 }

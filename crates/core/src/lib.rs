@@ -24,7 +24,7 @@ pub mod stats;
 pub mod sync;
 pub mod topology;
 
-pub use backoff::{Backoff, ParkingWait, ProportionalBackoff, SpinWait};
+pub use backoff::{Backoff, ParkingWait, ProportionalBackoff, RetryPacer, SpinWait};
 pub use pad::CachePadded;
 pub use topology::{DistClass, Platform, Topology};
 

@@ -45,6 +45,15 @@ impl Summary {
         })
     }
 
+    /// Summary over durations, expressed in milliseconds — the unit the
+    /// failover bench reports unavailability windows in.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of_durations_ms(samples: &[core::time::Duration]) -> Option<Self> {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        Self::of(&ms)
+    }
+
     /// Relative standard deviation (stddev / mean), the paper's "< 3%"
     /// stability criterion. Zero when the mean is zero.
     pub fn rsd(&self) -> f64 {
@@ -109,6 +118,17 @@ mod tests {
     #[test]
     fn summary_empty_is_none() {
         assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_durations_is_in_milliseconds() {
+        let s = Summary::of_durations_ms(&[
+            core::time::Duration::from_millis(2),
+            core::time::Duration::from_millis(4),
+        ])
+        .unwrap();
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert!(Summary::of_durations_ms(&[]).is_none());
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! empty (0) / full (1); the sender busy-waits for empty, the receiver
 //! for full — single-producer single-consumer by construction, enforced
 //! in the API by non-cloneable [`Sender`]/[`Receiver`] halves.
+//!
+//! Each half's `Drop` records itself on a *separate* cache line (the
+//! transfer line keeps the calibrated one-line cost model), so the
+//! surviving half can tell "peer is gone" from "peer is slow" —
+//! [`Sender::receiver_closed`] / [`Receiver::sender_closed`], which the
+//! blocking-with-escape paths in [`crate::hub`] build on. Without the
+//! signal, a client blocked in `recv` on a dead server spins forever.
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 use core::cell::UnsafeCell;
@@ -34,53 +41,88 @@ struct Buffer {
 // release/acquire pair orders the accesses, so no data race is possible.
 unsafe impl Sync for Buffer {}
 
+/// Dropped-half bits in [`Chan::closed`].
+pub(crate) const TX_CLOSED: u64 = 1;
+pub(crate) const RX_CLOSED: u64 = 2;
+
+struct Chan {
+    buf: CachePadded<Buffer>,
+    /// Drop signal, deliberately on its own line: the hot transfer path
+    /// never touches it, and the peer polls it only after a failed
+    /// `try_recv`/`try_send` (the cold branch of a blocking loop).
+    closed: CachePadded<AtomicU64>,
+}
+
 /// Sending half: exactly one per channel.
 pub struct Sender {
-    buf: Arc<CachePadded<Buffer>>,
+    chan: Arc<Chan>,
 }
 
 /// Receiving half: exactly one per channel.
 pub struct Receiver {
-    buf: Arc<CachePadded<Buffer>>,
+    chan: Arc<Chan>,
 }
 
 /// Creates a one-directional channel.
 pub fn channel() -> (Sender, Receiver) {
-    let buf = Arc::new(CachePadded::new(Buffer {
-        flag: AtomicU64::new(0),
-        data: UnsafeCell::new([0; MSG_WORDS]),
-    }));
+    let chan = Arc::new(Chan {
+        buf: CachePadded::new(Buffer {
+            flag: AtomicU64::new(0),
+            data: UnsafeCell::new([0; MSG_WORDS]),
+        }),
+        closed: CachePadded::new(AtomicU64::new(0)),
+    });
     (
         Sender {
-            buf: Arc::clone(&buf),
+            chan: Arc::clone(&chan),
         },
-        Receiver { buf },
+        Receiver { chan },
     )
+}
+
+impl Drop for Sender {
+    fn drop(&mut self) {
+        // Release-ordered so a receiver that sees the bit also sees any
+        // message published before the drop.
+        self.chan.closed.fetch_or(TX_CLOSED, Ordering::Release);
+    }
+}
+
+impl Drop for Receiver {
+    fn drop(&mut self) {
+        self.chan.closed.fetch_or(RX_CLOSED, Ordering::Release);
+    }
 }
 
 impl Sender {
     /// Sends a message, spinning (then yielding) until the buffer drains.
     pub fn send(&self, msg: Message) {
         let mut wait = SpinWait::new();
-        while self.buf.flag.load(Ordering::Acquire) != 0 {
+        while self.chan.buf.flag.load(Ordering::Acquire) != 0 {
             wait.snooze();
         }
         // SAFETY: the buffer is empty (flag 0) and we are the unique
         // sender, so no one else accesses `data` until we publish.
-        unsafe { *self.buf.data.get() = msg };
-        self.buf.flag.store(1, Ordering::Release);
+        unsafe { *self.chan.buf.data.get() = msg };
+        self.chan.buf.flag.store(1, Ordering::Release);
     }
 
     /// Attempts to send without blocking; returns the message back if
     /// the buffer is still full.
     pub fn try_send(&self, msg: Message) -> Result<(), Message> {
-        if self.buf.flag.load(Ordering::Acquire) != 0 {
+        if self.chan.buf.flag.load(Ordering::Acquire) != 0 {
             return Err(msg);
         }
         // SAFETY: as in `send`.
-        unsafe { *self.buf.data.get() = msg };
-        self.buf.flag.store(1, Ordering::Release);
+        unsafe { *self.chan.buf.data.get() = msg };
+        self.chan.buf.flag.store(1, Ordering::Release);
         Ok(())
+    }
+
+    /// True if the receiving half has been dropped: anything sent now
+    /// (or still buffered) will never be read.
+    pub fn receiver_closed(&self) -> bool {
+        self.chan.closed.load(Ordering::Acquire) & RX_CLOSED != 0
     }
 }
 
@@ -99,19 +141,26 @@ impl Receiver {
 
     /// Attempts to receive without blocking.
     pub fn try_recv(&self) -> Option<Message> {
-        if self.buf.flag.load(Ordering::Acquire) != 1 {
+        if self.chan.buf.flag.load(Ordering::Acquire) != 1 {
             return None;
         }
         // SAFETY: the buffer is full (flag 1) and we are the unique
         // receiver; the sender will not touch `data` until we drain.
-        let msg = unsafe { *self.buf.data.get() };
-        self.buf.flag.store(0, Ordering::Release);
+        let msg = unsafe { *self.chan.buf.data.get() };
+        self.chan.buf.flag.store(0, Ordering::Release);
         Some(msg)
     }
 
     /// True if a message is waiting (advisory).
     pub fn has_message(&self) -> bool {
-        self.buf.flag.load(Ordering::Relaxed) == 1
+        self.chan.buf.flag.load(Ordering::Relaxed) == 1
+    }
+
+    /// True if the sending half has been dropped. A buffered message
+    /// may still be waiting — drain with [`Receiver::try_recv`] before
+    /// concluding the conversation is over.
+    pub fn sender_closed(&self) -> bool {
+        self.chan.closed.load(Ordering::Acquire) & TX_CLOSED != 0
     }
 }
 
@@ -164,6 +213,22 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn dropping_a_half_is_visible_to_the_peer() {
+        let (tx, rx) = channel();
+        assert!(!rx.sender_closed() && !tx.receiver_closed());
+        // A message sent before the drop must survive the drop.
+        tx.send([5; 7]);
+        drop(tx);
+        assert!(rx.sender_closed());
+        assert_eq!(rx.try_recv(), Some([5; 7]));
+        assert!(rx.try_recv().is_none());
+
+        let (tx, rx) = channel();
+        drop(rx);
+        assert!(tx.receiver_closed());
     }
 
     #[test]

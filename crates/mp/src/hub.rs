@@ -7,16 +7,36 @@
 //! hub is generic over the channel flavour — the one-line
 //! [`Receiver`] or the ring's [`crate::ring::RingReceiver`].
 
+use std::time::Instant;
+
 use ssync_core::SpinWait;
 
 use crate::channel::{Message, Receiver, Sender};
 use crate::ring::{RingReceiver, RingSender};
+
+/// Why a connection-aware receive gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The sending half was dropped and the channel is fully drained:
+    /// no message will ever arrive.
+    Disconnected,
+    /// The deadline passed with the sender still alive but silent.
+    TimedOut,
+}
+
+/// The receiving half's peer was dropped (connection-aware sends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
 
 /// The receive side a [`ServerHub`] can multiplex: anything with a
 /// non-blocking poll.
 pub trait MsgReceiver {
     /// Attempts to receive without blocking.
     fn try_recv(&self) -> Option<Message>;
+
+    /// True if the sending half has been dropped (messages may still
+    /// be queued — `try_recv` drains them regardless).
+    fn sender_closed(&self) -> bool;
 
     /// Receives the next message, spinning (then yielding) until one
     /// arrives. The concrete channel types provide the same blocking
@@ -32,17 +52,72 @@ pub trait MsgReceiver {
             }
         }
     }
+
+    /// Blocking receive with an escape: fails with
+    /// [`RecvError::Disconnected`] once the sender is gone *and* the
+    /// channel is drained, instead of spinning forever on a dead peer.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Disconnected`] if the sending half was dropped and
+    /// no message remains.
+    fn recv_connected(&self) -> Result<Message, RecvError> {
+        let mut wait = SpinWait::new();
+        loop {
+            if let Some(m) = self.try_recv() {
+                return Ok(m);
+            }
+            if self.sender_closed() {
+                // Final drain: the sender may have published a message
+                // between the failed poll above and its drop.
+                return self.try_recv().ok_or(RecvError::Disconnected);
+            }
+            wait.snooze();
+        }
+    }
+
+    /// [`MsgReceiver::recv_connected`] with a wall-clock deadline: also
+    /// fails with [`RecvError::TimedOut`] once `deadline` passes, so a
+    /// caller never blocks unboundedly even on a live-but-wedged peer.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Disconnected`] on a dropped, drained sender;
+    /// [`RecvError::TimedOut`] past the deadline.
+    fn recv_connected_by(&self, deadline: Instant) -> Result<Message, RecvError> {
+        let mut wait = SpinWait::new();
+        loop {
+            if let Some(m) = self.try_recv() {
+                return Ok(m);
+            }
+            if self.sender_closed() {
+                return self.try_recv().ok_or(RecvError::Disconnected);
+            }
+            if Instant::now() >= deadline {
+                return self.try_recv().ok_or(RecvError::TimedOut);
+            }
+            wait.snooze();
+        }
+    }
 }
 
 impl MsgReceiver for Receiver {
     fn try_recv(&self) -> Option<Message> {
         Receiver::try_recv(self)
     }
+
+    fn sender_closed(&self) -> bool {
+        Receiver::sender_closed(self)
+    }
 }
 
 impl MsgReceiver for RingReceiver {
     fn try_recv(&self) -> Option<Message> {
         RingReceiver::try_recv(self)
+    }
+
+    fn sender_closed(&self) -> bool {
+        RingReceiver::sender_closed(self)
     }
 }
 
@@ -57,6 +132,32 @@ pub trait MsgSender {
     /// Attempts to send without blocking; returns the message back if
     /// the channel is full.
     fn try_send(&self, msg: Message) -> Result<(), Message>;
+
+    /// True if the receiving half has been dropped: nothing sent here
+    /// will ever be read.
+    fn receiver_closed(&self) -> bool;
+
+    /// Blocking send with an escape: fails once the receiver is gone,
+    /// instead of spinning forever against a full channel no one will
+    /// ever drain.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the receiving half was dropped.
+    fn send_connected(&self, msg: Message) -> Result<(), Disconnected> {
+        let mut wait = SpinWait::new();
+        let mut msg = msg;
+        loop {
+            if self.receiver_closed() {
+                return Err(Disconnected);
+            }
+            match self.try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(back) => msg = back,
+            }
+            wait.snooze();
+        }
+    }
 }
 
 impl MsgSender for Sender {
@@ -67,6 +168,10 @@ impl MsgSender for Sender {
     fn try_send(&self, msg: Message) -> Result<(), Message> {
         Sender::try_send(self, msg)
     }
+
+    fn receiver_closed(&self) -> bool {
+        Sender::receiver_closed(self)
+    }
 }
 
 impl MsgSender for RingSender {
@@ -76,6 +181,10 @@ impl MsgSender for RingSender {
 
     fn try_send(&self, msg: Message) -> Result<(), Message> {
         RingSender::try_send(self, msg)
+    }
+
+    fn receiver_closed(&self) -> bool {
+        RingSender::receiver_closed(self)
     }
 }
 
@@ -260,6 +369,55 @@ mod tests {
         senders[2].send([2; 7]);
         assert_eq!(hub.recv_from_any().0, 2);
         assert_eq!(hub.recv_from_any().0, 0);
+    }
+
+    #[test]
+    fn recv_connected_drains_then_reports_disconnect() {
+        let (tx, rx) = crate::ring::ring_channel(4);
+        tx.send([3; 7]);
+        drop(tx);
+        // The backlog survives the drop; only then does the error fire.
+        assert_eq!(MsgReceiver::recv_connected(&rx), Ok([3; 7]));
+        assert_eq!(
+            MsgReceiver::recv_connected(&rx),
+            Err(RecvError::Disconnected)
+        );
+
+        let (tx, rx) = channel();
+        tx.send([4; 7]);
+        drop(tx);
+        assert_eq!(MsgReceiver::recv_connected(&rx), Ok([4; 7]));
+        assert_eq!(
+            MsgReceiver::recv_connected(&rx),
+            Err(RecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_connected_by_times_out_on_a_silent_live_sender() {
+        let (tx, rx) = channel();
+        let deadline = Instant::now() + std::time::Duration::from_millis(5);
+        assert_eq!(
+            MsgReceiver::recv_connected_by(&rx, deadline),
+            Err(RecvError::TimedOut)
+        );
+        // Sender still alive and usable afterwards.
+        tx.send([8; 7]);
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(MsgReceiver::recv_connected_by(&rx, deadline), Ok([8; 7]));
+    }
+
+    #[test]
+    fn send_connected_fails_on_a_dropped_receiver() {
+        let (tx, rx) = channel();
+        assert_eq!(MsgSender::send_connected(&tx, [1; 7]), Ok(()));
+        drop(rx);
+        assert_eq!(MsgSender::send_connected(&tx, [2; 7]), Err(Disconnected));
+
+        let (tx, rx) = crate::ring::ring_channel(4);
+        assert_eq!(MsgSender::send_connected(&tx, [1; 7]), Ok(()));
+        drop(rx);
+        assert_eq!(MsgSender::send_connected(&tx, [2; 7]), Err(Disconnected));
     }
 
     #[test]

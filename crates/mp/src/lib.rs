@@ -33,5 +33,5 @@ pub mod ring;
 pub(crate) mod sync;
 
 pub use channel::{channel, Message, Receiver, Sender, MSG_WORDS};
-pub use hub::{MsgReceiver, MsgSender, ServerHub};
+pub use hub::{Disconnected, MsgReceiver, MsgSender, RecvError, ServerHub};
 pub use ring::{ring_channel, RingReceiver, RingSender};

@@ -36,7 +36,13 @@ struct Ring {
     head: CachePadded<AtomicU64>,
     /// Next slot the producer writes; only the producer advances it.
     tail: CachePadded<AtomicU64>,
+    /// Dropped-half bits ([`crate::channel`]'s `TX_CLOSED`/`RX_CLOSED`),
+    /// on their own line so the Lamport fast path never touches it;
+    /// polled only from the cold branch of blocking loops.
+    closed: CachePadded<AtomicU64>,
 }
+
+use crate::channel::{RX_CLOSED, TX_CLOSED};
 
 // SAFETY: slot `i` is written only by the unique producer while
 // `i - head < depth` (vs an Acquire load of `head`), published by the
@@ -70,6 +76,7 @@ pub fn ring_channel(depth: usize) -> (RingSender, RingReceiver) {
             .collect(),
         head: CachePadded::new(AtomicU64::new(0)),
         tail: CachePadded::new(AtomicU64::new(0)),
+        closed: CachePadded::new(AtomicU64::new(0)),
     });
     (
         RingSender {
@@ -77,6 +84,20 @@ pub fn ring_channel(depth: usize) -> (RingSender, RingReceiver) {
         },
         RingReceiver { ring },
     )
+}
+
+impl Drop for RingSender {
+    fn drop(&mut self) {
+        // Release-ordered so a receiver that sees the bit also sees
+        // every message published before the drop.
+        self.ring.closed.fetch_or(TX_CLOSED, Ordering::Release);
+    }
+}
+
+impl Drop for RingReceiver {
+    fn drop(&mut self) {
+        self.ring.closed.fetch_or(RX_CLOSED, Ordering::Release);
+    }
 }
 
 impl RingSender {
@@ -110,6 +131,12 @@ impl RingSender {
         unsafe { *self.ring.slots[idx].get() = msg };
         self.ring.tail.store(tail + 1, Ordering::Release);
         Ok(())
+    }
+
+    /// True if the receiving half has been dropped: anything sent now
+    /// (or still queued) will never be read.
+    pub fn receiver_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire) & RX_CLOSED != 0
     }
 }
 
@@ -150,6 +177,13 @@ impl RingReceiver {
     /// True if a message is waiting (advisory).
     pub fn has_message(&self) -> bool {
         self.ring.head.load(Ordering::Relaxed) != self.ring.tail.load(Ordering::Relaxed)
+    }
+
+    /// True if the sending half has been dropped. Queued messages may
+    /// still be waiting — drain with [`RingReceiver::try_recv`] before
+    /// concluding the conversation is over.
+    pub fn sender_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire) & TX_CLOSED != 0
     }
 }
 
@@ -205,5 +239,23 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         let _ = ring_channel(6);
+    }
+
+    #[test]
+    fn dropping_a_half_is_visible_and_queued_messages_survive() {
+        let (tx, rx) = ring_channel(4);
+        tx.send([1; MSG_WORDS]);
+        tx.send([2; MSG_WORDS]);
+        drop(tx);
+        assert!(rx.sender_closed());
+        // The drop signal must not eat the queued backlog.
+        assert_eq!(rx.try_recv(), Some([1; MSG_WORDS]));
+        assert_eq!(rx.try_recv(), Some([2; MSG_WORDS]));
+        assert!(rx.try_recv().is_none());
+
+        let (tx, rx) = ring_channel(4);
+        assert!(!tx.receiver_closed());
+        drop(rx);
+        assert!(tx.receiver_closed());
     }
 }

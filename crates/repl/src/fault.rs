@@ -31,6 +31,15 @@ pub enum FaultKind {
     Stall,
     /// Discard `window` entries, then catch up from the op-log.
     Crash,
+    /// The shard *leader* dies for good right after fully acknowledging
+    /// the write that produced entry `at_entry` — the worst moment for
+    /// a failover protocol, since that ack is now a promise only the
+    /// backups can keep. Unlike the backup kinds there is no recovery
+    /// window: the node never comes back, and `window` is ignored
+    /// (normalized to 1). Scheduled on whichever node leads when the
+    /// entry is produced, so a plan with several crashes kills a chain
+    /// of successive leaders.
+    PrimaryCrash,
 }
 
 /// One fault window in a replica's schedule.
@@ -77,6 +86,27 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// Builds a leader-crash schedule: the shard's leader of the moment
+    /// dies right after producing each listed (1-based, strictly
+    /// increasing) entry index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries are not strictly increasing or start
+    /// before entry 1.
+    pub fn primary_crashes(entries: Vec<u64>) -> FaultPlan {
+        FaultPlan::from_events(
+            entries
+                .into_iter()
+                .map(|at_entry| FaultEvent {
+                    at_entry,
+                    kind: FaultKind::PrimaryCrash,
+                    window: 1,
+                })
+                .collect(),
+        )
+    }
+
     /// The scheduled events, in order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -90,6 +120,15 @@ impl FaultPlan {
     /// Largest window in the plan (0 if none).
     pub fn max_window(&self) -> u64 {
         self.events.iter().map(|e| e.window).max().unwrap_or(0)
+    }
+
+    /// Number of scheduled leader crashes — what the `failovers` stat
+    /// must equal after a soaked run.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::PrimaryCrash)
+            .count()
     }
 }
 
@@ -105,6 +144,11 @@ pub struct FaultSpec {
     pub max_window: u64,
     /// Mean healthy gap between windows, in entries.
     pub spacing: u64,
+    /// Leader crashes per shard (each kills the leader of the moment;
+    /// successive crashes walk down the succession line). Scheduled on
+    /// a separate seeded stream from the backup faults, so adding
+    /// crashes never perturbs an existing backup schedule.
+    pub primary_crashes: usize,
 }
 
 impl FaultSpec {
@@ -115,12 +159,19 @@ impl FaultSpec {
             faults_per_replica: 0,
             max_window: 0,
             spacing: 0,
+            primary_crashes: 0,
         }
     }
 
     /// True if this spec schedules no faults.
     pub fn is_none(&self) -> bool {
-        self.faults_per_replica == 0
+        self.faults_per_replica == 0 && self.primary_crashes == 0
+    }
+
+    /// True if this spec schedules backup (stall/crash) windows — the
+    /// kinds the async lag bound must cover.
+    pub fn has_backup_faults(&self) -> bool {
+        self.faults_per_replica > 0
     }
 
     /// The deterministic schedule for one `(shard, replica)` slot.
@@ -128,7 +179,7 @@ impl FaultSpec {
     /// stalls and crashes pseudo-randomly; gaps between windows are at
     /// least one entry and average `spacing`.
     pub fn plan_for(&self, shard: usize, replica: usize) -> FaultPlan {
-        if self.is_none() {
+        if self.faults_per_replica == 0 {
             return FaultPlan::none();
         }
         assert!(self.max_window >= 1 && self.spacing >= 1);
@@ -152,6 +203,29 @@ impl FaultSpec {
         }
         FaultPlan::from_events(events)
     }
+
+    /// The deterministic leader-crash schedule for one shard. Drawn
+    /// from its own rng stream (tagged with a replica id no backup
+    /// slot can use), so the backup schedules of
+    /// [`FaultSpec::plan_for`] are byte-identical with crashes on or
+    /// off. Crash entries are spaced like backup windows: at least two
+    /// entries apart, averaging `spacing` (or a fixed gap of 8 when
+    /// the spec schedules no backup faults and `spacing` is 0).
+    pub fn primary_plan_for(&self, shard: usize) -> FaultPlan {
+        if self.primary_crashes == 0 {
+            return FaultPlan::none();
+        }
+        let stream = (shard as u64) << 32 | u64::from(u32::MAX);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ ssync_core::mix64(stream));
+        let spacing = self.spacing.max(8);
+        let mut entries = Vec::with_capacity(self.primary_crashes);
+        let mut at = 1 + rng.gen_range(0..=spacing);
+        for _ in 0..self.primary_crashes {
+            entries.push(at);
+            at += 2 + rng.gen_range(0..=2 * spacing);
+        }
+        FaultPlan::primary_crashes(entries)
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +239,7 @@ mod tests {
             faults_per_replica: 4,
             max_window: 8,
             spacing: 16,
+            primary_crashes: 0,
         };
         let a = spec.plan_for(0, 1);
         let b = spec.plan_for(0, 1);
@@ -173,6 +248,47 @@ mod tests {
         assert!(a.max_window() <= 8);
         let c = spec.plan_for(1, 1);
         assert_ne!(a, c, "different shards draw different schedules");
+    }
+
+    #[test]
+    fn primary_crashes_ride_a_separate_stream() {
+        let without = FaultSpec {
+            seed: 0xFA_07,
+            faults_per_replica: 4,
+            max_window: 8,
+            spacing: 16,
+            primary_crashes: 0,
+        };
+        let with = FaultSpec {
+            primary_crashes: 3,
+            ..without
+        };
+        assert_eq!(
+            without.plan_for(0, 1),
+            with.plan_for(0, 1),
+            "adding leader crashes must not perturb backup schedules"
+        );
+        assert!(without.primary_plan_for(0).is_empty());
+        let plan = with.primary_plan_for(0);
+        assert_eq!(plan.crash_count(), 3);
+        assert_eq!(plan, with.primary_plan_for(0), "crash schedule replays");
+        assert_ne!(plan, with.primary_plan_for(1));
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::PrimaryCrash && e.window == 1));
+        // Crash-only specs need no backup-fault parameters at all.
+        let crash_only = FaultSpec {
+            seed: 1,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+            primary_crashes: 2,
+        };
+        assert!(!crash_only.is_none());
+        assert!(!crash_only.has_backup_faults());
+        assert!(crash_only.plan_for(0, 0).is_empty());
+        assert_eq!(crash_only.primary_plan_for(0).crash_count(), 2);
     }
 
     #[test]

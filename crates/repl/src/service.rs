@@ -1,85 +1,108 @@
-//! Primary/backup replication over the `ssync-srv` service.
+//! Primary/backup replication over the `ssync-srv` service, with
+//! term-fenced failover.
 //!
-//! Each shard becomes a *replication group*: one primary server thread
-//! owning the authoritative `KvStore` plus R backup threads, each with
-//! its own store. All traffic — client requests, the replication
-//! stream, acks, replica reads — rides `ssync-mp` cache-line frames,
-//! but over the *ring* flavour ([`ssync_mp::ring_channel`]): a
-//! replication stream is bursty and replica reads return wide
-//! multi-frame replies, and on an oversubscribed host a one-deep
-//! buffer would cost a context-switch pair per frame. The ring depth
-//! lets a primary stream a burst of entries, and a backup write a
-//! whole bulk-read reply, without handing the core over per cache
-//! line.
+//! Each shard is a *replication group* of N = R + 1 symmetric **nodes**
+//! (threads), each owning a full `KvStore` copy. At any instant exactly
+//! one node — named by the shared [`ClusterMap`] word — is the
+//! **leader** (applies writes, appends to the shard's bounded
+//! [`OpLog`], streams `Replicate` frames); the rest are **followers**
+//! (apply the stream through the version gates, serve floor-guarded
+//! replica reads, return cumulative acks). All traffic rides
+//! [`ssync_mp::ring_channel`] cache-line frames over a full node×node
+//! mesh plus per-client connections to every node.
 //!
-//! **Write path.** The primary applies a write under its store's lock,
+//! **Write path.** The leader applies a write under its store's lock,
 //! takes the CAS version the store assigned (the per-shard replication
-//! sequence — writes are serialized by the server thread, so versions
-//! are strictly increasing), appends the entry to the shard's bounded
-//! [`OpLog`], and streams a `Replicate` frame to every backup. Backups
-//! apply idempotently through the version gate
-//! (`KvStore::apply_replicated`) and return *cumulative* acks. In
-//! [`ReplMode::Sync`] the primary waits for every backup's ack before
-//! replying (read-your-writes from any replica); in
-//! [`ReplMode::Async`] it replies immediately and only blocks when a
-//! backup falls more than `max_lag` log entries behind.
+//! sequence — writes are serialized by the leader thread, so versions
+//! are dense and strictly increasing across *successive leaders*),
+//! appends the entry to the op-log, and streams it to every live
+//! follower. In [`ReplMode::Sync`] it waits for every live follower's
+//! cumulative ack before replying; in [`ReplMode::Async`] it replies
+//! immediately and only blocks when a follower trails by more than
+//! `max_lag` log entries.
 //!
-//! **Read path.** Clients route reads round-robin across a shard's
-//! backups, attaching a *freshness floor* — the highest version this
-//! client has observed on that shard. A backup behind the floor (or
-//! down) answers `Stale` and the client falls back to the primary, so
-//! reads are never stale *to the reader* even in async mode.
+//! **Failover.** A leader can be scheduled to die
+//! ([`FaultKind::PrimaryCrash`](crate::fault::FaultKind)) right after
+//! fully acknowledging the write that produced a given entry — the
+//! worst moment, since that ack is now a promise only the followers can
+//! keep. The death vacates the map word (same term, no leader); the
+//! most caught-up live follower — highest *published* applied hwm, ties
+//! to the lowest id, which is safe because acks are cumulative (see
+//! DESIGN.md "Failover & term fencing") — wins the promotion CAS,
+//! bumping the term and installing itself in one step. It replays the
+//! op-log tail past its own hwm, then serves. Stream frames are fenced
+//! by *channel identity against the map*: a frame from a sender the map
+//! no longer names leader is counted and dropped (with a best-effort
+//! `WrongTerm` back at the sender), and the gap it might have carried
+//! is covered by a log replay the moment a follower adopts the new
+//! term. Writes reaching a non-leader bounce with `WrongLeader`.
+//!
+//! **Read path.** Clients route reads round-robin across a shard's live
+//! followers with a *freshness floor* (the highest version the client
+//! observed on that shard); a follower behind the floor (or inside a
+//! crash window) answers `Stale` and the client falls back to the
+//! leader. While a shard is leaderless, writes and leader reads wait
+//! under a [`RetryPacer`] deadline; a client that opted into
+//! [`ReplClient::with_stale_reads`] degrades reads to floor-zero
+//! replica reads instead of waiting.
 //!
 //! **Deadlock discipline** (rings are deeper than one frame but still
 //! bounded, so the same rules apply):
-//! * the primary's blocking sends to a backup are safe because a
-//!   backup never blocks *on the primary or on acks*: it runs a
-//!   polling loop (even a "crashed" backup keeps draining,
+//! * the leader's blocking sends to a follower are safe because a
+//!   follower never blocks *on the leader or on acks*: it runs a
+//!   polling loop (even a "crashed" follower keeps draining,
 //!   discarding), and its only blocking sends are reply frames to a
 //!   client that, having an outstanding request on that very ring, is
 //!   by construction draining it;
-//! * a backup acks with `try_send`, coalescing into the latest
-//!   cumulative version when the ack channel is full (acks are
-//!   cumulative, so dropped intermediates are harmless) and retrying
-//!   every loop iteration;
-//! * clients keep at most one request in flight per shard endpoint and
-//!   drain shards in index order — one global order shared by every
-//!   client, so the waits-for graph over bounded reply channels cannot
-//!   close a cycle.
+//! * a follower acks with `try_send`, coalescing into the latest
+//!   cumulative version when the ack channel is full, and retrying
+//!   every loop iteration; fencing replies are `try_send` too;
+//! * clients keep at most one request in flight per shard and drain
+//!   shards in index order — one global order shared by every client,
+//!   so the waits-for graph over bounded reply channels cannot close a
+//!   cycle;
+//! * every client receive and send is *connected* (`recv_connected` /
+//!   `send_connected`): a dead node surfaces as
+//!   [`WireError::Disconnected`] after the ring's surviving backlog is
+//!   drained, never as a hang.
 //!
-//! Fault windows (stall/crash) are entry-indexed and deterministic —
-//! see [`crate::fault`] — and only legal in async mode with windows
-//! below the lag bound (a primary blocked on the bound can never
-//! deliver the entries that would close a window).
+//! Backup fault windows (stall/crash) are entry-indexed and
+//! deterministic — see [`crate::fault`] — and only legal in async mode
+//! with windows below the lag bound. Leader crashes are legal in both
+//! modes: the failure they inject is a *death*, not a withheld ack.
 
 use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 
-use ssync_core::ParkingWait;
+use ssync_core::{ParkingWait, RetryPacer};
 use ssync_kv::{KvStore, StatsSnapshot};
 use ssync_locks::RawLock;
-use ssync_mp::{ring_channel, Message, RingReceiver, RingSender, ServerHub};
+use ssync_mp::{
+    ring_channel, Message, MsgReceiver, MsgSender, RingReceiver, RingSender, ServerHub,
+};
 use ssync_srv::router::{key_bytes, shard_of, ShardRouter};
 use ssync_srv::service::{KvClient, ReadHit};
-use ssync_srv::wire::{Request, Response, WireError, MGET_MAX, REPL_MGET_MAX};
+use ssync_srv::wire::{Request, Response, WireError, MGET_MAX, NO_LEADER, REPL_MGET_MAX};
 
+use crate::cluster::{ClusterMap, ShardView};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::log::{LogEntry, LogOp, OpLog};
 
-/// When the primary replies to a replicated write.
+/// When the leader replies to a replicated write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplMode {
-    /// Ack-before-reply: every backup has applied the write before the
-    /// client hears `Stored`. Read-your-writes from any replica, at
-    /// write latency cost.
+    /// Ack-before-reply: every live follower has applied the write
+    /// before the client hears `Stored`. Read-your-writes from any
+    /// replica, at write latency cost.
     Sync,
-    /// Reply immediately; backups trail by at most `max_lag` op-log
-    /// entries (the primary stalls draining acks past that). Stale
-    /// replica reads fall back to the primary via the floor guard.
+    /// Reply immediately; followers trail by at most `max_lag` op-log
+    /// entries (the leader stalls draining acks past that). Stale
+    /// replica reads fall back to the leader via the floor guard.
     Async {
-        /// Maximum op-log entries a backup may trail by.
+        /// Maximum op-log entries a follower may trail by.
         max_lag: u64,
     },
 }
@@ -88,7 +111,8 @@ pub enum ReplMode {
 /// mode, and the op-log bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplSpec {
-    /// Backups per shard (0 = plain unreplicated service).
+    /// Backups per shard (0 = plain unreplicated service). Each shard
+    /// runs `replicas + 1` nodes.
     pub replicas: usize,
     /// Write acknowledgement mode.
     pub mode: ReplMode,
@@ -135,19 +159,22 @@ impl ReplSpec {
     }
 }
 
-/// The stores of a replication deployment: the primary shard router,
-/// one full router per backup replica set, and one op-log per shard.
+/// The stores of a replication deployment — one full shard router per
+/// node (node 0 is the seed leader) — plus one op-log per shard and the
+/// shared [`ClusterMap`].
 pub struct ReplCluster<R: RawLock + Default> {
     primary: ShardRouter<R>,
     replica_sets: Vec<ShardRouter<R>>,
     logs: Vec<Arc<OpLog>>,
     preload_hwm: Vec<u64>,
+    map: Arc<ClusterMap>,
     spec: ReplSpec,
 }
 
 impl<R: RawLock + Default> ReplCluster<R> {
     /// Builds the stores for `shards` shards of `buckets`×`stripes`
-    /// each, replicated per `spec`.
+    /// each, replicated per `spec`, and a fresh map (every shard at
+    /// term 1, led by node 0).
     ///
     /// # Panics
     ///
@@ -164,6 +191,7 @@ impl<R: RawLock + Default> ReplCluster<R> {
                 .map(|_| Arc::new(OpLog::new(spec.log_capacity)))
                 .collect(),
             preload_hwm: vec![0; shards],
+            map: Arc::new(ClusterMap::new(shards, spec.replicas + 1)),
             spec,
         }
     }
@@ -178,15 +206,30 @@ impl<R: RawLock + Default> ReplCluster<R> {
         self.primary.num_shards()
     }
 
-    /// The primary router.
+    /// The shared term/leader map.
+    pub fn map(&self) -> &Arc<ClusterMap> {
+        &self.map
+    }
+
+    /// The seed leader's router (node 0 of every shard).
     pub fn primary(&self) -> &ShardRouter<R> {
         &self.primary
     }
 
     /// Backup replica set `r` (a full router: its shard `s` backs the
-    /// primary's shard `s`).
+    /// seed leader's shard `s`; it is node `r + 1` of every group).
     pub fn replica_set(&self, r: usize) -> &ShardRouter<R> {
         &self.replica_sets[r]
+    }
+
+    /// Node `node`'s store for `shard` (node 0 is the seed leader,
+    /// node `n > 0` is backup set `n - 1`).
+    pub fn node_store(&self, shard: usize, node: usize) -> &KvStore<R> {
+        if node == 0 {
+            self.primary.shard(shard)
+        } else {
+            self.replica_sets[node - 1].shard(shard)
+        }
     }
 
     /// Shard `s`'s op-log.
@@ -194,10 +237,10 @@ impl<R: RawLock + Default> ReplCluster<R> {
         &self.logs[s]
     }
 
-    /// Seeds one key everywhere before serving starts: the primary
+    /// Seeds one key everywhere before serving starts: the seed leader
     /// assigns the version, every backup applies it, and the shard's
-    /// preload high-water mark advances — so backups start caught-up
-    /// and the op-log starts empty.
+    /// preload high-water mark advances — so every node starts
+    /// caught-up and the op-log starts empty.
     pub fn preload(&mut self, key: u64, value: &[u8]) -> u64 {
         let shard = shard_of(key, self.num_shards());
         let version = self.primary.shard(shard).set(&key_bytes(key), value);
@@ -209,22 +252,34 @@ impl<R: RawLock + Default> ReplCluster<R> {
         version
     }
 
-    /// The post-preload high-water mark of shard `s` (backups and the
-    /// primary's ack baseline start here).
+    /// The post-preload high-water mark of shard `s` (every node's ack
+    /// baseline).
     pub fn preload_hwm(&self, s: usize) -> u64 {
         self.preload_hwm[s]
     }
 
-    /// True if every backup's every shard holds exactly the primary's
-    /// contents (keys, values, and versions). Only meaningful once the
-    /// servers have shut down (the final ack handshake guarantees
-    /// backups are caught up by then).
+    /// True if every *live* node's every shard holds exactly the
+    /// current leader's contents (keys, values, and versions). Nodes
+    /// that died leading are excluded — their stores froze at death.
+    /// Only meaningful once the servers have shut down (the final ack
+    /// handshake guarantees followers are caught up by then). A shard
+    /// with no live node left is trivially converged.
     pub fn converged(&self) -> bool {
+        let nodes = self.map.nodes_per_shard();
         (0..self.num_shards()).all(|s| {
-            let want = self.primary.shard(s).dump();
-            self.replica_sets
-                .iter()
-                .all(|set| set.shard(s).dump() == want)
+            let live = |n: &usize| !self.map.is_dead(s, *n);
+            let reference = self.map.view(s).leader.or_else(|| {
+                (0..nodes)
+                    .filter(|n| live(n))
+                    .max_by_key(|&n| self.map.hwm_of(s, n))
+            });
+            let Some(reference) = reference else {
+                return true;
+            };
+            let want = self.node_store(s, reference).dump();
+            (0..nodes)
+                .filter(|n| live(n))
+                .all(|n| self.node_store(s, n).dump() == want)
         })
     }
 
@@ -239,182 +294,276 @@ impl<R: RawLock + Default> ReplCluster<R> {
 
 /// Ring depth of client request/reply connections. A bulk reply at
 /// typical value sizes (≤ ~3 frames per key × [`REPL_MGET_MAX`] keys)
-/// fits without blocking the server; a worst-case reply (64 keys of
-/// [`crate::log`]-limit values ≈ 1.2k frames) does *not* — the server
-/// then blocks mid-reply, which is still cycle-free (the one client
-/// with an outstanding request on this ring is by construction
-/// draining it), but a backup blocked this way pauses stream applies
-/// and acks until the client catches up. Deeper buys memory for an
-/// edge case; this depth covers every workload the harnesses run.
+/// fits without blocking the server; a worst-case reply does *not* —
+/// the server then blocks mid-reply, which is still cycle-free (the
+/// one client with an outstanding request on this ring is by
+/// construction draining it).
 const CONN_DEPTH: usize = 256;
 
-/// Ring depth of the primary→backup replication stream: an async
-/// primary can burst a lag bound's worth of entries (≈2 frames each)
+/// Ring depth of the leader→follower replication stream: an async
+/// leader can burst a lag bound's worth of entries (≈2 frames each)
 /// without a scheduler handoff per entry.
 const STREAM_DEPTH: usize = 256;
 
-/// Ring depth of the backup→primary ack channel (acks coalesce, so
+/// Ring depth of the follower→leader ack channel (acks coalesce, so
 /// shallow is fine).
 const ACK_DEPTH: usize = 8;
 
-/// A primary server's side of the mesh: the client channels plus one
-/// (stream, ack) channel pair per backup.
-pub struct PrimaryEndpoint {
+/// One node's side of the mesh: per-client channels plus a (stream,
+/// ack) channel *pair per peer in each direction* — symmetric, because
+/// any node may end up leading. Self-slots hold closed dummies so peer
+/// vectors index by node id.
+pub struct NodeEndpoint {
+    node: usize,
     client_requests: Vec<RingReceiver>,
     client_replies: Vec<RingSender>,
-    streams: Vec<RingSender>,
-    acks: Vec<RingReceiver>,
+    /// `peer_stream_rx[p]`: replication frames *from* node `p`.
+    peer_stream_rx: Vec<RingReceiver>,
+    /// `peer_stream_tx[p]`: replication frames *to* node `p`.
+    peer_stream_tx: Vec<RingSender>,
+    /// `peer_ack_rx[p]`: acks (and `WrongTerm` fences) *from* node `p`.
+    peer_ack_rx: Vec<RingReceiver>,
+    /// `peer_ack_tx[p]`: acks (and `WrongTerm` fences) *to* node `p`.
+    peer_ack_tx: Vec<RingSender>,
 }
 
-/// A backup server's side of the mesh: the primary's stream, the ack
-/// channel back, and its own per-client channels for replica reads.
-pub struct ReplicaEndpoint {
-    stream: RingReceiver,
-    ack: RingSender,
-    client_requests: Vec<RingReceiver>,
-    client_replies: Vec<RingSender>,
+impl NodeEndpoint {
+    /// This endpoint's node id within its shard.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+fn closed_tx() -> RingSender {
+    ring_channel(1).0
+}
+
+fn closed_rx() -> RingReceiver {
+    ring_channel(1).1
 }
 
 type Conn = (RingSender, RingReceiver);
 
 /// One client's connections to one replication group.
 struct ShardConn {
-    primary: Conn,
-    replicas: Vec<Conn>,
-    /// Round-robin cursor over the backups.
+    /// A connection to every node, indexed by node id.
+    nodes: Vec<Conn>,
+    /// Round-robin cursor over the nodes (for follower reads).
     rr: Cell<usize>,
     /// Freshness floor: the highest version this client has observed
     /// on this shard (writes *and* reads raise it, giving
     /// read-your-writes and monotonic reads across replicas).
     floor: Cell<u64>,
+    /// Cached `(term, leader)` view, refreshed from the map on
+    /// redirects, disconnects, and vacancies.
+    view: Cell<ShardView>,
 }
 
-/// A client of the replicated service: writes go to primaries, reads
-/// round-robin across backups with the freshness floor as the
-/// staleness guard, falling back to the primary on a `Stale` answer.
+/// A client of the replicated service: writes go to the shard's
+/// leader (chasing `WrongLeader`/`WrongTerm` redirects and dead-node
+/// disconnects under a retry deadline), reads round-robin across live
+/// followers with the freshness floor as the staleness guard, falling
+/// back to the leader on a `Stale` answer.
 pub struct ReplClient {
     shards: Vec<ShardConn>,
-    /// Replica reads that bounced to the primary (client-side view).
+    map: Arc<ClusterMap>,
+    /// Per-operation retry budget; after this, calls return the last
+    /// transport error (or [`WireError::Deadline`]).
+    deadline: Duration,
+    /// Opt-in: while a shard is leaderless, serve reads floor-free
+    /// from any live node instead of waiting for a promotion.
+    stale_reads: bool,
+    seed: Cell<u64>,
     fallbacks: Cell<u64>,
-    /// Reads answered by a backup.
     replica_serves: Cell<u64>,
+    redirects: Cell<u64>,
+    lost_to_retry: Cell<u64>,
+    stale_served: Cell<u64>,
 }
 
-/// Builds the full channel mesh for a replicated deployment: per shard
-/// one [`PrimaryEndpoint`] and `replicas` [`ReplicaEndpoint`]s, plus
-/// one [`ReplClient`] per client. Returned replica endpoints are
-/// indexed `[shard][replica]`.
+/// Builds the full channel mesh for a replicated deployment over
+/// `map`'s shape: per shard one [`NodeEndpoint`] per node (indexed
+/// `[shard][node]`), plus one [`ReplClient`] per client connected to
+/// every node.
 ///
 /// # Panics
 ///
-/// Panics if `shards` or `clients` is zero.
+/// Panics if `clients` is zero.
 pub fn repl_mesh(
-    shards: usize,
-    replicas: usize,
+    map: &Arc<ClusterMap>,
     clients: usize,
-) -> (
-    Vec<PrimaryEndpoint>,
-    Vec<Vec<ReplicaEndpoint>>,
-    Vec<ReplClient>,
-) {
-    assert!(shards > 0 && clients > 0);
-    let mut primaries = Vec::with_capacity(shards);
-    let mut replica_endpoints: Vec<Vec<ReplicaEndpoint>> = Vec::with_capacity(shards);
+) -> (Vec<Vec<NodeEndpoint>>, Vec<ReplClient>) {
+    assert!(clients > 0);
+    let shards = map.num_shards();
+    let nodes = map.nodes_per_shard();
+    let mut endpoints: Vec<Vec<NodeEndpoint>> = Vec::with_capacity(shards);
     let mut client_conns: Vec<Vec<ShardConn>> = (0..clients).map(|_| Vec::new()).collect();
     for _ in 0..shards {
-        let mut primary = PrimaryEndpoint {
-            client_requests: Vec::with_capacity(clients),
-            client_replies: Vec::with_capacity(clients),
-            streams: Vec::with_capacity(replicas),
-            acks: Vec::with_capacity(replicas),
-        };
-        let mut backups: Vec<ReplicaEndpoint> = (0..replicas)
-            .map(|_| {
-                let (stream_tx, stream_rx) = ring_channel(STREAM_DEPTH);
-                let (ack_tx, ack_rx) = ring_channel(ACK_DEPTH);
-                primary.streams.push(stream_tx);
-                primary.acks.push(ack_rx);
-                ReplicaEndpoint {
-                    stream: stream_rx,
-                    ack: ack_tx,
-                    client_requests: Vec::with_capacity(clients),
-                    client_replies: Vec::with_capacity(clients),
+        // The node×node stream/ack mesh, indexed [from][to] on the tx
+        // side and [to][from] on the rx side.
+        let mut stream_tx: Vec<Vec<RingSender>> = (0..nodes).map(|_| Vec::new()).collect();
+        let mut stream_rx: Vec<Vec<Option<RingReceiver>>> =
+            (0..nodes).map(|n| (0..n).map(|_| None).collect()).collect();
+        let mut ack_tx: Vec<Vec<RingSender>> = (0..nodes).map(|_| Vec::new()).collect();
+        let mut ack_rx: Vec<Vec<Option<RingReceiver>>> =
+            (0..nodes).map(|n| (0..n).map(|_| None).collect()).collect();
+        for to in stream_rx.iter_mut().chain(ack_rx.iter_mut()) {
+            to.clear();
+            to.extend((0..nodes).map(|_| None));
+        }
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a == b {
+                    stream_tx[a].push(closed_tx());
+                    stream_rx[b][a] = Some(closed_rx());
+                    ack_tx[a].push(closed_tx());
+                    ack_rx[b][a] = Some(closed_rx());
+                } else {
+                    let (tx, rx) = ring_channel(STREAM_DEPTH);
+                    stream_tx[a].push(tx);
+                    stream_rx[b][a] = Some(rx);
+                    let (tx, rx) = ring_channel(ACK_DEPTH);
+                    ack_tx[a].push(tx);
+                    ack_rx[b][a] = Some(rx);
                 }
-            })
-            .collect();
-        for conns in client_conns.iter_mut() {
-            let (req_tx, req_rx) = ring_channel(CONN_DEPTH);
-            let (rep_tx, rep_rx) = ring_channel(CONN_DEPTH);
-            primary.client_requests.push(req_rx);
-            primary.client_replies.push(rep_tx);
-            let mut replica_conns = Vec::with_capacity(replicas);
-            for backup in backups.iter_mut() {
-                let (req_tx, req_rx) = ring_channel(CONN_DEPTH);
-                let (rep_tx, rep_rx) = ring_channel(CONN_DEPTH);
-                backup.client_requests.push(req_rx);
-                backup.client_replies.push(rep_tx);
-                replica_conns.push((req_tx, rep_rx));
             }
-            conns.push(ShardConn {
-                primary: (req_tx, rep_rx),
-                replicas: replica_conns,
-                rr: Cell::new(0),
-                floor: Cell::new(0),
+        }
+        let mut shard_eps: Vec<NodeEndpoint> = Vec::with_capacity(nodes);
+        for (node, (s_tx, a_tx)) in stream_tx.drain(..).zip(ack_tx.drain(..)).enumerate() {
+            shard_eps.push(NodeEndpoint {
+                node,
+                client_requests: Vec::with_capacity(clients),
+                client_replies: Vec::with_capacity(clients),
+                peer_stream_rx: stream_rx[node]
+                    .iter_mut()
+                    .map(|r| r.take().unwrap())
+                    .collect(),
+                peer_stream_tx: s_tx,
+                peer_ack_rx: ack_rx[node].iter_mut().map(|r| r.take().unwrap()).collect(),
+                peer_ack_tx: a_tx,
             });
         }
-        primaries.push(primary);
-        replica_endpoints.push(backups);
+        for conns in client_conns.iter_mut() {
+            let mut node_conns = Vec::with_capacity(nodes);
+            for ep in shard_eps.iter_mut() {
+                let (req_tx, req_rx) = ring_channel(CONN_DEPTH);
+                let (rep_tx, rep_rx) = ring_channel(CONN_DEPTH);
+                ep.client_requests.push(req_rx);
+                ep.client_replies.push(rep_tx);
+                node_conns.push((req_tx, rep_rx));
+            }
+            conns.push(ShardConn {
+                nodes: node_conns,
+                rr: Cell::new(0),
+                floor: Cell::new(0),
+                view: Cell::new(ShardView {
+                    term: 1,
+                    leader: Some(0),
+                }),
+            });
+        }
+        endpoints.push(shard_eps);
     }
     let clients = client_conns
         .into_iter()
-        .map(|shards| ReplClient {
+        .enumerate()
+        .map(|(c, shards)| ReplClient {
             shards,
+            map: map.clone(),
+            deadline: Duration::from_secs(5),
+            stale_reads: false,
+            seed: Cell::new(0x5EED_0000 + c as u64),
             fallbacks: Cell::new(0),
             replica_serves: Cell::new(0),
+            redirects: Cell::new(0),
+            lost_to_retry: Cell::new(0),
+            stale_served: Cell::new(0),
         })
         .collect();
-    (primaries, replica_endpoints, clients)
+    (endpoints, clients)
 }
 
-/// What one primary server did before shutdown.
+/// Per-node serving parameters.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Which shard's group this node belongs to.
+    pub shard: usize,
+    /// Write acknowledgement mode.
+    pub mode: ReplMode,
+    /// The shard's post-preload high-water mark
+    /// ([`ReplCluster::preload_hwm`]).
+    pub initial_hwm: u64,
+    /// This node's deterministic stall/crash schedule as a follower.
+    pub backup_plan: FaultPlan,
+    /// The *shard's* leader-crash schedule: entry indices at which the
+    /// leader of the moment dies. Passed to every node; consumed by
+    /// whichever node is leading when the entry is produced.
+    pub crash_plan: FaultPlan,
+}
+
+/// What one node did before exit — leader-side and follower-side
+/// counters in one struct, since a node can play both roles across a
+/// failover.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct PrimaryReport {
-    /// Client request messages served.
+pub struct NodeReport {
+    /// This node's id within its shard.
+    pub node: usize,
+    /// Client request messages served (any role).
     pub requests: u64,
-    /// Key-operations executed.
+    /// Key-operations executed as leader.
     pub key_ops: u64,
     /// Undecodable head frames answered with `Malformed`.
     pub malformed: u64,
-    /// Replication entries appended and streamed.
+    /// Replication entries this node appended and streamed as leader.
     pub entries: u64,
-    /// The last version logged (backups acked through this at exit).
+    /// The last version this node logged as leader (its ack target at
+    /// shutdown).
     pub last_version: u64,
-}
-
-/// What one backup server did before shutdown.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct ReplicaReport {
-    /// Entries applied from the live stream.
+    /// Entries applied from the live stream as a follower.
     pub applied: u64,
-    /// Entries applied from the op-log during crash catch-ups.
+    /// Entries applied from the op-log (crash catch-ups, term-adoption
+    /// and promotion replays).
     pub from_log: u64,
     /// Stream entries dropped by the high-water-mark gate (in-flight
     /// duplicates of entries already replayed from the log).
     pub stale_drops: u64,
-    /// Reads refused with `Stale` (client fell back to the primary).
+    /// Reads refused with `Stale` (client fell back to the leader).
     pub refused_reads: u64,
-    /// Crash windows taken.
+    /// Backup crash windows taken.
     pub crashes: u64,
-    /// Stall windows taken.
+    /// Backup stall windows taken.
     pub stalls: u64,
-    /// Final applied high-water version.
+    /// Final applied high-water version (as follower).
     pub hwm: u64,
+    /// Stream entry frames fenced: sent by a node the map no longer
+    /// names leader. Timing-dependent (a frame races the death report),
+    /// so excluded from determinism assertions.
+    pub fenced: u64,
+    /// Client write requests bounced with `WrongLeader`.
+    pub wrong_leader: u64,
+    /// Times this node won a promotion.
+    pub promotions: u64,
+    /// The term this node last served under.
+    pub term: u64,
+    /// True if this node died to a scheduled leader crash.
+    pub crashed: bool,
 }
 
 fn send_all(tx: &RingSender, frames: &[Message]) {
     for &frame in frames {
         tx.send(frame);
     }
+}
+
+/// Best-effort send for node→node traffic: a dead peer's dropped
+/// receiver makes this return false instead of wedging the sender.
+fn send_all_connected(tx: &RingSender, frames: &[Message]) -> bool {
+    for &frame in frames {
+        if tx.send_connected(frame).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 fn lookup<R: RawLock + Default>(store: &KvStore<R>, key: u64) -> Response {
@@ -427,263 +576,94 @@ fn lookup<R: RawLock + Default>(store: &KvStore<R>, key: u64) -> Response {
     }
 }
 
-/// Decodes a cumulative ack. The ack channel is internal to the group,
-/// so anything but a `ReplAck` is a program bug, not input.
-fn ack_version(head: Message) -> u64 {
-    match Response::decode(head, || unreachable!("acks have no continuation frames")) {
-        Ok(Response::ReplAck { version }) => version,
-        other => unreachable!("backup sent {other:?} on its ack channel"),
+/// What a follower can legally put on its ack channel.
+enum AckMsg {
+    /// Cumulative ack through this version.
+    Ack(u64),
+    /// Fence: the receiver's term is over. The frame carries the
+    /// fencer's term, but a live leader learns terms from the map, so
+    /// the value is only decoded for validation.
+    WrongTerm,
+}
+
+/// Decodes an ack-channel frame. The channel is internal to the group,
+/// so anything else on it is a program bug, not input.
+fn ack_msg(head: Message) -> AckMsg {
+    match Response::decode(head, || unreachable!("ack frames have no continuations")) {
+        Ok(Response::ReplAck { version }) => AckMsg::Ack(version),
+        Ok(Response::WrongTerm { .. }) => AckMsg::WrongTerm,
+        other => unreachable!("follower sent {other:?} on its ack channel"),
     }
 }
 
-/// Runs one shard's primary loop: serve clients, stream every write to
-/// the backups per `mode`, and shut the group down once all clients
-/// stopped (streaming `Stop` to the backups and waiting for their
-/// final cumulative acks, so the group is converged on exit).
-///
-/// `initial_hwm` is the shard's post-preload high-water mark
-/// ([`ReplCluster::preload_hwm`]).
-pub fn serve_primary<R: RawLock + Default>(
-    store: &KvStore<R>,
-    log: &OpLog,
-    endpoint: PrimaryEndpoint,
-    mode: ReplMode,
-    initial_hwm: u64,
-) -> PrimaryReport {
-    let PrimaryEndpoint {
-        client_requests,
-        client_replies,
-        streams,
-        acks,
-    } = endpoint;
-    let mut live = client_requests.len();
-    let mut hub = ServerHub::new(client_requests);
-    let mut acked = vec![initial_hwm; streams.len()];
-    let mut report = PrimaryReport {
-        last_version: initial_hwm,
-        ..PrimaryReport::default()
-    };
-
-    // Streams one logged write to every backup and settles acks per
-    // the mode's contract.
-    let replicate = |entry: LogEntry, acked: &mut [u64], report: &mut PrimaryReport| {
-        if streams.is_empty() {
-            // Unreplicated shard: nothing to log (no backup will ever
-            // ack, so nothing could ever be truncated) or stream.
-            report.last_version = entry.version;
-            return;
-        }
-        let request = match &entry.op {
-            LogOp::Put(value) => Request::Replicate {
-                key: entry.key,
-                version: entry.version,
-                value: value.as_ref().to_vec(),
-            },
-            LogOp::Delete => Request::ReplicateDelete {
-                key: entry.key,
-                version: entry.version,
-            },
-        };
-        let version = entry.version;
-        log.append(entry);
-        report.entries += 1;
-        report.last_version = version;
-        let frames = request.encode();
-        for tx in &streams {
-            send_all(tx, &frames);
-        }
-        match mode {
-            ReplMode::Sync => {
-                for (r, rx) in acks.iter().enumerate() {
-                    while acked[r] < version {
-                        acked[r] = ack_version(rx.recv());
-                    }
-                }
-            }
-            ReplMode::Async { max_lag } => {
-                for (r, rx) in acks.iter().enumerate() {
-                    while let Some(head) = rx.try_recv() {
-                        acked[r] = ack_version(head);
-                    }
-                    while log.outstanding_after(acked[r]) as u64 > max_lag {
-                        acked[r] = ack_version(rx.recv());
-                    }
-                }
-            }
-        }
-        if let Some(&min_acked) = acked.iter().min() {
-            log.truncate_through(min_acked);
-        }
-    };
-
-    // Parking poll loop rather than the hub's spin-yield receive: a
-    // primary can sit fully idle on replica-read-heavy phases, and an
-    // idle thread that yield-loops taxes every busy thread on an
-    // oversubscribed host with a context switch per scheduling cycle.
-    let mut wait = ParkingWait::new();
-    while live > 0 {
-        let (client, head) = loop {
-            match hub.try_recv_from_any() {
-                Some(hit) => {
-                    wait.reset();
-                    break hit;
-                }
-                None => wait.snooze(),
-            }
-        };
-        let request = match Request::decode(head, || hub.recv_from_subset(&[client]).1) {
-            Ok(request) => request,
-            Err(_) => {
-                report.malformed += 1;
-                send_all(&client_replies[client], &Response::Malformed.encode());
-                continue;
-            }
-        };
-        if matches!(request, Request::Stop) {
-            live -= 1;
-            continue;
-        }
-        report.requests += 1;
-        let responses: Vec<Response> = match request {
-            Request::Get { key } => {
-                report.key_ops += 1;
-                vec![lookup(store, key)]
-            }
-            Request::MultiGet { keys } => {
-                report.key_ops += keys.len() as u64;
-                keys.into_iter().map(|key| lookup(store, key)).collect()
-            }
-            Request::Set { key, value } => {
-                report.key_ops += 1;
-                let value = Bytes::from(value);
-                let version = store.set(&key_bytes(key), value.clone());
-                replicate(
-                    LogEntry {
-                        key,
-                        version,
-                        op: LogOp::Put(value),
-                    },
-                    &mut acked,
-                    &mut report,
-                );
-                vec![Response::Stored { version }]
-            }
-            Request::Cas {
-                key,
-                expected,
-                value,
-            } => {
-                report.key_ops += 1;
-                let value = Bytes::from(value);
-                match store.cas(&key_bytes(key), value.clone(), expected) {
-                    Ok(version) => {
-                        replicate(
-                            LogEntry {
-                                key,
-                                version,
-                                op: LogOp::Put(value),
-                            },
-                            &mut acked,
-                            &mut report,
-                        );
-                        vec![Response::Stored { version }]
-                    }
-                    Err(current) => vec![Response::CasFail { current }],
-                }
-            }
-            Request::Delete { key } => {
-                report.key_ops += 1;
-                match store.delete_versioned(&key_bytes(key)) {
-                    Some(version) => {
-                        replicate(
-                            LogEntry {
-                                key,
-                                version,
-                                op: LogOp::Delete,
-                            },
-                            &mut acked,
-                            &mut report,
-                        );
-                        vec![Response::Deleted { version }]
-                    }
-                    None => vec![Response::NotFound],
-                }
-            }
-            // Replication traffic addressed *to* a primary is a
-            // protocol violation; refuse it without executing.
-            Request::Replicate { .. }
-            | Request::ReplicateDelete { .. }
-            | Request::ReplGet { .. }
-            | Request::ReplMultiGet { .. } => {
-                report.malformed += 1;
-                vec![Response::Malformed]
-            }
-            Request::Stop => unreachable!("Stop is handled above"),
-        };
-        for response in responses {
-            send_all(&client_replies[client], &response.encode());
-        }
-    }
-
-    // Shutdown handshake: stream Stop, then wait until every backup's
-    // cumulative ack reaches the last logged version — the group is
-    // converged when this returns.
-    let stop = Request::Stop.encode();
-    for tx in &streams {
-        send_all(tx, &stop);
-    }
-    for (r, rx) in acks.iter().enumerate() {
-        while acked[r] < report.last_version {
-            acked[r] = ack_version(rx.recv());
-        }
-    }
-    report
-}
-
-/// A backup's replication state machine (entry-indexed fault windows).
+/// A follower's replication state machine (entry-indexed fault
+/// windows).
 enum BackupState {
     Healthy,
     Stalled { left: u64, buffered: Vec<LogEntry> },
     Crashed { left: u64 },
 }
 
-/// Runs one backup's loop: apply the primary's stream through the
-/// version gates, serve floor-guarded replica reads, inject the
-/// schedule's faults, and exit after the primary's `Stop` and every
-/// client's `Stop` (flushing the final cumulative ack first).
+/// Runs one node of a shard's replication group until shutdown (every
+/// client stopped and the group converged) or scheduled death.
 ///
-/// The loop never blocks — it polls and `try_send`s acks — which is
-/// what lets the primary use blocking sends safely.
-pub fn serve_replica<R: RawLock + Default>(
+/// The node follows the [`ClusterMap`]: while the map names it leader
+/// it serves writes, streams entries, and settles acks per
+/// [`ReplMode`]; otherwise it applies the current leader's stream
+/// through the version gates, serves floor-guarded replica reads,
+/// fences stale-term frames, and stands for promotion whenever the
+/// shard goes leaderless (most-caught-up candidate wins — see
+/// [`ClusterMap::try_promote`]).
+pub fn serve_node<R: RawLock + Default>(
     store: &KvStore<R>,
     log: &OpLog,
-    endpoint: ReplicaEndpoint,
-    plan: &FaultPlan,
-    initial_hwm: u64,
-) -> ReplicaReport {
-    let ReplicaEndpoint {
-        stream,
-        ack,
+    map: &ClusterMap,
+    endpoint: NodeEndpoint,
+    cfg: NodeConfig,
+) -> NodeReport {
+    let NodeEndpoint {
+        node: me,
         client_requests,
         client_replies,
+        peer_stream_rx,
+        peer_stream_tx,
+        peer_ack_rx,
+        peer_ack_tx,
     } = endpoint;
-    // Hub receiver 0 is the primary's stream; client c is receiver
-    // c + 1.
-    let mut receivers = Vec::with_capacity(client_requests.len() + 1);
-    receivers.push(stream);
+    let NodeConfig {
+        shard,
+        mode,
+        initial_hwm,
+        backup_plan,
+        crash_plan,
+    } = cfg;
+    let nodes = peer_stream_tx.len();
+    let nclients = client_replies.len();
+    map.publish_hwm(shard, me, initial_hwm);
+
+    // Hub sources: 0..nclients are clients, nclients + p is peer p's
+    // stream (the self slot is a closed dummy that never fires).
+    let mut receivers = Vec::with_capacity(nclients + nodes);
     receivers.extend(client_requests);
+    receivers.extend(peer_stream_rx);
     let mut hub = ServerHub::new(receivers);
 
-    let mut report = ReplicaReport {
+    let mut report = NodeReport {
+        node: me,
         hwm: initial_hwm,
-        ..ReplicaReport::default()
+        last_version: initial_hwm,
+        term: 1,
+        ..NodeReport::default()
     };
-    let mut live_clients = client_replies.len();
-    let mut primary_done = false;
+    let mut my_term = map.view(shard).term;
+    let mut live_clients = nclients;
+    let mut leader_done = false;
     let mut pending_ack: Option<u64> = None;
     let mut entries_seen: u64 = 0;
     let mut next_fault = 0usize;
     let mut state = BackupState::Healthy;
+    // Leader bookkeeping: per-follower cumulative acks.
+    let mut acked: Vec<u64> = vec![initial_hwm; nodes];
     let mut wait = ParkingWait::new();
 
     /// Applies one entry through the stream-order gate (the layer that
@@ -691,7 +671,7 @@ pub fn serve_replica<R: RawLock + Default>(
     fn apply<R: RawLock + Default>(
         store: &KvStore<R>,
         entry: &LogEntry,
-        report: &mut ReplicaReport,
+        report: &mut NodeReport,
         from_log: bool,
     ) {
         if entry.version <= report.hwm {
@@ -716,32 +696,98 @@ pub fn serve_replica<R: RawLock + Default>(
     }
 
     loop {
-        // Flush the coalesced cumulative ack whenever the channel has
-        // room; a fuller channel just means the primary reads a fresher
-        // ack later.
-        if let Some(version) = pending_ack {
-            let frames = Response::ReplAck { version }.encode();
-            debug_assert_eq!(frames.len(), 1);
-            if ack.try_send(frames[0]).is_ok() {
+        // ---- Role and term maintenance (one map word read). ----
+        let mut view = map.view(shard);
+        if view.term > my_term && view.leader != Some(me) {
+            if matches!(state, BackupState::Healthy) {
+                // Adopt the new term and catch up from the log: frames
+                // of the old term we fenced (or never received) are
+                // covered here. Mid-window, adoption waits for the
+                // close, which replays the same way.
+                my_term = view.term;
+                report.term = my_term;
+                for entry in &log.entries_after(report.hwm) {
+                    apply(store, entry, &mut report, true);
+                }
+                map.publish_hwm(shard, me, report.hwm);
+                pending_ack = Some(report.hwm);
+            }
+        } else if view.term > my_term {
+            my_term = view.term;
+            report.term = my_term;
+        }
+        if view.leader.is_none() {
+            if let Some(term) = map.try_promote(shard, me) {
+                // Promotion: close any open window, replay the log tail
+                // past our hwm (everything acknowledged by anyone is in
+                // there — see DESIGN.md), then lead.
+                if let BackupState::Stalled { buffered, .. } =
+                    std::mem::replace(&mut state, BackupState::Healthy)
+                {
+                    for entry in &buffered {
+                        apply(store, entry, &mut report, false);
+                    }
+                }
+                for entry in &log.entries_after(report.hwm) {
+                    apply(store, entry, &mut report, true);
+                }
+                map.publish_hwm(shard, me, report.hwm);
+                my_term = term;
+                report.term = my_term;
+                report.promotions += 1;
+                report.last_version = report.last_version.max(report.hwm);
+                for (p, slot) in acked.iter_mut().enumerate() {
+                    *slot = map.hwm_of(shard, p);
+                }
                 pending_ack = None;
+                view = ShardView {
+                    term,
+                    leader: Some(me),
+                };
             }
         }
+        let leading = view.leader == Some(me);
+
+        // ---- Flush the coalesced cumulative ack to the leader. ----
+        if !leading {
+            if let (Some(version), Some(l)) = (pending_ack, view.leader) {
+                let frames = Response::ReplAck { version }.encode();
+                debug_assert_eq!(frames.len(), 1);
+                if peer_ack_tx[l].try_send(frames[0]).is_ok() {
+                    pending_ack = None;
+                }
+            }
+        }
+
+        // ---- Receive (or idle / exit). ----
         let (source, head) = match hub.try_recv_from_any() {
             Some(hit) => {
                 wait.reset();
                 hit
             }
             None => {
-                if primary_done && live_clients == 0 && pending_ack.is_none() {
-                    return report;
+                if live_clients == 0 {
+                    if leading {
+                        break;
+                    }
+                    if leader_done && pending_ack.is_none() {
+                        return report;
+                    }
+                    // A leaderless shard with no candidates left will
+                    // never send the shutdown Stop; don't wait for it.
+                    if view.leader.is_none() && map.live_candidates(shard) == 0 {
+                        return report;
+                    }
                 }
                 wait.snooze();
                 continue;
             }
         };
         let decoded = Request::decode(head, || hub.recv_from_subset(&[source]).1);
-        if source == 0 {
-            // The primary's replication stream.
+
+        if source >= nclients {
+            // ---- A peer's replication stream. ----
+            let peer = source - nclients;
             let entry = match decoded {
                 Ok(Request::Replicate {
                     key,
@@ -758,36 +804,50 @@ pub fn serve_replica<R: RawLock + Default>(
                     op: LogOp::Delete,
                 },
                 Ok(Request::Stop) => {
-                    // Close any open fault window before shutdown.
-                    match std::mem::replace(&mut state, BackupState::Healthy) {
-                        BackupState::Stalled { buffered, .. } => {
-                            for entry in &buffered {
-                                apply(store, entry, &mut report, false);
+                    if view.leader == Some(peer) && !leading {
+                        // The current leader is shutting the group
+                        // down: close any open window, flush the final
+                        // cumulative ack.
+                        match std::mem::replace(&mut state, BackupState::Healthy) {
+                            BackupState::Stalled { buffered, .. } => {
+                                for entry in &buffered {
+                                    apply(store, entry, &mut report, false);
+                                }
+                                if map.view(shard).term > my_term {
+                                    for entry in &log.entries_after(report.hwm) {
+                                        apply(store, entry, &mut report, true);
+                                    }
+                                }
                             }
-                        }
-                        BackupState::Crashed { .. } => {
-                            for entry in &log.entries_after(report.hwm) {
-                                apply(store, entry, &mut report, true);
+                            BackupState::Crashed { .. } => {
+                                for entry in &log.entries_after(report.hwm) {
+                                    apply(store, entry, &mut report, true);
+                                }
                             }
+                            BackupState::Healthy => {}
                         }
-                        BackupState::Healthy => {}
+                        map.publish_hwm(shard, me, report.hwm);
+                        pending_ack = Some(report.hwm);
+                        leader_done = true;
                     }
-                    pending_ack = Some(report.hwm);
-                    primary_done = true;
                     continue;
                 }
                 // The stream is internal to the group; anything else on
                 // it is a bug upstream, and ignoring it beats dying.
                 Ok(_) | Err(_) => continue,
             };
+            // Every entry frame counts, fenced or not: each entry index
+            // arrives on exactly one stream (the old leader sent its
+            // entries before dying; its successor streams only later
+            // ones), so fault windows stay entry-deterministic.
             entries_seen += 1;
             if matches!(state, BackupState::Healthy)
-                && plan
+                && backup_plan
                     .events()
                     .get(next_fault)
                     .is_some_and(|ev| ev.at_entry <= entries_seen)
             {
-                let event = plan.events()[next_fault];
+                let event = backup_plan.events()[next_fault];
                 next_fault += 1;
                 state = match event.kind {
                     FaultKind::Stall => {
@@ -801,12 +861,26 @@ pub fn serve_replica<R: RawLock + Default>(
                         report.crashes += 1;
                         BackupState::Crashed { left: event.window }
                     }
+                    // Leader crashes ride `crash_plan` and are executed
+                    // by the leader itself, never by a follower window.
+                    FaultKind::PrimaryCrash => BackupState::Healthy,
                 };
             }
             match &mut state {
                 BackupState::Healthy => {
-                    apply(store, &entry, &mut report, false);
-                    pending_ack = Some(report.hwm);
+                    if view.leader == Some(peer) && !leading {
+                        apply(store, &entry, &mut report, false);
+                        map.publish_hwm(shard, me, report.hwm);
+                        pending_ack = Some(report.hwm);
+                    } else {
+                        // Term fence: the map no longer names the
+                        // sender leader. Drop the frame (a log replay
+                        // covers whatever it carried) and tell a
+                        // still-live sender its term is over.
+                        report.fenced += 1;
+                        let frames = Response::WrongTerm { term: my_term }.encode();
+                        let _ = peer_ack_tx[peer].try_send(frames[0]);
+                    }
                 }
                 BackupState::Stalled { left, buffered } => {
                     buffered.push(entry);
@@ -816,6 +890,15 @@ pub fn serve_replica<R: RawLock + Default>(
                         for entry in &buffered {
                             apply(store, entry, &mut report, false);
                         }
+                        if map.view(shard).term > my_term {
+                            // A failover happened mid-window: the
+                            // buffer may have gaps the fence dropped;
+                            // the log has them all.
+                            for entry in &log.entries_after(report.hwm) {
+                                apply(store, entry, &mut report, true);
+                            }
+                        }
+                        map.publish_hwm(shard, me, report.hwm);
                         pending_ack = Some(report.hwm);
                         state = BackupState::Healthy;
                     }
@@ -831,53 +914,336 @@ pub fn serve_replica<R: RawLock + Default>(
                         for entry in &log.entries_after(report.hwm) {
                             apply(store, entry, &mut report, true);
                         }
+                        map.publish_hwm(shard, me, report.hwm);
                         pending_ack = Some(report.hwm);
                         state = BackupState::Healthy;
                     }
                 }
             }
-        } else {
-            // A client's replica-read connection.
-            let client = source - 1;
-            let down = matches!(state, BackupState::Crashed { .. });
-            let refuse = |report: &mut ReplicaReport| {
-                report.refused_reads += 1;
-                store
-                    .stats()
-                    .replica_read_fallbacks
-                    .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
-                send_all(
-                    &client_replies[client],
-                    &Response::Stale { hwm: report.hwm }.encode(),
+            continue;
+        }
+
+        // ---- A client connection. ----
+        let client = source;
+        let request = match decoded {
+            Ok(request) => request,
+            Err(_) => {
+                report.malformed += 1;
+                send_all(&client_replies[client], &Response::Malformed.encode());
+                continue;
+            }
+        };
+        if matches!(request, Request::Stop) {
+            live_clients -= 1;
+            continue;
+        }
+        report.requests += 1;
+
+        // Replica reads are served by any node; the leader is always
+        // fresh enough, a follower checks its floor and window state.
+        let freshness = report.hwm.max(report.last_version);
+        let down = !leading && matches!(state, BackupState::Crashed { .. });
+        match &request {
+            Request::ReplGet { key, floor } => {
+                if down || freshness < *floor {
+                    report.refused_reads += 1;
+                    store
+                        .stats()
+                        .replica_read_fallbacks
+                        .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
+                    send_all(
+                        &client_replies[client],
+                        &Response::Stale { hwm: freshness }.encode(),
+                    );
+                } else {
+                    send_all(&client_replies[client], &lookup(store, *key).encode());
+                }
+                continue;
+            }
+            Request::ReplMultiGet { keys, floor } => {
+                if down || freshness < *floor {
+                    report.refused_reads += 1;
+                    store
+                        .stats()
+                        .replica_read_fallbacks
+                        .fetch_add(1, crate::sync::atomic::Ordering::Relaxed);
+                    // One Stale answers the whole batch.
+                    send_all(
+                        &client_replies[client],
+                        &Response::Stale { hwm: freshness }.encode(),
+                    );
+                } else {
+                    for key in keys {
+                        send_all(&client_replies[client], &lookup(store, *key).encode());
+                    }
+                }
+                continue;
+            }
+            // Node-to-node traffic on a client connection is a
+            // protocol violation; refuse it without executing.
+            Request::Replicate { .. } | Request::ReplicateDelete { .. } => {
+                report.malformed += 1;
+                send_all(&client_replies[client], &Response::Malformed.encode());
+                continue;
+            }
+            _ => {}
+        }
+        if !leading {
+            // Writes and authoritative reads belong to the leader.
+            report.wrong_leader += 1;
+            let leader = view.leader.map_or(NO_LEADER, |l| l as u64);
+            send_all(
+                &client_replies[client],
+                &Response::WrongLeader {
+                    term: my_term,
+                    leader,
+                }
+                .encode(),
+            );
+            continue;
+        }
+
+        // ---- Leader: writes and authoritative reads. ----
+        let repl = Replicator {
+            log,
+            map,
+            shard,
+            me,
+            mode,
+            stream_tx: &peer_stream_tx,
+            ack_rx: &peer_ack_rx,
+        };
+        let mut crash_after = false;
+        let responses: Vec<Response> = match request {
+            Request::Get { key } => {
+                report.key_ops += 1;
+                vec![lookup(store, key)]
+            }
+            Request::MultiGet { keys } => {
+                report.key_ops += keys.len() as u64;
+                keys.into_iter().map(|key| lookup(store, key)).collect()
+            }
+            Request::Set { key, value } => {
+                report.key_ops += 1;
+                let value = Bytes::from(value);
+                let version = store.set(&key_bytes(key), value.clone());
+                repl.replicate(
+                    LogEntry {
+                        key,
+                        version,
+                        op: LogOp::Put(value),
+                    },
+                    &mut acked,
+                    &mut report,
                 );
-            };
-            match decoded {
-                Ok(Request::ReplGet { key, floor }) => {
-                    if down || report.hwm < floor {
-                        refuse(&mut report);
-                    } else {
-                        send_all(&client_replies[client], &lookup(store, key).encode());
+                crash_after = crash_scheduled(&crash_plan, version - initial_hwm);
+                vec![Response::Stored { version }]
+            }
+            Request::Cas {
+                key,
+                expected,
+                value,
+            } => {
+                report.key_ops += 1;
+                let value = Bytes::from(value);
+                match store.cas(&key_bytes(key), value.clone(), expected) {
+                    Ok(version) => {
+                        repl.replicate(
+                            LogEntry {
+                                key,
+                                version,
+                                op: LogOp::Put(value),
+                            },
+                            &mut acked,
+                            &mut report,
+                        );
+                        crash_after = crash_scheduled(&crash_plan, version - initial_hwm);
+                        vec![Response::Stored { version }]
+                    }
+                    Err(current) => vec![Response::CasFail { current }],
+                }
+            }
+            Request::Delete { key } => {
+                report.key_ops += 1;
+                match store.delete_versioned(&key_bytes(key)) {
+                    Some(version) => {
+                        repl.replicate(
+                            LogEntry {
+                                key,
+                                version,
+                                op: LogOp::Delete,
+                            },
+                            &mut acked,
+                            &mut report,
+                        );
+                        crash_after = crash_scheduled(&crash_plan, version - initial_hwm);
+                        vec![Response::Deleted { version }]
+                    }
+                    None => vec![Response::NotFound],
+                }
+            }
+            Request::ReplGet { .. }
+            | Request::ReplMultiGet { .. }
+            | Request::Replicate { .. }
+            | Request::ReplicateDelete { .. }
+            | Request::Stop => unreachable!("handled before the leader match"),
+        };
+        for response in responses {
+            send_all(&client_replies[client], &response.encode());
+        }
+        if crash_after {
+            // The scheduled death: the write above is fully
+            // acknowledged and replied to — from here on only the
+            // followers can keep that promise. Mark the map (vacating
+            // the shard) and drop the endpoint; queued requests die
+            // with us and surface client-side as `Disconnected`.
+            report.crashed = true;
+            report.term = my_term;
+            map.report_death(shard, me);
+            return report;
+        }
+    }
+
+    // ---- Leader shutdown handshake. ----
+    // Stream Stop, then wait until every live follower's cumulative
+    // ack reaches the last logged version — the group is converged
+    // when this returns.
+    let stop = Request::Stop.encode();
+    for (p, tx) in peer_stream_tx.iter().enumerate() {
+        if p != me && !map.is_dead(shard, p) {
+            send_all_connected(tx, &stop);
+        }
+    }
+    for (p, rx) in peer_ack_rx.iter().enumerate() {
+        if p == me || map.is_dead(shard, p) {
+            continue;
+        }
+        while acked[p] < report.last_version {
+            match rx.recv_connected() {
+                Ok(head) => {
+                    if let AckMsg::Ack(v) = ack_msg(head) {
+                        acked[p] = acked[p].max(v);
                     }
                 }
-                Ok(Request::ReplMultiGet { keys, floor }) => {
-                    if down || report.hwm < floor {
-                        // One Stale answers the whole batch.
-                        refuse(&mut report);
-                    } else {
-                        for key in keys {
-                            send_all(&client_replies[client], &lookup(store, key).encode());
-                        }
-                    }
-                }
-                Ok(Request::Stop) => live_clients -= 1,
-                // Backups serve only floor-guarded reads; anything
-                // else (including a corrupt frame) is refused.
-                Ok(_) | Err(_) => {
-                    send_all(&client_replies[client], &Response::Malformed.encode());
-                }
+                Err(_) => break,
             }
         }
     }
+    report.term = my_term;
+    report
+}
+
+/// True if the shard's crash schedule kills the leader right after the
+/// write that produced this entry index.
+fn crash_scheduled(plan: &FaultPlan, entry_index: u64) -> bool {
+    plan.events()
+        .iter()
+        .any(|ev| ev.kind == FaultKind::PrimaryCrash && ev.at_entry == entry_index)
+}
+
+/// The leader's streaming side, bundled so the write arms share one
+/// call.
+struct Replicator<'a> {
+    log: &'a OpLog,
+    map: &'a ClusterMap,
+    shard: usize,
+    me: usize,
+    mode: ReplMode,
+    stream_tx: &'a [RingSender],
+    ack_rx: &'a [RingReceiver],
+}
+
+impl Replicator<'_> {
+    /// Streams one logged write to every live follower and settles
+    /// acks per the mode's contract.
+    fn replicate(&self, entry: LogEntry, acked: &mut [u64], report: &mut NodeReport) {
+        let nodes = self.stream_tx.len();
+        let live: Vec<usize> = (0..nodes)
+            .filter(|&p| p != self.me && !self.map.is_dead(self.shard, p))
+            .collect();
+        if live.is_empty() {
+            // No follower left (every backup died leading, or an
+            // unreplicated shard): nothing to log — no one will ever
+            // ack, so nothing could ever be truncated — or stream.
+            report.last_version = entry.version;
+            return;
+        }
+        let request = match &entry.op {
+            LogOp::Put(value) => Request::Replicate {
+                key: entry.key,
+                version: entry.version,
+                value: value.as_ref().to_vec(),
+            },
+            LogOp::Delete => Request::ReplicateDelete {
+                key: entry.key,
+                version: entry.version,
+            },
+        };
+        let version = entry.version;
+        self.log.append(entry);
+        report.entries += 1;
+        report.last_version = version;
+        let frames = request.encode();
+        for &p in &live {
+            send_all_connected(&self.stream_tx[p], &frames);
+        }
+        match self.mode {
+            ReplMode::Sync => {
+                for &p in &live {
+                    while acked[p] < version {
+                        match self.ack_rx[p].recv_connected() {
+                            Ok(head) => {
+                                if let AckMsg::Ack(v) = ack_msg(head) {
+                                    acked[p] = acked[p].max(v);
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            ReplMode::Async { max_lag } => {
+                for &p in &live {
+                    while let Some(head) = self.ack_rx[p].try_recv() {
+                        if let AckMsg::Ack(v) = ack_msg(head) {
+                            acked[p] = acked[p].max(v);
+                        }
+                    }
+                    while self.log.outstanding_after(acked[p]) as u64 > max_lag {
+                        match self.ack_rx[p].recv_connected() {
+                            Ok(head) => {
+                                if let AckMsg::Ack(v) = ack_msg(head) {
+                                    acked[p] = acked[p].max(v);
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(min_acked) = live.iter().map(|&p| acked[p]).min() {
+            self.log.truncate_through(min_acked);
+        }
+    }
+}
+
+/// Sends every frame of an encoded request, failing fast if the server
+/// side is gone instead of spinning on a channel no one drains.
+fn send_frames(conn: &Conn, frames: &[Message]) -> bool {
+    frames.iter().all(|&m| conn.0.send_connected(m).is_ok())
+}
+
+/// Where one shard's chunk of a batched read went.
+enum MgetTarget<'a> {
+    /// Pipelined to a live follower as a floor-guarded `ReplMultiGet`.
+    Follower(usize, &'a [usize]),
+    /// Pipelined to the leader as an authoritative `MultiGet`.
+    Leader(usize, &'a [usize]),
+    /// Not sent (leaderless, oversized for one `MultiGet`, or the
+    /// target died under the send) — fetched afterwards through the
+    /// retrying leader path.
+    Deferred(&'a [usize]),
 }
 
 impl ReplClient {
@@ -886,14 +1252,47 @@ impl ReplClient {
         self.shards.len()
     }
 
-    /// Reads answered by a backup so far.
+    /// Replaces the per-operation retry budget (default five seconds).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> ReplClient {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Opts into floor-free replica reads while a shard is leaderless:
+    /// `get` then serves possibly-stale data from any live node
+    /// instead of waiting out the promotion.
+    #[must_use]
+    pub fn with_stale_reads(mut self) -> ReplClient {
+        self.stale_reads = true;
+        self
+    }
+
+    /// Reads answered by a follower so far.
     pub fn replica_serves(&self) -> u64 {
         self.replica_serves.get()
     }
 
-    /// Replica reads that bounced to the primary so far.
+    /// Replica reads that bounced to the leader so far.
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks.get()
+    }
+
+    /// `WrongLeader`/`WrongTerm` bounces chased so far.
+    pub fn redirects(&self) -> u64 {
+        self.redirects.get()
+    }
+
+    /// Requests retried because the serving node died under them (the
+    /// request was provably never executed — see the module doc).
+    pub fn lost_to_retry(&self) -> u64 {
+        self.lost_to_retry.get()
+    }
+
+    /// Reads served floor-free from a follower while leaderless (only
+    /// ever nonzero after [`ReplClient::with_stale_reads`]).
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.get()
     }
 
     fn observe(&self, shard: usize, version: u64) {
@@ -901,93 +1300,275 @@ impl ReplClient {
         floor.set(floor.get().max(version));
     }
 
-    fn roundtrip(conn: &Conn, request: &Request) -> Result<Response, WireError> {
-        send_all(&conn.0, &request.encode());
-        Self::read_response(conn)
+    fn next_seed(&self) -> u64 {
+        let s = self.seed.get();
+        self.seed.set(s.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        s
     }
 
-    fn read_response(conn: &Conn) -> Result<Response, WireError> {
-        let head = conn.1.recv();
+    fn pacer(&self) -> RetryPacer {
+        RetryPacer::new(self.deadline, self.next_seed())
+    }
+
+    /// The cached `(term, leader)` view, consulting the shared map
+    /// whenever the cache says "vacant" (promotions only ever move the
+    /// view forward, so a cached leader is worth trying first).
+    fn shard_view(&self, shard: usize) -> ShardView {
+        let cached = self.shards[shard].view.get();
+        if cached.leader.is_some() {
+            return cached;
+        }
+        self.refresh_view(shard)
+    }
+
+    /// Re-reads the shared map, keeping whichever view has the higher
+    /// term (a redirect can be fresher than the map read that raced it).
+    fn refresh_view(&self, shard: usize) -> ShardView {
+        let fresh = self.map.view(shard);
+        let cell = &self.shards[shard].view;
+        if fresh.term >= cell.get().term {
+            cell.set(fresh);
+        }
+        cell.get()
+    }
+
+    /// Adopts a server-supplied redirect if it is not older than the
+    /// cached view.
+    fn note_redirect(&self, shard: usize, term: u64, leader: Option<usize>) {
+        self.redirects.set(self.redirects.get() + 1);
+        let cell = &self.shards[shard].view;
+        if term >= cell.get().term {
+            cell.set(ShardView { term, leader });
+        }
+        if cell.get().leader.is_none() {
+            self.refresh_view(shard);
+        }
+    }
+
+    /// Round-robin pick of a live non-leader node, if any.
+    fn pick_follower(&self, shard: usize, leader: usize) -> Option<usize> {
+        let conn = &self.shards[shard];
+        let n = conn.nodes.len();
+        let start = conn.rr.get();
+        conn.rr.set(start.wrapping_add(1));
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&node| node != leader && !self.map.is_dead(shard, node))
+    }
+
+    /// Round-robin pick of any live node (stale-read path).
+    fn any_live(&self, shard: usize) -> Option<usize> {
+        let conn = &self.shards[shard];
+        let n = conn.nodes.len();
+        let start = conn.rr.get();
+        conn.rr.set(start.wrapping_add(1));
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&node| !self.map.is_dead(shard, node))
+    }
+
+    /// Reads one response, surfacing a dead server as
+    /// [`WireError::Disconnected`] instead of spinning. Only the head
+    /// frame needs the connected check: servers emit whole responses
+    /// between requests, so once a head is readable its continuation
+    /// frames are already in the ring.
+    fn read_response_connected(conn: &Conn) -> Result<Response, WireError> {
+        let head = conn
+            .1
+            .recv_connected()
+            .map_err(|_| WireError::Disconnected)?;
         Response::decode(head, || conn.1.recv())
     }
 
-    /// Looks a key up, preferring a backup: round-robin over the
-    /// shard's replicas with the freshness floor attached, falling back
-    /// to the primary if the chosen backup is behind or down.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError`] on an undecodable or out-of-protocol reply.
-    pub fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
-        let shard = shard_of(key, self.shards.len());
-        let conn = &self.shards[shard];
-        if !conn.replicas.is_empty() {
-            let r = conn.rr.get() % conn.replicas.len();
-            conn.rr.set(conn.rr.get().wrapping_add(1));
-            let request = Request::ReplGet {
-                key,
-                floor: conn.floor.get(),
-            };
-            match Self::roundtrip(&conn.replicas[r], &request)? {
-                Response::Value { version, value } => {
-                    self.replica_serves.set(self.replica_serves.get() + 1);
-                    self.observe(shard, version);
-                    return Ok(Some((version, value)));
-                }
-                Response::Miss => {
-                    self.replica_serves.set(self.replica_serves.get() + 1);
-                    return Ok(None);
-                }
-                Response::Stale { .. } => {
-                    self.fallbacks.set(self.fallbacks.get() + 1);
-                }
-                Response::Malformed => return Err(WireError::Rejected),
-                _ => return Err(WireError::UnexpectedResponse("ReplGet")),
-            }
+    /// One request/response exchange against one node, disconnect-aware
+    /// on both legs.
+    fn roundtrip(conn: &Conn, request: &Request) -> Result<Response, WireError> {
+        if !send_frames(conn, &request.encode()) {
+            return Err(WireError::Disconnected);
         }
-        match Self::roundtrip(&conn.primary, &Request::Get { key })? {
-            Response::Value { version, value } => {
-                self.observe(shard, version);
-                Ok(Some((version, value)))
+        Self::read_response_connected(conn)
+    }
+
+    /// The retrying leader exchange every write (and authoritative
+    /// read) goes through: chases `WrongLeader`/`WrongTerm` redirects,
+    /// waits out leaderless spells with jittered backoff, and retries
+    /// requests a dying node provably never executed — all under the
+    /// client's deadline.
+    ///
+    /// Retrying on [`WireError::Disconnected`] is exactly-once, not
+    /// at-least-once: a node sends the complete response *before* a
+    /// scheduled crash takes it down, responses survive in the reply
+    /// ring after death, and `recv_connected` drains that backlog
+    /// before reporting the disconnect. `Disconnected` therefore
+    /// proves the request still sat unread in the dead node's inbox.
+    fn exchange_at_leader(&self, shard: usize, request: &Request) -> Result<Response, WireError> {
+        let mut pacer = self.pacer();
+        let mut last_err = None;
+        loop {
+            let view = self.shard_view(shard);
+            let Some(leader) = view.leader else {
+                if !pacer.pause() {
+                    return Err(last_err.unwrap_or(WireError::Deadline));
+                }
+                self.refresh_view(shard);
+                continue;
+            };
+            let conn = &self.shards[shard].nodes[leader];
+            match Self::roundtrip(conn, request) {
+                Err(WireError::Disconnected) => {
+                    self.lost_to_retry.set(self.lost_to_retry.get() + 1);
+                    last_err = Some(WireError::Disconnected);
+                    self.shards[shard].view.set(ShardView {
+                        term: view.term,
+                        leader: None,
+                    });
+                    if !pacer.pause() {
+                        return Err(WireError::Disconnected);
+                    }
+                    self.refresh_view(shard);
+                }
+                Err(e) => return Err(e),
+                Ok(Response::WrongLeader { term, leader }) => {
+                    let leader = usize::try_from(leader).ok().filter(|_| leader != NO_LEADER);
+                    self.note_redirect(shard, term, leader);
+                    if pacer.expired() {
+                        return Err(last_err.unwrap_or(WireError::Deadline));
+                    }
+                }
+                Ok(Response::WrongTerm { term }) => {
+                    self.note_redirect(shard, term, None);
+                    if pacer.expired() {
+                        return Err(last_err.unwrap_or(WireError::Deadline));
+                    }
+                }
+                Ok(response) => return Ok(response),
             }
-            Response::Miss => Ok(None),
-            Response::Malformed => Err(WireError::Rejected),
-            _ => Err(WireError::UnexpectedResponse("Get")),
         }
     }
 
-    /// Batched lookup. With backups, each shard's keys go out as *one*
-    /// wide, floor-guarded [`Request::ReplMultiGet`] per round (up to
-    /// [`REPL_MGET_MAX`] keys spill into continuation frames) to a
-    /// round-robin-chosen backup — one server visit bulk-reads the
-    /// whole shard's share, the round-trip economics replica reads
-    /// exist for. Shards proceed concurrently (one in-flight request
-    /// per shard); stale chunks retry at the primary in
-    /// [`MGET_MAX`]-sized slices. Without backups this degrades to the
-    /// plain per-shard multi-get rounds. Results come back in input
-    /// order.
-    ///
-    /// Deadlock discipline: every client holds at most one in-flight
-    /// request per shard and drains shards in index order — a shared
-    /// global order, so the waits-for graph over the 1-deep reply
-    /// channels cannot form a cycle (the lowest-indexed blocked shard
-    /// endpoint always has a drain-ready customer).
+    /// Looks a key up, preferring a follower: round-robin over the
+    /// shard's live non-leaders with the freshness floor attached,
+    /// falling back to the leader when the pick is behind or down.
+    /// While the shard is leaderless, either waits under the deadline
+    /// or (with [`ReplClient::with_stale_reads`]) serves floor-free
+    /// from any live node.
     ///
     /// # Errors
     ///
-    /// [`WireError`] on the first undecodable or out-of-protocol reply.
+    /// [`WireError`] on an undecodable or out-of-protocol reply, a
+    /// peer dead past the retry budget, or [`WireError::Deadline`].
+    pub fn get(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+        let shard = shard_of(key, self.shards.len());
+        let conn = &self.shards[shard];
+        let mut pacer = self.pacer();
+        let mut last_err = None;
+        loop {
+            let view = self.shard_view(shard);
+            let Some(leader) = view.leader else {
+                if self.stale_reads {
+                    if let Some(node) = self.any_live(shard) {
+                        let request = Request::ReplGet { key, floor: 0 };
+                        match Self::roundtrip(&conn.nodes[node], &request) {
+                            Ok(Response::Value { version, value }) => {
+                                self.stale_served.set(self.stale_served.get() + 1);
+                                return Ok(Some((version, value)));
+                            }
+                            Ok(Response::Miss) => {
+                                self.stale_served.set(self.stale_served.get() + 1);
+                                return Ok(None);
+                            }
+                            // A node refusing inside its own crash
+                            // window answers `Stale` even floor-free;
+                            // rotate on.
+                            Ok(Response::Stale { .. }) => {}
+                            Ok(Response::Malformed) => return Err(WireError::Rejected),
+                            Ok(_) => return Err(WireError::UnexpectedResponse("ReplGet")),
+                            Err(WireError::Disconnected) => {
+                                last_err = Some(WireError::Disconnected);
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                if !pacer.pause() {
+                    return Err(last_err.unwrap_or(WireError::Deadline));
+                }
+                self.refresh_view(shard);
+                continue;
+            };
+            if let Some(follower) = self.pick_follower(shard, leader) {
+                let request = Request::ReplGet {
+                    key,
+                    floor: conn.floor.get(),
+                };
+                match Self::roundtrip(&conn.nodes[follower], &request) {
+                    Ok(Response::Value { version, value }) => {
+                        self.replica_serves.set(self.replica_serves.get() + 1);
+                        self.observe(shard, version);
+                        return Ok(Some((version, value)));
+                    }
+                    Ok(Response::Miss) => {
+                        self.replica_serves.set(self.replica_serves.get() + 1);
+                        return Ok(None);
+                    }
+                    Ok(Response::Stale { .. }) => {
+                        self.fallbacks.set(self.fallbacks.get() + 1);
+                    }
+                    Ok(Response::Malformed) => return Err(WireError::Rejected),
+                    Ok(_) => return Err(WireError::UnexpectedResponse("ReplGet")),
+                    Err(WireError::Disconnected) => {
+                        // Follower gone (it was leading and died, or is
+                        // shutting down): refresh and retry the loop.
+                        last_err = Some(WireError::Disconnected);
+                        self.refresh_view(shard);
+                        if !pacer.pause() {
+                            return Err(WireError::Disconnected);
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            match self.exchange_at_leader(shard, &Request::Get { key }) {
+                Ok(Response::Value { version, value }) => {
+                    self.observe(shard, version);
+                    return Ok(Some((version, value)));
+                }
+                Ok(Response::Miss) => return Ok(None),
+                Ok(Response::Malformed) => return Err(WireError::Rejected),
+                Ok(_) => return Err(WireError::UnexpectedResponse("Get")),
+                Err(e @ (WireError::Disconnected | WireError::Deadline)) if self.stale_reads => {
+                    // The authoritative path is gone; loop back so the
+                    // leaderless branch can serve the read floor-free.
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Batched lookup. Each shard's chunk goes out as *one* wide,
+    /// floor-guarded [`Request::ReplMultiGet`] per round to a
+    /// round-robin-chosen live follower — one server visit bulk-reads
+    /// the whole shard's share. Shards proceed concurrently (one
+    /// in-flight request per shard, drained in shard order — the
+    /// shared global order that keeps the waits-for graph over the
+    /// reply rings acyclic); stale, redirected, disconnected, or
+    /// leaderless chunks re-fetch through the retrying leader path in
+    /// [`MGET_MAX`]-sized slices. Results come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on the first undecodable or out-of-protocol
+    /// reply, or when a chunk's retries exhaust the deadline.
     pub fn get_many(&self, keys: &[u64]) -> Result<Vec<ReadHit>, WireError> {
         let nshards = self.shards.len();
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); nshards];
         for (pos, &key) in keys.iter().enumerate() {
             by_shard[shard_of(key, nshards)].push(pos);
         }
-        let has_replicas = self.shards.iter().any(|c| !c.replicas.is_empty());
-        let chunk_size = if has_replicas {
-            REPL_MGET_MAX
-        } else {
-            MGET_MAX
-        };
+        let many_nodes = self.map.nodes_per_shard() > 1;
+        let chunk_size = if many_nodes { REPL_MGET_MAX } else { MGET_MAX };
         let mut results: Vec<Option<(u64, Vec<u8>)>> = (0..keys.len()).map(|_| None).collect();
         let rounds = by_shard
             .iter()
@@ -995,10 +1576,8 @@ impl ReplClient {
             .max()
             .unwrap_or(0);
         for round in 0..rounds {
-            // Send phase: one chunk per shard, to a backup when one
-            // exists (rotated per call — safe, since each client has a
-            // single outstanding request per shard), else the primary.
-            let mut inflight: Vec<(usize, Option<usize>, &[usize])> = Vec::new();
+            // Send phase: pipeline one chunk per shard.
+            let mut inflight: Vec<(usize, MgetTarget)> = Vec::new();
             for (shard, positions) in by_shard.iter().enumerate() {
                 let conn = &self.shards[shard];
                 let chunk = positions.chunks(chunk_size).nth(round).unwrap_or(&[]);
@@ -1006,113 +1585,233 @@ impl ReplClient {
                     continue;
                 }
                 let batch: Vec<u64> = chunk.iter().map(|&p| keys[p]).collect();
-                let target = if conn.replicas.is_empty() {
-                    None
-                } else {
-                    Some(conn.rr.get() % conn.replicas.len())
-                };
-                match target {
-                    Some(r) => {
-                        conn.rr.set(conn.rr.get().wrapping_add(1));
-                        send_all(
-                            &conn.replicas[r].0,
-                            &Request::ReplMultiGet {
+                let view = self.shard_view(shard);
+                let target = match view.leader {
+                    None => MgetTarget::Deferred(chunk),
+                    Some(leader) => match self.pick_follower(shard, leader) {
+                        Some(f) => {
+                            let request = Request::ReplMultiGet {
                                 keys: batch,
                                 floor: conn.floor.get(),
+                            };
+                            if send_frames(&conn.nodes[f], &request.encode()) {
+                                MgetTarget::Follower(f, chunk)
+                            } else {
+                                MgetTarget::Deferred(chunk)
                             }
-                            .encode(),
-                        );
-                    }
-                    None => send_all(&conn.primary.0, &Request::MultiGet { keys: batch }.encode()),
-                }
-                inflight.push((shard, target, chunk));
+                        }
+                        // All followers dead: the leader path chunks
+                        // by MGET_MAX, so only small chunks pipeline.
+                        None if chunk.len() <= MGET_MAX => {
+                            let request = Request::MultiGet { keys: batch };
+                            if send_frames(&conn.nodes[leader], &request.encode()) {
+                                MgetTarget::Leader(leader, chunk)
+                            } else {
+                                MgetTarget::Deferred(chunk)
+                            }
+                        }
+                        None => MgetTarget::Deferred(chunk),
+                    },
+                };
+                inflight.push((shard, target));
             }
-            // Drain phase, in shard order; stale backup chunks collect
-            // for the primary retry pass.
-            let mut retries: Vec<(usize, &[usize])> = Vec::new();
-            for (shard, target, chunk) in inflight {
+            // Drain phase, in shard order. The first response answers
+            // for the whole chunk: a node emits `Stale`, `WrongLeader`,
+            // or `WrongTerm` as one response per *request*, and a node
+            // that answered the head at all has already queued the
+            // rest (responses are emitted between requests).
+            let mut deferred: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (shard, target) in inflight {
                 let conn = &self.shards[shard];
                 match target {
-                    None => {
-                        for &pos in chunk {
-                            results[pos] = self.take_read(shard, &conn.primary, "MultiGet")?;
+                    MgetTarget::Deferred(chunk) => deferred.push((shard, chunk.to_vec())),
+                    MgetTarget::Leader(node, chunk) => {
+                        match Self::read_response_connected(&conn.nodes[node]) {
+                            Err(WireError::Disconnected) => {
+                                self.lost_to_retry.set(self.lost_to_retry.get() + 1);
+                                self.refresh_view(shard);
+                                deferred.push((shard, chunk.to_vec()));
+                            }
+                            Err(e) => return Err(e),
+                            Ok(Response::WrongLeader { term, leader }) => {
+                                let leader =
+                                    usize::try_from(leader).ok().filter(|_| leader != NO_LEADER);
+                                self.note_redirect(shard, term, leader);
+                                deferred.push((shard, chunk.to_vec()));
+                            }
+                            Ok(Response::WrongTerm { term }) => {
+                                self.note_redirect(shard, term, None);
+                                deferred.push((shard, chunk.to_vec()));
+                            }
+                            Ok(first) => {
+                                self.settle_read(shard, first, chunk[0], &mut results, "MultiGet")?;
+                                self.drain_chunk(
+                                    shard,
+                                    node,
+                                    &chunk[1..],
+                                    &mut results,
+                                    &mut deferred,
+                                    "MultiGet",
+                                )?;
+                            }
                         }
                     }
-                    Some(r) => {
-                        let pair = &conn.replicas[r];
-                        // Peek the first response: `Stale` answers the
-                        // whole chunk with a single frame.
-                        let head = pair.1.recv();
-                        match Response::decode(head, || pair.1.recv())? {
-                            Response::Stale { .. } => {
+                    MgetTarget::Follower(node, chunk) => {
+                        match Self::read_response_connected(&conn.nodes[node]) {
+                            Err(WireError::Disconnected) => {
+                                self.refresh_view(shard);
+                                deferred.push((shard, chunk.to_vec()));
+                            }
+                            Err(e) => return Err(e),
+                            Ok(Response::Stale { .. }) => {
                                 self.fallbacks.set(self.fallbacks.get() + 1);
-                                retries.push((shard, chunk));
+                                deferred.push((shard, chunk.to_vec()));
                             }
-                            Response::Value { version, value } => {
+                            Ok(first) => {
                                 self.replica_serves
                                     .set(self.replica_serves.get() + chunk.len() as u64);
-                                self.observe(shard, version);
-                                results[chunk[0]] = Some((version, value));
-                                for &pos in &chunk[1..] {
-                                    results[pos] = self.take_read(shard, pair, "ReplMultiGet")?;
-                                }
+                                self.settle_read(
+                                    shard,
+                                    first,
+                                    chunk[0],
+                                    &mut results,
+                                    "ReplMultiGet",
+                                )?;
+                                self.drain_chunk(
+                                    shard,
+                                    node,
+                                    &chunk[1..],
+                                    &mut results,
+                                    &mut deferred,
+                                    "ReplMultiGet",
+                                )?;
                             }
-                            Response::Miss => {
-                                self.replica_serves
-                                    .set(self.replica_serves.get() + chunk.len() as u64);
-                                results[chunk[0]] = None;
-                                for &pos in &chunk[1..] {
-                                    results[pos] = self.take_read(shard, pair, "ReplMultiGet")?;
-                                }
-                            }
-                            Response::Malformed => return Err(WireError::Rejected),
-                            _ => return Err(WireError::UnexpectedResponse("ReplMultiGet")),
                         }
                     }
                 }
             }
-            // Retry pass: stale chunks re-fetch authoritatively from
-            // the primary, in one-line multi-get slices.
-            for (shard, chunk) in retries {
-                let conn = &self.shards[shard];
-                for slice in chunk.chunks(MGET_MAX) {
-                    let batch: Vec<u64> = slice.iter().map(|&p| keys[p]).collect();
-                    send_all(&conn.primary.0, &Request::MultiGet { keys: batch }.encode());
-                    for &pos in slice {
-                        results[pos] = self.take_read(shard, &conn.primary, "MultiGet")?;
-                    }
-                }
+            // Fix-up pass: everything that missed the pipelined round
+            // re-fetches authoritatively, with retries and redirects.
+            for (shard, positions) in deferred {
+                self.fetch_from_leader(shard, &positions, keys, &mut results)?;
             }
         }
         Ok(results)
     }
 
-    /// Reads one `Value`/`Miss` response off `conn`, updating the floor.
-    fn take_read(
+    /// Records one `Value`/`Miss` read into `results[pos]`.
+    fn settle_read(
         &self,
         shard: usize,
-        conn: &Conn,
+        response: Response,
+        pos: usize,
+        results: &mut [Option<(u64, Vec<u8>)>],
         context: &'static str,
-    ) -> Result<Option<(u64, Vec<u8>)>, WireError> {
-        match Self::read_response(conn)? {
+    ) -> Result<(), WireError> {
+        match response {
             Response::Value { version, value } => {
                 self.observe(shard, version);
-                Ok(Some((version, value)))
+                results[pos] = Some((version, value));
+                Ok(())
             }
-            Response::Miss => Ok(None),
+            Response::Miss => {
+                results[pos] = None;
+                Ok(())
+            }
             Response::Malformed => Err(WireError::Rejected),
             _ => Err(WireError::UnexpectedResponse(context)),
         }
     }
 
-    /// Stores a value at the shard's primary; returns its new version.
+    /// Drains the remaining reads of a chunk whose head already
+    /// answered; positions left unread when the node dies mid-chunk
+    /// are deferred to the leader path.
+    fn drain_chunk(
+        &self,
+        shard: usize,
+        node: usize,
+        rest: &[usize],
+        results: &mut [Option<(u64, Vec<u8>)>],
+        deferred: &mut Vec<(usize, Vec<usize>)>,
+        context: &'static str,
+    ) -> Result<(), WireError> {
+        let conn = &self.shards[shard].nodes[node];
+        for (i, &pos) in rest.iter().enumerate() {
+            match Self::read_response_connected(conn) {
+                Ok(response) => self.settle_read(shard, response, pos, results, context)?,
+                Err(WireError::Disconnected) => {
+                    self.refresh_view(shard);
+                    deferred.push((shard, rest[i..].to_vec()));
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Authoritatively fetches `positions` through the retrying leader
+    /// exchange, in [`MGET_MAX`]-sized slices.
+    fn fetch_from_leader(
+        &self,
+        shard: usize,
+        positions: &[usize],
+        keys: &[u64],
+        results: &mut [Option<(u64, Vec<u8>)>],
+    ) -> Result<(), WireError> {
+        for slice in positions.chunks(MGET_MAX) {
+            let batch: Vec<u64> = slice.iter().map(|&p| keys[p]).collect();
+            match self.exchange_at_leader(shard, &Request::MultiGet { keys: batch })? {
+                Response::Value { version, value } => {
+                    self.observe(shard, version);
+                    results[slice[0]] = Some((version, value));
+                    self.finish_slice(shard, &slice[1..], results)?;
+                }
+                Response::Miss => {
+                    results[slice[0]] = None;
+                    self.finish_slice(shard, &slice[1..], results)?;
+                }
+                Response::Malformed => return Err(WireError::Rejected),
+                _ => return Err(WireError::UnexpectedResponse("MultiGet")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the tail of a leader multi-get whose head just landed.
+    /// The leader cannot die inside the tail (a scheduled crash only
+    /// follows a *write*, and responses are emitted whole between
+    /// requests), so a disconnect here is a protocol error.
+    fn finish_slice(
+        &self,
+        shard: usize,
+        rest: &[usize],
+        results: &mut [Option<(u64, Vec<u8>)>],
+    ) -> Result<(), WireError> {
+        let view = self.shards[shard].view.get();
+        let Some(leader) = view.leader else {
+            return Err(WireError::UnexpectedResponse("MultiGet"));
+        };
+        let conn = &self.shards[shard].nodes[leader];
+        for &pos in rest {
+            match Self::read_response_connected(conn) {
+                Ok(response) => self.settle_read(shard, response, pos, results, "MultiGet")?,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores a value at the shard's leader; returns its new CAS
+    /// version.
     ///
     /// # Errors
     ///
-    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    /// [`WireError`] on an undecodable or out-of-protocol reply, or
+    /// when retries exhaust the deadline.
     pub fn set(&self, key: u64, value: Vec<u8>) -> Result<u64, WireError> {
         let shard = shard_of(key, self.shards.len());
-        match Self::roundtrip(&self.shards[shard].primary, &Request::Set { key, value })? {
+        match self.exchange_at_leader(shard, &Request::Set { key, value })? {
             Response::Stored { version } => {
                 self.observe(shard, version);
                 Ok(version)
@@ -1122,12 +1821,13 @@ impl ReplClient {
         }
     }
 
-    /// Compare-and-set at the shard's primary; the inner result is the
+    /// Compare-and-set at the shard's leader; the inner result is the
     /// CAS outcome.
     ///
     /// # Errors
     ///
-    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    /// [`WireError`] on an undecodable or out-of-protocol reply, or
+    /// when retries exhaust the deadline.
     pub fn cas(
         &self,
         key: u64,
@@ -1140,7 +1840,7 @@ impl ReplClient {
             expected,
             value,
         };
-        match Self::roundtrip(&self.shards[shard].primary, &request)? {
+        match self.exchange_at_leader(shard, &request)? {
             Response::Stored { version } => {
                 self.observe(shard, version);
                 Ok(Ok(version))
@@ -1151,15 +1851,16 @@ impl ReplClient {
         }
     }
 
-    /// Deletes a key at the shard's primary; `Some(tombstone_version)`
+    /// Deletes a key at the shard's leader; `Some(tombstone_version)`
     /// if it existed.
     ///
     /// # Errors
     ///
-    /// [`WireError`] on an undecodable or out-of-protocol reply.
+    /// [`WireError`] on an undecodable or out-of-protocol reply, or
+    /// when retries exhaust the deadline.
     pub fn delete(&self, key: u64) -> Result<Option<u64>, WireError> {
         let shard = shard_of(key, self.shards.len());
-        match Self::roundtrip(&self.shards[shard].primary, &Request::Delete { key })? {
+        match self.exchange_at_leader(shard, &Request::Delete { key })? {
             Response::Deleted { version } => {
                 self.observe(shard, version);
                 Ok(Some(version))
@@ -1170,14 +1871,13 @@ impl ReplClient {
         }
     }
 
-    /// Tells every primary and backup this client is done, consuming
-    /// the client.
+    /// Tells every node this client is done, consuming the client.
+    /// Dead nodes are skipped — their inboxes have no reader.
     pub fn close(self) {
         let stop = Request::Stop.encode();
         for conn in &self.shards {
-            send_all(&conn.primary.0, &stop);
-            for replica in &conn.replicas {
-                send_all(&replica.0, &stop);
+            for node in &conn.nodes {
+                let _ = send_frames(node, &stop);
             }
         }
     }
@@ -1213,10 +1913,14 @@ mod tests {
 
     /// Spins up a full replication deployment, runs `body` with the
     /// clients, and returns the cluster for post-mortem checks.
+    /// `plans` holds backup schedules indexed `shard * replicas +
+    /// (node - 1)`; `crash_plans` holds per-shard leader-crash
+    /// schedules.
     fn with_replicated<F>(
         mut cluster: ReplCluster<TicketLock>,
         clients: usize,
         plans: &[FaultPlan],
+        crash_plans: &[FaultPlan],
         preload: u64,
         body: F,
     ) -> ReplCluster<TicketLock>
@@ -1226,24 +1930,32 @@ mod tests {
         for key in 0..preload {
             cluster.preload(key, &key.to_be_bytes());
         }
-        let shards = cluster.num_shards();
         let replicas = cluster.spec().replicas;
         let mode = cluster.spec().mode;
-        let (primaries, backups, repl_clients) = repl_mesh(shards, replicas, clients);
+        let map = cluster.map().clone();
+        let (endpoints, repl_clients) = repl_mesh(&map, clients);
         std::thread::scope(|s| {
-            for (shard, endpoint) in primaries.into_iter().enumerate() {
-                let store = cluster.primary().shard(shard);
-                let log = cluster.log(shard).clone();
-                let hwm = cluster.preload_hwm(shard);
-                s.spawn(move || serve_primary(store, &log, endpoint, mode, hwm));
-            }
-            for (shard, shard_backups) in backups.into_iter().enumerate() {
-                for (r, endpoint) in shard_backups.into_iter().enumerate() {
-                    let store = cluster.replica_set(r).shard(shard);
+            let map = &map;
+            for (shard, shard_eps) in endpoints.into_iter().enumerate() {
+                for endpoint in shard_eps {
+                    let node = endpoint.node();
+                    let store = cluster.node_store(shard, node);
                     let log = cluster.log(shard).clone();
-                    let hwm = cluster.preload_hwm(shard);
-                    let plan = plans.get(shard * replicas + r).cloned().unwrap_or_default();
-                    s.spawn(move || serve_replica(store, &log, endpoint, &plan, hwm));
+                    let cfg = NodeConfig {
+                        shard,
+                        mode,
+                        initial_hwm: cluster.preload_hwm(shard),
+                        backup_plan: if node == 0 {
+                            FaultPlan::none()
+                        } else {
+                            plans
+                                .get(shard * replicas + (node - 1))
+                                .cloned()
+                                .unwrap_or_default()
+                        },
+                        crash_plan: crash_plans.get(shard).cloned().unwrap_or_default(),
+                    };
+                    s.spawn(move || serve_node(store, &log, map, endpoint, cfg));
                 }
             }
             body(repl_clients);
@@ -1254,17 +1966,18 @@ mod tests {
     #[test]
     fn sync_mode_reads_own_writes_from_replicas() {
         let cluster = ReplCluster::new(2, 64, 8, ReplSpec::sync(2));
-        let cluster = with_replicated(cluster, 1, &[], 0, |mut clients| {
+        let cluster = with_replicated(cluster, 1, &[], &[], 0, |mut clients| {
             let client = clients.pop().unwrap();
             for key in 0..40u64 {
                 let v = client.set(key, format!("v{key}").into_bytes()).unwrap();
-                // Round-robin guarantees this read lands on a backup;
-                // sync mode guarantees it sees the write anyway.
+                // Round-robin guarantees this read lands on a
+                // follower; sync mode guarantees it sees the write
+                // anyway.
                 let (version, value) = client.get(key).unwrap().unwrap();
                 assert_eq!(version, v);
                 assert_eq!(value, format!("v{key}").into_bytes());
             }
-            // Every read was served by a backup: sync mode never
+            // Every read was served by a follower: sync mode never
             // bounces.
             assert_eq!(client.fallbacks(), 0);
             assert_eq!(client.replica_serves(), 40);
@@ -1291,7 +2004,7 @@ mod tests {
             window: 20,
         }]);
         let cluster = ReplCluster::new(1, 64, 8, spec);
-        let cluster = with_replicated(cluster, 1, &[plan], 0, |mut clients| {
+        let cluster = with_replicated(cluster, 1, &[plan], &[], 0, |mut clients| {
             let client = clients.pop().unwrap();
             let mut fallbacks_seen = 0;
             for key in 0..30u64 {
@@ -1299,7 +2012,7 @@ mod tests {
                 let before = client.fallbacks();
                 let (version, value) = client.get(key).unwrap().unwrap();
                 // Correctness despite the stalled backup: the floor
-                // guard rejects stale data, the primary answers.
+                // guard rejects stale data, the leader answers.
                 assert_eq!(version, v);
                 assert_eq!(value, vec![key as u8; 8]);
                 fallbacks_seen += client.fallbacks() - before;
@@ -1325,7 +2038,7 @@ mod tests {
             window: 4,
         }]);
         let cluster = ReplCluster::new(1, 64, 8, spec);
-        let cluster = with_replicated(cluster, 1, &[plan], 0, |mut clients| {
+        let cluster = with_replicated(cluster, 1, &[plan], &[], 0, |mut clients| {
             let client = clients.pop().unwrap();
             for key in 0..10u64 {
                 client.set(key, key.to_be_bytes().to_vec()).unwrap();
@@ -1356,7 +2069,7 @@ mod tests {
             window: 2,
         }]);
         let cluster = ReplCluster::new(1, 64, 8, spec);
-        let cluster = with_replicated(cluster, 1, &[plan], 0, |mut clients| {
+        let cluster = with_replicated(cluster, 1, &[plan], &[], 0, |mut clients| {
             let client = clients.pop().unwrap();
             client.set(1, b"a".to_vec()).unwrap(); // entry 1
             client.set(2, b"b".to_vec()).unwrap(); // entry 2: crash opens
@@ -1371,7 +2084,7 @@ mod tests {
     #[test]
     fn fanned_out_multi_get_returns_input_order() {
         let cluster = ReplCluster::new(2, 64, 8, ReplSpec::sync(2));
-        let cluster = with_replicated(cluster, 1, &[], 64, |mut clients| {
+        let cluster = with_replicated(cluster, 1, &[], &[], 64, |mut clients| {
             let client = clients.pop().unwrap();
             // 40 present keys + 10 misses, shuffled across shards;
             // chunks fan out over 3 endpoints per shard.
@@ -1386,7 +2099,7 @@ mod tests {
                 }
             }
             // With fresh sync replicas, most chunks are served by
-            // backups.
+            // followers.
             assert!(client.replica_serves() > 0);
             client.close();
         });
@@ -1406,7 +2119,7 @@ mod tests {
     #[test]
     fn concurrent_batched_fanout_cannot_deadlock() {
         let cluster = ReplCluster::new(2, 256, 16, ReplSpec::sync(2));
-        let cluster = with_replicated(cluster, 2, &[], 512, |clients| {
+        let cluster = with_replicated(cluster, 2, &[], &[], 512, |clients| {
             std::thread::scope(|s| {
                 for (c, client) in clients.into_iter().enumerate() {
                     s.spawn(move || {
@@ -1432,7 +2145,7 @@ mod tests {
     #[test]
     fn zero_replicas_degenerates_to_the_plain_service() {
         let cluster = ReplCluster::new(2, 64, 8, ReplSpec::async_bounded(0));
-        let cluster = with_replicated(cluster, 2, &[], 0, |clients| {
+        let cluster = with_replicated(cluster, 2, &[], &[], 0, |clients| {
             std::thread::scope(|s| {
                 for (c, client) in clients.into_iter().enumerate() {
                     s.spawn(move || {
@@ -1455,29 +2168,145 @@ mod tests {
     }
 
     #[test]
-    fn malformed_frames_at_primary_and_backup_get_refused() {
+    fn malformed_frames_and_misdirected_requests_get_refused() {
         let cluster = ReplCluster::new(1, 64, 8, ReplSpec::sync(1));
-        with_replicated(cluster, 1, &[], 0, |mut clients| {
+        with_replicated(cluster, 1, &[], &[], 0, |mut clients| {
             let client = clients.pop().unwrap();
             client.set(1, b"x".to_vec()).unwrap();
-            // Garbage straight at the primary.
             let conn = &client.shards[0];
-            conn.primary.0.send([0xEE; ssync_mp::MSG_WORDS]);
-            let head = conn.primary.1.recv();
+            // Garbage straight at the leader.
+            conn.nodes[0].0.send([0xEE; ssync_mp::MSG_WORDS]);
+            let head = conn.nodes[0].1.recv();
             assert_eq!(
                 Response::decode(head, || unreachable!()).unwrap(),
                 Response::Malformed
             );
-            // A plain Get at a backup is out of protocol there.
-            send_all(&conn.replicas[0].0, &Request::Get { key: 1 }.encode());
-            let head = conn.replicas[0].1.recv();
+            // A write at a follower bounces with the current view.
+            send_all(&conn.nodes[1].0, &Request::Get { key: 1 }.encode());
+            let head = conn.nodes[1].1.recv();
+            assert_eq!(
+                Response::decode(head, || unreachable!()).unwrap(),
+                Response::WrongLeader { term: 1, leader: 0 }
+            );
+            // A replication frame on a client connection is a protocol
+            // violation, not a write.
+            send_all(
+                &conn.nodes[0].0,
+                &Request::Replicate {
+                    key: 1,
+                    version: 99,
+                    value: b"evil".to_vec(),
+                }
+                .encode(),
+            );
+            let head = conn.nodes[0].1.recv();
             assert_eq!(
                 Response::decode(head, || unreachable!()).unwrap(),
                 Response::Malformed
             );
-            // Both servers still alive.
+            // All servers still alive.
             assert!(client.get(1).unwrap().is_some());
             client.close();
+        });
+    }
+
+    #[test]
+    fn scheduled_leader_crash_fails_over_while_the_client_rides_through() {
+        let cluster = ReplCluster::new(1, 64, 8, ReplSpec::sync(2));
+        let crash = FaultPlan::primary_crashes(vec![3]);
+        let cluster = with_replicated(cluster, 1, &[], &[crash], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            for key in 0..8u64 {
+                let v = client.set(key, vec![key as u8; 4]).unwrap();
+                let (version, value) = client.get(key).unwrap().unwrap();
+                assert_eq!((version, value), (v, vec![key as u8; 4]));
+            }
+            assert!(
+                client.lost_to_retry() + client.redirects() > 0,
+                "the crash must have been visible to the client"
+            );
+            client.close();
+        });
+        assert!(cluster.converged());
+        let view = cluster.map().view(0);
+        assert_eq!(view.term, 2, "one crash bumps the term once");
+        assert_ne!(view.leader, Some(0), "the dead seed leader cannot lead");
+        assert_eq!(cluster.map().failovers(0), 1);
+    }
+
+    #[test]
+    fn client_deadline_fires_instead_of_hanging_on_a_dead_group() {
+        // Replicas = 0: the crash leaves no succession line, so the
+        // shard stays dead and every write must fail fast — the
+        // regression this PR's disconnect plumbing exists for.
+        let cluster = ReplCluster::new(1, 64, 8, ReplSpec::sync(0));
+        let crash = FaultPlan::primary_crashes(vec![1]);
+        with_replicated(cluster, 1, &[], &[crash], 0, |mut clients| {
+            let client = clients
+                .pop()
+                .unwrap()
+                .with_deadline(Duration::from_millis(100));
+            client.set(1, b"last words".to_vec()).unwrap();
+            let err = client.set(2, b"void".to_vec()).unwrap_err();
+            assert!(
+                matches!(err, WireError::Disconnected | WireError::Deadline),
+                "a dead group must surface as a transport error, got {err:?}"
+            );
+            let err = client.get(1).unwrap_err();
+            assert!(matches!(err, WireError::Disconnected | WireError::Deadline));
+            client.close();
+        });
+    }
+
+    #[test]
+    fn stale_reads_opt_in_serves_a_leaderless_shard() {
+        // An observer follower can never be promoted, so one leader
+        // crash leaves the shard leaderless for good. A stall window
+        // keeps the follower provably behind the writer's freshness
+        // floor, forcing reads onto the (dead) leader: the stale-reads
+        // client then degrades to floor-free replica reads, while the
+        // strict client's write times out.
+        let spec = ReplSpec {
+            replicas: 1,
+            mode: ReplMode::Async { max_lag: 32 },
+            log_capacity: 256,
+        };
+        let cluster: ReplCluster<TicketLock> = ReplCluster::new(1, 64, 8, spec);
+        cluster.map().set_observer(0, 1);
+        let stall = FaultPlan::from_events(vec![FaultEvent {
+            at_entry: 3,
+            kind: FaultKind::Stall,
+            window: 10,
+        }]);
+        let crash = FaultPlan::primary_crashes(vec![5]);
+        with_replicated(cluster, 2, &[stall], &[crash], 0, |mut clients| {
+            let strict = clients
+                .pop()
+                .unwrap()
+                .with_deadline(Duration::from_millis(100));
+            let stale = clients
+                .pop()
+                .unwrap()
+                .with_stale_reads()
+                .with_deadline(Duration::from_millis(200));
+            for key in 0..5u64 {
+                stale.set(key, vec![key as u8; 3]).unwrap();
+            }
+            // The fifth write killed the leader; the follower sits in
+            // an open stall window (entries 3..=5 buffered, hwm at
+            // entry 2) and, as an observer, will never be promoted.
+            // The floor-guarded read bounces, the leader is gone, and
+            // the stale path serves what the follower has applied.
+            let (_, value) = stale.get(0).unwrap().expect("applied before the stall");
+            assert_eq!(value, vec![0u8; 3]);
+            assert!(
+                stale.stale_served() > 0,
+                "the read must have taken the floor-free stale path"
+            );
+            let err = strict.set(9, b"void".to_vec()).unwrap_err();
+            assert!(matches!(err, WireError::Disconnected | WireError::Deadline));
+            stale.close();
+            strict.close();
         });
     }
 }

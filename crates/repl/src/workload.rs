@@ -6,7 +6,10 @@
 //! ops_per_worker)` exactly as in the unreplicated driver, and fault
 //! schedules are a pure function of the fault seed and entry indices —
 //! so a faulty run *replays*: same stalls, same crashes, same
-//! catch-ups, same final convergence.
+//! catch-ups, same final convergence. Leader crashes add failovers to
+//! the mix; in sync mode even the succession order replays exactly
+//! (equal high-water marks make the promotion tie-break — lowest live
+//! id — deterministic).
 
 use std::time::{Duration, Instant};
 
@@ -17,10 +20,8 @@ use ssync_kv::StatsSnapshot;
 use ssync_locks::RawLock;
 use ssync_srv::workload::{drive_worker, OpCounts, OpStream, Tally, WorkloadSpec};
 
-use crate::fault::FaultSpec;
-use crate::service::{
-    repl_mesh, serve_primary, serve_replica, PrimaryReport, ReplCluster, ReplMode, ReplicaReport,
-};
+use crate::fault::{FaultPlan, FaultSpec};
+use crate::service::{repl_mesh, serve_node, NodeConfig, NodeReport, ReplCluster, ReplMode};
 
 /// What a replicated workload run measured.
 #[derive(Debug, Clone, Default)]
@@ -38,30 +39,46 @@ pub struct ReplReport {
     pub cas_fail: u64,
     /// Deletes that removed a key.
     pub deleted: u64,
-    /// Reads answered by a backup (client-side count).
+    /// Reads answered by a follower (client-side count).
     pub replica_serves: u64,
-    /// Replica reads that bounced to the primary (client-side count;
+    /// Replica reads that bounced to the leader (client-side count;
     /// load-dependent in async mode, 0 in sync mode without faults).
     pub fallbacks: u64,
+    /// `WrongLeader`/`WrongTerm` bounces chased by clients.
+    pub redirects: u64,
+    /// Requests retried after the serving node died under them.
+    pub lost_to_retry: u64,
+    /// Leaderless reads served floor-free (stale-reads opt-in only).
+    pub stale_served: u64,
     /// Wall time of the measure phase.
     pub wall: Duration,
-    /// Primary-store counter deltas over the measure phase.
+    /// Node-0 (seed-leader) store counter deltas over the measure
+    /// phase.
     pub primary_store: StatsSnapshot,
-    /// Backup-store counter deltas, merged over every backup.
+    /// Store counter deltas merged over every other node.
     pub replica_store: StatsSnapshot,
-    /// Per-shard primary server reports.
-    pub primaries: Vec<PrimaryReport>,
-    /// Per-`(shard, replica)` backup reports.
-    pub replicas: Vec<ReplicaReport>,
-    /// Replication entries logged and streamed, summed over shards.
+    /// Per-node server reports, grouped by shard (shard-major order,
+    /// `shards × (replicas + 1)` entries).
+    pub nodes: Vec<NodeReport>,
+    /// Replication entries logged and streamed, summed over shards and
+    /// successive leaders.
     pub entries: u64,
-    /// Crash windows taken across all backups.
+    /// Crash windows taken across all followers.
     pub crashes: u64,
-    /// Stall windows taken across all backups.
+    /// Stall windows taken across all followers.
     pub stalls: u64,
-    /// Entries replayed from op-logs during crash catch-ups.
+    /// Entries replayed from op-logs (crash catch-ups, term adoptions,
+    /// promotions).
     pub from_log: u64,
-    /// Did every backup converge to its primary's exact contents?
+    /// Stream frames fenced as stale-term leftovers (timing-dependent).
+    pub fenced: u64,
+    /// Promotions that happened during the run, across all shards —
+    /// must equal the crash plan's total under a soak.
+    pub failovers: u64,
+    /// Measured per-failover unavailability windows (death report to
+    /// promotion), across all shards in promotion order.
+    pub unavailability: Vec<Duration>,
+    /// Did every live node converge to the leader's exact contents?
     pub converged: bool,
 }
 
@@ -86,19 +103,22 @@ impl ReplReport {
 }
 
 /// Runs the full replicated closed-loop experiment: preload every key
-/// on the primary *and* every backup, spawn one primary thread per
-/// shard, `replicas` backup threads per shard, and `workers` client
-/// threads, drive `ops_per_worker` key-operations per client, shut the
-/// groups down (final-ack handshake), and report — including whether
-/// every backup converged.
+/// on every node, spawn one server thread per `(shard, node)` and
+/// `workers` client threads, drive `ops_per_worker` key-operations per
+/// client (riding out any scheduled leader crashes via the client's
+/// deadline/retry machinery), shut the groups down, and report —
+/// including whether every surviving node converged and how long each
+/// failover's unavailability window measured.
 ///
 /// # Panics
 ///
-/// Panics if `workers` is zero, or if `faults` schedules anything in
-/// sync mode or with windows at/above the async lag bound (both are
-/// deadlocks by construction: a primary blocked waiting for an ack
-/// cannot deliver the entries that would close an entry-indexed fault
-/// window).
+/// Panics if `workers` is zero; if `faults` schedules backup
+/// stall/crash windows in sync mode or with windows at/above the async
+/// lag bound (both are deadlocks by construction: a leader blocked
+/// waiting for an ack cannot deliver the entries that would close an
+/// entry-indexed fault window — leader crashes carry no window and are
+/// exempt); or if it schedules more leader crashes than there are
+/// backups to promote.
 pub fn run_replicated_closed_loop<R: RawLock + Default>(
     cluster: &mut ReplCluster<R>,
     spec: &WorkloadSpec,
@@ -110,7 +130,7 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
     let shards = cluster.num_shards();
     let nreplicas = cluster.spec().replicas;
     let mode = cluster.spec().mode;
-    if !faults.is_none() {
+    if faults.has_backup_faults() {
         match mode {
             ReplMode::Sync => panic!(
                 "fault injection requires async mode: a sync primary blocks on the ack a \
@@ -124,8 +144,13 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
             ),
         }
     }
+    assert!(
+        faults.primary_crashes <= nreplicas,
+        "at most {nreplicas} leader crashes are survivable with {nreplicas} backups \
+         (each crash consumes one node from the succession line)"
+    );
 
-    // Preload: every key present everywhere, logs empty, backups at
+    // Preload: every key present everywhere, logs empty, followers at
     // the preload high-water mark.
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     for key in 0..spec.keys {
@@ -136,32 +161,35 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
     let primary_before = cluster.primary().stats_snapshot();
     let replica_before = cluster.replica_stats_snapshot();
 
-    let (primary_endpoints, replica_endpoints, clients) = repl_mesh(shards, nreplicas, workers);
-    let plans: Vec<Vec<crate::fault::FaultPlan>> = (0..shards)
-        .map(|s| (0..nreplicas).map(|r| faults.plan_for(s, r)).collect())
-        .collect();
+    let map = cluster.map().clone();
+    let failovers_before = map.total_failovers();
+    let (node_endpoints, clients) = repl_mesh(&map, workers);
 
     let start = Instant::now();
-    let mut primaries: Vec<PrimaryReport> = Vec::with_capacity(shards);
-    let mut replicas: Vec<ReplicaReport> = Vec::with_capacity(shards * nreplicas);
-    let mut tallies: Vec<(Tally, u64, u64)> = Vec::with_capacity(workers);
+    let mut nodes: Vec<NodeReport> = Vec::with_capacity(shards * (nreplicas + 1));
+    let mut tallies: Vec<(Tally, [u64; 5])> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
-        let mut primary_handles = Vec::with_capacity(shards);
-        let mut replica_handles = Vec::with_capacity(shards * nreplicas);
-        for (shard, endpoint) in primary_endpoints.into_iter().enumerate() {
-            let store = cluster.primary().shard(shard);
-            let log = cluster.log(shard).clone();
-            let hwm = cluster.preload_hwm(shard);
-            primary_handles.push(s.spawn(move || serve_primary(store, &log, endpoint, mode, hwm)));
-        }
-        for (shard, backups) in replica_endpoints.into_iter().enumerate() {
-            for (r, endpoint) in backups.into_iter().enumerate() {
-                let store = cluster.replica_set(r).shard(shard);
+        let mut node_handles = Vec::with_capacity(shards * (nreplicas + 1));
+        for (shard, endpoints) in node_endpoints.into_iter().enumerate() {
+            for endpoint in endpoints {
+                let node = endpoint.node();
+                let store = cluster.node_store(shard, node);
                 let log = cluster.log(shard).clone();
-                let hwm = cluster.preload_hwm(shard);
-                let plan = plans[shard][r].clone();
-                replica_handles
-                    .push(s.spawn(move || serve_replica(store, &log, endpoint, &plan, hwm)));
+                let map = &map;
+                let cfg = NodeConfig {
+                    shard,
+                    mode,
+                    initial_hwm: cluster.preload_hwm(shard),
+                    backup_plan: if node == 0 {
+                        // The seed leader never takes backup windows:
+                        // schedules are keyed to *replica* slots.
+                        FaultPlan::none()
+                    } else {
+                        faults.plan_for(shard, node - 1)
+                    },
+                    crash_plan: faults.primary_plan_for(shard),
+                };
+                node_handles.push(s.spawn(move || serve_node(store, &log, map, endpoint, cfg)));
             }
         }
         let worker_handles: Vec<_> = clients
@@ -171,10 +199,15 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
                 let stream = OpStream::new(spec, worker as u64);
                 s.spawn(move || {
                     let tally = drive_worker(&client, stream, ops_per_worker);
-                    let serves = client.replica_serves();
-                    let fallbacks = client.fallbacks();
+                    let stats = [
+                        client.replica_serves(),
+                        client.fallbacks(),
+                        client.redirects(),
+                        client.lost_to_retry(),
+                        client.stale_served(),
+                    ];
                     client.close();
-                    (tally, serves, fallbacks)
+                    (tally, stats)
                 })
             })
             .collect();
@@ -183,15 +216,10 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked")),
         );
-        primaries.extend(
-            primary_handles
+        nodes.extend(
+            node_handles
                 .into_iter()
-                .map(|h| h.join().expect("primary panicked")),
-        );
-        replicas.extend(
-            replica_handles
-                .into_iter()
-                .map(|h| h.join().expect("backup panicked")),
+                .map(|h| h.join().expect("node panicked")),
         );
     });
     let wall = start.elapsed();
@@ -200,10 +228,15 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
         wall,
         primary_store: cluster.primary().stats_snapshot().delta(&primary_before),
         replica_store: cluster.replica_stats_snapshot().delta(&replica_before),
+        failovers: map.total_failovers() - failovers_before,
+        unavailability: (0..shards)
+            .flat_map(|sh| map.failover_records(sh))
+            .map(|rec| rec.unavailable)
+            .collect(),
         converged: cluster.converged(),
         ..ReplReport::default()
     };
-    for (tally, serves, fallbacks) in tallies {
+    for (tally, [serves, fallbacks, redirects, lost, stale]) in tallies {
         report.issued = report.issued.merge(&tally.issued);
         report.hits += tally.hits;
         report.misses += tally.misses;
@@ -212,17 +245,18 @@ pub fn run_replicated_closed_loop<R: RawLock + Default>(
         report.deleted += tally.deleted;
         report.replica_serves += serves;
         report.fallbacks += fallbacks;
+        report.redirects += redirects;
+        report.lost_to_retry += lost;
+        report.stale_served += stale;
     }
-    for p in &primaries {
-        report.entries += p.entries;
+    for n in &nodes {
+        report.entries += n.entries;
+        report.crashes += n.crashes;
+        report.stalls += n.stalls;
+        report.from_log += n.from_log;
+        report.fenced += n.fenced;
     }
-    for r in &replicas {
-        report.crashes += r.crashes;
-        report.stalls += r.stalls;
-        report.from_log += r.from_log;
-    }
-    report.primaries = primaries;
-    report.replicas = replicas;
+    report.nodes = nodes;
     report
 }
 
@@ -251,6 +285,7 @@ mod tests {
             faults_per_replica: 2,
             max_window: 6,
             spacing: 10,
+            primary_crashes: 0,
         };
         let run = || {
             let mut cluster: ReplCluster<TicketLock> =
@@ -267,6 +302,7 @@ mod tests {
         assert_eq!(a.from_log, b.from_log);
         assert!(a.converged && b.converged);
         assert!(a.crashes + a.stalls > 0, "the schedule must actually fire");
+        assert_eq!(a.failovers, 0);
     }
 
     #[test]
@@ -276,6 +312,7 @@ mod tests {
             faults_per_replica: 3,
             max_window: 8,
             spacing: 12,
+            primary_crashes: 0,
         };
         let mut cluster: ReplCluster<TicketLock> =
             ReplCluster::new(2, 64, 8, ReplSpec::async_bounded(2));
@@ -307,13 +344,64 @@ mod tests {
     }
 
     #[test]
+    fn leader_crashes_fail_over_and_converge_in_sync_mode() {
+        let faults = FaultSpec {
+            seed: 0xC4A5,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+            primary_crashes: 2,
+        };
+        let run = || {
+            let mut cluster: ReplCluster<TicketLock> =
+                ReplCluster::new(2, 64, 8, ReplSpec::sync(2));
+            run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 400, &faults)
+        };
+        let a = run();
+        // Every shard walked its full succession line.
+        assert_eq!(a.failovers, 2 * 2, "every scheduled crash must fire");
+        assert_eq!(a.unavailability.len(), 4);
+        assert!(a.converged, "survivors must converge after failovers");
+        assert!(
+            a.nodes.iter().filter(|n| n.crashed).count() == 4
+                && a.nodes.iter().filter(|n| n.promotions > 0).count() == 4,
+            "two leaders per shard must die and two successors must rise"
+        );
+        // Sync mode: equal high-water marks make the succession
+        // deterministic, so a rerun replays the whole history.
+        let b = run();
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.failovers, b.failovers);
+        assert!(b.converged);
+    }
+
+    #[test]
+    fn leader_crashes_fail_over_in_async_mode_too() {
+        let faults = FaultSpec {
+            seed: 0xA57C,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+            primary_crashes: 1,
+        };
+        let mut cluster: ReplCluster<TicketLock> =
+            ReplCluster::new(2, 64, 8, ReplSpec::async_bounded(2));
+        let report =
+            run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 2, 300, &faults);
+        assert_eq!(report.failovers, 2, "one promotion per shard");
+        assert!(report.converged);
+    }
+
+    #[test]
     #[should_panic(expected = "fault injection requires async mode")]
-    fn faults_in_sync_mode_are_rejected() {
+    fn backup_faults_in_sync_mode_are_rejected() {
         let faults = FaultSpec {
             seed: 1,
             faults_per_replica: 1,
             max_window: 4,
             spacing: 8,
+            primary_crashes: 0,
         };
         let mut cluster: ReplCluster<TicketLock> = ReplCluster::new(1, 64, 8, ReplSpec::sync(1));
         let _ = run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 10, &faults);
@@ -327,9 +415,24 @@ mod tests {
             faults_per_replica: 1,
             max_window: 64,
             spacing: 8,
+            primary_crashes: 0,
         };
         let mut cluster: ReplCluster<TicketLock> =
             ReplCluster::new(1, 64, 8, ReplSpec::async_bounded(1));
+        let _ = run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 10, &faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "succession line")]
+    fn more_crashes_than_backups_are_rejected() {
+        let faults = FaultSpec {
+            seed: 1,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+            primary_crashes: 2,
+        };
+        let mut cluster: ReplCluster<TicketLock> = ReplCluster::new(1, 64, 8, ReplSpec::sync(1));
         let _ = run_replicated_closed_loop(&mut cluster, &small_spec(Mix::YCSB_A), 1, 10, &faults);
     }
 }

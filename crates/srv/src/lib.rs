@@ -52,7 +52,7 @@ pub mod workload;
 
 pub use router::{shard_of, ShardRouter};
 pub use service::{ring_mesh, serve, wire_mesh, wire_mesh_with, KvClient, ServiceClient};
-pub use wire::{Request, Response, WireError};
+pub use wire::{Request, Response, WireError, NO_LEADER};
 pub use workload::{
     KeyDist, Mix, Op, OpStream, Transport, ValueSize, WorkloadReport, WorkloadSpec,
 };

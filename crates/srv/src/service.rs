@@ -318,26 +318,49 @@ impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
 
     /// Encodes `request` into the scratch buffer and sends every frame
     /// to `shard`.
-    fn send_request(&self, shard: usize, request: &Request) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Disconnected`] if the server's receive half is
+    /// gone — instead of spinning forever against a full channel no
+    /// one will ever drain.
+    fn send_request(&self, shard: usize, request: &Request) -> Result<(), WireError> {
         let (tx, _) = &self.shards[shard];
         let mut frames = self.frames.borrow_mut();
         request.encode_into(&mut frames);
         for &frame in frames.iter() {
-            tx.send(frame);
+            tx.send_connected(frame)
+                .map_err(|_| WireError::Disconnected)?;
         }
+        Ok(())
     }
 
     /// One blocking round-trip to a shard: send every request frame,
     /// then read one response.
     fn call(&self, shard: usize, request: &Request) -> Result<Response, WireError> {
-        self.send_request(shard, request);
+        self.send_request(shard, request)?;
         self.read_response(shard)
     }
 
     fn read_response(&self, shard: usize) -> Result<Response, WireError> {
         let (_, rx) = &self.shards[shard];
-        let head = rx.recv();
-        Response::decode(head, || rx.recv())
+        // A dead server is a decode-time error, not a livelock: the
+        // reply must fail cleanly even mid-continuation-stream.
+        let head = rx.recv_connected().map_err(|_| WireError::Disconnected)?;
+        let mut dead = false;
+        let resp = Response::decode(head, || match rx.recv_connected() {
+            Ok(m) => m,
+            Err(_) => {
+                // The value decoder is infallible by contract; flag the
+                // truncation and let it finish on zeroed frames.
+                dead = true;
+                [0; ssync_mp::MSG_WORDS]
+            }
+        })?;
+        if dead {
+            return Err(WireError::Disconnected);
+        }
+        Ok(resp)
     }
 
     /// Looks a key up; `Some((version, value))` on a hit.
@@ -368,7 +391,10 @@ impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
     /// the workload driver's window enforces this.
     pub fn send_get(&self, key: u64) -> usize {
         let shard = shard_of(key, self.shards.len());
-        self.send_request(shard, &Request::Get { key });
+        // A dead shard surfaces as Disconnected on the owed
+        // read_get_reply (its reply sender dropped with the server), so
+        // the fire half stays infallible.
+        let _ = self.send_request(shard, &Request::Get { key });
         shard
     }
 
@@ -417,7 +443,7 @@ impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
                 let chunk = positions.chunks(MGET_MAX).nth(round).unwrap_or(&[]);
                 if !chunk.is_empty() {
                     let batch: Vec<u64> = chunk.iter().map(|&p| keys[p]).collect();
-                    self.send_request(shard, &Request::MultiGet { keys: batch });
+                    self.send_request(shard, &Request::MultiGet { keys: batch })?;
                 }
                 sent.push(chunk);
             }
@@ -495,10 +521,11 @@ impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
     }
 
     /// Tells every shard server this client is done, consuming the
-    /// client. Servers exit after the last client closes.
+    /// client. Servers exit after the last client closes; a shard
+    /// already gone needs no goodbye.
     pub fn close(self) {
         for shard in 0..self.shards.len() {
-            self.send_request(shard, &Request::Stop);
+            let _ = self.send_request(shard, &Request::Stop);
         }
     }
 }
@@ -721,6 +748,28 @@ mod tests {
             assert!(client.get_many(&[]).unwrap().is_empty());
             client.close();
         });
+    }
+
+    /// Regression test for the pre-PR-7 livelock: a client op against a
+    /// shard whose server thread is gone must error, not spin forever.
+    #[test]
+    fn dead_server_surfaces_as_disconnected_not_a_hang() {
+        let (endpoints, mut clients) = wire_mesh(1, 1);
+        drop(endpoints); // The "server" dies before serving anything.
+        let client = clients.pop().unwrap();
+        assert_eq!(client.get(1), Err(WireError::Disconnected));
+        assert_eq!(client.set(1, b"x".to_vec()), Err(WireError::Disconnected));
+        assert_eq!(client.get_many(&[1, 2, 3]), Err(WireError::Disconnected));
+        client.close(); // Must not hang either.
+
+        // Ring flavour: queued requests fit the ring, so the send side
+        // succeeds and the *reply* read reports the dead peer.
+        let (endpoints, mut clients) = ring_mesh(1, 1, 8);
+        drop(endpoints);
+        let client = clients.pop().unwrap();
+        let shard = client.send_get(7);
+        assert_eq!(client.read_get_reply(shard), Err(WireError::Disconnected));
+        client.close();
     }
 
     #[test]

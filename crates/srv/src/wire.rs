@@ -88,6 +88,12 @@ const ST_NOT_FOUND: u64 = 6;
 const ST_REPL_ACK: u64 = 7;
 const ST_STALE: u64 = 8;
 const ST_MALFORMED: u64 = 9;
+const ST_WRONG_LEADER: u64 = 10;
+const ST_WRONG_TERM: u64 = 11;
+
+/// Sentinel for "no leader known" in [`Response::WrongLeader`]'s
+/// `leader` word.
+pub const NO_LEADER: u64 = u64::MAX;
 
 /// A protocol violation caught while decoding or interpreting frames.
 ///
@@ -114,6 +120,15 @@ pub enum WireError {
     UnexpectedResponse(&'static str),
     /// The server rejected the request as malformed.
     Rejected,
+    /// The peer's thread is gone (its channel half was dropped) — the
+    /// request cannot be, or was only partially, exchanged. Clients
+    /// with a retry budget treat this as retryable (the cluster may be
+    /// mid-failover); without one it surfaces here instead of the
+    /// pre-PR-7 behavior of spinning forever on the dead channel.
+    Disconnected,
+    /// The client's retry/deadline budget ran out before any server
+    /// produced a definitive answer.
+    Deadline,
 }
 
 impl fmt::Display for WireError {
@@ -129,6 +144,8 @@ impl fmt::Display for WireError {
                 write!(f, "unexpected response in reply to {ctx}")
             }
             WireError::Rejected => write!(f, "server rejected the request as malformed"),
+            WireError::Disconnected => write!(f, "peer disconnected (channel half dropped)"),
+            WireError::Deadline => write!(f, "request deadline exceeded"),
         }
     }
 }
@@ -258,6 +275,23 @@ pub enum Response {
     },
     /// The request head frame did not decode; nothing was executed.
     Malformed,
+    /// The node is not the shard's leader for writes: nothing was
+    /// executed. Carries the responder's view of the current term and
+    /// leader so the client can redirect instead of rediscovering.
+    WrongLeader {
+        /// The term the responder currently observes.
+        term: u64,
+        /// The node id it believes leads that term, or [`NO_LEADER`]
+        /// while the shard is leaderless (mid-failover).
+        leader: u64,
+    },
+    /// A replication frame arrived from a sender whose term is stale
+    /// (a fenced old primary): nothing was applied. Carries the
+    /// responder's current term so the sender can stand down.
+    WrongTerm {
+        /// The term the responder currently observes.
+        term: u64,
+    },
 }
 
 /// Packs opcode/status (bits 0..8), multi-get count (bits 8..16) and
@@ -570,6 +604,17 @@ impl Response {
                 m[0] = head_word(ST_MALFORMED, 0, 0);
                 out.push(m);
             }
+            Response::WrongLeader { term, leader } => {
+                m[0] = head_word(ST_WRONG_LEADER, 0, 0);
+                m[1] = *term;
+                m[2] = *leader;
+                out.push(m);
+            }
+            Response::WrongTerm { term } => {
+                m[0] = head_word(ST_WRONG_TERM, 0, 0);
+                m[1] = *term;
+                out.push(m);
+            }
         }
     }
 
@@ -601,6 +646,11 @@ impl Response {
             ST_REPL_ACK => Response::ReplAck { version: head[1] },
             ST_STALE => Response::Stale { hwm: head[1] },
             ST_MALFORMED => Response::Malformed,
+            ST_WRONG_LEADER => Response::WrongLeader {
+                term: head[1],
+                leader: head[2],
+            },
+            ST_WRONG_TERM => Response::WrongTerm { term: head[1] },
             _ => return Err(WireError::UnknownStatus(st)),
         })
     }
@@ -692,6 +742,12 @@ mod tests {
             Response::ReplAck { version: 1000 },
             Response::Stale { hwm: 7 },
             Response::Malformed,
+            Response::WrongLeader { term: 3, leader: 1 },
+            Response::WrongLeader {
+                term: 4,
+                leader: NO_LEADER,
+            },
+            Response::WrongTerm { term: 9 },
         ];
         for resp in samples {
             assert_eq!(roundtrip_response(resp.clone()), resp);

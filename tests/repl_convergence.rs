@@ -1,9 +1,10 @@
 //! Replication convergence, checked the way the model-checking
 //! optimistic-replication literature frames it, but in-process:
-//! arbitrary operation sequences + seeded replica crashes and stalls,
-//! with the property that once the run drains, **every replica's final
-//! state equals the primary's, and the primary's equals a sequential
-//! BTreeMap model**.
+//! arbitrary operation sequences + seeded replica crashes, stalls, and
+//! leader crashes, with the property that once the run drains, **every
+//! live replica's final state equals the leader's, and the leader's
+//! equals a sequential BTreeMap model** — no acknowledged write lost,
+//! no matter how many leaders died along the way.
 
 use std::collections::BTreeMap;
 
@@ -13,9 +14,151 @@ use ssync::locks::TicketLock;
 use ssync::repl::fault::FaultSpec;
 use ssync::repl::service::{ReplCluster, ReplMode, ReplSpec};
 use ssync::repl::workload::run_replicated_closed_loop;
-use ssync::repl::{repl_mesh, serve_primary, serve_replica};
-use ssync::srv::router::key_bytes;
+use ssync::repl::{repl_mesh, serve_node, FaultPlan, NodeConfig, ReplClient};
+use ssync::srv::router::{key_bytes, shard_of};
 use ssync::srv::workload::{KeyDist, Mix, ValueSize, WorkloadSpec};
+
+/// Spins up every node of `cluster`'s replication groups with the
+/// seeded `faults` schedules and runs `body` with the clients.
+fn with_cluster<F>(cluster: &ReplCluster<TicketLock>, faults: &FaultSpec, clients: usize, body: F)
+where
+    F: FnOnce(Vec<ReplClient>) + Send,
+{
+    let map = cluster.map().clone();
+    let (endpoints, repl_clients) = repl_mesh(&map, clients);
+    std::thread::scope(|s| {
+        let map = &map;
+        for (shard, shard_eps) in endpoints.into_iter().enumerate() {
+            for endpoint in shard_eps {
+                let node = endpoint.node();
+                let store = cluster.node_store(shard, node);
+                let log = cluster.log(shard).clone();
+                let cfg = NodeConfig {
+                    shard,
+                    mode: cluster.spec().mode,
+                    initial_hwm: cluster.preload_hwm(shard),
+                    backup_plan: if node == 0 {
+                        FaultPlan::none()
+                    } else {
+                        faults.plan_for(shard, node - 1)
+                    },
+                    crash_plan: faults.primary_plan_for(shard),
+                };
+                s.spawn(move || serve_node(store, &log, map, endpoint, cfg));
+            }
+        }
+        body(repl_clients);
+    });
+}
+
+type Model = BTreeMap<u64, (Vec<u8>, u64)>;
+
+/// Mirror of one shard's `next_version` counter, tracking which entry
+/// indices land on *logged* writes. Failed CAS attempts burn a version
+/// without logging anything, so entry indices are not dense in logged
+/// writes — and a scheduled leader crash fires only when its
+/// `at_entry` coincides exactly with a logged write's index.
+#[derive(Default)]
+struct ShardEntries {
+    burned: u64,
+    logged: Vec<u64>,
+}
+
+impl ShardEntries {
+    fn next(&self) -> u64 {
+        1 + self.burned + self.logged.len() as u64
+    }
+    fn log_one(&mut self) {
+        let e = self.next();
+        self.logged.push(e);
+    }
+    fn burn_one(&mut self) {
+        self.burned += 1;
+    }
+}
+
+/// Drives `ops` from one client against `cluster` while maintaining
+/// the sequential model, asserting read-your-writes throughout.
+/// `entries` mirrors each shard's version allocation (entry indices
+/// are per-shard, so fault reachability is too).
+fn drive_model_ops(
+    client: &ReplClient,
+    ops: &[(u64, u8, u8)],
+    model: &mut Model,
+    entries: &mut [ShardEntries],
+) {
+    let shards = entries.len();
+    for (key, op, val) in ops {
+        let (key, val) = (*key, *val);
+        match op {
+            0 => {
+                let v = client.set(key, vec![val; 4]).unwrap();
+                model.insert(key, (vec![val; 4], v));
+                entries[shard_of(key, shards)].log_one();
+            }
+            1 => {
+                // Reads route through replicas with the floor guard;
+                // they must always see the model state — even while a
+                // failover is in flight.
+                let got = client.get(key).unwrap();
+                match model.get(&key) {
+                    Some((mv, mver)) => {
+                        let (ver, value) = got.expect("model says present");
+                        assert_eq!((&value, ver), (mv, *mver));
+                    }
+                    None => assert!(got.is_none()),
+                }
+            }
+            2 => match model.get(&key).map(|(_, v)| *v) {
+                Some(mver) => {
+                    let v = client
+                        .cas(key, vec![val; 3], mver)
+                        .unwrap()
+                        .expect("fresh cas must win");
+                    model.insert(key, (vec![val; 3], v));
+                    entries[shard_of(key, shards)].log_one();
+                }
+                None => {
+                    assert_eq!(client.cas(key, vec![val; 3], 1).unwrap(), Err(0));
+                    // A losing CAS still consumes a version slot.
+                    entries[shard_of(key, shards)].burn_one();
+                }
+            },
+            _ => {
+                let existed = model.remove(&key).is_some();
+                let deleted = client.delete(key).unwrap().is_some();
+                assert_eq!(deleted, existed);
+                if deleted {
+                    entries[shard_of(key, shards)].log_one();
+                }
+            }
+        }
+    }
+}
+
+/// Asserts that, shard by shard, the surviving leader's contents equal
+/// the model and every live follower converged to them.
+fn assert_matches_model(cluster: &ReplCluster<TicketLock>, model: &Model) {
+    let mut leader_contents: Vec<(Vec<u8>, u64, Vec<u8>)> = Vec::new();
+    for shard in 0..cluster.num_shards() {
+        let leader = cluster
+            .map()
+            .view(shard)
+            .leader
+            .expect("a leader must survive the schedule");
+        for (k, ver, v) in cluster.node_store(shard, leader).dump() {
+            leader_contents.push((k.to_vec(), ver, v.to_vec()));
+        }
+    }
+    leader_contents.sort();
+    let mut model_contents: Vec<(Vec<u8>, u64, Vec<u8>)> = model
+        .iter()
+        .map(|(k, (v, ver))| (key_bytes(*k).to_vec(), *ver, v.clone()))
+        .collect();
+    model_contents.sort();
+    assert_eq!(leader_contents, model_contents);
+    assert!(cluster.converged());
+}
 
 proptest! {
     /// Arbitrary get/set/cas/delete sequences from one client, with a
@@ -36,84 +179,84 @@ proptest! {
             faults_per_replica: 3,
             max_window: 8,
             spacing: 6,
+            primary_crashes: 0,
         };
         let cluster: ReplCluster<TicketLock> = ReplCluster::new(2, 64, 8, spec);
         // Model: key -> (value, version), maintained from the client's
         // own observations (single client => sequential history).
-        let mut model: BTreeMap<u64, (Vec<u8>, u64)> = BTreeMap::new();
-        let shards = cluster.num_shards();
-        let replicas = spec.replicas;
-        let (primaries, backups, mut clients) = repl_mesh(shards, replicas, 1);
-        std::thread::scope(|s| {
-            for (shard, endpoint) in primaries.into_iter().enumerate() {
-                let store = cluster.primary().shard(shard);
-                let log = cluster.log(shard).clone();
-                s.spawn(move || serve_primary(store, &log, endpoint, spec.mode, 0));
-            }
-            for (shard, shard_backups) in backups.into_iter().enumerate() {
-                for (r, endpoint) in shard_backups.into_iter().enumerate() {
-                    let store = cluster.replica_set(r).shard(shard);
-                    let log = cluster.log(shard).clone();
-                    let plan = faults.plan_for(shard, r);
-                    s.spawn(move || serve_replica(store, &log, endpoint, &plan, 0));
-                }
-            }
+        let mut model: Model = BTreeMap::new();
+        let mut entries = [ShardEntries::default(), ShardEntries::default()];
+        with_cluster(&cluster, &faults, 1, |mut clients| {
             let client = clients.pop().unwrap();
-            for (key, op, val) in &ops {
-                let (key, val) = (*key, *val);
-                match op {
-                    0 => {
-                        let v = client.set(key, vec![val; 4]).unwrap();
-                        model.insert(key, (vec![val; 4], v));
-                    }
-                    1 => {
-                        // Reads route through replicas with the floor
-                        // guard; they must always see the model state.
-                        let got = client.get(key).unwrap();
-                        match model.get(&key) {
-                            Some((mv, mver)) => {
-                                let (ver, value) = got.expect("model says present");
-                                assert_eq!((&value, ver), (mv, *mver));
-                            }
-                            None => assert!(got.is_none()),
-                        }
-                    }
-                    2 => match model.get(&key).map(|(_, v)| *v) {
-                        Some(mver) => {
-                            let v = client
-                                .cas(key, vec![val; 3], mver)
-                                .unwrap()
-                                .expect("fresh cas must win");
-                            model.insert(key, (vec![val; 3], v));
-                        }
-                        None => {
-                            assert_eq!(client.cas(key, vec![val; 3], 1).unwrap(), Err(0));
-                        }
-                    },
-                    _ => {
-                        let existed = model.remove(&key).is_some();
-                        assert_eq!(client.delete(key).unwrap().is_some(), existed);
-                    }
-                }
-            }
+            drive_model_ops(&client, &ops, &mut model, &mut entries);
             client.close();
         });
-        // Primary equals the model…
-        let mut primary_contents: Vec<(Vec<u8>, u64, Vec<u8>)> = Vec::new();
-        for s in 0..shards {
-            for (k, ver, v) in cluster.primary().shard(s).dump() {
-                primary_contents.push((k.to_vec(), ver, v.to_vec()));
-            }
+        assert_matches_model(&cluster, &model);
+        prop_assert_eq!(cluster.map().total_failovers(), 0);
+    }
+}
+
+proptest! {
+    /// The chaos soak: arbitrary op sequences × seeded *leader*
+    /// crashes × backup stalls/crashes (async) or bare successions
+    /// (sync). Acked writes survive every failover — the client's
+    /// sequential model still matches the surviving leader exactly,
+    /// live replicas converge, and the failover count equals the
+    /// number of scheduled crashes the run actually reached.
+    #[test]
+    fn chaos_soaked_failovers_lose_no_acknowledged_write(
+        ops in proptest::collection::vec((0u64..16, 0u8..4, any::<u8>()), 20..100),
+        fault_seed in any::<u64>(),
+        sync in any::<bool>(),
+        crashes in 1usize..=2,
+    ) {
+        let (mode, faults_per_replica, max_window, spacing) = if sync {
+            // Backup stall/crash windows deadlock a sync leader by
+            // construction, so sync soaks only the succession line.
+            (ReplMode::Sync, 0, 0, 0)
+        } else {
+            (ReplMode::Async { max_lag: 24 }, 2, 8, 6)
+        };
+        let spec = ReplSpec {
+            replicas: 2,
+            mode,
+            log_capacity: 512,
+        };
+        let faults = FaultSpec {
+            seed: fault_seed,
+            faults_per_replica,
+            max_window,
+            spacing,
+            primary_crashes: crashes,
+        };
+        let cluster: ReplCluster<TicketLock> = ReplCluster::new(2, 64, 8, spec);
+        let mut model: Model = BTreeMap::new();
+        let mut entries = [ShardEntries::default(), ShardEntries::default()];
+        with_cluster(&cluster, &faults, 1, |mut clients| {
+            let client = clients.pop().unwrap();
+            drive_model_ops(&client, &ops, &mut model, &mut entries);
+            client.close();
+        });
+        assert_matches_model(&cluster, &model);
+        // Exactly the scheduled crashes whose entry index landed on a
+        // logged write fired — no failover lost, none invented. Entry
+        // indices are global across successive leaders but *per
+        // shard*, and an index burned by a failed CAS (or never
+        // reached) schedules nothing.
+        let mut expected = 0u64;
+        for (shard, shard_entries) in entries.iter().enumerate() {
+            let plan = faults.primary_plan_for(shard);
+            expected += plan
+                .events()
+                .iter()
+                .filter(|ev| shard_entries.logged.contains(&ev.at_entry))
+                .count() as u64;
+            prop_assert!(
+                cluster.map().view(shard).leader.is_some(),
+                "crashes never outnumber backups, so every shard keeps a leader"
+            );
         }
-        primary_contents.sort();
-        let mut model_contents: Vec<(Vec<u8>, u64, Vec<u8>)> = model
-            .iter()
-            .map(|(k, (v, ver))| (key_bytes(*k).to_vec(), *ver, v.clone()))
-            .collect();
-        model_contents.sort();
-        prop_assert_eq!(primary_contents, model_contents);
-        // …and every replica equals the primary, crashes and all.
-        prop_assert!(cluster.converged());
+        prop_assert_eq!(cluster.map().total_failovers(), expected);
     }
 }
 
@@ -190,6 +333,7 @@ fn async_fault_runs_replay_and_converge_end_to_end() {
             faults_per_replica: 3,
             max_window: 10,
             spacing: 16,
+            primary_crashes: 0,
         };
         run_replicated_closed_loop(&mut cluster, &spec, 1, 800, &faults)
     };
@@ -203,4 +347,42 @@ fn async_fault_runs_replay_and_converge_end_to_end() {
         (b.crashes, b.stalls, b.from_log)
     );
     assert!(a.crashes + a.stalls > 0);
+}
+
+#[test]
+fn seeded_failover_runs_replay_end_to_end() {
+    // The deterministic failover demo: a fixed seed kills two
+    // successive leaders per shard mid-workload; the run converges
+    // with zero acknowledged-write loss, and a second run replays the
+    // same history — same issued ops, same entries, same failovers
+    // (sync mode keeps even the succession order deterministic: equal
+    // high-water marks break ties to the lowest live id).
+    let run = || {
+        let mut cluster: ReplCluster<TicketLock> = ReplCluster::new(2, 128, 16, ReplSpec::sync(2));
+        let spec = WorkloadSpec {
+            keys: 128,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            mix: Mix::YCSB_A,
+            vsize: ValueSize::Fixed(24),
+            batch: 1,
+            seed: 0xF01A,
+        };
+        let faults = FaultSpec {
+            seed: 0xF01A,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+            primary_crashes: 2,
+        };
+        run_replicated_closed_loop(&mut cluster, &spec, 1, 500, &faults)
+    };
+    let a = run();
+    assert_eq!(a.failovers, 4, "both scheduled crashes fire on both shards");
+    assert_eq!(a.unavailability.len(), 4);
+    assert!(a.converged, "survivors converge with no acked write lost");
+    let b = run();
+    assert_eq!(a.issued, b.issued);
+    assert_eq!(a.entries, b.entries);
+    assert_eq!(a.failovers, b.failovers);
+    assert!(b.converged);
 }
