@@ -3,7 +3,10 @@
 //! Sweeps `ssync-repl` primary/backup groups over {replica count ×
 //! mode × skew × mix × batch} plus a deterministic fault-injection
 //! case, prints a per-case table and the replica-scaling headline, and
-//! writes `BENCH_repl.json` unless `--no-write` is given.
+//! writes `BENCH_repl.json` unless `--no-write` is given. After the
+//! sweep it runs the `ssync-cluster` reshard case — a live, faulted
+//! 2 → 4 split under traffic that asserts zero acknowledged-write
+//! loss — and reports it as a top-level `"reshard"` JSON object.
 //!
 //! ```text
 //! repl-perf [--smoke] [--out PATH] [--no-write]
@@ -15,7 +18,9 @@
 //! counts and fault window counts are deterministic per seed in both
 //! modes; every case asserts its backups converged.
 
-use ssync_ccbench::repl_perf::{render_json, render_table, run_sweep, ReplSweepConfig};
+use ssync_ccbench::repl_perf::{
+    render_json, render_table, run_reshard_case, run_sweep, ReplSweepConfig,
+};
 use ssync_srv::workload::KeyDist;
 
 fn main() {
@@ -68,12 +73,29 @@ fn main() {
         );
     }
 
+    // The elastic-resharding case: a live, faulted 2 -> 4 split under
+    // closed-loop traffic. Panics on any acknowledged-write loss, so
+    // the smoke run doubles as the zero-loss gate in CI.
+    let reshard = run_reshard_case(config);
+    eprintln!(
+        "reshard 2->4 (live, faulted): {} ops, dip {:.1}% ({:.0} -> {:.0} ops/s during), \
+         wall {:.1} ms, {} redirects, {} deferred, lost_acked_writes {}",
+        reshard.issued,
+        reshard.dip_pct,
+        reshard.rate_before,
+        reshard.rate_during,
+        reshard.migration_wall.as_secs_f64() * 1000.0,
+        reshard.client_redirects,
+        reshard.migration_ops_deferred,
+        reshard.lost_acked_writes
+    );
+
     // Smoke runs are startup-dominated; only a full run refreshes the
     // committed artifact by default (same discipline as kv-perf).
     let write_default = !smoke;
     if !no_write && (write_default || out_path.is_some()) {
         let path = out_path.unwrap_or_else(|| "BENCH_repl.json".to_string());
-        let json = render_json(&results, config);
+        let json = render_json(&results, config, &reshard);
         std::fs::write(&path, json).expect("write BENCH_repl.json");
         eprintln!("wrote {path}");
     }

@@ -18,7 +18,16 @@
 //! Issued op counts (and the fault schedule's window counts) are
 //! deterministic per seed; wall times, fallback counts, and log
 //! replays are load-timing-dependent.
+//!
+//! Alongside the sweep rides the `ssync-cluster` reshard case: a live,
+//! faulted 2 → 4 split under closed-loop traffic, reported as one
+//! top-level `"reshard"` object in `BENCH_repl.json` (its own line, so
+//! the sweep's case lines keep their exact byte layout). Its issued
+//! count, attempt accounting, and zero-acknowledged-write-loss are
+//! deterministic per seed; its migration entry counts and throughput
+//! dip are timing-dependent under live traffic.
 
+use ssync_cluster::{run_reshard, ReshardReport, ReshardSpec, ReshardWorkloadSpec};
 use ssync_core::cores;
 use ssync_locks::TicketLock;
 use ssync_repl::fault::FaultSpec;
@@ -64,6 +73,55 @@ pub const FAILOVER_FAULTS: FaultSpec = FaultSpec {
     spacing: 0,
     primary_crashes: 2,
 };
+
+/// The seed the reshard case's fault schedules derive from: one
+/// migration-stream crash per source and one coordinator crash, so
+/// every measured migration survives both recovery paths.
+pub const RESHARD_FAULTS: FaultSpec = FaultSpec {
+    seed: 0x4E_5A2D,
+    faults_per_replica: 0,
+    max_window: 0,
+    spacing: 48,
+    primary_crashes: 0,
+};
+
+/// The live 2 → 4 resharding case: closed-loop traffic over a 2-shard
+/// cluster map, with a faulted split to 4 shards injected a quarter of
+/// the way through. Measures the throughput dip and redirect costs;
+/// asserts zero acknowledged-write loss and full convergence.
+pub fn reshard_spec(config: ReplSweepConfig) -> ReshardWorkloadSpec {
+    ReshardWorkloadSpec {
+        shards_before: 2,
+        workers: config.workers,
+        keys_per_worker: (config.keys / config.workers as u64).max(32),
+        ops_per_worker: config.ops_per_worker,
+        value_len: 32,
+        start_after_ops: config.workers as u64 * config.ops_per_worker / 4,
+        reshard: ReshardSpec {
+            faults: RESHARD_FAULTS,
+            source_crashes: 1,
+            coordinator_crashes: 1,
+            ..ReshardSpec::clean(4)
+        },
+        seed: SEED,
+    }
+}
+
+/// Runs the reshard case (TICKET locks, like the sweep).
+///
+/// # Panics
+///
+/// Panics on acknowledged-write loss or a non-converged final
+/// placement — either is a correctness regression, not a measurement.
+pub fn run_reshard_case(config: ReplSweepConfig) -> ReshardReport {
+    let report = run_reshard::<TicketLock>(&reshard_spec(config));
+    assert_eq!(
+        report.lost_acked_writes, 0,
+        "acknowledged writes lost across the live split"
+    );
+    assert!(report.converged, "reshard case failed to converge");
+    report
+}
 
 /// The sweep's configuration, fixed per invocation.
 #[derive(Debug, Clone, Copy)]
@@ -322,7 +380,14 @@ pub fn render_table(results: &[ReplCaseResult]) -> String {
 
 /// Renders the sweep as the `BENCH_repl.json` document (hand-rolled
 /// JSON, like the other BENCH artifacts — the workspace is offline).
-pub fn render_json(results: &[ReplCaseResult], config: ReplSweepConfig) -> String {
+/// The reshard case rides as one top-level `"reshard"` object on its
+/// own line after the cases array, so every case line keeps the exact
+/// byte layout it had before the case existed.
+pub fn render_json(
+    results: &[ReplCaseResult],
+    config: ReplSweepConfig,
+    reshard: &ReshardReport,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"ssync-repl-perf-v1\",\n");
@@ -378,7 +443,34 @@ pub fn render_json(results: &[ReplCaseResult], config: ReplSweepConfig) -> Strin
             r.ops_per_sec
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Deterministic per seed: issued, lost_acked_writes, converged,
+    // final_epoch, attempts, coordinator_restarts, the shard counts.
+    // Timing-dependent under live traffic: entries_migrated,
+    // copy_restarts, redirect/defer counts, walls, rates, dip.
+    out.push_str(&format!(
+        "  \"reshard\": {{\"shards_before\": 2, \"shards_after\": 4, \"workers\": {}, \"issued\": {}, \"lost_acked_writes\": {}, \"converged\": {}, \"final_epoch\": {}, \"attempts\": {}, \"coordinator_restarts\": {}, \"copy_restarts\": {}, \"entries_migrated\": {}, \"source_keys_retired\": {}, \"client_redirects\": {}, \"wrong_shard_redirects\": {}, \"migration_ops_deferred\": {}, \"purged\": {}, \"migration_wall_ms\": {:.2}, \"rate_before\": {:.0}, \"rate_during\": {:.0}, \"rate_after\": {:.0}, \"dip_pct\": {:.1}}}\n",
+        config.workers,
+        reshard.issued,
+        reshard.lost_acked_writes,
+        reshard.converged,
+        reshard.migration.final_epoch,
+        reshard.migration.attempts,
+        reshard.migration.coordinator_restarts,
+        reshard.migration.copy_restarts,
+        reshard.migration.entries_migrated,
+        reshard.migration.source_keys_retired,
+        reshard.client_redirects,
+        reshard.wrong_shard_redirects,
+        reshard.migration_ops_deferred,
+        reshard.purged,
+        reshard.migration_wall.as_secs_f64() * 1000.0,
+        reshard.rate_before,
+        reshard.rate_during,
+        reshard.rate_after,
+        reshard.dip_pct,
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -431,9 +523,44 @@ mod tests {
         assert!(r.report.converged);
         let table = render_table(std::slice::from_ref(&r));
         assert!(table.contains("async"));
-        let json = render_json(std::slice::from_ref(&r), config);
+        let reshard = run_reshard_case(config);
+        let json = render_json(std::slice::from_ref(&r), config, &reshard);
         assert!(json.contains("\"ssync-repl-perf-v1\""));
         assert!(json.contains("\"replicas\": 2"));
+        // One top-level reshard line between the cases array and the
+        // closing brace, carrying the zero-loss assertion's receipts.
+        let reshard_lines: Vec<&str> = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with("\"reshard\": {"))
+            .collect();
+        assert_eq!(reshard_lines.len(), 1);
+        assert!(reshard_lines[0].contains("\"lost_acked_writes\": 0"));
+        assert!(reshard_lines[0].contains("\"converged\": true"));
+        assert!(reshard_lines[0].contains("\"final_epoch\": 2"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn the_reshard_case_is_deterministic_where_it_must_be() {
+        let config = tiny_config();
+        let a = run_reshard_case(config);
+        let b = run_reshard_case(config);
+        // Plan-driven fields replay exactly even under live traffic;
+        // entry counts and walls are timing-dependent and exempt.
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.issued, config.workers as u64 * config.ops_per_worker);
+        assert_eq!(a.lost_acked_writes, 0);
+        assert_eq!(b.lost_acked_writes, 0);
+        assert!(a.converged && b.converged);
+        assert_eq!(a.migration.final_epoch, 2);
+        assert_eq!(b.migration.final_epoch, 2);
+        assert_eq!(a.migration.attempts, 2);
+        assert_eq!(a.migration.attempts, b.migration.attempts);
+        assert_eq!(a.migration.coordinator_restarts, 1);
+        assert_eq!(
+            a.migration.coordinator_restarts,
+            b.migration.coordinator_restarts
+        );
     }
 
     #[test]
@@ -478,7 +605,11 @@ mod tests {
         assert_eq!(a.issued, b.issued);
         assert_eq!(a.report.entries, b.report.entries);
         assert_eq!(a.report.failovers, b.report.failovers);
-        let json = render_json(std::slice::from_ref(&a), config);
+        let json = render_json(
+            std::slice::from_ref(&a),
+            config,
+            &run_reshard_case(tiny_config()),
+        );
         assert!(json.contains("\"failovers\": 4"));
         assert!(json.contains("\"time_to_promote_ms_mean\""));
         assert!(json.contains("\"lost_to_retry\""));

@@ -31,7 +31,7 @@ fn main() -> ExitCode {
                      \n\
                      Checks the workspace ordering discipline (see DESIGN.md):\n\
                      relaxed-ptr, atomic-padding, safety-comment, decode-panic,\n\
-                     term-fence.\n\
+                     term-fence, epoch-fence.\n\
                      --fix-safety-stubs lists missing-annotation sites without failing."
                 );
                 return ExitCode::SUCCESS;

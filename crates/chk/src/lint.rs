@@ -2,15 +2,16 @@
 //!
 //! A deliberately small line-level source pass (no `syn`, no regex crate
 //! — we are offline) that walks every `*/src/*.rs` file in the workspace
-//! and checks four rules distilled from DESIGN.md's ordering arguments:
+//! and checks six rules distilled from DESIGN.md's ordering arguments:
 //!
 //! | rule | scope | requirement |
 //! |------|-------|-------------|
 //! | `relaxed-ptr` | all crates | `Ordering::Relaxed` load/store on a pointer-typed atomic must carry a `// chk:` justification within 3 lines |
-//! | `atomic-padding` | kv, mp, repl | `Atomic*` struct fields must be `CachePadded` or `// chk:`-annotated |
-//! | `safety-comment` | kv, mp, repl | `unsafe` blocks/impls/fns must have a `// SAFETY:` comment within 5 lines above |
+//! | `atomic-padding` | kv, mp, repl, cluster | `Atomic*` struct fields must be `CachePadded` or `// chk:`-annotated |
+//! | `safety-comment` | kv, mp, repl, cluster | `unsafe` blocks/impls/fns must have a `// SAFETY:` comment within 5 lines above |
 //! | `decode-panic` | `wire*.rs` | functions named `*decode*` must not `panic!`/`unwrap()`/`expect(`/`unreachable!`/`todo!` |
 //! | `term-fence` | repl | identifiers with a `term` name segment only meet raw-u64 comparisons — no `+`/`-`/`*`/`/`/`%` or `wrapping_*`/`saturating_*`/`overflowing_*`/`checked_*` without a `// chk:` justification |
+//! | `epoch-fence` | cluster | the same discipline for `epoch` name segments — cluster-map epochs are fenced by raw-u64 comparison, and the only legal mutation is the cutover's justified `epoch + 1` |
 //!
 //! `#[cfg(test)]` regions are exempt from every rule (models and tests
 //! construct bare atomics and panic on purpose). `vendor/` and `target/`
@@ -98,18 +99,21 @@ struct Scope {
     padding_and_safety: bool,
     decode_panic: bool,
     term_fence: bool,
+    epoch_fence: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
     let hot_crate = path.starts_with("crates/kv/")
         || path.starts_with("crates/mp/")
-        || path.starts_with("crates/repl/");
+        || path.starts_with("crates/repl/")
+        || path.starts_with("crates/cluster/");
     let file_name = path.rsplit('/').next().unwrap_or(path);
     Scope {
         relaxed_ptr: true,
         padding_and_safety: hot_crate,
         decode_panic: file_name.contains("wire"),
         term_fence: path.starts_with("crates/repl/"),
+        epoch_fence: path.starts_with("crates/cluster/"),
     }
 }
 
@@ -135,6 +139,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<LintViolation> {
     }
     if scope.term_fence {
         rule_term_fence(path, &raw, &stripped, &in_test, &mut out);
+    }
+    if scope.epoch_fence {
+        rule_epoch_fence(path, &raw, &stripped, &in_test, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -596,6 +603,12 @@ fn is_term_ident(ident: &str) -> bool {
     ident.split('_').any(|seg| seg == "term")
 }
 
+/// True if `ident` carries `epoch` as a whole snake-case segment
+/// (`epoch`, `map_epoch`, `epoch_word` — never a substring match).
+fn is_epoch_ident(ident: &str) -> bool {
+    ident.split('_').any(|seg| seg == "epoch")
+}
+
 /// Terms are fenced by *raw-u64 comparison* (`>` / `>=` on the term or
 /// the packed map word) — DESIGN.md's "Failover & term fencing"
 /// argument rests on terms never wrapping, so any arithmetic on a
@@ -610,6 +623,58 @@ fn rule_term_fence(
     stripped: &[String],
     in_test: &[bool],
     out: &mut Vec<LintViolation>,
+) {
+    rule_fenced_word(
+        path,
+        raw,
+        stripped,
+        in_test,
+        out,
+        is_term_ident,
+        "term-fence",
+        "term",
+        "the promotion bump",
+    );
+}
+
+/// The cluster-map mirror of [`rule_term_fence`]: epochs are fenced by
+/// raw-u64 comparison too (DESIGN.md's "Cluster map & live migration"
+/// argument — 48-bit epochs never wrap), and the only legal mutation
+/// is the cutover CAS's justified `epoch + 1`.
+fn rule_epoch_fence(
+    path: &str,
+    raw: &[&str],
+    stripped: &[String],
+    in_test: &[bool],
+    out: &mut Vec<LintViolation>,
+) {
+    rule_fenced_word(
+        path,
+        raw,
+        stripped,
+        in_test,
+        out,
+        is_epoch_ident,
+        "epoch-fence",
+        "epoch",
+        "the cutover bump",
+    );
+}
+
+/// Shared body of the fencing rules: flags arithmetic on identifiers
+/// the `is_fenced` predicate selects, unless a `// chk:` justification
+/// sits within 3 lines.
+#[allow(clippy::too_many_arguments)]
+fn rule_fenced_word(
+    path: &str,
+    raw: &[&str],
+    stripped: &[String],
+    in_test: &[bool],
+    out: &mut Vec<LintViolation>,
+    is_fenced: fn(&str) -> bool,
+    rule: &'static str,
+    noun: &str,
+    bump: &str,
 ) {
     const METHODS: [&str; 4] = [".wrapping_", ".saturating_", ".overflowing_", ".checked_"];
     for (i, line) in stripped.iter().enumerate() {
@@ -628,7 +693,7 @@ fn rule_term_fence(
             while pos < bytes.len() && is_ident_char(bytes[pos] as char) {
                 pos += 1;
             }
-            if !is_term_ident(&line[start..pos]) {
+            if !is_fenced(&line[start..pos]) {
                 continue;
             }
             let after = line[pos..].trim_start();
@@ -650,9 +715,9 @@ fn rule_term_fence(
                 out.push(LintViolation {
                     file: path.to_string(),
                     line: i + 1,
-                    rule: "term-fence",
+                    rule,
                     msg: format!(
-                        "arithmetic on term-carrying identifier `{}` — terms only meet raw-u64 comparisons; justify with `// chk:` if this is the promotion bump",
+                        "arithmetic on {noun}-carrying identifier `{}` — {noun}s only meet raw-u64 comparisons; justify with `// chk:` if this is {bump}",
                         &line[start..pos]
                     ),
                     annotation_fix: true,
@@ -813,6 +878,39 @@ mod tests {
                    fn g(term: &u64) -> u64 { *term }\n";
         let v = lint_source("crates/repl/src/x.rs", src);
         assert!(!v.iter().any(|v| v.rule == "term-fence"), "{v:?}");
+    }
+
+    #[test]
+    fn epoch_arithmetic_flagged_in_cluster_only() {
+        let src = "fn f(epoch: u64, map_epoch: u64) -> u64 {\n    epoch + map_epoch\n}\n";
+        let hot = lint_source("crates/cluster/src/x.rs", src);
+        assert!(
+            hot.iter().any(|v| v.rule == "epoch-fence" && v.line == 2),
+            "{hot:?}"
+        );
+        let cold = lint_source("crates/repl/src/x.rs", src);
+        assert!(!cold.iter().any(|v| v.rule == "epoch-fence"), "{cold:?}");
+    }
+
+    #[test]
+    fn epoch_comparisons_packing_and_justified_bump_pass() {
+        let src = "fn f(epoch: u64, other: u64) -> bool {\n\
+                       let _ = epoch << 16;\n\
+                       epoch >= other\n\
+                   }\n\
+                   fn g(epoch: u64) -> u64 {\n\
+                       // chk: the one legal epoch mutation (cutover bump)\n\
+                       epoch + 1\n\
+                   }\n";
+        let v = lint_source("crates/cluster/src/x.rs", src);
+        assert!(!v.iter().any(|v| v.rule == "epoch-fence"), "{v:?}");
+    }
+
+    #[test]
+    fn cluster_atomic_fields_carry_the_padding_rule() {
+        let src = "struct M {\n    word: AtomicU64,\n}\n";
+        let v = lint_source("crates/cluster/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == "atomic-padding"), "{v:?}");
     }
 
     #[test]

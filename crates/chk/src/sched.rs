@@ -78,6 +78,7 @@ pub(crate) enum RmwKind {
     Sub(Val),
     Max(Val),
     Or(Val),
+    And(Val),
     Swap(Val),
     Cas { expected: Val, new: Val },
 }
@@ -89,6 +90,7 @@ impl RmwKind {
             RmwKind::Sub(v) => old.wrapping_sub(v),
             RmwKind::Max(v) => old.max(v),
             RmwKind::Or(v) => old | v,
+            RmwKind::And(v) => old & v,
             RmwKind::Swap(v) => v,
             RmwKind::Cas { expected, new } => {
                 if old == expected {

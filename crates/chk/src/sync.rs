@@ -160,6 +160,19 @@ pub mod atomic {
                     }
                 }
 
+                pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                    match route(
+                        self.addr(),
+                        self.seed(),
+                        ReqKind::Rmw {
+                            rmw: RmwKind::And(val as u64),
+                        },
+                    ) {
+                        Some(old) => old as $ty,
+                        None => self.inner.fetch_and(val, order),
+                    }
+                }
+
                 pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
                     match route(
                         self.addr(),

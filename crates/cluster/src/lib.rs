@@ -1,0 +1,67 @@
+//! # ssync-cluster
+//!
+//! Elastic resharding for the `ssync` stack: grow (or shrink) a
+//! running shard fleet and move the data live, without dropping a
+//! single acknowledged write.
+//!
+//! The static service routes `key → shard` by hashing over a fixed
+//! shard count, so changing the fleet size silently reroutes every
+//! key. This crate replaces that with two levels: keys hash onto
+//! [`ssync_srv::ROUTE_SLOTS`] fixed *slots*, and an epoch-versioned
+//! [`map::ShardMap`] — one fenced atomic word over double-buffered
+//! ownership tables, the elastic sibling of `ssync-repl`'s term map —
+//! assigns slots to shards. Resharding is then a *slot ownership
+//! change*, published to every node and client in one compare-and-swap
+//! that bumps the map epoch.
+//!
+//! Moving the data under live traffic is the
+//! [`migrate::run_reshard_coordinator`] protocol, per moved slot
+//! group:
+//!
+//! 1. **Bulk copy** — cursor-paged [`ssync_kv::KvStore::dump_range`]
+//!    chunks stream to the target over the same one-cache-line
+//!    `ssync-mp` rings as client traffic, applied through the store's
+//!    replication version gate (idempotent, so faulted attempts
+//!    replay safely).
+//! 2. **Delta replay** — writes that landed during the copy stream
+//!    from the source's `ssync-repl` op-log, repeatedly, until the
+//!    remaining delta is small.
+//! 3. **Fenced cutover** — the moving slots freeze (writes defer,
+//!    reads keep flowing), sources acknowledge quiescence through a
+//!    round-tagged handshake, the final delta drains, and one CAS
+//!    flips the map. Deferred writes then bounce to the new owner via
+//!    [`Response::WrongShard`](ssync_srv::wire::Response::WrongShard)
+//!    redirects that carry the new epoch; stale clients refetch and
+//!    retry. Write unavailability is the final drain, not the copy.
+//!
+//! Crashes are deterministic, seeded
+//! [`ssync_repl::FaultSpec`] plans: the source's migration stream can
+//! die mid-copy and the coordinator can die before the cutover; both
+//! recover by replaying the idempotent copy, and the proptest harness
+//! (`tests/migration_model.rs`) checks convergence against a
+//! `BTreeMap` model on every run. The cutover's "no write lands on
+//! the old owner after its final delta" argument is model-checked in
+//! `tests/chk_models.rs`.
+//!
+//! * [`map`] — the epoch-versioned slot→shard map and the freeze /
+//!   quiesce / migration-progress words;
+//! * [`service`] — cluster node servers and the map-following,
+//!   redirect-chasing [`service::ClusterClient`];
+//! * [`migrate`] — the fault-injected live-migration coordinator;
+//! * [`workload`] — the closed-loop reshard-under-traffic driver
+//!   behind `ccbench`'s `reshard` experiment.
+
+pub mod map;
+pub mod migrate;
+pub mod service;
+pub mod workload;
+
+pub(crate) mod sync;
+
+pub use map::{MapSnapshot, MapView, ShardMap};
+pub use migrate::{run_reshard_coordinator, MigrationReport, ReshardSpec};
+pub use service::{
+    cluster_mesh, serve_cluster_node, ClientConn, ClusterClient, ClusterMesh, ClusterNodeEndpoint,
+    NodeReport,
+};
+pub use workload::{run_reshard, ReshardReport, ReshardWorkloadSpec};

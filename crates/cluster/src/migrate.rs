@@ -1,0 +1,504 @@
+//! The live-migration coordinator: copy, delta, fenced cutover.
+//!
+//! [`run_reshard_coordinator`] reshapes a running fleet from the
+//! current map to `slot % shards_after` ownership while the nodes keep
+//! serving. The protocol, per attempt:
+//!
+//! 1. **Drain & clear** — wait until every target has processed all
+//!    migration-stream entries already sent to it (progress is the
+//!    map's cumulative per-shard counter), then delete any moving-slot
+//!    keys a previous faulted attempt left at the targets. Clearing
+//!    makes a restart equivalent to a first run even when a crashed
+//!    stream lost a delete tombstone the recopied dump cannot carry.
+//! 2. **Bulk copy** — page each source with
+//!    [`KvStore::dump_range`], stream moving-slot triples as
+//!    `Replicate` frames. The target applies them through the store's
+//!    replication version gate, so recopied duplicates drop as stale.
+//!    A seeded [`FaultSpec::migration_plan_for`] schedule crashes the
+//!    stream at fixed cumulative entry counts; each crash restarts
+//!    that source's copy from the first key.
+//! 3. **Delta replay** — writes that landed during the copy are in the
+//!    source's op-log; replay moving entries after a cumulative
+//!    per-source version cursor. The cursor survives faulted attempts
+//!    (the version gate absorbs re-sends, the recopy covers gaps), so
+//!    each round only ships the new tail.
+//! 4. **Fenced cutover** — freeze the moving slots, start a handshake
+//!    round, and wait for each source node's *round-tagged* quiesce
+//!    acknowledgement; acks from an earlier aborted freeze carry a
+//!    stale round and are ignored, so a node that parked a write under
+//!    the old mask can never satisfy the new round's barrier. Drain
+//!    the final delta (now complete: sources defer frozen-slot
+//!    writes), wait for the targets to apply it, then stage the new
+//!    table and publish it with one epoch-bumping CAS. Unfreeze, and
+//!    the parked writes bounce to their new owners.
+//! 5. **Cleanup** — delete the moved keys from the sources; their
+//!    retired nodes are reclaimed at the caller's next
+//!    [`KvStore::purge_retired`] quiesce point.
+//!
+//! The coordinator itself can die: a seeded
+//! [`FaultSpec::coordinator_plan_for`] schedule aborts the first
+//! `coordinator_crashes` attempts at a plan-chosen stage (after copy,
+//! after delta, or after the quiesce barrier — unfreezing on the way
+//! out, as a supervisor restarting a dead coordinator must). Every
+//! abort path leaves the map un-cut and the data recoverable by the
+//! next attempt; `tests/migration_model.rs` proves convergence against
+//! a model under both fault families.
+//!
+//! [`KvStore::dump_range`]: ssync_kv::KvStore::dump_range
+//! [`KvStore::purge_retired`]: ssync_kv::KvStore::purge_retired
+//! [`FaultSpec::migration_plan_for`]: ssync_repl::FaultSpec::migration_plan_for
+//! [`FaultSpec::coordinator_plan_for`]: ssync_repl::FaultSpec::coordinator_plan_for
+
+use ssync_kv::KvStore;
+use ssync_locks::RawLock;
+use ssync_mp::{Message, MsgSender, RingSender};
+use ssync_repl::{FaultSpec, LogOp, OpLog};
+use ssync_srv::wire::Request;
+use ssync_srv::{slot_of, ROUTE_SLOTS};
+
+use crate::map::ShardMap;
+
+/// What a resharding should do and which faults to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardSpec {
+    /// The shard count after the cutover; every slot moves to
+    /// `slot % shards_after`. Growing and shrinking both work.
+    pub shards_after: usize,
+    /// Keys per [`ssync_kv::KvStore::dump_range`] page during the
+    /// bulk copy.
+    pub chunk: usize,
+    /// Pre-freeze delta-replay rounds — each shrinks the tail the
+    /// frozen final drain has to ship.
+    pub delta_rounds: usize,
+    /// The seed the fault schedules derive from.
+    pub faults: FaultSpec,
+    /// Per-source migration-stream crashes
+    /// ([`ssync_repl::FaultSpec::migration_plan_for`]).
+    pub source_crashes: usize,
+    /// Coordinator crashes before the cutover
+    /// ([`ssync_repl::FaultSpec::coordinator_plan_for`]).
+    pub coordinator_crashes: usize,
+}
+
+impl ReshardSpec {
+    /// A fault-free resharding to `shards_after` shards.
+    pub fn clean(shards_after: usize) -> ReshardSpec {
+        ReshardSpec {
+            shards_after,
+            chunk: 64,
+            delta_rounds: 2,
+            faults: FaultSpec::none(),
+            source_crashes: 0,
+            coordinator_crashes: 0,
+        }
+    }
+}
+
+/// What a completed resharding did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// `Replicate`/`ReplicateDelete` entries streamed to targets,
+    /// including re-sends after faults.
+    pub entries_migrated: u64,
+    /// Source-stream crashes survived (each restarted one copy).
+    pub copy_restarts: u64,
+    /// Coordinator crashes survived (each restarted the attempt).
+    pub coordinator_restarts: u64,
+    /// Migration attempts, including the successful last one.
+    pub attempts: u64,
+    /// Moved keys deleted from their sources after the cutover.
+    pub source_keys_retired: u64,
+    /// The map epoch the cutover published.
+    pub final_epoch: u64,
+}
+
+/// Runs one resharding to completion against live nodes, injecting
+/// the spec's seeded faults. Blocks until the cutover has published
+/// and the sources are cleaned; returns what happened.
+///
+/// `stores`, `logs`, and `mig_tx` are indexed by shard id and must
+/// cover both the current fleet and `shards_after`.
+///
+/// # Panics
+///
+/// Panics if `shards_after` is zero, exceeds the provided fleet, or
+/// another coordinator races the cutover (the protocol is
+/// single-coordinator; the map CAS enforces it).
+pub fn run_reshard_coordinator<R: RawLock + Default>(
+    map: &ShardMap,
+    stores: &[&KvStore<R>],
+    logs: &[&OpLog],
+    mig_tx: &[RingSender],
+    spec: &ReshardSpec,
+) -> MigrationReport {
+    let shards_after = spec.shards_after;
+    assert!(shards_after > 0 && shards_after <= stores.len());
+    assert!(stores.len() == logs.len() && stores.len() == mig_tx.len());
+    assert!(map.num_shards() <= stores.len());
+    let chunk = spec.chunk.max(1);
+    let snap = map.snapshot();
+    let new_owner = |slot: usize| slot % shards_after;
+
+    // Which slots move, and from where.
+    let mut moving_all = 0u64;
+    let mut moving_from = vec![0u64; stores.len()];
+    for (slot, &owner) in snap.owners.iter().enumerate() {
+        if owner != new_owner(slot) {
+            moving_all |= 1 << slot;
+            moving_from[owner] |= 1 << slot;
+        }
+    }
+    let sources: Vec<usize> = (0..stores.len()).filter(|&s| moving_from[s] != 0).collect();
+
+    let mut report = MigrationReport::default();
+    if moving_all == 0 {
+        report.final_epoch = map.epoch();
+        return report;
+    }
+
+    // Cumulative stream accounting — none of these reset on a fault.
+    // `sent[t]` pairs with the map's migrated-of counter to prove a
+    // target's stream drained; `cursor[s]` is the op-log version
+    // already shipped from source `s` (the version gate absorbs any
+    // overlap a restart re-sends).
+    let mut sent = vec![0u64; stores.len()];
+    let mut cursor = vec![0u64; stores.len()];
+    let mut streamed = vec![0u64; stores.len()];
+    let mut fault_idx = vec![0usize; stores.len()];
+    let plans: Vec<_> = (0..stores.len())
+        .map(|s| spec.faults.migration_plan_for(s, spec.source_crashes))
+        .collect();
+    let coord_plan = spec.faults.coordinator_plan_for(spec.coordinator_crashes);
+    let mut frames: Vec<Message> = Vec::new();
+
+    let drain_targets = |sent: &[u64]| {
+        for (target, &n) in sent.iter().enumerate() {
+            while map.migrated_of(target) < n {
+                std::thread::yield_now();
+            }
+        }
+    };
+    // Replays `source`'s op-log tail after the cursor, shipping moving
+    // entries to their slots' new owners. Returns entries shipped.
+    let delta = |source: usize,
+                 cursor: &mut [u64],
+                 sent: &mut [u64],
+                 frames: &mut Vec<Message>,
+                 report: &mut MigrationReport| {
+        let mut shipped = 0u64;
+        for entry in logs[source].entries_after(cursor[source]) {
+            cursor[source] = entry.version;
+            let slot = slot_of(entry.key);
+            if moving_from[source] & (1 << slot) == 0 {
+                continue;
+            }
+            let request = match entry.op {
+                LogOp::Put(value) => Request::Replicate {
+                    key: entry.key,
+                    version: entry.version,
+                    value: value.to_vec(),
+                },
+                LogOp::Delete => Request::ReplicateDelete {
+                    key: entry.key,
+                    version: entry.version,
+                },
+            };
+            let target = new_owner(slot);
+            request.encode_into(frames);
+            mig_tx[target]
+                .send_all_connected(frames)
+                .expect("target node outlives the migration");
+            sent[target] += 1;
+            shipped += 1;
+        }
+        report.entries_migrated += shipped;
+        shipped
+    };
+
+    loop {
+        report.attempts += 1;
+        let crash_stage = coord_plan
+            .events()
+            .get(report.coordinator_restarts as usize)
+            .map(|event| event.at_entry % 3);
+
+        // 1. Drain the streams, then clear what earlier attempts left.
+        drain_targets(&sent);
+        for (target, store) in stores.iter().enumerate() {
+            let owed: u64 = (0..ROUTE_SLOTS)
+                .filter(|&slot| new_owner(slot) == target)
+                .fold(0, |mask, slot| mask | 1 << slot);
+            let clear = owed & moving_all;
+            if clear == 0 {
+                continue;
+            }
+            let mut after: Option<Vec<u8>> = None;
+            loop {
+                let page = store.dump_range(after.as_deref(), chunk);
+                let Some(last) = page.last() else { break };
+                after = Some(last.0.as_ref().to_vec());
+                for (key, _, _) in &page {
+                    let k = u64::from_be_bytes(key.as_ref().try_into().expect("8-byte keys"));
+                    if clear & (1 << slot_of(k)) != 0 {
+                        store.delete_versioned(key.as_ref());
+                    }
+                }
+            }
+        }
+
+        // 2. Bulk copy, restarting a source's copy on each seeded
+        // stream crash.
+        for &source in &sources {
+            'copy: loop {
+                let mut after: Option<Vec<u8>> = None;
+                loop {
+                    let page = stores[source].dump_range(after.as_deref(), chunk);
+                    let Some(last) = page.last() else { break };
+                    after = Some(last.0.as_ref().to_vec());
+                    for (key, version, value) in &page {
+                        let k = u64::from_be_bytes(key.as_ref().try_into().expect("8-byte keys"));
+                        let slot = slot_of(k);
+                        if moving_from[source] & (1 << slot) == 0 {
+                            continue;
+                        }
+                        let request = Request::Replicate {
+                            key: k,
+                            version: *version,
+                            value: value.to_vec(),
+                        };
+                        request.encode_into(&mut frames);
+                        mig_tx[new_owner(slot)]
+                            .send_all_connected(&frames)
+                            .expect("target node outlives the migration");
+                        sent[new_owner(slot)] += 1;
+                        report.entries_migrated += 1;
+                        streamed[source] += 1;
+                        if plans[source]
+                            .events()
+                            .get(fault_idx[source])
+                            .is_some_and(|event| streamed[source] == event.at_entry)
+                        {
+                            fault_idx[source] += 1;
+                            report.copy_restarts += 1;
+                            continue 'copy;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if crash_stage == Some(0) {
+            report.coordinator_restarts += 1;
+            continue;
+        }
+
+        // 3. Unfrozen delta rounds shrink the final drain.
+        for _ in 0..spec.delta_rounds {
+            for &source in &sources {
+                delta(source, &mut cursor, &mut sent, &mut frames, &mut report);
+            }
+        }
+        if crash_stage == Some(1) {
+            report.coordinator_restarts += 1;
+            continue;
+        }
+
+        // 4. Freeze, then open the handshake round — in that order:
+        // the round is the Release flag whose Acquire read at a node
+        // proves the freeze bits are visible there.
+        map.freeze(moving_all);
+        let round = map.begin_round();
+        for &source in &sources {
+            while map.quiesced_of(source).map_or(true, |(r, _)| r != round) {
+                std::thread::yield_now();
+            }
+        }
+        if crash_stage == Some(2) {
+            // A supervisor restarting a dead coordinator lifts the
+            // freeze first; parked writes resume at the old owners.
+            map.unfreeze(moving_all);
+            report.coordinator_restarts += 1;
+            continue;
+        }
+
+        // 5. Final delta: sources are quiesced, so this tail is
+        // complete. Prove the targets applied everything, then cut.
+        for &source in &sources {
+            delta(source, &mut cursor, &mut sent, &mut frames, &mut report);
+            let (_, hwm) = map.quiesced_of(source).expect("source acked this round");
+            debug_assert!(cursor[source] >= hwm, "final delta must reach the hwm");
+        }
+        drain_targets(&sent);
+        let mut owners = [0usize; ROUTE_SLOTS];
+        for (slot, owner) in owners.iter_mut().enumerate() {
+            *owner = new_owner(slot);
+        }
+        map.stage(&owners);
+        report.final_epoch = map
+            .try_cutover(map.view(), shards_after)
+            .expect("the resharding coordinator is the only epoch writer");
+        map.unfreeze(moving_all);
+        for &source in &sources {
+            map.clear_quiesced(source);
+        }
+        break;
+    }
+
+    // 6. Cleanup: moved keys leave their sources; the caller reclaims
+    // the retired nodes at its next purge_retired() quiesce point.
+    for &source in &sources {
+        let mut after: Option<Vec<u8>> = None;
+        loop {
+            let page = stores[source].dump_range(after.as_deref(), chunk);
+            let Some(last) = page.last() else { break };
+            after = Some(last.0.as_ref().to_vec());
+            for (key, _, _) in &page {
+                let k = u64::from_be_bytes(key.as_ref().try_into().expect("8-byte keys"));
+                if moving_from[source] & (1 << slot_of(k)) != 0
+                    && stores[source].delete_versioned(key.as_ref()).is_some()
+                {
+                    report.source_keys_retired += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ShardMap;
+    use crate::service::{cluster_mesh, serve_cluster_node, ClusterClient};
+    use ssync_locks::TicketLock;
+
+    fn fleet(n: usize) -> (Vec<KvStore<TicketLock>>, Vec<OpLog>) {
+        (
+            (0..n).map(|_| KvStore::new(64, 8)).collect(),
+            (0..n).map(|_| OpLog::new(1 << 14)).collect(),
+        )
+    }
+
+    /// Quiet 2→4 split: load through clients, reshard with no traffic
+    /// racing, check every key moved to its mod-4 owner with its
+    /// version intact.
+    #[test]
+    fn quiet_split_moves_every_key_with_versions() {
+        let map = ShardMap::new(2);
+        let (stores, logs) = fleet(4);
+        let (endpoints, mut conns, mig) = cluster_mesh(4, 1, 16, 64);
+        let store_refs: Vec<&KvStore<TicketLock>> = stores.iter().collect();
+        let log_refs: Vec<&OpLog> = logs.iter().collect();
+        let mut written: Vec<(u64, u64)> = Vec::new();
+        std::thread::scope(|s| {
+            for (shard, endpoint) in endpoints.into_iter().enumerate() {
+                let (store, log, map) = (&stores[shard], &logs[shard], &map);
+                s.spawn(move || serve_cluster_node(shard, store, log, map, endpoint));
+            }
+            let client = ClusterClient::new(&map, conns.pop().unwrap());
+            for key in 0..256u64 {
+                let version = client.set(key, key.to_le_bytes().to_vec()).unwrap();
+                written.push((key, version));
+            }
+            // Delete a few so tombstone moves are exercised too.
+            for key in (0..256u64).step_by(17) {
+                client.delete(key).unwrap();
+            }
+            let report =
+                run_reshard_coordinator(&map, &store_refs, &log_refs, &mig, &ReshardSpec::clean(4));
+            assert_eq!(report.attempts, 1);
+            assert_eq!(report.coordinator_restarts, 0);
+            assert_eq!(report.final_epoch, 2);
+            assert!(report.entries_migrated > 0);
+            // The fleet serves the same data under the new map.
+            for &(key, version) in &written {
+                match client.get(key).unwrap() {
+                    Some((v, value)) => {
+                        assert_eq!(v, version);
+                        assert_eq!(value, key.to_le_bytes().to_vec());
+                    }
+                    None => assert_eq!(key % 17, 0, "only deleted keys may miss"),
+                }
+            }
+            client.close();
+        });
+        assert_eq!(map.epoch(), 2);
+        assert_eq!(map.num_shards(), 4);
+        // Every surviving key sits exactly at its mod-4 owner.
+        for (shard, store) in stores.iter().enumerate() {
+            for (key, _, _) in store.dump() {
+                let k = u64::from_be_bytes(key.as_ref().try_into().unwrap());
+                assert_eq!(map.owner_of(slot_of(k)), shard, "key {k} misplaced");
+            }
+        }
+    }
+
+    /// The same split with seeded source-stream and coordinator
+    /// crashes: restarts happen, the outcome is identical.
+    #[test]
+    fn faulted_split_replays_and_converges() {
+        let map = ShardMap::new(2);
+        let (stores, logs) = fleet(4);
+        let (endpoints, mut conns, mig) = cluster_mesh(4, 1, 16, 64);
+        let store_refs: Vec<&KvStore<TicketLock>> = stores.iter().collect();
+        let log_refs: Vec<&OpLog> = logs.iter().collect();
+        let spec = ReshardSpec {
+            faults: FaultSpec {
+                seed: 0xC1_05,
+                faults_per_replica: 0,
+                max_window: 0,
+                spacing: 24,
+                primary_crashes: 0,
+            },
+            source_crashes: 2,
+            coordinator_crashes: 2,
+            ..ReshardSpec::clean(4)
+        };
+        std::thread::scope(|s| {
+            for (shard, endpoint) in endpoints.into_iter().enumerate() {
+                let (store, log, map) = (&stores[shard], &logs[shard], &map);
+                s.spawn(move || serve_cluster_node(shard, store, log, map, endpoint));
+            }
+            let client = ClusterClient::new(&map, conns.pop().unwrap());
+            for key in 0..192u64 {
+                client.set(key, vec![key as u8; 9]).unwrap();
+            }
+            let report = run_reshard_coordinator(&map, &store_refs, &log_refs, &mig, &spec);
+            assert_eq!(report.coordinator_restarts, 2);
+            assert_eq!(report.attempts, 3);
+            assert!(report.copy_restarts >= 1, "stream crashes must fire");
+            assert_eq!(report.final_epoch, 2);
+            for key in 0..192u64 {
+                assert_eq!(client.get(key).unwrap().unwrap().1, vec![key as u8; 9]);
+            }
+            client.close();
+        });
+        for (shard, store) in stores.iter().enumerate() {
+            for (key, _, _) in store.dump() {
+                let k = u64::from_be_bytes(key.as_ref().try_into().unwrap());
+                assert_eq!(map.owner_of(slot_of(k)), shard, "key {k} misplaced");
+            }
+        }
+    }
+
+    /// A no-op spec (map already mod-N) returns without touching
+    /// anything.
+    #[test]
+    fn noop_reshard_short_circuits() {
+        let map = ShardMap::new(4);
+        let (stores, logs) = fleet(4);
+        let (_endpoints, _conns, mig) = cluster_mesh(4, 1, 16, 16);
+        let store_refs: Vec<&KvStore<TicketLock>> = stores.iter().collect();
+        let log_refs: Vec<&OpLog> = logs.iter().collect();
+        let report =
+            run_reshard_coordinator(&map, &store_refs, &log_refs, &mig, &ReshardSpec::clean(4));
+        assert_eq!(
+            report,
+            MigrationReport {
+                final_epoch: 1,
+                ..MigrationReport::default()
+            }
+        );
+        assert_eq!(map.epoch(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Crate-local alias for the workspace atomic facade.
+//!
+//! All atomics in this crate come from `crate::sync::atomic`, which is
+//! [`ssync_core::sync::atomic`]: real `core::sync::atomic` types in
+//! production builds, `ssync-chk` shadow atomics under
+//! `RUSTFLAGS='--cfg ssync_chk'`.
+
+pub(crate) use ssync_core::sync::atomic;

@@ -1,0 +1,173 @@
+//! Model-checked interleavings of the resharding cutover protocol.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg ssync_chk'`. These models
+//! drive the real [`ShardMap`] — whose atomics are the checker's
+//! shadow atomics under this cfg — through the freeze / round-tagged
+//! quiesce / cutover handshake, with a compressed node loop standing
+//! in for `serve_cluster_node` (same loads, same order, none of the
+//! transport).
+//!
+//! The first test is the tentpole property: once the coordinator has
+//! accepted a source's round-tagged quiesce acknowledgement and cut
+//! the map over, **no write can have landed on the old owner beyond
+//! the acknowledged high-water mark** — the final delta the
+//! coordinator drained at that mark is complete, so an acknowledged
+//! write cannot be left behind by the migration. The proof hinges on
+//! the node's write path loading the freeze mask *before* routing:
+//! seeing the mask clear (Acquire) after the coordinator's unfreeze
+//! (Release, sequenced after the cutover CAS) forces the route load to
+//! see the new map, bouncing the write to the new owner.
+//!
+//! The second test rips that load order out — route first, mask second
+//! — and the checker must find the lost-write interleaving: the node
+//! routes under the old map, the coordinator drains, cuts, and
+//! unfreezes in the window between the two loads, and the write lands
+//! on a shard that no longer owns it. This is the false-negative guard
+//! proving the mask-before-route discipline (and not some accident of
+//! the transport) carries the property.
+//!
+//! Run with:
+//! `RUSTFLAGS='--cfg ssync_chk' cargo test -p ssync-cluster --test chk_models`
+#![cfg(ssync_chk)]
+
+use std::sync::Arc;
+
+use ssync_chk::{thread, Builder};
+use ssync_cluster::ShardMap;
+use ssync_srv::{slot_of, ROUTE_SLOTS};
+
+/// The first key routing to `slot` — slot 1 moves to shard 1 in a
+/// 1 → 2 split, so its writes are the contended ones.
+fn key_in_slot(slot: usize) -> u64 {
+    (0u64..)
+        .find(|&k| slot_of(k) == slot)
+        .expect("slot reachable")
+}
+
+/// The mod-2 ownership table a 1 → 2 split stages.
+fn owners_mod2() -> [usize; ROUTE_SLOTS] {
+    let mut owners = [0usize; ROUTE_SLOTS];
+    for (slot, owner) in owners.iter_mut().enumerate() {
+        *owner = slot % 2;
+    }
+    owners
+}
+
+/// One write attempt at node 0 with the server's fencing checks;
+/// `mask_first` selects the load order under test. Returns whether
+/// the write executed (landed in the old owner's store and log).
+fn try_write(map: &ShardMap, key: u64, mask_first: bool) -> bool {
+    let (frozen, owner) = if mask_first {
+        let frozen = map.frozen();
+        let (owner, _) = map.route(key);
+        (frozen, owner)
+    } else {
+        // The broken order the violation twin checks.
+        let (owner, _) = map.route(key);
+        (map.frozen(), owner)
+    };
+    owner == 0 && frozen & (1 << slot_of(key)) == 0
+}
+
+/// The whole handshake, node and coordinator concurrent. Asserts the
+/// drained-high-water-mark property whenever a cutover completed.
+fn cutover_protocol(mask_first: bool) {
+    let map = Arc::new(ShardMap::new(1));
+    let key = key_in_slot(1);
+    let mask = 1u64 << slot_of(key);
+    let node = {
+        let map = Arc::clone(&map);
+        thread::spawn(move || {
+            // Two passes of the serve loop, essentials only: the
+            // round-before-mask quiesce handshake, then one write
+            // attempt against the live fences.
+            let mut executed = 0u64;
+            let mut acked = 0u64;
+            for _ in 0..2 {
+                let round = map.round();
+                if round != acked && map.frozen() & mask != 0 {
+                    map.publish_quiesced(0, round, executed);
+                    acked = round;
+                }
+                if try_write(&map, key, mask_first) {
+                    executed += 1;
+                }
+            }
+            executed
+        })
+    };
+    // The coordinator: freeze, open the round, and poll for the ack a
+    // bounded number of times (schedules that never see it skip the
+    // cutover and prove nothing — the checker also runs the ones that
+    // do).
+    map.freeze(mask);
+    let round = map.begin_round();
+    let mut drained = None;
+    for _ in 0..4 {
+        match map.quiesced_of(0) {
+            Some((r, hwm)) if r == round => {
+                // The final delta reads the source log through `hwm`
+                // here; then one CAS publishes the new map.
+                map.stage(&owners_mod2());
+                map.try_cutover(map.view(), 2).expect("sole coordinator");
+                map.unfreeze(mask);
+                drained = Some(hwm);
+                break;
+            }
+            _ => thread::yield_now(),
+        }
+    }
+    let executed = node.join();
+    if let Some(hwm) = drained {
+        assert_eq!(
+            executed, hwm,
+            "a write landed on the old owner after its final delta"
+        );
+    }
+}
+
+/// Mask-before-route: in every interleaving where the cutover
+/// completed, the acknowledged high-water mark covers everything the
+/// old owner ever executed.
+#[test]
+fn fenced_cutover_drains_every_old_owner_write() {
+    let report = Builder::new().check(|| cutover_protocol(true));
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    eprintln!("cutover fence model: {} executions", report.executions);
+}
+
+/// Route-before-mask must lose a write: the coordinator drains, cuts,
+/// and unfreezes between the node's two loads, and the stale-routed
+/// write lands on the old owner after its final delta was read.
+#[test]
+fn unfenced_route_before_mask_loses_a_write() {
+    let v = Builder::new().expect_violation(|| cutover_protocol(false));
+    assert!(v.message.contains("old owner"), "{v}");
+    eprintln!("unfenced lost write found in execution {}", v.execution);
+}
+
+/// Two coordinators race the same staged cutover: the epoch CAS lets
+/// exactly one through, and the loser observes the winner's view —
+/// the single-winner guarantee `run_reshard_coordinator` leans on.
+#[test]
+fn racing_cutovers_publish_exactly_one_epoch() {
+    let report = Builder::new().check(|| {
+        let map = Arc::new(ShardMap::new(1));
+        let view = map.view();
+        let rival = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                map.stage(&owners_mod2());
+                map.try_cutover(view, 2).is_ok()
+            })
+        };
+        map.stage(&owners_mod2());
+        let mine = map.try_cutover(view, 2).is_ok();
+        let theirs = rival.join();
+        assert!(mine ^ theirs, "exactly one cutover must win");
+        assert_eq!(map.epoch(), 2, "the winner's epoch published");
+        assert_eq!(map.num_shards(), 2);
+    });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    eprintln!("cutover race model: {} executions", report.executions);
+}

@@ -162,6 +162,16 @@ pub struct Stats {
     /// Optimistic reads that exhausted [`OPTIMISTIC_ATTEMPTS`] and took
     /// the stripe lock instead (always zero on [`ReadPath::Locked`]).
     pub read_fallbacks: CachePadded<AtomicU64>,
+    /// Requests bounced with a `WrongShard` redirect because this
+    /// store's server no longer (or does not yet) own the key's
+    /// routing slot under the current cluster-map epoch. Incremented
+    /// by the cluster node server, not the store itself.
+    pub wrong_shard_redirects: CachePadded<AtomicU64>,
+    /// Client writes deferred while their routing slot was frozen for
+    /// a migration's final delta drain (the write-unavailability
+    /// window of a resharding cutover). Incremented by the cluster
+    /// node server, not the store itself.
+    pub migration_ops_deferred: CachePadded<AtomicU64>,
 }
 
 impl Stats {
@@ -181,6 +191,8 @@ impl Stats {
             repl_stale_drops: self.repl_stale_drops.load(Ordering::Relaxed),
             replica_read_fallbacks: self.replica_read_fallbacks.load(Ordering::Relaxed),
             read_fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
+            wrong_shard_redirects: self.wrong_shard_redirects.load(Ordering::Relaxed),
+            migration_ops_deferred: self.migration_ops_deferred.load(Ordering::Relaxed),
         }
     }
 }
@@ -208,6 +220,10 @@ pub struct StatsSnapshot {
     pub replica_read_fallbacks: u64,
     /// Optimistic reads that fell back to the locked path.
     pub read_fallbacks: u64,
+    /// Requests bounced with a `WrongShard` redirect.
+    pub wrong_shard_redirects: u64,
+    /// Client writes deferred during a migration freeze window.
+    pub migration_ops_deferred: u64,
 }
 
 impl StatsSnapshot {
@@ -224,6 +240,8 @@ impl StatsSnapshot {
             repl_stale_drops: self.repl_stale_drops + other.repl_stale_drops,
             replica_read_fallbacks: self.replica_read_fallbacks + other.replica_read_fallbacks,
             read_fallbacks: self.read_fallbacks + other.read_fallbacks,
+            wrong_shard_redirects: self.wrong_shard_redirects + other.wrong_shard_redirects,
+            migration_ops_deferred: self.migration_ops_deferred + other.migration_ops_deferred,
         }
     }
 
@@ -241,6 +259,8 @@ impl StatsSnapshot {
             repl_stale_drops: self.repl_stale_drops - earlier.repl_stale_drops,
             replica_read_fallbacks: self.replica_read_fallbacks - earlier.replica_read_fallbacks,
             read_fallbacks: self.read_fallbacks - earlier.read_fallbacks,
+            wrong_shard_redirects: self.wrong_shard_redirects - earlier.wrong_shard_redirects,
+            migration_ops_deferred: self.migration_ops_deferred - earlier.migration_ops_deferred,
         }
     }
 }
@@ -803,6 +823,45 @@ impl<R: RawLock + Default> KvStore<R> {
         out
     }
 
+    /// A chunked cursor over the sorted contents: the `max` smallest
+    /// `(key, version, value)` triples whose key is strictly greater
+    /// than `after` (`None` starts from the beginning). Re-passing the
+    /// last returned key walks the whole store in sorted chunks — an
+    /// empty chunk means the cursor is exhausted — without ever
+    /// materializing more than ~`2 * max` candidates, which is what
+    /// lets a migration bulk-copy stream a large shard in bounded
+    /// memory. Stripe locking as in [`KvStore::dump`]: each stripe is
+    /// consistent, the whole chunk is not a point-in-time snapshot; a
+    /// racing writer may straddle the chunk boundary, which migration
+    /// absorbs by replaying the op-log delta after the copy.
+    pub fn dump_range(&self, after: Option<&[u8]>, max: usize) -> Vec<(Bytes, u64, Bytes)> {
+        let mut out: Vec<(Bytes, u64, Bytes)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let _guard = stripe.inner.lock();
+            for head in stripe.heads.iter() {
+                let mut p = head.load(Ordering::Acquire);
+                while !p.is_null() {
+                    // SAFETY: live node, stripe lock held.
+                    let node = unsafe { &*p };
+                    if after.map_or(true, |a| node.key.as_ref() > a) {
+                        out.push((node.key.clone(), node.version, node.value.clone()));
+                    }
+                    p = node.next.load(Ordering::Acquire);
+                }
+            }
+            // Keep the candidate set bounded: once it doubles the
+            // chunk size, only the `max` smallest keys can still make
+            // the final cut.
+            if out.len() > max.saturating_mul(2) {
+                out.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+                out.truncate(max);
+            }
+        }
+        out.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+        out.truncate(max);
+        out
+    }
+
     /// Number of stored items (takes every stripe lock).
     pub fn len(&self) -> usize {
         let mut n = 0;
@@ -1092,6 +1151,38 @@ mod tests {
         let mut visited = 0;
         kv.for_each(|_, _, _| visited += 1);
         assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn dump_range_pages_through_whole_store() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        for i in 0u64..257 {
+            kv.set(&i.to_be_bytes(), i.to_le_bytes().as_slice());
+        }
+        // Chunked cursor walk reassembles exactly dump(), for chunk
+        // sizes that divide the count, don't, and exceed it.
+        for chunk in [1usize, 7, 64, 300] {
+            let mut paged = Vec::new();
+            let mut cursor: Option<Bytes> = None;
+            loop {
+                let page = kv.dump_range(cursor.as_deref(), chunk);
+                assert!(page.len() <= chunk);
+                if page.is_empty() {
+                    break;
+                }
+                cursor = Some(page.last().unwrap().0.clone());
+                paged.extend(page);
+            }
+            assert_eq!(paged, kv.dump(), "chunk size {chunk}");
+        }
+        // The cursor bound is strict: resuming from a key skips it.
+        let first = kv.dump_range(None, 3);
+        let next = kv.dump_range(Some(first[1].0.as_ref()), 3);
+        assert_eq!(next[0].0, first[2].0);
+        // Past the last key the cursor is exhausted.
+        assert!(kv
+            .dump_range(Some(256u64.to_be_bytes().as_slice()), 8)
+            .is_empty());
     }
 
     #[test]

@@ -158,6 +158,21 @@ pub trait MsgSender {
             wait.snooze();
         }
     }
+
+    /// Sends a frame sequence via [`MsgSender::send_connected`],
+    /// stopping at the first failure — the bulk form migration streams
+    /// use to push a value's head + continuation frames as one unit.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the receiving half was dropped; frames
+    /// before the failing one were already delivered.
+    fn send_all_connected(&self, frames: &[Message]) -> Result<(), Disconnected> {
+        for frame in frames {
+            self.send_connected(*frame)?;
+        }
+        Ok(())
+    }
 }
 
 impl MsgSender for Sender {
@@ -418,6 +433,29 @@ mod tests {
         assert_eq!(MsgSender::send_connected(&tx, [1; 7]), Ok(()));
         drop(rx);
         assert_eq!(MsgSender::send_connected(&tx, [2; 7]), Err(Disconnected));
+    }
+
+    #[test]
+    fn send_all_connected_delivers_in_order_and_escapes() {
+        let frames = [[1u64; 7], [2; 7], [3; 7]];
+        // One-line channels hold a single frame, so the bulk send only
+        // completes against a concurrent drain.
+        let (tx, rx) = channel();
+        std::thread::scope(|s| {
+            let drained = s.spawn(move || {
+                let got: Vec<Message> = (0..frames.len()).map(|_| rx.recv()).collect();
+                got
+            });
+            assert_eq!(tx.send_all_connected(&frames), Ok(()));
+            assert_eq!(drained.join().unwrap(), frames.to_vec());
+        });
+        // The drain thread dropped its receiver on exit.
+        assert_eq!(tx.send_all_connected(&frames), Err(Disconnected));
+
+        let (tx, rx) = crate::ring::ring_channel(8);
+        assert_eq!(tx.send_all_connected(&frames), Ok(()));
+        drop(rx);
+        assert_eq!(tx.send_all_connected(&frames), Err(Disconnected));
     }
 
     #[test]

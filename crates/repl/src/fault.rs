@@ -226,6 +226,56 @@ impl FaultSpec {
         }
         FaultPlan::primary_crashes(entries)
     }
+
+    /// The deterministic migration-stream crash schedule for one
+    /// *source* shard of a resharding: the source's bulk-copy stream
+    /// dies right after the listed (1-based) *sent-entry* indices, and
+    /// the coordinator restarts the copy from scratch. `crashes` is an
+    /// argument rather than a spec field because migrations are
+    /// configured by the reshard spec, not the replica fleet — this
+    /// spec only contributes the master seed and spacing, so one seed
+    /// drives the whole scenario. Tagged with a replica id no backup
+    /// slot or leader stream uses, so existing schedules are
+    /// byte-identical with migration faults on or off.
+    pub fn migration_plan_for(&self, source_shard: usize, crashes: usize) -> FaultPlan {
+        if crashes == 0 {
+            return FaultPlan::none();
+        }
+        let stream = (source_shard as u64) << 32 | u64::from(u32::MAX - 1);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ ssync_core::mix64(stream));
+        let spacing = self.spacing.max(8);
+        let mut events = Vec::with_capacity(crashes);
+        let mut at = 1 + rng.gen_range(0..=spacing);
+        for _ in 0..crashes {
+            events.push(FaultEvent {
+                at_entry: at,
+                kind: FaultKind::Crash,
+                window: 1,
+            });
+            at += 2 + rng.gen_range(0..=2 * spacing);
+        }
+        FaultPlan::from_events(events)
+    }
+
+    /// The deterministic *coordinator* crash schedule of a resharding:
+    /// the coordinator dies after the listed (1-based) completed
+    /// migration *moves*, before the cutover publishes, and the whole
+    /// migration restarts. One global stream (a migration has one
+    /// coordinator, not one per shard), tagged outside the per-shard
+    /// space.
+    pub fn coordinator_plan_for(&self, crashes: usize) -> FaultPlan {
+        if crashes == 0 {
+            return FaultPlan::none();
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ ssync_core::mix64(u64::MAX));
+        let mut entries = Vec::with_capacity(crashes);
+        let mut at = 1 + rng.gen_range(0..=1u64);
+        for _ in 0..crashes {
+            entries.push(at);
+            at += 2 + rng.gen_range(0..=2u64);
+        }
+        FaultPlan::primary_crashes(entries)
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +339,43 @@ mod tests {
         assert!(!crash_only.has_backup_faults());
         assert!(crash_only.plan_for(0, 0).is_empty());
         assert_eq!(crash_only.primary_plan_for(0).crash_count(), 2);
+    }
+
+    #[test]
+    fn migration_plans_ride_separate_streams() {
+        let spec = FaultSpec {
+            seed: 0xFA_07,
+            faults_per_replica: 4,
+            max_window: 8,
+            spacing: 16,
+            primary_crashes: 2,
+        };
+        // Migration faults never perturb the replica or leader streams
+        // (they are derived from the same master seed on fresh tags).
+        assert_eq!(spec.plan_for(0, 1), spec.plan_for(0, 1));
+        let plan = spec.migration_plan_for(0, 3);
+        assert_eq!(plan, spec.migration_plan_for(0, 3), "must replay");
+        assert_eq!(plan.events().len(), 3);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::Crash && e.window == 1));
+        assert_ne!(plan, spec.migration_plan_for(1, 3));
+        assert_ne!(plan, spec.plan_for(0, 1));
+        assert!(spec.migration_plan_for(0, 0).is_empty());
+        let coord = spec.coordinator_plan_for(2);
+        assert_eq!(coord, spec.coordinator_plan_for(2), "must replay");
+        assert_eq!(coord.crash_count(), 2);
+        assert!(spec.coordinator_plan_for(0).is_empty());
+        // A zero-spacing (crash-only) spec still draws valid plans.
+        let bare = FaultSpec {
+            seed: 9,
+            faults_per_replica: 0,
+            max_window: 0,
+            spacing: 0,
+            primary_crashes: 0,
+        };
+        assert_eq!(bare.migration_plan_for(0, 2).events().len(), 2);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod service;
 pub mod wire;
 pub mod workload;
 
-pub use router::{shard_of, ShardRouter};
+pub use router::{shard_of, slot_of, ShardRouter, ROUTE_SLOTS};
 pub use service::{ring_mesh, serve, wire_mesh, wire_mesh_with, KvClient, ServiceClient};
 pub use wire::{Request, Response, WireError, NO_LEADER};
 pub use workload::{

@@ -38,6 +38,30 @@ pub fn key_bytes(key: u64) -> [u8; 8] {
     key.to_be_bytes()
 }
 
+/// Routing slots of the elastic (cluster-map) routing scheme.
+///
+/// Elastic routing splits [`shard_of`]'s one hash-mod-N step in two:
+/// a key hashes to one of [`ROUTE_SLOTS`] fixed *slots* ([`slot_of`],
+/// static forever), and a cluster map assigns each slot to an owner
+/// shard (dynamic — resharding reassigns slots, never re-hashes keys).
+/// 64 slots fit a slot *set* in one `u64` bitmask, which is what lets
+/// the migration freeze/cutover protocol treat "the moving slots" as a
+/// single atomic word.
+pub const ROUTE_SLOTS: usize = 64;
+
+/// The routing slot a key hashes to, out of [`ROUTE_SLOTS`] — the
+/// static half of the elastic routing contract (`ssync-cluster`'s
+/// `ShardMap` owns the dynamic slot→shard half).
+///
+/// Same SplitMix64 finalizer family as [`shard_of`] but under a
+/// different additive offset, so slot and fixed-fleet shard placements
+/// stay decorrelated (and so the zipfian head spreads over slots the
+/// same way it spreads over shards).
+pub fn slot_of(key: u64) -> usize {
+    let z = ssync_core::mix64(key.wrapping_add(0xD1B5_4A32_D192_ED03));
+    (z % ROUTE_SLOTS as u64) as usize
+}
+
 /// N keyspace shards, each its own [`KvStore`], generic over the lock
 /// algorithm like everything else in the tree.
 pub struct ShardRouter<R: RawLock + Default> {
@@ -194,5 +218,29 @@ mod tests {
     #[should_panic]
     fn zero_shards_rejected() {
         let _ = ShardRouter::<TicketLock>::new(0, 64, 8);
+    }
+
+    #[test]
+    fn slot_routing_is_stable_in_range_and_spread() {
+        let mut counts = [0usize; ROUTE_SLOTS];
+        for key in 0..4096u64 {
+            let s = slot_of(key);
+            assert!(s < ROUTE_SLOTS);
+            assert_eq!(s, slot_of(key), "slot routing must be stable");
+            counts[s] += 1;
+        }
+        // Dense ranks spread over every slot (64 ≈ expected per slot).
+        assert!(
+            counts.iter().all(|&c| c > 20),
+            "unbalanced slot routing: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn slot_and_shard_hashes_are_decorrelated() {
+        // If slot_of were shard_of(·, 64) the per-shard slot sets of a
+        // mod-style map would alias with the fixed-fleet placement.
+        // Spot-check the two families actually disagree somewhere.
+        assert!((0..256u64).any(|k| slot_of(k) != shard_of(k, ROUTE_SLOTS)));
     }
 }

@@ -90,6 +90,7 @@ const ST_STALE: u64 = 8;
 const ST_MALFORMED: u64 = 9;
 const ST_WRONG_LEADER: u64 = 10;
 const ST_WRONG_TERM: u64 = 11;
+const ST_WRONG_SHARD: u64 = 12;
 
 /// Sentinel for "no leader known" in [`Response::WrongLeader`]'s
 /// `leader` word.
@@ -291,6 +292,17 @@ pub enum Response {
     WrongTerm {
         /// The term the responder currently observes.
         term: u64,
+    },
+    /// The responder does not own the key's routing slot under the
+    /// cluster map epoch it currently observes (the client's map is
+    /// stale, or a resharding cutover landed between routing and
+    /// service): nothing was executed. Carries the responder's map
+    /// epoch so the client refetches a map at least that fresh before
+    /// retrying — the elastic-routing mirror of
+    /// [`Response::WrongLeader`].
+    WrongShard {
+        /// The cluster-map epoch the responder currently observes.
+        map_epoch: u64,
     },
 }
 
@@ -615,6 +627,11 @@ impl Response {
                 m[1] = *term;
                 out.push(m);
             }
+            Response::WrongShard { map_epoch } => {
+                m[0] = head_word(ST_WRONG_SHARD, 0, 0);
+                m[1] = *map_epoch;
+                out.push(m);
+            }
         }
     }
 
@@ -651,6 +668,7 @@ impl Response {
                 leader: head[2],
             },
             ST_WRONG_TERM => Response::WrongTerm { term: head[1] },
+            ST_WRONG_SHARD => Response::WrongShard { map_epoch: head[1] },
             _ => return Err(WireError::UnknownStatus(st)),
         })
     }
@@ -748,6 +766,10 @@ mod tests {
                 leader: NO_LEADER,
             },
             Response::WrongTerm { term: 9 },
+            Response::WrongShard { map_epoch: 6 },
+            Response::WrongShard {
+                map_epoch: u64::MAX,
+            },
         ];
         for resp in samples {
             assert_eq!(roundtrip_response(resp.clone()), resp);

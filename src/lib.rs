@@ -19,6 +19,11 @@
 //! * [`repl`] (`ssync-repl`) — per-shard primary/backup replication over
 //!   the service: op-log streaming, sync/async acknowledgement, replica
 //!   reads with freshness floors, and deterministic fault injection.
+//! * [`cluster`] (`ssync-cluster`) — elastic resharding over the
+//!   replicated service: an epoch-versioned cluster map routing fixed
+//!   key slots to a growable shard fleet, and a live migration
+//!   protocol (bulk copy, op-log delta replay, fenced atomic cutover)
+//!   that splits a running fleet without dropping acknowledged writes.
 //! * [`tm`] (`ssync-tm`) — a TM2C-model software transactional memory.
 //! * [`sim`] (`ssync-sim`) — a discrete-event cache-coherence simulator of
 //!   the paper's four platforms, calibrated to its Tables 2 and 3.
@@ -37,6 +42,7 @@
 
 pub use ssync_ccbench as ccbench;
 pub use ssync_chk as chk;
+pub use ssync_cluster as cluster;
 pub use ssync_core as core;
 pub use ssync_figures as figures;
 pub use ssync_ht as ht;
