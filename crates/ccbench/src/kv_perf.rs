@@ -24,6 +24,8 @@ use ssync_srv::workload::{
     run_closed_loop_on, KeyDist, Mix, OpCounts, Transport, ValueSize, WorkloadSpec,
 };
 
+use crate::json::Doc;
+
 /// Key-operations each client worker issues in a full run.
 pub const PERF_OPS_PER_WORKER: u64 = 6_000;
 
@@ -369,42 +371,46 @@ pub fn render_table(results: &[CaseResult]) -> String {
 /// like `BENCH_sim.json`: the workspace is offline and serde is not
 /// among the vendored shims.
 pub fn render_json(results: &[CaseResult], config: SweepConfig) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"ssync-kv-perf-v2\",\n");
-    out.push_str("  \"unit_note\": \"ops are key-operations (a multi-get counts per key); wall times are host milliseconds on the build machine; issued counts are deterministic per seed, wall/ops_per_sec are not\",\n");
-    out.push_str(&format!(
-        "  \"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}, \"ring_depth\": {}, \"ring_window\": {}}},\n",
-        config.workers, config.ops_per_worker, config.keys, SEED, RING_DEPTH, RING_WINDOW
-    ));
-    out.push_str("  \"cases\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"lock\": \"{}\", \"shards\": {}, \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"read_path\": \"{}\", \"transport\": \"{}\", \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"cas_ok\": {}, \"cas_fail\": {}, \"maintenance_runs\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}\n",
-            r.case.lock.name(),
-            r.case.shards,
-            r.case.dist.label(),
-            r.case.mix.name,
-            r.case.batch,
-            r.case.read_path.label(),
-            r.case.transport.label(),
-            r.issued.gets,
-            r.issued.sets,
-            r.issued.cas,
-            r.issued.deletes,
-            r.hits,
-            r.misses,
-            r.cas_ok,
-            r.cas_fail,
-            r.maintenance_runs,
-            r.hit_rate,
-            r.wall_ms,
-            r.ops_per_sec
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let mut doc = Doc::open(
+        "ssync-kv-perf-v2",
+        "ops are key-operations (a multi-get counts per key); wall times are host milliseconds on the build machine; issued counts are deterministic per seed, wall/ops_per_sec are not",
+    );
+    doc.member(
+        &format!(
+            "\"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}, \"ring_depth\": {}, \"ring_window\": {}}}",
+            config.workers, config.ops_per_worker, config.keys, SEED, RING_DEPTH, RING_WINDOW
+        ),
+        true,
+    );
+    let cases: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"lock\": \"{}\", \"shards\": {}, \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"read_path\": \"{}\", \"transport\": \"{}\", \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"cas_ok\": {}, \"cas_fail\": {}, \"maintenance_runs\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}}}",
+                r.case.lock.name(),
+                r.case.shards,
+                r.case.dist.label(),
+                r.case.mix.name,
+                r.case.batch,
+                r.case.read_path.label(),
+                r.case.transport.label(),
+                r.issued.gets,
+                r.issued.sets,
+                r.issued.cas,
+                r.issued.deletes,
+                r.hits,
+                r.misses,
+                r.cas_ok,
+                r.cas_fail,
+                r.maintenance_runs,
+                r.hit_rate,
+                r.wall_ms,
+                r.ops_per_sec
+            )
+        })
+        .collect();
+    doc.array("cases", &cases, false);
+    doc.finish()
 }
 
 /// Runs the sweep twice and reports the first case whose issued op

@@ -20,7 +20,9 @@
 //! | Figure 12 (key-value store)       | [`drivers::kv_kops`] |
 
 pub mod drivers;
+pub mod json;
 pub mod kv_perf;
+pub mod lat_perf;
 pub mod perf;
 pub mod repl_perf;
 pub mod series;

@@ -26,6 +26,8 @@ use ssync_simsync::workloads::atomics::{stress_pause, AtomicKind, AtomicStress};
 use ssync_simsync::workloads::lock_stress::LockStress;
 use ssync_simsync::workloads::mp_bench::{Chan, MpClient, MpServer};
 
+use crate::json::Doc;
+
 /// Simulated window of a full `sim-perf` run, in cycles.
 pub const PERF_WINDOW: u64 = 600_000;
 
@@ -212,39 +214,40 @@ pub fn render_table(results: &[PerfResult]) -> String {
 /// the wait-list change, not remeasured by `sim-perf`; the live perf
 /// trajectory is the `workloads` array.
 pub fn render_json(results: &[PerfResult], repro_before_s: f64, repro_after_s: f64) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"ssync-sim-perf-v1\",\n");
-    out.push_str("  \"unit_note\": \"wall times are host seconds/milliseconds on the build machine; events are engine events\",\n");
-    out.push_str("  \"repro_all_waitlist_pr\": {\n");
-    out.push_str(&format!("    \"before_s\": {repro_before_s:.1},\n"));
-    out.push_str(&format!("    \"after_s\": {repro_after_s:.1},\n"));
-    out.push_str(&format!(
+    let mut doc = Doc::open(
+        "ssync-sim-perf-v1",
+        "wall times are host seconds/milliseconds on the build machine; events are engine events",
+    );
+    doc.raw("  \"repro_all_waitlist_pr\": {\n");
+    doc.raw(&format!("    \"before_s\": {repro_before_s:.1},\n"));
+    doc.raw(&format!("    \"after_s\": {repro_after_s:.1},\n"));
+    doc.raw(&format!(
         "    \"speedup\": {:.1},\n",
         repro_before_s / repro_after_s.max(1e-9)
     ));
-    out.push_str(
+    doc.raw(
         "    \"note\": \"HISTORICAL, not remeasured by sim-perf: wall time of `cargo run --release --bin repro-all` (15 artifacts) on the 1-core dev machine immediately before/after the wake-on-write wait-list + memoized-table PR; current engine health is the workloads array\"\n",
     );
-    out.push_str("  },\n");
-    out.push_str("  \"workloads\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"platform\": \"{}\", \"threads\": {}, \"window_cycles\": {}, \"wall_ms\": {:.2}, \"events\": {}, \"ops\": {}, \"events_per_op\": {:.2}, \"events_per_sec\": {:.0}}}{comma}\n",
-            r.workload,
-            r.platform,
-            r.threads,
-            r.window,
-            r.wall_ms,
-            r.events,
-            r.ops,
-            r.events_per_op(),
-            r.events_per_sec()
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    doc.raw("  },\n");
+    let workloads: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workload\": \"{}\", \"platform\": \"{}\", \"threads\": {}, \"window_cycles\": {}, \"wall_ms\": {:.2}, \"events\": {}, \"ops\": {}, \"events_per_op\": {:.2}, \"events_per_sec\": {:.0}}}",
+                r.workload,
+                r.platform,
+                r.threads,
+                r.window,
+                r.wall_ms,
+                r.events,
+                r.ops,
+                r.events_per_op(),
+                r.events_per_sec()
+            )
+        })
+        .collect();
+    doc.array("workloads", &workloads, false);
+    doc.finish()
 }
 
 #[cfg(test)]

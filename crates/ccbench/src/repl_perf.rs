@@ -35,6 +35,8 @@ use ssync_repl::service::{ReplCluster, ReplMode, ReplSpec};
 use ssync_repl::workload::{run_replicated_closed_loop, ReplReport};
 use ssync_srv::workload::{KeyDist, Mix, OpCounts, ValueSize, WorkloadSpec};
 
+use crate::json::Doc;
+
 /// Key-operations each client worker issues in a full run.
 pub const PERF_OPS_PER_WORKER: u64 = 5_000;
 
@@ -388,17 +390,19 @@ pub fn render_json(
     config: ReplSweepConfig,
     reshard: &ReshardReport,
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"ssync-repl-perf-v1\",\n");
-    out.push_str("  \"unit_note\": \"ops are key-operations; issued counts, entries, and fault window counts are deterministic per seed; wall_ms/ops_per_sec/fallbacks/stale_drops/from_log are load- and timing-dependent; converged is asserted true for every case\",\n");
-    out.push_str(&format!(
-        "  \"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}, \"shards\": 2, \"lock\": \"TICKET\", \"max_lag\": {}}},\n",
-        config.workers, config.ops_per_worker, config.keys, SEED, MAX_LAG
-    ));
-    out.push_str("  \"cases\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+    let mut doc = Doc::open(
+        "ssync-repl-perf-v1",
+        "ops are key-operations; issued counts, entries, and fault window counts are deterministic per seed; wall_ms/ops_per_sec/fallbacks/stale_drops/from_log are load- and timing-dependent; converged is asserted true for every case",
+    );
+    doc.member(
+        &format!(
+            "\"config\": {{\"workers\": {}, \"ops_per_worker\": {}, \"keys\": {}, \"seed\": {}, \"shards\": 2, \"lock\": \"TICKET\", \"max_lag\": {}}}",
+            config.workers, config.ops_per_worker, config.keys, SEED, MAX_LAG
+        ),
+        true,
+    );
+    let mut cases: Vec<String> = Vec::with_capacity(results.len());
+    for r in results {
         let rep = &r.report;
         // Failover-only keys ride on that case's line alone, so every
         // other line stays byte-identical to the pre-failover schema.
@@ -415,8 +419,8 @@ pub fn render_json(
         } else {
             String::new()
         };
-        out.push_str(&format!(
-            "    {{\"replicas\": {}, \"mode\": \"{}\", \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"faulty\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"replica_serves\": {}, \"fallbacks\": {}, \"entries\": {}, \"repl_applied\": {}, \"stale_drops\": {}, \"crashes\": {}, \"stalls\": {}, \"from_log\": {}, \"converged\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}{failover_fields}}}{comma}\n",
+        cases.push(format!(
+            "{{\"replicas\": {}, \"mode\": \"{}\", \"dist\": \"{}\", \"mix\": \"{}\", \"batch\": {}, \"faulty\": {}, \"gets\": {}, \"sets\": {}, \"cas\": {}, \"deletes\": {}, \"hits\": {}, \"misses\": {}, \"replica_serves\": {}, \"fallbacks\": {}, \"entries\": {}, \"repl_applied\": {}, \"stale_drops\": {}, \"crashes\": {}, \"stalls\": {}, \"from_log\": {}, \"converged\": {}, \"hit_rate\": {:.4}, \"wall_ms\": {:.2}, \"ops_per_sec\": {:.0}{failover_fields}}}",
             r.case.replicas,
             r.case.mode_label(),
             r.case.dist.label(),
@@ -443,35 +447,37 @@ pub fn render_json(
             r.ops_per_sec
         ));
     }
-    out.push_str("  ],\n");
+    doc.array("cases", &cases, true);
     // Deterministic per seed: issued, lost_acked_writes, converged,
     // final_epoch, attempts, coordinator_restarts, the shard counts.
     // Timing-dependent under live traffic: entries_migrated,
     // copy_restarts, redirect/defer counts, walls, rates, dip.
-    out.push_str(&format!(
-        "  \"reshard\": {{\"shards_before\": 2, \"shards_after\": 4, \"workers\": {}, \"issued\": {}, \"lost_acked_writes\": {}, \"converged\": {}, \"final_epoch\": {}, \"attempts\": {}, \"coordinator_restarts\": {}, \"copy_restarts\": {}, \"entries_migrated\": {}, \"source_keys_retired\": {}, \"client_redirects\": {}, \"wrong_shard_redirects\": {}, \"migration_ops_deferred\": {}, \"purged\": {}, \"migration_wall_ms\": {:.2}, \"rate_before\": {:.0}, \"rate_during\": {:.0}, \"rate_after\": {:.0}, \"dip_pct\": {:.1}}}\n",
-        config.workers,
-        reshard.issued,
-        reshard.lost_acked_writes,
-        reshard.converged,
-        reshard.migration.final_epoch,
-        reshard.migration.attempts,
-        reshard.migration.coordinator_restarts,
-        reshard.migration.copy_restarts,
-        reshard.migration.entries_migrated,
-        reshard.migration.source_keys_retired,
-        reshard.client_redirects,
-        reshard.wrong_shard_redirects,
-        reshard.migration_ops_deferred,
-        reshard.purged,
-        reshard.migration_wall.as_secs_f64() * 1000.0,
-        reshard.rate_before,
-        reshard.rate_during,
-        reshard.rate_after,
-        reshard.dip_pct,
-    ));
-    out.push_str("}\n");
-    out
+    doc.member(
+        &format!(
+            "\"reshard\": {{\"shards_before\": 2, \"shards_after\": 4, \"workers\": {}, \"issued\": {}, \"lost_acked_writes\": {}, \"converged\": {}, \"final_epoch\": {}, \"attempts\": {}, \"coordinator_restarts\": {}, \"copy_restarts\": {}, \"entries_migrated\": {}, \"source_keys_retired\": {}, \"client_redirects\": {}, \"wrong_shard_redirects\": {}, \"migration_ops_deferred\": {}, \"purged\": {}, \"migration_wall_ms\": {:.2}, \"rate_before\": {:.0}, \"rate_during\": {:.0}, \"rate_after\": {:.0}, \"dip_pct\": {:.1}}}",
+            config.workers,
+            reshard.issued,
+            reshard.lost_acked_writes,
+            reshard.converged,
+            reshard.migration.final_epoch,
+            reshard.migration.attempts,
+            reshard.migration.coordinator_restarts,
+            reshard.migration.copy_restarts,
+            reshard.migration.entries_migrated,
+            reshard.migration.source_keys_retired,
+            reshard.client_redirects,
+            reshard.wrong_shard_redirects,
+            reshard.migration_ops_deferred,
+            reshard.purged,
+            reshard.migration_wall.as_secs_f64() * 1000.0,
+            reshard.rate_before,
+            reshard.rate_during,
+            reshard.rate_after,
+            reshard.dip_pct,
+        ),
+        false,
+    );
+    doc.finish()
 }
 
 #[cfg(test)]

@@ -107,10 +107,14 @@ fn scope_of(path: &str) -> Scope {
         || path.starts_with("crates/mp/")
         || path.starts_with("crates/repl/")
         || path.starts_with("crates/cluster/");
+    // The observability hot path: histogram counters sit on the record
+    // side of every measured request, so they get the same padding and
+    // SAFETY discipline as the serving crates.
+    let obs_hot = path.starts_with("crates/core/src/stats");
     let file_name = path.rsplit('/').next().unwrap_or(path);
     Scope {
         relaxed_ptr: true,
-        padding_and_safety: hot_crate,
+        padding_and_safety: hot_crate || obs_hot,
         decode_panic: file_name.contains("wire"),
         term_fence: path.starts_with("crates/repl/"),
         epoch_fence: path.starts_with("crates/cluster/"),
@@ -795,6 +799,15 @@ mod tests {
         );
         let cold = lint_source("crates/srv/src/x.rs", src);
         assert!(!cold.iter().any(|v| v.rule == "atomic-padding"));
+        // The stats module is the observability hot path: padded like
+        // the serving crates, while the rest of core stays out of scope.
+        let stats = lint_source("crates/core/src/stats.rs", src);
+        assert!(
+            stats.iter().any(|v| v.rule == "atomic-padding"),
+            "{stats:?}"
+        );
+        let core_cold = lint_source("crates/core/src/topology.rs", src);
+        assert!(!core_cold.iter().any(|v| v.rule == "atomic-padding"));
     }
 
     #[test]

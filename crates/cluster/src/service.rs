@@ -41,7 +41,7 @@ use core::cell::{Cell, RefCell};
 
 use bytes::Bytes;
 
-use ssync_core::ParkingWait;
+use ssync_core::{ParkingWait, RegistrySnapshot};
 use ssync_kv::KvStore;
 use ssync_locks::RawLock;
 use ssync_mp::{
@@ -319,6 +319,38 @@ fn execute<R: RawLock + Default>(
     }
     match request {
         Request::Get { key } => Served::Replies(vec![lookup(key, report)]),
+        // A timed read routes exactly like a plain one — the stamp only
+        // shapes the client-side open-loop measurement. Cluster nodes
+        // keep no per-node histograms; the latency split lives in the
+        // single-shard service.
+        Request::TimedGet { key, .. } => Served::Replies(vec![lookup(key, report)]),
+        // Introspection: flatten the live report and store counters
+        // into a registry snapshot, assembled only when asked for.
+        Request::Stats => {
+            let mut snap = RegistrySnapshot::default();
+            let s = store.stats().snapshot();
+            for (name, value) in [
+                ("node.requests", report.requests),
+                ("node.key_ops", report.key_ops),
+                ("node.malformed", report.malformed),
+                ("node.wrong_shard_redirects", report.wrong_shard_redirects),
+                ("node.migration_ops_deferred", report.migration_ops_deferred),
+                ("node.migration_entries", report.migration_entries),
+                ("store.hits", s.hits),
+                ("store.misses", s.misses),
+                ("store.sets", s.sets),
+                ("store.deletes", s.deletes),
+                ("store.cas_failures", s.cas_failures),
+                ("store.repl_applied", s.repl_applied),
+                ("store.migration_ops_deferred", s.migration_ops_deferred),
+                ("store.wrong_shard_redirects", s.wrong_shard_redirects),
+            ] {
+                snap.counters.push((name.to_string(), value));
+            }
+            Served::Replies(vec![Response::StatsReply {
+                payload: snap.to_bytes(),
+            }])
+        }
         Request::MultiGet { keys } => Served::Replies(
             keys.iter()
                 .map(|&key| lookup(key, report))
@@ -430,6 +462,20 @@ impl<'a> ClusterClient<'a> {
     /// The epoch of the client's cached map.
     pub fn cached_epoch(&self) -> u64 {
         self.cached.borrow().epoch
+    }
+
+    /// Scrapes the live introspection snapshot of one node, by index.
+    /// Any node answers regardless of what it owns — introspection is
+    /// never routed.
+    pub fn stats(&self, node: usize) -> Result<RegistrySnapshot, WireError> {
+        self.send_request(node, &Request::Stats)?;
+        match self.read_response(node)? {
+            Response::StatsReply { payload } => {
+                RegistrySnapshot::from_bytes(&payload).ok_or(WireError::UnexpectedResponse("Stats"))
+            }
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Stats")),
+        }
     }
 
     fn send_request(&self, shard: usize, request: &Request) -> Result<(), WireError> {
@@ -666,6 +712,45 @@ mod tests {
             .map(|s| s.stats().snapshot().wrong_shard_redirects)
             .sum();
         assert!(redirected > 0, "server-side redirect counter must move");
+    }
+
+    #[test]
+    fn stats_scrape_works_live_and_survives_malformed_frames() {
+        let map = ShardMap::new(2);
+        let stores = stores(2);
+        let logs = logs(2);
+        let (endpoints, mut conns, _mig) = cluster_mesh(2, 1, 16, 16);
+        std::thread::scope(|s| {
+            for (shard, endpoint) in endpoints.into_iter().enumerate() {
+                let (store, log, map) = (&stores[shard], &logs[shard], &map);
+                s.spawn(move || serve_cluster_node(shard, store, log, map, endpoint));
+            }
+            let client = ClusterClient::new(&map, conns.pop().unwrap());
+            for key in 0..32u64 {
+                client.set(key, vec![9]).unwrap();
+                client.get(key).unwrap().unwrap();
+            }
+            // Every node answers a scrape, and the counters add up.
+            let before: Vec<_> = (0..2).map(|n| client.stats(n).unwrap()).collect();
+            let sets: u64 = before
+                .iter()
+                .map(|s| s.counter("store.sets").unwrap())
+                .sum();
+            assert_eq!(sets, 32);
+            let requests: u64 = before
+                .iter()
+                .map(|s| s.counter("node.requests").unwrap())
+                .sum();
+            assert!(requests >= 64, "every op lands somewhere: {requests}");
+            // A garbage frame is refused, not fatal...
+            client.shards[0].0.send([0xEE; ssync_mp::MSG_WORDS]);
+            assert_eq!(client.read_response(0).unwrap(), Response::Malformed);
+            // ...the next scrape counts it, and serving continues.
+            let after = client.stats(0).unwrap();
+            assert_eq!(after.counter("node.malformed"), Some(1));
+            assert!(client.get(1).unwrap().is_some());
+            client.close();
+        });
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`topology`] — descriptions of the paper's four target platforms
 //!   (Table 1): core counts, socket/die structure, hop distances, memory
 //!   nodes, and the thread-placement policies of Sections 5.4 and 6.
-//! * [`stats`] — small statistics helpers used by the benchmark harnesses.
+//! * [`stats`] — summary statistics for the benchmark harnesses plus the
+//!   observability layer: the log-bucketed [`Histogram`], the named-metric
+//!   [`Registry`] serving loops register into, and the [`mono_ns`]
+//!   timebase open-loop latency stamps share.
 //! * [`cores`] — host core-count probes, so native stress tests scale to
 //!   the machine instead of failing on small ones.
 
@@ -26,6 +29,7 @@ pub mod topology;
 
 pub use backoff::{Backoff, ParkingWait, ProportionalBackoff, RetryPacer, SpinWait};
 pub use pad::CachePadded;
+pub use stats::{mono_ns, Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use topology::{DistClass, Platform, Topology};
 
 /// The cache-line size assumed throughout the workspace, in bytes.

@@ -1,0 +1,116 @@
+//! Model-checked interleavings of the *real* `Histogram` record and
+//! snapshot paths.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg ssync_chk'`: the stats
+//! module's bucket counters then resolve to `ssync-chk` shadow atomics
+//! and the checker enumerates thread interleavings exhaustively up to
+//! the preemption bound. These tests drive the actual
+//! `ssync_core::Histogram` — the single-increment record path and the
+//! relaxed bucket-by-bucket snapshot — not a re-modelled copy.
+//!
+//! Run with:
+//! `RUSTFLAGS='--cfg ssync_chk' cargo test -p ssync-core --test chk_models`
+#![cfg(ssync_chk)]
+
+use std::sync::atomic::{AtomicU64 as RealAtomicU64, Ordering as RealOrdering};
+use std::sync::Arc;
+
+use ssync_chk::{thread, Builder};
+use ssync_core::Histogram;
+
+/// A snapshot racing two concurrent recorders must observe a
+/// *plausible* intermediate state — only values that were actually
+/// recorded, never a torn or phantom count — and after both recorders
+/// join, every increment must be present (relaxed RMWs may race but
+/// can never lose an update). The cross-execution counter proves the
+/// checker really explored mid-record snapshots, not just the
+/// before/after ones.
+#[test]
+fn histogram_snapshot_races_recorders_without_losing_counts() {
+    let partial_snaps = Arc::new(RealAtomicU64::new(0));
+    let partial_snaps2 = Arc::clone(&partial_snaps);
+    // A single snapshot scan is ~HIST_BUCKETS shadow loads, so the
+    // default 2 000-step budget (sized for lock/ring models) is far too
+    // small here; the branching still collapses to the few shared
+    // buckets, only the straight-line step count grows.
+    let report = Builder::new().with_max_steps(64_000).check(move || {
+        let h = Arc::new(Histogram::new());
+        // Two recorders: one lands in the exact region (3 < 32), one in
+        // the log-bucketed region, and both also hit a *shared* bucket
+        // (17) — the lost-update hazard a relaxed fetch_add must survive.
+        let a = {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                h.record(3);
+                h.record(17);
+            })
+        };
+        let b = {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                h.record(100);
+                h.record(17);
+            })
+        };
+        let mid = h.snapshot();
+        let seen = mid.count();
+        assert!(seen <= 4, "snapshot invented counts: {seen}");
+        // Whatever the snapshot caught must be one of the recorded
+        // values; the quantile walk over a partial snapshot stays
+        // coherent (no panic, no out-of-range representative).
+        if let Some(max) = mid.max() {
+            assert!(max <= 104, "phantom value in mid-race snapshot: {max}");
+        }
+        if seen > 0 && seen < 4 {
+            partial_snaps2.fetch_add(1, RealOrdering::Relaxed);
+        }
+        a.join();
+        b.join();
+        let fin = h.snapshot();
+        assert_eq!(fin.count(), 4, "a relaxed increment was lost");
+        // Nearest-rank spot checks: the low end is the exact bucket 3,
+        // the top is 100's bucket (within the 1/32 relative error).
+        assert_eq!(fin.quantile(0.25), Some(3));
+        let top = fin.max().expect("four samples recorded");
+        assert!((100..=104).contains(&top), "top bucket drifted: {top}");
+    });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    assert!(
+        partial_snaps.load(RealOrdering::Relaxed) > 0,
+        "no explored interleaving snapshotted mid-record ({} executions)",
+        report.executions
+    );
+    eprintln!(
+        "histogram record/snapshot model: {} executions",
+        report.executions
+    );
+}
+
+/// Merging a histogram that another thread is still recording into:
+/// the merge reads each source bucket once (relaxed), so it must land
+/// on a subset of the final counts, and the source itself loses
+/// nothing. This is the scrape-while-serving shape — a `Stats` reply
+/// assembling its payload while request threads keep recording.
+#[test]
+fn merge_from_a_live_histogram_takes_a_coherent_subset() {
+    let report = Builder::new().with_max_steps(64_000).check(|| {
+        let src = Arc::new(Histogram::new());
+        src.record(5);
+        let recorder = {
+            let src = Arc::clone(&src);
+            thread::spawn(move || src.record(5))
+        };
+        let dst = Histogram::new();
+        dst.merge(&src);
+        let merged = dst.snapshot().count();
+        assert!(
+            merged == 1 || merged == 2,
+            "merge saw {merged} counts, expected the pre-recorded 1 or both"
+        );
+        recorder.join();
+        assert_eq!(src.snapshot().count(), 2, "merge must not drain the source");
+        assert_eq!(src.quantile(1.0), Some(5));
+    });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    eprintln!("histogram merge model: {} executions", report.executions);
+}

@@ -77,7 +77,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use ssync_core::{ParkingWait, RetryPacer};
+use ssync_core::{ParkingWait, RegistrySnapshot, RetryPacer};
 use ssync_kv::{KvStore, StatsSnapshot};
 use ssync_locks::RawLock;
 use ssync_mp::{
@@ -604,6 +604,47 @@ enum BackupState {
     Crashed { left: u64 },
 }
 
+/// Builds the introspection payload a node returns for [`Request::Stats`]:
+/// the live [`NodeReport`] counters plus the store's own statistics,
+/// flattened into a [`RegistrySnapshot`]. Nodes keep no background
+/// registry — the snapshot is assembled on demand, so the hot path pays
+/// nothing for introspection it never asked for.
+fn node_stats_payload<R: RawLock + Default>(
+    store: &KvStore<R>,
+    report: &NodeReport,
+    leading: bool,
+    term: u64,
+) -> Vec<u8> {
+    let mut snap = RegistrySnapshot::default();
+    let s = store.stats().snapshot();
+    for (name, value) in [
+        ("node.requests", report.requests),
+        ("node.key_ops", report.key_ops),
+        ("node.malformed", report.malformed),
+        ("node.entries", report.entries),
+        ("node.applied", report.applied),
+        ("node.from_log", report.from_log),
+        ("node.stale_drops", report.stale_drops),
+        ("node.refused_reads", report.refused_reads),
+        ("node.hwm", report.hwm),
+        ("node.wrong_leader", report.wrong_leader),
+        ("node.promotions", report.promotions),
+        ("node.term", term),
+        ("node.leading", u64::from(leading)),
+        ("store.hits", s.hits),
+        ("store.misses", s.misses),
+        ("store.sets", s.sets),
+        ("store.deletes", s.deletes),
+        ("store.cas_failures", s.cas_failures),
+        ("store.repl_applied", s.repl_applied),
+        ("store.repl_stale_drops", s.repl_stale_drops),
+        ("store.replica_read_fallbacks", s.replica_read_fallbacks),
+    ] {
+        snap.counters.push((name.to_string(), value));
+    }
+    snap.to_bytes()
+}
+
 /// Runs one node of a shard's replication group until shutdown (every
 /// client stopped and the group converged) or scheduled death.
 ///
@@ -979,6 +1020,17 @@ pub fn serve_node<R: RawLock + Default>(
                 }
                 continue;
             }
+            // Introspection is served by any node in any role — a
+            // follower's queue depths and apply counters are exactly
+            // what an operator scrapes during a failover.
+            Request::Stats => {
+                let payload = node_stats_payload(store, &report, leading, my_term);
+                send_all(
+                    &client_replies[client],
+                    &Response::StatsReply { payload }.encode(),
+                );
+                continue;
+            }
             // Node-to-node traffic on a client connection is a
             // protocol violation; refuse it without executing.
             Request::Replicate { .. } | Request::ReplicateDelete { .. } => {
@@ -1016,6 +1068,14 @@ pub fn serve_node<R: RawLock + Default>(
         let mut crash_after = false;
         let responses: Vec<Response> = match request {
             Request::Get { key } => {
+                report.key_ops += 1;
+                vec![lookup(store, key)]
+            }
+            // The replicated service keeps its latency split at the
+            // store layer (no per-node histograms), so a timed read is
+            // served exactly like a plain one; the stamp still shapes
+            // the client-side open-loop measurement.
+            Request::TimedGet { key, .. } => {
                 report.key_ops += 1;
                 vec![lookup(store, key)]
             }
@@ -1086,6 +1146,7 @@ pub fn serve_node<R: RawLock + Default>(
             | Request::ReplMultiGet { .. }
             | Request::Replicate { .. }
             | Request::ReplicateDelete { .. }
+            | Request::Stats
             | Request::Stop => unreachable!("handled before the leader match"),
         };
         for response in responses {
@@ -1387,6 +1448,19 @@ impl ReplClient {
             return Err(WireError::Disconnected);
         }
         Self::read_response_connected(conn)
+    }
+
+    /// Scrapes the live introspection snapshot of one specific node of
+    /// `shard` — any role, no leader chase. Followers answer too, so a
+    /// scrape observes a failover instead of being stalled by one.
+    pub fn stats_of(&self, shard: usize, node: usize) -> Result<RegistrySnapshot, WireError> {
+        match Self::roundtrip(&self.shards[shard].nodes[node], &Request::Stats)? {
+            Response::StatsReply { payload } => {
+                RegistrySnapshot::from_bytes(&payload).ok_or(WireError::UnexpectedResponse("Stats"))
+            }
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Stats")),
+        }
     }
 
     /// The retrying leader exchange every write (and authoritative
@@ -2206,6 +2280,50 @@ mod tests {
             );
             // All servers still alive.
             assert!(client.get(1).unwrap().is_some());
+            client.close();
+        });
+    }
+
+    #[test]
+    fn stats_scrape_answers_on_any_role_and_survives_malformed_frames() {
+        let cluster = ReplCluster::new(1, 64, 8, ReplSpec::sync(1));
+        with_replicated(cluster, 1, &[], &[], 0, |mut clients| {
+            let client = clients.pop().unwrap();
+            for key in 0..16u64 {
+                client.set(key, vec![key as u8; 8]).unwrap();
+                client.get(key).unwrap().unwrap();
+            }
+            // The leader answers with its live serving counters. The
+            // 16 writes all land here; the reads route to the replica,
+            // so only the writes (plus this scrape) are guaranteed.
+            let leader = client.stats_of(0, 0).unwrap();
+            assert_eq!(leader.counter("node.leading"), Some(1));
+            assert!(leader.counter("node.requests").unwrap() >= 17);
+            assert_eq!(leader.counter("store.sets"), Some(16));
+            // The follower answers too — introspection never chases
+            // the leader, so a scrape works mid-failover.
+            let follower = client.stats_of(0, 1).unwrap();
+            assert_eq!(follower.counter("node.leading"), Some(0));
+            assert_eq!(
+                follower.counter("node.applied"),
+                Some(16),
+                "sync replication applies every write at the follower"
+            );
+            // A garbage frame between scrapes is refused, not fatal...
+            client.shards[0].nodes[0]
+                .0
+                .send([0xEE; ssync_mp::MSG_WORDS]);
+            let head = client.shards[0].nodes[0].1.recv();
+            assert_eq!(
+                Response::decode(head, || unreachable!()).unwrap(),
+                Response::Malformed
+            );
+            // ...and the next scrape of the same node counts it.
+            let again = client.stats_of(0, 0).unwrap();
+            assert_eq!(again.counter("node.malformed"), Some(1));
+            assert!(
+                again.counter("node.requests").unwrap() > leader.counter("node.requests").unwrap()
+            );
             client.close();
         });
     }

@@ -17,7 +17,9 @@
 //!   channels or bounded rings, with pipelined reads on the latter);
 //! * [`workload`] — a deterministic workload engine: seeded zipfian and
 //!   uniform key distributions, YCSB-style read/write mixes, value-size
-//!   distributions, and a closed-loop driver.
+//!   distributions, a closed-loop driver, and an open-loop driver with
+//!   Poisson arrivals whose latencies are stamped from intended send
+//!   times (coordinated-omission-free by construction).
 //!
 //! The `kv-perf` binary in `ssync-ccbench` sweeps this subsystem over
 //! {lock algorithm × shard count × skew × mix} and writes
@@ -54,5 +56,6 @@ pub use router::{shard_of, slot_of, ShardRouter, ROUTE_SLOTS};
 pub use service::{ring_mesh, serve, wire_mesh, wire_mesh_with, KvClient, ServiceClient};
 pub use wire::{Request, Response, WireError, NO_LEADER};
 pub use workload::{
-    KeyDist, Mix, Op, OpStream, Transport, ValueSize, WorkloadReport, WorkloadSpec,
+    run_open_loop, KeyDist, Mix, Op, OpStream, OpenLoopReport, OpenLoopSpec, PoissonArrivals,
+    Transport, ValueSize, WorkloadReport, WorkloadSpec,
 };

@@ -34,6 +34,7 @@
 
 use core::cell::RefCell;
 
+use ssync_core::stats::{mono_ns, Registry, RegistrySnapshot};
 use ssync_core::ParkingWait;
 use ssync_kv::KvStore;
 use ssync_locks::RawLock;
@@ -192,6 +193,13 @@ pub struct ServeReport {
 /// A head frame that fails to decode is answered with
 /// [`Response::Malformed`] and the loop keeps serving — a corrupt
 /// frame degrades one connection, it does not take the shard down.
+///
+/// Observability: the loop registers into a per-server
+/// [`Registry`] — `srv.requests`/`srv.malformed` counters on every
+/// request, plus `srv.queue_wait_ns` and `srv.apply_ns` histograms
+/// fed by [`Request::TimedGet`]'s intended-send stamps — and answers
+/// [`Request::Stats`] with a live snapshot (registry metrics plus the
+/// shard store's counters) without pausing service.
 pub fn serve<R: RawLock + Default, C: MsgReceiver, S: MsgSender>(
     shard: &KvStore<R>,
     endpoint: ServerEndpoint<C, S>,
@@ -202,6 +210,17 @@ pub fn serve<R: RawLock + Default, C: MsgReceiver, S: MsgSender>(
     let mut report = ServeReport::default();
     let mut frames: Vec<Message> = Vec::new();
     let mut wait = ParkingWait::new();
+    let registry = Registry::new();
+    let requests_ctr = registry.counter("srv.requests");
+    let malformed_ctr = registry.counter("srv.malformed");
+    let queue_wait = registry.histogram("srv.queue_wait_ns");
+    let apply = registry.histogram("srv.apply_ns");
+    let send_all = |client: usize, response: &Response, frames: &mut Vec<Message>| {
+        response.encode_into(frames);
+        for &frame in frames.iter() {
+            replies[client].send(frame);
+        }
+    };
     while live > 0 {
         let (client, head) = loop {
             match hub.try_recv_from_any() {
@@ -216,26 +235,60 @@ pub fn serve<R: RawLock + Default, C: MsgReceiver, S: MsgSender>(
             Ok(request) => request,
             Err(_) => {
                 report.malformed += 1;
-                Response::Malformed.encode_into(&mut frames);
-                for &frame in &frames {
-                    replies[client].send(frame);
-                }
+                malformed_ctr.inc();
+                send_all(client, &Response::Malformed, &mut frames);
                 continue;
             }
         };
-        if matches!(request, Request::Stop) {
-            live -= 1;
-            continue;
-        }
-        report.requests += 1;
-        for response in execute(shard, request, &mut report.key_ops) {
-            response.encode_into(&mut frames);
-            for &frame in &frames {
-                replies[client].send(frame);
+        match request {
+            Request::Stop => live -= 1,
+            Request::Stats => {
+                report.requests += 1;
+                requests_ctr.inc();
+                let mut snap = registry.snapshot();
+                append_store_counters(shard, &mut snap);
+                let reply = Response::StatsReply {
+                    payload: snap.to_bytes(),
+                };
+                send_all(client, &reply, &mut frames);
+            }
+            Request::TimedGet { key, stamp } => {
+                report.requests += 1;
+                requests_ctr.inc();
+                let t0 = mono_ns();
+                queue_wait.record(t0.saturating_sub(stamp));
+                let responses = execute(shard, Request::Get { key }, &mut report.key_ops);
+                apply.record(mono_ns().saturating_sub(t0));
+                for response in responses {
+                    send_all(client, &response, &mut frames);
+                }
+            }
+            request => {
+                report.requests += 1;
+                requests_ctr.inc();
+                for response in execute(shard, request, &mut report.key_ops) {
+                    send_all(client, &response, &mut frames);
+                }
             }
         }
     }
     report
+}
+
+/// Appends the shard store's counter snapshot to a scraped registry
+/// snapshot, under `store.`-prefixed names.
+fn append_store_counters<R: RawLock + Default>(shard: &KvStore<R>, snap: &mut RegistrySnapshot) {
+    let s = shard.stats().snapshot();
+    for (name, value) in [
+        ("store.hits", s.hits),
+        ("store.misses", s.misses),
+        ("store.sets", s.sets),
+        ("store.deletes", s.deletes),
+        ("store.cas_failures", s.cas_failures),
+        ("store.read_fallbacks", s.read_fallbacks),
+    ] {
+        snap.counters.push((name.to_string(), value));
+    }
 }
 
 /// Executes one request against the shard, returning the responses to
@@ -306,7 +359,9 @@ fn execute<R: RawLock + Default>(
         | Request::ReplicateDelete { .. }
         | Request::ReplGet { .. }
         | Request::ReplMultiGet { .. } => vec![Response::Malformed],
-        Request::Stop => unreachable!("Stop is handled by the serve loop"),
+        Request::TimedGet { .. } | Request::Stats | Request::Stop => {
+            unreachable!("handled by the serve loop")
+        }
     }
 }
 
@@ -398,6 +453,16 @@ impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
         shard
     }
 
+    /// [`ServiceClient::send_get`] carrying the caller's intended-send
+    /// timestamp ([`ssync_core::stats::mono_ns`]), so the server can
+    /// split this read's latency into queue wait and apply time. Same
+    /// pipelining discipline and same owed reply as `send_get`.
+    pub fn send_get_timed(&self, key: u64, stamp: u64) -> usize {
+        let shard = shard_of(key, self.shards.len());
+        let _ = self.send_request(shard, &Request::TimedGet { key, stamp });
+        shard
+    }
+
     /// Blocks for the next outstanding read reply from `shard` — the
     /// drain half of the pipelined read path.
     ///
@@ -411,6 +476,57 @@ impl<S: MsgSender, C: MsgReceiver> ServiceClient<S, C> {
             Response::Miss => Ok(None),
             Response::Malformed => Err(WireError::Rejected),
             _ => Err(WireError::UnexpectedResponse("Get")),
+        }
+    }
+
+    /// Non-blocking [`ServiceClient::read_get_reply`]: `Ok(None)` when
+    /// no reply head is waiting in the ring. Once a head frame is
+    /// present its continuation frames were already sent back-to-back,
+    /// so only the head poll is non-blocking. The open-loop driver uses
+    /// this to drain completions while waiting out an arrival gap.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServiceClient::read_get_reply`].
+    pub fn try_read_get_reply(&self, shard: usize) -> Result<Option<ReadHit>, WireError> {
+        let (_, rx) = &self.shards[shard];
+        let Some(head) = rx.try_recv() else {
+            return Ok(None);
+        };
+        let mut dead = false;
+        let resp = Response::decode(head, || match rx.recv_connected() {
+            Ok(m) => m,
+            Err(_) => {
+                dead = true;
+                [0; ssync_mp::MSG_WORDS]
+            }
+        })?;
+        if dead {
+            return Err(WireError::Disconnected);
+        }
+        match resp {
+            Response::Value { version, value } => Ok(Some(Some((version, value)))),
+            Response::Miss => Ok(Some(None)),
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Get")),
+        }
+    }
+
+    /// Scrapes `shard`'s live metric registry — counters and histogram
+    /// buckets — without disturbing service (one ordinary request
+    /// round-trip on this client's connection).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an undecodable reply or a payload that fails
+    /// snapshot decoding.
+    pub fn stats(&self, shard: usize) -> Result<RegistrySnapshot, WireError> {
+        match self.call(shard, &Request::Stats)? {
+            Response::StatsReply { payload } => {
+                RegistrySnapshot::from_bytes(&payload).ok_or(WireError::UnexpectedResponse("Stats"))
+            }
+            Response::Malformed => Err(WireError::Rejected),
+            _ => Err(WireError::UnexpectedResponse("Stats")),
         }
     }
 
@@ -770,6 +886,55 @@ mod tests {
         let shard = client.send_get(7);
         assert_eq!(client.read_get_reply(shard), Err(WireError::Disconnected));
         client.close();
+    }
+
+    #[test]
+    fn live_stats_scrape_reads_a_serving_node_under_load() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = AtomicBool::new(false);
+        with_service(1, 2, |mut clients| {
+            let prober = clients.pop().unwrap();
+            let worker = clients.pop().unwrap();
+            std::thread::scope(|s| {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        worker.set(i % 64, vec![1u8; 8]).unwrap();
+                        worker.get(i % 64).unwrap();
+                        i += 1;
+                    }
+                    worker.close();
+                });
+                // Scrape while the load runs: the node answers without
+                // pausing, and the counters only ever grow.
+                let mut last = 0u64;
+                for _ in 0..10 {
+                    let snap = prober.stats(0).unwrap();
+                    let requests = snap.counter("srv.requests").unwrap();
+                    assert!(requests >= last, "counters are monotone");
+                    last = requests;
+                }
+                assert!(last > 0, "the load must be visible in a scrape");
+                // The timed read path feeds the server-side latency
+                // split histograms.
+                let shard = prober.send_get_timed(5, mono_ns());
+                loop {
+                    match prober.try_read_get_reply(shard) {
+                        Ok(None) => std::hint::spin_loop(),
+                        Ok(Some(_)) => break,
+                        Err(e) => panic!("timed read failed: {e:?}"),
+                    }
+                }
+                let snap = prober.stats(0).unwrap();
+                for name in ["srv.queue_wait_ns", "srv.apply_ns"] {
+                    let hist = snap.hist(name).expect("split histogram registered");
+                    assert!(hist.count() >= 1, "{name} must have recorded");
+                }
+                stop.store(true, Ordering::Relaxed);
+                prober.close();
+            });
+        });
     }
 
     #[test]

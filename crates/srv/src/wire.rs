@@ -78,6 +78,8 @@ const OP_REPLICATE: u64 = 7;
 const OP_REPL_DELETE: u64 = 8;
 const OP_REPL_GET: u64 = 9;
 const OP_REPL_MGET: u64 = 10;
+const OP_TIMED_GET: u64 = 11;
+const OP_STATS: u64 = 12;
 
 const ST_VALUE: u64 = 1;
 const ST_MISS: u64 = 2;
@@ -91,6 +93,17 @@ const ST_MALFORMED: u64 = 9;
 const ST_WRONG_LEADER: u64 = 10;
 const ST_WRONG_TERM: u64 = 11;
 const ST_WRONG_SHARD: u64 = 12;
+const ST_STATS: u64 = 13;
+
+/// Maximum serialized registry-snapshot bytes a
+/// [`Response::StatsReply`] carries. The length travels in a full head
+/// word (a scraped snapshot can outgrow the 16-bit value-length field),
+/// so this cap is what keeps decode total against a corrupt length.
+pub const STATS_MAX_PAYLOAD: usize = 1 << 20;
+
+/// Stats payload bytes carried inline by the reply head frame
+/// (words 2..7 — word 1 carries the byte length).
+pub const STATS_INLINE_BYTES: usize = (MSG_WORDS - 2) * 8;
 
 /// Sentinel for "no leader known" in [`Response::WrongLeader`]'s
 /// `leader` word.
@@ -130,6 +143,9 @@ pub enum WireError {
     /// The client's retry/deadline budget ran out before any server
     /// produced a definitive answer.
     Deadline,
+    /// A stats-reply head frame claimed a payload longer than
+    /// [`STATS_MAX_PAYLOAD`].
+    StatsTooLong(usize),
 }
 
 impl fmt::Display for WireError {
@@ -147,6 +163,9 @@ impl fmt::Display for WireError {
             WireError::Rejected => write!(f, "server rejected the request as malformed"),
             WireError::Disconnected => write!(f, "peer disconnected (channel half dropped)"),
             WireError::Deadline => write!(f, "request deadline exceeded"),
+            WireError::StatsTooLong(len) => {
+                write!(f, "stats payload length {len} exceeds {STATS_MAX_PAYLOAD}")
+            }
         }
     }
 }
@@ -226,6 +245,24 @@ pub enum Request {
         /// The lowest applied version the client will accept.
         floor: u64,
     },
+    /// [`Request::Get`] carrying the client's intended-send timestamp
+    /// (on the [`ssync_core::stats::mono_ns`] timebase). The server
+    /// answers exactly like a `Get`, but first records
+    /// `now - stamp` into its queue-wait histogram and times the
+    /// lookup into its apply histogram — the per-op server-side split
+    /// the open-loop harness uses to attribute tail cost.
+    TimedGet {
+        /// The key.
+        key: u64,
+        /// The client's intended send time, in [`ssync_core::stats::mono_ns`]
+        /// nanoseconds.
+        stamp: u64,
+    },
+    /// Scrape the node's metric registry. Served by any node in any
+    /// role (like [`Request::ReplGet`], it needs no leadership); the
+    /// answer is a [`Response::StatsReply`] carrying a serialized
+    /// [`ssync_core::stats::RegistrySnapshot`].
+    Stats,
     /// Client is done; the server exits once every client said so.
     Stop,
 }
@@ -303,6 +340,15 @@ pub enum Response {
     WrongShard {
         /// The cluster-map epoch the responder currently observes.
         map_epoch: u64,
+    },
+    /// Answer to [`Request::Stats`]: a serialized
+    /// [`ssync_core::stats::RegistrySnapshot`] (≤ [`STATS_MAX_PAYLOAD`]
+    /// bytes), streamed over continuation frames like a long value.
+    /// The bytes are opaque to the wire layer; a garbled payload fails
+    /// in `RegistrySnapshot::from_bytes`, not here.
+    StatsReply {
+        /// The serialized snapshot.
+        payload: Vec<u8>,
     },
 }
 
@@ -473,6 +519,18 @@ impl Request {
                     out.push(frame);
                 }
             }
+            Request::TimedGet { key, stamp } => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_TIMED_GET, 0, 0);
+                m[1] = *key;
+                m[2] = *stamp;
+                out.push(m);
+            }
+            Request::Stats => {
+                let mut m: Message = [0; MSG_WORDS];
+                m[0] = head_word(OP_STATS, 0, 0);
+                out.push(m);
+            }
             Request::Stop => {
                 let mut m: Message = [0; MSG_WORDS];
                 m[0] = head_word(OP_STOP, 0, 0);
@@ -545,6 +603,11 @@ impl Request {
                     floor: head[1],
                 }
             }
+            OP_TIMED_GET => Request::TimedGet {
+                key: head[1],
+                stamp: head[2],
+            },
+            OP_STATS => Request::Stats,
             OP_STOP => Request::Stop,
             _ => return Err(WireError::UnknownOpcode(op)),
         })
@@ -632,6 +695,22 @@ impl Response {
                 m[1] = *map_epoch;
                 out.push(m);
             }
+            Response::StatsReply { payload } => {
+                assert!(
+                    payload.len() <= STATS_MAX_PAYLOAD,
+                    "stats payload exceeds STATS_MAX_PAYLOAD"
+                );
+                m[0] = head_word(ST_STATS, 0, 0);
+                m[1] = payload.len() as u64;
+                let inline = payload.len().min(STATS_INLINE_BYTES);
+                write_bytes(&mut m[2..], &payload[..inline]);
+                out.push(m);
+                for chunk in payload[inline..].chunks(CONT_VALUE_BYTES) {
+                    let mut frame: Message = [0; MSG_WORDS];
+                    write_bytes(&mut frame, chunk);
+                    out.push(frame);
+                }
+            }
         }
     }
 
@@ -669,6 +748,25 @@ impl Response {
             },
             ST_WRONG_TERM => Response::WrongTerm { term: head[1] },
             ST_WRONG_SHARD => Response::WrongShard { map_epoch: head[1] },
+            ST_STATS => {
+                let len =
+                    usize::try_from(head[1]).map_err(|_| WireError::StatsTooLong(usize::MAX))?;
+                if len > STATS_MAX_PAYLOAD {
+                    return Err(WireError::StatsTooLong(len));
+                }
+                let mut more = more;
+                let mut payload = vec![0u8; len];
+                let inline = len.min(STATS_INLINE_BYTES);
+                read_bytes(&head[2..], &mut payload[..inline]);
+                let mut done = inline;
+                while done < len {
+                    let frame = more();
+                    let n = (len - done).min(CONT_VALUE_BYTES);
+                    read_bytes(&frame, &mut payload[done..done + n]);
+                    done += n;
+                }
+                Response::StatsReply { payload }
+            }
             _ => return Err(WireError::UnknownStatus(st)),
         })
     }
@@ -734,6 +832,11 @@ mod tests {
                 keys: (0..REPL_MGET_MAX as u64).collect(),
                 floor: 1,
             },
+            Request::TimedGet {
+                key: 21,
+                stamp: u64::MAX,
+            },
+            Request::Stats,
             Request::Stop,
         ];
         for req in samples {
@@ -770,10 +873,38 @@ mod tests {
             Response::WrongShard {
                 map_epoch: u64::MAX,
             },
+            Response::StatsReply { payload: vec![] },
+            Response::StatsReply {
+                payload: (0..STATS_INLINE_BYTES).map(|i| i as u8).collect(),
+            },
+            Response::StatsReply {
+                // Spills into continuation frames.
+                payload: (0..STATS_INLINE_BYTES + 3 * CONT_VALUE_BYTES + 5)
+                    .map(|i| (i * 17 % 249) as u8)
+                    .collect(),
+            },
         ];
         for resp in samples {
             assert_eq!(roundtrip_response(resp.clone()), resp);
         }
+    }
+
+    #[test]
+    fn stats_reply_frame_counts_and_length_cap() {
+        let n = STATS_INLINE_BYTES + 2 * CONT_VALUE_BYTES + 1;
+        let frames = Response::StatsReply {
+            payload: vec![7; n],
+        }
+        .encode();
+        assert_eq!(frames.len(), 4); // head + 2 full + 1 partial continuation
+                                     // A corrupt length is refused before any continuation is pulled.
+        let mut m: Message = [0; MSG_WORDS];
+        m[0] = head_word(ST_STATS, 0, 0);
+        m[1] = (STATS_MAX_PAYLOAD + 1) as u64;
+        assert_eq!(
+            Response::decode(m, || panic!("must not pull continuations")),
+            Err(WireError::StatsTooLong(STATS_MAX_PAYLOAD + 1))
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Deterministic workload engine: seeded key distributions (uniform and
 //! YCSB-style zipfian), read/write mix presets, value-size
-//! distributions, and a closed-loop driver over the service.
+//! distributions, a closed-loop driver over the service, and an
+//! open-loop driver with Poisson arrivals for tail-latency work.
 //!
 //! Everything is a pure function of `(spec.seed, worker index)`: the
 //! same spec issues exactly the same operation sequence per worker on
@@ -9,17 +10,32 @@
 //! generator YCSB uses, with ranks scrambled through a SplitMix64
 //! finalizer so the hot set spreads over the keyspace (and therefore
 //! over the shards) instead of clustering at key 0.
+//!
+//! ## Open loop vs closed loop
+//!
+//! The closed-loop drivers measure *capacity*: each worker issues its
+//! next operation the moment the previous one finishes, so offered
+//! load adapts to service time and a slow request silently delays all
+//! the requests behind it. That adaptation is exactly what makes
+//! closed-loop latency numbers lie about tails (coordinated omission).
+//! The open-loop driver ([`run_open_loop`]) instead draws arrival
+//! times from a deterministic Poisson process and stamps every
+//! operation's latency from its *intended* arrival time: if the
+//! system falls behind, the backlog shows up as latency rather than
+//! as silently reduced load.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use ssync_core::stats::{mono_ns, Histogram, HistogramSnapshot};
 use ssync_kv::StatsSnapshot;
 use ssync_locks::RawLock;
 use ssync_mp::{MsgReceiver, MsgSender};
 
-use crate::router::ShardRouter;
+use crate::router::{shard_of, ShardRouter};
 use crate::service::{ring_mesh, serve, wire_mesh, KvClient, Mesh, ServiceClient};
 use crate::wire::MAX_VALUE_LEN;
 
@@ -699,6 +715,351 @@ pub fn run_closed_loop_on<R: RawLock + Default>(
     report
 }
 
+/// A deterministic Poisson arrival process: exponential inter-arrival
+/// gaps drawn by inversion from a seeded stream. Same seed and mean,
+/// same gap sequence — arrival schedules are replayable even though
+/// the latencies measured against them are not.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: SmallRng,
+    mean_ns: f64,
+}
+
+/// Decorrelates a worker's arrival stream from its op stream: both
+/// derive from `(spec.seed, worker)`, this salt keeps them apart.
+const ARRIVAL_SALT: u64 = 0xA441_7A15_0B5E_55ED;
+
+impl PoissonArrivals {
+    /// An arrival stream with the given mean inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_ns` is positive and finite.
+    pub fn new(seed: u64, mean_ns: f64) -> PoissonArrivals {
+        assert!(
+            mean_ns.is_finite() && mean_ns > 0.0,
+            "mean gap must be positive and finite"
+        );
+        PoissonArrivals {
+            rng: SmallRng::seed_from_u64(seed),
+            mean_ns,
+        }
+    }
+
+    /// The arrival stream worker `worker` of `spec` paces itself by,
+    /// at `1e9 / mean_ns` arrivals per second per worker.
+    pub fn for_worker(spec: &WorkloadSpec, worker: u64, mean_ns: f64) -> PoissonArrivals {
+        Self::new(
+            spec.seed ^ scramble(worker, u64::MAX) ^ ARRIVAL_SALT,
+            mean_ns,
+        )
+    }
+
+    /// The next inter-arrival gap, in nanoseconds.
+    ///
+    /// Inversion sampling: `u` is uniform in `[0, 1)`, so `1 - u` is in
+    /// `(0, 1]` and the log never sees zero.
+    pub fn next_gap_ns(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        (-self.mean_ns * (1.0 - u).ln()) as u64
+    }
+}
+
+/// An open-loop run description, layered on a [`WorkloadSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopSpec {
+    /// The op streams (keys, mix, sizes, seed). Issued counts stay a
+    /// pure function of `(workload, workers, ops_per_worker)`.
+    pub workload: WorkloadSpec,
+    /// Pacing threads, each with its own op and arrival stream.
+    pub workers: usize,
+    /// Client endpoints over the ring mesh, split evenly across
+    /// workers (must be a positive multiple of `workers`). More
+    /// connections deepen server-side buffering the way more physical
+    /// clients would, without needing more pacing threads.
+    pub connections: usize,
+    /// Key-operations each worker issues.
+    pub ops_per_worker: u64,
+    /// Aggregate target arrival rate, in key-ops per second.
+    pub offered_ops_per_sec: f64,
+    /// Ring depth per connection.
+    pub depth: usize,
+    /// Maximum timed reads in flight per connection and shard; must
+    /// not exceed `depth` (the no-blocking-sends discipline).
+    pub window: usize,
+}
+
+/// What an open-loop run measured.
+#[derive(Debug, Clone, Default)]
+pub struct OpenLoopReport {
+    /// Operations issued, by type — deterministic per spec.
+    pub issued: OpCounts,
+    /// The offered aggregate rate the arrival schedule targeted.
+    pub offered_ops_per_sec: f64,
+    /// What the run actually sustained.
+    pub achieved_ops_per_sec: f64,
+    /// Read hits / misses observed (reads and the read half of CAS).
+    pub hits: u64,
+    /// Read misses observed.
+    pub misses: u64,
+    /// Operations that became due while their worker was still waiting
+    /// on earlier work — the schedule-pressure gauge: a saturated run
+    /// is late on nearly every op, an underloaded one on almost none.
+    pub late: u64,
+    /// Read latency from intended arrival to reply drain, ns.
+    pub read_lat: HistogramSnapshot,
+    /// Write/CAS/delete latency from intended arrival to ack, ns.
+    pub write_lat: HistogramSnapshot,
+    /// Wall time of the measure phase.
+    pub wall: Duration,
+    /// Store-side counter deltas over the measure phase.
+    pub store: StatsSnapshot,
+}
+
+/// One open-loop worker's tally.
+struct OpenTally {
+    tally: Tally,
+    late: u64,
+    read_lat: Histogram,
+    write_lat: Histogram,
+}
+
+/// Runs one worker's paced loop over its slice of connections.
+///
+/// Each operation gets an intended arrival time from the Poisson
+/// schedule. Plain reads are fired as [`ServiceClient::send_get_timed`]
+/// (fire-and-forget, latency stamped at reply drain); anything else
+/// drains the issuing connection and runs the blocking path. Waiting
+/// out an arrival gap drains ready replies instead of spinning, so a
+/// worker is never idle while replies sit in its rings. Latency is
+/// *always* `drain_time - intended_arrival`: an op that started late
+/// because the loop was busy still charges its full schedule slip,
+/// which is what makes coordinated omission structurally impossible
+/// here rather than merely corrected for.
+fn drive_worker_open_loop<S: MsgSender, C: MsgReceiver>(
+    conns: &[ServiceClient<S, C>],
+    mut stream: OpStream,
+    mut arrivals: PoissonArrivals,
+    ops: u64,
+    window: usize,
+) -> OpenTally {
+    assert!(!conns.is_empty());
+    let shards = conns[0].num_shards();
+    let mut out = OpenTally {
+        tally: Tally::default(),
+        late: 0,
+        read_lat: Histogram::new(),
+        write_lat: Histogram::new(),
+    };
+    // Intended-arrival stamps of in-flight timed reads, FIFO per
+    // (connection, shard) — replies on one ring arrive in send order.
+    let mut pending: Vec<Vec<VecDeque<u64>>> = (0..conns.len())
+        .map(|_| (0..shards).map(|_| VecDeque::new()).collect())
+        .collect();
+
+    // Drains every ready reply across this worker's connections;
+    // returns whether any arrived.
+    let drain_ready = |pending: &mut Vec<Vec<VecDeque<u64>>>, out: &mut OpenTally| -> bool {
+        let mut any = false;
+        for (c, conn) in conns.iter().enumerate() {
+            for (shard, queue) in pending[c].iter_mut().enumerate() {
+                while !queue.is_empty() {
+                    match conn.try_read_get_reply(shard).expect("wire error") {
+                        None => break,
+                        Some(hit) => {
+                            let intended = queue.pop_front().unwrap();
+                            out.read_lat.record(mono_ns().saturating_sub(intended));
+                            match hit {
+                                Some(_) => out.tally.hits += 1,
+                                None => out.tally.misses += 1,
+                            }
+                            any = true;
+                        }
+                    }
+                }
+            }
+        }
+        any
+    };
+    // Blocks until one reply from `(c, shard)` drains.
+    let drain_one =
+        |c: usize, shard: usize, pending: &mut Vec<Vec<VecDeque<u64>>>, out: &mut OpenTally| loop {
+            match conns[c].try_read_get_reply(shard).expect("wire error") {
+                None => core::hint::spin_loop(),
+                Some(hit) => {
+                    let intended = pending[c][shard].pop_front().unwrap();
+                    out.read_lat.record(mono_ns().saturating_sub(intended));
+                    match hit {
+                        Some(_) => out.tally.hits += 1,
+                        None => out.tally.misses += 1,
+                    }
+                    return;
+                }
+            }
+        };
+
+    let mut next_at = mono_ns();
+    let mut c = 0usize;
+    while out.tally.issued.total() < ops {
+        let op = stream.next_op();
+        next_at += arrivals.next_gap_ns();
+        if mono_ns() >= next_at {
+            out.late += 1;
+        } else {
+            // Wait out the gap, putting the idle time to work.
+            while mono_ns() < next_at {
+                if !drain_ready(&mut pending, &mut out) {
+                    core::hint::spin_loop();
+                }
+            }
+        }
+        match op {
+            Op::Get(key) => {
+                out.tally.issued.gets += 1;
+                let shard = shard_of(key, shards);
+                while pending[c][shard].len() >= window {
+                    drain_one(c, shard, &mut pending, &mut out);
+                }
+                conns[c].send_get_timed(key, next_at);
+                pending[c][shard].push_back(next_at);
+            }
+            op => {
+                // Writes and batched reads barrier their connection
+                // (same ordering discipline as the pipelined driver),
+                // then run blocking; the latency still counts from the
+                // intended arrival, drain included.
+                for shard in 0..shards {
+                    while !pending[c][shard].is_empty() {
+                        drain_one(c, shard, &mut pending, &mut out);
+                    }
+                }
+                apply_op(&conns[c], op, &mut out.tally);
+                out.write_lat.record(mono_ns().saturating_sub(next_at));
+            }
+        }
+        c = (c + 1) % conns.len();
+    }
+    for c in 0..conns.len() {
+        for shard in 0..shards {
+            while !pending[c][shard].is_empty() {
+                drain_one(c, shard, &mut pending, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full open-loop experiment: preload the keyspace, spawn one
+/// server thread per shard and `workers` pacing threads over
+/// `connections` ring clients, pace `ops_per_worker` key-operations
+/// per worker against the Poisson schedule, and report latency from
+/// intended arrival times.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, `connections` is not a positive
+/// multiple of `workers`, `window` is zero or exceeds `depth`, or the
+/// offered rate is not positive and finite.
+pub fn run_open_loop<R: RawLock + Default>(
+    router: &ShardRouter<R>,
+    spec: &OpenLoopSpec,
+) -> OpenLoopReport {
+    assert!(spec.workers > 0);
+    assert!(
+        spec.connections >= spec.workers && spec.connections % spec.workers == 0,
+        "connections ({}) must be a positive multiple of workers ({})",
+        spec.connections,
+        spec.workers
+    );
+    assert!(
+        spec.window >= 1 && spec.window <= spec.depth,
+        "ring window {} must be in 1..=depth ({})",
+        spec.window,
+        spec.depth
+    );
+    // Per-worker mean gap: `workers` independent streams at rate/workers
+    // each superpose to a Poisson stream at the offered aggregate rate.
+    let mean_ns = spec.workers as f64 * 1e9 / spec.offered_ops_per_sec;
+
+    // Preload directly through the router: every key present.
+    let mut rng = SmallRng::seed_from_u64(spec.workload.seed);
+    for key in 0..spec.workload.keys {
+        let len = spec.workload.vsize.sample(&mut rng);
+        let value: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        router.set(key, value);
+    }
+    let before = router.stats_snapshot();
+
+    let (endpoints, service_clients) = ring_mesh(router.num_shards(), spec.connections, spec.depth);
+    let per_worker = spec.connections / spec.workers;
+    let start = Instant::now();
+    let mut tallies: Vec<OpenTally> = Vec::with_capacity(spec.workers);
+    std::thread::scope(|s| {
+        for (shard, endpoint) in endpoints.into_iter().enumerate() {
+            let store = router.shard(shard);
+            s.spawn(move || serve(store, endpoint));
+        }
+        let mut conn_chunks: Vec<Vec<_>> = Vec::with_capacity(spec.workers);
+        let mut it = service_clients.into_iter();
+        for _ in 0..spec.workers {
+            conn_chunks.push(it.by_ref().take(per_worker).collect());
+        }
+        let handles: Vec<_> = conn_chunks
+            .into_iter()
+            .enumerate()
+            .map(|(worker, conns)| {
+                let stream = OpStream::new(&spec.workload, worker as u64);
+                let arrivals = PoissonArrivals::for_worker(&spec.workload, worker as u64, mean_ns);
+                s.spawn(move || {
+                    let tally = drive_worker_open_loop(
+                        &conns,
+                        stream,
+                        arrivals,
+                        spec.ops_per_worker,
+                        spec.window,
+                    );
+                    for conn in conns {
+                        conn.close();
+                    }
+                    tally
+                })
+            })
+            .collect();
+        tallies.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+    });
+    let wall = start.elapsed();
+    let after = router.stats_snapshot();
+
+    let mut report = OpenLoopReport {
+        offered_ops_per_sec: spec.offered_ops_per_sec,
+        wall,
+        store: after.delta(&before),
+        ..OpenLoopReport::default()
+    };
+    let mut read_lat = HistogramSnapshot::empty();
+    let mut write_lat = HistogramSnapshot::empty();
+    for t in tallies {
+        report.issued = report.issued.merge(&t.tally.issued);
+        report.hits += t.tally.hits;
+        report.misses += t.tally.misses;
+        report.late += t.late;
+        read_lat.merge(&t.read_lat.snapshot());
+        write_lat.merge(&t.write_lat.snapshot());
+    }
+    report.read_lat = read_lat;
+    report.write_lat = write_lat;
+    report.achieved_ops_per_sec = if wall.as_secs_f64() > 0.0 {
+        report.issued.total() as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -898,6 +1259,97 @@ mod tests {
             },
         );
         assert_eq!(report.issued, report2.issued);
+    }
+
+    #[test]
+    fn poisson_arrivals_replay_and_match_their_mean() {
+        let spec = WorkloadSpec::example();
+        let draw = |worker: u64| -> Vec<u64> {
+            let mut p = PoissonArrivals::for_worker(&spec, worker, 10_000.0);
+            (0..4000).map(|_| p.next_gap_ns()).collect()
+        };
+        // Same worker, same schedule; different worker, different one.
+        let a = draw(2);
+        assert_eq!(a, draw(2));
+        assert_ne!(a, draw(3));
+        // The empirical mean sits near the target (the seed is fixed,
+        // so this either always passes or never does).
+        let mean = a.iter().sum::<u64>() as f64 / a.len() as f64;
+        assert!(
+            (mean - 10_000.0).abs() < 500.0,
+            "empirical mean {mean} too far from 10000"
+        );
+        // Exponential gaps spread: some well under the mean, some well
+        // over — a constant-gap pacer would fail both.
+        assert!(a.iter().any(|&g| g < 2_000));
+        assert!(a.iter().any(|&g| g > 30_000));
+    }
+
+    #[test]
+    fn open_loop_replays_issued_counts_and_measures_latency() {
+        let spec = OpenLoopSpec {
+            workload: WorkloadSpec {
+                keys: 256,
+                mix: Mix::YCSB_B,
+                ..WorkloadSpec::example()
+            },
+            workers: 2,
+            connections: 4,
+            ops_per_worker: 300,
+            offered_ops_per_sec: 50_000.0,
+            depth: 32,
+            window: 8,
+        };
+        let router: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let report = run_open_loop(&router, &spec);
+        assert_eq!(report.issued.total(), 600);
+        // Every read drained through the timed path, every write took
+        // the blocking path; nothing measured twice, nothing dropped.
+        assert_eq!(report.read_lat.count(), report.issued.gets);
+        assert_eq!(report.write_lat.count(), report.issued.sets);
+        assert_eq!(report.hits + report.misses, report.issued.gets);
+        assert_eq!(report.misses, 0, "preloaded, delete-free keyspace");
+        assert!(report.read_lat.quantile(0.99).unwrap() > 0);
+        assert!(report.achieved_ops_per_sec > 0.0);
+        // The op streams replay exactly on a fresh router.
+        let router2: ShardRouter<TicketLock> = ShardRouter::new(2, 64, 8);
+        let report2 = run_open_loop(&router2, &spec);
+        assert_eq!(report.issued, report2.issued);
+        assert_eq!(report.hits, report2.hits);
+    }
+
+    #[test]
+    fn open_loop_goes_late_under_impossible_load_but_still_issues_all() {
+        // An offered rate no machine sustains pushes the schedule
+        // permanently behind: the loop must not skip or stall, and the
+        // lateness gauge must show the pressure.
+        let spec = OpenLoopSpec {
+            workload: WorkloadSpec {
+                keys: 128,
+                mix: Mix::CHURN,
+                ..WorkloadSpec::example()
+            },
+            workers: 1,
+            connections: 2,
+            ops_per_worker: 300,
+            offered_ops_per_sec: 1e9,
+            depth: 16,
+            window: 4,
+        };
+        let router: ShardRouter<TicketLock> = ShardRouter::new(1, 64, 8);
+        let report = run_open_loop(&router, &spec);
+        assert_eq!(report.issued.total(), 300);
+        assert!(report.issued.deletes > 0 && report.issued.cas > 0);
+        assert!(
+            report.late > 100,
+            "a 1 Gop/s schedule must run late ({} late)",
+            report.late
+        );
+        // Churn writes measure too (set + cas + delete all barrier).
+        assert_eq!(
+            report.write_lat.count(),
+            report.issued.sets + report.issued.cas + report.issued.deletes
+        );
     }
 
     #[test]
