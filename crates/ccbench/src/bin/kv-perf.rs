@@ -2,8 +2,11 @@
 //!
 //! Sweeps the native serving stack over {lock algorithm × shard count
 //! × key skew × rw mix} plus the {read_path × transport} fast-path
-//! grid (and batched multi-get and churn cases), prints a per-case
-//! table, and writes `BENCH_kv.json` unless `--no-write` is given.
+//! grid (and batched multi-get and churn cases), runs the epoch
+//! reclamation churn soak (bounded retired backlog vs. the unbounded
+//! deferred baseline — a failed bound exits nonzero), prints a
+//! per-case table, and writes `BENCH_kv.json` unless `--no-write` is
+//! given.
 //!
 //! ```text
 //! kv-perf [--smoke] [--out PATH] [--no-write] [--check-determinism]
@@ -18,7 +21,8 @@
 //! — CI runs this in smoke mode.
 
 use ssync_ccbench::kv_perf::{
-    check_determinism, render_json, render_table, run_sweep, SweepConfig,
+    check_determinism, render_json, render_table, run_churn_soak, run_sweep, SoakConfig,
+    SweepConfig,
 };
 
 fn main() {
@@ -70,12 +74,22 @@ fn main() {
     };
     print!("{}", render_table(&results));
 
+    // The churn soak gates the release: the epoch store's retired
+    // backlog must stay bounded under sustained delete/replace churn
+    // while its deferred (graveyard) twin accumulates everything.
+    let soak = run_churn_soak(SoakConfig::for_host(smoke));
+    eprintln!("kv-perf: {}", soak.summary());
+    if let Err(msg) = soak.check() {
+        eprintln!("kv-perf: CHURN SOAK FAILURE: {msg}");
+        std::process::exit(1);
+    }
+
     // Smoke runs are startup-dominated; only a full run refreshes the
     // committed artifact by default (same discipline as sim-perf).
     let write_default = !smoke;
     if !no_write && (write_default || out_path.is_some()) {
         let path = out_path.unwrap_or_else(|| "BENCH_kv.json".to_string());
-        let json = render_json(&results, config);
+        let json = render_json(&results, config, &soak);
         std::fs::write(&path, json).expect("write BENCH_kv.json");
         eprintln!("wrote {path}");
     }

@@ -15,9 +15,17 @@
 //! `BENCH_kv.json`. Issued op counts are deterministic per seed — the
 //! regression tests and the committed artifact rely on that — while
 //! wall times are whatever the host gives.
+//!
+//! The sweep is followed by the **churn soak** ([`run_churn_soak`]): a
+//! deterministic delete/replace-heavy stream that holds the epoch
+//! store's retired-node backlog under [`SOAK_BACKLOG_BOUND`] at every
+//! round boundary — reclamation running concurrently with traffic,
+//! never a `purge_retired` quiescent point — against a
+//! [`ReclaimMode::Deferred`] twin whose backlog just grows, the old
+//! graveyard semantics made measurable.
 
 use ssync_core::cores;
-use ssync_kv::ReadPath;
+use ssync_kv::{KvStore, ReadPath, ReclaimMode};
 use ssync_locks::{McsLock, MutexLock, RawLock, TicketLock, TtasLock};
 use ssync_srv::router::ShardRouter;
 use ssync_srv::workload::{
@@ -50,6 +58,27 @@ pub const RING_DEPTH: usize = 64;
 /// ring cases. At most `RING_WINDOW` one-frame requests can be queued
 /// per shard, so sends never block (the pipelined-client discipline).
 pub const RING_WINDOW: usize = 16;
+
+/// Rounds the churn soak runs in a full invocation.
+pub const SOAK_ROUNDS: usize = 64;
+
+/// Key-operations per soak round in a full invocation.
+pub const SOAK_OPS_PER_ROUND: u64 = 2_048;
+
+/// Churn-soak rounds in `--smoke` mode.
+pub const SMOKE_SOAK_ROUNDS: usize = 16;
+
+/// Key-operations per soak round in `--smoke` mode.
+pub const SMOKE_SOAK_OPS_PER_ROUND: u64 = 512;
+
+/// Keyspace of the churn soak — small enough that most writes replace
+/// or delete a live node, which is what loads the reclamation path.
+pub const SOAK_KEYS: u64 = 512;
+
+/// Retired-node backlog the epoch store must never exceed at a round
+/// boundary. The deferred (graveyard) baseline blows through this in
+/// both soak modes, which is the whole point of the contrast.
+pub const SOAK_BACKLOG_BOUND: u64 = 2_048;
 
 /// The native lock algorithms the sweep crosses. A subset of the nine:
 /// one spin (TTAS), one fair spin (TICKET), one queue (MCS), one
@@ -269,6 +298,195 @@ pub fn sweep_cases() -> Vec<Case> {
     cases
 }
 
+/// The churn soak's shape, fixed per invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Churn rounds; the backlog gauge is sampled at each boundary.
+    pub rounds: usize,
+    /// Key-operations per round.
+    pub ops_per_round: u64,
+    /// Keyspace size.
+    pub keys: u64,
+}
+
+impl SoakConfig {
+    /// The soak shape for a full or `--smoke` invocation.
+    pub fn for_host(smoke: bool) -> SoakConfig {
+        SoakConfig {
+            rounds: if smoke {
+                SMOKE_SOAK_ROUNDS
+            } else {
+                SOAK_ROUNDS
+            },
+            ops_per_round: if smoke {
+                SMOKE_SOAK_OPS_PER_ROUND
+            } else {
+                SOAK_OPS_PER_ROUND
+            },
+            keys: SOAK_KEYS,
+        }
+    }
+}
+
+/// What the churn soak measured. Every field is deterministic per
+/// seed: the op stream, the amortized maintenance cadence, and the
+/// epoch advances are all functions of the (single-threaded) driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnSoakResult {
+    /// Rounds run.
+    pub rounds: usize,
+    /// Key-operations per round.
+    pub ops_per_round: u64,
+    /// Keyspace size.
+    pub keys: u64,
+    /// Issued key-ops by type (preload sets included).
+    pub issued: OpCounts,
+    /// Highest retired-node backlog any round-boundary sample saw on
+    /// the epoch store.
+    pub reclaim_backlog_max: u64,
+    /// The epoch store's backlog after the final round (no shutdown
+    /// purge — this is what online reclamation left behind).
+    pub reclaim_backlog_final: u64,
+    /// Nodes the epoch store freed online (no `purge_retired` ran).
+    pub nodes_reclaimed: u64,
+    /// Global-epoch advances the amortized maintenance performed.
+    pub epochs_advanced: u64,
+    /// Final backlog of the [`ReclaimMode::Deferred`] twin driven with
+    /// the identical op stream — the PR-5 graveyard semantics, where
+    /// nothing is freed before a `&mut` quiescent point. Grows with
+    /// the op count, unbounded.
+    pub deferred_backlog_final: u64,
+    /// The bound [`ChurnSoakResult::check`] holds the epoch store to.
+    pub backlog_bound: u64,
+}
+
+impl ChurnSoakResult {
+    /// The soak's pass criteria: the epoch store's backlog stayed
+    /// bounded, reclamation actually ran online, and the deferred
+    /// baseline — same ops, no epochs — retired past anything the
+    /// epoch store ever held.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated criterion.
+    pub fn check(&self) -> Result<(), String> {
+        if self.reclaim_backlog_max >= self.backlog_bound {
+            return Err(format!(
+                "epoch-store backlog hit {} (bound {})",
+                self.reclaim_backlog_max, self.backlog_bound
+            ));
+        }
+        if self.nodes_reclaimed == 0 {
+            return Err("no nodes were reclaimed online".to_string());
+        }
+        if self.deferred_backlog_final <= self.reclaim_backlog_max {
+            return Err(format!(
+                "deferred baseline retired only {} nodes, not past the epoch store's max backlog {}",
+                self.deferred_backlog_final, self.reclaim_backlog_max
+            ));
+        }
+        Ok(())
+    }
+
+    /// One human-readable summary line for the harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "churn-soak: {} rounds x {} ops, backlog max {} / final {} (bound {}), \
+             {} reclaimed over {} epochs; deferred baseline final backlog {}",
+            self.rounds,
+            self.ops_per_round,
+            self.reclaim_backlog_max,
+            self.reclaim_backlog_final,
+            self.backlog_bound,
+            self.nodes_reclaimed,
+            self.epochs_advanced,
+            self.deferred_backlog_final
+        )
+    }
+}
+
+/// One xorshift64 step (the workload engine's generator family; kept
+/// local so the soak stream is pinned independently of it).
+fn soak_step(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Drives the deterministic churn stream against one store and samples
+/// the backlog gauge at every round boundary. Returns the issued op
+/// counts, the max and final backlog samples, and the final snapshot.
+fn drive_soak<R: RawLock + Default>(
+    config: SoakConfig,
+    reclaim: ReclaimMode,
+) -> (OpCounts, u64, u64, ssync_kv::StatsSnapshot) {
+    // Stripe and bucket counts match a sweep shard's shape at the soak
+    // keyspace; reclamation is exercised purely through the store's own
+    // amortized after-write maintenance — the soak never calls
+    // `reclaim_pass` or `purge_retired`.
+    let store: KvStore<R> = KvStore::with_reclaim(512, 16, ReadPath::Optimistic, reclaim);
+    let mut issued = OpCounts::default();
+    for key in 0..config.keys {
+        store.set(&key.to_be_bytes(), vec![key as u8; 24]);
+        issued.sets += 1;
+    }
+    let mut rng = SEED;
+    let mut backlog_max = store.reclaim_backlog();
+    for _ in 0..config.rounds {
+        for _ in 0..config.ops_per_round {
+            let r = soak_step(&mut rng);
+            let key = (r % config.keys).to_be_bytes();
+            // Write-heavy churn: sets replace, deletes unlink — both
+            // retire a node when the key is live — and a read slice
+            // keeps pinned traversals in the mix.
+            match (r >> 32) % 10 {
+                0..=4 => {
+                    store.set(&key, vec![(r >> 8) as u8; 24]);
+                    issued.sets += 1;
+                }
+                5..=7 => {
+                    store.delete(&key);
+                    issued.deletes += 1;
+                }
+                _ => {
+                    store.get(&key);
+                    issued.gets += 1;
+                }
+            }
+        }
+        backlog_max = backlog_max.max(store.reclaim_backlog());
+    }
+    let snap = store.stats_snapshot();
+    (issued, backlog_max, store.reclaim_backlog(), snap)
+}
+
+/// Runs the churn soak: the same deterministic churn stream against an
+/// epoch-reclaiming store and a [`ReclaimMode::Deferred`] twin (the
+/// PR-5 graveyard baseline). The epoch store must hold its retired
+/// backlog under [`SOAK_BACKLOG_BOUND`] at every sample while freeing
+/// concurrently with traffic; the twin's final backlog shows what the
+/// old scheme would have accumulated by the first quiescent point.
+pub fn run_churn_soak(config: SoakConfig) -> ChurnSoakResult {
+    let (issued, backlog_max, backlog_final, snap) =
+        drive_soak::<TtasLock>(config, ReclaimMode::Epoch);
+    let (_, _, deferred_final, _) = drive_soak::<TtasLock>(config, ReclaimMode::Deferred);
+    ChurnSoakResult {
+        rounds: config.rounds,
+        ops_per_round: config.ops_per_round,
+        keys: config.keys,
+        issued,
+        reclaim_backlog_max: backlog_max,
+        reclaim_backlog_final: backlog_final,
+        nodes_reclaimed: snap.nodes_reclaimed,
+        epochs_advanced: snap.epochs_advanced,
+        deferred_backlog_final: deferred_final,
+        backlog_bound: SOAK_BACKLOG_BOUND,
+    }
+}
+
 fn run_case_typed<R: RawLock + Default>(case: Case, config: SweepConfig) -> CaseResult {
     // Shards stay small so per-case setup doesn't dominate: enough
     // buckets to keep chains short at the sweep's keyspace sizes.
@@ -370,10 +588,10 @@ pub fn render_table(results: &[CaseResult]) -> String {
 /// Renders the sweep as the `BENCH_kv.json` document. Hand-rolled JSON
 /// like `BENCH_sim.json`: the workspace is offline and serde is not
 /// among the vendored shims.
-pub fn render_json(results: &[CaseResult], config: SweepConfig) -> String {
+pub fn render_json(results: &[CaseResult], config: SweepConfig, soak: &ChurnSoakResult) -> String {
     let mut doc = Doc::open(
-        "ssync-kv-perf-v2",
-        "ops are key-operations (a multi-get counts per key); wall times are host milliseconds on the build machine; issued counts are deterministic per seed, wall/ops_per_sec are not",
+        "ssync-kv-perf-v3",
+        "ops are key-operations (a multi-get counts per key); wall times are host milliseconds on the build machine; issued counts and every churn_soak field are deterministic per seed, wall/ops_per_sec are not",
     );
     doc.member(
         &format!(
@@ -409,7 +627,25 @@ pub fn render_json(results: &[CaseResult], config: SweepConfig) -> String {
             )
         })
         .collect();
-    doc.array("cases", &cases, false);
+    doc.array("cases", &cases, true);
+    doc.member(
+        &format!(
+            "\"churn_soak\": {{\"rounds\": {}, \"ops_per_round\": {}, \"keys\": {}, \"sets\": {}, \"deletes\": {}, \"gets\": {}, \"reclaim_backlog_max\": {}, \"reclaim_backlog_final\": {}, \"nodes_reclaimed\": {}, \"epochs_advanced\": {}, \"deferred_backlog_final\": {}, \"backlog_bound\": {}}}",
+            soak.rounds,
+            soak.ops_per_round,
+            soak.keys,
+            soak.issued.sets,
+            soak.issued.deletes,
+            soak.issued.gets,
+            soak.reclaim_backlog_max,
+            soak.reclaim_backlog_final,
+            soak.nodes_reclaimed,
+            soak.epochs_advanced,
+            soak.deferred_backlog_final,
+            soak.backlog_bound
+        ),
+        false,
+    );
     doc.finish()
 }
 
@@ -506,11 +742,48 @@ mod tests {
         assert!(r.hit_rate > 0.99); // Preloaded keyspace, no deletes.
         let table = render_table(std::slice::from_ref(&r));
         assert!(table.contains("TICKET"));
-        let json = render_json(std::slice::from_ref(&r), config);
-        assert!(json.contains("\"ssync-kv-perf-v2\""));
+        let soak = run_churn_soak(tiny_soak_config());
+        let json = render_json(std::slice::from_ref(&r), config, &soak);
+        assert!(json.contains("\"ssync-kv-perf-v3\""));
         assert!(json.contains("\"mix\": \"ycsb-b\""));
         assert!(json.contains("\"read_path\": \"locked\""));
         assert!(json.contains("\"transport\": \"oneline\""));
+        assert!(json.contains("\"churn_soak\""));
+        assert!(json.contains("\"reclaim_backlog_max\""));
+    }
+
+    fn tiny_soak_config() -> SoakConfig {
+        SoakConfig {
+            rounds: 8,
+            ops_per_round: 256,
+            keys: 64,
+        }
+    }
+
+    #[test]
+    fn churn_soak_bounds_backlog_and_the_deferred_baseline_does_not() {
+        let soak = run_churn_soak(tiny_soak_config());
+        soak.check().expect("soak criteria");
+        // Online reclamation happened without any quiescent purge, the
+        // backlog stayed bounded, and the graveyard twin — identical
+        // op stream — accumulated every retired node instead.
+        assert!(soak.nodes_reclaimed > 0);
+        assert!(soak.epochs_advanced > 0);
+        assert!(soak.reclaim_backlog_max < soak.backlog_bound);
+        assert!(soak.deferred_backlog_final > soak.reclaim_backlog_max);
+        assert!(!soak.summary().is_empty());
+    }
+
+    #[test]
+    fn churn_soak_is_deterministic() {
+        let a = run_churn_soak(tiny_soak_config());
+        let b = run_churn_soak(tiny_soak_config());
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.reclaim_backlog_max, b.reclaim_backlog_max);
+        assert_eq!(a.reclaim_backlog_final, b.reclaim_backlog_final);
+        assert_eq!(a.nodes_reclaimed, b.nodes_reclaimed);
+        assert_eq!(a.epochs_advanced, b.epochs_advanced);
+        assert_eq!(a.deferred_backlog_final, b.deferred_backlog_final);
     }
 
     #[test]

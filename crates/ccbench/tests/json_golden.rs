@@ -92,7 +92,27 @@ fn kv_perf_json_layout_is_pinned() {
         ops_per_worker: 400,
         keys: 512,
     };
-    check("kv_perf.json", &kv_perf::render_json(&results, config));
+    let soak = kv_perf::ChurnSoakResult {
+        rounds: 16,
+        ops_per_round: 512,
+        keys: 512,
+        issued: OpCounts {
+            gets: 1650,
+            sets: 4600,
+            cas: 0,
+            deletes: 2454,
+        },
+        reclaim_backlog_max: 320,
+        reclaim_backlog_final: 96,
+        nodes_reclaimed: 5000,
+        epochs_advanced: 128,
+        deferred_backlog_final: 5096,
+        backlog_bound: 2048,
+    };
+    check(
+        "kv_perf.json",
+        &kv_perf::render_json(&results, config, &soak),
+    );
 }
 
 #[test]

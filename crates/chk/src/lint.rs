@@ -2,16 +2,17 @@
 //!
 //! A deliberately small line-level source pass (no `syn`, no regex crate
 //! — we are offline) that walks every `*/src/*.rs` file in the workspace
-//! and checks six rules distilled from DESIGN.md's ordering arguments:
+//! and checks seven rules distilled from DESIGN.md's ordering arguments:
 //!
 //! | rule | scope | requirement |
 //! |------|-------|-------------|
 //! | `relaxed-ptr` | all crates | `Ordering::Relaxed` load/store on a pointer-typed atomic must carry a `// chk:` justification within 3 lines |
-//! | `atomic-padding` | kv, mp, repl, cluster | `Atomic*` struct fields must be `CachePadded` or `// chk:`-annotated |
-//! | `safety-comment` | kv, mp, repl, cluster | `unsafe` blocks/impls/fns must have a `// SAFETY:` comment within 5 lines above |
+//! | `atomic-padding` | kv, mp, repl, cluster, core/stats, core/epoch | `Atomic*` struct fields must be `CachePadded` or `// chk:`-annotated |
+//! | `safety-comment` | kv, mp, repl, cluster, core/stats, core/epoch | `unsafe` blocks/impls/fns must have a `// SAFETY:` comment within 5 lines above |
 //! | `decode-panic` | `wire*.rs` | functions named `*decode*` must not `panic!`/`unwrap()`/`expect(`/`unreachable!`/`todo!` |
 //! | `term-fence` | repl | identifiers with a `term` name segment only meet raw-u64 comparisons — no `+`/`-`/`*`/`/`/`%` or `wrapping_*`/`saturating_*`/`overflowing_*`/`checked_*` without a `// chk:` justification |
 //! | `epoch-fence` | cluster | the same discipline for `epoch` name segments — cluster-map epochs are fenced by raw-u64 comparison, and the only legal mutation is the cutover's justified `epoch + 1` |
+//! | `epoch-pin` | kv | no raw `.load(` on an `epoch`-segment identifier — the store reads the reclamation epoch only through `EpochDomain`'s pin/`epoch()` API (a raw load can miss the pin protocol's publication fence); `// chk:` escapes |
 //!
 //! `#[cfg(test)]` regions are exempt from every rule (models and tests
 //! construct bare atomics and panic on purpose). `vendor/` and `target/`
@@ -100,6 +101,7 @@ struct Scope {
     decode_panic: bool,
     term_fence: bool,
     epoch_fence: bool,
+    epoch_pin: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -109,15 +111,19 @@ fn scope_of(path: &str) -> Scope {
         || path.starts_with("crates/cluster/");
     // The observability hot path: histogram counters sit on the record
     // side of every measured request, so they get the same padding and
-    // SAFETY discipline as the serving crates.
-    let obs_hot = path.starts_with("crates/core/src/stats");
+    // SAFETY discipline as the serving crates. The epoch module is the
+    // read path's reclamation machinery — pin records are the very
+    // lines the paper's cache-transfer argument is about.
+    let core_hot =
+        path.starts_with("crates/core/src/stats") || path.starts_with("crates/core/src/epoch");
     let file_name = path.rsplit('/').next().unwrap_or(path);
     Scope {
         relaxed_ptr: true,
-        padding_and_safety: hot_crate || obs_hot,
+        padding_and_safety: hot_crate || core_hot,
         decode_panic: file_name.contains("wire"),
         term_fence: path.starts_with("crates/repl/"),
         epoch_fence: path.starts_with("crates/cluster/"),
+        epoch_pin: path.starts_with("crates/kv/"),
     }
 }
 
@@ -146,6 +152,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<LintViolation> {
     }
     if scope.epoch_fence {
         rule_epoch_fence(path, &raw, &stripped, &in_test, &mut out);
+    }
+    if scope.epoch_pin {
+        rule_epoch_pin(path, &raw, &stripped, &in_test, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -732,6 +741,50 @@ fn rule_fenced_word(
     }
 }
 
+/// The kv read path's reclamation discipline: the global reclamation
+/// epoch is read *only* through `EpochDomain`'s API (`pin()` /
+/// `epoch()`), never by a raw atomic load on an epoch-named word. A
+/// raw `.load(` can sit before the pin protocol's publication fence —
+/// exactly the ordering bug that lets a collector advance past a
+/// reader — so inside `crates/kv/` any `.load(` whose receiver carries
+/// `epoch` as a whole snake-case segment (`epoch`, `global_epoch`,
+/// `epoch_word` — never a substring like `epochs_advanced`) needs a
+/// `// chk:` justification within 3 lines.
+fn rule_epoch_pin(
+    path: &str,
+    raw: &[&str],
+    stripped: &[String],
+    in_test: &[bool],
+    out: &mut Vec<LintViolation>,
+) {
+    for (i, line) in stripped.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(".load(") {
+            let at = from + pos;
+            from = at + ".load(".len();
+            let Some(recv) = ident_ending_at(line, at) else {
+                continue;
+            };
+            if is_epoch_ident(recv) && !justified(raw, i, "// chk:", 3) {
+                out.push(LintViolation {
+                    file: path.to_string(),
+                    line: i + 1,
+                    rule: "epoch-pin",
+                    msg: format!(
+                        "raw load of epoch-carrying atomic `{recv}` in the kv store — read the \
+                         reclamation epoch through a pin guard / `EpochDomain::epoch()`, or \
+                         justify with `// chk:`"
+                    ),
+                    annotation_fix: true,
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,6 +987,48 @@ mod tests {
                    }\n";
         let v = lint_source("crates/repl/src/x.rs", src);
         assert!(!v.iter().any(|v| v.rule == "term-fence"), "{v:?}");
+    }
+
+    #[test]
+    fn epoch_pin_raw_load_flagged_in_kv_only() {
+        let src = "fn f(global_epoch: &AtomicU64) -> u64 {\n\
+                       global_epoch.load(Ordering::Acquire)\n\
+                   }\n";
+        let hot = lint_source("crates/kv/src/x.rs", src);
+        assert!(
+            hot.iter().any(|v| v.rule == "epoch-pin" && v.line == 2),
+            "{hot:?}"
+        );
+        let core = lint_source("crates/core/src/epoch.rs", src);
+        assert!(!core.iter().any(|v| v.rule == "epoch-pin"), "{core:?}");
+        let cluster = lint_source("crates/cluster/src/x.rs", src);
+        assert!(
+            !cluster.iter().any(|v| v.rule == "epoch-pin"),
+            "{cluster:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_pin_api_calls_counters_and_justified_loads_pass() {
+        let src = "fn f(kv: &KvStore, stats: &Stats, seq: &AtomicU64) -> u64 {\n\
+                       let tag = kv.epoch.epoch();\n\
+                       let n = stats.epochs_advanced.load(Ordering::Relaxed);\n\
+                       // chk: shutdown path, no concurrent collector\n\
+                       let g = kv.epoch_word.load(Ordering::Acquire);\n\
+                       tag + n + g + seq.load(Ordering::Acquire)\n\
+                   }\n";
+        let v = lint_source("crates/kv/src/x.rs", src);
+        assert!(!v.iter().any(|v| v.rule == "epoch-pin"), "{v:?}");
+    }
+
+    #[test]
+    fn core_epoch_module_carries_padding_and_safety_rules() {
+        let src = "struct D {\n    global: AtomicU64,\n}\n";
+        let v = lint_source("crates/core/src/epoch.rs", src);
+        assert!(v.iter().any(|v| v.rule == "atomic-padding"), "{v:?}");
+        let unsafe_src = "fn f(p: *mut u8) {\n    unsafe { p.write(0) };\n}\n";
+        let v = lint_source("crates/core/src/epoch.rs", unsafe_src);
+        assert!(v.iter().any(|v| v.rule == "safety-comment"), "{v:?}");
     }
 
     #[test]

@@ -215,6 +215,15 @@ enum Status {
 
 struct ThreadState {
     status: Status,
+    /// Announced but not yet location-resolved operation. Resolution is
+    /// deferred to the controller's quiescence point (`resolve_pending`)
+    /// so that fresh locations register in thread-id order: threads
+    /// announce from concurrently-running real segments, and letting
+    /// announce order assign `LocId`s would make the numbering a
+    /// wall-clock race — the DFS stack's stored footprints would then
+    /// disagree with later executions' numbering and pruning would go
+    /// nondeterministic.
+    unresolved: Option<Req>,
     pending: Option<OpKind>,
     granted: bool,
     /// For a pending `Yield`: set once any *other* step executes, which
@@ -228,6 +237,7 @@ impl ThreadState {
     fn new(status: Status) -> Self {
         ThreadState {
             status,
+            unresolved: None,
             pending: None,
             granted: false,
             yield_ready: false,
@@ -374,6 +384,43 @@ impl State {
         result
     }
 
+    /// Resolves every announced-but-unresolved operation, in thread-id
+    /// order. Called by the controller once the system is quiescent, so
+    /// fresh locations always register in the same deterministic order
+    /// regardless of which thread's announce won the real-time race to
+    /// the state lock.
+    fn resolve_pending(&mut self) {
+        for tid in 0..self.threads.len() {
+            let Some(req) = self.threads[tid].unresolved.take() else {
+                continue;
+            };
+            let kind = match req.kind {
+                ReqKind::Load => OpKind::Load {
+                    loc: self.mem.resolve(req.addr, req.init),
+                },
+                ReqKind::Store { val, class } => OpKind::Store {
+                    loc: self.mem.resolve(req.addr, req.init),
+                    val,
+                    class,
+                },
+                ReqKind::Rmw { rmw } => OpKind::Rmw {
+                    loc: self.mem.resolve(req.addr, req.init),
+                    rmw,
+                },
+                ReqKind::LockAcquire => OpKind::LockAcquire {
+                    loc: self.mem.resolve(req.addr, req.init),
+                },
+                ReqKind::LockRelease => OpKind::LockRelease {
+                    loc: self.mem.resolve(req.addr, req.init),
+                },
+                ReqKind::Yield => OpKind::Yield,
+                ReqKind::Spawn => OpKind::Spawn,
+                ReqKind::Join { target } => OpKind::Join { target },
+            };
+            self.threads[tid].pending = Some(kind);
+        }
+    }
+
     /// True if the announced operation of `tid` can execute now.
     fn op_enabled(&self, tid: Tid) -> bool {
         match self.threads[tid].pending {
@@ -474,30 +521,7 @@ impl Shared {
             drop(st);
             return abort_current_thread();
         }
-        let kind = match req.kind {
-            ReqKind::Load => OpKind::Load {
-                loc: st.mem.resolve(req.addr, req.init),
-            },
-            ReqKind::Store { val, class } => OpKind::Store {
-                loc: st.mem.resolve(req.addr, req.init),
-                val,
-                class,
-            },
-            ReqKind::Rmw { rmw } => OpKind::Rmw {
-                loc: st.mem.resolve(req.addr, req.init),
-                rmw,
-            },
-            ReqKind::LockAcquire => OpKind::LockAcquire {
-                loc: st.mem.resolve(req.addr, req.init),
-            },
-            ReqKind::LockRelease => OpKind::LockRelease {
-                loc: st.mem.resolve(req.addr, req.init),
-            },
-            ReqKind::Yield => OpKind::Yield,
-            ReqKind::Spawn => OpKind::Spawn,
-            ReqKind::Join { target } => OpKind::Join { target },
-        };
-        st.threads[tid].pending = Some(kind);
+        st.threads[tid].unresolved = Some(req);
         st.threads[tid].status = Status::Pending;
         st.threads[tid].yield_ready = false;
         self.cv_ctrl.notify_all();
@@ -521,6 +545,7 @@ impl Shared {
         // still observe the pre-store state after the writer exits. Join
         // only becomes enabled once the buffer drains.
         st.threads[tid].status = Status::Finished;
+        st.threads[tid].unresolved = None;
         st.threads[tid].pending = None;
         if let Some(msg) = panic_msg {
             st.fail(msg);
@@ -796,6 +821,7 @@ pub(crate) fn run_execution(
             break;
         }
 
+        st.resolve_pending();
         let mut enabled = st.enabled_steps();
         if enabled.is_empty() {
             let blocked: Vec<String> = st

@@ -32,8 +32,8 @@
 //!    table and publish it with one epoch-bumping CAS. Unfreeze, and
 //!    the parked writes bounce to their new owners.
 //! 5. **Cleanup** — delete the moved keys from the sources; their
-//!    retired nodes are reclaimed at the caller's next
-//!    [`KvStore::purge_retired`] quiesce point.
+//!    retired nodes are reclaimed by the stores' online epoch passes
+//!    (or the caller's [`KvStore::purge_retired`] shutdown drain).
 //!
 //! The coordinator itself can die: a seeded
 //! [`FaultSpec::coordinator_plan_for`] schedule aborts the first
@@ -344,8 +344,9 @@ pub fn run_reshard_coordinator<R: RawLock + Default>(
         break;
     }
 
-    // 6. Cleanup: moved keys leave their sources; the caller reclaims
-    // the retired nodes at its next purge_retired() quiesce point.
+    // 6. Cleanup: moved keys leave their sources; their retired nodes
+    // are reclaimed by the stores' online epoch passes (or the
+    // caller's purge_retired() shutdown drain).
     for &source in &sources {
         let mut after: Option<Vec<u8>> = None;
         loop {

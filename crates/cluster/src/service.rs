@@ -160,6 +160,12 @@ pub fn serve_cluster_node<R: RawLock + Default>(
     let mut acked_round = 0u64;
     // Cumulative migration-stream entries processed.
     let mut mig_processed = 0u64;
+    // Online reclamation cadence: one epoch advance-and-collect pass
+    // per RECLAIM_PERIOD progressed loop turns — client writes and
+    // migration-stream applies both retire displaced nodes, and the
+    // pass keeps that backlog bounded without a quiescent point.
+    const RECLAIM_PERIOD: u64 = 1024;
+    let mut since_reclaim = 0u64;
     while live > 0 {
         let mut progressed = false;
         // Quiesce handshake: reading the round first (Acquire) is what
@@ -239,6 +245,11 @@ pub fn serve_cluster_node<R: RawLock + Default>(
             }
         }
         if progressed {
+            since_reclaim += 1;
+            if since_reclaim >= RECLAIM_PERIOD {
+                since_reclaim = 0;
+                store.reclaim_pass();
+            }
             wait.reset();
         } else {
             wait.snooze();
@@ -328,7 +339,7 @@ fn execute<R: RawLock + Default>(
         // into a registry snapshot, assembled only when asked for.
         Request::Stats => {
             let mut snap = RegistrySnapshot::default();
-            let s = store.stats().snapshot();
+            let s = store.stats_snapshot();
             for (name, value) in [
                 ("node.requests", report.requests),
                 ("node.key_ops", report.key_ops),
@@ -344,6 +355,9 @@ fn execute<R: RawLock + Default>(
                 ("store.repl_applied", s.repl_applied),
                 ("store.migration_ops_deferred", s.migration_ops_deferred),
                 ("store.wrong_shard_redirects", s.wrong_shard_redirects),
+                ("store.epochs_advanced", s.epochs_advanced),
+                ("store.nodes_reclaimed", s.nodes_reclaimed),
+                ("store.reclaim_backlog", s.reclaim_backlog),
             ] {
                 snap.counters.push((name.to_string(), value));
             }

@@ -1,0 +1,620 @@
+//! Epoch-based reclamation for the optimistic read paths.
+//!
+//! The store's lock-free readers traverse chain nodes without holding
+//! any lock, so a writer that unlinks a node cannot free it until every
+//! reader that might still hold the pointer has moved on. PR 5 solved
+//! this with a graveyard: retired nodes parked until a `&mut` quiesce
+//! point — correct, but a long-lived server under churn can never
+//! reclaim while traffic is flowing. This module replaces that with the
+//! classic epoch scheme (Fraser's QSBR / Keir–Fraser epochs, the shape
+//! crossbeam-epoch ships): reclamation proceeds *concurrently* with
+//! live readers, bounded by a grace period of two global-epoch
+//! advances.
+//!
+//! # Protocol
+//!
+//! A [`EpochDomain`] owns one global epoch word and a fixed array of
+//! per-participant records, each on its own [`CachePadded`] line (the
+//! paper's rule: scalability is governed by cache-line transfers, so
+//! per-thread bookkeeping must not share lines). Three moves:
+//!
+//! * **Pin** ([`EpochDomain::pin`]): the reader publishes
+//!   `(epoch << 1) | 1` into its own record and validates that the
+//!   global epoch still matches, re-publishing if it moved. One store
+//!   plus one Acquire load per pin, both on lines only this thread
+//!   writes — **no shared RMW on the read path**. The store is the
+//!   `SeqCst` (store-buffer-flushing) flavor: a plain relaxed store may
+//!   sit in this core's write buffer while the collector scans, sees
+//!   the record unpinned, and advances the epoch twice — freeing the
+//!   node under the reader's feet. The weak-memory mode of the
+//!   `pinned_reader_blocks_collection` model run finds exactly that
+//!   interleaving if the flush is dropped.
+//! * **Retire**: writers tag each unlinked node with the global epoch
+//!   *after* a flushing operation (any RMW — the store's per-stripe
+//!   backlog counter bump serves) has committed the unlink, and push it
+//!   into a three-generation bag ([`EpochBags`]).
+//! * **Advance/collect** ([`EpochDomain::try_advance`]): the epoch may
+//!   move from `g` to `g + 1` only when every *pinned* participant is
+//!   pinned at `g`; a bag tagged `e` is freed once the global epoch
+//!   reaches `e + 2`.
+//!
+//! # Why the grace period is two epochs
+//!
+//! A reader pinned at `e` blocks the advance `e + 1 → e + 2`, so while
+//! it is pinned the global epoch is at most `e + 1`. Conversely a node
+//! retired at tag `g` was unlinked (and the unlink flushed) before the
+//! tag was read, so any reader that finds the node pinned at some
+//! `e_r` with `e_r ≤ g` (its pin validated against a global epoch no
+//! newer than the tag). That reader holds the epoch below `e_r + 2 ≤
+//! g + 2`; freeing only at `g + 2` therefore cannot touch a node a
+//! pinned reader can still reach. One epoch of slack is not enough —
+//! the `collecting_one_epoch_early_is_found` model demonstrates the
+//! use-after-free — and more than two buys nothing, which is why the
+//! bags keep exactly three generations (the one being filled plus the
+//! two aging out).
+//!
+//! # Participants
+//!
+//! Threads register lazily: the first [`EpochDomain::pin`] on a thread
+//! claims a free record slot (a CAS on the claim bitmap — off the hot
+//! path, once per thread per domain) and caches the registration in
+//! thread-local storage; the slot is released when the thread exits.
+//! The claim bitmap deliberately uses host atomics rather than the
+//! model-checked shadow atomics: registration is bookkeeping that runs
+//! once per thread (and again at thread teardown, where the checker's
+//! execution context may already be gone), not part of the protocol
+//! under test. If every slot is taken, `pin` returns `None` and the
+//! caller falls back to its locked path, which needs no grace period.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64 as HostAtomicU64, Ordering as HostOrdering};
+use std::sync::Arc;
+
+use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Participant record slots per domain (one claim-bitmap word).
+pub const MAX_PARTICIPANTS: usize = 64;
+
+/// Retirement-bag generations: the epoch being filled plus the two
+/// aging toward the grace-period boundary.
+pub const GENERATIONS: usize = 3;
+
+/// Epochs a retired node must age before it may be freed: a bag tagged
+/// `e` is collectable once the global epoch reaches `e + FREE_LAG`.
+pub const FREE_LAG: u64 = 2;
+
+/// Monotonically increasing domain identities, for the thread-local
+/// registration cache. Host atomic: identity allocation is not part of
+/// the checked protocol.
+static DOMAIN_IDS: HostAtomicU64 = HostAtomicU64::new(0);
+
+/// One reclamation domain: a global epoch word plus per-participant
+/// pinned-epoch records. Share it as an `Arc` — [`EpochDomain::pin`]
+/// registers calling threads through it.
+pub struct EpochDomain {
+    /// The global epoch. Advances by one under [`EpochDomain::try_advance`];
+    /// never moves while a participant is pinned at the previous value.
+    global: CachePadded<AtomicU64>,
+    /// Per-participant records, `(epoch << 1) | pinned`. Each record is
+    /// written only by its owning thread; the collector reads them all.
+    slots: Box<[CachePadded<AtomicU64>]>,
+    /// Claim bitmap over `slots` (bit set = slot owned by some thread).
+    /// Host atomic by design — see the module docs on registration.
+    claimed: CachePadded<HostAtomicU64>,
+    /// Identity for the thread-local registration cache.
+    id: u64,
+}
+
+impl EpochDomain {
+    /// Creates a fresh domain at epoch zero with no participants.
+    #[must_use]
+    pub fn new() -> EpochDomain {
+        let slots = (0..MAX_PARTICIPANTS)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        EpochDomain {
+            global: CachePadded::new(AtomicU64::new(0)),
+            slots,
+            claimed: CachePadded::new(HostAtomicU64::new(0)),
+            id: DOMAIN_IDS.fetch_add(1, HostOrdering::Relaxed),
+        }
+    }
+
+    /// The current global epoch.
+    ///
+    /// For retire tagging this load must be sequenced after a flushing
+    /// operation (an RMW or `SeqCst` store) that commits the unlink —
+    /// see the module docs; the store's per-stripe backlog bump plays
+    /// that role.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// Pins the calling thread: until the returned guard drops, the
+    /// global epoch cannot advance more than one step past the pinned
+    /// value, so no node retired at or after it can be freed. Returns
+    /// `None` when every participant slot is claimed by other live
+    /// threads — the caller must then use a path that needs no grace
+    /// period (the stores fall back to their locked reads).
+    ///
+    /// Nested pins on the same thread are free: only the outermost pin
+    /// publishes; inner guards just hold it open.
+    #[must_use]
+    pub fn pin(self: &Arc<Self>) -> Option<PinGuard> {
+        let cell = Participant::for_domain(self)?;
+        if cell.depth.get() == 0 {
+            let record = &cell.domain.slots[cell.slot];
+            let global = &cell.domain.global;
+            let mut e = global.load(Ordering::Acquire);
+            loop {
+                // SeqCst: the pin must be committed (not sitting in a
+                // store buffer) before the validation load, or a
+                // concurrent collector can miss it and advance twice.
+                record.store((e << 1) | 1, Ordering::SeqCst);
+                let now = global.load(Ordering::Acquire);
+                if now == e {
+                    break;
+                }
+                e = now;
+            }
+        }
+        cell.depth.set(cell.depth.get() + 1);
+        Some(PinGuard { cell })
+    }
+
+    /// Attempts one epoch advance `g → g + 1`. Fails (returns `false`)
+    /// when some participant is pinned at an epoch other than `g` —
+    /// that participant's grace period is still open — or when another
+    /// advancer won the race. Callers amortize this over their write
+    /// traffic; it is a CAS on the shared epoch word and so never
+    /// belongs on a read path.
+    pub fn try_advance(&self) -> bool {
+        let g = self.global.load(Ordering::Acquire);
+        let mut bits = self.claimed.load(HostOrdering::Acquire);
+        while bits != 0 {
+            let slot = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let record = self.slots[slot].load(Ordering::Acquire);
+            if record & 1 == 1 && record >> 1 != g {
+                return false;
+            }
+        }
+        // A slot claimed after the bitmap read is harmless: its first
+        // pin validates against the *current* global epoch, so it can
+        // only be pinned at g or later — never at the epoch this
+        // advance is retiring.
+        self.global
+            .compare_exchange(g, g + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Claims a free participant slot, if any.
+    fn claim_slot(&self) -> Option<usize> {
+        loop {
+            let bits = self.claimed.load(HostOrdering::Acquire);
+            if bits == u64::MAX {
+                return None;
+            }
+            let slot = bits.trailing_ones() as usize;
+            if self
+                .claimed
+                .compare_exchange(
+                    bits,
+                    bits | (1 << slot),
+                    HostOrdering::AcqRel,
+                    HostOrdering::Relaxed,
+                )
+                .is_ok()
+            {
+                return Some(slot);
+            }
+        }
+    }
+
+    /// Releases a participant slot at thread teardown. The record is
+    /// left as the owner's last (always unpinned) value; a stale
+    /// record can only delay an advance, never unblock one, and the
+    /// next claimant overwrites it on its first pin.
+    ///
+    /// Under the checker this is a no-op: the claim bitmap is a host
+    /// atomic while model time is virtual, so clearing it at OS-thread
+    /// teardown would hand [`EpochDomain::try_advance`] a wall-clock
+    /// race — whether the collector still scans an exited reader's
+    /// slot would depend on real thread-exit timing, making the
+    /// exploration nondeterministic. Model domains live for one
+    /// execution and spawn a handful of threads, so leaking the slot
+    /// (whose record already reads unpinned) costs nothing.
+    fn release_slot(&self, slot: usize) {
+        #[cfg(ssync_chk)]
+        let _ = slot;
+        #[cfg(not(ssync_chk))]
+        self.claimed.fetch_and(!(1 << slot), HostOrdering::Release);
+    }
+}
+
+impl Default for EpochDomain {
+    fn default() -> EpochDomain {
+        EpochDomain::new()
+    }
+}
+
+impl std::fmt::Debug for EpochDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochDomain")
+            .field("epoch", &self.epoch())
+            .field(
+                "participants",
+                &self.claimed.load(HostOrdering::Relaxed).count_ones(),
+            )
+            .finish()
+    }
+}
+
+/// One thread's registration with one domain, cached in TLS.
+struct Participant {
+    domain: Arc<EpochDomain>,
+    slot: usize,
+    /// Pin-nesting depth; only the outermost pin publishes.
+    depth: Cell<u32>,
+}
+
+impl Participant {
+    /// Finds (or creates) the calling thread's registration with
+    /// `domain`. Most-recently-used domain first — a thread serving one
+    /// store hits the front slot every time.
+    fn for_domain(domain: &Arc<EpochDomain>) -> Option<Rc<Participant>> {
+        PARTICIPANTS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(pos) = cache.iter().position(|p| p.domain.id == domain.id) {
+                cache.swap(0, pos);
+                return Some(Rc::clone(&cache[0]));
+            }
+            // Registrations for dropped domains (strong count 1 means
+            // only this cache entry keeps it alive) are pruned before
+            // the cache grows.
+            if cache.len() >= 8 {
+                cache.retain(|p| Arc::strong_count(&p.domain) > 1);
+            }
+            let slot = domain.claim_slot()?;
+            let cell = Rc::new(Participant {
+                domain: Arc::clone(domain),
+                slot,
+                depth: Cell::new(0),
+            });
+            cache.insert(0, Rc::clone(&cell));
+            Some(cell)
+        })
+    }
+}
+
+impl Drop for Participant {
+    fn drop(&mut self) {
+        // Runs at thread exit (TLS teardown) or cache pruning; by then
+        // every guard is gone, so the record is unpinned.
+        self.domain.release_slot(self.slot);
+    }
+}
+
+thread_local! {
+    /// This thread's domain registrations, most recently used first.
+    static PARTICIPANTS: RefCell<Vec<Rc<Participant>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An active pin. While any guard for a thread is live, no node
+/// retired at or after the pinned epoch can be freed. Not `Send`: the
+/// pin lives in the calling thread's participant record.
+pub struct PinGuard {
+    cell: Rc<Participant>,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let depth = self.cell.depth.get() - 1;
+        self.cell.depth.set(depth);
+        if depth == 0 {
+            let record = &self.cell.domain.slots[self.cell.slot];
+            // Release: the unpin must not pass earlier protected
+            // traversal in program order. Loads cannot sink below a
+            // later store, so Release (no flush) suffices.
+            let e = record.load(Ordering::Relaxed) >> 1;
+            record.store(e << 1, Ordering::Release);
+        }
+    }
+}
+
+impl std::fmt::Debug for PinGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinGuard")
+            .field("slot", &self.cell.slot)
+            .field("depth", &self.cell.depth.get())
+            .finish()
+    }
+}
+
+/// Three-generation retirement bags: retired items parked until their
+/// tag epoch ages past the grace period. Single-owner (the stores keep
+/// one per stripe, under the stripe lock); the epoch protocol is in
+/// the tags, not in this container.
+pub struct EpochBags<T> {
+    bags: [Bag<T>; GENERATIONS],
+}
+
+struct Bag<T> {
+    epoch: u64,
+    items: Vec<T>,
+}
+
+impl<T> EpochBags<T> {
+    /// Creates empty bags at epoch zero.
+    #[must_use]
+    pub const fn new() -> EpochBags<T> {
+        EpochBags {
+            bags: [
+                Bag {
+                    epoch: 0,
+                    items: Vec::new(),
+                },
+                Bag {
+                    epoch: 1,
+                    items: Vec::new(),
+                },
+                Bag {
+                    epoch: 2,
+                    items: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    /// Retires `item` under epoch tag `tag` (the global epoch read
+    /// after the unlink was flushed). When the tag's slot still holds
+    /// the generation from three epochs back, those items are already
+    /// past the grace period — the global epoch reached `tag`, which
+    /// is at least their tag plus [`FREE_LAG`] — and are handed to
+    /// `free` inline. Returns how many were freed.
+    pub fn retire(&mut self, item: T, tag: u64, mut free: impl FnMut(T)) -> usize {
+        let slot = (tag % GENERATIONS as u64) as usize;
+        let bag = &mut self.bags[slot];
+        let mut freed = 0;
+        if bag.epoch != tag {
+            debug_assert!(
+                bag.epoch < tag,
+                "epoch tags regressed: {} > {tag}",
+                bag.epoch
+            );
+            freed = bag.items.len();
+            for item in bag.items.drain(..) {
+                free(item);
+            }
+            bag.epoch = tag;
+        }
+        bag.items.push(item);
+        freed
+    }
+
+    /// Frees every bag whose tag has aged past the grace period under
+    /// the current `global` epoch. Returns how many items were freed.
+    pub fn collect(&mut self, global: u64, mut free: impl FnMut(T)) -> usize {
+        let mut freed = 0;
+        for bag in &mut self.bags {
+            if !bag.items.is_empty() && global >= bag.epoch + FREE_LAG {
+                freed += bag.items.len();
+                for item in bag.items.drain(..) {
+                    free(item);
+                }
+            }
+        }
+        freed
+    }
+
+    /// Shutdown drain: frees everything regardless of epoch. Only
+    /// sound once the owner holds the structure exclusively (`&mut`
+    /// store, `Drop`).
+    pub fn drain_all(&mut self, mut free: impl FnMut(T)) -> usize {
+        let mut freed = 0;
+        for bag in &mut self.bags {
+            freed += bag.items.len();
+            for item in bag.items.drain(..) {
+                free(item);
+            }
+        }
+        freed
+    }
+
+    /// Items currently parked across all generations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bags.iter().map(|b| b.items.len()).sum()
+    }
+
+    /// Whether no items are parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bags.iter().all(|b| b.items.is_empty())
+    }
+
+    /// Iterates the parked items (for the stores' debug-mode
+    /// reachability audit at purge time).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.bags.iter().flat_map(|b| b.items.iter())
+    }
+}
+
+impl<T> Default for EpochBags<T> {
+    fn default() -> EpochBags<T> {
+        EpochBags::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EpochBags<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_map();
+        for bag in &self.bags {
+            d.entry(&bag.epoch, &bag.items.len());
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_blocks_advance_past_one_epoch() {
+        let dom = Arc::new(EpochDomain::new());
+        let guard = dom.pin().expect("fresh domain has slots");
+        assert_eq!(dom.epoch(), 0);
+        // Pinned at 0: the advance 0 → 1 is allowed...
+        assert!(dom.try_advance());
+        assert_eq!(dom.epoch(), 1);
+        // ...but 1 → 2 is fenced by the pin at 0.
+        assert!(!dom.try_advance());
+        assert_eq!(dom.epoch(), 1);
+        drop(guard);
+        assert!(dom.try_advance());
+        assert_eq!(dom.epoch(), 2);
+    }
+
+    #[test]
+    fn nested_pins_hold_a_single_registration() {
+        let dom = Arc::new(EpochDomain::new());
+        let outer = dom.pin().expect("slot");
+        assert!(dom.try_advance());
+        {
+            // The inner pin rides the outer one: it must NOT republish
+            // at the new epoch, or the outer guard's grace period
+            // would silently shrink.
+            let inner = dom.pin().expect("slot");
+            assert!(!dom.try_advance(), "outer pin at 0 must still fence");
+            drop(inner);
+        }
+        assert!(!dom.try_advance(), "outer guard still pinned at 0");
+        drop(outer);
+        assert!(dom.try_advance());
+    }
+
+    #[test]
+    fn repeated_pins_on_one_thread_reuse_the_slot() {
+        let dom = Arc::new(EpochDomain::new());
+        for _ in 0..100 {
+            let g = dom.pin().expect("slot");
+            drop(g);
+        }
+        assert_eq!(
+            dom.claimed.load(HostOrdering::Relaxed).count_ones(),
+            1,
+            "one thread must occupy exactly one slot"
+        );
+    }
+
+    #[test]
+    fn threads_register_and_release_their_slots() {
+        let dom = Arc::new(EpochDomain::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let dom = Arc::clone(&dom);
+                std::thread::spawn(move || {
+                    let g = dom.pin().expect("4 threads fit in 64 slots");
+                    drop(g);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("participant thread");
+        }
+        // TLS teardown released every slot (under the checker slots
+        // deliberately leak — see `release_slot` — but the records
+        // still read unpinned, so advances stay free).
+        #[cfg(not(ssync_chk))]
+        assert_eq!(dom.claimed.load(HostOrdering::Relaxed), 0);
+        #[cfg(ssync_chk)]
+        assert_eq!(dom.claimed.load(HostOrdering::Relaxed).count_ones(), 4);
+        // And with nobody pinned the epoch is free to run.
+        assert!(dom.try_advance());
+    }
+
+    #[test]
+    fn bags_age_out_after_the_grace_period() {
+        let dom = Arc::new(EpochDomain::new());
+        let mut bags: EpochBags<u32> = EpochBags::new();
+        let mut freed: Vec<u32> = Vec::new();
+        assert_eq!(bags.retire(7, dom.epoch(), |x| freed.push(x)), 0);
+        assert_eq!(bags.len(), 1);
+        // One epoch of aging is not enough...
+        assert!(dom.try_advance());
+        assert_eq!(bags.collect(dom.epoch(), |x| freed.push(x)), 0);
+        assert!(freed.is_empty());
+        // ...two is.
+        assert!(dom.try_advance());
+        assert_eq!(bags.collect(dom.epoch(), |x| freed.push(x)), 1);
+        assert_eq!(freed, [7]);
+        assert!(bags.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_frees_the_expired_generation_inline() {
+        let mut bags: EpochBags<u32> = EpochBags::new();
+        let mut freed: Vec<u32> = Vec::new();
+        bags.retire(10, 0, |x| freed.push(x));
+        bags.retire(11, 1, |x| freed.push(x));
+        bags.retire(12, 2, |x| freed.push(x));
+        assert!(freed.is_empty());
+        // Tag 3 reuses slot 0: its occupant (tag 0) is two epochs past
+        // at a global of 3, so it frees without a collect pass.
+        assert_eq!(bags.retire(13, 3, |x| freed.push(x)), 1);
+        assert_eq!(freed, [10]);
+        assert_eq!(bags.len(), 3);
+    }
+
+    #[test]
+    fn drain_all_ignores_epochs() {
+        let mut bags: EpochBags<u32> = EpochBags::new();
+        let mut freed = 0;
+        bags.retire(1, 0, |_| freed += 1);
+        bags.retire(2, 1, |_| freed += 1);
+        assert_eq!(bags.drain_all(|_| freed += 1), 2);
+        assert_eq!(freed, 2);
+        assert!(bags.is_empty());
+        assert_eq!(bags.drain_all(|_| freed += 1), 0);
+    }
+
+    #[test]
+    fn concurrent_pinners_and_an_advancer_make_progress() {
+        let dom = Arc::new(EpochDomain::new());
+        let stop = Arc::new(HostAtomicU64::new(0));
+        let pinners: Vec<_> = (0..2)
+            .map(|_| {
+                let dom = Arc::clone(&dom);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut pins = 0u64;
+                    // Keep pinning until the advancer is done AND this
+                    // thread has exercised the path a few times (on a
+                    // small box the advancer can finish first).
+                    while stop.load(HostOrdering::Relaxed) == 0 || pins < 16 {
+                        let g = dom.pin().expect("slots available");
+                        std::hint::black_box(&g);
+                        drop(g);
+                        pins += 1;
+                    }
+                    pins
+                })
+            })
+            .collect();
+        let mut advances = 0u64;
+        while advances < 64 {
+            if dom.try_advance() {
+                advances += 1;
+            }
+        }
+        stop.store(1, HostOrdering::Relaxed);
+        for p in pinners {
+            assert!(p.join().expect("pinner") > 0);
+        }
+        assert!(dom.epoch() >= 64);
+    }
+}

@@ -10,6 +10,9 @@
 //!   for avoiding false sharing in every lock and message-passing buffer.
 //! * [`Backoff`] — exponential and proportional back-off, as used by the
 //!   TTAS and ticket locks of the paper's `libslock`.
+//! * [`epoch`] — epoch-based reclamation ([`EpochDomain`], [`EpochBags`])
+//!   for the stores' lock-free read paths: per-participant `CachePadded`
+//!   pin records, a two-epoch grace period, three-generation bags.
 //! * [`topology`] — descriptions of the paper's four target platforms
 //!   (Table 1): core counts, socket/die structure, hop distances, memory
 //!   nodes, and the thread-placement policies of Sections 5.4 and 6.
@@ -22,12 +25,14 @@
 
 pub mod backoff;
 pub mod cores;
+pub mod epoch;
 pub mod pad;
 pub mod stats;
 pub mod sync;
 pub mod topology;
 
 pub use backoff::{Backoff, ParkingWait, ProportionalBackoff, RetryPacer, SpinWait};
+pub use epoch::{EpochBags, EpochDomain, PinGuard};
 pub use pad::CachePadded;
 pub use stats::{mono_ns, Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use topology::{DistClass, Platform, Topology};

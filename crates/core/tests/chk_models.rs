@@ -1,12 +1,12 @@
 //! Model-checked interleavings of the *real* `Histogram` record and
-//! snapshot paths.
+//! snapshot paths, and of the epoch-reclamation grace period.
 //!
 //! Compiled only under `RUSTFLAGS='--cfg ssync_chk'`: the stats
-//! module's bucket counters then resolve to `ssync-chk` shadow atomics
-//! and the checker enumerates thread interleavings exhaustively up to
-//! the preemption bound. These tests drive the actual
-//! `ssync_core::Histogram` — the single-increment record path and the
-//! relaxed bucket-by-bucket snapshot — not a re-modelled copy.
+//! module's bucket counters and the epoch module's pin records then
+//! resolve to `ssync-chk` shadow atomics and the checker enumerates
+//! thread interleavings exhaustively up to the preemption bound. These
+//! tests drive the actual `ssync_core::Histogram` and
+//! `ssync_core::epoch` code — not a re-modelled copy.
 //!
 //! Run with:
 //! `RUSTFLAGS='--cfg ssync_chk' cargo test -p ssync-core --test chk_models`
@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicU64 as RealAtomicU64, Ordering as RealOrdering};
 use std::sync::Arc;
 
 use ssync_chk::{thread, Builder};
+use ssync_core::epoch::{EpochBags, EpochDomain};
+use ssync_core::sync::atomic::{AtomicU64, Ordering};
 use ssync_core::Histogram;
 
 /// A snapshot racing two concurrent recorders must observe a
@@ -113,4 +115,180 @@ fn merge_from_a_live_histogram_takes_a_coherent_subset() {
     });
     assert!(!report.truncated, "exploration truncated: {report:?}");
     eprintln!("histogram merge model: {} executions", report.executions);
+}
+
+/// "Freed" marker for the epoch models: the collector's free closure
+/// stores this into the node instead of deallocating, so a broken
+/// grace period shows up as a readable wrong value (a model violation)
+/// rather than real undefined behavior.
+const POISON: u64 = u64::MAX;
+
+/// The grace-period invariant on the real `EpochDomain`/`EpochBags`
+/// protocol: a reader that pins before reaching a node can never
+/// observe that node freed, no matter how the unlink, retirement,
+/// epoch advances, and collection sweeps interleave with it.
+///
+/// The model mirrors the store's shapes exactly: `published` is the
+/// chain link (1 while the node is reachable), the writer unlinks with
+/// a Release store, commits it with an RMW flush (kv's backlog bump),
+/// tags the retirement with an Acquire read of the global epoch, and
+/// then runs bounded advance-and-collect passes — the amortized
+/// maintenance loop. While the reader is pinned the second advance is
+/// fenced, so the node outlives every pass; what the passes could not
+/// free, the post-join drain must.
+fn pinned_reader_blocks_collection_model(weak: bool) {
+    let concurrent_frees = Arc::new(RealAtomicU64::new(0));
+    let frees2 = Arc::clone(&concurrent_frees);
+    let pinned_reads = Arc::new(RealAtomicU64::new(0));
+    let reads2 = Arc::clone(&pinned_reads);
+    let report = Builder::new()
+        .with_weak_memory(weak)
+        .with_max_steps(64_000)
+        // Bound 4, matching `collecting_one_epoch_early_is_found`: the
+        // seeded-bug twin needs 4 preemptions to surface its
+        // use-after-free, so the clean models must explore at least as
+        // deep for their "no violation" verdict to cover that schedule.
+        .with_preemption_bound(4)
+        .check(move || {
+            let domain = Arc::new(EpochDomain::new());
+            let node = Arc::new(AtomicU64::new(42));
+            let published = Arc::new(AtomicU64::new(1));
+            let flush = Arc::new(AtomicU64::new(0));
+            let reader = {
+                let domain = Arc::clone(&domain);
+                let node = Arc::clone(&node);
+                let published = Arc::clone(&published);
+                let reads = Arc::clone(&reads2);
+                thread::spawn(move || {
+                    let _pin = domain.pin().expect("fresh domain has free slots");
+                    // A reader can only reach the node through the
+                    // link; once unlinked, new pinned readers miss it —
+                    // only a reader that saw it published may touch it.
+                    if published.load(Ordering::Acquire) == 1 {
+                        let v = node.load(Ordering::Acquire);
+                        assert_ne!(v, POISON, "node freed under a pinned reader");
+                        assert_eq!(v, 42, "torn node under a pinned reader");
+                        reads.fetch_add(1, RealOrdering::Relaxed);
+                    }
+                })
+            };
+            // Writer/collector: unlink, flush, retire at the current
+            // epoch, then bounded advance-and-collect passes.
+            let mut bags: EpochBags<Arc<AtomicU64>> = EpochBags::new();
+            published.store(0, Ordering::Release);
+            flush.fetch_add(1, Ordering::SeqCst);
+            let tag = domain.epoch();
+            let mut freed = 0;
+            freed += bags.retire(Arc::clone(&node), tag, |n| {
+                n.store(POISON, Ordering::SeqCst);
+            });
+            for _ in 0..4 {
+                domain.try_advance();
+                freed += bags.collect(domain.epoch(), |n| {
+                    n.store(POISON, Ordering::SeqCst);
+                });
+                if freed > 0 {
+                    break;
+                }
+            }
+            if freed > 0 {
+                frees2.fetch_add(1, RealOrdering::Relaxed);
+            }
+            reader.join();
+            freed += bags.drain_all(|n| {
+                n.store(POISON, Ordering::SeqCst);
+            });
+            assert_eq!(freed, 1, "the one retired node is freed exactly once");
+            assert_eq!(node.load(Ordering::Acquire), POISON);
+        });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    assert!(
+        concurrent_frees.load(RealOrdering::Relaxed) > 0,
+        "no explored interleaving freed concurrently with the reader \
+         ({} executions)",
+        report.executions
+    );
+    assert!(
+        pinned_reads.load(RealOrdering::Relaxed) > 0,
+        "no explored interleaving had the pinned reader reach the node \
+         ({} executions)",
+        report.executions
+    );
+    eprintln!(
+        "pinned reader model (weak={weak}): {} executions",
+        report.executions
+    );
+}
+
+#[test]
+fn pinned_reader_blocks_collection() {
+    pinned_reader_blocks_collection_model(false);
+}
+
+/// The same exploration under the store-buffer weak-memory mode: this
+/// is what forces the pin protocol's SeqCst publication store. A
+/// Relaxed pin could sit in the reader's store buffer while the
+/// collector scans the slot, sees it unpinned, advances twice, and
+/// frees under the reader — the checker would report exactly the
+/// violation `pinned_reader_blocks_collection` asserts never happens.
+#[test]
+fn pinned_reader_blocks_collection_weak_memory() {
+    pinned_reader_blocks_collection_model(true);
+}
+
+/// The checker's own regression: shorten the grace period by one epoch
+/// (collect as if the global were one step ahead) and the exploration
+/// *must* find the interleaving where a pinned reader holds a node the
+/// early sweep frees. This is the mutation that proves the models
+/// above can catch the bug class they claim to guard against.
+#[test]
+fn collecting_one_epoch_early_is_found() {
+    let violation = Builder::new()
+        .with_max_steps(64_000)
+        .with_preemption_bound(4)
+        .expect_violation(|| {
+            let domain = Arc::new(EpochDomain::new());
+            let node = Arc::new(AtomicU64::new(42));
+            let published = Arc::new(AtomicU64::new(1));
+            let flush = Arc::new(AtomicU64::new(0));
+            let reader = {
+                let domain = Arc::clone(&domain);
+                let node = Arc::clone(&node);
+                let published = Arc::clone(&published);
+                thread::spawn(move || {
+                    let _pin = domain.pin().expect("fresh domain has free slots");
+                    if published.load(Ordering::Acquire) == 1 {
+                        let v = node.load(Ordering::Acquire);
+                        assert_ne!(v, POISON, "node freed under a pinned reader");
+                    }
+                })
+            };
+            let mut bags: EpochBags<Arc<AtomicU64>> = EpochBags::new();
+            published.store(0, Ordering::Release);
+            flush.fetch_add(1, Ordering::SeqCst);
+            let tag = domain.epoch();
+            let mut freed = 0;
+            freed += bags.retire(Arc::clone(&node), tag, |n| {
+                n.store(POISON, Ordering::SeqCst);
+            });
+            for _ in 0..4 {
+                domain.try_advance();
+                // BUG under test: one epoch short of the grace period.
+                freed += bags.collect(domain.epoch() + 1, |n| {
+                    n.store(POISON, Ordering::SeqCst);
+                });
+                if freed > 0 {
+                    break;
+                }
+            }
+            reader.join();
+            bags.drain_all(|n| {
+                n.store(POISON, Ordering::SeqCst);
+            });
+        });
+    assert!(
+        violation.message.contains("freed under a pinned reader"),
+        "wrong violation caught: {violation}"
+    );
+    eprintln!("early-collection violation: {violation}");
 }

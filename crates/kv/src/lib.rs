@@ -42,14 +42,24 @@
 //!   ([`KvStore::apply_replicated`]) are untouched. The stripe lock is
 //!   what makes the single-pointer publication protocol sound: there is
 //!   never more than one writer linking nodes into a stripe.
-//! * **Unlinked nodes are retired, not freed.** A reader racing a
-//!   writer may still hold a pointer to a just-unlinked node, so
-//!   writers move replaced/deleted nodes to a per-stripe graveyard
-//!   instead of dropping them; the memory is reclaimed by
-//!   [`KvStore::purge_retired`] (which takes `&mut self` — the borrow
-//!   checker's proof that no reader is in flight) or at drop. This is
-//!   deferred reclamation with the quiescent point made explicit,
-//!   bounded by the write volume between purges.
+//! * **Unlinked nodes are retired, not freed — and reclaimed by
+//!   epochs.** A reader racing a writer may still hold a pointer to a
+//!   just-unlinked node, so writers push replaced/deleted nodes into
+//!   per-stripe three-generation bags tagged with the store's
+//!   [`EpochDomain`] epoch. Optimistic readers pin the epoch for the
+//!   duration of a traversal (one thread-local padded store plus one
+//!   Acquire load — no shared RMW on the read path); a bag frees once
+//!   the global epoch has advanced twice past its tag, which the pin
+//!   provably blocks while any reader could still reach its nodes (see
+//!   `ssync_core::epoch` for the grace-period proof). Advances and
+//!   collection are amortized into the write path's maintenance cadence
+//!   and the explicit [`KvStore::reclaim_pass`] hook the serve loops
+//!   call, so a store under sustained churn reclaims *concurrently
+//!   with live readers* and its retired backlog
+//!   ([`KvStore::reclaim_backlog`]) stays bounded by the write volume
+//!   of a couple of epochs. [`KvStore::purge_retired`] (`&mut self`)
+//!   survives as the shutdown path: it drains every generation
+//!   unconditionally, exclusivity standing in for the grace period.
 //!
 //! # Examples
 //!
@@ -72,10 +82,13 @@ pub(crate) mod sync {
     pub(crate) use ssync_core::sync::{atomic, cpu_relax};
 }
 
+use std::sync::Arc;
+
 use crate::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use bytes::Bytes;
 
+use ssync_core::epoch::{EpochBags, EpochDomain};
 use ssync_core::CachePadded;
 use ssync_locks::{Lock, RawLock};
 
@@ -110,6 +123,31 @@ impl ReadPath {
         match self {
             ReadPath::Locked => "locked",
             ReadPath::Optimistic => "optimistic",
+        }
+    }
+}
+
+/// How retired nodes are reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReclaimMode {
+    /// Epoch-based: advances and collection amortized over write
+    /// traffic and [`KvStore::reclaim_pass`], concurrent with readers;
+    /// the backlog stays bounded under sustained churn.
+    #[default]
+    Epoch,
+    /// The PR-5 graveyard semantics: nothing is freed until
+    /// [`KvStore::purge_retired`] / drop, so the backlog grows with
+    /// every replacement and delete. Kept as the churn-soak benchmark's
+    /// unbounded baseline.
+    Deferred,
+}
+
+impl ReclaimMode {
+    /// Short display name for benchmark labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReclaimMode::Epoch => "epoch",
+            ReclaimMode::Deferred => "deferred",
         }
     }
 }
@@ -172,6 +210,12 @@ pub struct Stats {
     /// window of a resharding cutover). Incremented by the cluster
     /// node server, not the store itself.
     pub migration_ops_deferred: CachePadded<AtomicU64>,
+    /// Global-epoch advances won by this store's maintenance passes and
+    /// [`KvStore::reclaim_pass`] calls.
+    pub epochs_advanced: CachePadded<AtomicU64>,
+    /// Retired nodes freed by epoch collection (inline at retire, at
+    /// maintenance, in `reclaim_pass`, or by the shutdown purge).
+    pub nodes_reclaimed: CachePadded<AtomicU64>,
 }
 
 impl Stats {
@@ -179,6 +223,10 @@ impl Stats {
     /// is read independently (`Relaxed`), so a snapshot taken while
     /// writers are active is a consistent *per-counter* view, not a
     /// cross-counter atomic one.
+    ///
+    /// `reclaim_backlog` is zero here — it is a gauge owned by the
+    /// store's stripes, not a `Stats` counter; use
+    /// [`KvStore::stats_snapshot`] for the filled-in view.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
@@ -193,6 +241,9 @@ impl Stats {
             read_fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
             wrong_shard_redirects: self.wrong_shard_redirects.load(Ordering::Relaxed),
             migration_ops_deferred: self.migration_ops_deferred.load(Ordering::Relaxed),
+            epochs_advanced: self.epochs_advanced.load(Ordering::Relaxed),
+            nodes_reclaimed: self.nodes_reclaimed.load(Ordering::Relaxed),
+            reclaim_backlog: 0,
         }
     }
 }
@@ -224,6 +275,15 @@ pub struct StatsSnapshot {
     pub wrong_shard_redirects: u64,
     /// Client writes deferred during a migration freeze window.
     pub migration_ops_deferred: u64,
+    /// Global-epoch advances won.
+    pub epochs_advanced: u64,
+    /// Retired nodes freed by epoch collection.
+    pub nodes_reclaimed: u64,
+    /// Retired nodes currently awaiting reclamation. A **gauge**, not a
+    /// monotonic counter: [`StatsSnapshot::merge`] sums it across
+    /// shards, but [`StatsSnapshot::delta`] carries the *current* value
+    /// through instead of subtracting (a backlog can shrink).
+    pub reclaim_backlog: u64,
 }
 
 impl StatsSnapshot {
@@ -242,6 +302,9 @@ impl StatsSnapshot {
             read_fallbacks: self.read_fallbacks + other.read_fallbacks,
             wrong_shard_redirects: self.wrong_shard_redirects + other.wrong_shard_redirects,
             migration_ops_deferred: self.migration_ops_deferred + other.migration_ops_deferred,
+            epochs_advanced: self.epochs_advanced + other.epochs_advanced,
+            nodes_reclaimed: self.nodes_reclaimed + other.nodes_reclaimed,
+            reclaim_backlog: self.reclaim_backlog + other.reclaim_backlog,
         }
     }
 
@@ -261,26 +324,32 @@ impl StatsSnapshot {
             read_fallbacks: self.read_fallbacks - earlier.read_fallbacks,
             wrong_shard_redirects: self.wrong_shard_redirects - earlier.wrong_shard_redirects,
             migration_ops_deferred: self.migration_ops_deferred - earlier.migration_ops_deferred,
+            epochs_advanced: self.epochs_advanced - earlier.epochs_advanced,
+            nodes_reclaimed: self.nodes_reclaimed - earlier.nodes_reclaimed,
+            // A gauge, not a counter: the delta report shows where the
+            // backlog *stands*, and subtraction could underflow.
+            reclaim_backlog: self.reclaim_backlog,
         }
     }
 }
 
 /// Writer-side bookkeeping, held under the stripe lock: the nodes
-/// unlinked from this stripe's chains since the last purge. They stay
+/// unlinked from this stripe's chains, parked in three-generation
+/// epoch bags until their tag ages past the grace period. They stay
 /// allocated because an optimistic reader may still be dereferencing
 /// them; see the module docs.
 struct StripeInner {
-    retired: Vec<*mut Node>,
+    bags: EpochBags<*mut Node>,
 }
 
 // SAFETY: the raw pointers are owned exclusively by the stripe — they
 // are pushed and read only while holding the stripe lock (or `&mut
 // KvStore` for purge/drop), never aliased mutably, and point to
-// heap nodes that outlive the vector entries.
+// heap nodes that outlive the bag entries.
 unsafe impl Send for StripeInner {}
 
 /// One lock stripe: the seqlock word, the bucket-chain heads this
-/// stripe owns, and the writer lock with its retirement list.
+/// stripe owns, and the writer lock with its retirement bags.
 struct Stripe<R: RawLock> {
     /// Seqlock version word: even = stable, odd = a writer is inside
     /// the critical section. Padded — it is read by every optimistic
@@ -292,8 +361,14 @@ struct Stripe<R: RawLock> {
     // the table's footprint by 8); heads are read-mostly, and writer
     // traffic is already serialized per stripe.
     heads: Box<[AtomicPtr<Node>]>,
+    /// Nodes parked in this stripe's bags: the lock-free backlog gauge
+    /// behind [`KvStore::reclaim_backlog`]. Written only under the
+    /// stripe lock (the retire-side `SeqCst` bump doubles as the flush
+    /// that commits the unlink before the epoch tag is read — see
+    /// [`KvStore::retire`]); read `Relaxed` by anyone.
+    backlog: CachePadded<AtomicU64>,
     /// The stripe's writer lock (the pluggable algorithm under test)
-    /// and retirement list.
+    /// and retirement bags.
     inner: Lock<StripeInner, R>,
 }
 
@@ -356,6 +431,12 @@ pub struct KvStore<R: RawLock + Default> {
     write_counter: CachePadded<AtomicU64>,
     next_version: CachePadded<AtomicU64>,
     read_path: ReadPath,
+    /// This store's reclamation domain. Per-store (not process-global):
+    /// a pinned reader of one store must not stall another store's
+    /// collection. Shared as an `Arc` because reader threads register
+    /// with it through thread-local participant records.
+    epoch: Arc<EpochDomain>,
+    reclaim: ReclaimMode,
     stats: Stats,
 }
 
@@ -381,6 +462,24 @@ impl<R: RawLock + Default> KvStore<R> {
     /// Panics if `buckets` or `stripes` is zero, or if `stripes` exceeds
     /// `buckets`.
     pub fn with_read_path(buckets: usize, stripes: usize, read_path: ReadPath) -> Self {
+        Self::with_reclaim(buckets, stripes, read_path, ReclaimMode::default())
+    }
+
+    /// Creates a store with explicit read and reclamation protocols.
+    /// [`ReclaimMode::Deferred`] restores the PR-5 graveyard semantics
+    /// (nothing freed until [`KvStore::purge_retired`]); it exists as
+    /// the churn benchmark's unbounded baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` or `stripes` is zero, or if `stripes` exceeds
+    /// `buckets`.
+    pub fn with_reclaim(
+        buckets: usize,
+        stripes: usize,
+        read_path: ReadPath,
+        reclaim: ReclaimMode,
+    ) -> Self {
         assert!(buckets > 0 && stripes > 0 && stripes <= buckets);
         let buckets_per_stripe = buckets.div_ceil(stripes);
         Self {
@@ -390,8 +489,9 @@ impl<R: RawLock + Default> KvStore<R> {
                     heads: (0..buckets_per_stripe)
                         .map(|_| AtomicPtr::new(ptr::null_mut()))
                         .collect(),
+                    backlog: CachePadded::new(AtomicU64::new(0)),
                     inner: Lock::new(StripeInner {
-                        retired: Vec::new(),
+                        bags: EpochBags::new(),
                     }),
                 })
                 .collect(),
@@ -400,6 +500,8 @@ impl<R: RawLock + Default> KvStore<R> {
             write_counter: CachePadded::new(AtomicU64::new(0)),
             next_version: CachePadded::new(AtomicU64::new(1)),
             read_path,
+            epoch: Arc::new(EpochDomain::new()),
+            reclaim,
             stats: Stats::default(),
         }
     }
@@ -409,9 +511,31 @@ impl<R: RawLock + Default> KvStore<R> {
         self.read_path
     }
 
+    /// The store's epoch domain. Service loops use this to pin around
+    /// compound read sequences or to hold a registration open; plain
+    /// `get`/`multi_get` callers never need it — the read path pins by
+    /// itself.
+    pub fn epoch_domain(&self) -> &Arc<EpochDomain> {
+        &self.epoch
+    }
+
+    /// The reclamation mode this store was built with.
+    pub fn reclaim_mode(&self) -> ReclaimMode {
+        self.reclaim
+    }
+
     /// Statistics counters.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// [`Stats::snapshot`] with the live `reclaim_backlog` gauge filled
+    /// in — the form the service layers scrape.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reclaim_backlog: self.reclaim_backlog(),
+            ..self.stats.snapshot()
+        }
     }
 
     fn locate(&self, key: &[u8]) -> (usize, usize) {
@@ -425,20 +549,21 @@ impl<R: RawLock + Default> KvStore<R> {
     }
 
     /// Walks one bucket chain for `key`, cloning out `(version, value)`
-    /// on a hit. Safe to call either under the stripe lock or
-    /// optimistically: every pointer loaded here was published by a
-    /// Release store and leads to a node that is live or retired — and
-    /// retired nodes stay allocated until a `&mut self` quiescent
-    /// point, so the dereference is always valid. Chains are acyclic at
-    /// all times (a pointer store always targets the writer's *current*
-    /// live successor, and nodes are never reused before a quiescent
-    /// point), so the walk terminates.
+    /// on a hit. Safe to call either under the stripe lock (which
+    /// excludes the retire path entirely) or optimistically under an
+    /// epoch pin: every pointer loaded here was published by a Release
+    /// store and leads to a node that is live or retired — and a
+    /// retired node's bag cannot age past the grace period while the
+    /// reader's pin holds the epoch, so the dereference is always
+    /// valid. Chains are acyclic at all times (a pointer store always
+    /// targets the writer's *current* live successor, and nodes are
+    /// never reused while reachable), so the walk terminates.
     fn chain_find(head: &AtomicPtr<Node>, key: &[u8]) -> Option<(u64, Bytes)> {
         let mut p = head.load(Ordering::Acquire);
         while !p.is_null() {
             // SAFETY: see above — `p` came from a Release-published
             // link and its node is kept allocated and immutable (bar
-            // `next`) until a quiescent point.
+            // `next`) by the caller's pin or stripe lock.
             let node = unsafe { &*p };
             if node.key.as_ref() == key {
                 return Some((node.version, node.value.clone()));
@@ -462,19 +587,29 @@ impl<R: RawLock + Default> KvStore<R> {
         let (stripe, bucket) = self.locate(key);
         let stripe = &self.stripes[stripe];
         if matches!(self.read_path, ReadPath::Optimistic) {
-            for _ in 0..OPTIMISTIC_ATTEMPTS {
-                let s1 = stripe.seq.load(Ordering::Acquire);
-                if s1 & 1 == 1 {
-                    // A writer is inside; re-snapshot.
-                    crate::sync::cpu_relax();
-                    continue;
-                }
-                let hit = Self::chain_find(&stripe.heads[bucket], key);
-                // The traversal's Acquire loads keep this validation
-                // load from moving before them; equality means no
-                // write section overlapped the reads we performed.
-                if stripe.seq.load(Ordering::Acquire) == s1 {
-                    return hit;
+            // Pin before the first head load: every pointer the
+            // traversal below can observe stays allocated until the
+            // guard drops (a node's bag cannot age out of the grace
+            // period while this pin holds the epoch). A nested pin —
+            // `multi_get` reads under one thread — is a plain
+            // depth bump. `None` means every participant slot is
+            // taken; the locked path below needs no grace period, so
+            // the read still answers (counted as a fallback).
+            if let Some(_pin) = self.epoch.pin() {
+                for _ in 0..OPTIMISTIC_ATTEMPTS {
+                    let s1 = stripe.seq.load(Ordering::Acquire);
+                    if s1 & 1 == 1 {
+                        // A writer is inside; re-snapshot.
+                        crate::sync::cpu_relax();
+                        continue;
+                    }
+                    let hit = Self::chain_find(&stripe.heads[bucket], key);
+                    // The traversal's Acquire loads keep this validation
+                    // load from moving before them; equality means no
+                    // write section overlapped the reads we performed.
+                    if stripe.seq.load(Ordering::Acquire) == s1 {
+                        return hit;
+                    }
                 }
             }
             self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -541,8 +676,9 @@ impl<R: RawLock + Default> KvStore<R> {
             }
             // SAFETY: `p` is live (the held stripe lock excludes
             // unlink/retire). The returned `&node.next` borrows the
-            // node allocation and stays valid for `'a`: nodes are
-            // freed only through `&mut KvStore`.
+            // node allocation and stays valid for `'a`: a stripe's
+            // nodes are freed only under its lock (epoch collection)
+            // or through `&mut KvStore` (purge/drop).
             let node = unsafe { &*p };
             if node.key.as_ref() == key {
                 return (link, p);
@@ -561,12 +697,70 @@ impl<R: RawLock + Default> KvStore<R> {
         }))
     }
 
+    /// Hands one just-unlinked node to the epoch machinery. Caller must
+    /// hold the stripe lock and must already have published the unlink
+    /// (a Release pointer store inside a seqlock write section).
+    ///
+    /// The ordering here carries the reclamation proof: the backlog
+    /// bump is a `SeqCst` RMW sequenced *after* the unlink store and
+    /// *before* the epoch-tag load, so by the time the tag is read the
+    /// unlink is committed to memory — a reader that finds this node
+    /// through a stale pointer must have pinned at or before the tag,
+    /// and its pin then blocks the tag's bag from aging out. Retiring
+    /// into a bag slot whose previous generation is three epochs old
+    /// frees that generation inline, which is what makes reclamation
+    /// amortized per-op rather than a stop-the-world pass.
+    fn retire(&self, stripe: &Stripe<R>, inner: &mut StripeInner, node: *mut Node) {
+        stripe.backlog.fetch_add(1, Ordering::SeqCst);
+        let tag = match self.reclaim {
+            ReclaimMode::Epoch => self.epoch.epoch(),
+            // Deferred: the epoch never advances, so every node lands
+            // in the tag-0 bag and waits for `purge_retired` — the
+            // PR-5 graveyard, reproduced for the churn baseline.
+            ReclaimMode::Deferred => 0,
+        };
+        let freed = inner.bags.retire(node, tag, |p| {
+            // SAFETY: `p` was unlinked from this stripe's chains at
+            // least two epoch advances before `tag`, so every reader
+            // that could still reach it has unpinned (grace-period
+            // proof in `ssync_core::epoch`), and bag entries are
+            // pushed exactly once.
+            drop(unsafe { Box::from_raw(p) });
+        });
+        if freed > 0 {
+            stripe.backlog.fetch_sub(freed as u64, Ordering::Relaxed);
+            self.stats
+                .nodes_reclaimed
+                .fetch_add(freed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Frees every bag generation of `stripe` that has aged past the
+    /// grace period. Caller must hold the stripe lock.
+    fn collect_locked(&self, stripe: &Stripe<R>, inner: &mut StripeInner) -> usize {
+        let global = self.epoch.epoch();
+        let freed = inner.bags.collect(global, |p| {
+            // SAFETY: the bag's tag is at least two advances behind
+            // `global`, so no reader pin can still cover `p`; entries
+            // are pushed exactly once (see `retire`).
+            drop(unsafe { Box::from_raw(p) });
+        });
+        if freed > 0 {
+            stripe.backlog.fetch_sub(freed as u64, Ordering::Relaxed);
+            self.stats
+                .nodes_reclaimed
+                .fetch_add(freed as u64, Ordering::Relaxed);
+        }
+        freed
+    }
+
     /// The delicate heart of every in-place update, kept in one place:
     /// allocates a replacement for `old` carrying `value`/`version`,
     /// publishes it through `link` inside a seqlock write section, and
     /// retires `old`. Caller must hold the stripe lock, `link` must
     /// currently load `old`, and `old` must be live.
     fn replace_node(
+        &self,
         stripe: &Stripe<R>,
         inner: &mut StripeInner,
         link: &AtomicPtr<Node>,
@@ -588,7 +782,7 @@ impl<R: RawLock + Default> KvStore<R> {
             let _section = WriteSection::enter(&stripe.seq);
             link.store(fresh, Ordering::Release);
         }
-        inner.retired.push(old);
+        self.retire(stripe, inner, old);
     }
 
     /// Stores a value (insert or replace); returns its new CAS version.
@@ -611,7 +805,7 @@ impl<R: RawLock + Default> KvStore<R> {
                 let _section = WriteSection::enter(&stripe.seq);
                 link.store(node, Ordering::Release);
             } else {
-                Self::replace_node(stripe, &mut inner, link, found, value, version);
+                self.replace_node(stripe, &mut inner, link, found, value, version);
             }
         }
         self.stats.sets.fetch_add(1, Ordering::Relaxed);
@@ -636,7 +830,7 @@ impl<R: RawLock + Default> KvStore<R> {
                 // SAFETY: `found` is live under the stripe lock.
                 let current = unsafe { &*found }.version;
                 if current == expected {
-                    Self::replace_node(stripe, &mut inner, link, found, value, version);
+                    self.replace_node(stripe, &mut inner, link, found, value, version);
                     Ok(version)
                 } else {
                     Err(current)
@@ -682,7 +876,7 @@ impl<R: RawLock + Default> KvStore<R> {
             let _section = WriteSection::enter(&stripe.seq);
             link.store(next, Ordering::Release);
         }
-        inner.retired.push(found);
+        self.retire(stripe, &mut inner, found);
         Some(version)
     }
 
@@ -740,7 +934,7 @@ impl<R: RawLock + Default> KvStore<R> {
             match (current, value) {
                 (Some(node), _) if node.version >= version => false,
                 (Some(_), Some(v)) => {
-                    Self::replace_node(
+                    self.replace_node(
                         stripe,
                         &mut inner,
                         link,
@@ -757,7 +951,7 @@ impl<R: RawLock + Default> KvStore<R> {
                         let _section = WriteSection::enter(&stripe.seq);
                         link.store(next, Ordering::Release);
                     }
-                    inner.retired.push(found);
+                    self.retire(stripe, &mut inner, found);
                     true
                 }
                 (None, Some(v)) => {
@@ -874,14 +1068,19 @@ impl<R: RawLock + Default> KvStore<R> {
         self.len() == 0
     }
 
-    /// Frees every retired node, returning how many were reclaimed.
-    /// `&mut self` is the quiescent point: exclusive access proves no
-    /// optimistic reader (or any other caller) is traversing a chain,
-    /// so the unlinked nodes are unreachable and safe to drop.
+    /// The shutdown drain: frees every retired node regardless of its
+    /// bag's epoch, returning how many were reclaimed. `&mut self` is
+    /// the quiescent point: exclusive access proves no optimistic
+    /// reader (or any other caller) is traversing a chain, so the
+    /// unlinked nodes are unreachable and safe to drop without waiting
+    /// out a grace period. Live traffic never needs this —
+    /// [`KvStore::reclaim_pass`] and the write path's amortized
+    /// collection reclaim concurrently — but drop and the explicit
+    /// store-teardown paths still come through here.
     pub fn purge_retired(&mut self) -> usize {
         let mut freed = 0;
         for stripe in self.stripes.iter_mut() {
-            // The graveyard invariant, checked before anything is
+            // The retirement invariant, checked before anything is
             // freed: a retired node must no longer be reachable from
             // any live chain of its stripe, or the free below would
             // leave a dangling link for the next reader.
@@ -898,30 +1097,58 @@ impl<R: RawLock + Default> KvStore<R> {
                         p = unsafe { &*p }.next.load(Ordering::Relaxed);
                     }
                 }
-                for p in stripe.inner.get_mut().retired.iter() {
+                for p in stripe.inner.get_mut().bags.iter() {
                     assert!(
                         !live.contains(p),
                         "retired node still reachable from a live chain"
                     );
                 }
             }
-            for p in stripe.inner.get_mut().retired.drain(..) {
+            let n = stripe.inner.get_mut().bags.drain_all(|p| {
                 // SAFETY: retired nodes were unlinked from every chain
                 // and pushed exactly once; with `&mut self` nothing can
                 // reach them anymore.
                 drop(unsafe { Box::from_raw(p) });
-                freed += 1;
-            }
+            });
+            stripe.backlog.fetch_sub(n as u64, Ordering::Relaxed);
+            self.stats
+                .nodes_reclaimed
+                .fetch_add(n as u64, Ordering::Relaxed);
+            freed += n;
         }
         freed
     }
 
-    /// Number of retired nodes awaiting [`KvStore::purge_retired`].
-    pub fn retired_len(&mut self) -> usize {
+    /// Retired nodes awaiting reclamation, summed over the stripes.
+    /// Lock-free: each stripe keeps a relaxed gauge, so monitoring can
+    /// scrape the backlog live — no `&mut`, no queueing behind writers
+    /// on any stripe lock.
+    pub fn reclaim_backlog(&self) -> u64 {
         self.stripes
-            .iter_mut()
-            .map(|s| s.inner.get_mut().retired.len())
+            .iter()
+            .map(|s| s.backlog.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// One online reclamation pass: attempt a global-epoch advance,
+    /// then sweep every stripe's bags for generations past the grace
+    /// period. Safe — and designed — to run concurrently with readers
+    /// and writers; the serve loops call it periodically so a node
+    /// reclaims while traffic is flowing. Returns the nodes freed.
+    /// A no-op under [`ReclaimMode::Deferred`].
+    pub fn reclaim_pass(&self) -> usize {
+        if matches!(self.reclaim, ReclaimMode::Deferred) {
+            return 0;
+        }
+        if self.epoch.try_advance() {
+            self.stats.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut freed = 0;
+        for stripe in self.stripes.iter() {
+            let mut inner = stripe.inner.lock();
+            freed += self.collect_locked(stripe, &mut inner);
+        }
+        freed
     }
 
     /// The write path's periodic global-lock maintenance (Memcached's
@@ -938,7 +1165,7 @@ impl<R: RawLock + Default> KvStore<R> {
         // rebalancer serializes against every writer.
         let stripe = (n / MAINTENANCE_PERIOD) as usize % self.stripes.len();
         let stripe = &self.stripes[stripe];
-        let _guard = stripe.inner.lock();
+        let mut inner = stripe.inner.lock();
         let mut items = 0usize;
         for head in stripe.heads.iter() {
             let mut p = head.load(Ordering::Acquire);
@@ -949,6 +1176,16 @@ impl<R: RawLock + Default> KvStore<R> {
             }
         }
         let _ = items;
+        // Amortized reclamation: the same periodic visit that crawls the
+        // stripe also nudges the epoch forward and collects this stripe's
+        // expired generations, so a write-heavy store reclaims without
+        // anyone ever calling `reclaim_pass` or `purge_retired`.
+        if matches!(self.reclaim, ReclaimMode::Epoch) {
+            if self.epoch.try_advance() {
+                self.stats.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+            }
+            self.collect_locked(stripe, &mut inner);
+        }
     }
 }
 
@@ -1292,12 +1529,86 @@ mod tests {
             kv.set(b"k", i.to_be_bytes().to_vec()); // 9 replacements.
         }
         kv.delete(b"k"); // +1 unlink.
-        assert_eq!(kv.retired_len(), 10);
+        assert_eq!(kv.reclaim_backlog(), 10);
         assert_eq!(kv.purge_retired(), 10);
+        assert_eq!(kv.reclaim_backlog(), 0);
         assert_eq!(kv.purge_retired(), 0);
         // The store still works after a purge.
         kv.set(b"k", b"fresh".as_slice());
         assert_eq!(kv.get(b"k").unwrap().as_ref(), b"fresh");
+    }
+
+    /// `reclaim_pass` frees retired nodes online — through `&self`,
+    /// while the store is fully shared — once enough passes have run
+    /// to carry the global epoch past the retirees' grace period.
+    #[test]
+    fn reclaim_pass_frees_concurrently_reachable_garbage() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        for i in 0u64..10 {
+            kv.set(b"k", i.to_be_bytes().to_vec()); // 9 replacements.
+        }
+        kv.delete(b"k"); // +1 unlink.
+        assert_eq!(kv.reclaim_backlog(), 10);
+        // Each pass advances the epoch by at most one; after the grace
+        // period (two advances past the retirement tag) everything
+        // retired above is reclaimable. Three passes are enough.
+        let mut freed = 0;
+        for _ in 0..3 {
+            freed += kv.reclaim_pass();
+        }
+        assert_eq!(freed, 10);
+        assert_eq!(kv.reclaim_backlog(), 0);
+        let snap = kv.stats_snapshot();
+        assert_eq!(snap.nodes_reclaimed, 10);
+        assert!(snap.epochs_advanced >= 2);
+        assert_eq!(snap.reclaim_backlog, 0);
+        // The store still works after online reclamation.
+        kv.set(b"k", b"fresh".as_slice());
+        assert_eq!(kv.get(b"k").unwrap().as_ref(), b"fresh");
+    }
+
+    /// `ReclaimMode::Deferred` reproduces the PR-5 graveyard: nothing
+    /// is freed while the store is shared, `reclaim_pass` is a no-op,
+    /// and only the `&mut` purge drains the backlog.
+    #[test]
+    fn deferred_mode_never_reclaims_online() {
+        let mut kv: KvStore<TicketLock> =
+            KvStore::with_reclaim(64, 8, ReadPath::Optimistic, ReclaimMode::Deferred);
+        assert_eq!(kv.reclaim_mode(), ReclaimMode::Deferred);
+        for i in 0u64..10 {
+            kv.set(b"k", i.to_be_bytes().to_vec());
+        }
+        kv.delete(b"k");
+        assert_eq!(kv.reclaim_pass(), 0);
+        assert_eq!(kv.reclaim_backlog(), 10);
+        assert_eq!(kv.stats_snapshot().epochs_advanced, 0);
+        assert_eq!(kv.purge_retired(), 10);
+        assert_eq!(kv.reclaim_backlog(), 0);
+    }
+
+    /// A pinned reader holds the epoch: garbage retired while a guard
+    /// is live must survive any number of reclaim passes, and become
+    /// free only after the guard drops and the epoch can advance again.
+    #[test]
+    fn pinned_reader_defers_reclamation_until_unpin() {
+        let kv: KvStore<TicketLock> = KvStore::new(64, 8);
+        kv.set(b"k", b"old".as_slice());
+        let pin = kv.epoch.pin().expect("participant slot");
+        kv.set(b"k", b"new".as_slice()); // Retires the old node.
+        assert_eq!(kv.reclaim_backlog(), 1);
+        for _ in 0..4 {
+            // The pin blocks the advance, so the grace period can never
+            // elapse while the guard is live.
+            assert_eq!(kv.reclaim_pass(), 0);
+        }
+        assert_eq!(kv.reclaim_backlog(), 1);
+        drop(pin);
+        let mut freed = 0;
+        for _ in 0..3 {
+            freed += kv.reclaim_pass();
+        }
+        assert_eq!(freed, 1);
+        assert_eq!(kv.reclaim_backlog(), 0);
     }
 
     /// A reader hammering a key whose value is continuously replaced by

@@ -5,8 +5,10 @@
 //! goes through a scheduler yield, and the checker enumerates thread
 //! interleavings exhaustively up to the preemption bound. These tests
 //! drive the actual `KvStore<TtasLock>` — seqlock write sections, the
-//! optimistic read protocol with its locked fallback, and the graveyard
-//! retire/purge discipline — not a re-modelled copy of them.
+//! optimistic read protocol with its locked fallback, and the epoch
+//! retire/reclaim discipline — not a re-modelled copy of them. (The
+//! grace-period protocol itself is modelled in isolation in
+//! `ssync-core`'s chk suite; here it runs embedded in the store.)
 //!
 //! Run with:
 //! `RUSTFLAGS='--cfg ssync_chk' cargo test -p ssync-kv --test chk_models`
@@ -41,21 +43,34 @@ fn tiny_store() -> KvStore<TtasLock> {
 fn seqlock_reader_sees_old_or_new_never_torn() {
     let fallbacks = Arc::new(RealAtomicU64::new(0));
     let fallbacks2 = Arc::clone(&fallbacks);
-    let report = Builder::new().check(move || {
+    // The writer performs two back-to-back replacements (four seqlock
+    // transitions), and the preemption bound is raised to 5: enough
+    // version-word traffic and switch budget that the exploration
+    // reaches schedules where all of [`ssync_kv::OPTIMISTIC_ATTEMPTS`]
+    // validations fail — the epoch pin at the head of the read path
+    // adds scheduling points that let the partial-order pruning fold
+    // the single-writer-parked-inside-the-section route away, so one
+    // write section alone no longer demonstrates the fallback.
+    let report = Builder::new().with_preemption_bound(5).check(move || {
         let store = Arc::new(tiny_store());
         let v1 = store.set(b"k", b"old".as_slice());
         let writer = {
             let store = Arc::clone(&store);
-            thread::spawn(move || store.set(b"k", b"new".as_slice()))
+            thread::spawn(move || {
+                store.set(b"k", b"mid".as_slice());
+                store.set(b"k", b"new".as_slice())
+            })
         };
         let hit = store.get_with_version(b"k");
         let (ver, val) = hit.expect("key vanished during a pure update");
         assert!(
-            (ver == v1 && val.as_ref() == b"old") || (ver == v1 + 1 && val.as_ref() == b"new"),
+            (ver == v1 && val.as_ref() == b"old")
+                || (ver == v1 + 1 && val.as_ref() == b"mid")
+                || (ver == v1 + 2 && val.as_ref() == b"new"),
             "torn read: version {ver} paired with {val:?}"
         );
         let v2 = writer.join();
-        assert_eq!(v2, v1 + 1);
+        assert_eq!(v2, v1 + 2);
         assert_eq!(
             store.get(b"k").as_deref(),
             Some(b"new".as_ref()),
@@ -76,12 +91,14 @@ fn seqlock_reader_sees_old_or_new_never_torn() {
     eprintln!("seqlock reader model: {} executions", report.executions);
 }
 
-/// The graveyard discipline, end to end: an update retires the
+/// The retirement discipline, end to end: an update retires the
 /// replaced node *while a reader may still be traversing it*, the
-/// retired node stays allocated until the `&mut` quiescent point, and
-/// `purge_retired` then frees exactly the replaced nodes. A
-/// use-after-free here would read garbage (caught by the torn-read
-/// assertion) or crash the model thread (caught as a violation).
+/// retired node stays in its epoch bag at least until the `&mut`
+/// quiescent point (nothing in this model advances the epoch far
+/// enough to free it early), and `purge_retired` then frees exactly
+/// the replaced nodes. A use-after-free here would read garbage
+/// (caught by the torn-read assertion) or crash the model thread
+/// (caught as a violation).
 #[test]
 fn graveyard_retires_across_reader_and_purges_at_quiescence() {
     let report = Builder::new().check(|| {
@@ -104,7 +121,11 @@ fn graveyard_retires_across_reader_and_purges_at_quiescence() {
         // Quiescent point: the Arc is unique again, so the retired
         // node is provably unreachable and purging frees exactly it.
         let mut store = Arc::into_inner(store).expect("reader still holds the store");
-        assert_eq!(store.retired_len(), 1, "update must retire the old node");
+        assert_eq!(
+            store.reclaim_backlog(),
+            1,
+            "update must retire the old node"
+        );
         assert_eq!(store.purge_retired(), 1);
         assert_eq!(store.get(b"k").as_deref(), Some(b"new".as_ref()));
     });
@@ -143,4 +164,52 @@ fn concurrent_writers_serialize_and_retire_exactly_once() {
     });
     assert!(!report.truncated, "exploration truncated: {report:?}");
     eprintln!("concurrent writers model: {} executions", report.executions);
+}
+
+/// Online reclamation racing a live reader: the main thread replaces a
+/// node (retiring the old one) and then hammers `reclaim_pass` — the
+/// concurrent-free path the epoch scheme adds — while a reader may be
+/// mid-traversal over the retired node. Every interleaving must give
+/// the reader a coherent answer (a freed-under-foot node would read
+/// garbage or crash the model thread), and the passes must reclaim the
+/// node once the reader's pin is out of the way: by the quiescent
+/// point the backlog is empty without any `purge_retired(&mut)` call.
+#[test]
+fn reclaim_pass_races_reader_without_use_after_free() {
+    let freed_online = Arc::new(RealAtomicU64::new(0));
+    let freed2 = Arc::clone(&freed_online);
+    let report = Builder::new().check(move || {
+        let store = Arc::new(tiny_store());
+        store.set(b"k", b"old".as_slice());
+        let reader = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let val = store.get(b"k").expect("key vanished during a pure update");
+                assert!(
+                    val.as_ref() == b"old" || val.as_ref() == b"new",
+                    "freed or torn node read: {val:?}"
+                );
+            })
+        };
+        store.set(b"k", b"new".as_slice()); // Retires the old node.
+                                            // Three passes carry the epoch through the grace period; while
+                                            // the reader is pinned at the pre-advance epoch they must not
+                                            // free anything (the advance is fenced), afterwards they must.
+        let mut freed = 0;
+        for _ in 0..3 {
+            freed += store.reclaim_pass();
+        }
+        reader.join();
+        while freed == 0 {
+            freed = store.reclaim_pass();
+        }
+        assert_eq!(freed, 1, "exactly the one retired node is reclaimed");
+        let store = Arc::into_inner(store).expect("reader still holds the store");
+        assert_eq!(store.reclaim_backlog(), 0);
+        assert_eq!(store.get(b"k").as_deref(), Some(b"new".as_ref()));
+        freed2.fetch_add(1, RealOrdering::Relaxed);
+        drop(store); // Drop's purge has nothing left to do.
+    });
+    assert!(!report.truncated, "exploration truncated: {report:?}");
+    eprintln!("reclaim-vs-reader model: {} executions", report.executions);
 }

@@ -616,7 +616,7 @@ fn node_stats_payload<R: RawLock + Default>(
     term: u64,
 ) -> Vec<u8> {
     let mut snap = RegistrySnapshot::default();
-    let s = store.stats().snapshot();
+    let s = store.stats_snapshot();
     for (name, value) in [
         ("node.requests", report.requests),
         ("node.key_ops", report.key_ops),
@@ -639,6 +639,9 @@ fn node_stats_payload<R: RawLock + Default>(
         ("store.repl_applied", s.repl_applied),
         ("store.repl_stale_drops", s.repl_stale_drops),
         ("store.replica_read_fallbacks", s.replica_read_fallbacks),
+        ("store.epochs_advanced", s.epochs_advanced),
+        ("store.nodes_reclaimed", s.nodes_reclaimed),
+        ("store.reclaim_backlog", s.reclaim_backlog),
     ] {
         snap.counters.push((name.to_string(), value));
     }
@@ -706,6 +709,12 @@ pub fn serve_node<R: RawLock + Default>(
     // Leader bookkeeping: per-follower cumulative acks.
     let mut acked: Vec<u64> = vec![initial_hwm; nodes];
     let mut wait = ParkingWait::new();
+    // Online reclamation cadence: one epoch advance-and-collect pass
+    // per RECLAIM_PERIOD processed frames keeps the retired-node
+    // backlog bounded while the node serves — replicated applies retire
+    // displaced nodes exactly like direct writes do.
+    const RECLAIM_PERIOD: u64 = 1024;
+    let mut since_reclaim = 0u64;
 
     /// Applies one entry through the stream-order gate (the layer that
     /// blocks delete-resurrection) and the store's per-key gate.
@@ -825,6 +834,11 @@ pub fn serve_node<R: RawLock + Default>(
             }
         };
         let decoded = Request::decode(head, || hub.recv_from_subset(&[source]).1);
+        since_reclaim += 1;
+        if since_reclaim >= RECLAIM_PERIOD {
+            since_reclaim = 0;
+            store.reclaim_pass();
+        }
 
         if source >= nclients {
             // ---- A peer's replication stream. ----

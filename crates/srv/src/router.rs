@@ -152,11 +152,12 @@ impl<R: RawLock + Default> ShardRouter<R> {
         self.len() == 0
     }
 
-    /// Aggregated statistics over all shards.
+    /// Aggregated statistics over all shards, including each shard's
+    /// live reclamation backlog gauge.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         self.shards
             .iter()
-            .map(|s| s.stats().snapshot())
+            .map(KvStore::stats_snapshot)
             .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
     }
 }

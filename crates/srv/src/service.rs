@@ -221,7 +221,18 @@ pub fn serve<R: RawLock + Default, C: MsgReceiver, S: MsgSender>(
             replies[client].send(frame);
         }
     };
+    // Online reclamation cadence: every RECLAIM_PERIOD processed
+    // requests the loop runs one epoch advance-and-collect pass, so a
+    // long-lived shard frees its retired nodes while traffic flows —
+    // no quiescent point, no `purge_retired(&mut)`, bounded backlog.
+    const RECLAIM_PERIOD: u64 = 1024;
+    let mut since_reclaim = 0u64;
     while live > 0 {
+        since_reclaim += 1;
+        if since_reclaim >= RECLAIM_PERIOD {
+            since_reclaim = 0;
+            shard.reclaim_pass();
+        }
         let (client, head) = loop {
             match hub.try_recv_from_any() {
                 Some(hit) => {
@@ -276,9 +287,12 @@ pub fn serve<R: RawLock + Default, C: MsgReceiver, S: MsgSender>(
 }
 
 /// Appends the shard store's counter snapshot to a scraped registry
-/// snapshot, under `store.`-prefixed names.
+/// snapshot, under `store.`-prefixed names. Uses the store-level
+/// snapshot (not the bare counter block) so the reclamation gauge —
+/// `store.reclaim_backlog`, summed lock-free over the stripes — rides
+/// along with the counters.
 fn append_store_counters<R: RawLock + Default>(shard: &KvStore<R>, snap: &mut RegistrySnapshot) {
-    let s = shard.stats().snapshot();
+    let s = shard.stats_snapshot();
     for (name, value) in [
         ("store.hits", s.hits),
         ("store.misses", s.misses),
@@ -286,6 +300,9 @@ fn append_store_counters<R: RawLock + Default>(shard: &KvStore<R>, snap: &mut Re
         ("store.deletes", s.deletes),
         ("store.cas_failures", s.cas_failures),
         ("store.read_fallbacks", s.read_fallbacks),
+        ("store.epochs_advanced", s.epochs_advanced),
+        ("store.nodes_reclaimed", s.nodes_reclaimed),
+        ("store.reclaim_backlog", s.reclaim_backlog),
     ] {
         snap.counters.push((name.to_string(), value));
     }

@@ -154,6 +154,14 @@ proptest! {
     /// sequential BTreeMap model. The locked fallback path is part of
     /// the same protocol, so whichever path each read took, the
     /// observation must be in the history.
+    ///
+    /// A third thread hammers [`KvStore::reclaim_pass`] the whole time:
+    /// epoch collection runs concurrently with the reader's pinned
+    /// traversals and the writer's retirements, so any grace-period
+    /// bug frees a node under the reader's feet and the history check
+    /// (or the allocator) catches it. At quiescence every retired node
+    /// is accounted for: reclaimed online plus drained afterwards
+    /// equals the replacements and deletes the writer performed.
     #[test]
     fn optimistic_reads_agree_with_writer_history(
         ops in proptest::collection::vec((0u64..6, 0u8..3, any::<u8>()), 20..120),
@@ -170,8 +178,13 @@ proptest! {
             history[key as usize].push((v, value.clone()));
             model.insert(key, (value, v));
         }
+        // Nodes the writer unlinks (replacements and deletes): every
+        // one must eventually be reclaimed, online or at the drain.
+        let mut retired = 0u64;
+        let writer_done = std::sync::atomic::AtomicBool::new(false);
         let observations = std::thread::scope(|s| {
             let kv = &kv;
+            let writer_done = &writer_done;
             let reader = s.spawn(move || {
                 // Hammer reads round-robin while the writer below runs;
                 // record every hit for post-hoc history validation.
@@ -187,6 +200,16 @@ proptest! {
                 }
                 seen
             });
+            let collector = s.spawn(move || {
+                // Concurrent epoch collection: advance-and-collect in a
+                // tight loop for the writer's whole run, freeing
+                // retired nodes while the reader may be pinned over
+                // them.
+                while !writer_done.load(std::sync::atomic::Ordering::Acquire) {
+                    kv.reclaim_pass();
+                    std::thread::yield_now();
+                }
+            });
             // The writer runs on this thread, so `model`/`history`
             // stay plain locals.
             for &(key, op, val) in &ops {
@@ -194,6 +217,9 @@ proptest! {
                 match op {
                     0 => {
                         let value = vec![val, key as u8, val, val, val, val, val, val];
+                        if model.contains_key(&key) {
+                            retired += 1;
+                        }
                         let v = kv.set(&kb, value.clone());
                         history[key as usize].push((v, value.clone()));
                         model.insert(key, (value, v));
@@ -204,15 +230,21 @@ proptest! {
                             let v = kv.cas(&kb, value.clone(), mver).expect("armed cas wins");
                             history[key as usize].push((v, value.clone()));
                             model.insert(key, (value, v));
+                            retired += 1;
                         }
                     }
                     _ => {
                         let expected = model.remove(&key).is_some();
                         assert_eq!(kv.delete(&kb), expected);
+                        if expected {
+                            retired += 1;
+                        }
                     }
                 }
                 std::thread::yield_now();
             }
+            writer_done.store(true, std::sync::atomic::Ordering::Release);
+            collector.join().expect("collector panicked");
             reader.join().expect("reader panicked")
         });
         for (key, version, value) in observations {
@@ -234,6 +266,17 @@ proptest! {
                 None => prop_assert!(got.is_none()),
             }
         }
+        // Reclamation accounting: with no pins left, three passes carry
+        // the global epoch through the grace period of every remaining
+        // bag, so the backlog drains to zero and online frees plus this
+        // drain cover exactly the nodes the writer unlinked.
+        for _ in 0..3 {
+            kv.reclaim_pass();
+        }
+        let snap = kv.stats_snapshot();
+        prop_assert_eq!(snap.reclaim_backlog, 0);
+        prop_assert_eq!(kv.reclaim_backlog(), 0);
+        prop_assert_eq!(snap.nodes_reclaimed, retired);
     }
 
     /// Shard routing is a pure function onto `0..shards`, and dense
