@@ -723,7 +723,7 @@ mod tests {
         assert!(!stores[1].is_empty(), "shard 1 owns half the slots");
         let redirected: u64 = stores
             .iter()
-            .map(|s| s.stats().snapshot().wrong_shard_redirects)
+            .map(|s| s.stats_snapshot().wrong_shard_redirects)
             .sum();
         assert!(redirected > 0, "server-side redirect counter must move");
     }
@@ -813,7 +813,7 @@ mod tests {
     }
 
     fn store_deferred(store: &KvStore<TicketLock>) -> u64 {
-        store.stats().snapshot().migration_ops_deferred
+        store.stats_snapshot().migration_ops_deferred
     }
 
     #[test]

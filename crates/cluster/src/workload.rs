@@ -284,7 +284,7 @@ pub fn run_reshard<R: RawLock + Default>(spec: &ReshardWorkloadSpec) -> ReshardR
         report.client_redirects += tally.redirects;
     }
     for store in &stores {
-        let snap = store.stats().snapshot();
+        let snap = store.stats_snapshot();
         report.wrong_shard_redirects += snap.wrong_shard_redirects;
         report.migration_ops_deferred += snap.migration_ops_deferred;
     }

@@ -21,15 +21,21 @@
 //! * **Pin** ([`EpochDomain::pin`]): the reader publishes
 //!   `(epoch << 1) | 1` into its own record and validates that the
 //!   global epoch still matches, re-publishing if it moved. One store
-//!   plus one Acquire load per pin, both on lines only this thread
-//!   writes — **no shared RMW on the read path**. The store is the
-//!   `SeqCst` (store-buffer-flushing) flavor: a plain relaxed store may
-//!   sit in this core's write buffer while the collector scans, sees
-//!   the record unpinned, and advances the epoch twice — freeing the
-//!   node under the reader's feet. The weak-memory mode of the
-//!   `pinned_reader_blocks_collection` model run finds exactly that
-//!   interleaving if the flush is dropped.
+//!   plus one load per pin, both on lines only this thread
+//!   writes — **no shared RMW on the read path**. The pin store *and*
+//!   the validation load are both `SeqCst`: together with
+//!   [`EpochDomain::try_advance`]'s slot scan and epoch CAS they form
+//!   a store-buffering (SB) litmus, and C11 forbids the
+//!   both-sides-read-stale outcome only when every access in the
+//!   litmus is `SeqCst`. The store alone being `SeqCst` is not enough:
+//!   an Acquire validation load compiles to LDAPR on RCpc AArch64
+//!   (Apple M-series, Neoverse V1+), which may be satisfied *before*
+//!   the earlier STLR pin store is globally visible — the collector
+//!   then scans the record as unpinned and advances twice while the
+//!   reader believes its pin validated, freeing a node under a live
+//!   reader.
 //! * **Retire**: writers tag each unlinked node with the global epoch
+//!   — read via the `SeqCst` flavor [`EpochDomain::epoch_sc`] —
 //!   *after* a flushing operation (any RMW — the store's per-stripe
 //!   backlog counter bump serves) has committed the unlink, and push it
 //!   into a three-generation bag ([`EpochBags`]).
@@ -52,6 +58,20 @@
 //! use-after-free — and more than two buys nothing, which is why the
 //! bags keep exactly three generations (the one being filled plus the
 //! two aging out).
+//!
+//! # What the model checker does — and does not — prove
+//!
+//! The `pinned_reader_blocks_collection` models explore this protocol
+//! on the real types, and their weak-memory mode catches a weakened
+//! (buffered) pin store: the collector scans the record while the pin
+//! sits unflushed in the reader's store buffer. But that mode is a
+//! **store-buffer (TSO) model** — loads are always satisfied from the
+//! thread's own buffer or committed memory, never early — so it
+//! cannot exhibit the RCpc load-before-store satisfaction described
+//! above. The checker therefore validates the protocol under TSO
+//! (x86) only; soundness on weaker machines (ARM) rests on the
+//! all-`SeqCst` litmus choreography in the C11 model, not on the
+//! model run.
 //!
 //! # Participants
 //!
@@ -122,15 +142,27 @@ impl EpochDomain {
         }
     }
 
-    /// The current global epoch.
-    ///
-    /// For retire tagging this load must be sequenced after a flushing
-    /// operation (an RMW or `SeqCst` store) that commits the unlink —
-    /// see the module docs; the store's per-stripe backlog bump plays
-    /// that role.
+    /// The current global epoch (an Acquire load). Right for collect
+    /// decisions and monitoring, where a stale (smaller) value only
+    /// delays frees — never for retire tagging, which must go through
+    /// [`EpochDomain::epoch_sc`].
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.global.load(Ordering::Acquire)
+    }
+
+    /// The current global epoch as a `SeqCst` load — the retire-path
+    /// flavor of [`EpochDomain::epoch`]. Retire tagging must order the
+    /// tag read after the flushing RMW that commits the unlink (the
+    /// store's per-stripe backlog bump) *in the `SeqCst` total order*.
+    /// An Acquire tag load is not enough: on RCpc hardware it can be
+    /// satisfied before the unlink's stores are globally visible, so a
+    /// reader pinning at `tag + FREE_LAG` could still observe the
+    /// stale chain pointer and reach a node whose bag is already
+    /// collectable — exactly the grace-period hole the tag guards.
+    #[must_use]
+    pub fn epoch_sc(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
     }
 
     /// Pins the calling thread: until the returned guard drops, the
@@ -150,11 +182,15 @@ impl EpochDomain {
             let global = &cell.domain.global;
             let mut e = global.load(Ordering::Acquire);
             loop {
-                // SeqCst: the pin must be committed (not sitting in a
-                // store buffer) before the validation load, or a
-                // concurrent collector can miss it and advance twice.
+                // SeqCst on BOTH sides of the validation: the store
+                // must be committed (not sitting in a store buffer)
+                // before the load, and the load must not be satisfied
+                // early (RCpc LDAPR would) — this is one half of an SB
+                // litmus against try_advance, forbidden only when
+                // every access is SeqCst. The TSO checker exercises
+                // the buffered-store half; the load half is C11-only.
                 record.store((e << 1) | 1, Ordering::SeqCst);
-                let now = global.load(Ordering::Acquire);
+                let now = global.load(Ordering::SeqCst);
                 if now == e {
                     break;
                 }
@@ -172,12 +208,20 @@ impl EpochDomain {
     /// traffic; it is a CAS on the shared epoch word and so never
     /// belongs on a read path.
     pub fn try_advance(&self) -> bool {
-        let g = self.global.load(Ordering::Acquire);
+        // SeqCst throughout: the slot scan and epoch CAS are the
+        // collector's half of the pin protocol's SB litmus (see
+        // `pin`). In the SeqCst total order a validation load that
+        // read `g` precedes the CAS `g → g + 1`, which precedes the
+        // next advance's slot scan — so that scan must observe the
+        // pin. Weaken any of these and RCpc hardware can miss a
+        // validated pin and advance twice. Off the read path, so the
+        // extra strength costs nothing that matters.
+        let g = self.global.load(Ordering::SeqCst);
         let mut bits = self.claimed.load(HostOrdering::Acquire);
         while bits != 0 {
             let slot = bits.trailing_zeros() as usize;
             bits &= bits - 1;
-            let record = self.slots[slot].load(Ordering::Acquire);
+            let record = self.slots[slot].load(Ordering::SeqCst);
             if record & 1 == 1 && record >> 1 != g {
                 return false;
             }
@@ -187,7 +231,7 @@ impl EpochDomain {
         // only be pinned at g or later — never at the epoch this
         // advance is retiring.
         self.global
-            .compare_exchange(g, g + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
     }
 

@@ -219,15 +219,16 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// A plain-value copy of every counter, for reporting. Each counter
-    /// is read independently (`Relaxed`), so a snapshot taken while
-    /// writers are active is a consistent *per-counter* view, not a
+    /// A plain-value copy of every counter. Each counter is read
+    /// independently (`Relaxed`), so a snapshot taken while writers
+    /// are active is a consistent *per-counter* view, not a
     /// cross-counter atomic one.
     ///
-    /// `reclaim_backlog` is zero here — it is a gauge owned by the
-    /// store's stripes, not a `Stats` counter; use
-    /// [`KvStore::stats_snapshot`] for the filled-in view.
-    pub fn snapshot(&self) -> StatsSnapshot {
+    /// Crate-internal on purpose: `reclaim_backlog` is a gauge owned
+    /// by the store's stripes, not a `Stats` counter, so this copy
+    /// leaves it zero — [`KvStore::stats_snapshot`] is the public
+    /// view, with the gauge filled in.
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -248,7 +249,8 @@ impl Stats {
     }
 }
 
-/// Plain-struct copy of [`Stats`], as returned by [`Stats::snapshot`].
+/// Plain-struct copy of [`Stats`] plus the `reclaim_backlog` gauge,
+/// as returned by [`KvStore::stats_snapshot`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Successful `get`s.
@@ -529,8 +531,8 @@ impl<R: RawLock + Default> KvStore<R> {
         &self.stats
     }
 
-    /// [`Stats::snapshot`] with the live `reclaim_backlog` gauge filled
-    /// in — the form the service layers scrape.
+    /// A plain-value copy of every [`Stats`] counter plus the live
+    /// `reclaim_backlog` gauge — the form the service layers scrape.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             reclaim_backlog: self.reclaim_backlog(),
@@ -702,18 +704,22 @@ impl<R: RawLock + Default> KvStore<R> {
     /// (a Release pointer store inside a seqlock write section).
     ///
     /// The ordering here carries the reclamation proof: the backlog
-    /// bump is a `SeqCst` RMW sequenced *after* the unlink store and
-    /// *before* the epoch-tag load, so by the time the tag is read the
-    /// unlink is committed to memory — a reader that finds this node
-    /// through a stale pointer must have pinned at or before the tag,
-    /// and its pin then blocks the tag's bag from aging out. Retiring
+    /// bump is a `SeqCst` RMW sequenced *after* the unlink store, and
+    /// the epoch tag is read with a `SeqCst` load
+    /// ([`EpochDomain::epoch_sc`]) so the bump precedes the tag read
+    /// in the `SeqCst` total order — an Acquire tag load could be
+    /// satisfied on RCpc hardware before the unlink is globally
+    /// visible. By the time the tag is read the unlink is therefore
+    /// committed to memory: a reader that finds this node through a
+    /// stale pointer must have pinned at or before the tag, and its
+    /// pin then blocks the tag's bag from aging out. Retiring
     /// into a bag slot whose previous generation is three epochs old
     /// frees that generation inline, which is what makes reclamation
     /// amortized per-op rather than a stop-the-world pass.
     fn retire(&self, stripe: &Stripe<R>, inner: &mut StripeInner, node: *mut Node) {
         stripe.backlog.fetch_add(1, Ordering::SeqCst);
         let tag = match self.reclaim {
-            ReclaimMode::Epoch => self.epoch.epoch(),
+            ReclaimMode::Epoch => self.epoch.epoch_sc(),
             // Deferred: the epoch never advances, so every node lands
             // in the tag-0 bag and waits for `purge_retired` — the
             // PR-5 graveyard, reproduced for the churn baseline.
@@ -1270,7 +1276,7 @@ mod tests {
         let v = kv.set(b"k", b"x".as_slice());
         assert!(kv.cas(b"k", b"y".as_slice(), v + 1).is_err()); // Stale.
         assert!(kv.cas(b"k", b"y".as_slice(), v).is_ok());
-        let snap = kv.stats().snapshot();
+        let snap = kv.stats_snapshot();
         assert_eq!(snap.deletes, 1);
         assert_eq!(snap.cas_failures, 2);
         assert_eq!(snap.sets, 3); // Two plain sets + the successful CAS.
@@ -1282,7 +1288,7 @@ mod tests {
         kv.set(b"a", b"1".as_slice());
         kv.get(b"a");
         kv.get(b"b");
-        let snap = kv.stats().snapshot();
+        let snap = kv.stats_snapshot();
         assert_eq!(
             snap,
             StatsSnapshot {
@@ -1307,7 +1313,7 @@ mod tests {
         assert_eq!(got.as_ref(), b"val");
         assert_eq!(kv.version(b"k"), Some(v));
         // It counts toward hit/miss stats like `get`.
-        let snap = kv.stats().snapshot();
+        let snap = kv.stats_snapshot();
         assert_eq!((snap.hits, snap.misses), (1, 1));
     }
 
@@ -1343,7 +1349,7 @@ mod tests {
         let t = kv.delete_versioned(b"k").expect("key existed");
         assert!(t > v, "tombstone {t} must order after the store {v}");
         assert_eq!(kv.delete_versioned(b"k"), None);
-        assert_eq!(kv.stats().snapshot().deletes, 1);
+        assert_eq!(kv.stats_snapshot().deletes, 1);
         // A later set still gets a version past the tombstone.
         assert!(kv.set(b"k", b"y".as_slice()) > t);
     }
@@ -1367,7 +1373,7 @@ mod tests {
         assert!(kv.get(b"k").is_none());
         // Tombstone for an absent key is a no-op.
         assert!(!kv.apply_replicated(b"gone", 20, None));
-        let snap = kv.stats().snapshot();
+        let snap = kv.stats_snapshot();
         assert_eq!(snap.repl_applied, 3);
         assert_eq!(snap.repl_stale_drops, 4);
         // Local versioning continues past the highest replicated version.
@@ -1484,7 +1490,7 @@ mod tests {
         // the full dumps match.
         assert_eq!(fast.dump(), slow.dump());
         // The locked path never falls back (it never tries).
-        assert_eq!(slow.stats().snapshot().read_fallbacks, 0);
+        assert_eq!(slow.stats_snapshot().read_fallbacks, 0);
     }
 
     /// The locked fallback engages deterministically when the stripe's
@@ -1500,11 +1506,11 @@ mod tests {
         // free (the reader must grab the lock and still answer).
         kv.stripes[stripe].seq.store(1, Ordering::Release);
         assert_eq!(kv.get(b"k").unwrap().as_ref(), b"v");
-        assert_eq!(kv.stats().snapshot().read_fallbacks, 1);
+        assert_eq!(kv.stats_snapshot().read_fallbacks, 1);
         // Restore stability: even word again, reads go optimistic.
         kv.stripes[stripe].seq.store(2, Ordering::Release);
         assert_eq!(kv.get(b"k").unwrap().as_ref(), b"v");
-        assert_eq!(kv.stats().snapshot().read_fallbacks, 1);
+        assert_eq!(kv.stats_snapshot().read_fallbacks, 1);
     }
 
     #[test]
@@ -1518,7 +1524,7 @@ mod tests {
         assert_eq!(hits[0].as_ref().unwrap().0, vb);
         assert!(hits[1].is_none());
         assert_eq!(hits[2].as_ref().unwrap().0, va);
-        let snap = kv.stats().snapshot();
+        let snap = kv.stats_snapshot();
         assert_eq!((snap.hits, snap.misses), (2, 1));
     }
 

@@ -76,10 +76,7 @@ fn seqlock_reader_sees_old_or_new_never_torn() {
             Some(b"new".as_ref()),
             "joined writer's value not visible"
         );
-        fallbacks2.fetch_add(
-            store.stats().snapshot().read_fallbacks,
-            RealOrdering::Relaxed,
-        );
+        fallbacks2.fetch_add(store.stats_snapshot().read_fallbacks, RealOrdering::Relaxed);
     });
     assert!(!report.truncated, "exploration truncated: {report:?}");
     assert!(

@@ -54,7 +54,7 @@ fn per_key_gate_converges_under_out_of_order_duplicates() {
             Some((2, b"fresh".to_vec())),
             "older or duplicate delivery overwrote the newer version"
         );
-        let stats = store.stats().snapshot();
+        let stats = store.stats_snapshot();
         assert_eq!(stats.repl_applied + stats.repl_stale_drops, 3);
     });
     assert!(!report.truncated, "exploration truncated: {report:?}");

@@ -228,7 +228,7 @@ fn stale_client_counters_surface_through_stats() {
     });
     let merged = stores
         .iter()
-        .map(|s| s.stats().snapshot())
+        .map(|s| s.stats_snapshot())
         .fold(None::<ssync::kv::StatsSnapshot>, |acc, s| match acc {
             None => Some(s),
             Some(a) => Some(a.merge(&s)),

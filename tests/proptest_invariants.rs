@@ -138,7 +138,7 @@ proptest! {
             prop_assert_eq!(ver, *mver);
             hits += 1;
         }
-        let snap = kv.stats().snapshot();
+        let snap = kv.stats_snapshot();
         prop_assert_eq!(snap.hits, hits);
         prop_assert_eq!(snap.misses, misses);
         prop_assert_eq!(snap.sets, sets);
